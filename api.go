@@ -1,0 +1,314 @@
+package vliwcache
+
+import (
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/report"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// Machine description (see internal/arch).
+type (
+	// Config is the machine description: clusters, functional units, the
+	// word-interleaved distributed cache, buses and the next memory level.
+	Config = arch.Config
+	// AccessLatencies bundles the four static access latencies.
+	AccessLatencies = arch.AccessLatencies
+	// SubblockID identifies the portion of a cache block homed in one
+	// cluster.
+	SubblockID = arch.SubblockID
+)
+
+// Layout selects the distributed cache organization.
+type Layout = arch.Layout
+
+// Cache layouts: the paper's word-interleaved design, and the
+// multiVLIW-style replicated design of §2.3.
+const (
+	LayoutWordInterleaved = arch.LayoutWordInterleaved
+	LayoutReplicated      = arch.LayoutReplicated
+)
+
+// DefaultConfig returns the paper's Table 2 configuration.
+func DefaultConfig() Config { return arch.Default() }
+
+// NobalMemConfig returns the NOBAL+MEM bus configuration of §4.2.
+func NobalMemConfig() Config { return arch.NobalMem() }
+
+// NobalRegConfig returns the NOBAL+REG bus configuration of §4.2.
+func NobalRegConfig() Config { return arch.NobalReg() }
+
+// Loop IR (see internal/ir).
+type (
+	// Loop is an innermost loop body, the unit of modulo scheduling.
+	Loop = ir.Loop
+	// Op is one operation of a loop body.
+	Op = ir.Op
+	// Kind enumerates operation kinds.
+	Kind = ir.Kind
+	// Reg is a virtual register.
+	Reg = ir.Reg
+	// AddrExpr is an affine address expression base+offset+stride·i.
+	AddrExpr = ir.AddrExpr
+	// Symbol describes one memory object referenced by a loop.
+	Symbol = ir.Symbol
+	// Builder offers a fluent loop-construction API.
+	Builder = ir.Builder
+)
+
+// Operation kinds.
+const (
+	KindLoad    = ir.KindLoad
+	KindStore   = ir.KindStore
+	KindAdd     = ir.KindAdd
+	KindSub     = ir.KindSub
+	KindMul     = ir.KindMul
+	KindDiv     = ir.KindDiv
+	KindShift   = ir.KindShift
+	KindLogic   = ir.KindLogic
+	KindCmp     = ir.KindCmp
+	KindFAdd    = ir.KindFAdd
+	KindFSub    = ir.KindFSub
+	KindFMul    = ir.KindFMul
+	KindFDiv    = ir.KindFDiv
+	KindCopy    = ir.KindCopy
+	KindFakeUse = ir.KindFakeUse
+)
+
+// NoReg marks the absence of a destination register.
+const NoReg = ir.NoReg
+
+// NewLoop returns an empty loop.
+func NewLoop(name string) *Loop { return ir.NewLoop(name) }
+
+// NewBuilder starts building a loop.
+func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }
+
+// EncodeLoopJSON renders a loop in the JSON interchange format accepted by
+// the command-line tools.
+func EncodeLoopJSON(l *Loop) ([]byte, error) { return ir.EncodeJSON(l) }
+
+// DecodeLoopJSON parses and validates a loop from the JSON interchange
+// format.
+func DecodeLoopJSON(data []byte) (*Loop, error) { return ir.DecodeJSON(data) }
+
+// Dependence graphs (see internal/ddg).
+type (
+	// DDG is a data dependence graph over a loop's operations.
+	DDG = ddg.Graph
+	// DDGEdge is one dependence edge.
+	DDGEdge = ddg.Edge
+	// EdgeKind classifies dependence edges (RF/MF/MA/MO/SYNC).
+	EdgeKind = ddg.EdgeKind
+)
+
+// Dependence edge kinds.
+const (
+	RF   = ddg.RF
+	MF   = ddg.MF
+	MA   = ddg.MA
+	MO   = ddg.MO
+	SYNC = ddg.SYNC
+)
+
+// BuildDDG constructs the dependence graph of a loop: register flow
+// dependences plus memory dependences from the affine disambiguator.
+func BuildDDG(l *Loop) (*DDG, error) { return ddg.Build(l) }
+
+// The paper's contribution (see internal/core).
+type (
+	// Policy selects how memory coherence is guaranteed.
+	Policy = core.Policy
+	// Plan is a loop prepared for scheduling under a policy.
+	Plan = core.Plan
+	// ChainStats carries the CMR/CAR ratios of Table 3.
+	ChainStats = core.ChainStats
+)
+
+// Coherence policies.
+const (
+	// PolicyFree is the optimistic (unsound) baseline.
+	PolicyFree = core.PolicyFree
+	// PolicyMDC builds memory dependent chains.
+	PolicyMDC = core.PolicyMDC
+	// PolicyDDGT applies store replication and load–store synchronization.
+	PolicyDDGT = core.PolicyDDGT
+)
+
+// Prepare analyzes a loop and applies the given coherence policy.
+func Prepare(l *Loop, p Policy, numClusters int) (*Plan, error) {
+	return core.Prepare(l, p, numClusters)
+}
+
+// Transform applies the DDGT transformations to a copy of the graph.
+func Transform(g *DDG, numClusters int) (*Plan, error) { return core.Transform(g, numClusters) }
+
+// Chains computes the memory dependent chains of a graph.
+func Chains(g *DDG) (chains [][]int, chainOf map[int]int) { return core.Chains(g) }
+
+// AnalyzeChains computes the loop's chain statistics (Table 3).
+func AnalyzeChains(g *DDG) ChainStats { return core.AnalyzeChains(g) }
+
+// Specialize removes ambiguous dependences that never materialize on the
+// loop's execution input (code specialization, §6 / Table 5), returning the
+// specialized graph and the number of removed edges.
+func Specialize(g *DDG) (*DDG, int) { return core.Specialize(g) }
+
+// Scheduling (see internal/sched).
+type (
+	// Schedule is a clustered modulo schedule.
+	Schedule = sched.Schedule
+	// ScheduleOptions configure the scheduler.
+	ScheduleOptions = sched.Options
+	// Heuristic selects the cluster assignment heuristic.
+	Heuristic = sched.Heuristic
+	// Copy is a scheduled inter-cluster register transfer.
+	Copy = sched.Copy
+)
+
+// Cluster assignment heuristics (§2.2).
+const (
+	PrefClus = sched.PrefClus
+	MinComs  = sched.MinComs
+)
+
+// Order selects the scheduler's placement priority.
+type Order = sched.Order
+
+// Placement priority orders: Rau-style height or swing-style slack.
+const (
+	OrderHeight = sched.OrderHeight
+	OrderSlack  = sched.OrderSlack
+)
+
+// ModuloSchedule runs the clustered iterative modulo scheduler on a plan.
+func ModuloSchedule(p *Plan, opts ScheduleOptions) (*Schedule, error) { return sched.Run(p, opts) }
+
+// ValidateSchedule checks every invariant of a schedule (placement,
+// capacities, dependences, chain and replica constraints).
+func ValidateSchedule(s *Schedule) error { return sched.Validate(s) }
+
+// Profiling (see internal/profiler).
+type (
+	// Profile holds per-op home-cluster histograms.
+	Profile = profiler.Profile
+)
+
+// ProfileLoop computes preferred-cluster information on the profile input.
+func ProfileLoop(l *Loop, cfg Config) *Profile { return profiler.Run(l, cfg) }
+
+// Simulation (see internal/sim).
+type (
+	// Stats aggregates the observable quantities the paper reports.
+	Stats = sim.Stats
+	// SimOptions control a simulation run.
+	SimOptions = sim.Options
+	// AccessClass classifies memory accesses.
+	AccessClass = sim.Class
+)
+
+// Access classes (§2.1 plus "combined").
+const (
+	LocalHit   = sim.LocalHit
+	RemoteHit  = sim.RemoteHit
+	LocalMiss  = sim.LocalMiss
+	RemoteMiss = sim.RemoteMiss
+	Combined   = sim.Combined
+)
+
+// Simulate executes a schedule on the cycle-level machine model.
+func Simulate(s *Schedule, opts SimOptions) (*Stats, error) { return sim.Run(s, opts) }
+
+// Report renders a detailed human-readable report of a schedule and its
+// simulation: II decomposition with the binding recurrence, per-cluster
+// utilization, and the memory behaviour breakdown. stats may be nil.
+func Report(s *Schedule, stats *Stats) string { return report.Text(s, stats) }
+
+// Workloads (see internal/mediabench).
+type (
+	// Benchmark is one synthesized Mediabench program.
+	Benchmark = mediabench.Benchmark
+)
+
+// Benchmarks generates the full synthesized Mediabench suite (Table 1).
+func Benchmarks() []*Benchmark { return mediabench.All() }
+
+// BenchmarkByName generates one benchmark.
+func BenchmarkByName(name string) (*Benchmark, error) { return mediabench.Get(name) }
+
+// Experiments (see internal/experiments).
+type (
+	// Suite runs and caches benchmark × variant experiment cells.
+	Suite = experiments.Suite
+	// Variant is one (policy, heuristic) combination.
+	Variant = experiments.Variant
+	// LoopRun is one loop's outcome under one variant.
+	LoopRun = experiments.LoopRun
+)
+
+// NewSuite builds an experiment suite over the paper's figure benchmarks.
+func NewSuite(cfg Config) *Suite { return experiments.NewSuite(cfg) }
+
+// ExecOptions configure the one-call pipeline.
+type ExecOptions struct {
+	Arch      Config
+	Policy    Policy
+	Heuristic Heuristic
+	Sim       SimOptions
+}
+
+// Result bundles the outcome of the one-call pipeline.
+type Result struct {
+	Plan     *Plan
+	Profile  *Profile
+	Schedule *Schedule
+	Stats    *Stats
+}
+
+// Execute runs the full pipeline on one loop: profile, prepare under the
+// policy, modulo schedule, and simulate.
+func Execute(l *Loop, opts ExecOptions) (*Result, error) {
+	plan, err := core.Prepare(l, opts.Policy, opts.Arch.NumClusters)
+	if err != nil {
+		return nil, err
+	}
+	prof := profiler.Run(l, opts.Arch)
+	sc, err := sched.Run(plan, sched.Options{
+		Arch:      opts.Arch,
+		Heuristic: opts.Heuristic,
+		Profile:   prof,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.Run(sc, opts.Sim)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: plan, Profile: prof, Schedule: sc, Stats: st}, nil
+}
+
+// ExecuteHybrid implements the per-loop hybrid of §6: both MDC and DDGT are
+// compiled and simulated and the faster result is returned.
+func ExecuteHybrid(l *Loop, opts ExecOptions) (*Result, error) {
+	opts.Policy = PolicyMDC
+	mdc, err := Execute(l, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Policy = PolicyDDGT
+	dt, err := Execute(l, opts)
+	if err != nil {
+		return nil, err
+	}
+	if dt.Stats.Cycles() < mdc.Stats.Cycles() {
+		return dt, nil
+	}
+	return mdc, nil
+}

@@ -1,0 +1,107 @@
+package vliwcache
+
+import (
+	"testing"
+)
+
+// exampleLoop builds the daxpy loop of the package documentation.
+func exampleLoop() *Loop {
+	b := NewBuilder("daxpy")
+	b.Symbol("x", 0x10000, 1<<20)
+	b.Symbol("y", 0x80000, 1<<20)
+	b.Trip(1000, 1)
+	a := b.Reg()
+	x := b.Load("ldx", AddrExpr{Base: "x", Stride: 8, Size: 8})
+	y := b.Load("ldy", AddrExpr{Base: "y", Stride: 8, Size: 8})
+	m := b.Arith("mul", KindFMul, a, x)
+	s := b.Arith("add", KindFAdd, m, y)
+	b.Store("sty", AddrExpr{Base: "y", Stride: 8, Size: 8}, s)
+	return b.Loop()
+}
+
+func TestExecutePipeline(t *testing.T) {
+	for _, pol := range []Policy{PolicyFree, PolicyMDC, PolicyDDGT} {
+		res, err := Execute(exampleLoop(), ExecOptions{
+			Arch:      DefaultConfig(),
+			Policy:    pol,
+			Heuristic: PrefClus,
+			Sim:       SimOptions{CheckCoherence: true},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.Schedule.II < 1 || res.Stats.Cycles() <= 0 {
+			t.Errorf("%v: II=%d cycles=%d", pol, res.Schedule.II, res.Stats.Cycles())
+		}
+		if err := ValidateSchedule(res.Schedule); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+		if pol != PolicyFree && res.Stats.Violations != 0 {
+			t.Errorf("%v: %d violations", pol, res.Stats.Violations)
+		}
+	}
+}
+
+func TestExecuteHybridFacade(t *testing.T) {
+	res, err := ExecuteHybrid(exampleLoop(), ExecOptions{
+		Arch:      DefaultConfig(),
+		Heuristic: MinComs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Policy != PolicyMDC && res.Plan.Policy != PolicyDDGT {
+		t.Errorf("hybrid picked %v", res.Plan.Policy)
+	}
+}
+
+func TestFacadeAnalyses(t *testing.T) {
+	loop := exampleLoop()
+	g, err := BuildDDG(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, _ := Chains(g)
+	if len(chains) != 1 {
+		t.Fatalf("daxpy must have one chain (store aliases the y load): %v", chains)
+	}
+	st := AnalyzeChains(g)
+	if st.Biggest != 2 || st.MemOps != 3 {
+		t.Errorf("chain stats = %+v", st)
+	}
+	if _, removed := Specialize(g); removed != 0 {
+		t.Errorf("daxpy has no ambiguous dependences, removed %d", removed)
+	}
+	prof := ProfileLoop(loop, DefaultConfig())
+	if prof.Preferred(0) < 0 {
+		t.Error("load must have a profile")
+	}
+}
+
+func TestBenchmarksFacade(t *testing.T) {
+	if got := len(Benchmarks()); got != 14 {
+		t.Errorf("suite = %d benchmarks, want 14", got)
+	}
+	bench, err := BenchmarkByName("rasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Interleave != 4 {
+		t.Errorf("rasta interleave = %d", bench.Interleave)
+	}
+	if _, err := BenchmarkByName("bogus"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestConfigFacade(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), NobalMemConfig(), NobalRegConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	s := NewSuite(DefaultConfig())
+	if s == nil || len(s.Benches) != 13 {
+		t.Error("suite must cover the 13 figure benchmarks")
+	}
+}

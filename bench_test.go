@@ -1,0 +1,400 @@
+package vliwcache
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one Benchmark per artifact) and adds ablations for the design
+// choices DESIGN.md calls out. Each benchmark iteration regenerates the
+// artifact on a bounded simulation (so `go test -bench=.` terminates in
+// minutes) and reports the headline quantities as custom metrics; the
+// paperbench command prints the full artifacts.
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sim"
+)
+
+// benchSimOptions bound each regeneration.
+var benchSimOptions = sim.Options{MaxIterations: 300, MaxEntries: 1}
+
+func benchSuite(cfg arch.Config) *experiments.Suite {
+	s := experiments.NewSuite(cfg)
+	s.SimOptions = benchSimOptions
+	return s
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table2(arch.Default()); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table3(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// figure7Metrics runs the Figure 7 (or 9) suite and reports the AMEAN
+// normalized execution time of each solution/heuristic.
+func figure7Metrics(b *testing.B, cfg arch.Config) {
+	b.Helper()
+	variants := map[string]experiments.Variant{
+		"mdc_pref_norm":  experiments.MDCPrefClus,
+		"mdc_min_norm":   experiments.MDCMinComs,
+		"ddgt_pref_norm": experiments.DDGTPrefClus,
+		"ddgt_min_norm":  experiments.DDGTMinComs,
+	}
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(cfg)
+		sums := make(map[string]float64)
+		for _, bench := range s.Benches {
+			base, err := s.Cell(bench.Name, experiments.FreeMinComs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for name, v := range variants {
+				c, err := s.Cell(bench.Name, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sums[name] += float64(c.Total.Cycles()) / float64(base.Total.Cycles())
+			}
+		}
+		for name, sum := range sums {
+			b.ReportMetric(sum/float64(len(s.Benches)), name)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(arch.Default())
+		var free, mdc, ddgt float64
+		for _, bench := range s.Benches {
+			for _, v := range []struct {
+				variant experiments.Variant
+				acc     *float64
+			}{
+				{experiments.FreePrefClus, &free},
+				{experiments.MDCPrefClus, &mdc},
+				{experiments.DDGTPrefClus, &ddgt},
+			} {
+				c, err := s.Cell(bench.Name, v.variant)
+				if err != nil {
+					b.Fatal(err)
+				}
+				*v.acc += c.Total.LocalHitRatio()
+			}
+		}
+		n := float64(len(s.Benches))
+		b.ReportMetric(free/n, "free_localhit")
+		b.ReportMetric(mdc/n, "mdc_localhit")
+		b.ReportMetric(ddgt/n, "ddgt_localhit")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	figure7Metrics(b, arch.Default())
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	figure7Metrics(b, arch.Default().WithAttractionBuffers(16))
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(arch.Default())
+		var deltaSum float64
+		var n int
+		for _, bench := range s.Benches {
+			mdc, err := s.Cell(bench.Name, experiments.MDCPrefClus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dt, err := s.Cell(bench.Name, experiments.DDGTPrefClus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m := mdc.CommOpsPerIter(); m > 0 {
+				deltaSum += dt.CommOpsPerIter() / m
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(deltaSum/float64(n), "mean_comm_ratio")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table5(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkNobal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Nobal(benchSimOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkEpicLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.EpicLoop(benchSimOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkHybrid measures the §6 per-loop hybrid against pure MDC and
+// pure DDGT over the whole suite.
+func BenchmarkHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var mdcCyc, ddgtCyc, hyCyc int64
+		for _, bench := range mediabench.Figures() {
+			cfg := DefaultConfig().WithInterleave(bench.Interleave)
+			for _, loop := range bench.Loops {
+				m, err := experiments.RunLoop(loop, cfg, experiments.MDCPrefClus, benchSimOptions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := experiments.RunLoop(loop, cfg, experiments.DDGTPrefClus, benchSimOptions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mdcCyc += m.Stats.Cycles()
+				ddgtCyc += d.Stats.Cycles()
+				if d.Stats.Cycles() < m.Stats.Cycles() {
+					hyCyc += d.Stats.Cycles()
+				} else {
+					hyCyc += m.Stats.Cycles()
+				}
+			}
+		}
+		b.ReportMetric(float64(hyCyc)/float64(mdcCyc), "hybrid_vs_mdc")
+		b.ReportMetric(float64(hyCyc)/float64(ddgtCyc), "hybrid_vs_ddgt")
+	}
+}
+
+// BenchmarkAblationRegBuses revisits the §4.2/Table 4 observation that with
+// an upper bound of 32 register buses DDGT's compute time barely improves:
+// the bottleneck is the extra stores and edges, not the communications.
+func BenchmarkAblationRegBuses(b *testing.B) {
+	bench, err := mediabench.Get("epicdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, buses := range []int{4, 32} {
+			cfg := arch.Default().WithInterleave(bench.Interleave)
+			cfg.RegBuses = buses
+			run, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if buses == 4 {
+				b.ReportMetric(float64(run.Stats.ComputeCycles), "compute_4buses")
+			} else {
+				b.ReportMetric(float64(run.Stats.ComputeCycles), "compute_32buses")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationInterleave sweeps the interleaving factor for one
+// 2-byte benchmark (§4.1 matches the factor to the data size).
+func BenchmarkAblationInterleave(b *testing.B) {
+	bench, err := mediabench.Get("gsmdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, il := range []int{2, 4, 8} {
+			cfg := arch.Default().WithInterleave(il)
+			run, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch il {
+			case 2:
+				b.ReportMetric(run.Stats.LocalHitRatio(), "localhit_i2")
+			case 4:
+				b.ReportMetric(run.Stats.LocalHitRatio(), "localhit_i4")
+			case 8:
+				b.ReportMetric(run.Stats.LocalHitRatio(), "localhit_i8")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationABSize sweeps Attraction Buffer capacity on the epicdec
+// chain loop (§5.4: 16 entries overflow under MDC).
+func BenchmarkAblationABSize(b *testing.B) {
+	bench, err := mediabench.Get("epicdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, entries := range []int{0, 16, 64} {
+			cfg := arch.Default().WithInterleave(bench.Interleave)
+			if entries > 0 {
+				cfg = cfg.WithAttractionBuffers(entries)
+			}
+			run, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch entries {
+			case 0:
+				b.ReportMetric(run.Stats.LocalHitRatio(), "localhit_noab")
+			case 16:
+				b.ReportMetric(run.Stats.LocalHitRatio(), "localhit_ab16")
+			case 64:
+				b.ReportMetric(run.Stats.LocalHitRatio(), "localhit_ab64")
+			}
+		}
+	}
+}
+
+// Component micro-benchmarks.
+
+func BenchmarkDDGBuild(b *testing.B) {
+	bench, err := mediabench.Get("epicdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop := bench.Loops[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildDDG(loop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	bench, err := mediabench.Get("pgpdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop := bench.Loops[0]
+	cfg := DefaultConfig().WithInterleave(bench.Interleave)
+	prof := ProfileLoop(loop, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := Prepare(loop, PolicyMDC, cfg.NumClusters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: prof}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulator(b *testing.B) {
+	bench, err := mediabench.Get("gsmdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop := bench.Loops[0]
+	cfg := DefaultConfig().WithInterleave(bench.Interleave)
+	plan, err := Prepare(loop, PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: ProfileLoop(loop, cfg)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sc, benchSimOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLayouts compares the word-interleaved and replicated cache
+// layouts (§2.3) under MDC and DDGT on one chain-heavy benchmark.
+func BenchmarkLayouts(b *testing.B) {
+	bench, err := mediabench.Get("pgpdec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
+			cfg := arch.Default().WithInterleave(bench.Interleave).WithLayout(layout)
+			mdc, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dt, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio := float64(dt.Stats.Cycles()) / float64(mdc.Stats.Cycles())
+			if layout == arch.LayoutReplicated {
+				b.ReportMetric(ratio, "ddgt_vs_mdc_replicated")
+			} else {
+				b.ReportMetric(ratio, "ddgt_vs_mdc_interleaved")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationOrdering compares the two scheduler priority orders
+// (Rau height vs swing-style slack) over the suite's main loops.
+func BenchmarkAblationOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var hII, sII int
+		for _, bench := range mediabench.Figures() {
+			cfg := DefaultConfig().WithInterleave(bench.Interleave)
+			loop := bench.Loops[0]
+			plan, err := Prepare(loop, PolicyMDC, cfg.NumClusters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof := ProfileLoop(loop, cfg)
+			h, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: prof})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: prof, Order: OrderSlack})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hII += h.II
+			sII += s.II
+		}
+		b.ReportMetric(float64(hII), "total_ii_height")
+		b.ReportMetric(float64(sII), "total_ii_slack")
+	}
+}

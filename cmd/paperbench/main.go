@@ -1,0 +1,95 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation on the synthesized Mediabench suite.
+//
+// Usage:
+//
+//	paperbench                       # everything
+//	paperbench -table 3              # one table (1..5)
+//	paperbench -figure 7             # one figure (6, 7 or 9)
+//	paperbench -experiment nobal     # §4.2 unbalanced buses
+//	paperbench -experiment epicloop  # §5.4 case study
+//	paperbench -maxiters 500         # quick run (cap iterations per loop)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1..5); 0 = per other flags")
+	figure := flag.Int("figure", 0, "regenerate one figure (6, 7 or 9); 0 = per other flags")
+	experiment := flag.String("experiment", "", "named experiment: nobal, epicloop, layouts, hybrid")
+	maxIters := flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
+	flag.Parse()
+
+	opts := sim.Options{MaxIterations: *maxIters}
+
+	all := *table == 0 && *figure == 0 && *experiment == ""
+	run := func(name string, f func() (string, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	var base, ab *experiments.Suite
+	suite := func() *experiments.Suite {
+		if base == nil {
+			base = experiments.NewSuite(arch.Default())
+			base.SimOptions = opts
+		}
+		return base
+	}
+	abSuite := func() *experiments.Suite {
+		if ab == nil {
+			ab = experiments.NewSuite(arch.Default().WithAttractionBuffers(16))
+			ab.SimOptions = opts
+		}
+		return ab
+	}
+
+	if all || *table == 1 {
+		fmt.Println(experiments.Table1())
+	}
+	if all || *table == 2 {
+		fmt.Println(experiments.Table2(arch.Default()))
+	}
+	if all || *figure == 6 {
+		run("figure 6", func() (string, error) { return experiments.Figure6(suite()) })
+	}
+	if all || *figure == 7 {
+		run("figure 7", func() (string, error) { return experiments.Figure7(suite()) })
+	}
+	if all || *table == 3 {
+		fmt.Println(experiments.Table3())
+	}
+	if all || *table == 4 {
+		run("table 4", func() (string, error) { return experiments.Table4(suite()) })
+	}
+	if all || *experiment == "nobal" {
+		run("nobal", func() (string, error) { return experiments.Nobal(opts) })
+	}
+	if all || *figure == 9 {
+		run("figure 9", func() (string, error) { return experiments.Figure9(abSuite()) })
+	}
+	if all || *experiment == "epicloop" {
+		run("epicloop", func() (string, error) { return experiments.EpicLoop(opts) })
+	}
+	if all || *experiment == "layouts" {
+		run("layouts", func() (string, error) { return experiments.Layouts(opts) })
+	}
+	if all || *experiment == "hybrid" {
+		run("hybrid", func() (string, error) { return experiments.Hybrid(opts) })
+	}
+	if all || *table == 5 {
+		fmt.Println(experiments.Table5())
+	}
+}

@@ -1,0 +1,210 @@
+// Command vliwsim compiles and simulates one synthesized Mediabench
+// benchmark (or all of them) on the word-interleaved cache clustered VLIW
+// processor under a chosen coherence policy and cluster heuristic.
+//
+// Usage:
+//
+//	vliwsim -list
+//	vliwsim -bench pgpdec -policy mdc -heuristic prefclus
+//	vliwsim -bench epicdec -policy ddgt -ab 16 -coherence
+//	vliwsim -bench all -policy hybrid -maxiters 1000
+//	vliwsim -bench rasta -policy mdc -config nobal+reg -schedule
+//	vliwsim -loopfile myloop.json -policy ddgt -coherence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vliwcache"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		bench     = flag.String("bench", "pgpdec", "benchmark name, or 'all'")
+		policy    = flag.String("policy", "mdc", "coherence policy: free, mdc, ddgt, hybrid")
+		heuristic = flag.String("heuristic", "prefclus", "cluster heuristic: prefclus, mincoms")
+		config    = flag.String("config", "default", "architecture: default, nobal+mem, nobal+reg")
+		ab        = flag.Int("ab", 0, "attraction buffer entries per cluster (0 = off)")
+		loopfile  = flag.String("loopfile", "", "run a single loop from a JSON file instead of a benchmark")
+		layout    = flag.String("layout", "interleaved", "cache layout: interleaved, replicated")
+		maxIters  = flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
+		coherence = flag.Bool("coherence", false, "run the memory ordering checker")
+		schedule  = flag.Bool("schedule", false, "print the modulo schedules")
+		rep       = flag.Bool("report", false, "print detailed per-loop reports (II decomposition, utilization)")
+		words     = flag.Bool("words", false, "print the kernels as VLIW instruction words")
+		tracePath = flag.String("trace", "", "write a CSV access trace to this file (single -loopfile runs only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range vliwcache.Benchmarks() {
+			fmt.Printf("%-10s interleave %dB, main data %dB (%.1f%%), inputs %s / %s\n",
+				b.Name, b.Interleave, b.MainDataSize, b.MainDataPct, b.ProfileInput, b.ExecInput)
+		}
+		return
+	}
+
+	var cfg vliwcache.Config
+	switch strings.ToLower(*config) {
+	case "default":
+		cfg = vliwcache.DefaultConfig()
+	case "nobal+mem":
+		cfg = vliwcache.NobalMemConfig()
+	case "nobal+reg":
+		cfg = vliwcache.NobalRegConfig()
+	default:
+		fatalf("unknown -config %q", *config)
+	}
+	switch strings.ToLower(*layout) {
+	case "interleaved":
+	case "replicated":
+		cfg = cfg.WithLayout(vliwcache.LayoutReplicated)
+	default:
+		fatalf("unknown -layout %q", *layout)
+	}
+	if *ab > 0 {
+		cfg = cfg.WithAttractionBuffers(*ab)
+	}
+
+	var pol vliwcache.Policy
+	hybrid := false
+	switch strings.ToLower(*policy) {
+	case "free":
+		pol = vliwcache.PolicyFree
+	case "mdc":
+		pol = vliwcache.PolicyMDC
+	case "ddgt":
+		pol = vliwcache.PolicyDDGT
+	case "hybrid":
+		hybrid = true
+	default:
+		fatalf("unknown -policy %q", *policy)
+	}
+
+	var h vliwcache.Heuristic
+	switch strings.ToLower(*heuristic) {
+	case "prefclus":
+		h = vliwcache.PrefClus
+	case "mincoms":
+		h = vliwcache.MinComs
+	default:
+		fatalf("unknown -heuristic %q", *heuristic)
+	}
+
+	if *loopfile != "" {
+		runLoopFile(*loopfile, cfg, pol, hybrid, h, *maxIters, *coherence, *schedule, *rep, *tracePath)
+		return
+	}
+	if *tracePath != "" {
+		fatalf("-trace requires -loopfile")
+	}
+
+	var benches []*vliwcache.Benchmark
+	if *bench == "all" {
+		benches = vliwcache.Benchmarks()
+	} else {
+		b, err := vliwcache.BenchmarkByName(*bench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		benches = append(benches, b)
+	}
+
+	for _, b := range benches {
+		bcfg := cfg.WithInterleave(b.Interleave)
+		fmt.Printf("== %s  (%s) ==\n", b.Name, bcfg)
+		var total vliwcache.Stats
+		for _, loop := range b.Loops {
+			opts := vliwcache.ExecOptions{
+				Arch:      bcfg,
+				Policy:    pol,
+				Heuristic: h,
+				Sim: vliwcache.SimOptions{
+					MaxIterations:  *maxIters,
+					CheckCoherence: *coherence,
+				},
+			}
+			run := vliwcache.Execute
+			if hybrid {
+				run = vliwcache.ExecuteHybrid
+			}
+			res, err := run(loop, opts)
+			if err != nil {
+				fatalf("%s/%s: %v", b.Name, loop.Name, err)
+			}
+			polName := pol.String()
+			if hybrid {
+				polName = "HYBRID->" + res.Plan.Policy.String()
+			}
+			fmt.Printf("  %-24s %-14s II=%-4d comms=%-3d %s\n",
+				loop.Name, polName, res.Schedule.II, res.Schedule.CommOps(), res.Stats)
+			if *schedule {
+				fmt.Print(res.Schedule)
+			}
+			if *rep {
+				fmt.Println(vliwcache.Report(res.Schedule, res.Stats))
+			}
+			if *words {
+				fmt.Println(res.Schedule.Words())
+			}
+			total.Add(res.Stats)
+		}
+		fmt.Printf("  TOTAL: %s\n\n", &total)
+	}
+}
+
+// runLoopFile loads one loop from a JSON file and runs the full pipeline.
+func runLoopFile(path string, cfg vliwcache.Config, pol vliwcache.Policy, hybrid bool,
+	h vliwcache.Heuristic, maxIters int64, coherence, schedule, rep bool, tracePath string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loop, err := vliwcache.DecodeLoopJSON(data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := vliwcache.ExecOptions{
+		Arch:      cfg,
+		Policy:    pol,
+		Heuristic: h,
+		Sim:       vliwcache.SimOptions{MaxIterations: maxIters, CheckCoherence: coherence},
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		opts.Sim.Trace = f
+	}
+	run := vliwcache.Execute
+	if hybrid {
+		run = vliwcache.ExecuteHybrid
+	}
+	res, err := run(loop, opts)
+	if err != nil {
+		fatalf("%s: %v", loop.Name, err)
+	}
+	polName := res.Plan.Policy.String()
+	if hybrid {
+		polName = "HYBRID->" + polName
+	}
+	fmt.Printf("%s (%s)\n", loop.Name, cfg)
+	fmt.Printf("  %-14s II=%-4d comms=%-3d %s\n", polName, res.Schedule.II, res.Schedule.CommOps(), res.Stats)
+	if schedule {
+		fmt.Print(res.Schedule)
+	}
+	if rep {
+		fmt.Println(vliwcache.Report(res.Schedule, res.Stats))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vliwsim: "+format+"\n", args...)
+	os.Exit(1)
+}

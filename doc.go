@@ -1,0 +1,54 @@
+// Package vliwcache is a library-quality reproduction of "Local Scheduling
+// Techniques for Memory Coherence in a Clustered VLIW Processor with a
+// Distributed Data Cache" (Gibert, Sánchez & González, CGO 2003).
+//
+// A word-interleaved cache clustered VLIW processor distributes the data
+// cache across clusters. Memory instructions scheduled in different
+// clusters can reach the cache banks out of program order, so aliased
+// accesses can corrupt memory. The paper — and this package — provides two
+// compiler-only answers, applied to modulo-scheduled loops:
+//
+//   - MDC: memory dependent chains. Connected components of the memory
+//     dependence subgraph are pinned to a single cluster, whose in-order
+//     issue serializes them (PolicyMDC).
+//
+//   - DDGT: data dependence graph transformations. Dependent stores are
+//     replicated once per cluster (only the dynamic home instance
+//     executes) and memory anti dependences become SYNC edges anchored at
+//     a consumer of the load — stall-on-use makes the consumer's issue a
+//     proof the load completed (PolicyDDGT).
+//
+// The package bundles everything needed to reproduce the paper end to end:
+// a loop IR with affine address expressions, a dependence analyzer and
+// disambiguator, a clustered iterative modulo scheduler with the PrefClus
+// and MinComs cluster-assignment heuristics and cache-sensitive latency
+// assignment, a cycle-level simulator of the distributed cache (memory
+// buses, request combining, Attraction Buffers, stall-on-use, a coherence
+// checker), a synthesized Mediabench-like workload suite, and harnesses
+// regenerating every table and figure of the evaluation.
+//
+// # Quick start
+//
+//	b := vliwcache.NewBuilder("daxpy")
+//	b.Symbol("x", 0x10000, 1<<20)
+//	b.Symbol("y", 0x80000, 1<<20)
+//	a := b.Reg()
+//	x := b.Load("ldx", vliwcache.AddrExpr{Base: "x", Stride: 8, Size: 8})
+//	y := b.Load("ldy", vliwcache.AddrExpr{Base: "y", Stride: 8, Size: 8})
+//	s := b.Arith("fma", vliwcache.KindFMul, a, x)
+//	r := b.Arith("sum", vliwcache.KindFAdd, s, y)
+//	b.Store("sty", vliwcache.AddrExpr{Base: "y", Stride: 8, Size: 8}, r)
+//	loop := b.Loop()
+//
+//	res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
+//		Arch:      vliwcache.DefaultConfig(),
+//		Policy:    vliwcache.PolicyMDC,
+//		Heuristic: vliwcache.PrefClus,
+//	})
+//
+// res.Stats then carries cycle counts (compute/stall), the access
+// classification (local/remote × hit/miss, combined), and — with
+// CheckCoherence set — the count of memory ordering violations, which is
+// zero under PolicyMDC and PolicyDDGT and generally nonzero under the
+// optimistic PolicyFree baseline on aliased loops.
+package vliwcache

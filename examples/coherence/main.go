@@ -1,0 +1,68 @@
+// Coherence reproduces the memory coherence problem itself (Figure 2): a
+// store to X scheduled in cluster 4 races the aliased load in cluster 1.
+// The store's update crosses a 2-cycle memory bus, so when X is homed in
+// the load's cluster the load reads the bank before the update lands. The
+// hand-built schedule is exactly the figure's; the simulator's coherence
+// checker counts the resulting ordering violations. MDC and DDGT schedules
+// of the same loop are then shown to be violation-free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vliwcache"
+)
+
+func main() {
+	b := vliwcache.NewBuilder("figure2")
+	b.Symbol("X", 0x10000, 1<<20)
+	b.Trip(4000, 1)
+	val := b.Reg()
+	b.Store("st", vliwcache.AddrExpr{Base: "X", Stride: 4, Size: 4}, val)
+	r := b.Load("ld", vliwcache.AddrExpr{Base: "X", Stride: 4, Size: 4})
+	b.Arith("use", vliwcache.KindAdd, r)
+	loop := b.Loop()
+
+	cfg := vliwcache.DefaultConfig()
+
+	// The optimistic baseline with Figure 2's exact placement: store in
+	// cluster 4 (index 3), load and its consumer in cluster 1 (index 1).
+	plan, err := vliwcache.Prepare(loop, vliwcache.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := &vliwcache.Schedule{
+		Plan:    plan,
+		Arch:    cfg,
+		II:      2,
+		Length:  3,
+		Cycle:   []int{0, 1, 2},
+		Cluster: []int{3, 1, 1},
+		Lat:     []int{1, 1, 1},
+	}
+	if err := vliwcache.ValidateSchedule(sc); err != nil {
+		log.Fatal(err)
+	}
+	st, err := vliwcache.Simulate(sc, vliwcache.SimOptions{CheckCoherence: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FREE (Figure 2 placement): %d iterations, %d ordering violations\n",
+		st.Iterations, st.Violations)
+	fmt.Println("  -> the load reads stale values whenever X is homed in its cluster")
+
+	for _, pol := range []vliwcache.Policy{vliwcache.PolicyMDC, vliwcache.PolicyDDGT} {
+		res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
+			Arch:      cfg,
+			Policy:    pol,
+			Heuristic: vliwcache.MinComs,
+			Sim:       vliwcache.SimOptions{CheckCoherence: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v: %d iterations, %d ordering violations\n",
+			pol, res.Stats.Iterations, res.Stats.Violations)
+	}
+}

@@ -1,0 +1,66 @@
+// Mediabench runs one synthesized benchmark of the suite across the
+// paper's four (policy, heuristic) variants and prints a per-loop and
+// aggregate comparison. Pass a benchmark name as the first argument
+// (default: pgpdec).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vliwcache"
+)
+
+func main() {
+	name := "pgpdec"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench, err := vliwcache.BenchmarkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := vliwcache.DefaultConfig().WithInterleave(bench.Interleave)
+	fmt.Printf("benchmark %s (interleave %dB, main data %dB)\n\n",
+		bench.Name, bench.Interleave, bench.MainDataSize)
+
+	type variant struct {
+		pol vliwcache.Policy
+		h   vliwcache.Heuristic
+	}
+	variants := []variant{
+		{vliwcache.PolicyFree, vliwcache.MinComs},
+		{vliwcache.PolicyMDC, vliwcache.PrefClus},
+		{vliwcache.PolicyMDC, vliwcache.MinComs},
+		{vliwcache.PolicyDDGT, vliwcache.PrefClus},
+		{vliwcache.PolicyDDGT, vliwcache.MinComs},
+	}
+
+	var baseline int64
+	for _, v := range variants {
+		var total vliwcache.Stats
+		fmt.Printf("%v(%v):\n", v.pol, v.h)
+		for _, loop := range bench.Loops {
+			res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
+				Arch:      cfg,
+				Policy:    v.pol,
+				Heuristic: v.h,
+				Sim:       vliwcache.SimOptions{MaxIterations: 1500},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-22s II=%-3d comms=%-3d cycles=%-9d localhit=%.1f%%\n",
+				loop.Name, res.Schedule.II, res.Schedule.CommOps(),
+				res.Stats.Cycles(), 100*res.Stats.LocalHitRatio())
+			total.Add(res.Stats)
+		}
+		if v.pol == vliwcache.PolicyFree {
+			baseline = total.Cycles()
+		}
+		norm := float64(total.Cycles()) / float64(baseline)
+		fmt.Printf("  total %d cycles (%.3f of baseline), compute %d, stall %d\n\n",
+			total.Cycles(), norm, total.ComputeCycles, total.StallCycles)
+	}
+}

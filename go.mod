@@ -1,0 +1,3 @@
+module vliwcache
+
+go 1.22

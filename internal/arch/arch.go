@@ -1,0 +1,288 @@
+// Package arch describes the machine model of a word-interleaved cache
+// clustered VLIW processor: the cluster count and functional-unit mix, the
+// geometry of the distributed data cache, the interconnect (register-to-
+// register buses and memory buses) and the next memory level.
+//
+// The default configuration reproduces Table 2 of Gibert, Sánchez &
+// González (CGO 2003); the NOBAL+MEM and NOBAL+REG variants of §4.2 and the
+// Attraction Buffer configuration of §5 are provided as derived configs.
+package arch
+
+import "fmt"
+
+// Layout selects how the distributed data cache is organized across
+// clusters. The paper proposes and evaluates its techniques on the
+// word-interleaved layout but notes (§2.3) that they apply to "any
+// clustered configuration where the data cache has been clustered as
+// well, such as the multiVLIW or a replicated-cache clustered VLIW
+// processor"; the replicated layout models the latter.
+type Layout int
+
+const (
+	// LayoutWordInterleaved distributes each cache block word-interleaved
+	// across the clusters: address bytes [k·I, (k+1)·I) are homed in
+	// cluster k mod N. Accesses to remote homes cross the memory buses.
+	LayoutWordInterleaved Layout = iota
+
+	// LayoutReplicated gives every cluster a full copy of the cache.
+	// Loads are always satisfied locally; a store must update every
+	// cluster's copy — either by broadcasting over the memory buses
+	// (baseline and MDC) or, under DDGT store replication, by the
+	// instance in each cluster updating its local copy directly. The
+	// replication divides effective capacity by the cluster count.
+	LayoutReplicated
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutWordInterleaved:
+		return "word-interleaved"
+	case LayoutReplicated:
+		return "replicated"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// Config is the full machine description used by the scheduler and the
+// simulator. The zero value is not valid; use Default or a variant
+// constructor and adjust fields as needed, then call Validate.
+type Config struct {
+	// Layout is the cache organization; the zero value is the paper's
+	// word-interleaved layout.
+	Layout Layout
+
+	// NumClusters is the number of clusters. Each cluster owns a register
+	// file, one slice of the functional units, and one cache module.
+	NumClusters int
+
+	// Per-cluster functional unit counts.
+	IntUnits int // integer ALUs per cluster
+	FPUnits  int // floating-point units per cluster
+	MemUnits int // memory (load/store) ports per cluster
+
+	// Cache geometry. The total cache of CacheBytes is split evenly among
+	// clusters. Blocks are BlockBytes wide and distributed word-interleaved
+	// among the clusters with an interleaving factor of InterleaveBytes:
+	// bytes [k*I, (k+1)*I) of the address space map to cluster
+	// (k mod NumClusters). The words of a block residing in one cluster
+	// form a "subblock" of BlockBytes/NumClusters bytes.
+	CacheBytes      int
+	BlockBytes      int
+	CacheAssoc      int
+	InterleaveBytes int
+	CacheHitLatency int // latency of a local cache module hit
+
+	// Register-to-register communication buses. These are statically
+	// scheduled by the compiler: an inter-cluster copy occupies one bus for
+	// RegBusLatency cycles. The buses run at a fraction of the core
+	// frequency, which is already folded into RegBusLatency.
+	RegBuses      int
+	RegBusLatency int
+
+	// Memory buses carry remote cache accesses and cache refills. They are
+	// dynamically arbitrated at run time (latency as seen by the program is
+	// non-deterministic). One hop (request or reply) occupies a bus for
+	// MemBusLatency cycles.
+	MemBuses      int
+	MemBusLatency int
+
+	// Next memory level (always hits in the paper's model).
+	NextLevelLatency int // total latency of a next-level access
+	NextLevelPorts   int
+
+	// Attraction Buffers (per-cluster buffers caching remote subblocks).
+	// ABEntries == 0 disables them.
+	ABEntries int
+	ABAssoc   int
+}
+
+// Default returns the baseline configuration of Table 2 of the paper:
+// 4 clusters, 1 INT + 1 FP + 1 MEM unit per cluster, 8KB total cache in
+// four 2KB modules (32-byte blocks, 2-way, 1-cycle hit), 4 register buses
+// and 4 memory buses at half the core frequency (2-cycle hops), and a
+// 10-cycle always-hit next level with 4 ports. Attraction Buffers are off.
+func Default() Config {
+	return Config{
+		NumClusters:      4,
+		IntUnits:         1,
+		FPUnits:          1,
+		MemUnits:         1,
+		CacheBytes:       8 * 1024,
+		BlockBytes:       32,
+		CacheAssoc:       2,
+		InterleaveBytes:  4,
+		CacheHitLatency:  1,
+		RegBuses:         4,
+		RegBusLatency:    2,
+		MemBuses:         4,
+		MemBusLatency:    2,
+		NextLevelLatency: 10,
+		NextLevelPorts:   4,
+		ABEntries:        0,
+		ABAssoc:          2,
+	}
+}
+
+// NobalMem returns the NOBAL+MEM variant of §4.2: four 2-cycle memory buses
+// but only two 4-cycle register-to-register buses.
+func NobalMem() Config {
+	c := Default()
+	c.MemBuses, c.MemBusLatency = 4, 2
+	c.RegBuses, c.RegBusLatency = 2, 4
+	return c
+}
+
+// NobalReg returns the NOBAL+REG variant of §4.2: two 4-cycle memory buses
+// and four 2-cycle register-to-register buses.
+func NobalReg() Config {
+	c := Default()
+	c.MemBuses, c.MemBusLatency = 2, 4
+	c.RegBuses, c.RegBusLatency = 4, 2
+	return c
+}
+
+// WithAttractionBuffers returns a copy of c with 2-way set-associative
+// Attraction Buffers of the given number of entries in every cluster
+// (16 entries in §5 of the paper).
+func (c Config) WithAttractionBuffers(entries int) Config {
+	c.ABEntries = entries
+	c.ABAssoc = 2
+	return c
+}
+
+// WithInterleave returns a copy of c using the given interleaving factor in
+// bytes. The paper uses 4 bytes for epicdec, jpegdec, jpegenc, mpeg2dec,
+// pgpdec, pgpenc and rasta, and 2 bytes for the rest.
+func (c Config) WithInterleave(bytes int) Config {
+	c.InterleaveBytes = bytes
+	return c
+}
+
+// WithLayout returns a copy of c using the given cache layout.
+func (c Config) WithLayout(l Layout) Config {
+	c.Layout = l
+	return c
+}
+
+// Replicated reports whether the cache layout replicates every block in
+// every cluster.
+func (c Config) Replicated() bool { return c.Layout == LayoutReplicated }
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.NumClusters < 1:
+		return fmt.Errorf("arch: NumClusters must be >= 1, got %d", c.NumClusters)
+	case c.IntUnits < 1 || c.MemUnits < 1:
+		return fmt.Errorf("arch: each cluster needs at least one integer and one memory unit")
+	case c.FPUnits < 0:
+		return fmt.Errorf("arch: FPUnits must be >= 0, got %d", c.FPUnits)
+	case c.CacheBytes <= 0 || c.BlockBytes <= 0:
+		return fmt.Errorf("arch: cache and block sizes must be positive")
+	case c.InterleaveBytes <= 0 || c.InterleaveBytes&(c.InterleaveBytes-1) != 0:
+		return fmt.Errorf("arch: InterleaveBytes must be a positive power of two, got %d", c.InterleaveBytes)
+	case c.CacheBytes%(c.NumClusters*c.BlockBytes) != 0:
+		return fmt.Errorf("arch: cache size %d not divisible into %d modules of %d-byte blocks",
+			c.CacheBytes, c.NumClusters, c.BlockBytes)
+	case c.BlockBytes%(c.NumClusters*c.InterleaveBytes) != 0:
+		return fmt.Errorf("arch: block size %d must be a multiple of NumClusters*InterleaveBytes = %d",
+			c.BlockBytes, c.NumClusters*c.InterleaveBytes)
+	case c.CacheAssoc < 1:
+		return fmt.Errorf("arch: CacheAssoc must be >= 1, got %d", c.CacheAssoc)
+	case c.CacheHitLatency < 1:
+		return fmt.Errorf("arch: CacheHitLatency must be >= 1, got %d", c.CacheHitLatency)
+	case c.RegBuses < 1 && c.NumClusters > 1:
+		return fmt.Errorf("arch: a clustered machine needs at least one register bus")
+	case c.MemBuses < 1 && c.NumClusters > 1:
+		return fmt.Errorf("arch: a clustered machine needs at least one memory bus")
+	case c.RegBusLatency < 1 || c.MemBusLatency < 1:
+		return fmt.Errorf("arch: bus latencies must be >= 1")
+	case c.NextLevelLatency < 1 || c.NextLevelPorts < 1:
+		return fmt.Errorf("arch: next level needs positive latency and ports")
+	case c.ABEntries < 0:
+		return fmt.Errorf("arch: ABEntries must be >= 0, got %d", c.ABEntries)
+	case c.ABEntries > 0 && c.ABAssoc < 1:
+		return fmt.Errorf("arch: ABAssoc must be >= 1 when Attraction Buffers are enabled")
+	case c.Replicated() && c.ABEntries > 0:
+		return fmt.Errorf("arch: Attraction Buffers are meaningless under a replicated cache (every access is already local)")
+	}
+	return nil
+}
+
+// ModuleBytes returns the capacity in bytes of one per-cluster cache module.
+func (c Config) ModuleBytes() int { return c.CacheBytes / c.NumClusters }
+
+// SubblockBytes returns the number of bytes of each cache block that reside
+// in a single cluster: a word-interleaved module holds 1/N of each block,
+// a replicated module holds whole blocks (so the same module capacity
+// caches N times fewer distinct blocks).
+func (c Config) SubblockBytes() int {
+	if c.Replicated() {
+		return c.BlockBytes
+	}
+	return c.BlockBytes / c.NumClusters
+}
+
+// HomeCluster returns the cluster the given byte address is mapped to under
+// word interleaving.
+func (c Config) HomeCluster(addr uint64) int {
+	return int((addr / uint64(c.InterleaveBytes)) % uint64(c.NumClusters))
+}
+
+// BlockAddr returns the address of the cache block containing addr.
+func (c Config) BlockAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.BlockBytes-1)
+}
+
+// SubblockID identifies one subblock: the block address plus the home
+// cluster. Two accesses hit the same subblock iff their SubblockIDs match.
+type SubblockID struct {
+	Block   uint64
+	Cluster int
+}
+
+// Subblock returns the subblock identifier for the given address.
+func (c Config) Subblock(addr uint64) SubblockID {
+	return SubblockID{Block: c.BlockAddr(addr), Cluster: c.HomeCluster(addr)}
+}
+
+// AccessLatencies bundles the four static latency assumptions the scheduler
+// may assign to a memory instruction (§2.2: local hit, remote hit, local
+// miss, remote miss).
+type AccessLatencies struct {
+	LocalHit   int
+	RemoteHit  int
+	LocalMiss  int
+	RemoteMiss int
+}
+
+// Latencies derives the four scheduling latencies from the configuration.
+// A remote access adds a round trip over a memory bus; a miss adds the next
+// level latency.
+func (c Config) Latencies() AccessLatencies {
+	hop := c.MemBusLatency
+	return AccessLatencies{
+		LocalHit:   c.CacheHitLatency,
+		RemoteHit:  c.CacheHitLatency + 2*hop,
+		LocalMiss:  c.CacheHitLatency + c.NextLevelLatency,
+		RemoteMiss: c.CacheHitLatency + 2*hop + c.NextLevelLatency,
+	}
+}
+
+// String returns a short human-readable summary of the configuration.
+func (c Config) String() string {
+	ab := "off"
+	if c.ABEntries > 0 {
+		ab = fmt.Sprintf("%d-entry %d-way", c.ABEntries, c.ABAssoc)
+	}
+	layout := fmt.Sprintf("%dB interleave", c.InterleaveBytes)
+	if c.Replicated() {
+		layout = "replicated"
+	}
+	return fmt.Sprintf(
+		"%d clusters (%dI/%dF/%dM per cluster), %dKB cache (%dB blocks, %d-way, %s), %d reg buses (lat %d), %d mem buses (lat %d), L2 %dc/%dp, AB %s",
+		c.NumClusters, c.IntUnits, c.FPUnits, c.MemUnits,
+		c.CacheBytes/1024, c.BlockBytes, c.CacheAssoc, layout,
+		c.RegBuses, c.RegBusLatency, c.MemBuses, c.MemBusLatency,
+		c.NextLevelLatency, c.NextLevelPorts, ab)
+}

@@ -1,0 +1,155 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClusters != 4 || c.IntUnits != 1 || c.FPUnits != 1 || c.MemUnits != 1 {
+		t.Error("Table 2: 4 clusters with 1 FP + 1 Integer + 1 Memory each")
+	}
+	if c.CacheBytes != 8*1024 || c.BlockBytes != 32 || c.CacheAssoc != 2 || c.CacheHitLatency != 1 {
+		t.Error("Table 2: 8KB total, 32-byte blocks, 2-way, 1 cycle")
+	}
+	if c.RegBuses != 4 || c.RegBusLatency != 2 || c.MemBuses != 4 || c.MemBusLatency != 2 {
+		t.Error("Table 2: 4+4 buses at half the core frequency")
+	}
+	if c.NextLevelLatency != 10 || c.NextLevelPorts != 4 {
+		t.Error("Table 2: 4 ports + 10 cycle next level")
+	}
+	if c.ModuleBytes() != 2048 {
+		t.Errorf("module = %d bytes, want 2048 (four 2KB modules)", c.ModuleBytes())
+	}
+	if c.SubblockBytes() != 8 {
+		t.Errorf("subblock = %d bytes, want 8", c.SubblockBytes())
+	}
+}
+
+func TestNobalVariants(t *testing.T) {
+	m := NobalMem()
+	if m.MemBuses != 4 || m.MemBusLatency != 2 || m.RegBuses != 2 || m.RegBusLatency != 4 {
+		t.Errorf("NOBAL+MEM mismatch: %+v", m)
+	}
+	r := NobalReg()
+	if r.MemBuses != 2 || r.MemBusLatency != 4 || r.RegBuses != 4 || r.RegBusLatency != 2 {
+		t.Errorf("NOBAL+REG mismatch: %+v", r)
+	}
+	for _, c := range []Config{m, r} {
+		if err := c.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestHomeClusterInterleaving(t *testing.T) {
+	c := Default() // interleave 4, 4 clusters
+	for addr, want := range map[uint64]int{
+		0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 12: 3, 15: 3, 16: 0, 20: 1,
+	} {
+		if got := c.HomeCluster(addr); got != want {
+			t.Errorf("HomeCluster(%d) = %d, want %d", addr, got, want)
+		}
+	}
+	c2 := c.WithInterleave(2)
+	for addr, want := range map[uint64]int{0: 0, 2: 1, 4: 2, 6: 3, 8: 0} {
+		if got := c2.HomeCluster(addr); got != want {
+			t.Errorf("I=2: HomeCluster(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestBlockDistributionProperty(t *testing.T) {
+	// Every block's bytes must spread evenly: exactly SubblockBytes per
+	// cluster, and Subblock must agree with HomeCluster and BlockAddr.
+	c := Default()
+	f := func(block uint32) bool {
+		base := uint64(block) * uint64(c.BlockBytes)
+		counts := make([]int, c.NumClusters)
+		for b := 0; b < c.BlockBytes; b++ {
+			addr := base + uint64(b)
+			h := c.HomeCluster(addr)
+			counts[h]++
+			sub := c.Subblock(addr)
+			if sub.Block != c.BlockAddr(addr) || sub.Cluster != h {
+				return false
+			}
+		}
+		for _, n := range counts {
+			if n != c.SubblockBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	l := Default().Latencies()
+	if l.LocalHit != 1 || l.RemoteHit != 5 || l.LocalMiss != 11 || l.RemoteMiss != 15 {
+		t.Errorf("latencies = %+v, want 1/5/11/15", l)
+	}
+	if !(l.LocalHit < l.RemoteHit && l.RemoteHit < l.LocalMiss && l.LocalMiss < l.RemoteMiss) {
+		t.Error("latency ordering must be LH < RH < LM < RM for the default config")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NumClusters = 0 },
+		func(c *Config) { c.IntUnits = 0 },
+		func(c *Config) { c.MemUnits = 0 },
+		func(c *Config) { c.FPUnits = -1 },
+		func(c *Config) { c.CacheBytes = 0 },
+		func(c *Config) { c.CacheBytes = 1000 }, // not divisible
+		func(c *Config) { c.BlockBytes = 24 },   // not divisible by N*I
+		func(c *Config) { c.CacheAssoc = 0 },
+		func(c *Config) { c.InterleaveBytes = 3 },
+		func(c *Config) { c.InterleaveBytes = 0 },
+		func(c *Config) { c.CacheHitLatency = 0 },
+		func(c *Config) { c.RegBuses = 0 },
+		func(c *Config) { c.MemBuses = 0 },
+		func(c *Config) { c.RegBusLatency = 0 },
+		func(c *Config) { c.NextLevelLatency = 0 },
+		func(c *Config) { c.NextLevelPorts = 0 },
+		func(c *Config) { c.ABEntries = -1 },
+		func(c *Config) { c.ABEntries = 16; c.ABAssoc = 0 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d must be rejected: %+v", i, c)
+		}
+	}
+}
+
+func TestWithAttractionBuffers(t *testing.T) {
+	c := Default().WithAttractionBuffers(16)
+	if c.ABEntries != 16 || c.ABAssoc != 2 {
+		t.Errorf("AB config = %d/%d", c.ABEntries, c.ABAssoc)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Default().ABEntries != 0 {
+		t.Error("WithAttractionBuffers must not mutate the receiver")
+	}
+}
+
+func TestStringMentionsAB(t *testing.T) {
+	if s := Default().String(); s == "" {
+		t.Error("empty String()")
+	}
+	c := Default().WithAttractionBuffers(16)
+	if s := c.String(); s == Default().String() {
+		t.Error("AB config must render differently")
+	}
+}

@@ -1,0 +1,135 @@
+// Package bus models the dynamically-arbitrated shared resources of the
+// architecture: the memory buses carrying remote accesses and refills
+// (whose latency is non-deterministic as seen by the compiler — §2.3,
+// footnote 2) and the ports of the next memory level.
+package bus
+
+// Arbiter hands out transfer slots on a set of identical buses. A transfer
+// occupies one bus for the bus latency. Reservations may be requested at
+// future instants (e.g. a reply leaving when the data is ready), so each
+// bus tracks its busy intervals and the arbiter books the earliest gap at
+// or after the requested time across all buses. Intervals wholly in the
+// past are pruned using the observation that request times never decrease
+// by more than the maximum in-flight span.
+type Arbiter struct {
+	lat  int64
+	busy [][]interval // per bus, sorted by start
+
+	floor int64 // lower bound on all future request times
+
+	Transfers int64
+	Waited    int64 // cycles requests spent waiting for a bus
+}
+
+type interval struct{ start, end int64 }
+
+// NewArbiter creates an arbiter over n buses with the given per-transfer
+// occupancy in cycles.
+func NewArbiter(n, lat int) *Arbiter {
+	return &Arbiter{lat: int64(lat), busy: make([][]interval, n)}
+}
+
+// Advance declares that every future Acquire time will be at or after t
+// (the processor's monotone issue clock), allowing intervals wholly in the
+// past to be pruned. Acquire itself never prunes: replies are booked at
+// future instants and must not retire intervals that earlier-timed
+// requests could still collide with.
+func (a *Arbiter) Advance(t int64) {
+	if t > a.floor {
+		a.floor = t
+		a.prune()
+	}
+}
+
+// Acquire grants a bus at the earliest time >= t, returning the transfer's
+// start and completion times.
+func (a *Arbiter) Acquire(t int64) (start, done int64) {
+	bestBus, bestStart := -1, int64(0)
+	for b := range a.busy {
+		s := a.earliestOn(b, t)
+		if bestBus < 0 || s < bestStart {
+			bestBus, bestStart = b, s
+		}
+	}
+	a.insert(bestBus, bestStart)
+	a.Transfers++
+	a.Waited += bestStart - t
+	return bestStart, bestStart + a.lat
+}
+
+// earliestOn finds the earliest gap of lat cycles on bus b at or after t.
+func (a *Arbiter) earliestOn(b int, t int64) int64 {
+	s := t
+	for _, iv := range a.busy[b] {
+		if iv.end <= s {
+			continue
+		}
+		if iv.start >= s+a.lat {
+			return s // gap before this interval fits
+		}
+		s = iv.end
+	}
+	return s
+}
+
+// insert books [s, s+lat) on bus b, keeping the list sorted.
+func (a *Arbiter) insert(b int, s int64) {
+	ivs := a.busy[b]
+	pos := len(ivs)
+	for i, iv := range ivs {
+		if iv.start > s {
+			pos = i
+			break
+		}
+	}
+	ivs = append(ivs, interval{})
+	copy(ivs[pos+1:], ivs[pos:])
+	ivs[pos] = interval{s, s + a.lat}
+	a.busy[b] = ivs
+}
+
+// prune drops intervals that can no longer conflict: Advance promised that
+// every future request time is >= floor, so intervals ending at or before
+// it are dead.
+func (a *Arbiter) prune() {
+	for b, ivs := range a.busy {
+		keep := ivs[:0]
+		for _, iv := range ivs {
+			if iv.end > a.floor {
+				keep = append(keep, iv)
+			}
+		}
+		a.busy[b] = keep
+	}
+}
+
+// Latency returns the per-transfer occupancy.
+func (a *Arbiter) Latency() int64 { return a.lat }
+
+// Ports models the next memory level's request ports: at most n requests
+// may start per cycle (the level itself is pipelined with a fixed total
+// latency).
+type Ports struct {
+	n      int
+	starts map[int64]int
+
+	Requests int64
+	Waited   int64
+}
+
+// NewPorts creates a port scheduler admitting n request starts per cycle.
+func NewPorts(n int) *Ports {
+	return &Ports{n: n, starts: make(map[int64]int)}
+}
+
+// Acquire returns the earliest cycle >= t at which a request may start.
+func (p *Ports) Acquire(t int64) int64 {
+	start := t
+	for p.starts[start] >= p.n {
+		start++
+	}
+	p.starts[start]++
+	p.Requests++
+	p.Waited += start - t
+	return start
+}

@@ -1,0 +1,137 @@
+package cache
+
+import "vliwcache/internal/arch"
+
+// abLine is one Attraction Buffer entry: a replicated remote subblock.
+type abLine struct {
+	sub     arch.SubblockID
+	valid   bool
+	dirty   bool
+	lastUse int64
+}
+
+// AttractionBuffer is a small per-cluster buffer acting as a cache for
+// remote subblocks (§5.1). When a cluster issues a remote request, the
+// whole remote subblock is returned and cached here; subsequent accesses to
+// it are satisfied locally until it is replaced or the buffer is flushed at
+// a loop boundary. Entries are kept coherent by the scheduling technique in
+// force (MDC confines modified data to one cluster; DDGT store instances
+// update the buffers of every cluster), never by hardware, so the buffer
+// itself holds only clean data and flushes are free.
+type AttractionBuffer struct {
+	sets  [][]abLine
+	nsets int
+
+	Hits, Misses, Inserts, Updates, Evictions, Flushes int64
+	DirtyWritebacks                                    int64
+}
+
+// NewAttractionBuffer builds a buffer with the given total entries and
+// associativity.
+func NewAttractionBuffer(entries, assoc int) *AttractionBuffer {
+	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
+		return nil
+	}
+	ab := &AttractionBuffer{nsets: entries / assoc}
+	ab.sets = make([][]abLine, ab.nsets)
+	for i := range ab.sets {
+		ab.sets[i] = make([]abLine, assoc)
+	}
+	return ab
+}
+
+func (ab *AttractionBuffer) set(sub arch.SubblockID) []abLine {
+	// Hash block address and home cluster into a set index.
+	h := sub.Block>>5 ^ uint64(sub.Cluster)*0x9e3779b9
+	return ab.sets[h%uint64(ab.nsets)]
+}
+
+// Lookup reports whether the subblock is present, updating LRU state and
+// hit/miss counters.
+func (ab *AttractionBuffer) Lookup(sub arch.SubblockID, t int64) bool {
+	set := ab.set(sub)
+	for i := range set {
+		if set[i].valid && set[i].sub == sub {
+			set[i].lastUse = t
+			ab.Hits++
+			return true
+		}
+	}
+	ab.Misses++
+	return false
+}
+
+// Insert caches a remote subblock fetched by a remote access, evicting the
+// LRU entry of its set.
+func (ab *AttractionBuffer) Insert(sub arch.SubblockID, t int64) {
+	set := ab.set(sub)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].sub == sub {
+			set[i].lastUse = t
+			return // already present
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		ab.Evictions++
+		if set[victim].dirty {
+			ab.DirtyWritebacks++
+		}
+	}
+	set[victim] = abLine{sub: sub, valid: true, lastUse: t}
+	ab.Inserts++
+}
+
+// Update refreshes the replicated copy of a subblock if present, without
+// changing its dirtiness (used by DDGT store instances, whose sibling
+// instance in the home cluster writes the home bank, so the copy stays
+// consistent with home). It reports whether a copy was present.
+func (ab *AttractionBuffer) Update(sub arch.SubblockID, t int64) bool {
+	set := ab.set(sub)
+	for i := range set {
+		if set[i].valid && set[i].sub == sub {
+			set[i].lastUse = t
+			ab.Updates++
+			return true
+		}
+	}
+	return false
+}
+
+// Write stores into the replicated copy of a subblock if present, marking
+// it dirty (MDC with Attraction Buffers: modified data is replicated in one
+// cluster only and written back to the home cluster when the buffer is
+// flushed at the loop boundary). It reports whether a copy was present.
+func (ab *AttractionBuffer) Write(sub arch.SubblockID, t int64) bool {
+	set := ab.set(sub)
+	for i := range set {
+		if set[i].valid && set[i].sub == sub {
+			set[i].lastUse = t
+			set[i].dirty = true
+			ab.Updates++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the buffer (loop boundary, §5.2/§5.3), counting dirty
+// entries that must update their home cluster.
+func (ab *AttractionBuffer) Flush() {
+	for _, set := range ab.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				ab.DirtyWritebacks++
+			}
+			set[i] = abLine{}
+		}
+	}
+	ab.Flushes++
+}

@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"vliwcache/internal/arch"
+)
+
+func newTestModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(2048, 8, 2, 32) // the paper's module geometry
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModuleHitMiss(t *testing.T) {
+	m := newTestModule(t)
+	if m.Access(0x1000, 1, false) {
+		t.Error("cold access must miss")
+	}
+	m.Fill(0x1000, 2, false)
+	if !m.Access(0x1000, 3, false) {
+		t.Error("filled block must hit")
+	}
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", m.Hits, m.Misses)
+	}
+}
+
+func TestModuleLRUWithinSet(t *testing.T) {
+	m := newTestModule(t)
+	// 128 sets: blocks k and k+128*32 map to the same set.
+	setSpan := uint64(128 * 32)
+	a, b, c := uint64(0), setSpan, 2*setSpan
+	m.Fill(a, 1, false)
+	m.Fill(b, 2, false)
+	m.Access(a, 3, false) // touch a: b becomes LRU
+	m.Fill(c, 4, false)   // evicts b
+	if !m.Contains(a) || m.Contains(b) || !m.Contains(c) {
+		t.Errorf("LRU eviction wrong: a=%v b=%v c=%v", m.Contains(a), m.Contains(b), m.Contains(c))
+	}
+	if m.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", m.Evictions)
+	}
+}
+
+func TestModuleDirtyWriteback(t *testing.T) {
+	m := newTestModule(t)
+	setSpan := uint64(128 * 32)
+	m.Fill(0, 1, true) // dirty store fill
+	m.Fill(setSpan, 2, false)
+	m.Fill(2*setSpan, 3, false) // evicts dirty block 0
+	if m.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", m.Writebacks)
+	}
+}
+
+func TestModuleStoreHitMarksDirty(t *testing.T) {
+	m := newTestModule(t)
+	setSpan := uint64(128 * 32)
+	m.Fill(0, 1, false)
+	m.Access(0, 2, true) // store hit dirties
+	m.Fill(setSpan, 3, false)
+	m.Fill(2*setSpan, 4, false)
+	if m.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", m.Writebacks)
+	}
+}
+
+func TestModuleGeometryRejected(t *testing.T) {
+	if _, err := NewModule(2048, 8, 3, 32); err == nil {
+		t.Error("2048/8=256 lines not divisible by 3-way must fail")
+	}
+	if _, err := NewModule(0, 8, 2, 32); err == nil {
+		t.Error("zero capacity must fail")
+	}
+}
+
+func TestModuleCapacityProperty(t *testing.T) {
+	// The module never holds more distinct blocks than it has lines.
+	m := newTestModule(t)
+	rng := rand.New(rand.NewSource(5))
+	inserted := make(map[uint64]bool)
+	for i := int64(0); i < 4000; i++ {
+		block := uint64(rng.Intn(1<<14)) * 32
+		if !m.Access(block, i, rng.Intn(2) == 0) {
+			m.Fill(block, i, false)
+		}
+		inserted[block] = true
+	}
+	resident := 0
+	for block := range inserted {
+		if m.Contains(block) {
+			resident++
+		}
+	}
+	if resident > 256 {
+		t.Errorf("%d blocks resident in a 256-line module", resident)
+	}
+	if m.Hits+m.Misses != 4000 {
+		t.Errorf("accesses not conserved: %d + %d", m.Hits, m.Misses)
+	}
+}
+
+func sub(block uint64, cl int) arch.SubblockID {
+	return arch.SubblockID{Block: block, Cluster: cl}
+}
+
+func TestABLookupInsert(t *testing.T) {
+	ab := NewAttractionBuffer(16, 2)
+	s := sub(0x1000, 2)
+	if ab.Lookup(s, 1) {
+		t.Error("empty buffer must miss")
+	}
+	ab.Insert(s, 2)
+	if !ab.Lookup(s, 3) {
+		t.Error("inserted subblock must hit")
+	}
+	// Same block homed in a different cluster is a different subblock.
+	if ab.Lookup(sub(0x1000, 3), 4) {
+		t.Error("subblock identity must include the home cluster")
+	}
+}
+
+func TestABInsertIdempotent(t *testing.T) {
+	ab := NewAttractionBuffer(16, 2)
+	s := sub(0x40, 1)
+	ab.Insert(s, 1)
+	ab.Insert(s, 2)
+	if ab.Inserts != 1 {
+		t.Errorf("re-inserting a resident subblock counted %d inserts", ab.Inserts)
+	}
+}
+
+func TestABWriteAndFlush(t *testing.T) {
+	ab := NewAttractionBuffer(16, 2)
+	s := sub(0x80, 3)
+	if ab.Write(s, 1) {
+		t.Error("write to absent subblock must miss")
+	}
+	ab.Insert(s, 2)
+	if !ab.Write(s, 3) {
+		t.Error("write to resident subblock must succeed")
+	}
+	ab.Flush()
+	if ab.DirtyWritebacks != 1 {
+		t.Errorf("dirty writebacks = %d, want 1", ab.DirtyWritebacks)
+	}
+	if ab.Lookup(s, 4) {
+		t.Error("flush must empty the buffer")
+	}
+}
+
+func TestABUpdateStaysClean(t *testing.T) {
+	ab := NewAttractionBuffer(16, 2)
+	s := sub(0xc0, 0)
+	ab.Insert(s, 1)
+	if !ab.Update(s, 2) {
+		t.Error("update of resident subblock must succeed")
+	}
+	ab.Flush()
+	if ab.DirtyWritebacks != 0 {
+		t.Errorf("DDGT updates are clean; writebacks = %d", ab.DirtyWritebacks)
+	}
+}
+
+func TestABCapacityEviction(t *testing.T) {
+	ab := NewAttractionBuffer(4, 2) // 2 sets x 2 ways
+	var subs []arch.SubblockID
+	for i := 0; i < 16; i++ {
+		s := sub(uint64(i)*32, i%4)
+		subs = append(subs, s)
+		ab.Insert(s, int64(i))
+	}
+	resident := 0
+	for _, s := range subs {
+		// Count without disturbing: use Update (no miss counter side effect
+		// beyond Updates).
+		if ab.Update(s, 100) {
+			resident++
+		}
+	}
+	if resident > 4 {
+		t.Errorf("%d subblocks resident in a 4-entry buffer", resident)
+	}
+	if ab.Evictions == 0 {
+		t.Error("evictions must have occurred")
+	}
+}
+
+func TestABInvalidGeometry(t *testing.T) {
+	if NewAttractionBuffer(0, 2) != nil || NewAttractionBuffer(5, 2) != nil || NewAttractionBuffer(4, 0) != nil {
+		t.Error("invalid geometries must return nil")
+	}
+}

@@ -1,0 +1,100 @@
+// Package cache models the distributed data cache of the word-interleaved
+// cache clustered VLIW processor: per-cluster cache modules (each caching
+// its cluster's subblock of every block), per-cluster Attraction Buffers
+// (§5, small buffers replicating remote subblocks), and the request
+// combining table for pending subblocks.
+package cache
+
+import "fmt"
+
+// line is one way of a set: it caches the subblock of one block.
+type line struct {
+	tag     uint64 // block address
+	valid   bool
+	dirty   bool
+	lastUse int64
+}
+
+// Module is one cluster's cache module: a set-associative cache over block
+// addresses, each line holding that cluster's subblock of the block.
+type Module struct {
+	sets       [][]line
+	nsets      uint64
+	blockBytes uint64
+
+	Hits, Misses, Evictions, Writebacks int64
+}
+
+// NewModule builds a module of the given capacity holding subblockBytes per
+// line with the given associativity.
+func NewModule(moduleBytes, subblockBytes, assoc, blockBytes int) (*Module, error) {
+	nlines := moduleBytes / subblockBytes
+	if nlines <= 0 || nlines%assoc != 0 {
+		return nil, fmt.Errorf("cache: %d lines of %dB not divisible by associativity %d",
+			nlines, subblockBytes, assoc)
+	}
+	m := &Module{nsets: uint64(nlines / assoc)}
+	m.sets = make([][]line, m.nsets)
+	for i := range m.sets {
+		m.sets[i] = make([]line, assoc)
+	}
+	m.blockBytes = uint64(blockBytes)
+	return m, nil
+}
+
+// Access looks up the subblock of the given block address at time t; store
+// accesses mark the line dirty on hit. It reports whether the access hit.
+// On a miss the caller is responsible for calling Fill once the subblock
+// arrives.
+func (m *Module) Access(block uint64, t int64, store bool) bool {
+	set := m.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].lastUse = t
+			if store {
+				set[i].dirty = true
+			}
+			m.Hits++
+			return true
+		}
+	}
+	m.Misses++
+	return false
+}
+
+// Fill inserts the subblock of the given block, evicting the LRU way.
+// store marks the freshly filled line dirty (write-allocate store miss).
+func (m *Module) Fill(block uint64, t int64, store bool) {
+	set := m.set(block)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		m.Evictions++
+		if set[victim].dirty {
+			m.Writebacks++
+		}
+	}
+	set[victim] = line{tag: block, valid: true, dirty: store, lastUse: t}
+}
+
+// Contains reports whether the subblock of block is cached (no LRU update).
+func (m *Module) Contains(block uint64) bool {
+	for _, l := range m.set(block) {
+		if l.valid && l.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Module) set(block uint64) []line {
+	return m.sets[(block/m.blockBytes)%m.nsets]
+}

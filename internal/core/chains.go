@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"vliwcache/internal/ddg"
+)
+
+// Chains computes the memory dependent chains of a DDG (§3.2): the
+// connected components, over memory dependence edges (MF/MA/MO), of the
+// loop's memory operations. Only components with at least two distinct ops
+// are chains — an isolated memory op needs no serialization and may be
+// scheduled freely. Chains are returned sorted by size (largest first),
+// each chain sorted by op ID; chainOf maps every chained op ID to its chain
+// index.
+func Chains(g *ddg.Graph) (chains [][]int, chainOf map[int]int) {
+	parent := make(map[int]int)
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for _, o := range g.Loop.MemOps() {
+		parent[o.ID] = o.ID
+	}
+	for _, e := range g.Edges() {
+		if e.Kind.IsMem() && e.From != e.To {
+			union(e.From, e.To)
+		}
+	}
+
+	groups := make(map[int][]int)
+	for _, o := range g.Loop.MemOps() {
+		r := find(o.ID)
+		groups[r] = append(groups[r], o.ID)
+	}
+	chainOf = make(map[int]int)
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Ints(members)
+		chains = append(chains, members)
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		if len(chains[i]) != len(chains[j]) {
+			return len(chains[i]) > len(chains[j])
+		}
+		return chains[i][0] < chains[j][0]
+	})
+	for idx, ch := range chains {
+		for _, id := range ch {
+			chainOf[id] = idx
+		}
+	}
+	return chains, chainOf
+}
+
+// ChainStats are the per-loop ratios of Table 3.
+type ChainStats struct {
+	// Biggest is the number of memory ops in the loop's biggest chain
+	// (0 when the loop has no chain).
+	Biggest int
+	// MemOps and Ops are the loop's static memory-op and total-op counts.
+	MemOps int
+	Ops    int
+}
+
+// CMR is the biggest-Chain-over-Memory-instructions Ratio.
+func (s ChainStats) CMR() float64 {
+	if s.MemOps == 0 {
+		return 0
+	}
+	return float64(s.Biggest) / float64(s.MemOps)
+}
+
+// CAR is the biggest-Chain-over-All-instructions Ratio.
+func (s ChainStats) CAR() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Biggest) / float64(s.Ops)
+}
+
+// AnalyzeChains computes the chain statistics of a DDG. Because every op of
+// an innermost loop executes once per iteration, the static ratios equal
+// the dynamic (per-iteration-weighted) ratios the paper reports for a
+// single loop; benchmark-level aggregation weights loops by their dynamic
+// instruction counts (see the experiments package).
+func AnalyzeChains(g *ddg.Graph) ChainStats {
+	chains, _ := Chains(g)
+	st := ChainStats{MemOps: len(g.Loop.MemOps()), Ops: len(g.Loop.Ops)}
+	if len(chains) > 0 {
+		st.Biggest = len(chains[0])
+	}
+	return st
+}

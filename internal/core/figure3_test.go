@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// figure3 hand-builds the worked example of the paper: the DDG of Figure 3
+// with ops n1 (load), n2 (load), n3 (store), n4 (store), n5 (add) and the
+// dependences described in §3. The loop body is constructed so that the
+// register flow edges (n1→n4, n2→n5) arise naturally; memory dependences
+// are added by hand to match the figure exactly.
+func figure3(t *testing.T) *ddg.Graph {
+	t.Helper()
+	b := ir.NewBuilder("figure3")
+	// Four distinct symbols: the affine tester proves them independent, so
+	// the memory dependences of the figure are added by hand below, as the
+	// unresolved dependences the paper's compiler could not discharge.
+	b.Symbol("A1", 0x1000, 4096)
+	b.Symbol("A2", 0x3000, 4096)
+	b.Symbol("A3", 0x5000, 4096)
+	b.Symbol("A4", 0x7000, 4096)
+	liveIn := b.Reg() // n3 stores a loop-invariant value (live-in register)
+	r1 := b.Load("n1", ir.AddrExpr{Base: "A1", Stride: 4, Size: 4})
+	r2 := b.Load("n2", ir.AddrExpr{Base: "A2", Stride: 4, Size: 4})
+	b.Store("n3", ir.AddrExpr{Base: "A3", Stride: 4, Size: 4}, liveIn)
+	b.Store("n4", ir.AddrExpr{Base: "A4", Stride: 4, Size: 4}, r1)
+	b.Arith("n5", ir.KindAdd, r2)
+	loop := b.Loop()
+
+	g := ddg.New(loop)
+	// Register flow, as in the figure: n4 is n1's only consumer, n5 is
+	// n2's only consumer.
+	g.AddEdge(0, 3, ddg.RF, 0, false) // n1 -> n4 (stored value)
+	g.AddEdge(1, 4, ddg.RF, 0, false) // n2 -> n5
+	// Memory flow (loop-carried: the stores feed next iteration's loads).
+	g.AddEdge(2, 0, ddg.MF, 1, true) // n3 -> n1
+	g.AddEdge(2, 1, ddg.MF, 1, true) // n3 -> n2
+	g.AddEdge(3, 1, ddg.MF, 1, true) // n4 -> n2
+	// Memory anti (the loads must read before the stores overwrite).
+	g.AddEdge(0, 2, ddg.MA, 0, true) // n1 -> n3: needs a fake consumer
+	g.AddEdge(0, 3, ddg.MA, 0, true) // n1 -> n4: redundant with RF n1->n4
+	g.AddEdge(1, 2, ddg.MA, 0, true) // n2 -> n3: SYNC n5 -> n3
+	g.AddEdge(1, 3, ddg.MA, 0, true) // n2 -> n4: SYNC n5 -> n4
+	// Memory output.
+	g.AddEdge(2, 3, ddg.MO, 0, true) // n3 -> n4
+	g.AddEdge(3, 2, ddg.MO, 1, true) // n4 -> n3 (loop-carried)
+	return g
+}
+
+func TestFigure3Chain(t *testing.T) {
+	g := figure3(t)
+	chains, chainOf := Chains(g)
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1: %v", len(chains), chains)
+	}
+	want := []int{0, 1, 2, 3} // {n1, n2, n3, n4}
+	if len(chains[0]) != len(want) {
+		t.Fatalf("chain = %v, want %v", chains[0], want)
+	}
+	for i, id := range want {
+		if chains[0][i] != id {
+			t.Fatalf("chain = %v, want %v", chains[0], want)
+		}
+	}
+	if _, ok := chainOf[4]; ok {
+		t.Errorf("n5 (non-memory) must not be in a chain")
+	}
+	st := AnalyzeChains(g)
+	if st.Biggest != 4 || st.MemOps != 4 || st.Ops != 5 {
+		t.Errorf("chain stats = %+v, want Biggest=4 MemOps=4 Ops=5", st)
+	}
+	if st.CMR() != 1.0 {
+		t.Errorf("CMR = %v, want 1.0", st.CMR())
+	}
+	if got, want := st.CAR(), 4.0/5.0; got != want {
+		t.Errorf("CAR = %v, want %v", got, want)
+	}
+}
+
+func TestFigure3Transform(t *testing.T) {
+	const n = 4 // clusters
+	g := figure3(t)
+	plan, err := Transform(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, tg := plan.Loop, plan.Graph
+
+	// The original loop and graph must be untouched.
+	if len(g.Loop.Ops) != 5 {
+		t.Fatalf("original loop mutated: %d ops", len(g.Loop.Ops))
+	}
+	for _, e := range g.Edges() {
+		if e.Kind == ddg.SYNC {
+			t.Fatalf("original graph mutated: %v", e)
+		}
+	}
+
+	// 5 original ops + 3 replicas of each store + 1 fake consumer of n1.
+	if got, want := len(loop.Ops), 5+2*(n-1)+1; got != want {
+		t.Fatalf("transformed loop has %d ops, want %d:\n%s", got, want, loop)
+	}
+	if len(plan.FakeConsumers) != 1 {
+		t.Fatalf("fake consumers = %v, want exactly 1", plan.FakeConsumers)
+	}
+	fc := loop.Ops[plan.FakeConsumers[0]]
+	if fc.Kind != ir.KindFakeUse || len(fc.Srcs) != 1 || fc.Srcs[0] != loop.Ops[0].Dst {
+		t.Errorf("fake consumer %v must read n1's destination", fc)
+	}
+
+	// Both stores replicated, instance k pinned to cluster k.
+	for _, orig := range []int{2, 3} {
+		group := plan.ReplicaGroups[orig]
+		if len(group) != n {
+			t.Fatalf("store %s has %d instances, want %d", loop.Ops[orig].Label(), len(group), n)
+		}
+		for k, id := range group {
+			if plan.ForceCluster[id] != k {
+				t.Errorf("instance %d of %s pinned to cluster %d, want %d",
+					id, loop.Ops[orig].Label(), plan.ForceCluster[id], k)
+			}
+		}
+	}
+
+	// No MA dependences survive.
+	for _, e := range tg.Edges() {
+		if e.Kind == ddg.MA {
+			t.Errorf("MA edge survived the transformation: %v", e)
+		}
+	}
+	if plan.RemovedMA == 0 {
+		t.Error("RemovedMA = 0, want > 0")
+	}
+
+	// n5 synchronizes every instance of n3 and of n4 (MA n2→n3, n2→n4).
+	for _, orig := range []int{2, 3} {
+		for _, inst := range plan.ReplicaGroups[orig] {
+			if !tg.HasEdge(4, inst, ddg.SYNC, 0) {
+				t.Errorf("missing SYNC n5 -> instance %d of %s", inst, loop.Ops[orig].Label())
+			}
+		}
+	}
+	// The fake consumer synchronizes every instance of n3 (MA n1→n3); the
+	// MA n1→n4 edges were redundant with RF n1→n4 so n4 instances must NOT
+	// be synchronized with the fake consumer.
+	for _, inst := range plan.ReplicaGroups[2] {
+		if !tg.HasEdge(fc.ID, inst, ddg.SYNC, 0) {
+			t.Errorf("missing SYNC NEW_CONS -> instance %d of n3", inst)
+		}
+	}
+	for _, inst := range plan.ReplicaGroups[3] {
+		if tg.HasEdge(fc.ID, inst, ddg.SYNC, 0) {
+			t.Errorf("unexpected SYNC NEW_CONS -> instance %d of n4 (MA was redundant)", inst)
+		}
+	}
+
+	// MO dependences are replicated between same-cluster instances only.
+	g3, g4 := plan.ReplicaGroups[2], plan.ReplicaGroups[3]
+	for k := 0; k < n; k++ {
+		if !tg.HasEdge(g3[k], g4[k], ddg.MO, 0) {
+			t.Errorf("missing MO n3[%d] -> n4[%d]", k, k)
+		}
+		if !tg.HasEdge(g4[k], g3[k], ddg.MO, 1) {
+			t.Errorf("missing loop-carried MO n4[%d] -> n3[%d]", k, k)
+		}
+		for j := 0; j < n; j++ {
+			if j != k && tg.HasEdge(g3[k], g4[j], ddg.MO, 0) {
+				t.Errorf("cross-cluster MO n3[%d] -> n4[%d] must not exist", k, j)
+			}
+		}
+	}
+
+	// Every instance of n4 receives the stored value (RF n1 -> instances);
+	// n3 stores a live-in so its instances have no RF inputs.
+	for _, inst := range plan.ReplicaGroups[3] {
+		if !tg.HasEdge(0, inst, ddg.RF, 0) {
+			t.Errorf("missing RF n1 -> instance %d of n4", inst)
+		}
+	}
+
+	// The transformed graph must admit a modulo schedule (no zero-distance
+	// cycles): RecMII must be finite and small.
+	lat := ddg.DefaultLatency(1)
+	if !tg.FeasibleII(16, lat) {
+		t.Fatal("transformed graph infeasible at II=16: unsatisfiable cycle created")
+	}
+}
+
+func TestFigure3TransformIdempotentClone(t *testing.T) {
+	g := figure3(t)
+	p1, err := Transform(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Transform(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Loop.Ops) != len(p2.Loop.Ops) || p1.Graph.NumEdges() != p2.Graph.NumEdges() {
+		t.Error("Transform is not deterministic across invocations on the same input")
+	}
+}
+
+func TestPrepareFree(t *testing.T) {
+	g := figure3(t)
+	plan, err := PrepareGraph(g, PolicyFree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Graph != g || plan.Loop != g.Loop {
+		t.Error("PolicyFree must not copy or transform the graph")
+	}
+	if len(plan.Chains) != 0 || len(plan.ForceCluster) != 0 {
+		t.Error("PolicyFree must carry no constraints")
+	}
+}
+
+func TestPrepareMDC(t *testing.T) {
+	g := figure3(t)
+	plan, err := PrepareGraph(g, PolicyMDC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chains) != 1 || len(plan.Chains[0]) != 4 {
+		t.Fatalf("MDC chains = %v", plan.Chains)
+	}
+}

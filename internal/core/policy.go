@@ -1,0 +1,117 @@
+// Package core implements the paper's contribution: the two local
+// scheduling techniques that guarantee serialization of aliased memory
+// instructions in a clustered VLIW processor with a distributed data cache.
+//
+//   - MDC (§3.2): memory dependent chains. Connected components of the
+//     memory-dependence subgraph are computed and every op of a component
+//     is constrained to the same cluster, where issue order serializes the
+//     accesses.
+//
+//   - DDGT (§3.3): data dependence graph transformations. Stores with
+//     memory dependences are replicated once per cluster (only the dynamic
+//     home instance executes); memory anti dependences are converted to
+//     SYNC dependences from a consumer of the load to the store,
+//     fabricating a fake consumer when needed.
+//
+// Both techniques are packaged as a Plan consumed by the modulo scheduler.
+// Code specialization (§6, Table 5) is also provided: it removes ambiguous
+// dependences that never materialize at run time, shrinking chains.
+package core
+
+import (
+	"fmt"
+
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// Policy selects how memory coherence is guaranteed (or not) when
+// assigning instructions to clusters.
+type Policy int
+
+const (
+	// PolicyFree schedules memory instructions in any cluster with no
+	// coherence guarantee. This is the paper's optimistic baseline: aliased
+	// accesses from different clusters can reach the banks out of program
+	// order and corrupt memory (the simulator's coherence checker counts
+	// such violations).
+	PolicyFree Policy = iota
+	// PolicyMDC builds memory dependent chains and pins each chain to one
+	// cluster.
+	PolicyMDC
+	// PolicyDDGT applies store replication and load–store synchronization,
+	// freeing loads to be scheduled anywhere.
+	PolicyDDGT
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFree:
+		return "FREE"
+	case PolicyMDC:
+		return "MDC"
+	case PolicyDDGT:
+		return "DDGT"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Plan is a loop prepared for scheduling under a coherence policy. For
+// PolicyDDGT the Loop and Graph are transformed deep copies of the input;
+// for the other policies they are the originals.
+type Plan struct {
+	Policy Policy
+	Loop   *ir.Loop
+	Graph  *ddg.Graph
+
+	// Chains (PolicyMDC) are the memory dependent chains: sets of op IDs
+	// that must be assigned to the same cluster. ChainOf maps an op ID to
+	// its index in Chains, or is absent for unchained ops.
+	Chains  [][]int
+	ChainOf map[int]int
+
+	// ForceCluster (PolicyDDGT) pins store instances to clusters: instance
+	// k of a replicated store must execute in cluster k.
+	ForceCluster map[int]int
+
+	// ReplicaGroups maps each replicated original store's ID to all of its
+	// instance IDs (the original first).
+	ReplicaGroups map[int][]int
+
+	// FakeConsumers lists the IDs of fake consumer ops fabricated by
+	// load–store synchronization.
+	FakeConsumers []int
+
+	// RemovedMA counts MA dependences eliminated (redundant with an RF
+	// dependence) or converted to SYNC dependences by DDGT.
+	RemovedMA int
+}
+
+// Prepare analyzes the loop, builds its DDG and applies the given policy.
+// numClusters is required by PolicyDDGT (store replication degree).
+func Prepare(loop *ir.Loop, pol Policy, numClusters int) (*Plan, error) {
+	g, err := ddg.Build(loop)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareGraph(g, pol, numClusters)
+}
+
+// PrepareGraph is Prepare for a pre-built (possibly hand-constructed or
+// specialized) DDG.
+func PrepareGraph(g *ddg.Graph, pol Policy, numClusters int) (*Plan, error) {
+	switch pol {
+	case PolicyFree:
+		return &Plan{Policy: pol, Loop: g.Loop, Graph: g}, nil
+	case PolicyMDC:
+		chains, chainOf := Chains(g)
+		return &Plan{Policy: pol, Loop: g.Loop, Graph: g, Chains: chains, ChainOf: chainOf}, nil
+	case PolicyDDGT:
+		if numClusters < 1 {
+			return nil, fmt.Errorf("core: PolicyDDGT requires numClusters >= 1, got %d", numClusters)
+		}
+		return Transform(g, numClusters)
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", pol)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"vliwcache/internal/ddg"
+)
+
+// SpecializeMaxIters bounds the number of iterations the dynamic
+// disambiguation check examines per loop.
+const SpecializeMaxIters = 4096
+
+// Specialize models code specialization (§6, [3]): two versions of the
+// loop are generated, one honoring the ambiguous memory dependences
+// (restrictive) and one ignoring them (aggressive), guarded by a run-time
+// check of whether the ambiguous accesses actually overlap. Specialize
+// evaluates that check against the loop's execution input and returns a
+// copy of the DDG in which every ambiguous dependence that never
+// materializes has been removed, together with the number of removed
+// edges. Dependences that do occur at run time — and all unambiguous
+// dependences — are kept.
+func Specialize(g *ddg.Graph) (*ddg.Graph, int) {
+	sg := g.Clone()
+	loop := sg.Loop
+
+	iters := loop.Trip
+	if iters > SpecializeMaxIters {
+		iters = SpecializeMaxIters
+	}
+
+	// Byte footprints of the ops participating in ambiguous edges.
+	foot := make(map[int]map[uint64]struct{})
+	footprint := func(id int) map[uint64]struct{} {
+		if f, ok := foot[id]; ok {
+			return f
+		}
+		f := make(map[uint64]struct{})
+		o := loop.Ops[id]
+		base := loop.Symbols[o.Addr.Base].Base
+		for i := int64(0); i < iters; i++ {
+			a := o.Addr.AddrAt(base, i)
+			for b := 0; b < o.Addr.Size; b++ {
+				f[a+uint64(b)] = struct{}{}
+			}
+		}
+		foot[id] = f
+		return f
+	}
+
+	removed := 0
+	for _, e := range sg.Edges() {
+		if !e.Ambiguous || !e.Kind.IsMem() {
+			continue
+		}
+		fa, fb := footprint(e.From), footprint(e.To)
+		if len(fb) < len(fa) {
+			fa, fb = fb, fa
+		}
+		overlap := false
+		for a := range fa {
+			if _, ok := fb[a]; ok {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			sg.RemoveEdge(e)
+			removed++
+		}
+	}
+	return sg, removed
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// ambigNeverLoop: a load and store through may-aliased symbols whose lanes
+// never overlap — code specialization must remove the dependences.
+func ambigNeverLoop() *ir.Loop {
+	b := ir.NewBuilder("never")
+	b.Symbol("p", 0x10000, 1<<16, "q")
+	b.Symbol("q", 0x90000, 1<<16)
+	b.Trip(500, 1)
+	v := b.Load("ld", ir.AddrExpr{Base: "p", Stride: 4, Size: 4})
+	b.Store("st", ir.AddrExpr{Base: "q", Stride: 4, Size: 4}, v)
+	return b.Loop()
+}
+
+// ambigActualLoop: may-aliased symbols whose walks DO collide (the symbols
+// overlap in memory), so specialization must keep the dependences.
+func ambigActualLoop() *ir.Loop {
+	b := ir.NewBuilder("actual")
+	b.Symbol("p", 0x10000, 1<<16, "q")
+	b.Symbol("q", 0x10000, 1<<16) // same base: every access truly collides
+	b.Trip(500, 1)
+	v := b.Load("ld", ir.AddrExpr{Base: "p", Stride: 4, Size: 4})
+	b.Store("st", ir.AddrExpr{Base: "q", Stride: 4, Size: 4}, v)
+	return b.Loop()
+}
+
+func TestSpecializeRemovesFalseDeps(t *testing.T) {
+	g := ddg.MustBuild(ambigNeverLoop())
+	before := len(g.MemEdges())
+	if before == 0 {
+		t.Fatal("fixture must have ambiguous dependences")
+	}
+	sg, removed := Specialize(g)
+	if removed != before {
+		t.Errorf("removed %d of %d ambiguous edges", removed, before)
+	}
+	if len(sg.MemEdges()) != 0 {
+		t.Errorf("edges survived: %v", sg.MemEdges())
+	}
+	// The original graph must be untouched.
+	if len(g.MemEdges()) != before {
+		t.Error("Specialize mutated its input")
+	}
+	// Chains disappear: CMR drops to zero (Table 5 mechanism).
+	if st := AnalyzeChains(sg); st.Biggest != 0 {
+		t.Errorf("chain survived specialization: %+v", st)
+	}
+}
+
+func TestSpecializeKeepsActualDeps(t *testing.T) {
+	g := ddg.MustBuild(ambigActualLoop())
+	before := len(g.MemEdges())
+	sg, removed := Specialize(g)
+	if removed != 0 {
+		t.Errorf("removed %d edges that actually materialize", removed)
+	}
+	if len(sg.MemEdges()) != before {
+		t.Error("real dependences lost")
+	}
+}
+
+func TestSpecializeKeepsExactDeps(t *testing.T) {
+	// Exact (non-ambiguous) dependences are never candidates.
+	b := ir.NewBuilder("exact")
+	b.Symbol("a", 0x1000, 1<<16)
+	b.Trip(100, 1)
+	v := b.Load("ld", ir.AddrExpr{Base: "a", Offset: -4, Stride: 4, Size: 4})
+	b.Store("st", ir.AddrExpr{Base: "a", Stride: 4, Size: 4}, v)
+	g := ddg.MustBuild(b.Loop())
+	if len(g.MemEdges()) == 0 {
+		t.Fatal("fixture must have an exact dependence")
+	}
+	_, removed := Specialize(g)
+	if removed != 0 {
+		t.Error("exact dependences must never be removed")
+	}
+}
+
+func TestChainsPartitionProperty(t *testing.T) {
+	// Chains form a partition of a subset of memory ops: disjoint, each op
+	// in at most one chain, chainOf consistent, and any two ops connected
+	// by a memory edge share a chain.
+	for _, mk := range []func() *ir.Loop{ambigNeverLoop, ambigActualLoop} {
+		g := ddg.MustBuild(mk())
+		chains, chainOf := Chains(g)
+		seen := make(map[int]int)
+		for ci, ch := range chains {
+			if len(ch) < 2 {
+				t.Errorf("chain %d has %d members; singletons are not chains", ci, len(ch))
+			}
+			for _, id := range ch {
+				if prev, dup := seen[id]; dup {
+					t.Errorf("op %d in chains %d and %d", id, prev, ci)
+				}
+				seen[id] = ci
+				if chainOf[id] != ci {
+					t.Errorf("chainOf[%d] = %d, want %d", id, chainOf[id], ci)
+				}
+				if !g.Loop.Ops[id].Kind.IsMem() {
+					t.Errorf("non-memory op %d in a chain", id)
+				}
+			}
+		}
+		for _, e := range g.MemEdges() {
+			if e.From == e.To {
+				continue
+			}
+			if chainOf[e.From] != chainOf[e.To] {
+				t.Errorf("edge %v spans chains", e)
+			}
+		}
+	}
+}
+
+func TestPrepareUnknownPolicy(t *testing.T) {
+	g := ddg.MustBuild(ambigNeverLoop())
+	if _, err := PrepareGraph(g, Policy(99), 4); err == nil {
+		t.Error("unknown policy must fail")
+	}
+	if _, err := PrepareGraph(g, PolicyDDGT, 0); err == nil {
+		t.Error("DDGT with zero clusters must fail")
+	}
+}
+
+func TestTransformSingleCluster(t *testing.T) {
+	// numClusters == 1: no replicas needed, but MA elimination still runs.
+	g := ddg.MustBuild(ambigActualLoop())
+	plan, err := Transform(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Loop.Ops) < len(g.Loop.Ops) {
+		t.Error("ops lost")
+	}
+	for _, e := range plan.Graph.Edges() {
+		if e.Kind == ddg.MA {
+			t.Errorf("MA edge survived: %v", e)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyFree.String() != "FREE" || PolicyMDC.String() != "MDC" || PolicyDDGT.String() != "DDGT" {
+		t.Error("policy names changed")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// Transform applies the DDGT solution (§3.3) to a copy of the loop and its
+// DDG and returns the resulting plan:
+//
+//  1. Store replication: every store with a memory dependence on another
+//     instruction is replicated numClusters-1 times. Instance k of every
+//     such store is pinned to cluster k; at run time only the instance
+//     whose cluster is the access's home cluster performs the store. All
+//     input and output dependences of the store are replicated; dependences
+//     between two replicated stores are replicated between same-cluster
+//     instances (which is where serialization happens), and self
+//     dependences stay per-instance.
+//
+//  2. Load–store synchronization: every MA dependence L→S is removed. If an
+//     RF dependence L→S with the same distance exists it was redundant;
+//     otherwise a SYNC dependence is added from a same-iteration consumer
+//     of L to S. If every candidate consumer would close an unsatisfiable
+//     same-iteration cycle (the consumer is itself dependent on S at
+//     distance 0), a fake consumer of the load is fabricated and used.
+//
+// The input graph is not modified.
+func Transform(g *ddg.Graph, numClusters int) (*Plan, error) {
+	loop := g.Loop.Clone()
+	tg := g.CloneWithLoop(loop)
+	plan := &Plan{
+		Policy:        PolicyDDGT,
+		Loop:          loop,
+		Graph:         tg,
+		ForceCluster:  make(map[int]int),
+		ReplicaGroups: make(map[int][]int),
+	}
+	replicateStores(plan, numClusters)
+	if err := synchronizeLoadsStores(plan); err != nil {
+		return nil, err
+	}
+	loop.Renumber() // IDs are already dense; this re-checks replica refs
+	if err := loop.Validate(); err != nil {
+		return nil, fmt.Errorf("core: DDGT produced an invalid loop: %w", err)
+	}
+	return plan, nil
+}
+
+// hasMemDepOther reports whether op id has a memory dependence (MF/MA/MO)
+// with a different instruction.
+func hasMemDepOther(g *ddg.Graph, id int) bool {
+	for _, e := range g.Out(id) {
+		if e.Kind.IsMem() && e.To != id {
+			return true
+		}
+	}
+	for _, e := range g.In(id) {
+		if e.Kind.IsMem() && e.From != id {
+			return true
+		}
+	}
+	return false
+}
+
+// replicateStores performs phase 1 of the transformation on plan.Loop /
+// plan.Graph in place.
+func replicateStores(plan *Plan, numClusters int) {
+	loop, tg := plan.Loop, plan.Graph
+
+	var originals []int
+	for _, o := range loop.Ops {
+		if o.Kind == ir.KindStore && hasMemDepOther(tg, o.ID) {
+			originals = append(originals, o.ID)
+		}
+	}
+
+	// instances[origID][k] is the op executing in cluster k; index 0 is the
+	// original.
+	instances := make(map[int][]int, len(originals))
+	for _, sid := range originals {
+		ids := []int{sid}
+		for k := 1; k < numClusters; k++ {
+			r := loop.Ops[sid].Clone()
+			r.Name = fmt.Sprintf("%s.c%d", loop.Ops[sid].Label(), k)
+			r.ReplicaOf = sid + 1
+			loop.Append(r)
+			ids = append(ids, r.ID)
+		}
+		instances[sid] = ids
+		plan.ReplicaGroups[sid] = ids
+		for k, id := range ids {
+			plan.ForceCluster[id] = k
+		}
+	}
+	tg.Grow()
+
+	// Replicate the dependences. Snapshot first: we add edges while
+	// iterating.
+	for _, e := range tg.Edges() {
+		fromIDs, fromRep := instances[e.From]
+		toIDs, toRep := instances[e.To]
+		switch {
+		case fromRep && toRep:
+			// Includes self dependences (fromIDs == toIDs): instance k
+			// pairs with instance k — serialization between two stores (or
+			// a store and itself) happens inside each cluster.
+			for k := 1; k < numClusters; k++ {
+				tg.AddEdge(fromIDs[k], toIDs[k], e.Kind, e.Dist, e.Ambiguous)
+			}
+		case fromRep:
+			for k := 1; k < numClusters; k++ {
+				tg.AddEdge(fromIDs[k], e.To, e.Kind, e.Dist, e.Ambiguous)
+			}
+		case toRep:
+			for k := 1; k < numClusters; k++ {
+				tg.AddEdge(e.From, toIDs[k], e.Kind, e.Dist, e.Ambiguous)
+			}
+		}
+	}
+}
+
+// synchronizeLoadsStores performs phase 2: MA elimination.
+func synchronizeLoadsStores(plan *Plan) error {
+	tg, loop := plan.Graph, plan.Loop
+
+	// fakeFor reuses one fake consumer per load.
+	fakeFor := make(map[int]int)
+
+	var maEdges []*ddg.Edge
+	for _, e := range tg.Edges() {
+		if e.Kind == ddg.MA {
+			maEdges = append(maEdges, e)
+		}
+	}
+	for _, d := range maEdges {
+		l, s := d.From, d.To
+		if loop.Ops[l].Kind != ir.KindLoad || loop.Ops[s].Kind != ir.KindStore {
+			return fmt.Errorf("core: MA edge %v does not run load->store", d)
+		}
+		// Redundant MA: an RF dependence with the same distance already
+		// orders the pair (the store cannot execute before it receives the
+		// value the load produced).
+		if tg.HasEdge(l, s, ddg.RF, d.Dist) {
+			tg.RemoveEdge(d)
+			plan.RemovedMA++
+			continue
+		}
+		cons, ok := chooseConsumer(plan, l, s, d.Dist)
+		if !ok {
+			cons = fakeConsumer(plan, l, fakeFor)
+		}
+		tg.AddEdge(cons, s, ddg.SYNC, d.Dist, false)
+		tg.RemoveEdge(d)
+		plan.RemovedMA++
+	}
+	return nil
+}
+
+// chooseConsumer picks a same-iteration consumer of load l that can be
+// synchronized with store s at the given dependence distance. Non-memory
+// consumers are preferred ("if possible, not a store"); a candidate is
+// rejected when the SYNC edge would close a zero-distance cycle — i.e. the
+// consumer is reachable from s over a distance-0 dependence path while the
+// MA distance is 0 (the paper's "sequentially posterior to S and dependent
+// on S" case).
+func chooseConsumer(plan *Plan, l, s, dist int) (int, bool) {
+	tg, loop := plan.Graph, plan.Loop
+	group := plan.ReplicaGroups[replicaOrigin(loop, s)]
+
+	var cands []int
+	for _, e := range tg.Consumers(l) {
+		if e.Dist != 0 {
+			continue // consumer of a previous iteration's value
+		}
+		if e.To == s || inGroup(group, e.To) {
+			continue // the store itself (or a sibling instance)
+		}
+		cands = append(cands, e.To)
+	}
+	// Prefer non-memory consumers, then lower IDs for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		mi, mj := loop.Ops[cands[i]].Kind.IsMem(), loop.Ops[cands[j]].Kind.IsMem()
+		if mi != mj {
+			return !mi
+		}
+		return cands[i] < cands[j]
+	})
+	for _, c := range cands {
+		// A consumer dependent on the store at distance 0 would close an
+		// unsatisfiable same-iteration cycle. The test runs at the level of
+		// replica origins: instance k of a store inherits the dependence
+		// structure of its original, so a sibling instance of a dependent
+		// store is just as unusable as the dependent store itself.
+		if dist == 0 && (tg.ReachableZeroDist(s, c) ||
+			tg.ReachableZeroDist(replicaOrigin(loop, s), replicaOrigin(loop, c))) {
+			continue
+		}
+		return c, true
+	}
+	return 0, false
+}
+
+// replicaOrigin returns the original op ID for a replica, or the op's own
+// ID otherwise.
+func replicaOrigin(loop *ir.Loop, id int) int {
+	if o := loop.Ops[id]; o.IsReplica() {
+		return o.Origin()
+	}
+	return id
+}
+
+func inGroup(group []int, id int) bool {
+	for _, g := range group {
+		if g == id {
+			return true
+		}
+	}
+	return false
+}
+
+// fakeConsumer returns (creating on first use) the fake consumer of load l:
+// an op that only reads the value the load produced ("add r0 = r0 + r27"),
+// giving load–store synchronization a safe anchor.
+func fakeConsumer(plan *Plan, l int, fakeFor map[int]int) int {
+	if id, ok := fakeFor[l]; ok {
+		return id
+	}
+	loop, tg := plan.Loop, plan.Graph
+	load := loop.Ops[l]
+	fc := &ir.Op{
+		Name: load.Label() + ".cons",
+		Kind: ir.KindFakeUse,
+		Dst:  ir.NoReg,
+		Srcs: []ir.Reg{load.Dst},
+	}
+	loop.Append(fc)
+	tg.Grow()
+	tg.AddEdge(l, fc.ID, ddg.RF, 0, false)
+	fakeFor[l] = fc.ID
+	plan.FakeConsumers = append(plan.FakeConsumers, fc.ID)
+	return fc.ID
+}

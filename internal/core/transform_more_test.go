@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// TestSelfOnlyStoreNotReplicated: a store whose only memory dependence is
+// with itself needs no replication (§3.3: "only stores that have a memory
+// dependence with some OTHER instruction need to be replicated").
+func TestSelfOnlyStoreNotReplicated(t *testing.T) {
+	b := ir.NewBuilder("self")
+	b.Symbol("a", 0x1000, 64)
+	live := b.Reg()
+	b.Store("st", ir.AddrExpr{Base: "a", Stride: 0, Size: 4}, live) // self MO d1 only
+	g := ddg.MustBuild(b.Loop())
+	plan, err := Transform(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ReplicaGroups) != 0 {
+		t.Errorf("self-dependent store replicated: %v", plan.ReplicaGroups)
+	}
+	if len(plan.Loop.Ops) != 1 {
+		t.Errorf("ops = %d, want 1", len(plan.Loop.Ops))
+	}
+	// The self MO edge survives (it serializes the store's own instances).
+	if !plan.Graph.HasEdge(0, 0, ddg.MO, 1) {
+		t.Error("self MO edge lost")
+	}
+}
+
+func TestTransformTwoClusters(t *testing.T) {
+	b := ir.NewBuilder("two")
+	b.Symbol("c", 0x1000, 1<<16)
+	v := b.Load("ld", ir.AddrExpr{Base: "c", Offset: -8, Stride: 8, Size: 4})
+	b.Store("st", ir.AddrExpr{Base: "c", Stride: 8, Size: 4}, v)
+	g := ddg.MustBuild(b.Loop())
+	plan, err := Transform(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := plan.ReplicaGroups[1]
+	if len(group) != 2 {
+		t.Fatalf("group = %v, want 2 instances", group)
+	}
+	for k, id := range group {
+		if plan.ForceCluster[id] != k {
+			t.Errorf("instance %d pinned to %d, want %d", id, plan.ForceCluster[id], k)
+		}
+	}
+}
+
+// TestSyncDistancePreserved: MA at distance d becomes SYNC at distance d.
+func TestSyncDistancePreserved(t *testing.T) {
+	b := ir.NewBuilder("dist")
+	b.Symbol("c", 0x1000, 1<<16)
+	// Load reads 3 elements ahead: MA load->store at distance 3.
+	v := b.Load("ld", ir.AddrExpr{Base: "c", Offset: 24, Stride: 8, Size: 4})
+	w := b.Arith("use", ir.KindAdd, v)
+	b.Store("st", ir.AddrExpr{Base: "c", Stride: 8, Size: 4}, w)
+	g := ddg.MustBuild(b.Loop())
+	maDist := -1
+	for _, e := range g.MemEdges() {
+		if e.Kind == ddg.MA {
+			maDist = e.Dist
+		}
+	}
+	if maDist != 3 {
+		t.Fatalf("fixture MA distance = %d, want 3", maDist)
+	}
+	plan, err := Transform(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range plan.Graph.Edges() {
+		if e.Kind == ddg.SYNC {
+			if e.Dist != 3 {
+				t.Errorf("SYNC distance = %d, want 3", e.Dist)
+			}
+			if e.From != 1 { // the consumer "use"
+				t.Errorf("SYNC anchored at op %d, want the consumer", e.From)
+			}
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no SYNC edges created")
+	}
+}

@@ -1,0 +1,199 @@
+package ddg
+
+import (
+	"vliwcache/internal/ir"
+)
+
+// LatencyFunc gives the scheduling latency of an op: the cycles after issue
+// before dependent ops may issue. The scheduler supplies one that folds in
+// its per-memory-op latency assignment; analyses that run before latency
+// assignment can use DefaultLatency.
+type LatencyFunc func(*ir.Op) int
+
+// DefaultLatency returns a latency function using ir.Kind.Latency for
+// non-memory ops and memLat for every memory op.
+func DefaultLatency(memLat int) LatencyFunc {
+	return func(o *ir.Op) int {
+		if o.Kind.IsMem() {
+			return memLat
+		}
+		return o.Kind.Latency()
+	}
+}
+
+// EdgeLatency returns the latency component of a dependence edge:
+//
+//   - RF: the producer's execution latency (the value must exist);
+//   - MF/MA/MO: 1 — intra-cluster issue order is what serializes memory
+//     accesses at the banks, so the constraint is "issue strictly after";
+//   - SYNC: 0 — the store may issue in the same cycle as the load's
+//     consumer, because the consumer issuing at all proves (stall-on-use)
+//     that the load completed.
+func EdgeLatency(e *Edge, ops []*ir.Op, lat LatencyFunc) int {
+	switch e.Kind {
+	case RF:
+		return lat(ops[e.From])
+	case SYNC:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// weight returns the modulo-scheduling constraint weight of e at initiation
+// interval II: start(To) >= start(From) + weight.
+func weight(e *Edge, ops []*ir.Op, lat LatencyFunc, ii int) int {
+	return EdgeLatency(e, ops, lat) - ii*e.Dist
+}
+
+// FeasibleII reports whether the recurrence constraints admit a schedule at
+// initiation interval ii, i.e. whether the constraint graph has no positive
+// cycle.
+func (g *Graph) FeasibleII(ii int, lat LatencyFunc) bool {
+	_, ok := g.longest(ii, lat)
+	return ok
+}
+
+// longest computes longest-path times from a virtual source (all nodes at
+// time 0) under the II constraint weights. ok is false if a positive cycle
+// exists (II infeasible).
+func (g *Graph) longest(ii int, lat LatencyFunc) ([]int, bool) {
+	n := g.NumNodes()
+	t := make([]int, n)
+	for round := 0; round < n; round++ {
+		changed := false
+		for from := 0; from < n; from++ {
+			for _, e := range g.out[from] {
+				if w := t[from] + weight(e, g.Loop.Ops, lat, ii); w > t[e.To] {
+					t[e.To] = w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval:
+// the smallest II for which no dependence cycle has positive constraint
+// weight. The result is at least 1.
+func (g *Graph) RecMII(lat LatencyFunc) int {
+	lo, hi := 1, 2
+	for !g.FeasibleII(hi, lat) {
+		hi *= 2
+		if hi > 1<<20 {
+			panic("ddg: RecMII diverged (malformed graph with a zero-distance cycle?)")
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.FeasibleII(mid, lat) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ASAP returns the as-soon-as-possible issue times at initiation interval
+// ii, or ok=false if ii is infeasible.
+func (g *Graph) ASAP(ii int, lat LatencyFunc) ([]int, bool) {
+	return g.longest(ii, lat)
+}
+
+// ALAP returns as-late-as-possible issue times at initiation interval ii
+// such that every op finishes within the given schedule horizon (typically
+// max(ASAP)+latency). ok=false if ii is infeasible.
+func (g *Graph) ALAP(ii, horizon int, lat LatencyFunc) ([]int, bool) {
+	n := g.NumNodes()
+	t := make([]int, n)
+	for i := range t {
+		t[i] = horizon - lat(g.Loop.Ops[i])
+	}
+	for round := 0; round < n; round++ {
+		changed := false
+		for from := 0; from < n; from++ {
+			for _, e := range g.out[from] {
+				if w := t[e.To] - weight(e, g.Loop.Ops, lat, ii); w < t[from] {
+					t[from] = w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Heights returns scheduling priorities: the height of each op, i.e. the
+// longest constraint-weight path from the op to any node, at initiation
+// interval ii. Ops on critical recurrences get the largest heights.
+// ok=false if ii is infeasible.
+func (g *Graph) Heights(ii int, lat LatencyFunc) ([]int, bool) {
+	n := g.NumNodes()
+	h := make([]int, n)
+	for i := range h {
+		h[i] = lat(g.Loop.Ops[i])
+	}
+	for round := 0; round < n; round++ {
+		changed := false
+		for from := 0; from < n; from++ {
+			for _, e := range g.out[from] {
+				if w := h[e.To] + weight(e, g.Loop.Ops, lat, ii); w > h[from] {
+					h[from] = w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// ReachableZeroDist reports whether a dependence path of total distance 0
+// leads from op `from` to op `to`. The DDGT load–store synchronization uses
+// this to detect that synchronizing a store with a given consumer would
+// create an unsatisfiable same-iteration cycle, requiring a fake consumer.
+func (g *Graph) ReachableZeroDist(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[u] {
+			if e.Dist != 0 || seen[e.To] {
+				continue
+			}
+			if e.To == to {
+				return true
+			}
+			seen[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+	return false
+}
+
+// Consumers returns the ops consuming the value produced by op id via RF
+// edges, paired with the edge distance.
+func (g *Graph) Consumers(id int) []*Edge {
+	var cs []*Edge
+	for _, e := range g.out[id] {
+		if e.Kind == RF {
+			cs = append(cs, e)
+		}
+	}
+	return cs
+}

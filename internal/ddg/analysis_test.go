@@ -1,0 +1,209 @@
+package ddg
+
+import (
+	"testing"
+
+	"vliwcache/internal/ir"
+)
+
+// chainLoop builds k dependent adds closed by a loop-carried edge:
+// RecMII must be exactly k.
+func chainLoop(t *testing.T, k int) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("chain")
+	var prev ir.Reg = ir.NoReg
+	for i := 0; i < k; i++ {
+		if prev == ir.NoReg {
+			prev = b.Arith("", ir.KindAdd)
+		} else {
+			prev = b.Arith("", ir.KindAdd, prev)
+		}
+	}
+	l := b.Loop()
+	l.Ops[0].Srcs = append(l.Ops[0].Srcs, prev) // close the cycle, dist 1
+	return l
+}
+
+func TestRecMIIChain(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 17, 40} {
+		g := MustBuild(chainLoop(t, k))
+		if got := g.RecMII(DefaultLatency(1)); got != k {
+			t.Errorf("k=%d: RecMII = %d, want %d", k, got, k)
+		}
+	}
+}
+
+func TestRecMIIAcyclic(t *testing.T) {
+	b := ir.NewBuilder("acyclic")
+	v := b.Arith("", ir.KindAdd)
+	w := b.Arith("", ir.KindMul, v)
+	b.Arith("", ir.KindAdd, w, v)
+	g := MustBuild(b.Loop())
+	if got := g.RecMII(DefaultLatency(1)); got != 1 {
+		t.Errorf("acyclic RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIIDistanceTwo(t *testing.T) {
+	// Cycle of total latency 10 spread over distance 2: RecMII = ceil(10/2).
+	b := ir.NewBuilder("d2")
+	var prev ir.Reg = ir.NoReg
+	for i := 0; i < 10; i++ {
+		if prev == ir.NoReg {
+			prev = b.Arith("", ir.KindAdd)
+		} else {
+			prev = b.Arith("", ir.KindAdd, prev)
+		}
+	}
+	l := b.Loop()
+	g := MustBuild(l)
+	// Manually add the back edge at distance 2.
+	g.AddEdge(9, 0, RF, 2, false)
+	if got := g.RecMII(DefaultLatency(1)); got != 5 {
+		t.Errorf("RecMII = %d, want 5", got)
+	}
+}
+
+func TestASAPRespectsEdges(t *testing.T) {
+	g := MustBuild(chainLoop(t, 6))
+	lat := DefaultLatency(1)
+	ii := g.RecMII(lat)
+	asap, ok := g.ASAP(ii, lat)
+	if !ok {
+		t.Fatal("ASAP infeasible at RecMII")
+	}
+	for _, e := range g.Edges() {
+		if asap[e.To] < asap[e.From]+EdgeLatency(e, g.Loop.Ops, lat)-ii*e.Dist {
+			t.Errorf("ASAP violates %v", e)
+		}
+	}
+	alap, ok := g.ALAP(ii, 64, lat)
+	if !ok {
+		t.Fatal("ALAP infeasible")
+	}
+	for i := range asap {
+		if alap[i] < asap[i] {
+			t.Errorf("op %d: ALAP %d < ASAP %d", i, alap[i], asap[i])
+		}
+	}
+}
+
+func TestHeightsMonotoneAlongEdges(t *testing.T) {
+	g := MustBuild(chainLoop(t, 6))
+	lat := DefaultLatency(1)
+	h, ok := g.Heights(7, lat)
+	if !ok {
+		t.Fatal("heights infeasible")
+	}
+	for _, e := range g.Edges() {
+		if e.Dist > 0 {
+			continue
+		}
+		if h[e.From] <= h[e.To]-EdgeLatency(e, g.Loop.Ops, lat) {
+			t.Errorf("height not decreasing along %v: %d vs %d", e, h[e.From], h[e.To])
+		}
+	}
+}
+
+func TestFeasibleIIMonotone(t *testing.T) {
+	g := MustBuild(chainLoop(t, 9))
+	lat := DefaultLatency(1)
+	feas := false
+	for ii := 1; ii <= 12; ii++ {
+		f := g.FeasibleII(ii, lat)
+		if feas && !f {
+			t.Errorf("feasibility not monotone at II=%d", ii)
+		}
+		feas = feas || f
+	}
+	if !feas {
+		t.Error("no feasible II up to 12 for a 9-cycle recurrence")
+	}
+}
+
+func TestReachableZeroDist(t *testing.T) {
+	b := ir.NewBuilder("reach")
+	v := b.Arith("a", ir.KindAdd)
+	w := b.Arith("b", ir.KindAdd, v)
+	b.Arith("c", ir.KindAdd, w)
+	b.Arith("d", ir.KindAdd) // disconnected
+	g := MustBuild(b.Loop())
+	g.AddEdge(2, 3, RF, 1, false) // c -> d at distance 1 only
+
+	if !g.ReachableZeroDist(0, 2) {
+		t.Error("a must reach c at distance 0")
+	}
+	if g.ReachableZeroDist(2, 0) {
+		t.Error("c must not reach a")
+	}
+	if g.ReachableZeroDist(0, 3) {
+		t.Error("a->d crosses a distance-1 edge and is not zero-distance")
+	}
+	if !g.ReachableZeroDist(1, 1) {
+		t.Error("an op reaches itself trivially")
+	}
+}
+
+func TestGraphEditing(t *testing.T) {
+	b := ir.NewBuilder("edit")
+	v := b.Arith("a", ir.KindAdd)
+	b.Arith("b", ir.KindAdd, v)
+	l := b.Loop()
+	g := New(l)
+	e := g.AddEdge(0, 1, RF, 0, false)
+	if g.NumEdges() != 1 || !g.HasEdge(0, 1, RF, 0) {
+		t.Fatal("AddEdge failed")
+	}
+	g.RemoveEdge(e)
+	if g.NumEdges() != 0 || g.HasEdge(0, 1, RF, 0) {
+		t.Fatal("RemoveEdge failed")
+	}
+	g.RemoveEdge(e) // double removal is a no-op
+	if g.NumEdges() != 0 {
+		t.Fatal("double RemoveEdge corrupted the graph")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	b := ir.NewBuilder("clone")
+	v := b.Arith("a", ir.KindAdd)
+	b.Arith("b", ir.KindAdd, v)
+	g := MustBuild(b.Loop())
+	n := g.NumEdges()
+	c := g.Clone()
+	c.AddEdge(1, 0, SYNC, 0, false)
+	if g.NumEdges() != n {
+		t.Error("mutating a clone changed the original")
+	}
+	for _, e := range g.Edges() {
+		if e.Kind == SYNC {
+			t.Error("SYNC edge leaked into original")
+		}
+	}
+}
+
+func TestNegativeDistancePanics(t *testing.T) {
+	b := ir.NewBuilder("neg")
+	b.Arith("a", ir.KindAdd)
+	g := New(b.Loop())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative distance must panic")
+		}
+	}()
+	g.AddEdge(0, 0, RF, -1, false)
+}
+
+func TestEdgeKindStrings(t *testing.T) {
+	for _, k := range []EdgeKind{RF, MF, MA, MO, SYNC} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !MF.IsMem() || !MA.IsMem() || !MO.IsMem() {
+		t.Error("MF/MA/MO are memory dependences")
+	}
+	if RF.IsMem() || SYNC.IsMem() {
+		t.Error("RF/SYNC are not memory dependences")
+	}
+}

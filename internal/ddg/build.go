@@ -1,0 +1,222 @@
+package ddg
+
+import (
+	"fmt"
+
+	"vliwcache/internal/ir"
+)
+
+// Build constructs the DDG of a loop: register flow dependences from
+// def–use analysis (register anti/output dependences are assumed removed by
+// renaming, matching the paper), and memory dependences (MF/MA/MO) from the
+// affine disambiguator. The loop must validate.
+func Build(l *ir.Loop) (*Graph, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g := New(l)
+	buildRegDeps(g)
+	if err := buildMemDeps(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for programmatically-correct fixtures; it panics on
+// error.
+func MustBuild(l *ir.Loop) *Graph {
+	g, err := Build(l)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildRegDeps adds one RF edge per (reaching definition, use) pair. A use
+// before any definition in program order is fed by the previous iteration's
+// last definition (distance 1); registers never defined in the loop are
+// live-in and add no edge.
+func buildRegDeps(g *Graph) {
+	defs := g.Loop.Defs()
+	for _, o := range g.Loop.Ops {
+		for _, src := range o.Srcs {
+			ds := defs[src]
+			if len(ds) == 0 {
+				continue // live-in
+			}
+			// Latest def strictly before this op.
+			reaching, dist := -1, 0
+			for _, d := range ds {
+				if d < o.ID {
+					reaching = d
+				}
+			}
+			if reaching < 0 {
+				reaching, dist = ds[len(ds)-1], 1 // loop-carried
+			}
+			if reaching == o.ID {
+				// Self-use across iterations (e.g. accumulator updating its
+				// own register): loop-carried.
+				dist = 1
+			}
+			g.AddEdge(reaching, o.ID, RF, dist, false)
+		}
+	}
+}
+
+// maxExactDist caps the dependence distances materialized by the exact
+// same-stride test. Aliases at any distance matter for coherence, and for a
+// same-stride pair the set of aliasing distances is intrinsically small
+// (|Δoffset| spread over one stride), so this cap exists purely as a guard
+// against adversarial inputs with stride 1 and huge access sizes.
+const maxExactDist = 1 << 16
+
+// buildMemDeps adds MF/MA/MO edges between every pair of memory operations
+// (including a store with itself) that may access overlapping bytes. Exact
+// distances are computed when both accesses address the same symbol with
+// the same stride; other aliasing pairs get conservative ambiguous edges
+// serializing all their instances (distance 0 forward, distance 1
+// backward).
+func buildMemDeps(g *Graph) error {
+	mem := g.Loop.MemOps()
+	for i, a := range mem {
+		for j := i; j < len(mem); j++ {
+			b := mem[j]
+			if a.Kind == ir.KindLoad && b.Kind == ir.KindLoad {
+				continue // load/load pairs never conflict
+			}
+			if err := addPairDeps(g, a, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addPairDeps analyzes one (earlier, later) pair in program order (a.ID <=
+// b.ID; a == b for self-dependences) and adds the required edges.
+func addPairDeps(g *Graph, a, b *ir.Op) error {
+	ea, eb := *a.Addr, *b.Addr
+	switch {
+	case ea.Base != eb.Base:
+		if g.Loop.MayAlias(ea.Base, eb.Base) {
+			addAmbiguous(g, a, b)
+		}
+		return nil
+	case ea.Stride != eb.Stride:
+		// Same symbol, non-uniform strides: the dependence distance is not
+		// constant, so the compiler stays conservative.
+		addAmbiguous(g, a, b)
+		return nil
+	}
+
+	// Exact test: same symbol, common stride s. Iteration i of a touches
+	// [ea.Offset + s·i, +Sa); iteration j of b touches [eb.Offset + s·j,
+	// +Sb). With d = j - i, the gap pb - pa equals (eb - ea) + s·d, and the
+	// intervals overlap iff -Sb < pb - pa < Sa, i.e.
+	//   s·d ∈ (ea.Offset - eb.Offset - Sb, ea.Offset - eb.Offset + Sa).
+	s := ea.Stride
+	diff := ea.Offset - eb.Offset
+	lo, hi := diff-int64(eb.Size), diff+int64(ea.Size) // open interval (lo, hi)
+
+	if s == 0 {
+		if lo < 0 && 0 < hi {
+			// Fixed addresses overlap every iteration: full serialization.
+			addSerializing(g, a, b)
+		}
+		return nil
+	}
+
+	// Enumerate integer d with s·d strictly inside (lo, hi).
+	// floorDiv/ceilDiv handle negative strides.
+	dMin := ceilDiv(lo+1, s)
+	dMax := floorDiv(hi-1, s)
+	if s < 0 {
+		dMin, dMax = ceilDiv(hi-1, s), floorDiv(lo+1, s)
+	}
+	if dMax-dMin > maxExactDist {
+		return fmt.Errorf("ddg: pathological dependence between %s and %s (%d candidate distances)",
+			a.Label(), b.Label(), dMax-dMin+1)
+	}
+	for d := dMin; d <= dMax; d++ {
+		if prod := s * d; prod > lo && prod < hi {
+			addExact(g, a, b, d)
+		}
+	}
+	return nil
+}
+
+// addExact adds the dependence for a confirmed overlap between a's access
+// in iteration i and b's access in iteration i+d. d may be negative, in
+// which case the dependence runs b → a with distance -d. d == 0 with a == b
+// is the access overlapping itself in the same iteration and is skipped.
+func addExact(g *Graph, a, b *ir.Op, d int64) {
+	switch {
+	case d > 0:
+		g.AddEdge(a.ID, b.ID, memKind(a, b), int(d), false)
+	case d < 0:
+		if a.ID == b.ID {
+			return // mirror of the positive distance, already added
+		}
+		g.AddEdge(b.ID, a.ID, memKind(b, a), int(-d), false)
+	default: // d == 0: same iteration
+		if a.ID == b.ID {
+			return
+		}
+		// a precedes b in program order (caller guarantees a.ID < b.ID
+		// when a != b).
+		g.AddEdge(a.ID, b.ID, memKind(a, b), 0, false)
+	}
+}
+
+// addAmbiguous serializes a pair the compiler cannot disambiguate: a→b at
+// distance 0 (same-iteration program order) and b→a at distance 1
+// (loop-carried), which totally orders all dynamic instances of the two
+// ops. For a self pair (a == b) a single distance-1 self edge suffices.
+func addAmbiguous(g *Graph, a, b *ir.Op) {
+	if a.ID == b.ID {
+		g.AddEdge(a.ID, b.ID, memKind(a, b), 1, true)
+		return
+	}
+	g.AddEdge(a.ID, b.ID, memKind(a, b), 0, true)
+	g.AddEdge(b.ID, a.ID, memKind(b, a), 1, true)
+}
+
+// addSerializing is addAmbiguous for pairs known to conflict (exact test,
+// stride 0): the edges are real, not ambiguous.
+func addSerializing(g *Graph, a, b *ir.Op) {
+	if a.ID == b.ID {
+		g.AddEdge(a.ID, b.ID, memKind(a, b), 1, false)
+		return
+	}
+	g.AddEdge(a.ID, b.ID, memKind(a, b), 0, false)
+	g.AddEdge(b.ID, a.ID, memKind(b, a), 1, false)
+}
+
+// memKind returns the dependence kind for an edge from x to y.
+func memKind(x, y *ir.Op) EdgeKind {
+	switch {
+	case x.Kind == ir.KindStore && y.Kind == ir.KindLoad:
+		return MF
+	case x.Kind == ir.KindLoad && y.Kind == ir.KindStore:
+		return MA
+	default:
+		return MO
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

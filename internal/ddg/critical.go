@@ -1,0 +1,80 @@
+package ddg
+
+// CriticalCycle returns a dependence cycle that binds the recurrence-
+// constrained minimum initiation interval: a cycle whose latency sum
+// divided by its distance sum equals RecMII (rounded up). It returns nil
+// when the graph has no recurrences (RecMII == 1 with no self-constraining
+// cycle). The cycle is reported as its edge sequence, each edge leading
+// from the previous one's head.
+//
+// The scheduler and the CLIs use this to explain *why* a loop cannot run
+// faster: typically a loop-carried memory recurrence through a chain store
+// and its trailing load.
+func (g *Graph) CriticalCycle(lat LatencyFunc) []*Edge {
+	recmii := g.RecMII(lat)
+	ii := recmii - 1
+	if ii < 1 {
+		// RecMII == 1: a cycle still "binds" if some cycle has
+		// latency == distance; detect at ii = 0 semantics by trying to
+		// find a positive cycle at II 0 … II 0 is meaningless, so treat
+		// RecMII 1 as "no recurrence worth reporting".
+		return nil
+	}
+
+	// At II = RecMII-1 the constraint graph has a positive cycle. Run
+	// Bellman-Ford-style relaxation with predecessor tracking to find it.
+	n := g.NumNodes()
+	t := make([]int, n)
+	pred := make([]*Edge, n)
+	var last *Edge
+	for round := 0; round <= n; round++ {
+		last = nil
+		for from := 0; from < n; from++ {
+			for _, e := range g.out[from] {
+				if w := t[from] + weight(e, g.Loop.Ops, lat, ii); w > t[e.To] {
+					t[e.To] = w
+					pred[e.To] = e
+					last = e
+				}
+			}
+		}
+		if last == nil {
+			return nil // converged: no positive cycle (shouldn't happen)
+		}
+	}
+
+	// last.To is reachable from a positive cycle; walk predecessors n
+	// steps to land inside the cycle, then collect it.
+	v := last.To
+	for i := 0; i < n; i++ {
+		v = pred[v].From
+	}
+	var cycle []*Edge
+	u := v
+	for {
+		e := pred[u]
+		cycle = append(cycle, e)
+		u = e.From
+		if u == v {
+			break
+		}
+	}
+	// Reverse into forward order (each edge's To feeds the next's From).
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}
+
+// CycleStats summarizes a dependence cycle: total latency, total distance,
+// and the implied II bound ceil(latency/distance).
+func (g *Graph) CycleStats(cycle []*Edge, lat LatencyFunc) (latency, distance, bound int) {
+	for _, e := range cycle {
+		latency += EdgeLatency(e, g.Loop.Ops, lat)
+		distance += e.Dist
+	}
+	if distance > 0 {
+		bound = (latency + distance - 1) / distance
+	}
+	return
+}

@@ -1,0 +1,67 @@
+package ddg
+
+import (
+	"testing"
+
+	"vliwcache/internal/ir"
+)
+
+func TestCriticalCycleChain(t *testing.T) {
+	g := MustBuild(chainLoop(t, 12))
+	lat := DefaultLatency(1)
+	cycle := g.CriticalCycle(lat)
+	if cycle == nil {
+		t.Fatal("a 12-op recurrence must report a critical cycle")
+	}
+	latency, distance, bound := g.CycleStats(cycle, lat)
+	if bound != g.RecMII(lat) {
+		t.Errorf("cycle bound %d (lat %d / dist %d) != RecMII %d",
+			bound, latency, distance, g.RecMII(lat))
+	}
+	// The cycle must be well-formed: consecutive edges connected, closed.
+	for i, e := range cycle {
+		next := cycle[(i+1)%len(cycle)]
+		if e.To != next.From {
+			t.Fatalf("edge %d (%v) does not feed edge %d (%v)", i, e, i+1, next)
+		}
+	}
+}
+
+func TestCriticalCycleMemoryRecurrence(t *testing.T) {
+	// store C[i] -> load C[i-1] -> add -> store: the classic loop-carried
+	// memory recurrence. The critical cycle must include the MF edge.
+	b := ir.NewBuilder("memrec")
+	b.Symbol("c", 0x1000, 1<<20)
+	v := b.Load("ld", ir.AddrExpr{Base: "c", Offset: -16, Stride: 16, Size: 4})
+	w := b.Arith("r0", ir.KindAdd, v)
+	x := b.Arith("r1", ir.KindAdd, w)
+	b.Store("st", ir.AddrExpr{Base: "c", Stride: 16, Size: 4}, x)
+	g := MustBuild(b.Loop())
+	lat := DefaultLatency(1)
+	cycle := g.CriticalCycle(lat)
+	if cycle == nil {
+		t.Fatal("memory recurrence not found")
+	}
+	hasMF := false
+	for _, e := range cycle {
+		if e.Kind == MF {
+			hasMF = true
+		}
+	}
+	if !hasMF {
+		t.Errorf("critical cycle misses the MF edge: %v", cycle)
+	}
+	if _, _, bound := g.CycleStats(cycle, lat); bound != g.RecMII(lat) {
+		t.Errorf("bound mismatch")
+	}
+}
+
+func TestCriticalCycleAcyclic(t *testing.T) {
+	b := ir.NewBuilder("acyc")
+	v := b.Arith("a", ir.KindAdd)
+	b.Arith("b", ir.KindMul, v)
+	g := MustBuild(b.Loop())
+	if c := g.CriticalCycle(DefaultLatency(1)); c != nil {
+		t.Errorf("acyclic graph reported a cycle: %v", c)
+	}
+}

@@ -1,0 +1,231 @@
+// Package ddg builds and analyzes Data Dependence Graphs over loop bodies.
+//
+// Edges carry a kind (register flow, memory flow, memory anti, memory
+// output, or synchronization), a dependence distance in iterations, and an
+// ambiguity flag for conservative dependences the disambiguator could not
+// prove or disprove. Analyses include recurrence-constrained MII, ASAP/ALAP
+// times and height-based scheduling priorities.
+package ddg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vliwcache/internal/ir"
+)
+
+// EdgeKind classifies dependence edges (§3.1 of the paper).
+type EdgeKind int
+
+const (
+	// RF is a register flow dependence (producer → consumer).
+	RF EdgeKind = iota
+	// MF is a memory flow dependence (store → load).
+	MF
+	// MA is a memory anti dependence (load → store).
+	MA
+	// MO is a memory output dependence (store → store).
+	MO
+	// SYNC is a synchronization dependence introduced by the DDGT
+	// load–store synchronization transformation: the store must not be
+	// scheduled before the chosen consumer of the load.
+	SYNC
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case RF:
+		return "RF"
+	case MF:
+		return "MF"
+	case MA:
+		return "MA"
+	case MO:
+		return "MO"
+	case SYNC:
+		return "SYNC"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// IsMem reports whether the kind is one of the memory dependence kinds
+// (MF, MA or MO). SYNC edges are scheduling edges, not memory dependences.
+func (k EdgeKind) IsMem() bool { return k == MF || k == MA || k == MO }
+
+// Edge is a dependence from op From to op To with the given distance in
+// iterations: the instance of To in iteration i+Dist depends on the
+// instance of From in iteration i.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	Dist     int
+
+	// Ambiguous marks conservative dependences: the disambiguator could
+	// not prove the accesses independent (may-aliased symbols or
+	// non-uniform strides). Code specialization (§6) targets these.
+	Ambiguous bool
+}
+
+func (e *Edge) String() string {
+	amb := ""
+	if e.Ambiguous {
+		amb = "?"
+	}
+	return fmt.Sprintf("%d-%s%s(d=%d)->%d", e.From, e.Kind, amb, e.Dist, e.To)
+}
+
+// Graph is a DDG over the ops of a loop. Node IDs are op IDs.
+type Graph struct {
+	Loop *ir.Loop
+
+	out [][]*Edge
+	in  [][]*Edge
+	n   int // edge count
+}
+
+// New returns an empty graph sized for the loop's current ops.
+func New(l *ir.Loop) *Graph {
+	return &Graph{
+		Loop: l,
+		out:  make([][]*Edge, len(l.Ops)),
+		in:   make([][]*Edge, len(l.Ops)),
+	}
+}
+
+// NumNodes returns the number of nodes (ops) the graph covers.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.n }
+
+// Grow extends the adjacency structures to cover ops appended to the loop
+// after the graph was created (DDGT adds replicas and fake consumers).
+func (g *Graph) Grow() {
+	for len(g.out) < len(g.Loop.Ops) {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+	}
+}
+
+// AddEdge inserts a dependence edge and returns it. Negative distances are
+// a programming error.
+func (g *Graph) AddEdge(from, to int, kind EdgeKind, dist int, ambiguous bool) *Edge {
+	if dist < 0 {
+		panic(fmt.Sprintf("ddg: negative dependence distance %d (%d->%d)", dist, from, to))
+	}
+	g.Grow()
+	e := &Edge{From: from, To: to, Kind: kind, Dist: dist, Ambiguous: ambiguous}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.n++
+	return e
+}
+
+// HasEdge reports whether an edge with identical endpoints, kind and
+// distance already exists.
+func (g *Graph) HasEdge(from, to int, kind EdgeKind, dist int) bool {
+	for _, e := range g.out[from] {
+		if e.To == to && e.Kind == kind && e.Dist == dist {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveEdge deletes e from the graph. It is a no-op if e was already
+// removed.
+func (g *Graph) RemoveEdge(e *Edge) {
+	removed := false
+	g.out[e.From], removed = splice(g.out[e.From], e)
+	if removed {
+		g.in[e.To], _ = splice(g.in[e.To], e)
+		g.n--
+	}
+}
+
+func splice(es []*Edge, e *Edge) ([]*Edge, bool) {
+	for i, x := range es {
+		if x == e {
+			return append(es[:i], es[i+1:]...), true
+		}
+	}
+	return es, false
+}
+
+// Out returns the edges leaving op id. The slice must not be mutated.
+func (g *Graph) Out(id int) []*Edge { return g.out[id] }
+
+// In returns the edges entering op id. The slice must not be mutated.
+func (g *Graph) In(id int) []*Edge { return g.in[id] }
+
+// Edges returns all edges in a deterministic order.
+func (g *Graph) Edges() []*Edge {
+	var es []*Edge
+	for _, out := range g.out {
+		es = append(es, out...)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Dist < b.Dist
+	})
+	return es
+}
+
+// MemEdges returns all memory dependence edges (MF/MA/MO).
+func (g *Graph) MemEdges() []*Edge {
+	var es []*Edge
+	for _, e := range g.Edges() {
+		if e.Kind.IsMem() {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// String renders the graph, one edge per line, using op labels.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ddg %q: %d nodes, %d edges\n", g.Loop.Name, g.NumNodes(), g.NumEdges())
+	for _, e := range g.Edges() {
+		amb := ""
+		if e.Ambiguous {
+			amb = " (ambiguous)"
+		}
+		fmt.Fprintf(&b, "  %s -%s(d=%d)-> %s%s\n",
+			g.Loop.Ops[e.From].Label(), e.Kind, e.Dist, g.Loop.Ops[e.To].Label(), amb)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the graph sharing the same loop pointer.
+// Use CloneWithLoop to re-target a cloned loop.
+func (g *Graph) Clone() *Graph { return g.CloneWithLoop(g.Loop) }
+
+// CloneWithLoop returns a deep copy of the graph attached to the given loop
+// (which must have the same op IDs).
+func (g *Graph) CloneWithLoop(l *ir.Loop) *Graph {
+	c := &Graph{
+		Loop: l,
+		out:  make([][]*Edge, len(g.out)),
+		in:   make([][]*Edge, len(g.in)),
+		n:    g.n,
+	}
+	for from, es := range g.out {
+		for _, e := range es {
+			ne := *e
+			c.out[from] = append(c.out[from], &ne)
+			c.in[e.To] = append(c.in[e.To], &ne)
+		}
+	}
+	return c
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+func quickSuite(t *testing.T, cfg arch.Config) *Suite {
+	t.Helper()
+	s := NewSuite(cfg)
+	s.SimOptions = sim.Options{MaxIterations: 120, MaxEntries: 1}
+	return s
+}
+
+func TestSuiteCellCaching(t *testing.T) {
+	s := quickSuite(t, arch.Default())
+	a, err := s.Cell("gsmenc", MDCPrefClus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Cell("gsmenc", MDCPrefClus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cells must be cached")
+	}
+	if _, err := s.Cell("nosuch", MDCPrefClus); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if a.CommOpsPerIter() < 0 {
+		t.Error("negative comm ops")
+	}
+}
+
+func TestTable1Table2Static(t *testing.T) {
+	t1 := Table1()
+	for _, b := range mediabench.All() {
+		if !strings.Contains(t1, b.Name) {
+			t.Errorf("Table 1 missing %s", b.Name)
+		}
+	}
+	if !strings.Contains(t1, "titanic3.pgm.E") || !strings.Contains(t1, "2 bytes (99.0%)") {
+		t.Error("Table 1 missing input / data-size cells")
+	}
+	t2 := Table2(arch.Default())
+	for _, want := range []string{"Number of clusters", "4", "8KB total", "32 byte blocks", "10 cycle"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	out := Table3()
+	// Spot-check ordering relationships the paper reports: pgpdec has the
+	// largest CMR, g721 benchmarks have zero.
+	if !strings.Contains(out, "g721dec    0.00  0.00") {
+		t.Errorf("g721dec must have zero ratios:\n%s", out)
+	}
+	for _, b := range []string{"epicdec", "pgpdec", "rasta"} {
+		if !strings.Contains(out, b) {
+			t.Errorf("Table 3 missing %s", b)
+		}
+	}
+}
+
+func TestTable5Specialization(t *testing.T) {
+	out := Table5()
+	for _, b := range []string{"epicdec", "pgpdec", "rasta"} {
+		if !strings.Contains(out, b) {
+			t.Errorf("Table 5 missing %s", b)
+		}
+	}
+	// NEW ratios must be lower than OLD for epicdec (0.6x -> ~0.2).
+	if !strings.Contains(out, "OLD CMR") || !strings.Contains(out, "NEW CMR") {
+		t.Error("Table 5 header broken")
+	}
+}
+
+func TestFigure6SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := quickSuite(t, arch.Default())
+	out, err := Figure6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "AMEAN") || !strings.Contains(out, "epicdec") {
+		t.Errorf("Figure 6 incomplete:\n%s", out)
+	}
+}
+
+func TestFigure7And9SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := quickSuite(t, arch.Default())
+	out, err := Figure7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MDC(PrefClus)", "DDGT(MinComs)", "AMEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 7 missing %q", want)
+		}
+	}
+	if _, err := Figure9(s); err == nil {
+		t.Error("Figure 9 must reject a suite without Attraction Buffers")
+	}
+	ab := quickSuite(t, arch.Default().WithAttractionBuffers(16))
+	if _, err := Figure9(ab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable4SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := quickSuite(t, arch.Default())
+	out, err := Table4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "com. ops") || !strings.Contains(out, "g721dec") {
+		t.Errorf("Table 4 incomplete:\n%s", out)
+	}
+	// g721 benchmarks have no chains: Δ comm ops must be exactly 1.00.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "g721") && !strings.Contains(line, "1.00") {
+			t.Errorf("g721* must have ratio 1.00: %q", line)
+		}
+	}
+}
+
+func TestRunHybridPicksFaster(t *testing.T) {
+	b, err := mediabench.Get("pgpdec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.Default().WithInterleave(b.Interleave)
+	opts := sim.Options{MaxIterations: 150, MaxEntries: 1}
+	hy, err := RunHybrid(b.Loops[0], cfg, sched.PrefClus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdc, err := RunLoop(b.Loops[0], cfg, MDCPrefClus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := RunLoop(b.Loops[0], cfg, DDGTPrefClus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := mdc.Stats.Cycles()
+	if dt.Stats.Cycles() < best {
+		best = dt.Stats.Cycles()
+	}
+	if hy.Stats.Cycles() != best {
+		t.Errorf("hybrid picked %d cycles, best is %d", hy.Stats.Cycles(), best)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if MDCPrefClus.String() != "MDC(PrefClus)" {
+		t.Errorf("variant string = %q", MDCPrefClus.String())
+	}
+	_ = core.PolicyFree // keep import honest alongside future edits
+}

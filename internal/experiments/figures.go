@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sim"
+	"vliwcache/internal/textplot"
+)
+
+// classGlyphs render the five access classes in Figure 6 bars.
+var classGlyphs = map[sim.Class]rune{
+	sim.LocalHit:   '#',
+	sim.RemoteHit:  '=',
+	sim.LocalMiss:  '+',
+	sim.RemoteMiss: '-',
+	sim.Combined:   '~',
+}
+
+// Figure6 reproduces Figure 6: classification of memory accesses under the
+// PrefClus heuristic for (i) no memory dependence restrictions, (ii) MDC,
+// (iii) DDGT, per benchmark plus the arithmetic mean.
+func Figure6(s *Suite) (string, error) {
+	variants := []Variant{FreePrefClus, MDCPrefClus, DDGTPrefClus}
+	labels := []string{"free", "MDC", "DDGT"}
+
+	var b strings.Builder
+	b.WriteString("Figure 6. Classification of memory accesses (PrefClus heuristic).\n")
+	b.WriteString("Bars: local hits '#', remote hits '=', local misses '+', remote misses '-', combined '~'.\n\n")
+
+	t := textplot.NewTable("benchmark", "variant", "bar (0..100%)", "LH", "RH", "LM", "RM", "CO")
+	sums := make([][]float64, len(variants)) // per variant, per class, accumulated ratios
+	for i := range sums {
+		sums[i] = make([]float64, sim.NumClasses)
+	}
+
+	for _, bench := range s.Benches {
+		for vi, v := range variants {
+			c, err := s.Cell(bench.Name, v)
+			if err != nil {
+				return "", err
+			}
+			var segs []textplot.Segment
+			ratios := make([]float64, sim.NumClasses)
+			for cl := sim.Class(0); cl < sim.NumClasses; cl++ {
+				r := c.Total.ClassRatio(cl)
+				ratios[cl] = r
+				sums[vi][cl] += r
+				segs = append(segs, textplot.Segment{Frac: r, Rune: classGlyphs[cl]})
+			}
+			name := ""
+			if vi == 0 {
+				name = bench.Name
+			}
+			t.Row(name, labels[vi], "|"+textplot.StackedBar(40, segs)+"|",
+				pct(ratios[sim.LocalHit]), pct(ratios[sim.RemoteHit]),
+				pct(ratios[sim.LocalMiss]), pct(ratios[sim.RemoteMiss]), pct(ratios[sim.Combined]))
+		}
+	}
+	n := float64(len(s.Benches))
+	for vi := range variants {
+		var segs []textplot.Segment
+		for cl := sim.Class(0); cl < sim.NumClasses; cl++ {
+			segs = append(segs, textplot.Segment{Frac: sums[vi][cl] / n, Rune: classGlyphs[sim.Class(cl)]})
+		}
+		name := ""
+		if vi == 0 {
+			name = "AMEAN"
+		}
+		t.Row(name, labels[vi], "|"+textplot.StackedBar(40, segs)+"|",
+			pct(sums[vi][sim.LocalHit]/n), pct(sums[vi][sim.RemoteHit]/n),
+			pct(sums[vi][sim.LocalMiss]/n), pct(sums[vi][sim.RemoteMiss]/n), pct(sums[vi][sim.Combined]/n))
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// executionTimeFigure renders Figure 7 (and Figure 9 when the suite's base
+// config has Attraction Buffers): cycle counts of MDC/DDGT × PrefClus/
+// MinComs normalized to the optimistic MinComs baseline, split into
+// compute ('#') and stall ('.') time.
+func executionTimeFigure(s *Suite, title string) (string, error) {
+	variants := []Variant{MDCPrefClus, MDCMinComs, DDGTPrefClus, DDGTMinComs}
+	labels := []string{"MDC(PrefClus)", "MDC(MinComs)", "DDGT(PrefClus)", "DDGT(MinComs)"}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("Bars normalized to the optimistic baseline (free MinComs) = 1.0;\n")
+	b.WriteString("'#' compute time, '.' stall time; scale: 50 chars = 1.0.\n\n")
+
+	t := textplot.NewTable("benchmark", "variant", "bar (norm. cycles)", "total", "compute", "stall")
+	norms := make([][]float64, len(variants)) // total, compute, stall sums for AMEAN
+	for i := range norms {
+		norms[i] = make([]float64, 3)
+	}
+
+	for _, bench := range s.Benches {
+		base, err := s.Cell(bench.Name, FreeMinComs)
+		if err != nil {
+			return "", err
+		}
+		bc := float64(base.Total.Cycles())
+		for vi, v := range variants {
+			c, err := s.Cell(bench.Name, v)
+			if err != nil {
+				return "", err
+			}
+			comp := float64(c.Total.ComputeCycles) / bc
+			stall := float64(c.Total.StallCycles) / bc
+			norms[vi][0] += comp + stall
+			norms[vi][1] += comp
+			norms[vi][2] += stall
+			name := ""
+			if vi == 0 {
+				name = bench.Name
+			}
+			t.Row(name, labels[vi],
+				"|"+textplot.StackedBar(50, []textplot.Segment{
+					{Frac: comp / 2, Rune: '#'}, // scale: 50 chars = 1.0 => frac relative to 2.0 width
+					{Frac: stall / 2, Rune: '.'},
+				})+"|",
+				fmt.Sprintf("%.3f", comp+stall), fmt.Sprintf("%.3f", comp), fmt.Sprintf("%.3f", stall))
+		}
+	}
+	n := float64(len(s.Benches))
+	for vi := range variants {
+		name := ""
+		if vi == 0 {
+			name = "AMEAN"
+		}
+		t.Row(name, labels[vi],
+			"|"+textplot.StackedBar(50, []textplot.Segment{
+				{Frac: norms[vi][1] / n / 2, Rune: '#'},
+				{Frac: norms[vi][2] / n / 2, Rune: '.'},
+			})+"|",
+			fmt.Sprintf("%.3f", norms[vi][0]/n),
+			fmt.Sprintf("%.3f", norms[vi][1]/n),
+			fmt.Sprintf("%.3f", norms[vi][2]/n))
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// Figure7 reproduces Figure 7: execution time under the Table 2 config.
+func Figure7(s *Suite) (string, error) {
+	return executionTimeFigure(s,
+		"Figure 7. Execution time results for the different solutions and heuristics.\n")
+}
+
+// Figure9 reproduces Figure 9: execution time with 16-entry 2-way
+// Attraction Buffers. The suite must be built over an AB configuration.
+func Figure9(s *Suite) (string, error) {
+	if s.Base.ABEntries == 0 {
+		return "", fmt.Errorf("experiments: Figure 9 requires a suite with Attraction Buffers")
+	}
+	return executionTimeFigure(s,
+		"Figure 9. Execution time with 16-entry 2-way set-associative Attraction Buffers.\n")
+}
+
+// Nobal reproduces the §4.2 unbalanced-bus study: NOBAL+MEM (4 memory
+// buses, two 4-cycle register buses) and NOBAL+REG (two 4-cycle memory
+// buses, 4 register buses), reporting the speedup of DDGT(PrefClus) over
+// the best MDC variant per benchmark.
+func Nobal(simOpts sim.Options) (string, error) {
+	var b strings.Builder
+	b.WriteString("Unbalanced bus configurations (§4.2).\n\n")
+	for _, conf := range []struct {
+		name string
+		cfg  arch.Config
+	}{
+		{"NOBAL+MEM", arch.NobalMem()},
+		{"NOBAL+REG", arch.NobalReg()},
+	} {
+		s := NewSuite(conf.cfg)
+		s.SimOptions = simOpts
+		t := textplot.NewTable("benchmark", "MDC(Pref)", "MDC(Min)", "DDGT(Pref)", "DDGT(Pref) vs best MDC")
+		for _, bench := range s.Benches {
+			mp, err := s.Cell(bench.Name, MDCPrefClus)
+			if err != nil {
+				return "", err
+			}
+			mm, err := s.Cell(bench.Name, MDCMinComs)
+			if err != nil {
+				return "", err
+			}
+			dp, err := s.Cell(bench.Name, DDGTPrefClus)
+			if err != nil {
+				return "", err
+			}
+			best := mp.Total.Cycles()
+			if mm.Total.Cycles() < best {
+				best = mm.Total.Cycles()
+			}
+			speedup := float64(best)/float64(dp.Total.Cycles()) - 1
+			t.Rowf("%s\t%d\t%d\t%d\t%+.1f%%", bench.Name,
+				mp.Total.Cycles(), mm.Total.Cycles(), dp.Total.Cycles(), 100*speedup)
+		}
+		fmt.Fprintf(&b, "%s: %s\n%s\n", conf.name, conf.cfg, t.String())
+	}
+	return b.String(), nil
+}
+
+// EpicLoop reproduces the §5.4 case study: the epicdec loop whose 76-op
+// memory dependent chain overflows a single Attraction Buffer under MDC
+// while DDGT spreads its accesses over all four buffers.
+func EpicLoop(simOpts sim.Options) (string, error) {
+	bench, err := mediabench.Get("epicdec")
+	if err != nil {
+		return "", err
+	}
+	loop := bench.Loops[0]
+	var b strings.Builder
+	b.WriteString("§5.4 case study: the epicdec loop with a 76-op memory dependent chain.\n\n")
+	t := textplot.NewTable("config", "variant", "local hit ratio", "stall cycles", "total cycles")
+	for _, ab := range []int{0, 16} {
+		cfg := arch.Default().WithInterleave(bench.Interleave)
+		if ab > 0 {
+			cfg = cfg.WithAttractionBuffers(ab)
+		}
+		for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
+			run, err := RunLoop(loop, cfg, v, simOpts)
+			if err != nil {
+				return "", err
+			}
+			label := "no AB"
+			if ab > 0 {
+				label = fmt.Sprintf("%d-entry AB", ab)
+			}
+			t.Rowf("%s\t%s\t%.1f%%\t%d\t%d", label, v,
+				100*run.Stats.LocalHitRatio(), run.Stats.StallCycles, run.Stats.Cycles())
+		}
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/sim"
+	"vliwcache/internal/textplot"
+)
+
+// Layouts evaluates the paper's §2.3 claim that the techniques apply to
+// "any clustered configuration where the data cache has been clustered as
+// well", by re-running MDC and DDGT on a replicated-cache clustered VLIW
+// (the multiVLIW-style organization): loads are always local but stores
+// must keep every cluster's copy consistent — by broadcasting updates over
+// the memory buses (baseline/MDC) or, under DDGT, by the per-cluster store
+// instances updating their local copies directly.
+func Layouts(simOpts sim.Options) (string, error) {
+	var b strings.Builder
+	b.WriteString("Cache layout study (§2.3): word-interleaved vs replicated.\n\n")
+
+	benches := []string{"epicdec", "gsmdec", "pgpdec", "rasta"}
+	t := textplot.NewTable("benchmark", "layout", "variant", "cycles", "local hit", "bus transfers", "violations")
+	for _, name := range benches {
+		for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
+			s := NewSuite(arch.Default().WithLayout(layout))
+			s.SimOptions = simOpts
+			s.SimOptions.CheckCoherence = true
+			for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
+				c, err := s.Cell(name, v)
+				if err != nil {
+					return "", err
+				}
+				t.Rowf("%s\t%s\t%s\t%d\t%.1f%%\t%d\t%d",
+					name, layout, v, c.Total.Cycles(),
+					100*c.Total.LocalHitRatio(), c.Total.BusTransfers, c.Total.Violations)
+			}
+		}
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nUnder the replicated layout every access is local; MDC pays bus\n")
+	b.WriteString("broadcasts per store while DDGT's replicated instances update the\n")
+	b.WriteString("copies in place. Both remain free of ordering violations.\n")
+	return b.String(), nil
+}

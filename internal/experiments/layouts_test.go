@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/sim"
+)
+
+func TestLayoutsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := Layouts(sim.Options{MaxIterations: 120, MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"word-interleaved", "replicated", "epicdec", "pgpdec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("layouts output missing %q", want)
+		}
+	}
+	// Every table row reports zero violations under MDC/DDGT.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "(PrefClus)") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 0 && fields[len(fields)-1] != "0" {
+			t.Errorf("nonzero violations in row: %q", line)
+		}
+	}
+}
+
+func TestHybridExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := Hybrid(sim.Options{MaxIterations: 120, MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "totals:") || !strings.Contains(out, "vs MDC") {
+		t.Errorf("hybrid output incomplete:\n%s", out)
+	}
+	// The hybrid never loses to either pure policy (per construction).
+	if strings.Contains(out, "vs MDC\n") {
+		t.Log(out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "-") && strings.Contains(line, "%") && strings.Contains(line, "epicdec") {
+			if strings.Contains(line, "-0.") || strings.Contains(line, "-1") {
+				t.Errorf("hybrid slower than MDC on %q", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and §5) on the synthesized Mediabench suite: access
+// classification (Figure 6), execution time (Figure 7), chain analysis
+// (Table 3), DDGT analysis (Table 4), the unbalanced-bus configurations,
+// the Attraction Buffer runs (Figure 9, §5.4) and code specialization
+// (Table 5).
+package experiments
+
+import (
+	"fmt"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// Variant identifies one (policy, heuristic) combination.
+type Variant struct {
+	Policy    core.Policy
+	Heuristic sched.Heuristic
+}
+
+func (v Variant) String() string { return fmt.Sprintf("%s(%s)", v.Policy, v.Heuristic) }
+
+// The paper's variants.
+var (
+	FreeMinComs  = Variant{core.PolicyFree, sched.MinComs}  // the optimistic baseline
+	FreePrefClus = Variant{core.PolicyFree, sched.PrefClus} // Figure 6 bar (i)
+	MDCPrefClus  = Variant{core.PolicyMDC, sched.PrefClus}
+	MDCMinComs   = Variant{core.PolicyMDC, sched.MinComs}
+	DDGTPrefClus = Variant{core.PolicyDDGT, sched.PrefClus}
+	DDGTMinComs  = Variant{core.PolicyDDGT, sched.MinComs}
+)
+
+// LoopRun is one loop's outcome under one variant.
+type LoopRun struct {
+	Loop  string
+	II    int
+	Comms int // communication ops per iteration (scheduled copies)
+	Stats *sim.Stats
+}
+
+// Cell aggregates a benchmark's loops under one variant.
+type Cell struct {
+	Bench   string
+	Variant Variant
+	Loops   []LoopRun
+	Total   sim.Stats
+}
+
+// CommOpsPerIter is the dynamic count of communication operations divided
+// by dynamic iterations — the quantity compared in Table 4.
+func (c *Cell) CommOpsPerIter() float64 {
+	if c.Total.Iterations == 0 {
+		return 0
+	}
+	return float64(c.Total.CommOps) / float64(c.Total.Iterations)
+}
+
+// Suite runs and caches benchmark × variant cells for one base
+// architecture configuration (the per-benchmark interleaving factor is
+// applied on top).
+type Suite struct {
+	Base    arch.Config
+	Benches []*mediabench.Benchmark
+
+	// SimOptions applies to every run (iteration caps for quick runs).
+	SimOptions sim.Options
+
+	cells map[string]*Cell
+}
+
+// NewSuite builds a suite over the paper's thirteen figure benchmarks.
+func NewSuite(base arch.Config) *Suite {
+	return &Suite{
+		Base:    base,
+		Benches: mediabench.Figures(),
+		cells:   make(map[string]*Cell),
+	}
+}
+
+func (s *Suite) bench(name string) (*mediabench.Benchmark, error) {
+	for _, b := range s.Benches {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: benchmark %q not in suite", name)
+}
+
+// Cell returns the (cached) result of one benchmark under one variant.
+func (s *Suite) Cell(bench string, v Variant) (*Cell, error) {
+	key := bench + "/" + v.String()
+	if c, ok := s.cells[key]; ok {
+		return c, nil
+	}
+	b, err := s.bench(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Base.WithInterleave(b.Interleave)
+	c := &Cell{Bench: bench, Variant: v}
+	for _, loop := range b.Loops {
+		run, err := RunLoop(loop, cfg, v, s.SimOptions)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s %s: %w", bench, loop.Name, v, err)
+		}
+		c.Loops = append(c.Loops, *run)
+		c.Total.Add(run.Stats)
+	}
+	s.cells[key] = c
+	return c, nil
+}
+
+// RunLoop drives the full pipeline for one loop: profile, prepare under
+// the policy, modulo schedule, simulate.
+func RunLoop(loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
+	plan, err := core.Prepare(loop, v.Policy, cfg.NumClusters)
+	if err != nil {
+		return nil, err
+	}
+	prof := profiler.Run(loop, cfg)
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: v.Heuristic, Profile: prof})
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.Run(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &LoopRun{Loop: loop.Name, II: sc.II, Comms: sc.CommOps(), Stats: st}, nil
+}
+
+// RunHybrid implements the per-loop hybrid of §6 (further work): both MDC
+// and DDGT are scheduled and simulated and the faster one is kept per loop.
+func RunHybrid(loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
+	mdc, err := RunLoop(loop, cfg, Variant{core.PolicyMDC, h}, opts)
+	if err != nil {
+		return nil, err
+	}
+	dt, err := RunLoop(loop, cfg, Variant{core.PolicyDDGT, h}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if dt.Stats.Cycles() < mdc.Stats.Cycles() {
+		return dt, nil
+	}
+	return mdc, nil
+}
+
+// Chains analysis shared by Table 3 and Table 5.
+func chainRatios(loops []*ir.Loop, specialize bool) (cmr, car float64) {
+	var chainDyn, memDyn, opsDyn float64
+	for _, l := range loops {
+		g := ddg.MustBuild(l)
+		if specialize {
+			g, _ = core.Specialize(g)
+		}
+		st := core.AnalyzeChains(g)
+		w := float64(l.Trip * l.Entries)
+		chainDyn += float64(st.Biggest) * w
+		memDyn += float64(st.MemOps) * w
+		opsDyn += float64(st.Ops) * w
+	}
+	if memDyn == 0 || opsDyn == 0 {
+		return 0, 0
+	}
+	return chainDyn / memDyn, chainDyn / opsDyn
+}

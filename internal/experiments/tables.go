@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/textplot"
+)
+
+// Table1 reproduces Table 1: benchmarks, inputs and main data sizes.
+func Table1() string {
+	t := textplot.NewTable("benchmark", "profile input", "execution input", "main data size", "interleave")
+	for _, b := range mediabench.All() {
+		t.Row(b.Name, b.ProfileInput, b.ExecInput,
+			fmt.Sprintf("%d bytes (%.1f%%)", b.MainDataSize, b.MainDataPct),
+			fmt.Sprintf("%d bytes", b.Interleave))
+	}
+	return "Table 1. Benchmarks and inputs used in simulations.\n\n" + t.String()
+}
+
+// Table2 reproduces Table 2: the architecture configuration.
+func Table2(cfg arch.Config) string {
+	lat := cfg.Latencies()
+	t := textplot.NewTable("parameter", "value")
+	t.Row("Number of clusters", fmt.Sprint(cfg.NumClusters))
+	t.Row("Functional units", fmt.Sprintf("%d FP / cluster + %d Integer / cluster + %d Memory / cluster",
+		cfg.FPUnits, cfg.IntUnits, cfg.MemUnits))
+	t.Row("Cache parameters", fmt.Sprintf("%dKB total (%s), %d byte blocks, %d-way set-associative, %d cycle latency",
+		cfg.CacheBytes/1024,
+		fmt.Sprintf("%d modules of %dKB", cfg.NumClusters, cfg.ModuleBytes()/1024),
+		cfg.BlockBytes, cfg.CacheAssoc, cfg.CacheHitLatency))
+	t.Row("Register-to-register buses", fmt.Sprintf("%d buses, %d cycle latency", cfg.RegBuses, cfg.RegBusLatency))
+	t.Row("Memory buses", fmt.Sprintf("%d buses, %d cycle latency", cfg.MemBuses, cfg.MemBusLatency))
+	t.Row("Next memory level", fmt.Sprintf("%d ports + %d cycle total latency, always hit",
+		cfg.NextLevelPorts, cfg.NextLevelLatency))
+	if cfg.ABEntries > 0 {
+		t.Row("Attraction Buffers", fmt.Sprintf("%d-entry %d-way set-associative", cfg.ABEntries, cfg.ABAssoc))
+	}
+	t.Row("Access latencies (LH/RH/LM/RM)", fmt.Sprintf("%d/%d/%d/%d cycles",
+		lat.LocalHit, lat.RemoteHit, lat.LocalMiss, lat.RemoteMiss))
+	return "Table 2. Configuration parameters.\n\n" + t.String()
+}
+
+// Table3 reproduces Table 3: CMR and CAR per benchmark.
+func Table3() string {
+	t := textplot.NewTable("benchmark", "CMR", "CAR")
+	for _, b := range mediabench.Figures() {
+		cmr, car := chainRatios(b.Loops, false)
+		t.Rowf("%s\t%.2f\t%.2f", b.Name, cmr, car)
+	}
+	return "Table 3. Analyzing the MDC solution (biggest chain over memory\n" +
+		"instructions ratio, and over all instructions).\n\n" + t.String()
+}
+
+// Table4 reproduces Table 4: additional communication operations of DDGT
+// over MDC (PrefClus), and DDGT speedup on selected loops — loops with at
+// least a 10% MDC slowdown versus the optimistic baseline.
+func Table4(s *Suite) (string, error) {
+	t := textplot.NewTable("benchmark", "Δ com. ops", "speedup selected loops")
+	for _, b := range s.Benches {
+		mdc, err := s.Cell(b.Name, MDCPrefClus)
+		if err != nil {
+			return "", err
+		}
+		dt, err := s.Cell(b.Name, DDGTPrefClus)
+		if err != nil {
+			return "", err
+		}
+		free, err := s.Cell(b.Name, FreePrefClus)
+		if err != nil {
+			return "", err
+		}
+
+		delta := 1.0
+		if m := mdc.CommOpsPerIter(); m > 0 {
+			delta = dt.CommOpsPerIter() / m
+		} else if dt.CommOpsPerIter() > 0 {
+			delta = dt.CommOpsPerIter()
+		}
+
+		// Selected loops: >= 10% MDC slowdown vs the baseline.
+		var mdcCyc, ddgtCyc int64
+		for i := range mdc.Loops {
+			mc := mdc.Loops[i].Stats.Cycles()
+			fc := free.Loops[i].Stats.Cycles()
+			if fc > 0 && float64(mc) >= 1.10*float64(fc) {
+				mdcCyc += mc
+				ddgtCyc += dt.Loops[i].Stats.Cycles()
+			}
+		}
+		sel := "-"
+		if mdcCyc > 0 && ddgtCyc > 0 {
+			sel = fmt.Sprintf("%+.1f%%", 100*(float64(mdcCyc)/float64(ddgtCyc)-1))
+		}
+		t.Rowf("%s\t%.2f\t%s", b.Name, delta, sel)
+	}
+	return "Table 4. Analyzing the DDGT solution (additional communication\n" +
+		"operations vs MDC with PrefClus; DDGT speedup on loops with >=10%\n" +
+		"MDC slowdown vs the optimistic baseline).\n\n" + t.String(), nil
+}
+
+// Table5 reproduces Table 5: CMR/CAR before and after code specialization
+// for the benchmarks with the biggest chains.
+func Table5() string {
+	t := textplot.NewTable("benchmark", "OLD CMR", "OLD CAR", "NEW CMR", "NEW CAR")
+	for _, name := range []string{"epicdec", "pgpdec", "rasta"} {
+		b, err := mediabench.Get(name)
+		if err != nil {
+			return err.Error()
+		}
+		ocmr, ocar := chainRatios(b.Loops, false)
+		ncmr, ncar := chainRatios(b.Loops, true)
+		t.Rowf("%s\t%.2f\t%.2f\t%.2f\t%.2f", name, ocmr, ocar, ncmr, ncar)
+	}
+	return "Table 5. Restrictions of memory dependences before (OLD) and after\n" +
+		"(NEW) applying code specialization.\n\n" + t.String()
+}
+
+// pct formats a ratio as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }
+
+// amean returns the arithmetic mean of the values.
+func amean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

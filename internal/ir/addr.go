@@ -1,0 +1,51 @@
+package ir
+
+import "fmt"
+
+// AddrExpr is an affine address expression: the access of iteration i
+// touches bytes [Address(i), Address(i)+Size) where
+//
+//	Address(i) = symbolBase(Base) + Offset + Stride·i
+//
+// The symbol base address is resolved by the loop's symbol table. This form
+// drives three consumers:
+//
+//   - the dependence tester (exact distances for same-symbol, same-stride
+//     pairs; conservative otherwise),
+//   - the preferred-cluster profiler (home-cluster histogram over a run),
+//   - the simulator (actual addresses per iteration).
+type AddrExpr struct {
+	Base   string `json:"base"`             // symbol (array / memory object) name
+	Offset int64  `json:"offset,omitempty"` // constant byte offset into the symbol
+	Stride int64  `json:"stride,omitempty"` // bytes advanced per iteration (may be 0 or negative)
+	Size   int    `json:"size"`             // access width in bytes (1, 2, 4 or 8)
+}
+
+func (a AddrExpr) String() string {
+	return fmt.Sprintf("[%s+%d+%d*i]:%d", a.Base, a.Offset, a.Stride, a.Size)
+}
+
+// AddrAt returns the byte address accessed at iteration i given the base
+// address of the symbol.
+func (a AddrExpr) AddrAt(base uint64, i int64) uint64 {
+	return uint64(int64(base) + a.Offset + a.Stride*i)
+}
+
+// Symbol describes one memory object referenced by a loop.
+type Symbol struct {
+	Name string
+	Base uint64 // base byte address
+	Size int64  // object size in bytes (used for trace wrap-around checks)
+
+	// MayAlias lists other symbol names the compiler could not prove
+	// disjoint from this one (e.g. two pointer arguments). The dependence
+	// tester adds conservative ambiguous dependences between accesses to
+	// may-aliased symbols. The relation is treated as symmetric.
+	MayAlias []string
+}
+
+// Overlap reports whether the byte intervals [a, a+sa) and [b, b+sb)
+// intersect.
+func Overlap(a uint64, sa int, b uint64, sb int) bool {
+	return a < b+uint64(sb) && b < a+uint64(sa)
+}

@@ -1,0 +1,73 @@
+package ir
+
+// Builder offers a fluent API for constructing loops in tests, examples and
+// the synthetic workload generators. Registers are allocated on demand.
+type Builder struct {
+	loop    *Loop
+	nextReg Reg
+}
+
+// NewBuilder starts building a loop with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{loop: NewLoop(name)}
+}
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() Reg {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Symbol declares a memory object and returns the builder for chaining.
+func (b *Builder) Symbol(name string, base uint64, size int64, mayAlias ...string) *Builder {
+	b.loop.AddSymbol(&Symbol{Name: name, Base: base, Size: size, MayAlias: mayAlias})
+	return b
+}
+
+// Trip sets execution trip count and entry count.
+func (b *Builder) Trip(trip, entries int64) *Builder {
+	b.loop.Trip, b.loop.Entries = trip, entries
+	return b
+}
+
+// Profile sets the profiling trip count and base-address shift.
+func (b *Builder) Profile(trip, shift int64) *Builder {
+	b.loop.ProfileTrip, b.loop.ProfileShift = trip, shift
+	return b
+}
+
+// Load appends a load of the given address pattern into a fresh register,
+// returning the destination register. name may be empty.
+func (b *Builder) Load(name string, addr AddrExpr) Reg {
+	dst := b.Reg()
+	b.loop.Append(&Op{Name: name, Kind: KindLoad, Dst: dst, Addr: &addr})
+	return dst
+}
+
+// Store appends a store of val to the given address pattern.
+func (b *Builder) Store(name string, addr AddrExpr, val Reg) *Op {
+	return b.loop.Append(&Op{Name: name, Kind: KindStore, Dst: NoReg, Srcs: []Reg{val}, Addr: &addr})
+}
+
+// Arith appends an arithmetic op of the given kind over srcs, returning the
+// fresh destination register.
+func (b *Builder) Arith(name string, k Kind, srcs ...Reg) Reg {
+	dst := b.Reg()
+	b.loop.Append(&Op{Name: name, Kind: k, Dst: dst, Srcs: srcs})
+	return dst
+}
+
+// Op appends an arbitrary pre-built op.
+func (b *Builder) Op(o *Op) *Op { return b.loop.Append(o) }
+
+// Loop finalizes and returns the loop. It panics if validation fails —
+// builders are used to construct programmatic test fixtures where an
+// invalid loop is a programming error.
+func (b *Builder) Loop() *Loop {
+	b.loop.Renumber()
+	if err := b.loop.Validate(); err != nil {
+		panic(err)
+	}
+	return b.loop
+}

@@ -1,0 +1,253 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindProperties(t *testing.T) {
+	for k := KindLoad; k < kindMax; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		switch k {
+		case KindLoad, KindStore:
+			if !k.IsMem() || k.UnitClass() != ClassMem {
+				t.Errorf("%v must be a memory op on a memory unit", k)
+			}
+			if k.Latency() != 0 {
+				t.Errorf("%v latency is assigned by the scheduler, Latency() must be 0", k)
+			}
+		case KindFAdd, KindFSub, KindFMul, KindFDiv:
+			if k.UnitClass() != ClassFP {
+				t.Errorf("%v must execute on an FP unit", k)
+			}
+			if k.Latency() < 1 {
+				t.Errorf("%v latency = %d, want >= 1", k, k.Latency())
+			}
+		case KindCopy:
+			if k.UnitClass() != ClassBus {
+				t.Errorf("copy must occupy a bus")
+			}
+		default:
+			if k.UnitClass() != ClassInt {
+				t.Errorf("%v must execute on an integer unit", k)
+			}
+			if k.Latency() < 1 {
+				t.Errorf("%v latency = %d, want >= 1", k, k.Latency())
+			}
+		}
+	}
+	if KindInvalid.String() == "" {
+		t.Error("invalid kind must still render")
+	}
+}
+
+func TestAddrExprAddrAt(t *testing.T) {
+	a := AddrExpr{Base: "x", Offset: 8, Stride: 4, Size: 4}
+	if got := a.AddrAt(0x1000, 0); got != 0x1008 {
+		t.Errorf("AddrAt(0) = %#x, want 0x1008", got)
+	}
+	if got := a.AddrAt(0x1000, 10); got != 0x1008+40 {
+		t.Errorf("AddrAt(10) = %#x", got)
+	}
+	neg := AddrExpr{Base: "x", Offset: -16, Stride: -4, Size: 4}
+	if got := neg.AddrAt(0x1000, 2); got != 0x1000-16-8 {
+		t.Errorf("negative stride AddrAt(2) = %#x", got)
+	}
+}
+
+func TestAddrAtAffineProperty(t *testing.T) {
+	// Address deltas must be linear in the iteration delta.
+	f := func(off int32, stride int16, i1, i2 uint16) bool {
+		a := AddrExpr{Base: "x", Offset: int64(off), Stride: int64(stride), Size: 4}
+		base := uint64(1 << 32)
+		d1 := int64(a.AddrAt(base, int64(i1))) - int64(a.AddrAt(base, 0))
+		d2 := int64(a.AddrAt(base, int64(i2))) - int64(a.AddrAt(base, 0))
+		return d1 == int64(stride)*int64(i1) && d2 == int64(stride)*int64(i2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	cases := []struct {
+		a    uint64
+		sa   int
+		b    uint64
+		sb   int
+		want bool
+	}{
+		{0, 4, 4, 4, false}, // adjacent
+		{0, 4, 3, 4, true},  // one byte shared
+		{0, 8, 2, 2, true},  // contained
+		{100, 1, 100, 1, true},
+		{100, 1, 101, 1, false},
+	}
+	for _, c := range cases {
+		if got := Overlap(c.a, c.sa, c.b, c.sb); got != c.want {
+			t.Errorf("Overlap(%d,%d,%d,%d) = %v, want %v", c.a, c.sa, c.b, c.sb, got, c.want)
+		}
+		if got := Overlap(c.b, c.sb, c.a, c.sa); got != c.want {
+			t.Errorf("Overlap must be symmetric for %v", c)
+		}
+	}
+}
+
+func TestLoopValidate(t *testing.T) {
+	mk := func() *Loop {
+		b := NewBuilder("ok")
+		b.Symbol("a", 0x1000, 4096)
+		v := b.Load("ld", AddrExpr{Base: "a", Stride: 4, Size: 4})
+		b.Store("st", AddrExpr{Base: "a", Offset: 0x100, Stride: 4, Size: 4}, v)
+		return b.Loop()
+	}
+
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid loop rejected: %v", err)
+	}
+
+	l := mk()
+	l.Trip = 0
+	if l.Validate() == nil {
+		t.Error("zero trip must be rejected")
+	}
+
+	l = mk()
+	l.Ops[0].Addr.Base = "nosuch"
+	if l.Validate() == nil {
+		t.Error("unknown symbol must be rejected")
+	}
+
+	l = mk()
+	l.Ops[0].Addr.Size = 3
+	if l.Validate() == nil {
+		t.Error("non-power-of-two access size must be rejected")
+	}
+
+	l = mk()
+	l.Ops[1].Dst = 7
+	if l.Validate() == nil {
+		t.Error("store with destination register must be rejected")
+	}
+
+	l = mk()
+	l.Ops[0].Addr = nil
+	if l.Validate() == nil {
+		t.Error("memory op without address must be rejected")
+	}
+
+	l = mk()
+	l.Ops[1].ID = 5
+	if l.Validate() == nil {
+		t.Error("mismatched IDs must be rejected")
+	}
+
+	l = mk()
+	l.Symbols["a"].MayAlias = []string{"ghost"}
+	if l.Validate() == nil {
+		t.Error("may-alias to unknown symbol must be rejected")
+	}
+}
+
+func TestLoopCloneIndependence(t *testing.T) {
+	b := NewBuilder("orig")
+	b.Symbol("a", 0x1000, 4096)
+	v := b.Load("ld", AddrExpr{Base: "a", Stride: 4, Size: 4})
+	b.Store("st", AddrExpr{Base: "a", Offset: 64, Stride: 4, Size: 4}, v)
+	l := b.Loop()
+
+	c := l.Clone()
+	c.Ops[0].Addr.Offset = 999
+	c.Ops[0].Name = "mutated"
+	c.Symbols["a"].Base = 0xdead
+	c.Trip = 1
+
+	if l.Ops[0].Addr.Offset == 999 || l.Ops[0].Name == "mutated" {
+		t.Error("clone shares op state with original")
+	}
+	if l.Symbols["a"].Base == 0xdead {
+		t.Error("clone shares symbols with original")
+	}
+	if l.Trip == 1 {
+		t.Error("clone shares scalar fields")
+	}
+}
+
+func TestRenumberRemapsReplicas(t *testing.T) {
+	b := NewBuilder("r")
+	b.Symbol("a", 0x1000, 4096)
+	v := b.Load("ld", AddrExpr{Base: "a", Stride: 4, Size: 4})
+	st := b.Store("st", AddrExpr{Base: "a", Offset: 64, Stride: 4, Size: 4}, v)
+	l := b.Loop()
+
+	rep := st.Clone()
+	rep.ReplicaOf = st.ID + 1
+	rep.Name = "st.c1"
+	l.Append(rep)
+	l.Renumber()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Ops[2].IsReplica() || l.Ops[2].Origin() != st.ID {
+		t.Errorf("replica origin = %d, want %d", l.Ops[2].Origin(), st.ID)
+	}
+
+	// Reorder: move the replica to the front; origin must follow the store.
+	l.Ops = []*Op{l.Ops[2], l.Ops[0], l.Ops[1]}
+	l.Renumber()
+	if got := l.Ops[0].Origin(); got != 2 {
+		t.Errorf("after reorder, origin = %d, want 2", got)
+	}
+}
+
+func TestDefsAndMemOps(t *testing.T) {
+	b := NewBuilder("d")
+	b.Symbol("a", 0x1000, 4096)
+	v := b.Load("ld", AddrExpr{Base: "a", Stride: 4, Size: 4})
+	w := b.Arith("add", KindAdd, v)
+	b.Store("st", AddrExpr{Base: "a", Offset: 64, Stride: 4, Size: 4}, w)
+	l := b.Loop()
+
+	defs := l.Defs()
+	if len(defs[v]) != 1 || defs[v][0] != 0 {
+		t.Errorf("defs[%d] = %v", v, defs[v])
+	}
+	ms := l.MemOps()
+	if len(ms) != 2 || ms[0].Kind != KindLoad || ms[1].Kind != KindStore {
+		t.Errorf("MemOps = %v", ms)
+	}
+	st := l.Stat()
+	if st.Ops != 3 || st.Loads != 1 || st.Stores != 1 || st.Int != 1 {
+		t.Errorf("Stat = %+v", st)
+	}
+}
+
+func TestMayAliasSymmetry(t *testing.T) {
+	b := NewBuilder("m")
+	b.Symbol("p", 0x1000, 64, "q")
+	b.Symbol("q", 0x2000, 64)
+	b.Symbol("r", 0x3000, 64)
+	b.Load("ld", AddrExpr{Base: "p", Stride: 4, Size: 4})
+	l := b.Loop()
+	if !l.MayAlias("p", "q") || !l.MayAlias("q", "p") {
+		t.Error("may-alias must be symmetric")
+	}
+	if l.MayAlias("p", "r") || l.MayAlias("r", "q") {
+		t.Error("unrelated symbols must not alias")
+	}
+}
+
+func TestLoopString(t *testing.T) {
+	b := NewBuilder("s")
+	b.Symbol("a", 0x1000, 4096)
+	b.Load("ld", AddrExpr{Base: "a", Stride: 4, Size: 4})
+	s := b.Loop().String()
+	for _, want := range []string{"loop \"s\"", "sym a", "ld: load"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON interchange format lets loops be stored in files and fed to the
+// command-line tools. It is a direct rendering of the IR:
+//
+//	{
+//	  "name": "daxpy",
+//	  "trip": 1000,
+//	  "entries": 1,
+//	  "symbols": [
+//	    {"name": "x", "base": 65536, "size": 1048576},
+//	    {"name": "y", "base": 524288, "size": 1048576, "mayAlias": ["x"]}
+//	  ],
+//	  "ops": [
+//	    {"name": "ldx", "kind": "load", "dst": 1,
+//	     "addr": {"base": "x", "offset": 0, "stride": 8, "size": 8}},
+//	    {"name": "mul", "kind": "fmul", "dst": 2, "srcs": [0, 1]},
+//	    {"name": "sty", "kind": "store", "srcs": [2],
+//	     "addr": {"base": "y", "stride": 8, "size": 8}}
+//	  ]
+//	}
+//
+// Kinds use their String names ("load", "store", "add", ...). Replicas and
+// copies are scheduler-internal and not accepted from JSON.
+
+type jsonLoop struct {
+	Name         string       `json:"name"`
+	Trip         int64        `json:"trip"`
+	Entries      int64        `json:"entries,omitempty"`
+	ProfileTrip  int64        `json:"profileTrip,omitempty"`
+	ProfileShift int64        `json:"profileShift,omitempty"`
+	Symbols      []jsonSymbol `json:"symbols"`
+	Ops          []jsonOp     `json:"ops"`
+}
+
+type jsonSymbol struct {
+	Name     string   `json:"name"`
+	Base     uint64   `json:"base"`
+	Size     int64    `json:"size"`
+	MayAlias []string `json:"mayAlias,omitempty"`
+}
+
+type jsonOp struct {
+	Name string    `json:"name,omitempty"`
+	Kind string    `json:"kind"`
+	Dst  *int      `json:"dst,omitempty"`
+	Srcs []int     `json:"srcs,omitempty"`
+	Addr *AddrExpr `json:"addr,omitempty"`
+}
+
+// kindByName maps JSON kind names back to Kinds. Copies and fake consumers
+// are intentionally absent: they are produced by the tools, not authored.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := KindLoad; k < kindMax; k++ {
+		if k == KindCopy || k == KindFakeUse {
+			continue
+		}
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// EncodeJSON renders the loop in the interchange format.
+func EncodeJSON(l *Loop) ([]byte, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	jl := jsonLoop{
+		Name:         l.Name,
+		Trip:         l.Trip,
+		Entries:      l.Entries,
+		ProfileTrip:  l.ProfileTrip,
+		ProfileShift: l.ProfileShift,
+	}
+	// Deterministic symbol order: program order of first reference, then
+	// leftovers sorted by name via the map walk below being sorted.
+	emitted := make(map[string]bool)
+	emit := func(name string) {
+		if name == "" || emitted[name] {
+			return
+		}
+		s := l.Symbols[name]
+		emitted[name] = true
+		jl.Symbols = append(jl.Symbols, jsonSymbol{
+			Name: s.Name, Base: s.Base, Size: s.Size, MayAlias: s.MayAlias,
+		})
+	}
+	for _, o := range l.Ops {
+		if o.Addr != nil {
+			emit(o.Addr.Base)
+		}
+	}
+	for _, name := range sortedSymbolNames(l) {
+		emit(name)
+	}
+	for _, o := range l.Ops {
+		if o.IsReplica() || o.Kind == KindCopy || o.Kind == KindFakeUse {
+			return nil, fmt.Errorf("ir: op %s is tool-generated and cannot be serialized", o.Label())
+		}
+		jo := jsonOp{Name: o.Name, Kind: o.Kind.String(), Addr: o.Addr}
+		if o.Dst != NoReg {
+			d := int(o.Dst)
+			jo.Dst = &d
+		}
+		for _, s := range o.Srcs {
+			jo.Srcs = append(jo.Srcs, int(s))
+		}
+		jl.Ops = append(jl.Ops, jo)
+	}
+	return json.MarshalIndent(jl, "", "  ")
+}
+
+// DecodeJSON parses a loop from the interchange format and validates it.
+func DecodeJSON(data []byte) (*Loop, error) {
+	var jl jsonLoop
+	if err := json.Unmarshal(data, &jl); err != nil {
+		return nil, fmt.Errorf("ir: %w", err)
+	}
+	l := NewLoop(jl.Name)
+	if jl.Trip > 0 {
+		l.Trip = jl.Trip
+	}
+	if jl.Entries > 0 {
+		l.Entries = jl.Entries
+	}
+	l.ProfileTrip = jl.ProfileTrip
+	l.ProfileShift = jl.ProfileShift
+	for _, s := range jl.Symbols {
+		l.AddSymbol(&Symbol{Name: s.Name, Base: s.Base, Size: s.Size, MayAlias: s.MayAlias})
+	}
+	for i, jo := range jl.Ops {
+		kind, ok := kindByName[jo.Kind]
+		if !ok {
+			return nil, fmt.Errorf("ir: op %d has unknown kind %q", i, jo.Kind)
+		}
+		o := &Op{Name: jo.Name, Kind: kind, Dst: NoReg}
+		if jo.Dst != nil {
+			o.Dst = Reg(*jo.Dst)
+		}
+		for _, s := range jo.Srcs {
+			o.Srcs = append(o.Srcs, Reg(s))
+		}
+		if jo.Addr != nil {
+			a := *jo.Addr
+			o.Addr = &a
+		}
+		l.Append(o)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func sortedSymbolNames(l *Loop) []string {
+	names := make([]string, 0, len(l.Symbols))
+	for n := range l.Symbols {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

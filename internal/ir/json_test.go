@@ -1,0 +1,103 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/ir"
+	"vliwcache/internal/loopgen"
+)
+
+func TestJSONRoundTripRandomLoops(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		l := loopgen.Random(seed, loopgen.DefaultParams())
+		data, err := ir.EncodeJSON(l)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := ir.DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v\n%s", seed, err, data)
+		}
+		if back.Name != l.Name || back.Trip != l.Trip || back.Entries != l.Entries {
+			t.Fatalf("seed %d: header mismatch", seed)
+		}
+		if len(back.Ops) != len(l.Ops) {
+			t.Fatalf("seed %d: %d ops, want %d", seed, len(back.Ops), len(l.Ops))
+		}
+		for i, o := range l.Ops {
+			b := back.Ops[i]
+			if b.Kind != o.Kind || b.Dst != o.Dst || len(b.Srcs) != len(o.Srcs) {
+				t.Fatalf("seed %d op %d: %v vs %v", seed, i, b, o)
+			}
+			if (o.Addr == nil) != (b.Addr == nil) {
+				t.Fatalf("seed %d op %d: addr presence mismatch", seed, i)
+			}
+			if o.Addr != nil && *o.Addr != *b.Addr {
+				t.Fatalf("seed %d op %d: addr %v vs %v", seed, i, *b.Addr, *o.Addr)
+			}
+		}
+		if len(back.Symbols) != len(l.Symbols) {
+			t.Fatalf("seed %d: symbol count mismatch", seed)
+		}
+		for name, s := range l.Symbols {
+			bs, ok := back.Symbols[name]
+			if !ok || bs.Base != s.Base || bs.Size != s.Size || len(bs.MayAlias) != len(s.MayAlias) {
+				t.Fatalf("seed %d: symbol %q mismatch", seed, name)
+			}
+		}
+	}
+}
+
+func TestDecodeJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"x","trip":10,"ops":[{"kind":"teleport"}]}`,
+		`{"name":"x","trip":10,"ops":[{"kind":"load"}]}`, // load without addr
+		`{"name":"x","trip":10,"symbols":[],"ops":[
+		   {"kind":"load","dst":0,"addr":{"base":"ghost","stride":4,"size":4}}]}`,
+		`{"name":"x","trip":10,"ops":[{"kind":"copy","dst":1,"srcs":[0]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ir.DecodeJSON([]byte(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestEncodeJSONRejectsToolGeneratedOps(t *testing.T) {
+	b := ir.NewBuilder("gen")
+	v := b.Arith("a", ir.KindAdd)
+	b.Op(&ir.Op{Name: "cp", Kind: ir.KindCopy, Dst: v + 1, Srcs: []ir.Reg{v}})
+	if _, err := ir.EncodeJSON(b.Loop()); err == nil {
+		t.Error("copies must not serialize")
+	}
+}
+
+func TestEncodeJSONDeterministic(t *testing.T) {
+	l := loopgen.Random(5, loopgen.DefaultParams())
+	a, err := ir.EncodeJSON(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ir.EncodeJSON(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("encoding is not deterministic")
+	}
+	if !strings.Contains(string(a), `"kind"`) {
+		t.Error("unexpected encoding shape")
+	}
+}
+
+func TestDecodeJSONDefaults(t *testing.T) {
+	l, err := ir.DecodeJSON([]byte(`{"name":"d","trip":5,"ops":[{"kind":"add","dst":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entries != 1 {
+		t.Errorf("entries default = %d, want 1", l.Entries)
+	}
+}

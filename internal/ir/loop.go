@@ -1,0 +1,262 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loop is an innermost loop body: the unit of modulo scheduling. Ops are in
+// sequential program order; op IDs equal slice indices after Renumber.
+type Loop struct {
+	Name string
+
+	// Ops in sequential program order.
+	Ops []*Op
+
+	// Symbols maps memory object names to their descriptions. Every
+	// AddrExpr.Base of every memory op must be present.
+	Symbols map[string]*Symbol
+
+	// Trip is the number of iterations executed per entry of the loop on
+	// the execution input.
+	Trip int64
+
+	// Entries is how many times the loop is entered during the whole
+	// program run (relevant for Attraction Buffer flushes, which happen at
+	// loop boundaries).
+	Entries int64
+
+	// ProfileTrip is the iteration count used during profiling (the
+	// profile input of Table 1); when 0 the execution Trip is used.
+	ProfileTrip int64
+
+	// ProfileShift offsets all symbol base addresses during profiling, so
+	// the profile input differs from the execution input the way the
+	// paper's two input sets do. Padding (§2.2) makes preferred-cluster
+	// information consistent between inputs; a shift that is a multiple of
+	// NumClusters·InterleaveBytes models padded data, any other value
+	// models unpadded data.
+	ProfileShift int64
+}
+
+// NewLoop returns an empty loop with the given name and a default trip
+// count of 1000 iterations entered once.
+func NewLoop(name string) *Loop {
+	return &Loop{
+		Name:    name,
+		Symbols: make(map[string]*Symbol),
+		Trip:    1000,
+		Entries: 1,
+	}
+}
+
+// AddSymbol registers a memory object. It returns the loop for chaining.
+func (l *Loop) AddSymbol(s *Symbol) *Loop {
+	l.Symbols[s.Name] = s
+	return l
+}
+
+// Append adds an op at the end of the loop body, assigning its ID.
+func (l *Loop) Append(o *Op) *Op {
+	o.ID = len(l.Ops)
+	l.Ops = append(l.Ops, o)
+	return o
+}
+
+// Renumber reassigns op IDs to match slice positions, remapping replica
+// origin references via the oldID→newID mapping implied by current
+// positions. It must be called after any structural edit that reorders or
+// removes ops.
+func (l *Loop) Renumber() {
+	old := make(map[int]int, len(l.Ops))
+	for i, o := range l.Ops {
+		old[o.ID] = i
+	}
+	for i, o := range l.Ops {
+		o.ID = i
+		if o.IsReplica() {
+			if n, ok := old[o.Origin()]; ok {
+				o.ReplicaOf = n + 1
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the loop (ops, symbols).
+func (l *Loop) Clone() *Loop {
+	c := &Loop{
+		Name:         l.Name,
+		Ops:          make([]*Op, len(l.Ops)),
+		Symbols:      make(map[string]*Symbol, len(l.Symbols)),
+		Trip:         l.Trip,
+		Entries:      l.Entries,
+		ProfileTrip:  l.ProfileTrip,
+		ProfileShift: l.ProfileShift,
+	}
+	for i, o := range l.Ops {
+		c.Ops[i] = o.Clone()
+	}
+	for n, s := range l.Symbols {
+		sc := *s
+		sc.MayAlias = append([]string(nil), s.MayAlias...)
+		c.Symbols[n] = &sc
+	}
+	return c
+}
+
+// MemOps returns the loop's memory operations in program order.
+func (l *Loop) MemOps() []*Op {
+	var ms []*Op
+	for _, o := range l.Ops {
+		if o.Kind.IsMem() {
+			ms = append(ms, o)
+		}
+	}
+	return ms
+}
+
+// Defs returns a map from register to the op IDs defining it, in program
+// order.
+func (l *Loop) Defs() map[Reg][]int {
+	defs := make(map[Reg][]int)
+	for _, o := range l.Ops {
+		if o.Dst != NoReg {
+			defs[o.Dst] = append(defs[o.Dst], o.ID)
+		}
+	}
+	return defs
+}
+
+// Validate checks structural invariants: IDs match positions, memory ops
+// carry resolvable address expressions with sane sizes, non-memory ops do
+// not, stores have no destination, replica references are valid, and
+// symbol MayAlias entries name existing symbols.
+func (l *Loop) Validate() error {
+	if l.Trip <= 0 {
+		return fmt.Errorf("ir: loop %q: Trip must be positive, got %d", l.Name, l.Trip)
+	}
+	if l.Entries <= 0 {
+		return fmt.Errorf("ir: loop %q: Entries must be positive, got %d", l.Name, l.Entries)
+	}
+	for i, o := range l.Ops {
+		if o.ID != i {
+			return fmt.Errorf("ir: loop %q: op at index %d has ID %d (call Renumber)", l.Name, i, o.ID)
+		}
+		if o.Kind <= KindInvalid || o.Kind >= kindMax {
+			return fmt.Errorf("ir: loop %q: op %s has invalid kind", l.Name, o.Label())
+		}
+		if o.Kind.IsMem() {
+			if o.Addr == nil {
+				return fmt.Errorf("ir: loop %q: memory op %s has no address expression", l.Name, o.Label())
+			}
+			switch o.Addr.Size {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("ir: loop %q: op %s has invalid access size %d", l.Name, o.Label(), o.Addr.Size)
+			}
+			if _, ok := l.Symbols[o.Addr.Base]; !ok {
+				return fmt.Errorf("ir: loop %q: op %s references unknown symbol %q", l.Name, o.Label(), o.Addr.Base)
+			}
+		} else if o.Addr != nil {
+			return fmt.Errorf("ir: loop %q: non-memory op %s has an address expression", l.Name, o.Label())
+		}
+		if o.Kind == KindStore && o.Dst != NoReg {
+			return fmt.Errorf("ir: loop %q: store %s has a destination register", l.Name, o.Label())
+		}
+		if o.IsReplica() {
+			if o.Origin() < 0 || o.Origin() >= len(l.Ops) {
+				return fmt.Errorf("ir: loop %q: op %s replicates nonexistent op %d", l.Name, o.Label(), o.Origin())
+			}
+			if l.Ops[o.Origin()].Kind != o.Kind {
+				return fmt.Errorf("ir: loop %q: replica %s kind differs from original", l.Name, o.Label())
+			}
+		}
+	}
+	for name, s := range l.Symbols {
+		if s.Name != name {
+			return fmt.Errorf("ir: loop %q: symbol map key %q does not match symbol name %q", l.Name, name, s.Name)
+		}
+		for _, other := range s.MayAlias {
+			if _, ok := l.Symbols[other]; !ok {
+				return fmt.Errorf("ir: loop %q: symbol %q may-aliases unknown symbol %q", l.Name, name, other)
+			}
+		}
+	}
+	return nil
+}
+
+// MayAlias reports whether the two named symbols were declared possibly
+// aliasing (symmetrically).
+func (l *Loop) MayAlias(a, b string) bool {
+	sa, sb := l.Symbols[a], l.Symbols[b]
+	if sa != nil {
+		for _, n := range sa.MayAlias {
+			if n == b {
+				return true
+			}
+		}
+	}
+	if sb != nil {
+		for _, n := range sb.MayAlias {
+			if n == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the loop body, symbols first, one op per line.
+func (l *Loop) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %q (trip %d x %d entries)\n", l.Name, l.Trip, l.Entries)
+	names := make([]string, 0, len(l.Symbols))
+	for n := range l.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := l.Symbols[n]
+		fmt.Fprintf(&b, "  sym %s @%#x size %d", s.Name, s.Base, s.Size)
+		if len(s.MayAlias) > 0 {
+			fmt.Fprintf(&b, " mayalias %v", s.MayAlias)
+		}
+		b.WriteByte('\n')
+	}
+	for _, o := range l.Ops {
+		fmt.Fprintf(&b, "  %s\n", o)
+	}
+	return b.String()
+}
+
+// Stats summarizes op counts by kind class.
+type Stats struct {
+	Ops    int
+	Loads  int
+	Stores int
+	Int    int
+	FP     int
+	Copies int
+}
+
+// Stat computes op-count statistics for the loop.
+func (l *Loop) Stat() Stats {
+	var s Stats
+	s.Ops = len(l.Ops)
+	for _, o := range l.Ops {
+		switch {
+		case o.Kind == KindLoad:
+			s.Loads++
+		case o.Kind == KindStore:
+			s.Stores++
+		case o.Kind == KindCopy:
+			s.Copies++
+		case o.Kind.UnitClass() == ClassFP:
+			s.FP++
+		default:
+			s.Int++
+		}
+	}
+	return s
+}

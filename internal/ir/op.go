@@ -1,0 +1,227 @@
+// Package ir defines the loop-level intermediate representation the
+// scheduling techniques operate on: operations with virtual registers,
+// affine address expressions for memory accesses, and loops (the unit of
+// modulo scheduling).
+//
+// The representation deliberately models innermost loop bodies only — the
+// paper's techniques are local (per-loop) scheduling techniques applied to
+// cyclic code. Addresses are affine in the iteration number
+// (base + offset + stride·i), which is what the dependence tests, the
+// preferred-cluster profiler and the trace-driven simulator all consume.
+package ir
+
+import "fmt"
+
+// Kind enumerates operation kinds.
+type Kind int
+
+const (
+	// KindInvalid is the zero Kind and is never valid in a loop.
+	KindInvalid Kind = iota
+
+	// Memory operations.
+	KindLoad
+	KindStore
+
+	// Integer operations.
+	KindAdd
+	KindSub
+	KindMul
+	KindDiv
+	KindShift
+	KindLogic
+	KindCmp
+
+	// Floating-point operations.
+	KindFAdd
+	KindFSub
+	KindFMul
+	KindFDiv
+
+	// KindCopy is an inter-cluster register copy. It is inserted by the
+	// scheduler (it occupies a register bus, not a functional unit) but may
+	// also appear in hand-built graphs.
+	KindCopy
+
+	// KindFakeUse is a fake consumer created by the DDGT load–store
+	// synchronization transformation when no usable consumer of a load
+	// exists (e.g. "add r0 = r0 + rX"). It executes on an integer unit.
+	KindFakeUse
+
+	kindMax
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid",
+	KindLoad:    "load",
+	KindStore:   "store",
+	KindAdd:     "add",
+	KindSub:     "sub",
+	KindMul:     "mul",
+	KindDiv:     "div",
+	KindShift:   "shift",
+	KindLogic:   "logic",
+	KindCmp:     "cmp",
+	KindFAdd:    "fadd",
+	KindFSub:    "fsub",
+	KindFMul:    "fmul",
+	KindFDiv:    "fdiv",
+	KindCopy:    "copy",
+	KindFakeUse: "fakeuse",
+}
+
+func (k Kind) String() string {
+	if k > KindInvalid && k < kindMax {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Class enumerates the functional-unit classes of the machine.
+type Class int
+
+const (
+	ClassInt Class = iota // integer unit
+	ClassFP               // floating-point unit
+	ClassMem              // memory port
+	ClassBus              // register-to-register bus (copies only)
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInt:
+		return "INT"
+	case ClassFP:
+		return "FP"
+	case ClassMem:
+		return "MEM"
+	case ClassBus:
+		return "BUS"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// UnitClass returns the functional-unit class an operation of kind k
+// executes on.
+func (k Kind) UnitClass() Class {
+	switch k {
+	case KindLoad, KindStore:
+		return ClassMem
+	case KindFAdd, KindFSub, KindFMul, KindFDiv:
+		return ClassFP
+	case KindCopy:
+		return ClassBus
+	default:
+		return ClassInt
+	}
+}
+
+// IsMem reports whether k is a memory operation.
+func (k Kind) IsMem() bool { return k == KindLoad || k == KindStore }
+
+// Latency returns the default execution latency in cycles of an operation
+// of kind k. Memory operations have no fixed latency here — the scheduler
+// assigns one of the four cache-access latencies (§2.2) — so Latency
+// returns 0 for them; KindCopy latency is the register bus latency and is
+// likewise architecture-dependent.
+func (k Kind) Latency() int {
+	switch k {
+	case KindAdd, KindSub, KindShift, KindLogic, KindCmp, KindFakeUse:
+		return 1
+	case KindMul:
+		return 3
+	case KindDiv:
+		return 8
+	case KindFAdd, KindFSub:
+		return 2
+	case KindFMul:
+		return 4
+	case KindFDiv:
+		return 12
+	default:
+		return 0
+	}
+}
+
+// Reg is a virtual register. The IR assumes an unbounded virtual register
+// space; register anti- and output-dependences are assumed to be removed by
+// renaming / modulo variable expansion, so the dependence graph carries
+// register flow (RF) dependences only, as in the paper.
+type Reg int
+
+// NoReg marks the absence of a destination register.
+const NoReg Reg = -1
+
+// Op is one operation of a loop body.
+type Op struct {
+	// ID is the index of the op in its loop's Ops slice. It is assigned by
+	// Loop methods; hand-built ops are renumbered by Loop.Renumber.
+	ID int
+
+	// Name is an optional human-readable label ("n1", "n2", ...) used in
+	// printing and tests.
+	Name string
+
+	Kind Kind
+
+	// Dst is the destination register, or NoReg. Stores have no Dst.
+	Dst Reg
+
+	// Srcs are the source registers. For a store, Srcs[0] is the stored
+	// value by convention (address computation is implicit in Addr).
+	Srcs []Reg
+
+	// Addr describes the access pattern of a memory operation; nil for
+	// non-memory operations.
+	Addr *AddrExpr
+
+	// ReplicaOf is 1 + the ID of the original op this op replicates (store
+	// replication, DDGT), or 0 — the zero value — when the op is an
+	// original. Replicas of the same original execute mutually exclusively
+	// at run time: only the instance whose assigned cluster is the
+	// access's home cluster performs the store. Use Origin to read it.
+	ReplicaOf int
+}
+
+// IsReplica reports whether the op is a store-replication instance.
+func (o *Op) IsReplica() bool { return o.ReplicaOf != 0 }
+
+// Origin returns the ID of the original op a replica was cloned from. It
+// must only be called when IsReplica is true.
+func (o *Op) Origin() int { return o.ReplicaOf - 1 }
+
+// Clone returns a deep copy of the op (Srcs and Addr are copied).
+func (o *Op) Clone() *Op {
+	c := *o
+	c.Srcs = append([]Reg(nil), o.Srcs...)
+	if o.Addr != nil {
+		a := *o.Addr
+		c.Addr = &a
+	}
+	return &c
+}
+
+// Label returns Name when set and "op<ID>" otherwise.
+func (o *Op) Label() string {
+	if o.Name != "" {
+		return o.Name
+	}
+	return fmt.Sprintf("op%d", o.ID)
+}
+
+func (o *Op) String() string {
+	s := fmt.Sprintf("%s: %s", o.Label(), o.Kind)
+	if o.Dst != NoReg {
+		s += fmt.Sprintf(" r%d =", o.Dst)
+	}
+	for _, r := range o.Srcs {
+		s += fmt.Sprintf(" r%d", r)
+	}
+	if o.Addr != nil {
+		s += " " + o.Addr.String()
+	}
+	if o.IsReplica() {
+		s += fmt.Sprintf(" (replica of op %d)", o.Origin())
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package loopgen
+
+import (
+	"testing"
+
+	"vliwcache/internal/ddg"
+)
+
+func TestRandomLoopsValid(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		l := Random(seed, DefaultParams())
+		if err := l.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := ddg.Build(l); err != nil {
+			t.Fatalf("seed %d: DDG: %v", seed, err)
+		}
+		if len(l.MemOps()) == 0 {
+			t.Fatalf("seed %d: no memory ops", seed)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(9, DefaultParams())
+	b := Random(9, DefaultParams())
+	if a.String() != b.String() {
+		t.Error("same seed must generate the same loop")
+	}
+	c := Random(10, DefaultParams())
+	if a.String() == c.String() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomCoversAliasing(t *testing.T) {
+	// Over many seeds, some loops must contain real memory dependences and
+	// some ambiguous ones — the property suites rely on both.
+	var exact, ambiguous int
+	for seed := int64(0); seed < 100; seed++ {
+		g := ddg.MustBuild(Random(seed, DefaultParams()))
+		for _, e := range g.MemEdges() {
+			if e.Ambiguous {
+				ambiguous++
+			} else {
+				exact++
+			}
+		}
+	}
+	if exact == 0 || ambiguous == 0 {
+		t.Errorf("coverage hole: %d exact, %d ambiguous memory dependences", exact, ambiguous)
+	}
+}

@@ -1,0 +1,280 @@
+package mediabench
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwcache/internal/ir"
+)
+
+// Benchmark is one synthesized Mediabench program: its loops plus the
+// metadata of Table 1.
+type Benchmark struct {
+	Name string
+
+	// Interleave is the interleaving factor in bytes used for this
+	// benchmark (§4.1: 4 bytes for epicdec, epicenc, jpegdec, jpegenc,
+	// mpeg2dec, pgpdec, pgpenc and rasta; 2 bytes for the rest).
+	Interleave int
+
+	// MainDataSize and MainDataPct reproduce the last column of Table 1:
+	// the most common data type size and the percentage of dynamic memory
+	// instructions referencing it.
+	MainDataSize int
+	MainDataPct  float64
+
+	// ProfileInput and ExecInput name the two input sets (Table 1).
+	ProfileInput, ExecInput string
+
+	// Loops are the benchmark's modulo-scheduled loops, main loop first.
+	Loops []*ir.Loop
+
+	specs []loopSpec
+}
+
+// InFigures reports whether the benchmark appears in the paper's result
+// figures (all of Table 1 except epicenc).
+func (b *Benchmark) InFigures() bool { return b.Name != "epicenc" }
+
+// benchDef couples Table 1 metadata with the generated loop specs.
+type benchDef struct {
+	name         string
+	interleave   int
+	dataSize     int
+	dataPct      float64
+	profileInput string
+	execInput    string
+	loops        []loopSpec
+}
+
+// defs is ordered as the paper's tables (alphabetical).
+var defs = []benchDef{
+	{
+		name: "epicdec", interleave: 4, dataSize: 4, dataPct: 84,
+		profileInput: "test_image.pgm.E", execInput: "titanic3.pgm.E",
+		loops: []loopSpec{
+			// §5.4: an important loop with 76 memory instructions forming
+			// one huge memory dependent chain.
+			{name: "epicdec.unquantize", trip: 2500, entries: 2, es: 4,
+				chainStores: 6, chainLoads: 16, ambigLoads: 38, ambigStores: 16,
+				tableLoads: 12, fixedLoads: 14, fixedStores: 4, streamLoads: 8, streamStores: 5,
+				arith: 152, recur: 74},
+			{name: "epicdec.huffman", trip: 600, entries: 1, es: 4,
+				tableLoads: 6, fixedLoads: 6, fixedStores: 2, streamLoads: 2, streamStores: 1,
+				arith: 40},
+		},
+	},
+	{
+		name: "epicenc", interleave: 4, dataSize: 4, dataPct: 89,
+		profileInput: "test_image", execInput: "titanic3.pgm",
+		loops: []loopSpec{
+			{name: "epicenc.filter", trip: 2500, entries: 2, es: 4,
+				chainStores: 2, chainLoads: 4, ambigLoads: 2,
+				tableLoads: 6, fixedLoads: 8, fixedStores: 2, streamLoads: 2, streamStores: 1,
+				arith: 54, recur: 6, fp: true},
+			{name: "epicenc.quantize", trip: 600, entries: 1, es: 4,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 2, arith: 30},
+		},
+	},
+	{
+		name: "g721dec", interleave: 2, dataSize: 2, dataPct: 89,
+		profileInput: "clinton.g721", execInput: "S_16_44.g721",
+		loops: []loopSpec{
+			{name: "g721dec.predict", trip: 3000, entries: 2, es: 2,
+				tableLoads: 6, fixedLoads: 5, fixedStores: 2, streamLoads: 1,
+				arith: 37, recur: 8},
+			{name: "g721dec.update", trip: 800, entries: 1, es: 2,
+				tableLoads: 4, fixedLoads: 3, fixedStores: 1, arith: 28},
+		},
+	},
+	{
+		name: "g721enc", interleave: 2, dataSize: 2, dataPct: 91.7,
+		profileInput: "clinton.pcm", execInput: "S_16_44.pcm",
+		loops: []loopSpec{
+			{name: "g721enc.quantize", trip: 3000, entries: 2, es: 2,
+				tableLoads: 5, fixedLoads: 5, fixedStores: 2, streamLoads: 1,
+				arith: 42, recur: 8},
+			{name: "g721enc.adapt", trip: 800, entries: 1, es: 2,
+				tableLoads: 4, fixedLoads: 3, fixedStores: 1, arith: 26},
+		},
+	},
+	{
+		name: "gsmdec", interleave: 2, dataSize: 2, dataPct: 99,
+		profileInput: "clint.pcm.run.gsm", execInput: "S_16_44.pcm.gsm",
+		loops: []loopSpec{
+			{name: "gsmdec.synthesis", trip: 2500, entries: 2, es: 2,
+				chainStores: 1, chainLoads: 2,
+				tableLoads: 6, fixedLoads: 6, fixedStores: 1, streamLoads: 1,
+				arith: 125, recur: 8},
+			{name: "gsmdec.postproc", trip: 700, entries: 1, es: 2,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 1, arith: 35},
+		},
+	},
+	{
+		name: "gsmenc", interleave: 2, dataSize: 2, dataPct: 99,
+		profileInput: "clinton.pcm", execInput: "S_16_44.pcm",
+		loops: []loopSpec{
+			{name: "gsmenc.lpc", trip: 2500, entries: 2, es: 2,
+				chainStores: 1, chainLoads: 1,
+				tableLoads: 8, fixedLoads: 12, fixedStores: 2, streamLoads: 1,
+				arith: 171, recur: 4},
+			{name: "gsmenc.preproc", trip: 700, entries: 1, es: 2,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 1, arith: 30},
+		},
+	},
+	{
+		name: "jpegdec", interleave: 4, dataSize: 1, dataPct: 53,
+		profileInput: "testimg.jpg", execInput: "monalisa.jpg",
+		loops: []loopSpec{
+			{name: "jpegdec.idct", trip: 2500, entries: 2, es: 1,
+				chainStores: 2, chainLoads: 4, ambigLoads: 6, ambigStores: 2,
+				tableLoads: 6, fixedLoads: 6, fixedStores: 1, streamLoads: 1,
+				arith: 93, recur: 12},
+			{name: "jpegdec.color", trip: 600, entries: 1, es: 1,
+				tableLoads: 5, fixedLoads: 4, fixedStores: 1, arith: 32},
+		},
+	},
+	{
+		name: "jpegenc", interleave: 4, dataSize: 4, dataPct: 70,
+		profileInput: "testimg.ppm", execInput: "monalisa.ppm",
+		loops: []loopSpec{
+			{name: "jpegenc.fdct", trip: 2500, entries: 2, es: 4,
+				chainStores: 1, chainLoads: 1,
+				tableLoads: 9, fixedLoads: 12, fixedStores: 3, streamLoads: 2,
+				arith: 35, recur: 4},
+			{name: "jpegenc.huffman", trip: 700, entries: 1, es: 4,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 1, arith: 22},
+		},
+	},
+	{
+		name: "mpeg2dec", interleave: 4, dataSize: 8, dataPct: 49,
+		profileInput: "mei16v2.m2v", execInput: "tek6.m2v",
+		loops: []loopSpec{
+			{name: "mpeg2dec.motion", trip: 2500, entries: 2, es: 8,
+				chainStores: 1, chainLoads: 2,
+				tableLoads: 7, fixedLoads: 9, fixedStores: 3, streamLoads: 1,
+				arith: 33, recur: 4},
+			{name: "mpeg2dec.saturate", trip: 700, entries: 1, es: 8,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 1, arith: 24},
+		},
+	},
+	{
+		name: "pegwitdec", interleave: 2, dataSize: 2, dataPct: 75.8,
+		profileInput: "pegwit.enc", execInput: "tech_rep.txt.enc",
+		loops: []loopSpec{
+			{name: "pegwitdec.gfmul", trip: 2500, entries: 2, es: 2,
+				chainStores: 2, chainLoads: 2, ambigLoads: 1, ambigStores: 1,
+				tableLoads: 6, fixedLoads: 8, fixedStores: 2,
+				arith: 60, recur: 4},
+			{name: "pegwitdec.hash", trip: 700, entries: 1, es: 2,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 1, arith: 28},
+		},
+	},
+	{
+		name: "pegwitenc", interleave: 2, dataSize: 2, dataPct: 83.6,
+		profileInput: "pgptest.plain", execInput: "tech_rep.txt",
+		loops: []loopSpec{
+			{name: "pegwitenc.gfmul", trip: 2500, entries: 2, es: 2,
+				chainStores: 3, chainLoads: 3, ambigLoads: 1, ambigStores: 1,
+				tableLoads: 5, fixedLoads: 8, fixedStores: 2,
+				arith: 60, recur: 6},
+			{name: "pegwitenc.hash", trip: 700, entries: 1, es: 2,
+				tableLoads: 4, fixedLoads: 4, fixedStores: 1, arith: 28},
+		},
+	},
+	{
+		name: "pgpdec", interleave: 4, dataSize: 4, dataPct: 92.1,
+		profileInput: "pgptext.pgp", execInput: "tech_rep.txt.enc",
+		loops: []loopSpec{
+			{name: "pgpdec.mpimul", trip: 2500, entries: 2, es: 4,
+				chainStores: 4, chainLoads: 17, ambigLoads: 6, ambigStores: 3,
+				tableLoads: 4, fixedLoads: 6, fixedStores: 1,
+				arith: 56, recur: 28},
+			{name: "pgpdec.idea", trip: 600, entries: 1, es: 4,
+				tableLoads: 5, fixedLoads: 4, fixedStores: 1, streamLoads: 1, streamStores: 1,
+				arith: 30},
+		},
+	},
+	{
+		name: "pgpenc", interleave: 4, dataSize: 4, dataPct: 73.2,
+		profileInput: "pgptest.plain", execInput: "tech_rep.txt",
+		loops: []loopSpec{
+			{name: "pgpenc.mpimul", trip: 2500, entries: 2, es: 4,
+				chainStores: 4, chainLoads: 13, ambigLoads: 5, ambigStores: 3,
+				tableLoads: 5, fixedLoads: 8, fixedStores: 2,
+				arith: 56, recur: 23},
+			{name: "pgpenc.idea", trip: 600, entries: 1, es: 4,
+				tableLoads: 5, fixedLoads: 4, fixedStores: 1, streamLoads: 1, streamStores: 1,
+				arith: 30},
+		},
+	},
+	{
+		name: "rasta", interleave: 4, dataSize: 4, dataPct: 95,
+		profileInput: "ex5_c1.wav", execInput: "ex5_c1.wav",
+		loops: []loopSpec{
+			{name: "rasta.fft", trip: 3000, entries: 2, es: 4,
+				chainStores: 1, chainLoads: 2, ambigLoads: 7, ambigStores: 3,
+				tableLoads: 5, fixedLoads: 5, fixedStores: 1, streamLoads: 1,
+				arith: 14, recur: 11, fp: true},
+			{name: "rasta.bandpass", trip: 500, entries: 1, es: 4,
+				tableLoads: 3, fixedLoads: 3, fixedStores: 1, arith: 18, fp: true},
+		},
+	},
+}
+
+// All generates the full suite, ordered as in the paper's tables.
+func All() []*Benchmark {
+	bs := make([]*Benchmark, len(defs))
+	for i, d := range defs {
+		bs[i] = build(d, uint64(i))
+	}
+	return bs
+}
+
+// Figures generates the thirteen benchmarks that appear in the result
+// figures (Table 1 minus epicenc).
+func Figures() []*Benchmark {
+	var bs []*Benchmark
+	for _, b := range All() {
+		if b.InFigures() {
+			bs = append(bs, b)
+		}
+	}
+	return bs
+}
+
+// Get generates one benchmark by name.
+func Get(name string) (*Benchmark, error) {
+	for i, d := range defs {
+		if d.name == name {
+			return build(d, uint64(i)), nil
+		}
+	}
+	return nil, fmt.Errorf("mediabench: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names lists the suite in table order.
+func Names() []string {
+	ns := make([]string, len(defs))
+	for i, d := range defs {
+		ns[i] = d.name
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+func build(d benchDef, seed uint64) *Benchmark {
+	b := &Benchmark{
+		Name:         d.name,
+		Interleave:   d.interleave,
+		MainDataSize: d.dataSize,
+		MainDataPct:  d.dataPct,
+		ProfileInput: d.profileInput,
+		ExecInput:    d.execInput,
+		specs:        d.loops,
+	}
+	for j, s := range d.loops {
+		b.Loops = append(b.Loops, buildLoop(s, d.interleave, seed*16+uint64(j)))
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package mediabench
+
+import (
+	"math"
+	"testing"
+
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+)
+
+func TestAllGenerate(t *testing.T) {
+	bs := All()
+	if len(bs) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14 (Table 1)", len(bs))
+	}
+	for _, b := range bs {
+		if len(b.Loops) == 0 {
+			t.Errorf("%s: no loops", b.Name)
+		}
+		for _, l := range b.Loops {
+			if err := l.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, l.Name, err)
+				continue
+			}
+			if _, err := ddg.Build(l); err != nil {
+				t.Errorf("%s/%s: DDG: %v", b.Name, l.Name, err)
+			}
+		}
+	}
+}
+
+func TestChainSizesMatchSpecs(t *testing.T) {
+	for i, d := range defs {
+		b := build(d, uint64(i))
+		for j, l := range b.Loops {
+			spec := d.loops[j]
+			g := ddg.MustBuild(l)
+			st := core.AnalyzeChains(g)
+			if st.Biggest != spec.chainOps() {
+				t.Errorf("%s/%s: biggest chain = %d, want %d",
+					b.Name, l.Name, st.Biggest, spec.chainOps())
+			}
+			if st.MemOps != spec.memOps() {
+				t.Errorf("%s/%s: mem ops = %d, want %d", b.Name, l.Name, st.MemOps, spec.memOps())
+			}
+		}
+	}
+}
+
+// table3 holds the paper's published CMR/CAR per benchmark.
+var table3 = map[string][2]float64{
+	"epicdec":   {0.64, 0.22},
+	"g721dec":   {0, 0},
+	"g721enc":   {0, 0},
+	"gsmdec":    {0.18, 0.02},
+	"gsmenc":    {0.08, 0.01},
+	"jpegdec":   {0.46, 0.09},
+	"jpegenc":   {0.07, 0.03},
+	"mpeg2dec":  {0.13, 0.05},
+	"pegwitdec": {0.27, 0.07},
+	"pegwitenc": {0.35, 0.09},
+	"pgpdec":    {0.73, 0.24},
+	"pgpenc":    {0.63, 0.21},
+	"rasta":     {0.52, 0.26},
+}
+
+// BenchmarkRatios computes a benchmark's dynamic CMR and CAR: per-loop
+// chain statistics weighted by dynamic instruction counts.
+func benchmarkRatios(b *Benchmark) (cmr, car float64) {
+	var chainDyn, memDyn, opsDyn float64
+	for _, l := range b.Loops {
+		g := ddg.MustBuild(l)
+		st := core.AnalyzeChains(g)
+		w := float64(l.Trip * l.Entries)
+		chainDyn += float64(st.Biggest) * w
+		memDyn += float64(st.MemOps) * w
+		opsDyn += float64(st.Ops) * w
+	}
+	if memDyn == 0 || opsDyn == 0 {
+		return 0, 0
+	}
+	return chainDyn / memDyn, chainDyn / opsDyn
+}
+
+func TestTable3Shape(t *testing.T) {
+	const tol = 0.10
+	for _, b := range Figures() {
+		want, ok := table3[b.Name]
+		if !ok {
+			t.Fatalf("no Table 3 target for %s", b.Name)
+		}
+		cmr, car := benchmarkRatios(b)
+		if math.Abs(cmr-want[0]) > tol {
+			t.Errorf("%s: CMR = %.3f, paper %.2f (tolerance %.2f)", b.Name, cmr, want[0], tol)
+		}
+		if math.Abs(car-want[1]) > tol {
+			t.Errorf("%s: CAR = %.3f, paper %.2f (tolerance %.2f)", b.Name, car, want[1], tol)
+		}
+		t.Logf("%-10s CMR %.3f (paper %.2f)  CAR %.3f (paper %.2f)", b.Name, cmr, want[0], car, want[1])
+	}
+}
+
+func TestInterleaveFactorsMatchPaper(t *testing.T) {
+	four := map[string]bool{"epicdec": true, "epicenc": true, "jpegdec": true, "jpegenc": true,
+		"mpeg2dec": true, "pgpdec": true, "pgpenc": true, "rasta": true}
+	for _, b := range All() {
+		want := 2
+		if four[b.Name] {
+			want = 4
+		}
+		if b.Interleave != want {
+			t.Errorf("%s: interleave %d, want %d", b.Name, b.Interleave, want)
+		}
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Error("Get(nosuch) must fail")
+	}
+	b, err := Get("rasta")
+	if err != nil || b.Name != "rasta" {
+		t.Errorf("Get(rasta) = %v, %v", b, err)
+	}
+	if len(Names()) != 14 {
+		t.Errorf("Names() = %v", Names())
+	}
+}

@@ -1,0 +1,72 @@
+package mediabench
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// TestSuiteDynamics runs every benchmark's loops end to end under MDC and
+// sanity-checks the simulated behaviour: accesses conserved, no ordering
+// violations, and the access mix dominated by local hits (the generator's
+// tables and paired fixed-home walks are built for reuse).
+func TestSuiteDynamics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, b := range All() {
+		cfg := arch.Default().WithInterleave(b.Interleave)
+		var total sim.Stats
+		for _, loop := range b.Loops {
+			plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, loop.Name, err)
+			}
+			sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus,
+				Profile: profiler.Run(loop, cfg)})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, loop.Name, err)
+			}
+			st, err := sim.Run(sc, sim.Options{MaxIterations: 250, MaxEntries: 1, CheckCoherence: true})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, loop.Name, err)
+			}
+			if st.Violations != 0 {
+				t.Errorf("%s/%s: %d ordering violations under MDC", b.Name, loop.Name, st.Violations)
+			}
+			total.Add(st)
+		}
+		if lh := total.LocalHitRatio(); lh < 0.30 {
+			t.Errorf("%s: local hit ratio %.2f unrealistically low", b.Name, lh)
+		}
+		if total.TotalAccesses() == 0 {
+			t.Errorf("%s: no accesses simulated", b.Name)
+		}
+	}
+}
+
+// TestProfileMatchesExecutionHomes: with the generator's padded layouts
+// the profile-input preferred cluster is the execution-input home for
+// fixed-home ops (the paper's padding argument, §2.2).
+func TestProfileMatchesExecutionHomes(t *testing.T) {
+	b, err := Get("jpegenc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.Default().WithInterleave(b.Interleave)
+	loop := b.Loops[0]
+	prof := profiler.Run(loop, cfg)
+	for _, o := range loop.Ops {
+		if !o.Kind.IsMem() || o.Addr.Stride != int64(4*b.Interleave) {
+			continue // only fixed-home ops have a guaranteed home
+		}
+		want := cfg.HomeCluster(o.Addr.AddrAt(loop.Symbols[o.Addr.Base].Base, 0))
+		if got := prof.Preferred(o.ID); got != want {
+			t.Errorf("%s: preferred %d, execution home %d", o.Label(), got, want)
+		}
+	}
+}

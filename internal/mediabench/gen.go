@@ -1,0 +1,329 @@
+// Package mediabench synthesizes the Mediabench-like workload suite the
+// paper evaluates on (Table 1). The original benchmarks require the IMPACT
+// C compiler and the Mediabench sources/inputs, neither of which is
+// available here; instead, each benchmark is generated as a set of
+// modulo-schedulable loops whose dependence structure, access strides, data
+// sizes and memory-dependent-chain shapes are tuned to the per-benchmark
+// characteristics the paper publishes:
+//
+//   - main data size and interleaving factor (Table 1 / §4.1),
+//   - CMR and CAR chain ratios (Table 3),
+//   - the epicdec loop with a huge memory dependent chain (§5.4),
+//   - chains that shrink under code specialization for epicdec, pgpdec
+//     and rasta (Table 5) — their chains are mostly ambiguous
+//     (never-materializing) dependences glued to a smaller real core.
+//
+// Loops are built from five ingredient patterns:
+//
+//   - table loads: stride 0 (coefficient/lookup tables), always hitting
+//     after warm-up, each with a 100% preferred home cluster;
+//   - unrolled fixed-home accesses: stride = NumClusters×Interleave, so
+//     each op always addresses the same cluster (the paper unrolls loops
+//     to maximize such accesses, §2.2);
+//   - streaming accesses: stride = element size, home rotating;
+//   - real chains: stores plus trailing loads over one array, with exact
+//     loop-carried memory flow/output dependences;
+//   - ambiguous chains: fixed-home loads and stores through may-aliased
+//     symbols that never actually overlap (false unresolved dependences).
+//
+// Independent stores are placed in private address lanes far from every
+// other op's walk so the exact dependence test proves them independent.
+package mediabench
+
+import (
+	"fmt"
+
+	"vliwcache/internal/ir"
+)
+
+// lane spacing: larger than any op's walk (trip × stride).
+const lane = 0x40000
+
+// laneOff returns the base offset of lane j: lanes are spaced far enough
+// apart that independent walks never overlap, and staggered by 33 blocks
+// (1056 bytes, a multiple of every N×I) so they spread over the modules'
+// cache sets without changing home clusters.
+func laneOff(j int) int64 { return int64(j)*lane + int64(j)*1056 }
+
+// loopSpec describes one generated loop.
+type loopSpec struct {
+	name    string
+	trip    int64
+	entries int64
+
+	es int // element size in bytes (main data size of the benchmark)
+
+	// Real chain: chainStores stores and chainLoads trailing loads over
+	// array C with exact loop-carried dependences; one memory chain.
+	chainStores, chainLoads int
+
+	// Ambiguous chain: fixed-home loads of P and stores of Q; P may-alias
+	// Q (and C when a real chain exists, gluing the parts into one chain)
+	// but the ranges never overlap. Code specialization removes these.
+	ambigLoads, ambigStores int
+
+	// Independent accesses.
+	tableLoads                int // stride 0, strongly preferred home
+	fixedLoads, fixedStores   int // stride NxI, fixed home
+	streamLoads, streamStores int // stride es, rotating home
+
+	// Arithmetic ops consuming the loaded values.
+	arith int
+	fp    bool
+
+	// recur is the length of a loop-carried scalar recurrence (an
+	// accumulator chain of 1-cycle ops). When the loop has a real chain,
+	// the recurrence is wired through it — chain load feeds the
+	// recurrence, the recurrence feeds the chain store — forming a
+	// loop-carried memory recurrence that bounds the II the way serial
+	// pointer/carry chains do in real code, and capping the latency the
+	// scheduler may assume for the chain load (the stall-on-use pressure
+	// point of §4.2).
+	recur int
+}
+
+func (s loopSpec) ops() int {
+	return s.memOps() + s.arith + s.recur
+}
+
+func (s loopSpec) memOps() int {
+	return s.chainStores + s.chainLoads + s.ambigLoads + s.ambigStores +
+		s.tableLoads + s.fixedLoads + s.fixedStores + s.streamLoads + s.streamStores
+}
+
+func (s loopSpec) chainOps() int {
+	c := s.chainStores + s.chainLoads + s.ambigLoads + s.ambigStores
+	if c == 1 {
+		// A single memory op cannot form a chain.
+		return 0
+	}
+	return c
+}
+
+// pool tracks produced values by home-cluster lane, so the generated
+// dataflow has the shape of real unrolled code: loads of a lane feed the
+// arithmetic of that lane, which feeds the stores of that lane. Cluster
+// assignment heuristics (MinComs in particular) rely on this structure.
+type pool struct {
+	live    ir.Reg
+	byGroup [4][]ir.Reg
+	any     []ir.Reg
+}
+
+func (p *pool) add(group int, r ir.Reg) {
+	if group >= 0 {
+		p.byGroup[group%4] = append(p.byGroup[group%4], r)
+		return
+	}
+	p.any = append(p.any, r)
+}
+
+// pick returns a value, preferring the given lane, then unassigned values,
+// then other lanes, then the live-in register.
+func (p *pool) pick(group int, salt uint64) ir.Reg {
+	if group >= 0 {
+		if g := p.byGroup[group%4]; len(g) > 0 {
+			return g[int(salt>>33)%len(g)]
+		}
+	}
+	if len(p.any) > 0 {
+		return p.any[int(salt>>17)%len(p.any)]
+	}
+	for d := 0; d < 4; d++ {
+		if g := p.byGroup[(group+d+4)%4]; len(g) > 0 {
+			return g[int(salt>>7)%len(g)]
+		}
+	}
+	return p.live
+}
+
+// buildLoop materializes a loopSpec. seed varies symbol bases so loops do
+// not collide in the address space.
+func buildLoop(s loopSpec, interleave int, seed uint64) *ir.Loop {
+	b := ir.NewBuilder(s.name)
+	b.Trip(s.trip, s.entries)
+
+	base := 0x4000000 * (seed + 1)
+	es := int64(s.es)
+	ni := int64(4 * interleave) // fixed-home stride (4 clusters)
+	il := int64(interleave)
+
+	vals := &pool{live: b.Reg()}
+	rng := seed*0x9E3779B97F4A7C15 + 12345
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng
+	}
+	// home returns the home cluster of a fixed-home access at the given
+	// offset from the loop's base region.
+	home := func(off int64) int {
+		return int(((int64(base) + off) / il) % 4)
+	}
+
+	// Real chain over array C: a fixed-home walk (stride N×I — aliased
+	// accesses necessarily share homes under word interleaving) with
+	// stores at offsets 0, -N·I, ... and loads trailing by 1..chainLoads
+	// iterations: exact loop-carried MO/MF dependences chain them all.
+	var chainLoadVal, recurTail ir.Reg = ir.NoReg, ir.NoReg
+	if s.chainStores+s.chainLoads > 0 {
+		var mayAlias []string
+		if s.ambigLoads+s.ambigStores > 0 {
+			mayAlias = []string{"P"}
+		}
+		b.Symbol("C", base, lane, mayAlias...)
+		for j := 0; j < s.chainLoads; j++ {
+			v := b.Load(fmt.Sprintf("cld%d", j),
+				ir.AddrExpr{Base: "C", Offset: -ni * int64(s.chainStores+j), Stride: ni, Size: s.es})
+			vals.add(home(0), v)
+			if j == 0 {
+				chainLoadVal = v
+			}
+		}
+	}
+
+	// Loop-carried scalar recurrence, threaded through the real chain when
+	// one exists: cld0 -> r0 -> ... -> r(k-1) -> last chain store, which
+	// feeds next iteration's cld0 through memory.
+	if s.recur > 0 {
+		prev := ir.NoReg
+		for j := 0; j < s.recur; j++ {
+			var srcs []ir.Reg
+			if prev != ir.NoReg {
+				srcs = append(srcs, prev)
+			}
+			if j == 0 && chainLoadVal != ir.NoReg {
+				srcs = append(srcs, chainLoadVal)
+			} else if j%3 == 1 {
+				srcs = append(srcs, vals.pick(j, next()))
+			}
+			prev = b.Arith(fmt.Sprintf("r%d", j), ir.KindAdd, srcs...)
+		}
+		recurTail = prev
+	}
+
+	if s.chainStores > 0 {
+		for j := 0; j < s.chainStores; j++ {
+			v := vals.pick(home(0), next())
+			if j == s.chainStores-1 && recurTail != ir.NoReg {
+				v = recurTail
+			}
+			b.Store(fmt.Sprintf("cst%d", j),
+				ir.AddrExpr{Base: "C", Offset: -ni * int64(j), Stride: ni, Size: s.es}, v)
+		}
+	}
+
+	// Ambiguous chain: fixed-home loads and rotating-home stores through
+	// may-aliased symbols whose lanes never overlap.
+	if s.ambigLoads+s.ambigStores > 0 {
+		b.Symbol("P", base+8*lane, lane*int64(max(1, s.ambigLoads)), "Q")
+		b.Symbol("Q", base+1024*lane, lane*int64(max(1, s.ambigStores)))
+		for j := 0; j < s.ambigLoads; j++ {
+			// Loads pair up 16 bytes apart (half a block): both halves of
+			// the home module's subblock get reused, halving cold misses.
+			off := laneOff(j/2) + int64(j/2)*il + int64(j%2)*16
+			v := b.Load(fmt.Sprintf("ald%d", j),
+				ir.AddrExpr{Base: "P", Offset: off, Stride: ni, Size: s.es})
+			vals.add(home(8*lane+off), v)
+		}
+		for j := 0; j < s.ambigStores; j++ {
+			// Rotating-home stores: local only one iteration in four under
+			// FREE or MDC, but always local under DDGT store replication —
+			// "all replicated stores result in local store operations".
+			b.Store(fmt.Sprintf("ast%d", j),
+				ir.AddrExpr{Base: "Q", Offset: laneOff(j), Stride: es, Size: s.es}, vals.pick(j, next()))
+		}
+	}
+
+	// Tables: stride-0 loads, homes spread round-robin.
+	if s.tableLoads > 0 {
+		b.Symbol("T", base+2048*lane, lane)
+		for j := 0; j < s.tableLoads; j++ {
+			off := int64(j)*il + int64(j/7)*64
+			v := b.Load(fmt.Sprintf("tld%d", j),
+				ir.AddrExpr{Base: "T", Offset: off, Stride: 0, Size: s.es})
+			vals.add(home(2048*lane+off), v)
+		}
+	}
+
+	// Fixed-home accesses: an unrolled walk, offsets stepping one
+	// interleave unit so homes spread; stores in private lanes.
+	if s.fixedLoads > 0 {
+		b.Symbol("A", base+3072*lane, lane)
+		for j := 0; j < s.fixedLoads; j++ {
+			off := int64(j/2)*il + int64(j%2)*16
+			v := b.Load(fmt.Sprintf("fld%d", j),
+				ir.AddrExpr{Base: "A", Offset: off, Stride: ni, Size: s.es})
+			vals.add(home(3072*lane+off), v)
+		}
+	}
+	if s.fixedStores > 0 {
+		b.Symbol("AS", base+4096*lane, lane*int64(s.fixedStores))
+		for j := 0; j < s.fixedStores; j++ {
+			off := laneOff(j) + int64(j)*il
+			b.Store(fmt.Sprintf("fst%d", j),
+				ir.AddrExpr{Base: "AS", Offset: off, Stride: ni, Size: s.es},
+				vals.pick(home(4096*lane+off), next()))
+		}
+	}
+
+	// Streaming accesses: stride = element size, homes rotating.
+	if s.streamLoads > 0 {
+		b.Symbol("B", base+6144*lane, lane*int64(s.streamLoads))
+		for j := 0; j < s.streamLoads; j++ {
+			v := b.Load(fmt.Sprintf("sld%d", j),
+				ir.AddrExpr{Base: "B", Offset: laneOff(j), Stride: es, Size: s.es})
+			vals.add(-1, v)
+		}
+	}
+	if s.streamStores > 0 {
+		b.Symbol("BS", base+8192*lane, lane*int64(s.streamStores))
+		for j := 0; j < s.streamStores; j++ {
+			b.Store(fmt.Sprintf("sst%d", j),
+				ir.AddrExpr{Base: "BS", Offset: laneOff(j), Stride: es, Size: s.es}, vals.pick(j, next()))
+		}
+	}
+
+	// Arithmetic: per-lane chains over the loaded values, as unrolled code
+	// produces — lane g's ops consume and extend lane g's values.
+	for j := 0; j < s.arith; j++ {
+		g := j % 4
+		srcs := []ir.Reg{vals.pick(g, next())}
+		if next()&1 == 0 {
+			srcs = append(srcs, vals.pick(g, next()))
+		}
+		k := ir.KindAdd
+		switch {
+		case s.fp && j%3 == 2:
+			k = ir.KindFAdd
+		case s.fp && j%3 == 1:
+			k = ir.KindFMul
+		case !s.fp && j%5 == 4:
+			k = ir.KindMul
+		case !s.fp && j%5 == 3:
+			k = ir.KindShift
+		}
+		v := b.Arith(fmt.Sprintf("a%d", j), k, srcs...)
+		vals.add(g, v)
+	}
+
+	loop := b.Loop()
+	if recurTail != ir.NoReg {
+		// Close the scalar recurrence: r0 consumes the tail value of the
+		// previous iteration (a use before the def in program order is a
+		// loop-carried register flow dependence).
+		for _, o := range loop.Ops {
+			if o.Name == "r0" {
+				o.Srcs = append(o.Srcs, recurTail)
+				break
+			}
+		}
+	}
+	return loop
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

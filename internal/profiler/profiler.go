@@ -1,0 +1,121 @@
+// Package profiler computes preferred-cluster information for memory
+// instructions (§2.2, footnote 1: "the preferred cluster is computed
+// through profiling").
+//
+// A profiling run walks the loop's address stream on the profile input
+// (the loop's ProfileTrip iterations, with symbol bases shifted by
+// ProfileShift) and records, per memory op, how many accesses map to each
+// cluster under the architecture's interleaving function. The preferred
+// cluster of an op is the cluster it accesses most; the preferred cluster
+// of a memory dependent chain is the weighted vote over the whole chain
+// ("average preferred cluster").
+package profiler
+
+import (
+	"vliwcache/internal/arch"
+	"vliwcache/internal/ir"
+)
+
+// Profile holds per-op home-cluster histograms for one loop.
+type Profile struct {
+	NumClusters int
+	// Hist maps op ID to per-cluster access counts.
+	Hist map[int][]int64
+}
+
+// Run profiles a loop on its profile input. Loops without an explicit
+// ProfileTrip are profiled over their execution trip count.
+func Run(loop *ir.Loop, cfg arch.Config) *Profile {
+	p := &Profile{
+		NumClusters: cfg.NumClusters,
+		Hist:        make(map[int][]int64),
+	}
+	if cfg.Replicated() {
+		// Every cluster holds every block: locality is placement-
+		// independent and no memory op has a preferred cluster.
+		return p
+	}
+	trip := loop.ProfileTrip
+	if trip == 0 {
+		trip = loop.Trip
+	}
+	// Bound the profiling walk: home clusters repeat with period
+	// NumClusters*InterleaveBytes/gcd(stride, ...), so a few thousand
+	// iterations characterize any affine stream.
+	const maxProfileIters = 1 << 14
+	if trip > maxProfileIters {
+		trip = maxProfileIters
+	}
+	for _, o := range loop.Ops {
+		if !o.Kind.IsMem() {
+			continue
+		}
+		h := make([]int64, cfg.NumClusters)
+		base := loop.Symbols[o.Addr.Base].Base + uint64(loop.ProfileShift)
+		for i := int64(0); i < trip; i++ {
+			h[cfg.HomeCluster(o.Addr.AddrAt(base, i))]++
+		}
+		p.Hist[o.ID] = h
+	}
+	return p
+}
+
+// Preferred returns the preferred cluster of the op, or -1 when the op has
+// no profile (non-memory ops).
+func (p *Profile) Preferred(op int) int {
+	h, ok := p.Hist[op]
+	if !ok {
+		return -1
+	}
+	return argmax(h)
+}
+
+// ChainPreferred returns the average preferred cluster of a set of ops: the
+// cluster maximizing the summed access counts of the whole chain.
+func (p *Profile) ChainPreferred(ops []int) int {
+	sum := make([]int64, p.NumClusters)
+	any := false
+	for _, id := range ops {
+		if h, ok := p.Hist[id]; ok {
+			any = true
+			for c, v := range h {
+				sum[c] += v
+			}
+		}
+	}
+	if !any {
+		return -1
+	}
+	return argmax(sum)
+}
+
+// LocalityUpperBound returns the fraction of profiled accesses that would
+// be local if every memory op executed in its preferred cluster — an upper
+// bound on the local access ratio achievable by any placement.
+func (p *Profile) LocalityUpperBound() float64 {
+	var local, total int64
+	for _, h := range p.Hist {
+		best := int64(0)
+		for _, v := range h {
+			if v > best {
+				best = v
+			}
+			total += v
+		}
+		local += best
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(local) / float64(total)
+}
+
+func argmax(h []int64) int {
+	best, bi := int64(-1), 0
+	for i, v := range h {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

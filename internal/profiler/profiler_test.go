@@ -1,0 +1,99 @@
+package profiler
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/ir"
+)
+
+func TestFixedHomeProfile(t *testing.T) {
+	cfg := arch.Default() // I=4, N=4
+	b := ir.NewBuilder("fixed")
+	b.Symbol("a", 0x1000, 1<<16)
+	b.Trip(100, 1)
+	// Stride 16 = N*I: always the same home; offset 8 selects cluster 2.
+	b.Load("ld", ir.AddrExpr{Base: "a", Offset: 8, Stride: 16, Size: 4})
+	p := Run(b.Loop(), cfg)
+	if got := p.Preferred(0); got != 2 {
+		t.Errorf("preferred = %d, want 2 (hist %v)", got, p.Hist[0])
+	}
+	h := p.Hist[0]
+	if h[2] != 100 || h[0] != 0 || h[1] != 0 || h[3] != 0 {
+		t.Errorf("hist = %v, want all accesses in cluster 2", h)
+	}
+}
+
+func TestRotatingHomeProfile(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("rot")
+	b.Symbol("a", 0x1000, 1<<16)
+	b.Trip(400, 1)
+	b.Load("ld", ir.AddrExpr{Base: "a", Stride: 4, Size: 4})
+	p := Run(b.Loop(), cfg)
+	h := p.Hist[0]
+	for c, n := range h {
+		if n != 100 {
+			t.Errorf("cluster %d: %d accesses, want 100 (uniform rotation)", c, n)
+		}
+	}
+}
+
+func TestProfileShiftChangesHomes(t *testing.T) {
+	cfg := arch.Default()
+	mk := func(shift int64) int {
+		b := ir.NewBuilder("s")
+		b.Symbol("a", 0x1000, 1<<16)
+		b.Trip(64, 1)
+		b.Profile(0, shift)
+		b.Load("ld", ir.AddrExpr{Base: "a", Stride: 16, Size: 4})
+		return Run(b.Loop(), cfg).Preferred(0)
+	}
+	if mk(0) == mk(4) {
+		t.Error("a 4-byte shift (non-multiple of N*I) must change the preferred cluster")
+	}
+	if mk(0) != mk(16) {
+		t.Error("a 16-byte shift (multiple of N*I, i.e. padded) must preserve it")
+	}
+}
+
+func TestChainPreferredWeightedVote(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("vote")
+	b.Symbol("a", 0x1000, 1<<20)
+	b.Trip(100, 1)
+	b.Load("l0", ir.AddrExpr{Base: "a", Offset: 0, Stride: 16, Size: 4})  // cluster 0
+	b.Load("l1", ir.AddrExpr{Base: "a", Offset: 12, Stride: 16, Size: 4}) // cluster 3
+	b.Load("l2", ir.AddrExpr{Base: "a", Offset: 28, Stride: 16, Size: 4}) // cluster 3
+	p := Run(b.Loop(), cfg)
+	if got := p.ChainPreferred([]int{0, 1, 2}); got != 3 {
+		t.Errorf("chain preferred = %d, want 3 (majority)", got)
+	}
+}
+
+func TestNonMemoryOpsHaveNoProfile(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("nm")
+	b.Arith("add", ir.KindAdd)
+	p := Run(b.Loop(), cfg)
+	if p.Preferred(0) != -1 {
+		t.Error("non-memory op must have no preference")
+	}
+	if p.ChainPreferred([]int{0}) != -1 {
+		t.Error("chain of non-memory ops must have no preference")
+	}
+}
+
+func TestLocalityUpperBound(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("ub")
+	b.Symbol("a", 0x1000, 1<<20)
+	b.Trip(100, 1)
+	b.Load("fixed", ir.AddrExpr{Base: "a", Stride: 16, Size: 4}) // 100% one cluster
+	b.Load("rot", ir.AddrExpr{Base: "a", Offset: 0x8000, Stride: 4, Size: 4})
+	p := Run(b.Loop(), cfg)
+	ub := p.LocalityUpperBound()
+	if ub <= 0.5 || ub > 1 {
+		t.Errorf("upper bound = %v, want (0.5, 1] (one perfect + one uniform op)", ub)
+	}
+}

@@ -1,0 +1,126 @@
+// Package report renders detailed human-readable reports about a compiled
+// and simulated loop: how the initiation interval decomposes into resource
+// and recurrence bounds (and which dependence cycle binds it), how the
+// schedule utilizes each cluster's units and the register buses, and how
+// the simulated memory behaviour breaks down.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+	"vliwcache/internal/textplot"
+)
+
+// Text renders the full report for one schedule and its simulation
+// statistics (stats may be nil to report on the schedule alone).
+func Text(sc *sched.Schedule, st *sim.Stats) string {
+	var b strings.Builder
+	plan, cfg := sc.Plan, sc.Arch
+
+	fmt.Fprintf(&b, "loop %q under %s, %s heuristic-scheduled\n",
+		plan.Loop.Name, plan.Policy, cfg)
+
+	// II decomposition.
+	res := sched.ResMII(plan, cfg)
+	lf := minLatencyFunc(cfg)
+	rec := plan.Graph.RecMII(lf)
+	fmt.Fprintf(&b, "\nII = %d  (ResMII %d, RecMII %d, schedule length %d, %d copies/iter)\n",
+		sc.II, res, rec, sc.Length, len(sc.Copies))
+
+	if cycle := plan.Graph.CriticalCycle(lf); cycle != nil {
+		lat, dist, bound := plan.Graph.CycleStats(cycle, lf)
+		fmt.Fprintf(&b, "critical recurrence (latency %d over distance %d -> II >= %d):\n",
+			lat, dist, bound)
+		for _, e := range cycle {
+			fmt.Fprintf(&b, "  %s -%s(d=%d)-> %s\n",
+				plan.Loop.Ops[e.From].Label(), e.Kind, e.Dist, plan.Loop.Ops[e.To].Label())
+		}
+	}
+
+	// Chains / replication summary.
+	if len(plan.Chains) > 0 {
+		fmt.Fprintf(&b, "memory dependent chains: %d (biggest %d ops)\n",
+			len(plan.Chains), len(plan.Chains[0]))
+	}
+	if len(plan.ReplicaGroups) > 0 {
+		fmt.Fprintf(&b, "replicated stores: %d (+%d instances), fake consumers: %d, MA removed: %d\n",
+			len(plan.ReplicaGroups), len(plan.ReplicaGroups)*(cfg.NumClusters-1),
+			len(plan.FakeConsumers), plan.RemovedMA)
+	}
+
+	// Utilization: slots used per cluster per class over one II.
+	b.WriteString("\nutilization (slots used / available per iteration):\n")
+	t := textplot.NewTable("cluster", "INT", "FP", "MEM", "ops")
+	var used [8][3]int
+	var opsPer [8]int
+	for id, o := range plan.Loop.Ops {
+		c := sc.Cluster[id]
+		if c < len(used) {
+			switch o.Kind.UnitClass() {
+			case ir.ClassInt:
+				used[c][0]++
+			case ir.ClassFP:
+				used[c][1]++
+			case ir.ClassMem:
+				used[c][2]++
+			}
+			opsPer[c]++
+		}
+	}
+	for c := 0; c < cfg.NumClusters && c < len(used); c++ {
+		t.Rowf("cl%d\t%d/%d\t%d/%d\t%d/%d\t%d", c,
+			used[c][0], cfg.IntUnits*sc.II,
+			used[c][1], cfg.FPUnits*sc.II,
+			used[c][2], cfg.MemUnits*sc.II,
+			opsPer[c])
+	}
+	b.WriteString(t.String())
+	busSlots := cfg.RegBuses * sc.II
+	busUsed := len(sc.Copies) * cfg.RegBusLatency
+	fmt.Fprintf(&b, "register buses: %d/%d slot-cycles per iteration\n", busUsed, busSlots)
+
+	if st == nil {
+		return b.String()
+	}
+
+	// Simulation breakdown.
+	fmt.Fprintf(&b, "\nsimulated %d iterations x %d entries: %d cycles (compute %d + stall %d)\n",
+		st.Iterations/maxI64(1, st.Entries), st.Entries, st.Cycles(), st.ComputeCycles, st.StallCycles)
+	at := textplot.NewTable("class", "accesses", "share")
+	for cl := sim.Class(0); cl < sim.NumClasses; cl++ {
+		at.Rowf("%s\t%d\t%.1f%%", cl, st.Accesses[cl], 100*st.ClassRatio(cl))
+	}
+	b.WriteString(at.String())
+	fmt.Fprintf(&b, "attraction buffer hits %d, nullified store instances %d\n", st.ABHits, st.NullifiedStores)
+	fmt.Fprintf(&b, "memory buses: %d transfers, %d wait cycles; next level: %d requests, %d wait cycles\n",
+		st.BusTransfers, st.BusWaitedCycles, st.NextLevelRequests, st.PortsWaited)
+	fmt.Fprintf(&b, "cache: %d evictions (%d dirty); communications executed: %d\n",
+		st.Evictions, st.Writebacks, st.CommOps)
+	if st.Violations > 0 {
+		fmt.Fprintf(&b, "!! memory ordering violations: %d\n", st.Violations)
+	}
+	return b.String()
+}
+
+func minLatencyFunc(cfg arch.Config) ddg.LatencyFunc {
+	hit := cfg.Latencies().LocalHit
+	return func(o *ir.Op) int {
+		if o.Kind.IsMem() {
+			return hit
+		}
+		return o.Kind.Latency()
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+func fixture(t *testing.T, pol core.Policy) (*sched.Schedule, *sim.Stats) {
+	t.Helper()
+	b := ir.NewBuilder("fixture")
+	b.Symbol("c", 0x10000, 1<<20)
+	b.Trip(500, 1)
+	v := b.Load("ld", ir.AddrExpr{Base: "c", Offset: -16, Stride: 16, Size: 4})
+	w := b.Arith("r0", ir.KindAdd, v)
+	b.Store("st", ir.AddrExpr{Base: "c", Stride: 16, Size: 4}, w)
+	loop := b.Loop()
+	cfg := arch.Default()
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run(sc, sim.Options{CheckCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, st
+}
+
+func TestReportSections(t *testing.T) {
+	sc, st := fixture(t, core.PolicyMDC)
+	out := Text(sc, st)
+	for _, want := range []string{
+		"II =", "ResMII", "RecMII",
+		"critical recurrence",
+		"MF", // the loop-carried memory flow edge binds the recurrence
+		"memory dependent chains: 1",
+		"utilization",
+		"cl0", "cl3",
+		"register buses",
+		"simulated",
+		"local hit",
+		"memory buses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "violations") {
+		t.Error("coherent run must not warn about violations")
+	}
+}
+
+func TestReportDDGTSection(t *testing.T) {
+	sc, st := fixture(t, core.PolicyDDGT)
+	out := Text(sc, st)
+	if !strings.Contains(out, "replicated stores: 1 (+3 instances)") {
+		t.Errorf("missing replication summary:\n%s", out)
+	}
+}
+
+func TestReportScheduleOnly(t *testing.T) {
+	sc, _ := fixture(t, core.PolicyFree)
+	out := Text(sc, nil)
+	if strings.Contains(out, "simulated") {
+		t.Error("schedule-only report must omit simulation sections")
+	}
+	if !strings.Contains(out, "II =") {
+		t.Error("missing II section")
+	}
+}

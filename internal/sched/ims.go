@@ -1,0 +1,571 @@
+package sched
+
+import (
+	"sort"
+
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// state is one II attempt of the iterative modulo scheduler.
+type state struct {
+	plan *core.Plan
+	opts Options
+	ii   int
+	lat  []int
+
+	n            int
+	cycle        []int // -1 = unscheduled
+	cluster      []int
+	prevCycle    []int // cycle at last ejection/forcing, for the +1 rule
+	height       []int
+	chainCluster []int // per chain, -1 = not yet assigned
+	usage        []int // scheduled ops per cluster (workload balance)
+	m            *mrt
+	copies       map[copyKey]*copyRes
+	budget       int
+}
+
+func newState(plan *core.Plan, opts Options, ii int, lat []int) *state {
+	n := len(plan.Loop.Ops)
+	s := &state{
+		plan:      plan,
+		opts:      opts,
+		ii:        ii,
+		lat:       lat,
+		n:         n,
+		cycle:     make([]int, n),
+		cluster:   make([]int, n),
+		prevCycle: make([]int, n),
+		usage:     make([]int, opts.Arch.NumClusters),
+		m:         newMRT(opts.Arch, ii),
+		copies:    make(map[copyKey]*copyRes),
+		budget:    opts.Budget * n,
+	}
+	for i := range s.cycle {
+		s.cycle[i] = -1
+		s.prevCycle[i] = -1
+	}
+	s.chainCluster = make([]int, len(plan.Chains))
+	for i := range s.chainCluster {
+		s.chainCluster[i] = -1
+	}
+	// PrefClus computes chain clusters prior to scheduling: the average
+	// preferred cluster of the whole chain (§3.2).
+	if opts.Heuristic == PrefClus && opts.Profile != nil {
+		for i, chain := range plan.Chains {
+			s.chainCluster[i] = opts.Profile.ChainPreferred(chain)
+		}
+	}
+	return s
+}
+
+func (s *state) lf(o *ir.Op) int { return s.lat[o.ID] }
+
+// run drives placement until every op is scheduled or the budget runs out.
+func (s *state) run() (*Schedule, bool) {
+	h, ok := s.plan.Graph.Heights(s.ii, s.lf)
+	if !ok {
+		return nil, false
+	}
+	s.height = h
+	if s.opts.Order == OrderSlack {
+		// Swing-style priority: negative slack, so ops with the least
+		// scheduling freedom are placed first; height breaks ties via the
+		// composite priority below.
+		asap, ok1 := s.plan.Graph.ASAP(s.ii, s.lf)
+		horizon := 0
+		for i := range asap {
+			if t := asap[i] + s.lat[i]; t > horizon {
+				horizon = t
+			}
+		}
+		alap, ok2 := s.plan.Graph.ALAP(s.ii, horizon, s.lf)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		for i := range s.height {
+			slack := alap[i] - asap[i]
+			// Compose: primary key -slack (fewer freedom first), secondary
+			// the height, packed so the primary dominates.
+			s.height[i] = -slack*(horizon+1) + s.height[i]%(horizon+1)
+		}
+	}
+
+	for {
+		u := s.next()
+		if u < 0 {
+			break
+		}
+		if s.budget <= 0 {
+			return nil, false
+		}
+		s.budget--
+		s.scheduleOp(u)
+	}
+	return s.emit(), true
+}
+
+// next returns the highest-priority unscheduled op, or -1 when done.
+func (s *state) next() int {
+	best := -1
+	for id := 0; id < s.n; id++ {
+		if s.cycle[id] >= 0 {
+			continue
+		}
+		if best < 0 || s.height[id] > s.height[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+// busLat is the register bus transfer latency.
+func (s *state) busLat() int { return s.opts.Arch.RegBusLatency }
+
+// effLat returns the effective latency of edge e when its target is placed
+// in cluster c (the source must be scheduled for RF edges).
+func (s *state) effLat(e *ddg.Edge, c int) int {
+	base := ddg.EdgeLatency(e, s.plan.Loop.Ops, s.lf)
+	if e.Kind == ddg.RF && s.cycle[e.From] >= 0 && s.cluster[e.From] != c {
+		return base + s.busLat()
+	}
+	return base
+}
+
+// est returns the earliest start of op u in cluster c given scheduled
+// predecessors.
+func (s *state) est(u, c int) int {
+	t := 0
+	for _, e := range s.plan.Graph.In(u) {
+		if e.From == u || s.cycle[e.From] < 0 {
+			continue
+		}
+		if w := s.cycle[e.From] + s.effLat(e, c) - s.ii*e.Dist; w > t {
+			t = w
+		}
+	}
+	return t
+}
+
+// candidates returns the clusters to try for op u, most preferred first.
+func (s *state) candidates(u int) []int {
+	if c, ok := s.plan.ForceCluster[u]; ok {
+		return []int{c}
+	}
+	if ci, ok := s.plan.ChainOf[u]; ok && s.chainCluster[ci] >= 0 {
+		return []int{s.chainCluster[ci]}
+	}
+	nc := s.opts.Arch.NumClusters
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+
+	op := s.plan.Loop.Ops[u]
+	if s.opts.Heuristic == PrefClus && op.Kind.IsMem() && s.opts.Profile != nil {
+		// Preferred-cluster ordering by access histogram (replicas share
+		// the original's profile).
+		hid := u
+		if op.IsReplica() {
+			hid = op.Origin()
+		}
+		if h, ok := s.opts.Profile.Hist[hid]; ok {
+			sort.SliceStable(order, func(i, j int) bool {
+				return h[order[i]] > h[order[j]]
+			})
+			return order
+		}
+	}
+
+	// MinComs (and non-memory ops under PrefClus): maximize already-placed
+	// RF neighbors in the cluster, then workload balance.
+	aff := make([]int, nc)
+	for _, e := range s.plan.Graph.In(u) {
+		if e.Kind == ddg.RF && e.From != u && s.cycle[e.From] >= 0 {
+			aff[s.cluster[e.From]]++
+		}
+	}
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.Kind == ddg.RF && e.To != u && s.cycle[e.To] >= 0 {
+			aff[s.cluster[e.To]]++
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if aff[order[i]] != aff[order[j]] {
+			return aff[order[i]] > aff[order[j]]
+		}
+		return s.usage[order[i]] < s.usage[order[j]]
+	})
+	return order
+}
+
+// scheduleOp places op u, scanning candidate clusters and slots; when no
+// conflict-free placement exists it forces one, ejecting conflicting ops.
+func (s *state) scheduleOp(u int) {
+	cands := s.candidates(u)
+	for _, c := range cands {
+		base := s.est(u, c)
+		for dt := 0; dt < s.ii; dt++ {
+			if s.tryPlace(u, c, base+dt) {
+				return
+			}
+		}
+	}
+	s.force(u, cands[0])
+}
+
+// tryPlace attempts a conflict-free placement of u at (c, t).
+func (s *state) tryPlace(u, c, t int) bool {
+	if !s.m.fuFree(c, s.plan.Loop.Ops[u].Kind.UnitClass(), t) {
+		return false
+	}
+	// Timing against scheduled successors.
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.To == u || s.cycle[e.To] < 0 {
+			continue
+		}
+		if s.cycle[e.To] < t+s.effLatFrom(e, c, t)-s.ii*e.Dist {
+			return false
+		}
+	}
+	plan, ok := s.planCopies(u, c, t)
+	if !ok {
+		return false
+	}
+	s.commit(u, c, t, plan)
+	return true
+}
+
+// effLatFrom is effLat for an out-edge of the op being placed at cluster c:
+// cross-cluster RF adds the bus latency.
+func (s *state) effLatFrom(e *ddg.Edge, c, _ int) int {
+	base := ddg.EdgeLatency(e, s.plan.Loop.Ops, s.lf)
+	if e.Kind == ddg.RF && s.cycle[e.To] >= 0 && s.cluster[e.To] != c {
+		return base + s.busLat()
+	}
+	return base
+}
+
+// copyPlan is the set of transfers a placement needs.
+type copyPlan struct {
+	reuse []reusePlan
+	fresh []freshPlan
+}
+
+type reusePlan struct {
+	res  *copyRes
+	user int
+}
+
+type freshPlan struct {
+	key        copyKey
+	start, bus int
+	users      []int
+}
+
+// planCopies computes the transfers needed to place u at (c, t):
+// cross-cluster values from scheduled producers into c, and u's own value
+// to clusters of scheduled consumers. ok is false when a needed transfer
+// cannot be satisfied (no bus slot within its window).
+func (s *state) planCopies(u, c, t int) (copyPlan, bool) {
+	var plan copyPlan
+	bl := s.busLat()
+
+	// Inbound: scheduled RF producers in other clusters.
+	for _, e := range s.plan.Graph.In(u) {
+		if e.Kind != ddg.RF || e.From == u || s.cycle[e.From] < 0 || s.cluster[e.From] == c {
+			continue
+		}
+		p := e.From
+		deadline := t + s.ii*e.Dist - bl // latest transfer start
+		ready := s.cycle[p] + s.lat[p]
+		if ex, ok := s.copies[copyKey{p, c}]; ok {
+			if ex.start >= ready && ex.start <= deadline {
+				plan.reuse = append(plan.reuse, reusePlan{ex, u})
+				continue
+			}
+			return copyPlan{}, false // existing transfer incompatible
+		}
+		start, bus, ok := s.findBus(ready, deadline, plan.fresh)
+		if !ok {
+			return copyPlan{}, false
+		}
+		plan.fresh = append(plan.fresh, freshPlan{copyKey{p, c}, start, bus, []int{u}})
+	}
+
+	// Outbound: u's value to clusters holding scheduled consumers. Group
+	// consumers per cluster; one transfer serves them all, so its window is
+	// the intersection of their windows.
+	type window struct {
+		deadline int
+		users    []int
+	}
+	outw := make(map[int]*window)
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.Kind != ddg.RF || e.To == u || s.cycle[e.To] < 0 || s.cluster[e.To] == c {
+			continue
+		}
+		d := s.cycle[e.To] + s.ii*e.Dist - bl
+		w, ok := outw[s.cluster[e.To]]
+		if !ok {
+			outw[s.cluster[e.To]] = &window{deadline: d, users: []int{e.To}}
+			continue
+		}
+		if d < w.deadline {
+			w.deadline = d
+		}
+		w.users = append(w.users, e.To)
+	}
+	ready := t + s.lat[u]
+	// Deterministic iteration order over destination clusters.
+	dsts := make([]int, 0, len(outw))
+	for d := range outw {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		w := outw[dst]
+		start, bus, ok := s.findBus(ready, w.deadline, plan.fresh)
+		if !ok {
+			return copyPlan{}, false
+		}
+		plan.fresh = append(plan.fresh, freshPlan{copyKey{u, dst}, start, bus, w.users})
+	}
+	return plan, true
+}
+
+// findBus locates a (start, bus) with every slot of the transfer free,
+// scanning starts from early to late, avoiding conflicts with transfers
+// already tentatively planned in this placement.
+func (s *state) findBus(ready, deadline int, pending []freshPlan) (start, bus int, ok bool) {
+	if deadline < ready {
+		return 0, 0, false
+	}
+	// Scanning more than II starts revisits the same modulo slots.
+	limit := deadline
+	if limit > ready+s.ii-1 {
+		limit = ready + s.ii - 1
+	}
+	for t := ready; t <= limit; t++ {
+		for b := range s.m.bus {
+			if !s.m.busFreeOn(b, t) || conflictsPending(s, pending, b, t) {
+				continue
+			}
+			return t, b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// conflictsPending reports whether a transfer on bus b starting at t would
+// overlap a transfer tentatively planned in this same placement.
+func conflictsPending(s *state, pending []freshPlan, b, t int) bool {
+	bl := s.busLat()
+	if bl > s.ii {
+		bl = s.ii
+	}
+	for _, f := range pending {
+		if f.bus != b {
+			continue
+		}
+		for d1 := 0; d1 < bl; d1++ {
+			for d2 := 0; d2 < bl; d2++ {
+				if s.m.slot(t+d1) == s.m.slot(f.start+d2) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// commit applies a placement and its copy plan.
+func (s *state) commit(u, c, t int, plan copyPlan) {
+	s.m.fuReserve(u, c, s.plan.Loop.Ops[u].Kind.UnitClass(), t)
+	s.cycle[u] = t
+	s.cluster[u] = c
+	s.usage[c]++
+	for _, r := range plan.reuse {
+		r.res.users[r.user] = true
+	}
+	for _, f := range plan.fresh {
+		res := &copyRes{key: f.key, start: f.start, bus: f.bus, users: map[int]bool{}}
+		for _, usr := range f.users {
+			res.users[usr] = true
+		}
+		s.m.busReserve(f.key.producer, f.bus, f.start)
+		s.copies[f.key] = res
+	}
+	if ci, ok := s.plan.ChainOf[u]; ok && s.chainCluster[ci] < 0 {
+		s.chainCluster[ci] = c
+	}
+}
+
+// eject unschedules op x: frees its unit, detaches it from transfers it
+// consumed, and drops transfers it produced.
+func (s *state) eject(x int) {
+	if s.cycle[x] < 0 {
+		return
+	}
+	s.m.fuRelease(x, s.cluster[x], s.plan.Loop.Ops[x].Kind.UnitClass(), s.cycle[x])
+	s.usage[s.cluster[x]]--
+	s.prevCycle[x] = s.cycle[x]
+	s.cycle[x] = -1
+	for k, res := range s.copies {
+		if k.producer == x {
+			s.m.busRelease(res.bus, res.start)
+			delete(s.copies, k)
+			continue
+		}
+		if res.users[x] {
+			delete(res.users, x)
+			if len(res.users) == 0 {
+				s.m.busRelease(res.bus, res.start)
+				delete(s.copies, k)
+			}
+		}
+	}
+}
+
+// force places u at its preferred cluster at max(est, prev+1), ejecting
+// whatever conflicts: unit owners, timing-violated neighbors, and — when a
+// needed transfer cannot be routed — the neighbor needing it.
+func (s *state) force(u, c int) {
+	t := s.est(u, c)
+	if t <= s.prevCycle[u] {
+		t = s.prevCycle[u] + 1
+	}
+
+	// Free the functional unit.
+	class := s.plan.Loop.Ops[u].Kind.UnitClass()
+	for !s.m.fuFree(c, class, t) {
+		owners := s.m.fuOwners(c, class, t)
+		s.eject(owners[0])
+	}
+
+	// Timing against scheduled neighbors: eject violators. Predecessor
+	// violations cannot arise (t >= est), except when est used a different
+	// cluster assumption — est was computed for this same c, so only
+	// successors can be violated.
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.To == u || s.cycle[e.To] < 0 {
+			continue
+		}
+		if s.cycle[e.To] < t+s.effLatFrom(e, c, t)-s.ii*e.Dist {
+			s.eject(e.To)
+		}
+	}
+
+	// Route transfers, ejecting neighbors whose transfer cannot fit.
+	for {
+		plan, ok := s.planCopies(u, c, t)
+		if ok {
+			s.commit(u, c, t, plan)
+			return
+		}
+		if !s.ejectOneCopyBlocker(u, c, t) {
+			// Last resort: free every bus slot by ejecting all transfer
+			// producers, then retry once more; if that cannot help, eject
+			// all RF neighbors.
+			if !s.ejectAnyNeighbor(u, c) {
+				// Nothing left to eject — place without the transfer;
+				// Validate will fail loudly if this ever happens.
+				plan, _ := s.planCopies(u, c, t)
+				s.commit(u, c, t, plan)
+				return
+			}
+		}
+	}
+}
+
+// ejectOneCopyBlocker finds the first scheduled RF neighbor of u whose
+// required transfer cannot be satisfied and ejects it. Returns false when
+// every neighbor's transfer is routable (so planCopies must have failed for
+// another reason) or there is nothing to eject.
+func (s *state) ejectOneCopyBlocker(u, c, t int) bool {
+	bl := s.busLat()
+	for _, e := range s.plan.Graph.In(u) {
+		if e.Kind != ddg.RF || e.From == u || s.cycle[e.From] < 0 || s.cluster[e.From] == c {
+			continue
+		}
+		p := e.From
+		ready := s.cycle[p] + s.lat[p]
+		deadline := t + s.ii*e.Dist - bl
+		if ex, ok := s.copies[copyKey{p, c}]; ok && ex.start >= ready && ex.start <= deadline {
+			continue
+		}
+		if _, _, ok := s.findBus(ready, deadline, nil); !ok {
+			s.eject(p)
+			return true
+		}
+	}
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.Kind != ddg.RF || e.To == u || s.cycle[e.To] < 0 || s.cluster[e.To] == c {
+			continue
+		}
+		ready := t + s.lat[u]
+		deadline := s.cycle[e.To] + s.ii*e.Dist - bl
+		if _, _, ok := s.findBus(ready, deadline, nil); !ok {
+			s.eject(e.To)
+			return true
+		}
+	}
+	return false
+}
+
+// ejectAnyNeighbor ejects one scheduled RF neighbor of u in another
+// cluster, freeing bus pressure. Returns false if none exists.
+func (s *state) ejectAnyNeighbor(u, c int) bool {
+	for _, e := range s.plan.Graph.In(u) {
+		if e.Kind == ddg.RF && e.From != u && s.cycle[e.From] >= 0 && s.cluster[e.From] != c {
+			s.eject(e.From)
+			return true
+		}
+	}
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.Kind == ddg.RF && e.To != u && s.cycle[e.To] >= 0 && s.cluster[e.To] != c {
+			s.eject(e.To)
+			return true
+		}
+	}
+	return false
+}
+
+// emit freezes the state into a Schedule.
+func (s *state) emit() *Schedule {
+	sc := &Schedule{
+		Plan:    s.plan,
+		Arch:    s.opts.Arch,
+		II:      s.ii,
+		Cycle:   append([]int(nil), s.cycle...),
+		Cluster: append([]int(nil), s.cluster...),
+		Lat:     append([]int(nil), s.lat...),
+	}
+	for i := range sc.Cycle {
+		if end := sc.Cycle[i] + s.lat[i]; end > sc.Length {
+			sc.Length = end
+		}
+	}
+	keys := make([]copyKey, 0, len(s.copies))
+	for k := range s.copies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].producer != keys[j].producer {
+			return keys[i].producer < keys[j].producer
+		}
+		return keys[i].toCluster < keys[j].toCluster
+	})
+	for _, k := range keys {
+		res := s.copies[k]
+		sc.Copies = append(sc.Copies, Copy{
+			Producer:  k.producer,
+			ToCluster: k.toCluster,
+			Start:     res.start,
+			Bus:       res.bus,
+		})
+	}
+	return sc
+}

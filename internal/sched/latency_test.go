@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+)
+
+// TestLatencyAssignmentRecurrenceCapped: a load inside a loop-carried
+// memory recurrence cannot assume a large latency without breaking the II,
+// so it must stay at (or near) the local-hit latency — this is the load
+// that stalls at run time (§4.2).
+func TestLatencyAssignmentRecurrenceCapped(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("rec")
+	b.Symbol("c", 0x10000, 1<<20)
+	v := b.Load("ld", ir.AddrExpr{Base: "c", Offset: -16, Stride: 16, Size: 4})
+	w := b.Arith("r0", ir.KindAdd, v)
+	x := b.Arith("r1", ir.KindAdd, w)
+	b.Store("st", ir.AddrExpr{Base: "c", Stride: 16, Size: 4}, x)
+	loop := b.Loop()
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle: st -(MF,d1)-> ld -> r0 -> r1 -> st: RecMII = 3 + lat(ld).
+	ii := MII(plan, cfg)
+	lat, ok := assignLatencies(plan, cfg, ii)
+	if !ok {
+		t.Fatal("infeasible at MII")
+	}
+	// The load's latency is capped by the recurrence: lat(ld) <= ii - 3.
+	if lat[0] > ii-3 {
+		t.Errorf("load latency %d breaks the recurrence at II=%d", lat[0], ii)
+	}
+}
+
+// TestLatencyAssignmentSlackPromoted: a load with no recurrence pressure in
+// a resource-bound loop gets promoted to the local-miss latency.
+func TestLatencyAssignmentSlackPromoted(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("slack")
+	b.Symbol("a", 0x10000, 1<<20)
+	v := b.Load("ld", ir.AddrExpr{Base: "a", Stride: 16, Size: 4})
+	b.Arith("use", ir.KindAdd, v)
+	// Enough independent integer work to force a resource-bound II.
+	for i := 0; i < 60; i++ {
+		b.Arith("", ir.KindAdd)
+	}
+	loop := b.Loop()
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii := MII(plan, cfg) // 61 INT ops / 4 clusters => 16
+	lat, ok := assignLatencies(plan, cfg, ii)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if want := cfg.Latencies().LocalMiss; lat[0] != want {
+		t.Errorf("free load assigned %d, want promotion to local miss %d", lat[0], want)
+	}
+	lats := cfg.Latencies()
+	if lat[0] > lats.LocalMiss {
+		t.Error("promotion must stop at local miss (remote misses stall)")
+	}
+}
+
+// TestLatencyAssignmentStoresStayMinimal: stores produce no value, so
+// promoting them buys nothing.
+func TestLatencyAssignmentStoresStayMinimal(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("st")
+	b.Symbol("a", 0x10000, 1<<20)
+	live := b.Reg()
+	b.Store("st", ir.AddrExpr{Base: "a", Stride: 16, Size: 4}, live)
+	plan, err := core.Prepare(b.Loop(), core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, ok := assignLatencies(plan, cfg, MII(plan, cfg))
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if lat[0] != cfg.Latencies().LocalHit {
+		t.Errorf("store latency = %d, want the floor", lat[0])
+	}
+}
+
+func TestResMIIChainBound(t *testing.T) {
+	cfg := arch.Default()
+	// Build a loop whose chain of 6 memory ops binds ResMII under MDC.
+	b := ir.NewBuilder("chain6")
+	b.Symbol("c", 0x10000, 1<<20)
+	var v ir.Reg
+	for i := 0; i < 5; i++ {
+		v = b.Load("", ir.AddrExpr{Base: "c", Offset: -16 * int64(i+1), Stride: 16, Size: 4})
+	}
+	b.Store("st", ir.AddrExpr{Base: "c", Stride: 16, Size: 4}, v)
+	loop := b.Loop()
+
+	free, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdc, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResMII(free, cfg) >= 6 {
+		t.Errorf("free ResMII = %d: 6 mem ops over 4 clusters must be 2", ResMII(free, cfg))
+	}
+	if got := ResMII(mdc, cfg); got != 6 {
+		t.Errorf("MDC ResMII = %d, want 6 (chain on one memory port)", got)
+	}
+}
+
+func TestScheduleStringRendering(t *testing.T) {
+	cfg := arch.Default()
+	loop := daxpyLoop()
+	plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(plan, Options{Arch: cfg, Heuristic: MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sc.String()
+	if len(s) == 0 || sc.CommOps() != len(sc.Copies) {
+		t.Error("rendering/accessors broken")
+	}
+}

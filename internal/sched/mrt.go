@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"vliwcache/internal/arch"
+	"vliwcache/internal/ir"
+)
+
+// classIndex maps functional-unit classes to rows of the reservation table.
+func classIndex(c ir.Class) int {
+	switch c {
+	case ir.ClassInt:
+		return 0
+	case ir.ClassFP:
+		return 1
+	case ir.ClassMem:
+		return 2
+	}
+	return -1
+}
+
+// mrt is a modulo reservation table: per-cluster functional units plus the
+// shared register-to-register buses, each with II time slots. Entries store
+// the owning op ID so ejection can free reservations uniformly.
+type mrt struct {
+	ii  int
+	cfg arch.Config
+
+	// fu[cluster][class][slot] lists owner op IDs; capacity is the unit
+	// count of the class.
+	fu [][][][]int
+
+	// bus[b][slot] holds the producer op ID of the copy occupying bus b at
+	// that slot, or -1.
+	bus [][]int
+}
+
+func newMRT(cfg arch.Config, ii int) *mrt {
+	m := &mrt{ii: ii, cfg: cfg}
+	m.fu = make([][][][]int, cfg.NumClusters)
+	for c := range m.fu {
+		m.fu[c] = make([][][]int, 3)
+		for k := range m.fu[c] {
+			m.fu[c][k] = make([][]int, ii)
+		}
+	}
+	m.bus = make([][]int, cfg.RegBuses)
+	for b := range m.bus {
+		m.bus[b] = make([]int, ii)
+		for s := range m.bus[b] {
+			m.bus[b][s] = -1
+		}
+	}
+	return m
+}
+
+func (m *mrt) units(class int) int {
+	switch class {
+	case 0:
+		return m.cfg.IntUnits
+	case 1:
+		return m.cfg.FPUnits
+	case 2:
+		return m.cfg.MemUnits
+	}
+	return 0
+}
+
+func (m *mrt) slot(t int) int {
+	s := t % m.ii
+	if s < 0 {
+		s += m.ii
+	}
+	return s
+}
+
+// fuFree reports whether an op of the given class can issue in cluster c at
+// cycle t.
+func (m *mrt) fuFree(c int, class ir.Class, t int) bool {
+	k := classIndex(class)
+	return len(m.fu[c][k][m.slot(t)]) < m.units(k)
+}
+
+// fuOwners returns the ops occupying the (cluster, class) row at cycle t.
+func (m *mrt) fuOwners(c int, class ir.Class, t int) []int {
+	k := classIndex(class)
+	return m.fu[c][k][m.slot(t)]
+}
+
+// fuReserve records op occupying a unit of its class in cluster c at t.
+func (m *mrt) fuReserve(op, c int, class ir.Class, t int) {
+	k := classIndex(class)
+	s := m.slot(t)
+	m.fu[c][k][s] = append(m.fu[c][k][s], op)
+}
+
+// fuRelease frees op's unit reservation.
+func (m *mrt) fuRelease(op, c int, class ir.Class, t int) {
+	k := classIndex(class)
+	s := m.slot(t)
+	row := m.fu[c][k][s]
+	for i, o := range row {
+		if o == op {
+			m.fu[c][k][s] = append(row[:i], row[i+1:]...)
+			return
+		}
+	}
+}
+
+// busFind returns a bus that is free for the cfg.RegBusLatency consecutive
+// slots starting at cycle t, or -1.
+func (m *mrt) busFind(t int) int {
+	for b := range m.bus {
+		if m.busFreeOn(b, t) {
+			return b
+		}
+	}
+	return -1
+}
+
+func (m *mrt) busFreeOn(b, t int) bool {
+	if m.cfg.RegBusLatency > m.ii {
+		// A transfer spanning more than II cycles would overlap itself in
+		// the modulo table; such a bus can carry at most one transfer,
+		// which we model by requiring the whole table row free.
+		for s := 0; s < m.ii; s++ {
+			if m.bus[b][s] != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	for d := 0; d < m.cfg.RegBusLatency; d++ {
+		if m.bus[b][m.slot(t+d)] != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// busReserve occupies bus b for a transfer starting at t, owned by the
+// producer op.
+func (m *mrt) busReserve(producer, b, t int) {
+	span := m.cfg.RegBusLatency
+	if span > m.ii {
+		span = m.ii
+	}
+	for d := 0; d < span; d++ {
+		m.bus[b][m.slot(t+d)] = producer
+	}
+}
+
+// busRelease frees the reservation of the transfer starting at t on bus b.
+func (m *mrt) busRelease(b, t int) {
+	span := m.cfg.RegBusLatency
+	if span > m.ii {
+		span = m.ii
+	}
+	for d := 0; d < span; d++ {
+		m.bus[b][m.slot(t+d)] = -1
+	}
+}
+
+// busOwnersOn returns the distinct producer ops holding any of the slots a
+// transfer starting at t would need on bus b.
+func (m *mrt) busOwnersOn(b, t int) []int {
+	span := m.cfg.RegBusLatency
+	if span > m.ii {
+		span = m.ii
+	}
+	var owners []int
+	for d := 0; d < span; d++ {
+		o := m.bus[b][m.slot(t+d)]
+		if o == -1 {
+			continue
+		}
+		dup := false
+		for _, x := range owners {
+			if x == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners = append(owners, o)
+		}
+	}
+	return owners
+}
+
+// copyKey identifies one value transfer: a producer op's value moving to a
+// cluster. Consumers in the same cluster share the transfer.
+type copyKey struct {
+	producer  int
+	toCluster int
+}
+
+// copyRes is a reserved inter-cluster value transfer.
+type copyRes struct {
+	key   copyKey
+	start int // cycle the bus transfer starts (producer iteration frame)
+	bus   int
+	users map[int]bool // consumer op IDs relying on this transfer
+}

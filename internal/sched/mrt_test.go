@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/ir"
+)
+
+func TestMRTFUCapacity(t *testing.T) {
+	cfg := arch.Default() // 1 unit per class per cluster
+	m := newMRT(cfg, 4)
+	if !m.fuFree(0, ir.ClassMem, 2) {
+		t.Fatal("fresh table must be free")
+	}
+	m.fuReserve(7, 0, ir.ClassMem, 2)
+	if m.fuFree(0, ir.ClassMem, 2) {
+		t.Error("slot must be taken")
+	}
+	if m.fuFree(0, ir.ClassMem, 6) {
+		t.Error("cycle 6 maps to the same modulo slot (II=4)")
+	}
+	if !m.fuFree(0, ir.ClassMem, 3) || !m.fuFree(1, ir.ClassMem, 2) || !m.fuFree(0, ir.ClassInt, 2) {
+		t.Error("other slots/clusters/classes must stay free")
+	}
+	if got := m.fuOwners(0, ir.ClassMem, 6); len(got) != 1 || got[0] != 7 {
+		t.Errorf("owners = %v", got)
+	}
+	m.fuRelease(7, 0, ir.ClassMem, 2)
+	if !m.fuFree(0, ir.ClassMem, 2) {
+		t.Error("release failed")
+	}
+}
+
+func TestMRTMultipleUnits(t *testing.T) {
+	cfg := arch.Default()
+	cfg.IntUnits = 2
+	m := newMRT(cfg, 3)
+	m.fuReserve(1, 0, ir.ClassInt, 0)
+	if !m.fuFree(0, ir.ClassInt, 0) {
+		t.Error("second integer unit must be available")
+	}
+	m.fuReserve(2, 0, ir.ClassInt, 0)
+	if m.fuFree(0, ir.ClassInt, 0) {
+		t.Error("both units taken")
+	}
+}
+
+func TestMRTNegativeCycleSlots(t *testing.T) {
+	cfg := arch.Default()
+	m := newMRT(cfg, 5)
+	// Cycle -3 maps to slot 2.
+	m.fuReserve(9, 1, ir.ClassMem, -3)
+	if m.fuFree(1, ir.ClassMem, 2) {
+		t.Error("negative cycles must wrap into the table")
+	}
+}
+
+func TestMRTBusSpan(t *testing.T) {
+	cfg := arch.Default() // 4 buses, latency 2
+	m := newMRT(cfg, 6)
+	b := m.busFind(1)
+	if b < 0 {
+		t.Fatal("fresh table must have a bus")
+	}
+	m.busReserve(3, b, 1) // occupies slots 1,2 on bus b
+	if m.busFreeOn(b, 1) || m.busFreeOn(b, 2) {
+		t.Error("reserved span must be busy")
+	}
+	if m.busFreeOn(b, 0) {
+		t.Error("a transfer at 0 spans slots 0,1 and collides")
+	}
+	if !m.busFreeOn(b, 3) {
+		t.Error("slot 3,4 must be free")
+	}
+	if got := m.busOwnersOn(b, 2); len(got) != 1 || got[0] != 3 {
+		t.Errorf("owners = %v", got)
+	}
+	m.busRelease(b, 1)
+	if !m.busFreeOn(b, 1) {
+		t.Error("release failed")
+	}
+}
+
+func TestMRTBusLongerThanII(t *testing.T) {
+	cfg := arch.Default()
+	cfg.RegBusLatency = 5
+	m := newMRT(cfg, 3) // transfer longer than II occupies the whole row
+	b := m.busFind(0)
+	if b < 0 {
+		t.Fatal("must find a bus")
+	}
+	m.busReserve(1, b, 0)
+	for s := 0; s < 3; s++ {
+		if m.busFreeOn(b, s) {
+			t.Errorf("slot %d must be busy (whole-row occupancy)", s)
+		}
+	}
+	// Other buses remain available.
+	if m.busFind(0) < 0 {
+		t.Error("remaining buses must be available")
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+)
+
+// TestOrderSlackValidates: the swing-style ordering must produce valid
+// schedules over random loops, for every policy.
+func TestOrderSlackValidates(t *testing.T) {
+	cfg := arch.Default()
+	for seed := int64(400); seed < 460; seed++ {
+		loop := loopgen.Random(seed, loopgen.DefaultParams())
+		for _, pol := range []core.Policy{core.PolicyFree, core.PolicyMDC, core.PolicyDDGT} {
+			plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Run(plan, Options{Arch: cfg, Heuristic: MinComs, Order: OrderSlack,
+				Profile: profiler.Run(loop, cfg)})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, pol, err)
+			}
+			if err := Validate(sc); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, pol, err)
+			}
+		}
+	}
+}
+
+// TestOrderingsComparable: both orderings achieve IIs within a small factor
+// of each other on random loops (neither is catastrophically bad).
+func TestOrderingsComparable(t *testing.T) {
+	cfg := arch.Default()
+	var hSum, sSum int
+	for seed := int64(500); seed < 540; seed++ {
+		loop := loopgen.Random(seed, loopgen.DefaultParams())
+		plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := profiler.Run(loop, cfg)
+		a, err := Run(plan, Options{Arch: cfg, Heuristic: PrefClus, Order: OrderHeight, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(plan, Options{Arch: cfg, Heuristic: PrefClus, Order: OrderSlack, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hSum += a.II
+		sSum += b.II
+	}
+	if hSum*2 < sSum || sSum*2 < hSum {
+		t.Errorf("orderings wildly divergent: height sum %d vs slack sum %d", hSum, sSum)
+	}
+	t.Logf("total II: height=%d slack=%d", hSum, sSum)
+}
+
+func TestOrderStrings(t *testing.T) {
+	if OrderHeight.String() != "height" || OrderSlack.String() != "slack" {
+		t.Error("order names changed")
+	}
+}

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"vliwcache/internal/profiler"
+)
+
+// postPass implements the MinComs virtual-to-physical cluster mapping
+// (§2.2): the clusters the scheduler assigned are treated as virtual
+// clusters, and a one-to-one mapping onto physical clusters is chosen to
+// maximize local memory accesses using each memory op's preferred-cluster
+// histogram. Homogeneous clusters make any permutation legal.
+func postPass(sc *Schedule, prof *profiler.Profile) {
+	n := sc.Arch.NumClusters
+	// gain[v][p]: profiled accesses that become local if virtual cluster v
+	// maps to physical cluster p.
+	gain := make([][]int64, n)
+	for v := range gain {
+		gain[v] = make([]int64, n)
+	}
+	for id, o := range sc.Plan.Loop.Ops {
+		if !o.Kind.IsMem() {
+			continue
+		}
+		hid := id
+		if o.IsReplica() {
+			hid = o.Origin()
+		}
+		h, ok := prof.Hist[hid]
+		if !ok {
+			continue
+		}
+		v := sc.Cluster[id]
+		for p := 0; p < n; p++ {
+			gain[v][p] += h[p]
+		}
+	}
+
+	best := identity(n)
+	bestGain := int64(-1)
+	perm := identity(n)
+	permute(perm, 0, func(p []int) {
+		var g int64
+		for v := 0; v < n; v++ {
+			g += gain[v][p[v]]
+		}
+		if g > bestGain {
+			bestGain = g
+			copy(best, p)
+		}
+	})
+
+	for id := range sc.Cluster {
+		sc.Cluster[id] = best[sc.Cluster[id]]
+	}
+	for i := range sc.Copies {
+		sc.Copies[i].ToCluster = best[sc.Copies[i].ToCluster]
+	}
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// permute enumerates all permutations of p[k:] in place.
+func permute(p []int, k int, visit func([]int)) {
+	if k == len(p) {
+		visit(p)
+		return
+	}
+	for i := k; i < len(p); i++ {
+		p[k], p[i] = p[i], p[k]
+		permute(p, k+1, visit)
+		p[k], p[i] = p[i], p[k]
+	}
+}

@@ -1,0 +1,361 @@
+// Package sched implements clustered iterative modulo scheduling for the
+// word-interleaved cache clustered VLIW processor (§2.2 of the paper).
+//
+// The scheduler combines:
+//
+//   - iterative modulo scheduling (height-priority placement with ejection
+//     and II escalation) over a modulo reservation table covering the
+//     per-cluster functional units and the register-to-register buses;
+//   - cluster assignment under one of two heuristics: PrefClus (memory
+//     instructions go to the cluster they access most, per profiling) and
+//     MinComs (every instruction goes where register communications are
+//     minimized and workload balance is maximized, followed by a
+//     virtual-to-physical cluster post-pass maximizing local accesses);
+//   - the coherence constraints prepared by the core package: memory
+//     dependent chains pinned to a single cluster (MDC) or store replicas
+//     pinned one per cluster (DDGT);
+//   - cache-sensitive latency assignment: each load is scheduled with the
+//     largest of the four access latencies (local/remote hit/miss) that
+//     does not lengthen the schedule (after [21]).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/profiler"
+)
+
+// Heuristic selects the cluster-assignment heuristic of §2.2.
+type Heuristic int
+
+const (
+	// PrefClus schedules memory instructions in their preferred cluster
+	// (the cluster they access most, per profiling).
+	PrefClus Heuristic = iota
+	// MinComs schedules every instruction in the cluster with the best
+	// trade-off between register communications and workload balance, then
+	// runs a post-pass mapping virtual to physical clusters to maximize
+	// local accesses.
+	MinComs
+)
+
+func (h Heuristic) String() string {
+	if h == PrefClus {
+		return "PrefClus"
+	}
+	return "MinComs"
+}
+
+// Order selects the priority order in which the iterative modulo
+// scheduler places operations.
+type Order int
+
+const (
+	// OrderHeight places ops by decreasing height (longest constraint
+	// path to any sink) — Rau's iterative modulo scheduling order.
+	OrderHeight Order = iota
+	// OrderSlack places ops by increasing scheduling freedom
+	// (ALAP - ASAP), the ordering criterion of swing modulo scheduling
+	// [16]: ops on critical recurrences (zero slack) go first.
+	OrderSlack
+)
+
+func (o Order) String() string {
+	if o == OrderSlack {
+		return "slack"
+	}
+	return "height"
+}
+
+// Options configure a scheduling run.
+type Options struct {
+	Arch      arch.Config
+	Heuristic Heuristic
+
+	// Order selects the placement priority (default OrderHeight).
+	Order Order
+
+	// Profile supplies preferred-cluster information. Required by PrefClus
+	// and by the MinComs post-pass; when nil, preferences default to
+	// cluster 0 and the post-pass is skipped.
+	Profile *profiler.Profile
+
+	// MaxII caps initiation-interval escalation (default 1024).
+	MaxII int
+
+	// Budget is the placement-attempt budget per candidate II, as a
+	// multiple of the op count (default 16).
+	Budget int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxII == 0 {
+		o.MaxII = 1024
+	}
+	if o.Budget == 0 {
+		o.Budget = 48
+	}
+	return o
+}
+
+// Copy is one scheduled inter-cluster value transfer: the value produced by
+// Producer is moved to ToCluster over register bus Bus, occupying it from
+// cycle Start (in the producer's iteration frame) for the bus latency.
+type Copy struct {
+	Producer  int
+	ToCluster int
+	Start     int
+	Bus       int
+}
+
+// Schedule is a modulo schedule of a planned loop.
+type Schedule struct {
+	Plan *core.Plan
+	Arch arch.Config
+
+	// II is the initiation interval: a new iteration starts every II
+	// cycles.
+	II int
+
+	// Length is the schedule length of one iteration (issue of its first
+	// op to completion of its last).
+	Length int
+
+	// Cycle and Cluster give each op's issue cycle (within its iteration,
+	// flat, not modulo) and cluster.
+	Cycle, Cluster []int
+
+	// Lat is the per-op latency assumed at scheduling time. For loads this
+	// is the assigned cache-access latency; consumers are scheduled this
+	// many cycles later, and the difference between the actual and the
+	// assigned latency is what the stall-on-use processor pays at run
+	// time.
+	Lat []int
+
+	// Copies are the inter-cluster communication operations, one per
+	// (producer, destination cluster) pair per iteration.
+	Copies []Copy
+}
+
+// CommOps returns the number of communication operations per iteration.
+func (s *Schedule) CommOps() int { return len(s.Copies) }
+
+// String renders the kernel: ops grouped by cycle with cluster and slot.
+func (s *Schedule) String() string {
+	type row struct{ cyc, cl, id int }
+	rows := make([]row, 0, len(s.Cycle))
+	for id := range s.Cycle {
+		rows = append(rows, row{s.Cycle[id], s.Cluster[id], id})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cyc != rows[j].cyc {
+			return rows[i].cyc < rows[j].cyc
+		}
+		if rows[i].cl != rows[j].cl {
+			return rows[i].cl < rows[j].cl
+		}
+		return rows[i].id < rows[j].id
+	})
+	out := fmt.Sprintf("schedule %q: II=%d len=%d copies=%d\n",
+		s.Plan.Loop.Name, s.II, s.Length, len(s.Copies))
+	for _, r := range rows {
+		o := s.Plan.Loop.Ops[r.id]
+		out += fmt.Sprintf("  t=%3d (slot %2d) cl%d  %s (lat %d)\n",
+			r.cyc, r.cyc%s.II, r.cl, o, s.Lat[r.id])
+	}
+	for _, c := range s.Copies {
+		out += fmt.Sprintf("  copy %s -> cl%d bus%d @%d\n",
+			s.Plan.Loop.Ops[c.Producer].Label(), c.ToCluster, c.Bus, c.Start)
+	}
+	return out
+}
+
+// Run modulo-schedules a planned loop. It assigns latencies, computes the
+// minimum initiation interval, and escalates II until a schedule fits.
+func Run(plan *core.Plan, opts Options) (*Schedule, error) {
+	opts = opts.withDefaults()
+	if err := opts.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	for _, o := range plan.Loop.Ops {
+		if o.Kind == ir.KindCopy {
+			return nil, fmt.Errorf("sched: loop %q contains explicit copy ops; copies are generated by the scheduler", plan.Loop.Name)
+		}
+	}
+	if opts.Arch.FPUnits == 0 {
+		for _, o := range plan.Loop.Ops {
+			if o.Kind.UnitClass() == ir.ClassFP {
+				return nil, fmt.Errorf("sched: loop %q uses FP ops but the machine has no FP units", plan.Loop.Name)
+			}
+		}
+	}
+
+	mii := MII(plan, opts.Arch)
+	for ii := mii; ii <= opts.MaxII; ii++ {
+		lat, ok := assignLatencies(plan, opts.Arch, ii)
+		if !ok {
+			continue
+		}
+		s := newState(plan, opts, ii, lat)
+		if sc, ok := s.run(); ok {
+			if opts.Heuristic == MinComs && opts.Profile != nil {
+				postPass(sc, opts.Profile)
+			}
+			if err := Validate(sc); err != nil {
+				return nil, fmt.Errorf("sched: internal error: %w", err)
+			}
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: loop %q does not fit within MaxII=%d", plan.Loop.Name, opts.MaxII)
+}
+
+// MII returns the minimum initiation interval: the maximum of the resource
+// and recurrence constrained bounds.
+func MII(plan *core.Plan, cfg arch.Config) int {
+	res := ResMII(plan, cfg)
+	rec := plan.Graph.RecMII(minLatency(plan, cfg))
+	if rec > res {
+		return rec
+	}
+	return res
+}
+
+// ResMII returns the resource-constrained minimum initiation interval: per
+// unit class, the op count divided by the machine-wide unit count — and,
+// for MDC plans, per chain, the chain's memory ops over one cluster's
+// memory units (the whole chain shares a cluster).
+func ResMII(plan *core.Plan, cfg arch.Config) int {
+	counts := [3]int{}
+	for _, o := range plan.Loop.Ops {
+		if k := classIndex(o.Kind.UnitClass()); k >= 0 {
+			counts[k]++
+		}
+	}
+	units := [3]int{cfg.IntUnits, cfg.FPUnits, cfg.MemUnits}
+	mii := 1
+	for k, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if b := ceil(n, units[k]*cfg.NumClusters); b > mii {
+			mii = b
+		}
+	}
+	for _, chain := range plan.Chains {
+		if b := ceil(len(chain), cfg.MemUnits); b > mii {
+			mii = b
+		}
+	}
+	// DDGT: every cluster executes one instance of each replicated store,
+	// already folded into the MEM op count divided by all clusters.
+	return mii
+}
+
+func ceil(a, b int) int { return (a + b - 1) / b }
+
+// minLatency is the latency function with every memory op at the local-hit
+// latency — the optimistic floor used for MII estimation.
+func minLatency(plan *core.Plan, cfg arch.Config) ddg.LatencyFunc {
+	hit := cfg.Latencies().LocalHit
+	return func(o *ir.Op) int {
+		if o.Kind.IsMem() {
+			return hit
+		}
+		return o.Kind.Latency()
+	}
+}
+
+// assignLatencies performs cache-sensitive latency assignment at the given
+// II: every load starts at the local-hit latency and is promoted to the
+// largest of the four access latencies that keeps the II feasible and does
+// not lengthen the critical path (compute time unaffected, §2.2). Stores
+// produce no value, so their latency stays at the floor. ok is false when
+// the II is infeasible even at minimum latencies.
+func assignLatencies(plan *core.Plan, cfg arch.Config, ii int) ([]int, bool) {
+	loop := plan.Loop
+	lats := cfg.Latencies()
+	lat := make([]int, len(loop.Ops))
+	for i, o := range loop.Ops {
+		if o.Kind.IsMem() {
+			lat[i] = lats.LocalHit
+		} else {
+			lat[i] = o.Kind.Latency()
+		}
+	}
+	lf := func(o *ir.Op) int { return lat[o.ID] }
+
+	asap, ok := plan.Graph.ASAP(ii, lf)
+	if !ok {
+		return nil, false
+	}
+	horizon := 0
+	for i := range asap {
+		if h := asap[i] + lat[i]; h > horizon {
+			horizon = h
+		}
+	}
+	// Promotion may stretch the dependence-graph critical path up to the
+	// initiation interval: steady-state compute time (II per iteration) is
+	// unaffected, only the pipeline fill/drain grows ("the largest
+	// possible latency that does not have an impact on compute time").
+	if horizon < ii {
+		horizon = ii
+	}
+
+	// Promote loads in slack order (most slack first): a load with
+	// abundant slack can absorb a remote-miss assumption without touching
+	// the critical path.
+	alap, ok := plan.Graph.ALAP(ii, horizon, lf)
+	if !ok {
+		return nil, false
+	}
+	type cand struct{ id, slack int }
+	var loads []cand
+	for _, o := range loop.Ops {
+		if o.Kind == ir.KindLoad {
+			loads = append(loads, cand{o.ID, alap[o.ID] - asap[o.ID]})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].slack != loads[j].slack {
+			return loads[i].slack > loads[j].slack
+		}
+		return loads[i].id < loads[j].id
+	})
+
+	// Promotion candidates stop at the local-miss latency: assuming a
+	// remote miss for every load would hide all memory latency but stretch
+	// value lifetimes (and hence register pressure) far beyond the
+	// register files — the paper's compromise (§2.2, after [21]) leaves
+	// remote misses to the stall-on-use mechanism.
+	options := []int{lats.LocalMiss, lats.RemoteHit, lats.LocalHit}
+	sort.Sort(sort.Reverse(sort.IntSlice(options)))
+	for _, c := range loads {
+		old := lat[c.id]
+		for _, L := range options {
+			if L < old {
+				break
+			}
+			lat[c.id] = L
+			if na, ok := plan.Graph.ASAP(ii, lf); ok {
+				nh := 0
+				for i := range na {
+					if h := na[i] + lat[i]; h > nh {
+						nh = h
+					}
+				}
+				if nh <= horizon {
+					break // keep this latency
+				}
+			}
+			lat[c.id] = old
+		}
+	}
+	return lat, true
+}

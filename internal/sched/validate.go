@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+
+	"vliwcache/internal/ddg"
+)
+
+// Validate checks every invariant a correct modulo schedule must satisfy:
+// complete placement, functional-unit and bus capacity at every modulo
+// slot, every dependence honored (with the bus transfer actually scheduled
+// for cross-cluster register flow), memory dependent chains in a single
+// cluster, and replica groups covering every cluster exactly once. The
+// scheduler runs it on its own output; tests use it as the oracle.
+func Validate(sc *Schedule) error {
+	plan, cfg, ii := sc.Plan, sc.Arch, sc.II
+	ops := plan.Loop.Ops
+	if ii < 1 {
+		return fmt.Errorf("II = %d", ii)
+	}
+	if len(sc.Cycle) != len(ops) || len(sc.Cluster) != len(ops) || len(sc.Lat) != len(ops) {
+		return fmt.Errorf("schedule arrays do not match op count")
+	}
+
+	// Placement and capacity.
+	m := newMRT(cfg, ii)
+	for id, o := range ops {
+		if sc.Cycle[id] < 0 {
+			return fmt.Errorf("op %s unscheduled", o.Label())
+		}
+		if sc.Cluster[id] < 0 || sc.Cluster[id] >= cfg.NumClusters {
+			return fmt.Errorf("op %s in invalid cluster %d", o.Label(), sc.Cluster[id])
+		}
+		if !m.fuFree(sc.Cluster[id], o.Kind.UnitClass(), sc.Cycle[id]) {
+			return fmt.Errorf("%s units oversubscribed in cluster %d at slot %d",
+				o.Kind.UnitClass(), sc.Cluster[id], sc.Cycle[id]%ii)
+		}
+		m.fuReserve(id, sc.Cluster[id], o.Kind.UnitClass(), sc.Cycle[id])
+	}
+
+	// Bus capacity: every copy's span must be free when replayed.
+	for _, c := range sc.Copies {
+		if c.Bus < 0 || c.Bus >= cfg.RegBuses {
+			return fmt.Errorf("copy of op %d uses invalid bus %d", c.Producer, c.Bus)
+		}
+		if !m.busFreeOn(c.Bus, c.Start) {
+			return fmt.Errorf("bus %d oversubscribed at start %d (copy of op %d)", c.Bus, c.Start, c.Producer)
+		}
+		m.busReserve(c.Producer, c.Bus, c.Start)
+		if c.Start < sc.Cycle[c.Producer]+sc.Lat[c.Producer] {
+			return fmt.Errorf("copy of op %d starts at %d before the value exists (ready %d)",
+				c.Producer, c.Start, sc.Cycle[c.Producer]+sc.Lat[c.Producer])
+		}
+	}
+	copyAt := make(map[copyKey]Copy, len(sc.Copies))
+	for _, c := range sc.Copies {
+		copyAt[copyKey{c.Producer, c.ToCluster}] = c
+	}
+
+	// Dependences.
+	for _, e := range plan.Graph.Edges() {
+		tf, tt := sc.Cycle[e.From], sc.Cycle[e.To]
+		if e.Kind == ddg.RF && sc.Cluster[e.From] != sc.Cluster[e.To] {
+			cp, ok := copyAt[copyKey{e.From, sc.Cluster[e.To]}]
+			if !ok {
+				return fmt.Errorf("edge %v crosses clusters with no transfer scheduled", e)
+			}
+			if cp.Start+cfg.RegBusLatency > tt+ii*e.Dist {
+				return fmt.Errorf("edge %v: transfer arrives at %d after use at %d",
+					e, cp.Start+cfg.RegBusLatency, tt+ii*e.Dist)
+			}
+			continue
+		}
+		if tt < tf+edgeLat(sc, e)-ii*e.Dist {
+			return fmt.Errorf("edge %v violated: from@%d lat %d to@%d dist %d II %d",
+				e, tf, edgeLat(sc, e), tt, e.Dist, ii)
+		}
+	}
+
+	// MDC: chains share a cluster.
+	for ci, chain := range plan.Chains {
+		for _, id := range chain[1:] {
+			if sc.Cluster[id] != sc.Cluster[chain[0]] {
+				return fmt.Errorf("chain %d split across clusters (%d vs %d)", ci, sc.Cluster[id], sc.Cluster[chain[0]])
+			}
+		}
+	}
+
+	// DDGT: each replica group covers every cluster exactly once.
+	for orig, group := range plan.ReplicaGroups {
+		seen := make([]bool, cfg.NumClusters)
+		for _, id := range group {
+			c := sc.Cluster[id]
+			if seen[c] {
+				return fmt.Errorf("replica group of op %d has two instances in cluster %d", orig, c)
+			}
+			seen[c] = true
+		}
+		for c, ok := range seen {
+			if !ok {
+				return fmt.Errorf("replica group of op %d missing an instance in cluster %d", orig, c)
+			}
+		}
+	}
+	return nil
+}
+
+// edgeLat is the scheduling latency of an edge given the assigned op
+// latencies (same-cluster RF or any non-RF edge).
+func edgeLat(sc *Schedule, e *ddg.Edge) int {
+	switch e.Kind {
+	case ddg.RF:
+		return sc.Lat[e.From]
+	case ddg.SYNC:
+		return 0
+	default:
+		return 1
+	}
+}

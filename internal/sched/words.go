@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/ir"
+)
+
+// Words renders the kernel as VLIW instruction words: one row per modulo
+// slot, one column group per cluster with the cluster's INT/FP/MEM issue
+// slots, plus the register-bus transfers active in the slot. Stage numbers
+// (cycle / II) are shown as op suffixes, so overlapped iterations are
+// visible: "ld.s2" issues two stages (iterations) behind the newest one.
+func (s *Schedule) Words() string {
+	ii := s.II
+	cfg := s.Arch
+	type cell struct{ int_, fp, mem []string }
+	grid := make([][]cell, ii)
+	for r := range grid {
+		grid[r] = make([]cell, cfg.NumClusters)
+	}
+	for id, o := range s.Plan.Loop.Ops {
+		slot := s.Cycle[id] % ii
+		stage := s.Cycle[id] / ii
+		label := o.Label()
+		if stage > 0 {
+			label = fmt.Sprintf("%s.s%d", label, stage)
+		}
+		c := &grid[slot][s.Cluster[id]]
+		switch o.Kind.UnitClass() {
+		case ir.ClassInt:
+			c.int_ = append(c.int_, label)
+		case ir.ClassFP:
+			c.fp = append(c.fp, label)
+		case ir.ClassMem:
+			c.mem = append(c.mem, label)
+		}
+	}
+	buses := make([][]string, ii)
+	span := cfg.RegBusLatency
+	if span > ii {
+		span = ii
+	}
+	for _, cp := range s.Copies {
+		label := fmt.Sprintf("%s->cl%d", s.Plan.Loop.Ops[cp.Producer].Label(), cp.ToCluster)
+		for d := 0; d < span; d++ {
+			slot := (cp.Start + d) % ii
+			if slot < 0 {
+				slot += ii
+			}
+			buses[slot] = append(buses[slot], label)
+		}
+	}
+
+	join := func(xs []string) string {
+		if len(xs) == 0 {
+			return "."
+		}
+		return strings.Join(xs, "+")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel of %q: II=%d (rows are modulo slots; .sN marks ops of older stages)\n",
+		s.Plan.Loop.Name, ii)
+
+	// Column widths per cluster (I/F/M joined cells).
+	rows := make([][]string, ii)
+	header := []string{"slot"}
+	for c := 0; c < cfg.NumClusters; c++ {
+		header = append(header, fmt.Sprintf("cl%d[I|F|M]", c))
+	}
+	header = append(header, "buses")
+	for r := 0; r < ii; r++ {
+		row := []string{fmt.Sprintf("%d", r)}
+		for c := 0; c < cfg.NumClusters; c++ {
+			cell := grid[r][c]
+			row = append(row, join(cell.int_)+" | "+join(cell.fp)+" | "+join(cell.mem))
+		}
+		row = append(row, join(buses[r]))
+		rows[r] = row
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}

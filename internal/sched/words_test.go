@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/profiler"
+)
+
+func TestWordsRendering(t *testing.T) {
+	cfg := arch.Default()
+	loop := daxpyLoop()
+	plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(plan, Options{Arch: cfg, Heuristic: PrefClus, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sc.Words()
+	if !strings.Contains(out, "cl0[I|F|M]") || !strings.Contains(out, "cl3[I|F|M]") {
+		t.Errorf("missing cluster columns:\n%s", out)
+	}
+	// Every op label appears exactly once somewhere in the grid.
+	for _, o := range loop.Ops {
+		if !strings.Contains(out, o.Label()) {
+			t.Errorf("op %s missing from the kernel words:\n%s", o.Label(), out)
+		}
+	}
+	// Row count = II (plus header lines).
+	rows := strings.Count(out, "\n") - 2
+	if rows != sc.II {
+		t.Errorf("%d rows for II=%d", rows, sc.II)
+	}
+}
+
+func TestWordsShowBuses(t *testing.T) {
+	cfg := arch.Default()
+	loop := daxpyLoop()
+	plan, err := core.Prepare(loop, core.PolicyDDGT, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(plan, Options{Arch: cfg, Heuristic: PrefClus, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Copies) == 0 {
+		t.Skip("no copies scheduled for this fixture")
+	}
+	if !strings.Contains(sc.Words(), "->cl") {
+		t.Error("bus transfers not rendered")
+	}
+}

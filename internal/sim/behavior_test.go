@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/sched"
+)
+
+// TestABFlushBetweenEntries: attraction buffers flush at loop boundaries,
+// so the first accesses of every entry re-attract their subblocks.
+func TestABFlushBetweenEntries(t *testing.T) {
+	b := ir.NewBuilder("flush")
+	b.Symbol("a", 0x10000, 1<<16)
+	b.Trip(400, 3)
+	// Stride-0 remote table load: home is fixed; schedule it in a cluster
+	// away from home by pinning via ForceCluster below.
+	b.Load("ld", ir.AddrExpr{Base: "a", Offset: 4, Stride: 0, Size: 4}) // home 1
+	b.Arith("use", ir.KindAdd, 0)
+	loop := b.Loop()
+
+	cfg := arch.Default().WithAttractionBuffers(16)
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.ForceCluster = map[int]int{0: 3} // remote from home 1
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ABFlushes != int64(cfg.NumClusters)*3 {
+		t.Errorf("AB flushes = %d, want %d (per cluster per entry)", st.ABFlushes, cfg.NumClusters*3)
+	}
+	// Exactly one remote fetch per entry; everything else hits the AB.
+	remote := st.Accesses[RemoteHit] + st.Accesses[RemoteMiss]
+	if remote != 3 {
+		t.Errorf("remote accesses = %d, want 3 (one attraction per entry)", remote)
+	}
+	if st.ABHits < 3*(400-2) {
+		t.Errorf("AB hits = %d, want nearly all accesses", st.ABHits)
+	}
+}
+
+// TestCombinedAccessesAppear: two loads of the same subblock in the same
+// cluster, one cycle apart, with a miss in flight => combined accesses.
+func TestCombinedAccessesAppear(t *testing.T) {
+	b := ir.NewBuilder("comb")
+	b.Symbol("a", 0x10000, 1<<20)
+	b.Trip(500, 1)
+	// Both loads hit the same subblock every iteration and walk forward a
+	// block every iteration: the leader misses, the trailer combines.
+	v := b.Load("lead", ir.AddrExpr{Base: "a", Stride: 32, Size: 4})
+	w := b.Load("trail", ir.AddrExpr{Base: "a", Offset: 0, Stride: 32, Size: 4})
+	b.Arith("use", ir.KindAdd, v, w)
+	loop := b.Loop()
+	cfg := arch.Default()
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cluster as the home of the walk start (home of addr 0x10000
+	// varies; force both into cluster 0 and let locality fall out).
+	plan.ForceCluster = map[int]int{0: 0, 1: 0}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses[Combined] == 0 {
+		t.Errorf("no combined accesses: %s", st)
+	}
+}
+
+// TestNobalConfigsSimulate: the §4.2 configurations run end to end.
+func TestNobalConfigsSimulate(t *testing.T) {
+	for _, cfg := range []arch.Config{arch.NobalMem(), arch.NobalReg()} {
+		st := runPolicy(t, streamLoop(1200), core.PolicyDDGT, sched.PrefClus, cfg, Options{CheckCoherence: true})
+		if st.Violations != 0 {
+			t.Errorf("%s: %d violations", cfg, st.Violations)
+		}
+		if st.Cycles() <= 0 {
+			t.Errorf("%s: no cycles", cfg)
+		}
+	}
+}
+
+// TestStallMatchesLatencyGap: a consumer scheduled at the assigned latency
+// pays exactly actual-assigned when the access misses.
+func TestStallMatchesLatencyGap(t *testing.T) {
+	b := ir.NewBuilder("gap")
+	b.Symbol("a", 0x10000, 1<<24)
+	b.Trip(300, 1)
+	v := b.Load("ld", ir.AddrExpr{Base: "a", Stride: 32, Size: 4}) // always misses
+	b.Arith("use", ir.KindAdd, v)
+	loop := b.Loop()
+	cfg := arch.Default()
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load is local 1/4 of the time... its home rotates? stride 32
+	// with I=4: home = (32i/4)%4 = 0 always. Local when placed in cluster
+	// 0. Assigned latency <= LocalMiss; actual local miss = 11 or remote
+	// miss = 15. The gap per iteration is (actual - assigned), never
+	// negative.
+	perIter := float64(st.StallCycles) / float64(st.Iterations)
+	lats := cfg.Latencies()
+	if perIter > float64(lats.RemoteMiss) {
+		t.Errorf("stall per iteration %.1f exceeds the worst access latency", perIter)
+	}
+}
+
+// TestPendingInvalidationOnRemoteStore: the remote-store invalidation rule
+// (a store must not let later loads combine with a stale in-flight copy).
+func TestPendingInvalidationOnRemoteStore(t *testing.T) {
+	b := ir.NewBuilder("inval")
+	b.Symbol("a", 0x10000, 1<<20)
+	b.Trip(800, 1)
+	live := b.Reg()
+	v := b.Load("lead", ir.AddrExpr{Base: "a", Stride: 32, Size: 4}) // miss each iter
+	b.Store("st", ir.AddrExpr{Base: "a", Offset: 4, Stride: 32, Size: 4}, live)
+	w := b.Load("trail", ir.AddrExpr{Base: "a", Offset: 4, Stride: 32, Size: 4})
+	b.Arith("use", ir.KindAdd, v, w)
+	loop := b.Loop()
+	cfg := arch.Default()
+	plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mustRun(t, plan, cfg)
+	if st.Violations != 0 {
+		t.Errorf("MDC with store-into-pending pattern: %d violations", st.Violations)
+	}
+}
+
+func mustRun(t *testing.T, plan *core.Plan, cfg arch.Config) *Stats {
+	t.Helper()
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(sc, Options{CheckCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+func executeRandom(t *testing.T, seed int64, pol core.Policy, h sched.Heuristic, cfg arch.Config) (*ir.Loop, *Stats) {
+	t.Helper()
+	loop := loopgen.Random(seed, loopgen.DefaultParams())
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: h, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	st, err := Run(sc, Options{CheckCoherence: true})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return loop, st
+}
+
+// TestCoherenceGuaranteeProperty is the paper's central claim: over random
+// loops with real aliasing, MDC and DDGT schedules never produce memory
+// ordering violations — with and without Attraction Buffers.
+func TestCoherenceGuaranteeProperty(t *testing.T) {
+	configs := []arch.Config{
+		arch.Default(),
+		arch.Default().WithAttractionBuffers(16),
+		arch.NobalReg(),
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		cfg := configs[seed%int64(len(configs))]
+		for _, pol := range []core.Policy{core.PolicyMDC, core.PolicyDDGT} {
+			h := sched.PrefClus
+			if seed%2 == 0 {
+				h = sched.MinComs
+			}
+			loop, st := executeRandom(t, seed, pol, h, cfg)
+			if st.Violations != 0 {
+				t.Errorf("seed %d %v/%v: %d ordering violations\n%s", seed, pol, h, st.Violations, loop)
+			}
+		}
+	}
+}
+
+// TestAccessConservationProperty: every executed memory access is
+// classified exactly once; replica groups execute exactly one instance per
+// iteration.
+func TestAccessConservationProperty(t *testing.T) {
+	cfg := arch.Default()
+	for seed := int64(100); seed < 140; seed++ {
+		loop := loopgen.Random(seed, loopgen.DefaultParams())
+		plan, err := core.Prepare(loop, core.PolicyDDGT, cfg.NumClusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs, Profile: profiler.Run(loop, cfg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Expected accesses: all non-replicated memory ops once per
+		// iteration, plus one executing instance per replica group.
+		perIter := int64(0)
+		inGroup := make(map[int]bool)
+		for _, g := range plan.ReplicaGroups {
+			for _, id := range g {
+				inGroup[id] = true
+			}
+			perIter++ // exactly one instance executes
+		}
+		for _, o := range plan.Loop.Ops {
+			if o.Kind.IsMem() && !inGroup[o.ID] {
+				perIter++
+			}
+		}
+		want := perIter * st.Iterations
+		if got := st.TotalAccesses(); got != want {
+			t.Errorf("seed %d: %d accesses, want %d", seed, got, want)
+		}
+		wantNull := int64(len(plan.ReplicaGroups)) * int64(cfg.NumClusters-1) * st.Iterations
+		if st.NullifiedStores != wantNull {
+			t.Errorf("seed %d: %d nullified, want %d", seed, st.NullifiedStores, wantNull)
+		}
+	}
+}
+
+// TestCycleAccountingProperty: compute time equals the ideal schedule time
+// (II per steady-state iteration plus drain), and total = compute + stall.
+func TestCycleAccountingProperty(t *testing.T) {
+	cfg := arch.Default()
+	for seed := int64(200); seed < 230; seed++ {
+		loop := loopgen.Random(seed, loopgen.DefaultParams())
+		plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus, Profile: profiler.Run(loop, cfg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cycles() != st.ComputeCycles+st.StallCycles {
+			t.Fatalf("seed %d: cycle identity broken", seed)
+		}
+		// Compute time is bounded below by II per steady-state iteration
+		// (the last iteration of each entry drains in less than an II when
+		// the kernel is short).
+		if min := (st.Iterations - st.Entries) * int64(sc.II); st.ComputeCycles < min {
+			t.Errorf("seed %d: compute %d below (iterations-entries)*II %d",
+				seed, st.ComputeCycles, min)
+		}
+	}
+}
+
+// TestSimulatorDeterminism: repeated runs produce identical statistics.
+func TestSimulatorDeterminism(t *testing.T) {
+	cfg := arch.Default().WithAttractionBuffers(16)
+	_, a := executeRandom(t, 77, core.PolicyDDGT, sched.PrefClus, cfg)
+	_, b := executeRandom(t, 77, core.PolicyDDGT, sched.PrefClus, cfg)
+	if *a != *b {
+		t.Errorf("nondeterministic simulation:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "vliwcache/internal/arch"
+
+// memAccessReplicated models one access under the replicated cache layout
+// (arch.LayoutReplicated): every cluster holds a full copy of the cache,
+// the next memory level is the source of truth, and stores write through
+// to it.
+//
+//   - Loads are always local: copy hit, or a next-level fetch filling the
+//     local copy (request combining applies per cluster).
+//   - A non-replicated store updates its local copy (no allocation on
+//     absence), writes through to the next level, and broadcasts update
+//     messages to the other clusters over the memory buses; each message
+//     refreshes that cluster's copy if present. This is the coherence
+//     hazard: the remote copies lag by the (non-deterministic) bus delay.
+//   - A DDGT store instance updates only its own cluster's copy — that is
+//     exactly what the replicas are for, and no bus traffic is needed;
+//     the instance pinned to cluster 0 also performs the write-through.
+//
+// The coherence checker treats every cluster's copy and the next level as
+// separate serialization points (bankRec.loc).
+func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, addr uint64, block uint64, isStore bool) int64 {
+	o := m.loop.Ops[id]
+	hitLat := int64(m.cfg.CacheHitLatency)
+	nextLat := int64(m.cfg.NextLevelLatency)
+	l2 := m.cfg.NumClusters // checker location of the next level
+	sub := arch.SubblockID{Block: block}
+
+	if !isStore {
+		// Combining with an in-flight local fill.
+		if p, ok := m.pending[cluster][sub]; ok && p > issue {
+			m.stats.Accesses[Combined]++
+			m.trace(iter, id, cluster, Combined, addr, issue)
+			m.record(issue, iter, id, cluster, false, addr, o.Addr.Size)
+			return p
+		}
+		if m.modules[cluster].Access(block, issue, false) {
+			m.stats.Accesses[LocalHit]++
+			m.trace(iter, id, cluster, LocalHit, addr, issue)
+			m.record(issue, iter, id, cluster, false, addr, o.Addr.Size)
+			return issue + hitLat
+		}
+		// Local miss: fetch from the next level (the source of truth).
+		start := m.ports.Acquire(issue + hitLat)
+		done := start + nextLat
+		m.modules[cluster].Fill(block, done, false)
+		m.pending[cluster][sub] = done
+		m.stats.Accesses[LocalMiss]++
+		m.trace(iter, id, cluster, LocalMiss, addr, issue)
+		m.record(start, iter, id, l2, false, addr, o.Addr.Size)
+		return done
+	}
+
+	// Stores: update the local copy if present (replicated copies are
+	// never write-allocated — the next level holds the truth).
+	localHit := m.modules[cluster].Contains(block)
+	if localHit {
+		m.modules[cluster].Access(block, issue, false) // LRU touch; stays clean (write-through)
+		m.stats.Accesses[LocalHit]++
+		m.trace(iter, id, cluster, LocalHit, addr, issue)
+	} else {
+		m.stats.Accesses[LocalMiss]++
+		m.trace(iter, id, cluster, LocalMiss, addr, issue)
+	}
+	m.record(issue, iter, id, cluster, true, addr, o.Addr.Size)
+	// A store makes any in-flight pre-store fill of this cluster stale.
+	delete(m.pending[cluster], sub)
+
+	if m.group[id] {
+		// DDGT instance: it only owns its cluster's copy. The instance in
+		// cluster 0 performs the single write-through for the group.
+		if cluster == 0 {
+			start := m.ports.Acquire(issue + hitLat)
+			m.record(start, iter, id, l2, true, addr, o.Addr.Size)
+			return start + nextLat
+		}
+		return issue + hitLat
+	}
+
+	// Ordinary store: write through and broadcast to the other copies.
+	start := m.ports.Acquire(issue + hitLat)
+	m.record(start, iter, id, l2, true, addr, o.Addr.Size)
+	done := start + nextLat
+	for c := 0; c < m.cfg.NumClusters; c++ {
+		if c == cluster {
+			continue
+		}
+		m.arb.Advance(issue)
+		_, arrive := m.arb.Acquire(issue)
+		if m.modules[c].Contains(block) {
+			m.modules[c].Access(block, arrive, false)
+		}
+		m.record(arrive, iter, id, c, true, addr, o.Addr.Size)
+		// The broadcast supersedes any in-flight pre-store fill there.
+		if p, ok := m.pending[c][sub]; ok && p > arrive {
+			delete(m.pending[c], sub)
+		}
+		if arrive+hitLat > done {
+			done = arrive + hitLat
+		}
+	}
+	return done
+}

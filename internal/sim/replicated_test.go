@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+func replicatedCfg() arch.Config {
+	return arch.Default().WithLayout(arch.LayoutReplicated)
+}
+
+func TestReplicatedBaselineViolates(t *testing.T) {
+	// The replicated-cache analog of Figure 2: a store in cluster 3 whose
+	// broadcast update races the aliased load reading cluster 1's local
+	// copy one cycle later. Warm both copies first via the loads.
+	cfg := replicatedCfg()
+	loop := streamLoop(2000)
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &sched.Schedule{
+		Plan:    plan,
+		Arch:    cfg,
+		II:      2,
+		Length:  3,
+		Cycle:   []int{0, 1, 2},
+		Cluster: []int{3, 1, 1},
+		Lat:     []int{1, 1, 1},
+	}
+	if err := sched.Validate(sc); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(sc, Options{CheckCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations == 0 {
+		t.Errorf("replicated baseline must race broadcasts against local reads: %s", st)
+	}
+}
+
+func TestReplicatedCoherenceGuarantee(t *testing.T) {
+	cfg := replicatedCfg()
+	for seed := int64(300); seed < 340; seed++ {
+		loop := loopgen.Random(seed, loopgen.DefaultParams())
+		for _, pol := range []core.Policy{core.PolicyMDC, core.PolicyDDGT} {
+			plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs, Profile: profiler.Run(loop, cfg)})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, pol, err)
+			}
+			st, err := Run(sc, Options{CheckCoherence: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Violations != 0 {
+				t.Errorf("seed %d %v: %d violations under replicated layout\n%s",
+					seed, pol, st.Violations, loop)
+			}
+		}
+	}
+}
+
+func TestReplicatedLoadsAlwaysLocal(t *testing.T) {
+	cfg := replicatedCfg()
+	st := runPolicy(t, streamLoop(2000), core.PolicyMDC, sched.MinComs, cfg, Options{})
+	if remote := st.Accesses[RemoteHit] + st.Accesses[RemoteMiss]; remote != 0 {
+		t.Errorf("replicated layout produced %d remote accesses", remote)
+	}
+}
+
+func TestReplicatedDDGTAvoidsBroadcastTraffic(t *testing.T) {
+	// Under DDGT the per-cluster instances update the copies directly, so
+	// the memory buses carry no store broadcasts; under MDC every store
+	// broadcasts to the other three clusters.
+	cfg := replicatedCfg()
+	loop := streamLoop(1500)
+	mdc := runPolicy(t, loop, core.PolicyMDC, sched.MinComs, cfg, Options{})
+	dt := runPolicy(t, loop, core.PolicyDDGT, sched.MinComs, cfg, Options{})
+	if mdc.BusTransfers == 0 {
+		t.Error("MDC stores must broadcast over the buses")
+	}
+	if dt.BusTransfers != 0 {
+		t.Errorf("DDGT store instances must not use the buses, got %d transfers", dt.BusTransfers)
+	}
+}
+
+func TestReplicatedCapacityLoss(t *testing.T) {
+	// Replication divides effective capacity: a streaming walk with
+	// trailing reuse that fits comfortably in a 2KB interleaved module's
+	// worth of subblocks misses more under the replicated layout, where a
+	// 2KB module holds only 64 whole blocks.
+	mk := func() *ir.Loop {
+		b := ir.NewBuilder("ws")
+		b.Symbol("a", 0x100000, 1<<20)
+		b.Trip(6000, 1)
+		v := b.Load("lead", ir.AddrExpr{Base: "a", Stride: 32, Size: 4})
+		// Trailing loads re-touch blocks from ~100 iterations back: 100
+		// blocks of history stays resident interleaved (each module holds
+		// 256 subblocks) but thrashes a replicated module (64 blocks,
+		// shared with the leading walk).
+		for j := 1; j <= 6; j++ {
+			b.Load("", ir.AddrExpr{Base: "a", Offset: -32 * 100 * int64(j) / 6, Stride: 32, Size: 4})
+		}
+		b.Arith("use", ir.KindAdd, v)
+		return b.Loop()
+	}
+	inter := runPolicy(t, mk(), core.PolicyFree, sched.MinComs, arch.Default(), Options{})
+	repl := runPolicy(t, mk(), core.PolicyFree, sched.MinComs, replicatedCfg(), Options{})
+	interMiss := inter.Accesses[LocalMiss] + inter.Accesses[RemoteMiss]
+	replMiss := repl.Accesses[LocalMiss]
+	if replMiss <= interMiss {
+		t.Errorf("replicated misses %d must exceed interleaved %d (capacity loss)", replMiss, interMiss)
+	}
+	if repl.Accesses[RemoteHit]+repl.Accesses[RemoteMiss] != 0 {
+		t.Error("replicated accesses must be local")
+	}
+}
+
+func TestReplicatedStatsViaAB(t *testing.T) {
+	// Attraction Buffers are rejected under the replicated layout.
+	cfg := replicatedCfg().WithAttractionBuffers(16)
+	if cfg.Validate() == nil {
+		t.Error("AB + replicated must be rejected")
+	}
+}

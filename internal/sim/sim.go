@@ -1,0 +1,625 @@
+// Package sim is the cycle-level simulator of the word-interleaved cache
+// clustered VLIW processor executing a modulo-scheduled loop.
+//
+// The model follows §2 of the paper:
+//
+//   - stall-on-use: the (lockstep) VLIW stalls only when an instruction
+//     issues whose source value has not arrived yet; the gap between a
+//     load's assigned scheduling latency and its actual latency is paid
+//     here, split into compute time (ideal schedule) and stall time;
+//   - distributed cache: each access is routed to the home cluster of its
+//     address; remote accesses ride dynamically arbitrated memory buses
+//     whose latency is non-deterministic under contention;
+//   - request combining: an access to a subblock already requested and
+//     still pending does not issue a second request ("combined" class);
+//   - store replication semantics: only the replica instance whose cluster
+//     is the home cluster performs the store, the others are nullified
+//     (updating their cluster's Attraction Buffer copy if present);
+//   - Attraction Buffers (§5): remote subblocks fetched by loads are
+//     replicated into the local buffer; MDC stores write dirty copies that
+//     flush at loop boundaries; buffers are flushed between loop entries;
+//   - a coherence checker (optional) that records every access's arrival
+//     at the banks and counts conflicting accesses arriving out of program
+//     order — the corruption the paper's techniques exist to prevent.
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/bus"
+	"vliwcache/internal/cache"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/sched"
+)
+
+// Options control a simulation run.
+type Options struct {
+	// MaxIterations caps iterations per loop entry (0 = the loop's Trip).
+	MaxIterations int64
+	// MaxEntries caps the number of loop entries (0 = the loop's Entries).
+	MaxEntries int64
+	// CheckCoherence records bank arrivals and counts ordering violations
+	// (costs memory proportional to the dynamic access count).
+	CheckCoherence bool
+	// Trace, when non-nil, receives one CSV line per memory access:
+	// entry,iter,op,cluster,class,addr,issue. A header line is written
+	// first.
+	Trace io.Writer
+}
+
+// Run simulates the schedule and returns its statistics.
+func Run(sc *sched.Schedule, opts Options) (*Stats, error) {
+	m, err := newMachine(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.run()
+	if opts.CheckCoherence {
+		m.stats.Violations = m.checkCoherence()
+	}
+	m.collect()
+	if m.tw != nil {
+		if err := m.tw.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: trace: %w", err)
+		}
+	}
+	return m.stats, nil
+}
+
+// event is one statically-scheduled kernel event: an op issue or a copy
+// transfer start.
+type event struct {
+	isCopy bool
+	idx    int // op ID, or index into Schedule.Copies
+	cycle  int // issue cycle within the iteration (flat)
+}
+
+// input describes where an op (or copy) gets one source value from.
+type input struct {
+	from    int // producer op
+	dist    int // iteration distance
+	copyIdx int // index into Schedule.Copies when the value crosses clusters, else -1
+}
+
+// bankRec is one access arrival for the coherence checker.
+type bankRec struct {
+	arrive int64
+	seq    int64
+	prog   int64 // program-order index: iter*|ops| + origin op ID
+	op     int   // op ID (diagnostics)
+	loc    int   // serialization point: home bank, copy index, or next level
+	store  bool
+	addr   uint64
+	size   int
+}
+
+type machine struct {
+	sc   *sched.Schedule
+	cfg  arch.Config
+	opts Options
+	loop *ir.Loop
+
+	trip, entries int64
+
+	// Static tables.
+	slotEvents [][]event // by cycle % II
+	maxCycle   int
+	inputs     [][]input // per op
+	copyInputs []input   // per copy (reads the producer's value, dist 0)
+	group      []bool    // per op: member of a replica group
+	origin     []int     // per op: replica origin (or self)
+	window     int       // value ring size
+
+	// Dynamic state.
+	complete [][]int64 // per op, ring over iterations: value-ready time
+	copyArr  [][]int64 // per copy, ring: arrival time at target cluster
+	stall    int64
+	base     int64 // absolute time offset of the current entry
+
+	modules []*cache.Module
+	abs     []*cache.AttractionBuffer
+	pending []map[arch.SubblockID]int64
+	arb     *bus.Arbiter
+	ports   *bus.Ports
+
+	recs     []bankRec
+	seq      int64
+	iterBase int64 // iterations completed in previous entries
+
+	tw *bufio.Writer // CSV access trace, nil when disabled
+
+	stats *Stats
+}
+
+func newMachine(sc *sched.Schedule, opts Options) (*machine, error) {
+	if err := sched.Validate(sc); err != nil {
+		return nil, fmt.Errorf("sim: invalid schedule: %w", err)
+	}
+	cfg := sc.Arch
+	loop := sc.Plan.Loop
+	m := &machine{
+		sc:      sc,
+		cfg:     cfg,
+		opts:    opts,
+		loop:    loop,
+		trip:    loop.Trip,
+		entries: loop.Entries,
+		stats:   &Stats{},
+	}
+	if opts.MaxIterations > 0 && m.trip > opts.MaxIterations {
+		m.trip = opts.MaxIterations
+	}
+	if opts.MaxEntries > 0 && m.entries > opts.MaxEntries {
+		m.entries = opts.MaxEntries
+	}
+
+	m.buildStatics()
+
+	m.modules = make([]*cache.Module, cfg.NumClusters)
+	m.pending = make([]map[arch.SubblockID]int64, cfg.NumClusters)
+	for c := range m.modules {
+		mod, err := cache.NewModule(cfg.ModuleBytes(), cfg.SubblockBytes(), cfg.CacheAssoc, cfg.BlockBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.modules[c] = mod
+		m.pending[c] = make(map[arch.SubblockID]int64)
+	}
+	if cfg.ABEntries > 0 {
+		m.abs = make([]*cache.AttractionBuffer, cfg.NumClusters)
+		for c := range m.abs {
+			m.abs[c] = cache.NewAttractionBuffer(cfg.ABEntries, cfg.ABAssoc)
+		}
+	}
+	m.arb = bus.NewArbiter(cfg.MemBuses, cfg.MemBusLatency)
+	m.ports = bus.NewPorts(cfg.NextLevelPorts)
+	if opts.Trace != nil {
+		m.tw = bufio.NewWriter(opts.Trace)
+		fmt.Fprintln(m.tw, "entry,iter,op,cluster,class,addr,issue")
+	}
+	return m, nil
+}
+
+// trace emits one CSV line for a classified access.
+func (m *machine) trace(iter int64, id, cluster int, class Class, addr uint64, issue int64) {
+	if m.tw == nil {
+		return
+	}
+	fmt.Fprintf(m.tw, "%d,%d,%s,%d,%s,%#x,%d\n",
+		m.iterBase/maxOne(m.trip), iter, m.loop.Ops[id].Label(), cluster, class, addr, issue)
+}
+
+func maxOne(v int64) int64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// buildStatics precomputes the kernel event tables and input routing.
+func (m *machine) buildStatics() {
+	sc, loop := m.sc, m.loop
+	ii := sc.II
+
+	copyIdx := make(map[[2]int]int, len(sc.Copies))
+	for i, c := range sc.Copies {
+		copyIdx[[2]int{c.Producer, c.ToCluster}] = i
+	}
+
+	maxDist := 1
+	m.inputs = make([][]input, len(loop.Ops))
+	for _, o := range loop.Ops {
+		for _, e := range sc.Plan.Graph.In(o.ID) {
+			if e.Kind != ddg.RF {
+				continue
+			}
+			in := input{from: e.From, dist: e.Dist, copyIdx: -1}
+			if sc.Cluster[e.From] != sc.Cluster[o.ID] {
+				if ci, ok := copyIdx[[2]int{e.From, sc.Cluster[o.ID]}]; ok {
+					in.copyIdx = ci
+				}
+			}
+			m.inputs[o.ID] = append(m.inputs[o.ID], in)
+			if e.Dist > maxDist {
+				maxDist = e.Dist
+			}
+		}
+	}
+	m.copyInputs = make([]input, len(sc.Copies))
+	for i, c := range sc.Copies {
+		m.copyInputs[i] = input{from: c.Producer, dist: 0, copyIdx: -1}
+	}
+	m.window = maxDist + 2
+
+	m.group = make([]bool, len(loop.Ops))
+	m.origin = make([]int, len(loop.Ops))
+	for id, o := range loop.Ops {
+		m.origin[id] = id
+		if o.IsReplica() {
+			m.origin[id] = o.Origin()
+		}
+	}
+	for _, ids := range sc.Plan.ReplicaGroups {
+		for _, id := range ids {
+			m.group[id] = true
+		}
+	}
+
+	var evs []event
+	for id := range loop.Ops {
+		evs = append(evs, event{idx: id, cycle: sc.Cycle[id]})
+	}
+	for i, c := range sc.Copies {
+		evs = append(evs, event{isCopy: true, idx: i, cycle: c.Start})
+	}
+	m.slotEvents = make([][]event, ii)
+	for _, ev := range evs {
+		if ev.cycle > m.maxCycle {
+			m.maxCycle = ev.cycle
+		}
+		s := ev.cycle % ii
+		m.slotEvents[s] = append(m.slotEvents[s], ev)
+	}
+	for s := range m.slotEvents {
+		sort.Slice(m.slotEvents[s], func(i, j int) bool {
+			a, b := m.slotEvents[s][i], m.slotEvents[s][j]
+			if a.cycle != b.cycle {
+				return a.cycle < b.cycle
+			}
+			if a.isCopy != b.isCopy {
+				return !a.isCopy
+			}
+			return a.idx < b.idx
+		})
+	}
+
+	m.complete = make([][]int64, len(loop.Ops))
+	for i := range m.complete {
+		m.complete[i] = make([]int64, m.window)
+	}
+	m.copyArr = make([][]int64, len(sc.Copies))
+	for i := range m.copyArr {
+		m.copyArr[i] = make([]int64, m.window)
+	}
+}
+
+// run executes all entries of the loop.
+func (m *machine) run() {
+	for e := int64(0); e < m.entries; e++ {
+		m.runEntry()
+		m.iterBase += m.trip
+		for _, ab := range m.abs {
+			ab.Flush()
+		}
+	}
+	m.stats.Iterations = m.trip * m.entries
+	m.stats.Entries = m.entries
+	m.stats.StallCycles = m.stall
+	m.stats.CommOps = int64(len(m.sc.Copies)) * m.trip * m.entries
+}
+
+// runEntry simulates one entry: trip overlapped iterations of the kernel.
+func (m *machine) runEntry() {
+	ii := int64(m.sc.II)
+	vEnd := (m.trip-1)*ii + int64(m.maxCycle)
+
+	// Reset value rings: live-in values are ready at entry start.
+	for i := range m.complete {
+		for j := range m.complete[i] {
+			m.complete[i][j] = 0
+		}
+	}
+	for i := range m.copyArr {
+		for j := range m.copyArr[i] {
+			m.copyArr[i][j] = 0
+		}
+	}
+
+	var active []struct {
+		ev   event
+		iter int64
+	}
+	for v := int64(0); v <= vEnd; v++ {
+		slot := v % ii
+		active = active[:0]
+		for _, ev := range m.slotEvents[slot] {
+			i := (v - int64(ev.cycle)) / ii
+			if i >= 0 && i < m.trip && (v-int64(ev.cycle))%ii == 0 {
+				active = append(active, struct {
+					ev   event
+					iter int64
+				}{ev, i})
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+
+		// Lockstep issue: the word issues when every operand of every
+		// event in it has arrived.
+		issue := m.base + v + m.stall
+		ready := issue
+		for _, a := range active {
+			var ins []input
+			if a.ev.isCopy {
+				ins = m.copyInputs[a.ev.idx : a.ev.idx+1]
+			} else {
+				ins = m.inputs[a.ev.idx]
+			}
+			for _, in := range ins {
+				if r := m.valueReady(in, a.iter); r > ready {
+					ready = r
+				}
+			}
+		}
+		if ready > issue {
+			m.stall += ready - issue
+			issue = ready
+		}
+
+		for _, a := range active {
+			m.execute(a.ev, a.iter, issue)
+		}
+	}
+	m.stats.ComputeCycles += vEnd + 1
+	m.base += vEnd + 1
+}
+
+// valueReady returns when the value described by in is available for the
+// consumer of iteration iter. Values produced before the entry's first
+// iteration (live-ins) are ready immediately.
+func (m *machine) valueReady(in input, iter int64) int64 {
+	pi := iter - int64(in.dist)
+	if pi < 0 {
+		return 0
+	}
+	if in.copyIdx >= 0 {
+		return m.copyArr[in.copyIdx][pi%int64(m.window)]
+	}
+	return m.complete[in.from][pi%int64(m.window)]
+}
+
+// execute performs one event at the (stall-adjusted) issue time.
+func (m *machine) execute(ev event, iter, issue int64) {
+	if ev.isCopy {
+		m.copyArr[ev.idx][iter%int64(m.window)] = issue + int64(m.cfg.RegBusLatency)
+		return
+	}
+	id := ev.idx
+	o := m.loop.Ops[id]
+	var done int64
+	if o.Kind.IsMem() {
+		done = m.memAccess(id, iter, issue)
+	} else {
+		lat := int64(o.Kind.Latency())
+		if lat < 1 {
+			lat = 1
+		}
+		done = issue + lat
+	}
+	m.complete[id][iter%int64(m.window)] = done
+}
+
+// memAccess models one memory access and returns its completion time (for
+// loads: data available in the issuing cluster).
+func (m *machine) memAccess(id int, iter, issue int64) int64 {
+	o := m.loop.Ops[id]
+	cluster := m.sc.Cluster[id]
+	addr := o.Addr.AddrAt(m.loop.Symbols[o.Addr.Base].Base, iter)
+	home := m.cfg.HomeCluster(addr)
+	sub := m.cfg.Subblock(addr)
+	block := m.cfg.BlockAddr(addr)
+	hitLat := int64(m.cfg.CacheHitLatency)
+	isStore := o.Kind == ir.KindStore
+
+	if m.cfg.Replicated() {
+		return m.memAccessReplicated(id, iter, issue, cluster, addr, block, isStore)
+	}
+
+	// Store replication: only the instance in the home cluster executes.
+	// Nullified instances still keep their cluster's local copies fresh:
+	// they update a present Attraction Buffer copy and invalidate any
+	// in-flight (pending) fetch of the subblock, which the home-cluster
+	// instance is about to make stale.
+	if isStore && m.group[id] {
+		if cluster != home {
+			m.stats.NullifiedStores++
+			if m.abs != nil {
+				if m.abs[cluster].Update(sub, issue) {
+					m.stats.ABUpdates++
+				}
+			}
+			delete(m.pending[cluster], sub)
+			return issue + 1
+		}
+	}
+
+	// Requester-side combining: the subblock is already on its way here.
+	// Loads and local stores join the pending request (a local store's
+	// write merges when the fill lands, in issue order). A remote store
+	// cannot join — its write must reach the home bank — and it makes the
+	// in-flight copy stale, so the pending entry is invalidated.
+	if p, ok := m.pending[cluster][sub]; ok && p > issue {
+		if !isStore || cluster == home {
+			m.stats.Accesses[Combined]++
+			m.trace(iter, id, cluster, Combined, addr, issue)
+			m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
+			return p
+		}
+		delete(m.pending[cluster], sub)
+	}
+
+	if cluster == home {
+		if m.modules[home].Access(block, issue, isStore) {
+			m.stats.Accesses[LocalHit]++
+			m.trace(iter, id, cluster, LocalHit, addr, issue)
+			m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
+			return issue + hitLat
+		}
+		start := m.ports.Acquire(issue + hitLat)
+		done := start + int64(m.cfg.NextLevelLatency)
+		m.modules[home].Fill(block, done, isStore)
+		m.pending[cluster][sub] = done
+		m.stats.Accesses[LocalMiss]++
+		m.trace(iter, id, cluster, LocalMiss, addr, issue)
+		m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
+		return done
+	}
+
+	// Remote access. Loads may be satisfied by the local Attraction
+	// Buffer; stores write into a present copy (dirty, flushed at the loop
+	// boundary) — both count as local (§5).
+	if m.abs != nil {
+		if !isStore && m.abs[cluster].Lookup(sub, issue) {
+			m.stats.Accesses[LocalHit]++
+			m.stats.ABHits++
+			m.trace(iter, id, cluster, LocalHit, addr, issue)
+			m.record(issue, iter, id, home, false, addr, o.Addr.Size)
+			return issue + hitLat
+		}
+		if isStore && m.abs[cluster].Write(sub, issue) {
+			m.stats.Accesses[LocalHit]++
+			m.stats.ABHits++
+			m.stats.ABUpdates++
+			m.trace(iter, id, cluster, LocalHit, addr, issue)
+			m.record(issue, iter, id, home, true, addr, o.Addr.Size)
+			return issue + hitLat
+		}
+	}
+
+	m.arb.Advance(issue) // the processor clock is monotone; prune dead intervals
+	_, reqDone := m.arb.Acquire(issue)
+	arrive := reqDone
+	var dataAtHome int64
+	var class Class
+	if m.modules[home].Access(block, arrive, isStore) {
+		class = RemoteHit
+		dataAtHome = arrive + hitLat
+	} else {
+		start := m.ports.Acquire(arrive + hitLat)
+		dataAtHome = start + int64(m.cfg.NextLevelLatency)
+		m.modules[home].Fill(block, dataAtHome, isStore)
+		class = RemoteMiss
+	}
+	m.stats.Accesses[class]++
+	m.trace(iter, id, cluster, class, addr, issue)
+	m.record(arrive, iter, id, home, isStore, addr, o.Addr.Size)
+
+	if isStore {
+		// The store's data travels with the request; no reply. A local AB
+		// copy, if any, is refreshed so later local loads see the value.
+		if m.abs != nil {
+			if m.abs[cluster].Update(sub, issue) {
+				m.stats.ABUpdates++
+			}
+		}
+		return dataAtHome
+	}
+	_, repDone := m.arb.Acquire(dataAtHome)
+	m.pending[cluster][sub] = repDone
+	if m.abs != nil {
+		m.abs[cluster].Insert(sub, repDone)
+	}
+	return repDone
+}
+
+// record captures a bank arrival for the coherence checker. An access is
+// routed to (and serialized at) the bank owning its *starting* interleave
+// unit; bytes spilling into the next unit ride the same transaction, so
+// the checker tracks the routed unit's bytes only. Naturally aligned
+// accesses no wider than the interleaving factor — the common case, and
+// the case the paper's word-interleaved design serializes — are covered in
+// full.
+func (m *machine) record(arrive, iter int64, id, loc int, store bool, addr uint64, size int) {
+	if !m.opts.CheckCoherence {
+		return
+	}
+	if !m.cfg.Replicated() {
+		// Word-interleaved: the transaction is serialized at the bank of
+		// the starting interleave unit.
+		if within := m.cfg.InterleaveBytes - int(addr)%m.cfg.InterleaveBytes; size > within {
+			size = within
+		}
+	}
+	m.seq++
+	m.recs = append(m.recs, bankRec{
+		arrive: arrive,
+		seq:    m.seq,
+		prog:   (m.iterBase+iter)*int64(len(m.loop.Ops)) + int64(m.origin[id]),
+		op:     id,
+		loc:    loc,
+		store:  store,
+		addr:   addr,
+		size:   size,
+	})
+}
+
+// checkCoherence replays the recorded bank arrivals in arrival order and
+// counts conflicting accesses that arrive out of program order: a store
+// arriving after a program-later access to the same byte, or a load
+// arriving after a program-later store. These are exactly the reorderings
+// that corrupt memory in the optimistic baseline (§2.3).
+func (m *machine) checkCoherence() int64 {
+	sort.Slice(m.recs, func(i, j int) bool {
+		if m.recs[i].arrive != m.recs[j].arrive {
+			return m.recs[i].arrive < m.recs[j].arrive
+		}
+		return m.recs[i].seq < m.recs[j].seq
+	})
+	type cell struct {
+		loc  int
+		addr uint64
+	}
+	maxAny := make(map[cell]int64)
+	maxStore := make(map[cell]int64)
+	var violations int64
+	for _, r := range m.recs {
+		bad := false
+		for b := uint64(0); b < uint64(r.size); b++ {
+			a := cell{r.loc, r.addr + b}
+			if r.store {
+				if p, ok := maxAny[a]; ok && p > r.prog {
+					bad = true
+				}
+			} else if p, ok := maxStore[a]; ok && p > r.prog {
+				bad = true
+			}
+		}
+		for b := uint64(0); b < uint64(r.size); b++ {
+			a := cell{r.loc, r.addr + b}
+			if p, ok := maxAny[a]; !ok || r.prog > p {
+				maxAny[a] = r.prog
+			}
+			if r.store {
+				if p, ok := maxStore[a]; !ok || r.prog > p {
+					maxStore[a] = r.prog
+				}
+			}
+		}
+		if bad {
+			violations++
+		}
+	}
+	return violations
+}
+
+// collect folds substrate counters into the stats.
+func (m *machine) collect() {
+	for _, mod := range m.modules {
+		m.stats.Evictions += mod.Evictions
+		m.stats.Writebacks += mod.Writebacks
+	}
+	for _, ab := range m.abs {
+		m.stats.ABFlushes += ab.Flushes
+		m.stats.ABDirtyWritebacks += ab.DirtyWritebacks
+	}
+	m.stats.BusTransfers = m.arb.Transfers
+	m.stats.BusWaitedCycles = m.arb.Waited
+	m.stats.NextLevelRequests = m.ports.Requests
+	m.stats.PortsWaited = m.ports.Waited
+}

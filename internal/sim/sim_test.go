@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+// streamLoop: store a[i] then load a[i] in the same iteration (MF dist 0),
+// the textbook coherence hazard of Figure 2.
+func streamLoop(trip int64) *ir.Loop {
+	b := ir.NewBuilder("stream")
+	b.Symbol("a", 0x10000, 1<<20)
+	b.Trip(trip, 1)
+	val := b.Reg() // live-in
+	b.Store("st", ir.AddrExpr{Base: "a", Stride: 4, Size: 4}, val)
+	r := b.Load("ld", ir.AddrExpr{Base: "a", Stride: 4, Size: 4})
+	b.Arith("use", ir.KindAdd, r)
+	return b.Loop()
+}
+
+func runPolicy(t *testing.T, loop *ir.Loop, pol core.Policy, h sched.Heuristic, cfg arch.Config, opts Options) *Stats {
+	t.Helper()
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiler.Run(loop, cfg)
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: h, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBaselineViolatesCoherence(t *testing.T) {
+	// Hand-build the exact schedule of Figure 2: a store to X in cluster 4
+	// (index 3) at cycle i, the aliased load in cluster 1 (index 1) one
+	// cycle later. The store's remote update rides a 2-cycle memory bus,
+	// so whenever X is homed in the load's cluster the load's local access
+	// reaches the bank before the store's update arrives — the load reads
+	// a stale value.
+	cfg := arch.Default()
+	loop := streamLoop(2000)
+	plan, err := core.Prepare(loop, core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &sched.Schedule{
+		Plan:    plan,
+		Arch:    cfg,
+		II:      2,
+		Length:  3,
+		Cycle:   []int{0, 1, 2}, // st, ld, use
+		Cluster: []int{3, 1, 1}, // st in cl3, ld+use in cl1
+		Lat:     []int{1, 1, 1},
+	}
+	if err := sched.Validate(sc); err != nil {
+		t.Fatalf("hand-built schedule invalid: %v", err)
+	}
+	st, err := Run(sc, Options{CheckCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations == 0 {
+		t.Errorf("optimistic baseline with split aliased ops must violate ordering; stats: %s", st)
+	}
+}
+
+func TestMDCAndDDGTAreCoherent(t *testing.T) {
+	cfg := arch.Default()
+	for _, pol := range []core.Policy{core.PolicyMDC, core.PolicyDDGT} {
+		for _, h := range []sched.Heuristic{sched.PrefClus, sched.MinComs} {
+			st := runPolicy(t, streamLoop(2000), pol, h, cfg, Options{CheckCoherence: true})
+			if st.Violations != 0 {
+				t.Errorf("%v/%v: %d ordering violations, want 0", pol, h, st.Violations)
+			}
+		}
+	}
+}
+
+func TestMDCAndDDGTCoherentWithAttractionBuffers(t *testing.T) {
+	cfg := arch.Default().WithAttractionBuffers(16)
+	for _, pol := range []core.Policy{core.PolicyMDC, core.PolicyDDGT} {
+		st := runPolicy(t, streamLoop(2000), pol, sched.PrefClus, cfg, Options{CheckCoherence: true})
+		if st.Violations != 0 {
+			t.Errorf("%v with AB: %d ordering violations, want 0", pol, st.Violations)
+		}
+	}
+}
+
+func TestAccessConservation(t *testing.T) {
+	cfg := arch.Default()
+	trip := int64(1500)
+	loop := streamLoop(trip)
+
+	// MDC: both memory ops execute every iteration.
+	st := runPolicy(t, loop, core.PolicyMDC, sched.PrefClus, cfg, Options{})
+	if got, want := st.TotalAccesses(), 2*trip; got != want {
+		t.Errorf("MDC accesses = %d, want %d", got, want)
+	}
+	if st.NullifiedStores != 0 {
+		t.Errorf("MDC nullified stores = %d, want 0", st.NullifiedStores)
+	}
+
+	// DDGT: the store is replicated; per iteration, one instance executes
+	// and NumClusters-1 nullify. The load executes once.
+	st = runPolicy(t, loop, core.PolicyDDGT, sched.PrefClus, cfg, Options{})
+	if got, want := st.TotalAccesses(), 2*trip; got != want {
+		t.Errorf("DDGT accesses = %d, want %d", got, want)
+	}
+	if got, want := st.NullifiedStores, int64(cfg.NumClusters-1)*trip; got != want {
+		t.Errorf("DDGT nullified stores = %d, want %d", got, want)
+	}
+}
+
+func TestDDGTStoresAreLocal(t *testing.T) {
+	// With store replication, every executed store is performed by the
+	// home-cluster instance: stores never go remote.
+	cfg := arch.Default()
+	st := runPolicy(t, streamLoop(1000), core.PolicyDDGT, sched.PrefClus, cfg, Options{})
+	// The loop's only other access is the load; remote accesses can only
+	// come from it. Stores are half of all accesses, so remote accesses
+	// must be at most half.
+	remote := st.Accesses[RemoteHit] + st.Accesses[RemoteMiss]
+	if remote > st.TotalAccesses()/2 {
+		t.Errorf("remote accesses %d exceed the load's share: stores must be local under DDGT (%s)", remote, st)
+	}
+}
+
+func TestStallVersusComputeSplit(t *testing.T) {
+	cfg := arch.Default()
+	st := runPolicy(t, streamLoop(1000), core.PolicyMDC, sched.PrefClus, cfg, Options{})
+	if st.ComputeCycles <= 0 {
+		t.Errorf("compute cycles = %d, want > 0", st.ComputeCycles)
+	}
+	if st.StallCycles < 0 {
+		t.Errorf("stall cycles = %d, want >= 0", st.StallCycles)
+	}
+	if st.Cycles() != st.ComputeCycles+st.StallCycles {
+		t.Error("Cycles() must equal compute + stall")
+	}
+}
+
+func TestAttractionBuffersIncreaseLocality(t *testing.T) {
+	// A loop whose loads walk a small array repeatedly: remote subblocks
+	// get attracted and reused.
+	b := ir.NewBuilder("reuse")
+	b.Symbol("a", 0x10000, 256)
+	b.Trip(4000, 1)
+	// Stride chosen so consecutive iterations hit all clusters; modulo a
+	// small array (size 256 = 64 words) the stream revisits subblocks.
+	r := b.Load("ld", ir.AddrExpr{Base: "a", Stride: 0, Offset: 64, Size: 4})
+	r2 := b.Load("ld2", ir.AddrExpr{Base: "a", Stride: 0, Offset: 132, Size: 4})
+	b.Arith("use", ir.KindAdd, r, r2)
+	loop := b.Loop()
+
+	cfgNoAB := arch.Default()
+	cfgAB := arch.Default().WithAttractionBuffers(16)
+	stNo := runPolicy(t, loop, core.PolicyMDC, sched.MinComs, cfgNoAB, Options{})
+	stAB := runPolicy(t, loop, core.PolicyMDC, sched.MinComs, cfgAB, Options{})
+	if stAB.LocalHitRatio() < stNo.LocalHitRatio() {
+		t.Errorf("AB local hit ratio %.3f < no-AB %.3f", stAB.LocalHitRatio(), stNo.LocalHitRatio())
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	cfg := arch.Default()
+	st := runPolicy(t, streamLoop(100000), core.PolicyMDC, sched.PrefClus, cfg, Options{MaxIterations: 500})
+	if st.Iterations != 500 {
+		t.Errorf("iterations = %d, want 500", st.Iterations)
+	}
+}

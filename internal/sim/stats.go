@@ -1,0 +1,127 @@
+package sim
+
+import "fmt"
+
+// Class classifies a memory access as in §2.1 of the paper, plus the
+// "combined" category of §4.2 (accesses to subblocks already requested and
+// still pending, whose second request is not issued).
+type Class int
+
+const (
+	LocalHit Class = iota
+	RemoteHit
+	LocalMiss
+	RemoteMiss
+	Combined
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case LocalHit:
+		return "local hit"
+	case RemoteHit:
+		return "remote hit"
+	case LocalMiss:
+		return "local miss"
+	case RemoteMiss:
+		return "remote miss"
+	case Combined:
+		return "combined"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Stats aggregates the observable quantities the paper reports.
+type Stats struct {
+	Iterations int64
+	Entries    int64
+
+	// ComputeCycles is the ideal cycle count of the schedule (II per
+	// steady-state iteration plus fill/drain); StallCycles is the extra
+	// time the stall-on-use processor spent waiting for memory values.
+	ComputeCycles int64
+	StallCycles   int64
+
+	// Accesses classifies every executed memory access. Nullified store
+	// replica instances do not access memory and are counted separately.
+	Accesses        [NumClasses]int64
+	ABHits          int64 // attraction buffer hits (also counted as local hits)
+	ABUpdates       int64 // replica/write-through updates applied to AB copies
+	NullifiedStores int64
+	CommOps         int64 // dynamic inter-cluster register communications
+
+	// Violations counts memory ordering violations observed at the banks:
+	// conflicting accesses that arrived out of program order (nonzero only
+	// for the unsound optimistic baseline).
+	Violations int64
+
+	// Substrate counters.
+	BusTransfers, BusWaitedCycles  int64
+	NextLevelRequests, PortsWaited int64
+	Evictions, Writebacks          int64
+	ABFlushes, ABDirtyWritebacks   int64
+}
+
+// Cycles is total execution time: compute plus stall.
+func (s *Stats) Cycles() int64 { return s.ComputeCycles + s.StallCycles }
+
+// TotalAccesses is the number of classified memory accesses.
+func (s *Stats) TotalAccesses() int64 {
+	var t int64
+	for _, a := range s.Accesses {
+		t += a
+	}
+	return t
+}
+
+// LocalHitRatio is the proportion of local hits over all accesses.
+func (s *Stats) LocalHitRatio() float64 {
+	t := s.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Accesses[LocalHit]) / float64(t)
+}
+
+// ClassRatio is the proportion of accesses in the given class.
+func (s *Stats) ClassRatio(c Class) float64 {
+	t := s.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Accesses[c]) / float64(t)
+}
+
+// Add accumulates o into s (for aggregating loops into a benchmark).
+func (s *Stats) Add(o *Stats) {
+	s.Iterations += o.Iterations
+	s.Entries += o.Entries
+	s.ComputeCycles += o.ComputeCycles
+	s.StallCycles += o.StallCycles
+	for i := range s.Accesses {
+		s.Accesses[i] += o.Accesses[i]
+	}
+	s.ABHits += o.ABHits
+	s.ABUpdates += o.ABUpdates
+	s.NullifiedStores += o.NullifiedStores
+	s.CommOps += o.CommOps
+	s.Violations += o.Violations
+	s.BusTransfers += o.BusTransfers
+	s.BusWaitedCycles += o.BusWaitedCycles
+	s.NextLevelRequests += o.NextLevelRequests
+	s.PortsWaited += o.PortsWaited
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.ABFlushes += o.ABFlushes
+	s.ABDirtyWritebacks += o.ABDirtyWritebacks
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d (compute %d + stall %d) accesses=%d [LH %.1f%% RH %.1f%% LM %.1f%% RM %.1f%% CO %.1f%%] abhits=%d comms=%d violations=%d",
+		s.Cycles(), s.ComputeCycles, s.StallCycles, s.TotalAccesses(),
+		100*s.ClassRatio(LocalHit), 100*s.ClassRatio(RemoteHit),
+		100*s.ClassRatio(LocalMiss), 100*s.ClassRatio(RemoteMiss),
+		100*s.ClassRatio(Combined), s.ABHits, s.CommOps, s.Violations)
+}

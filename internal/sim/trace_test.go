@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/sched"
+)
+
+func TestTraceCSV(t *testing.T) {
+	cfg := arch.Default()
+	loop := streamLoop(50)
+	plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, err := Run(sc, Options{Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "entry,iter,op,cluster,class,addr,issue" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// One line per classified access.
+	if int64(len(lines)-1) != st.TotalAccesses() {
+		t.Errorf("%d trace lines for %d accesses", len(lines)-1, st.TotalAccesses())
+	}
+	if !strings.Contains(buf.String(), "st,") || !strings.Contains(buf.String(), "ld,") {
+		t.Error("trace must name the ops")
+	}
+	for _, ln := range lines[1:] {
+		if got := strings.Count(ln, ","); got != 6 {
+			t.Fatalf("line %q has %d commas, want 6", ln, got)
+		}
+	}
+}
+
+func TestTraceReplicated(t *testing.T) {
+	cfg := arch.Default().WithLayout(arch.LayoutReplicated)
+	loop := streamLoop(30)
+	plan, err := core.Prepare(loop, core.PolicyDDGT, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, err := Run(sc, Options{Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(strings.Count(buf.String(), "\n"))-1 != st.TotalAccesses() {
+		t.Error("replicated trace line count mismatch")
+	}
+}

@@ -1,0 +1,118 @@
+// Package textplot renders the paper's figures as ASCII stacked bar charts
+// so the benchmark harness can print directly comparable output.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Frac float64 // 0..1
+	Rune rune
+}
+
+// StackedBar renders segments into a fixed-width horizontal bar. Fractions
+// are clamped and the bar padded/truncated to exactly width runes.
+func StackedBar(width int, segs []Segment) string {
+	var b strings.Builder
+	used := 0
+	for _, s := range segs {
+		f := s.Frac
+		if !(f > 0) { // negative or NaN
+			continue
+		}
+		if f > 1 {
+			f = 1
+		}
+		n := int(f*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		if n <= 0 {
+			continue
+		}
+		b.WriteString(strings.Repeat(string(s.Rune), n))
+		used += n
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(" ", width-used))
+	}
+	return b.String()
+}
+
+// Bar renders a single-valued bar scaled so that 1.0 == width runes; values
+// above max are truncated with a '>' marker.
+func Bar(width int, value, max float64, r rune) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		return strings.Repeat(string(r), width-1) + ">"
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat(string(r), n) + strings.Repeat(" ", width-n)
+}
+
+// Table is a minimal column-aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells beyond the header width are dropped.
+func (t *Table) Row(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// Rowf appends a row of formatted cells.
+func (t *Table) Rowf(format string, args ...interface{}) *Table {
+	return t.Row(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

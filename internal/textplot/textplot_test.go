@@ -1,0 +1,84 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackedBarWidths(t *testing.T) {
+	bar := StackedBar(10, []Segment{{0.5, '#'}, {0.5, '.'}})
+	if bar != "#####....." {
+		t.Errorf("bar = %q", bar)
+	}
+	if got := StackedBar(10, nil); got != strings.Repeat(" ", 10) {
+		t.Errorf("empty bar = %q", got)
+	}
+	// Over-full segments are truncated to the width.
+	if got := StackedBar(8, []Segment{{0.9, 'a'}, {0.9, 'b'}}); len([]rune(got)) != 8 {
+		t.Errorf("overfull bar length = %d", len([]rune(got)))
+	}
+	// Negative fractions are clamped.
+	if got := StackedBar(4, []Segment{{-1, 'x'}, {1, 'y'}}); got != "yyyy" {
+		t.Errorf("negative clamp = %q", got)
+	}
+}
+
+func TestStackedBarWidthProperty(t *testing.T) {
+	f := func(fracs []float64) bool {
+		segs := make([]Segment, len(fracs))
+		for i, fr := range fracs {
+			segs[i] = Segment{Frac: fr, Rune: 'x'}
+		}
+		return len([]rune(StackedBar(20, segs))) == 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(10, 0.5, 1.0, '#'); got != "#####     " {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(10, 5, 1.0, '#'); !strings.HasSuffix(got, ">") || len(got) != 10 {
+		t.Errorf("overflow Bar = %q", got)
+	}
+	if got := Bar(10, -2, 1.0, '#'); got != strings.Repeat(" ", 10) {
+		t.Errorf("negative Bar = %q", got)
+	}
+	if got := Bar(4, 1, 0, '#'); len(got) != 4 {
+		t.Errorf("zero-max Bar = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("x", "1")
+	tb.Rowf("longer\t23")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	w := len(lines[0])
+	for i, ln := range lines {
+		if len(ln) != w && i > 0 && strings.TrimSpace(ln) != "" {
+			// Rows may be shorter only by trailing spaces of the last col.
+			if len(strings.TrimRight(ln, " ")) > w {
+				t.Errorf("line %d wider than header: %q", i, ln)
+			}
+		}
+	}
+	if !strings.Contains(s, "longer") || !strings.Contains(s, "23") {
+		t.Error("cells missing")
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("one")
+	tb.Row("a", "overflow")
+	if s := tb.String(); strings.Contains(s, "overflow") {
+		t.Errorf("extra cell rendered: %q", s)
+	}
+}
