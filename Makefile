@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build check vet test race bench paperbench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# check is the CI gate: vet plus the full test suite under the race
+# detector (the parallel experiment engine must stay race-free).
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Quick full-grid regeneration through the parallel engine.
+paperbench:
+	$(GO) run ./cmd/paperbench -maxiters 2000 -parallel 0 -v

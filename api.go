@@ -1,9 +1,12 @@
 package vliwcache
 
 import (
+	"context"
+
 	"vliwcache/internal/arch"
 	"vliwcache/internal/core"
 	"vliwcache/internal/ddg"
+	"vliwcache/internal/engine"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
@@ -244,23 +247,120 @@ func BenchmarkByName(name string) (*Benchmark, error) { return mediabench.Get(na
 
 // Experiments (see internal/experiments).
 type (
-	// Suite runs and caches benchmark × variant experiment cells.
+	// Suite runs and caches benchmark × variant experiment cells on a
+	// bounded parallel engine; it is safe for concurrent use.
 	Suite = experiments.Suite
 	// Variant is one (policy, heuristic) combination.
 	Variant = experiments.Variant
 	// LoopRun is one loop's outcome under one variant.
 	LoopRun = experiments.LoopRun
+	// TraceEvent reports the completion of one pipeline stage to a tracer
+	// installed with WithTracer.
+	TraceEvent = experiments.TraceEvent
+	// Metrics is a snapshot of the experiment engine's counters: cells
+	// computed vs cache hits, worker utilization, wall time per stage.
+	Metrics = engine.Metrics
 )
 
-// NewSuite builds an experiment suite over the paper's figure benchmarks.
-func NewSuite(cfg Config) *Suite { return experiments.NewSuite(cfg) }
+// Typed errors. Pipeline and suite failures wrap these sentinels (and
+// *PipelineError), so callers use errors.Is / errors.As instead of
+// matching message strings.
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside the suite.
+	ErrUnknownBenchmark = mediabench.ErrUnknownBenchmark
+	// ErrInfeasibleSchedule reports that a loop does not fit within the
+	// scheduler's II budget.
+	ErrInfeasibleSchedule = sched.ErrInfeasible
+)
+
+// PipelineError locates a failure inside the experiment grid: benchmark,
+// loop, variant and pipeline stage. Retrieve it with errors.As.
+type PipelineError = experiments.PipelineError
+
+// settings collects everything the option-based entry points configure.
+type settings struct {
+	arch        Config
+	policy      Policy
+	heuristic   Heuristic
+	sim         SimOptions
+	parallelism int
+	tracer      func(TraceEvent)
+}
+
+// Option configures the option-based API: Execute, ExecuteContext,
+// ExecuteHybrid and NewSuite. Options that don't concern an entry point
+// are ignored by it (WithParallelism and WithTracer configure suites;
+// WithPolicy configures single-loop execution). The legacy ExecOptions
+// struct also satisfies Option, so pre-existing struct-literal call sites
+// keep compiling.
+type Option interface {
+	apply(*settings)
+}
+
+type optionFunc func(*settings)
+
+func (f optionFunc) apply(s *settings) { f(s) }
+
+// WithArch selects the machine description (default: DefaultConfig()).
+func WithArch(cfg Config) Option {
+	return optionFunc(func(s *settings) { s.arch = cfg })
+}
+
+// WithPolicy selects the coherence policy (default: PolicyFree).
+func WithPolicy(p Policy) Option {
+	return optionFunc(func(s *settings) { s.policy = p })
+}
+
+// WithHeuristic selects the cluster-assignment heuristic (default:
+// PrefClus).
+func WithHeuristic(h Heuristic) Option {
+	return optionFunc(func(s *settings) { s.heuristic = h })
+}
+
+// WithSimOptions sets the simulation options.
+func WithSimOptions(o SimOptions) Option {
+	return optionFunc(func(s *settings) { s.sim = o })
+}
+
+// WithParallelism bounds how many experiment cells a Suite computes
+// concurrently. Non-positive values (and the default) use
+// runtime.GOMAXPROCS(0); WithParallelism(1) reproduces serial execution.
+func WithParallelism(n int) Option {
+	return optionFunc(func(s *settings) { s.parallelism = n })
+}
+
+// WithTracer installs a callback observing every pipeline stage a Suite
+// runs. The tracer runs on worker goroutines and must be safe for
+// concurrent use.
+func WithTracer(fn func(TraceEvent)) Option {
+	return optionFunc(func(s *settings) { s.tracer = fn })
+}
 
 // ExecOptions configure the one-call pipeline.
+//
+// Deprecated: ExecOptions is the legacy struct-literal form; it remains a
+// thin shim that applies all four fields at once. New code should pass
+// functional options (WithArch, WithPolicy, WithHeuristic, WithSimOptions)
+// to Execute or ExecuteContext instead.
 type ExecOptions struct {
 	Arch      Config
 	Policy    Policy
 	Heuristic Heuristic
 	Sim       SimOptions
+}
+
+// apply makes the legacy struct a valid Option: it overwrites every
+// execution field, zero values included, preserving its old semantics.
+func (o ExecOptions) apply(s *settings) {
+	s.arch, s.policy, s.heuristic, s.sim = o.Arch, o.Policy, o.Heuristic, o.Sim
+}
+
+func newSettings(opts []Option) settings {
+	s := settings{arch: DefaultConfig()}
+	for _, o := range opts {
+		o.apply(&s)
+	}
+	return s
 }
 
 // Result bundles the outcome of the one-call pipeline.
@@ -271,23 +371,61 @@ type Result struct {
 	Stats    *Stats
 }
 
+// NewSuite builds an experiment suite over the paper's figure benchmarks.
+// Useful options: WithSimOptions, WithParallelism, WithTracer.
+func NewSuite(cfg Config, opts ...Option) *Suite {
+	s := newSettings(opts)
+	return experiments.NewSuite(cfg,
+		experiments.WithSimOptions(s.sim),
+		experiments.WithParallelism(s.parallelism),
+		experiments.WithTracer(s.tracer),
+	)
+}
+
 // Execute runs the full pipeline on one loop: profile, prepare under the
-// policy, modulo schedule, and simulate.
-func Execute(l *Loop, opts ExecOptions) (*Result, error) {
-	plan, err := core.Prepare(l, opts.Policy, opts.Arch.NumClusters)
+// policy, modulo schedule, and simulate. It accepts functional options
+// (the documented form) as well as a legacy ExecOptions literal:
+//
+//	res, err := vliwcache.Execute(loop,
+//		vliwcache.WithPolicy(vliwcache.PolicyMDC),
+//		vliwcache.WithHeuristic(vliwcache.PrefClus))
+//
+// Use ExecuteContext to bound or cancel the run.
+func Execute(l *Loop, opts ...Option) (*Result, error) {
+	return ExecuteContext(context.Background(), l, opts...)
+}
+
+// ExecuteContext is Execute with cancellation: ctx is checked at every
+// pipeline stage boundary (prepare → schedule → simulate) and its error is
+// returned promptly once it is done.
+func ExecuteContext(ctx context.Context, l *Loop, opts ...Option) (*Result, error) {
+	s := newSettings(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := core.Prepare(l, s.policy, s.arch.NumClusters)
 	if err != nil {
 		return nil, err
 	}
-	prof := profiler.Run(l, opts.Arch)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prof := profiler.Run(l, s.arch)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sc, err := sched.Run(plan, sched.Options{
-		Arch:      opts.Arch,
-		Heuristic: opts.Heuristic,
+		Arch:      s.arch,
+		Heuristic: s.heuristic,
 		Profile:   prof,
 	})
 	if err != nil {
 		return nil, err
 	}
-	st, err := sim.Run(sc, opts.Sim)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := sim.Run(sc, s.sim)
 	if err != nil {
 		return nil, err
 	}
@@ -295,15 +433,19 @@ func Execute(l *Loop, opts ExecOptions) (*Result, error) {
 }
 
 // ExecuteHybrid implements the per-loop hybrid of §6: both MDC and DDGT are
-// compiled and simulated and the faster result is returned.
-func ExecuteHybrid(l *Loop, opts ExecOptions) (*Result, error) {
-	opts.Policy = PolicyMDC
-	mdc, err := Execute(l, opts)
+// compiled and simulated and the faster result is returned. Any WithPolicy
+// option is overridden by the hybrid's own MDC/DDGT choices.
+func ExecuteHybrid(l *Loop, opts ...Option) (*Result, error) {
+	return ExecuteHybridContext(context.Background(), l, opts...)
+}
+
+// ExecuteHybridContext is ExecuteHybrid with cancellation.
+func ExecuteHybridContext(ctx context.Context, l *Loop, opts ...Option) (*Result, error) {
+	mdc, err := ExecuteContext(ctx, l, append(opts[:len(opts):len(opts)], WithPolicy(PolicyMDC))...)
 	if err != nil {
 		return nil, err
 	}
-	opts.Policy = PolicyDDGT
-	dt, err := Execute(l, opts)
+	dt, err := ExecuteContext(ctx, l, append(opts[:len(opts):len(opts)], WithPolicy(PolicyDDGT))...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package vliwcache
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 )
 
@@ -91,6 +94,99 @@ func TestBenchmarksFacade(t *testing.T) {
 	}
 	if _, err := BenchmarkByName("bogus"); err == nil {
 		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestExecuteFunctionalOptions(t *testing.T) {
+	res, err := Execute(exampleLoop(),
+		WithPolicy(PolicyMDC),
+		WithHeuristic(PrefClus),
+		WithSimOptions(SimOptions{CheckCoherence: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Policy != PolicyMDC || res.Stats.Violations != 0 {
+		t.Errorf("options not applied: policy=%v violations=%d", res.Plan.Policy, res.Stats.Violations)
+	}
+
+	// Omitting WithArch must default to the paper's Table 2 machine.
+	if res.Schedule.II < 1 {
+		t.Error("default arch did not schedule")
+	}
+}
+
+func TestExecuteShimEquivalence(t *testing.T) {
+	legacy, err := Execute(exampleLoop(), ExecOptions{
+		Arch:      DefaultConfig(),
+		Policy:    PolicyDDGT,
+		Heuristic: MinComs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := Execute(exampleLoop(),
+		WithArch(DefaultConfig()),
+		WithPolicy(PolicyDDGT),
+		WithHeuristic(MinComs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Stats.Cycles() != modern.Stats.Cycles() || legacy.Schedule.II != modern.Schedule.II {
+		t.Errorf("legacy shim (%d cycles, II=%d) differs from options (%d cycles, II=%d)",
+			legacy.Stats.Cycles(), legacy.Schedule.II, modern.Stats.Cycles(), modern.Schedule.II)
+	}
+}
+
+func TestExecuteContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(ctx, exampleLoop(), WithPolicy(PolicyMDC)); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecuteContext = %v, want context.Canceled", err)
+	}
+	if _, err := ExecuteHybridContext(ctx, exampleLoop()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecuteHybridContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestTypedErrorsFacade(t *testing.T) {
+	if _, err := BenchmarkByName("bogus"); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("BenchmarkByName error %v must wrap ErrUnknownBenchmark", err)
+	}
+	s := NewSuite(DefaultConfig())
+	if _, err := s.CellCtx(context.Background(), "bogus", Variant{}); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("suite cell error %v must wrap ErrUnknownBenchmark", err)
+	}
+
+	// A grid failure carries its coordinates as a *PipelineError.
+	cfg := DefaultConfig()
+	cfg.FPUnits = 0
+	bad := NewSuite(cfg, WithSimOptions(SimOptions{MaxIterations: 50, MaxEntries: 1}))
+	_, err := bad.CellCtx(context.Background(), "rasta", Variant{Policy: PolicyMDC, Heuristic: PrefClus})
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Bench != "rasta" || pe.Stage != "schedule" {
+		t.Errorf("error %v must be a *PipelineError for rasta/schedule", err)
+	}
+}
+
+func TestSuiteOptionsAndMetrics(t *testing.T) {
+	var mu sync.Mutex
+	stages := 0
+	s := NewSuite(DefaultConfig(),
+		WithSimOptions(SimOptions{MaxIterations: 50, MaxEntries: 1}),
+		WithParallelism(2),
+		WithTracer(func(TraceEvent) { mu.Lock(); stages++; mu.Unlock() }))
+	if _, err := s.CellCtx(context.Background(), "gsmenc", Variant{Policy: PolicyMDC, Heuristic: PrefClus}); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Workers != 2 || m.Computed != 1 || m.Submitted != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if stages == 0 {
+		t.Error("tracer saw no stages")
+	}
+	if m.Utilization() < 0 || m.Utilization() > 1 {
+		t.Errorf("utilization %f out of range", m.Utilization())
 	}
 }
 

@@ -8,6 +8,7 @@ package vliwcache
 // paperbench command prints the full artifacts.
 
 import (
+	"context"
 	"testing"
 
 	"vliwcache/internal/arch"
@@ -151,7 +152,7 @@ func BenchmarkTable5(b *testing.B) {
 
 func BenchmarkNobal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.Nobal(benchSimOptions)
+		out, err := experiments.Nobal(context.Background(), benchSimOptions)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkNobal(b *testing.B) {
 
 func BenchmarkEpicLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.EpicLoop(benchSimOptions)
+		out, err := experiments.EpicLoop(context.Background(), benchSimOptions)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,11 +182,11 @@ func BenchmarkHybrid(b *testing.B) {
 		for _, bench := range mediabench.Figures() {
 			cfg := DefaultConfig().WithInterleave(bench.Interleave)
 			for _, loop := range bench.Loops {
-				m, err := experiments.RunLoop(loop, cfg, experiments.MDCPrefClus, benchSimOptions)
+				m, err := experiments.RunLoop(context.Background(), loop, cfg, experiments.MDCPrefClus, benchSimOptions)
 				if err != nil {
 					b.Fatal(err)
 				}
-				d, err := experiments.RunLoop(loop, cfg, experiments.DDGTPrefClus, benchSimOptions)
+				d, err := experiments.RunLoop(context.Background(), loop, cfg, experiments.DDGTPrefClus, benchSimOptions)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -215,7 +216,7 @@ func BenchmarkAblationRegBuses(b *testing.B) {
 		for _, buses := range []int{4, 32} {
 			cfg := arch.Default().WithInterleave(bench.Interleave)
 			cfg.RegBuses = buses
-			run, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
+			run, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -238,7 +239,7 @@ func BenchmarkAblationInterleave(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, il := range []int{2, 4, 8} {
 			cfg := arch.Default().WithInterleave(il)
-			run, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			run, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -267,7 +268,7 @@ func BenchmarkAblationABSize(b *testing.B) {
 			if entries > 0 {
 				cfg = cfg.WithAttractionBuffers(entries)
 			}
-			run, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			run, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -352,11 +353,11 @@ func BenchmarkLayouts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
 			cfg := arch.Default().WithInterleave(bench.Interleave).WithLayout(layout)
-			mdc, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			mdc, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
-			dt, err := experiments.RunLoop(bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
+			dt, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}

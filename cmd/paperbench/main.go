@@ -1,20 +1,28 @@
 // Command paperbench regenerates the tables and figures of the paper's
 // evaluation on the synthesized Mediabench suite.
 //
+// Independent (benchmark, variant) cells fan out across a bounded worker
+// pool; output is byte-identical to a serial run because rendering happens
+// in canonical cell order after the parallel warm-up.
+//
 // Usage:
 //
-//	paperbench                       # everything
+//	paperbench                       # everything, one worker per core
 //	paperbench -table 3              # one table (1..5)
 //	paperbench -figure 7             # one figure (6, 7 or 9)
 //	paperbench -experiment nobal     # §4.2 unbalanced buses
 //	paperbench -experiment epicloop  # §5.4 case study
 //	paperbench -maxiters 500         # quick run (cap iterations per loop)
+//	paperbench -parallel 4           # bound the worker pool (1 = serial)
+//	paperbench -v                    # engine metrics on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"vliwcache/internal/arch"
 	"vliwcache/internal/experiments"
@@ -26,9 +34,18 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (6, 7 or 9); 0 = per other flags")
 	experiment := flag.String("experiment", "", "named experiment: nobal, epicloop, layouts, hybrid")
 	maxIters := flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
+	parallel := flag.Int("parallel", 0, "worker pool size; 0 = one per core, 1 = serial")
+	verbose := flag.Bool("v", false, "print engine metrics (workers, cache hits, stage times) to stderr")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := sim.Options{MaxIterations: *maxIters}
+	suiteOpts := []experiments.Option{
+		experiments.WithSimOptions(opts),
+		experiments.WithParallelism(*parallel),
+	}
 
 	all := *table == 0 && *figure == 0 && *experiment == ""
 	run := func(name string, f func() (string, error)) {
@@ -40,18 +57,22 @@ func main() {
 		fmt.Println(out)
 	}
 
+	var suites []*experiments.Suite
+	newSuite := func(cfg arch.Config) *experiments.Suite {
+		s := experiments.NewSuite(cfg, suiteOpts...)
+		suites = append(suites, s)
+		return s
+	}
 	var base, ab *experiments.Suite
 	suite := func() *experiments.Suite {
 		if base == nil {
-			base = experiments.NewSuite(arch.Default())
-			base.SimOptions = opts
+			base = newSuite(arch.Default())
 		}
 		return base
 	}
 	abSuite := func() *experiments.Suite {
 		if ab == nil {
-			ab = experiments.NewSuite(arch.Default().WithAttractionBuffers(16))
-			ab.SimOptions = opts
+			ab = newSuite(arch.Default().WithAttractionBuffers(16))
 		}
 		return ab
 	}
@@ -63,33 +84,39 @@ func main() {
 		fmt.Println(experiments.Table2(arch.Default()))
 	}
 	if all || *figure == 6 {
-		run("figure 6", func() (string, error) { return experiments.Figure6(suite()) })
+		run("figure 6", func() (string, error) { return experiments.Figure6(ctx, suite()) })
 	}
 	if all || *figure == 7 {
-		run("figure 7", func() (string, error) { return experiments.Figure7(suite()) })
+		run("figure 7", func() (string, error) { return experiments.Figure7(ctx, suite()) })
 	}
 	if all || *table == 3 {
 		fmt.Println(experiments.Table3())
 	}
 	if all || *table == 4 {
-		run("table 4", func() (string, error) { return experiments.Table4(suite()) })
+		run("table 4", func() (string, error) { return experiments.Table4(ctx, suite()) })
 	}
 	if all || *experiment == "nobal" {
-		run("nobal", func() (string, error) { return experiments.Nobal(opts) })
+		run("nobal", func() (string, error) { return experiments.Nobal(ctx, opts, suiteOpts...) })
 	}
 	if all || *figure == 9 {
-		run("figure 9", func() (string, error) { return experiments.Figure9(abSuite()) })
+		run("figure 9", func() (string, error) { return experiments.Figure9(ctx, abSuite()) })
 	}
 	if all || *experiment == "epicloop" {
-		run("epicloop", func() (string, error) { return experiments.EpicLoop(opts) })
+		run("epicloop", func() (string, error) { return experiments.EpicLoop(ctx, opts) })
 	}
 	if all || *experiment == "layouts" {
-		run("layouts", func() (string, error) { return experiments.Layouts(opts) })
+		run("layouts", func() (string, error) { return experiments.Layouts(ctx, opts, suiteOpts...) })
 	}
 	if all || *experiment == "hybrid" {
-		run("hybrid", func() (string, error) { return experiments.Hybrid(opts) })
+		run("hybrid", func() (string, error) { return experiments.Hybrid(ctx, opts, suiteOpts...) })
 	}
 	if all || *table == 5 {
 		fmt.Println(experiments.Table5())
+	}
+
+	if *verbose {
+		for _, s := range suites {
+			fmt.Fprint(os.Stderr, s.Metrics().String())
+		}
 	}
 }

@@ -40,15 +40,43 @@
 //	b.Store("sty", vliwcache.AddrExpr{Base: "y", Stride: 8, Size: 8}, r)
 //	loop := b.Loop()
 //
-//	res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
-//		Arch:      vliwcache.DefaultConfig(),
-//		Policy:    vliwcache.PolicyMDC,
-//		Heuristic: vliwcache.PrefClus,
-//	})
+//	res, err := vliwcache.Execute(loop,
+//		vliwcache.WithPolicy(vliwcache.PolicyMDC),
+//		vliwcache.WithHeuristic(vliwcache.PrefClus))
 //
-// res.Stats then carries cycle counts (compute/stall), the access
-// classification (local/remote × hit/miss, combined), and — with
+// The machine defaults to the paper's Table 2 configuration; override it
+// with WithArch. res.Stats then carries cycle counts (compute/stall), the
+// access classification (local/remote × hit/miss, combined), and — with
 // CheckCoherence set — the count of memory ordering violations, which is
 // zero under PolicyMDC and PolicyDDGT and generally nonzero under the
 // optimistic PolicyFree baseline on aliased loops.
+//
+// The struct-literal form Execute(loop, ExecOptions{...}) keeps working as
+// a deprecated shim: ExecOptions satisfies Option.
+//
+// # Cancellation
+//
+// ExecuteContext and ExecuteHybridContext accept a context.Context that is
+// checked at every pipeline stage boundary (prepare → schedule →
+// simulate); once the context is done they return its error promptly. The
+// experiment suite's Suite.CellCtx does the same for whole benchmark ×
+// variant cells.
+//
+// # Parallel experiments
+//
+// A Suite computes its benchmark × variant grid on a bounded worker pool
+// with single-flight memoization: concurrent callers asking for the same
+// cell share one computation, and a Suite is safe for concurrent use.
+//
+//	suite := vliwcache.NewSuite(vliwcache.DefaultConfig(),
+//		vliwcache.WithParallelism(8), // default: one worker per core
+//		vliwcache.WithTracer(func(ev vliwcache.TraceEvent) { log.Print(ev.Stage) }))
+//	cell, err := suite.CellCtx(ctx, "epicdec", vliwcache.Variant{...})
+//	fmt.Print(suite.Metrics()) // cells computed vs cache hits, utilization
+//
+// Figures and tables warm the grid in parallel and render serially in
+// canonical cell order, so their output is byte-identical to a serial run
+// (WithParallelism(1)). Failures are typed: errors.Is recognizes
+// ErrUnknownBenchmark and ErrInfeasibleSchedule, and errors.As extracts a
+// *PipelineError naming the benchmark, loop, variant and stage that failed.
 package vliwcache

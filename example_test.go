@@ -1,7 +1,9 @@
 package vliwcache_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"vliwcache"
 )
@@ -16,12 +18,10 @@ func ExampleExecute() {
 	y := b.Arith("mul", vliwcache.KindMul, x)
 	b.Store("st", vliwcache.AddrExpr{Base: "v", Offset: -16, Stride: 16, Size: 4}, y)
 
-	res, err := vliwcache.Execute(b.Loop(), vliwcache.ExecOptions{
-		Arch:      vliwcache.DefaultConfig(),
-		Policy:    vliwcache.PolicyMDC,
-		Heuristic: vliwcache.PrefClus,
-		Sim:       vliwcache.SimOptions{CheckCoherence: true},
-	})
+	res, err := vliwcache.Execute(b.Loop(),
+		vliwcache.WithPolicy(vliwcache.PolicyMDC),
+		vliwcache.WithHeuristic(vliwcache.PrefClus),
+		vliwcache.WithSimOptions(vliwcache.SimOptions{CheckCoherence: true}))
 	if err != nil {
 		panic(err)
 	}
@@ -32,6 +32,33 @@ func ExampleExecute() {
 	// policy: MDC
 	// violations: 0
 	// accesses: 2000
+}
+
+// ExampleNewSuite computes experiment cells concurrently on the parallel
+// engine: the grid fans out over a bounded worker pool, identical cells
+// are computed once (single-flight), and cancellation propagates through
+// the pipeline.
+func ExampleNewSuite() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	suite := vliwcache.NewSuite(vliwcache.DefaultConfig(),
+		vliwcache.WithParallelism(4), // 0 = one worker per core, 1 = serial
+		vliwcache.WithSimOptions(vliwcache.SimOptions{MaxIterations: 100}))
+
+	cell, err := suite.CellCtx(ctx, "epicdec", vliwcache.Variant{
+		Policy:    vliwcache.PolicyDDGT,
+		Heuristic: vliwcache.PrefClus,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("loops:", len(cell.Loops))
+	m := suite.Metrics()
+	fmt.Println("computed:", m.Computed, "cache hits:", m.CacheHits)
+	// Output:
+	// loops: 2
+	// computed: 1 cache hits: 0
 }
 
 // ExampleChains analyzes a loop's memory dependent chains (§3.2).

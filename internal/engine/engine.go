@@ -1,0 +1,199 @@
+// Package engine provides the parallel experiment executor: a bounded
+// worker pool running keyed tasks with single-flight memoization and
+// context cancellation. The experiments package submits independent
+// (benchmark, variant) cells through one Engine so the paper's full
+// evaluation grid fans out across cores while each cell is still computed
+// exactly once, and aggregation stays deterministic because callers render
+// results in canonical order after the fan-out completes.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task computes one memoizable unit of work. It must honor ctx promptly
+// (the experiment pipeline checks it at stage boundaries).
+type Task func(ctx context.Context) (any, error)
+
+// flight is one in-progress or completed computation of a key.
+type flight struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// Engine is a bounded worker pool with a single-flight memo cache.
+// The zero value is not usable; call New.
+type Engine struct {
+	workers int
+	sem     chan struct{} // worker slots; len == workers
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	start time.Time
+
+	submitted   atomic.Int64
+	computed    atomic.Int64
+	cacheHits   atomic.Int64
+	flightWaits atomic.Int64
+	canceled    atomic.Int64
+	busyNanos   atomic.Int64
+
+	stageMu sync.Mutex
+	stages  map[string]*stageStat
+}
+
+type stageStat struct {
+	count int64
+	nanos int64
+}
+
+// New builds an engine with the given number of worker slots. A
+// non-positive count defaults to runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
+		stages:  make(map[string]*stageStat),
+	}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Do returns the memoized result for key, computing it at most once across
+// concurrent callers. The first caller (the leader) runs task on a worker
+// slot; callers that arrive while the computation is in flight block until
+// it finishes and share its result. Successful results are cached forever;
+// a failed computation is evicted so a later call can retry (its error is
+// still delivered to every caller that joined the failed flight).
+//
+// Cancelling ctx unblocks the calling goroutine promptly: a waiter stops
+// waiting, and a leader that has not yet acquired a worker slot gives up
+// and evicts the flight.
+func (e *Engine) Do(ctx context.Context, key string, task Task) (any, error) {
+	e.submitted.Add(1)
+	if err := ctx.Err(); err != nil {
+		e.canceled.Add(1)
+		return nil, err
+	}
+
+	e.mu.Lock()
+	if f, ok := e.flights[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-f.done:
+			e.cacheHits.Add(1)
+			return f.val, f.err
+		default:
+		}
+		e.flightWaits.Add(1)
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			e.canceled.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	e.mu.Unlock()
+
+	// Leader: acquire a worker slot, respecting cancellation.
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.abort(key, f, ctx.Err())
+		e.canceled.Add(1)
+		return nil, f.err
+	}
+	if err := ctx.Err(); err != nil {
+		<-e.sem
+		e.abort(key, f, err)
+		e.canceled.Add(1)
+		return nil, f.err
+	}
+
+	t0 := time.Now()
+	val, err := task(ctx)
+	e.busyNanos.Add(int64(time.Since(t0)))
+	<-e.sem
+
+	e.computed.Add(1)
+	if err != nil {
+		e.abort(key, f, err)
+		return nil, err
+	}
+	f.val = val
+	close(f.done)
+	return val, nil
+}
+
+// abort finalizes a failed flight: the error reaches every waiter, and the
+// key is evicted so a future Do retries the computation.
+func (e *Engine) abort(key string, f *flight, err error) {
+	e.mu.Lock()
+	if e.flights[key] == f {
+		delete(e.flights, key)
+	}
+	e.mu.Unlock()
+	f.err = err
+	close(f.done)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) concurrently and waits for all
+// of them. The first error cancels the context handed to the remaining
+// calls and is returned. Map itself does not consume worker slots — tasks
+// that should be bounded must go through Do — so it is safe to Map over a
+// grid whose cells each call Do without risking slot deadlock.
+func (e *Engine) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		once  sync.Once
+		first error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := fn(ctx, i); err != nil {
+				once.Do(func() {
+					first = err
+					cancel()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	return first
+}
+
+// RecordStage accumulates wall time attributed to a named pipeline stage
+// (prepare, profile, schedule, simulate, ...). Safe for concurrent use.
+func (e *Engine) RecordStage(name string, d time.Duration) {
+	e.stageMu.Lock()
+	st := e.stages[name]
+	if st == nil {
+		st = &stageStat{}
+		e.stages[name] = st
+	}
+	st.count++
+	st.nanos += int64(d)
+	e.stageMu.Unlock()
+}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	e := New(2)
+	var calls atomic.Int64
+	task := func(ctx context.Context) (any, error) {
+		calls.Add(1)
+		return 42, nil
+	}
+	for i := 0; i < 5; i++ {
+		v, err := e.Do(context.Background(), "k", task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("got %v", v)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("task ran %d times, want 1", calls.Load())
+	}
+	m := e.Metrics()
+	if m.Computed != 1 || m.CacheHits != 4 || m.Submitted != 5 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	e := New(4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	task := func(ctx context.Context) (any, error) {
+		calls.Add(1)
+		<-release
+		return "v", nil
+	}
+	var wg sync.WaitGroup
+	results := make([]any, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := e.Do(context.Background(), "same", task)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach the flight before releasing the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("task ran %d times, want 1", calls.Load())
+	}
+	for i, v := range results {
+		if v != "v" {
+			t.Errorf("result[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 2
+	e := New(workers)
+	var cur, max atomic.Int64
+	task := func(ctx context.Context) (any, error) {
+		n := cur.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return nil, nil
+	}
+	err := e.Map(context.Background(), 10, func(ctx context.Context, i int) error {
+		_, err := e.Do(ctx, fmt.Sprintf("k%d", i), task)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Errorf("observed %d concurrent tasks, pool is %d", got, workers)
+	}
+}
+
+func TestDoCancellation(t *testing.T) {
+	e := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Do(ctx, "k", func(ctx context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled Do = %v, want context.Canceled", err)
+	}
+
+	// A waiter joining a slow flight must unblock when its ctx dies.
+	release := make(chan struct{})
+	go e.Do(context.Background(), "slow", func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	time.Sleep(10 * time.Millisecond)
+	wctx, wcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer wcancel()
+	_, err = e.Do(wctx, "slow", func(ctx context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("waiter = %v, want context.DeadlineExceeded", err)
+	}
+	close(release)
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	e := New(2)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	task := func(ctx context.Context) (any, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, err := e.Do(context.Background(), "k", task); !errors.Is(err, boom) {
+		t.Fatalf("first call = %v, want boom", err)
+	}
+	v, err := e.Do(context.Background(), "k", task)
+	if err != nil || v != "ok" {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("task ran %d times, want 2", calls.Load())
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	e := New(4)
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := e.Map(context.Background(), 50, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		if ctx.Err() != nil {
+			after.Add(1)
+			return ctx.Err()
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Map = %v, want boom", err)
+	}
+}
+
+func TestStageTimes(t *testing.T) {
+	e := New(1)
+	e.RecordStage("schedule", 3*time.Millisecond)
+	e.RecordStage("schedule", 2*time.Millisecond)
+	e.RecordStage("simulate", time.Millisecond)
+	m := e.Metrics()
+	if len(m.Stages) != 2 {
+		t.Fatalf("stages = %+v", m.Stages)
+	}
+	if m.Stages[0].Stage != "schedule" || m.Stages[0].Count != 2 || m.Stages[0].Total != 5*time.Millisecond {
+		t.Errorf("schedule stage = %+v", m.Stages[0])
+	}
+	if s := m.String(); s == "" {
+		t.Error("empty metrics string")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if e := New(0); e.Workers() < 1 {
+		t.Errorf("default pool size %d", e.Workers())
+	}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageTime is the accumulated wall time of one pipeline stage across all
+// tasks the engine ran.
+type StageTime struct {
+	Stage string
+	Count int64
+	Total time.Duration
+}
+
+// Metrics is a point-in-time snapshot of an engine's counters.
+type Metrics struct {
+	// Workers is the pool size.
+	Workers int
+	// Submitted counts Do calls.
+	Submitted int64
+	// Computed counts tasks that actually executed (cache misses).
+	Computed int64
+	// CacheHits counts Do calls served from a completed memoized result.
+	CacheHits int64
+	// FlightWaits counts Do calls that joined an in-flight computation
+	// instead of starting their own (single-flight deduplication).
+	FlightWaits int64
+	// Canceled counts Do calls that returned early on context cancellation.
+	Canceled int64
+	// Busy is the summed wall time worker slots spent executing tasks.
+	Busy time.Duration
+	// Wall is the elapsed time since the engine was created.
+	Wall time.Duration
+	// Stages breaks Busy down by pipeline stage, sorted by stage name.
+	Stages []StageTime
+}
+
+// Metrics snapshots the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		Workers:     e.workers,
+		Submitted:   e.submitted.Load(),
+		Computed:    e.computed.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		FlightWaits: e.flightWaits.Load(),
+		Canceled:    e.canceled.Load(),
+		Busy:        time.Duration(e.busyNanos.Load()),
+		Wall:        time.Since(e.start),
+	}
+	e.stageMu.Lock()
+	for name, st := range e.stages {
+		m.Stages = append(m.Stages, StageTime{Stage: name, Count: st.count, Total: time.Duration(st.nanos)})
+	}
+	e.stageMu.Unlock()
+	sort.Slice(m.Stages, func(i, j int) bool { return m.Stages[i].Stage < m.Stages[j].Stage })
+	return m
+}
+
+// Utilization is the fraction of total worker capacity (wall time × pool
+// size) spent executing tasks, in [0, 1].
+func (m Metrics) Utilization() float64 {
+	cap := float64(m.Wall) * float64(m.Workers)
+	if cap <= 0 {
+		return 0
+	}
+	u := float64(m.Busy) / cap
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// String renders a compact human-readable summary.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d workers, %d submitted = %d computed + %d cache hits + %d flight waits + %d canceled\n",
+		m.Workers, m.Submitted, m.Computed, m.CacheHits, m.FlightWaits, m.Canceled)
+	fmt.Fprintf(&b, "engine: wall %v, busy %v, utilization %.0f%%\n",
+		m.Wall.Round(time.Millisecond), m.Busy.Round(time.Millisecond), 100*m.Utilization())
+	for _, st := range m.Stages {
+		fmt.Fprintf(&b, "engine: stage %-10s %6d runs  %v\n", st.Stage, st.Count, st.Total.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sched"
+)
+
+// Sentinel errors re-exposed where experiment callers look for them.
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside the suite.
+	ErrUnknownBenchmark = mediabench.ErrUnknownBenchmark
+	// ErrInfeasibleSchedule reports that a loop does not fit within the
+	// scheduler's II budget.
+	ErrInfeasibleSchedule = sched.ErrInfeasible
+)
+
+// PipelineError locates a failure inside the experiment grid: which
+// benchmark, loop and variant were being run and which pipeline stage
+// (prepare, profile, schedule, simulate) failed. It wraps the underlying
+// error, so errors.Is/errors.As see through it.
+type PipelineError struct {
+	Bench   string // benchmark name; empty for standalone loop runs
+	Loop    string // loop name
+	Variant Variant
+	Stage   string // "prepare", "profile", "schedule" or "simulate"
+	Err     error
+}
+
+func (e *PipelineError) Error() string {
+	where := e.Loop
+	if e.Bench != "" {
+		where = e.Bench + "/" + e.Loop
+	}
+	return fmt.Sprintf("experiments: %s %s: stage %s: %v", where, e.Variant, e.Stage, e.Err)
+}
+
+func (e *PipelineError) Unwrap() error { return e.Err }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -88,8 +89,11 @@ func TestFigure6SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		t.Skip("whole-grid regeneration is too slow under -race; engine concurrency is covered by parallel_test.go")
+	}
 	s := quickSuite(t, arch.Default())
-	out, err := Figure6(s)
+	out, err := Figure6(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +106,11 @@ func TestFigure7And9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		t.Skip("whole-grid regeneration is too slow under -race; engine concurrency is covered by parallel_test.go")
+	}
 	s := quickSuite(t, arch.Default())
-	out, err := Figure7(s)
+	out, err := Figure7(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +119,11 @@ func TestFigure7And9SmallRun(t *testing.T) {
 			t.Errorf("Figure 7 missing %q", want)
 		}
 	}
-	if _, err := Figure9(s); err == nil {
+	if _, err := Figure9(context.Background(), s); err == nil {
 		t.Error("Figure 9 must reject a suite without Attraction Buffers")
 	}
 	ab := quickSuite(t, arch.Default().WithAttractionBuffers(16))
-	if _, err := Figure9(ab); err != nil {
+	if _, err := Figure9(context.Background(), ab); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -125,8 +132,11 @@ func TestTable4SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		t.Skip("whole-grid regeneration is too slow under -race; engine concurrency is covered by parallel_test.go")
+	}
 	s := quickSuite(t, arch.Default())
-	out, err := Table4(s)
+	out, err := Table4(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,15 +158,15 @@ func TestRunHybridPicksFaster(t *testing.T) {
 	}
 	cfg := arch.Default().WithInterleave(b.Interleave)
 	opts := sim.Options{MaxIterations: 150, MaxEntries: 1}
-	hy, err := RunHybrid(b.Loops[0], cfg, sched.PrefClus, opts)
+	hy, err := RunHybrid(context.Background(), b.Loops[0], cfg, sched.PrefClus, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mdc, err := RunLoop(b.Loops[0], cfg, MDCPrefClus, opts)
+	mdc, err := RunLoop(context.Background(), b.Loops[0], cfg, MDCPrefClus, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dt, err := RunLoop(b.Loops[0], cfg, DDGTPrefClus, opts)
+	dt, err := RunLoop(context.Background(), b.Loops[0], cfg, DDGTPrefClus, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,9 +23,15 @@ var classGlyphs = map[sim.Class]rune{
 // Figure6 reproduces Figure 6: classification of memory accesses under the
 // PrefClus heuristic for (i) no memory dependence restrictions, (ii) MDC,
 // (iii) DDGT, per benchmark plus the arithmetic mean.
-func Figure6(s *Suite) (string, error) {
+func Figure6(ctx context.Context, s *Suite) (string, error) {
 	variants := []Variant{FreePrefClus, MDCPrefClus, DDGTPrefClus}
 	labels := []string{"free", "MDC", "DDGT"}
+
+	// Fan the whole grid out across the engine, then render serially from
+	// the cache so the output is byte-identical to a serial run.
+	if err := s.Warm(ctx, variants...); err != nil {
+		return "", err
+	}
 
 	var b strings.Builder
 	b.WriteString("Figure 6. Classification of memory accesses (PrefClus heuristic).\n")
@@ -38,7 +45,7 @@ func Figure6(s *Suite) (string, error) {
 
 	for _, bench := range s.Benches {
 		for vi, v := range variants {
-			c, err := s.Cell(bench.Name, v)
+			c, err := s.CellCtx(ctx, bench.Name, v)
 			if err != nil {
 				return "", err
 			}
@@ -81,9 +88,13 @@ func Figure6(s *Suite) (string, error) {
 // config has Attraction Buffers): cycle counts of MDC/DDGT × PrefClus/
 // MinComs normalized to the optimistic MinComs baseline, split into
 // compute ('#') and stall ('.') time.
-func executionTimeFigure(s *Suite, title string) (string, error) {
+func executionTimeFigure(ctx context.Context, s *Suite, title string) (string, error) {
 	variants := []Variant{MDCPrefClus, MDCMinComs, DDGTPrefClus, DDGTMinComs}
 	labels := []string{"MDC(PrefClus)", "MDC(MinComs)", "DDGT(PrefClus)", "DDGT(MinComs)"}
+
+	if err := s.Warm(ctx, append([]Variant{FreeMinComs}, variants...)...); err != nil {
+		return "", err
+	}
 
 	var b strings.Builder
 	b.WriteString(title)
@@ -97,13 +108,13 @@ func executionTimeFigure(s *Suite, title string) (string, error) {
 	}
 
 	for _, bench := range s.Benches {
-		base, err := s.Cell(bench.Name, FreeMinComs)
+		base, err := s.CellCtx(ctx, bench.Name, FreeMinComs)
 		if err != nil {
 			return "", err
 		}
 		bc := float64(base.Total.Cycles())
 		for vi, v := range variants {
-			c, err := s.Cell(bench.Name, v)
+			c, err := s.CellCtx(ctx, bench.Name, v)
 			if err != nil {
 				return "", err
 			}
@@ -144,18 +155,18 @@ func executionTimeFigure(s *Suite, title string) (string, error) {
 }
 
 // Figure7 reproduces Figure 7: execution time under the Table 2 config.
-func Figure7(s *Suite) (string, error) {
-	return executionTimeFigure(s,
+func Figure7(ctx context.Context, s *Suite) (string, error) {
+	return executionTimeFigure(ctx, s,
 		"Figure 7. Execution time results for the different solutions and heuristics.\n")
 }
 
 // Figure9 reproduces Figure 9: execution time with 16-entry 2-way
 // Attraction Buffers. The suite must be built over an AB configuration.
-func Figure9(s *Suite) (string, error) {
+func Figure9(ctx context.Context, s *Suite) (string, error) {
 	if s.Base.ABEntries == 0 {
 		return "", fmt.Errorf("experiments: Figure 9 requires a suite with Attraction Buffers")
 	}
-	return executionTimeFigure(s,
+	return executionTimeFigure(ctx, s,
 		"Figure 9. Execution time with 16-entry 2-way set-associative Attraction Buffers.\n")
 }
 
@@ -163,7 +174,7 @@ func Figure9(s *Suite) (string, error) {
 // buses, two 4-cycle register buses) and NOBAL+REG (two 4-cycle memory
 // buses, 4 register buses), reporting the speedup of DDGT(PrefClus) over
 // the best MDC variant per benchmark.
-func Nobal(simOpts sim.Options) (string, error) {
+func Nobal(ctx context.Context, simOpts sim.Options, opts ...Option) (string, error) {
 	var b strings.Builder
 	b.WriteString("Unbalanced bus configurations (§4.2).\n\n")
 	for _, conf := range []struct {
@@ -173,19 +184,21 @@ func Nobal(simOpts sim.Options) (string, error) {
 		{"NOBAL+MEM", arch.NobalMem()},
 		{"NOBAL+REG", arch.NobalReg()},
 	} {
-		s := NewSuite(conf.cfg)
-		s.SimOptions = simOpts
+		s := NewSuite(conf.cfg, append([]Option{WithSimOptions(simOpts)}, opts...)...)
+		if err := s.Warm(ctx, MDCPrefClus, MDCMinComs, DDGTPrefClus); err != nil {
+			return "", err
+		}
 		t := textplot.NewTable("benchmark", "MDC(Pref)", "MDC(Min)", "DDGT(Pref)", "DDGT(Pref) vs best MDC")
 		for _, bench := range s.Benches {
-			mp, err := s.Cell(bench.Name, MDCPrefClus)
+			mp, err := s.CellCtx(ctx, bench.Name, MDCPrefClus)
 			if err != nil {
 				return "", err
 			}
-			mm, err := s.Cell(bench.Name, MDCMinComs)
+			mm, err := s.CellCtx(ctx, bench.Name, MDCMinComs)
 			if err != nil {
 				return "", err
 			}
-			dp, err := s.Cell(bench.Name, DDGTPrefClus)
+			dp, err := s.CellCtx(ctx, bench.Name, DDGTPrefClus)
 			if err != nil {
 				return "", err
 			}
@@ -205,7 +218,7 @@ func Nobal(simOpts sim.Options) (string, error) {
 // EpicLoop reproduces the §5.4 case study: the epicdec loop whose 76-op
 // memory dependent chain overflows a single Attraction Buffer under MDC
 // while DDGT spreads its accesses over all four buffers.
-func EpicLoop(simOpts sim.Options) (string, error) {
+func EpicLoop(ctx context.Context, simOpts sim.Options) (string, error) {
 	bench, err := mediabench.Get("epicdec")
 	if err != nil {
 		return "", err
@@ -220,7 +233,7 @@ func EpicLoop(simOpts sim.Options) (string, error) {
 			cfg = cfg.WithAttractionBuffers(ab)
 		}
 		for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
-			run, err := RunLoop(loop, cfg, v, simOpts)
+			run, err := RunLoop(ctx, loop, cfg, v, simOpts)
 			if err != nil {
 				return "", err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,21 +15,23 @@ import (
 // The paper observes that loops tend to have 0 or 1 memory dependent
 // chains, so a per-loop choice should capture most of a finer-grained
 // hybrid's benefit.
-func Hybrid(simOpts sim.Options) (string, error) {
+func Hybrid(ctx context.Context, simOpts sim.Options, opts ...Option) (string, error) {
 	var b strings.Builder
 	b.WriteString("Per-loop hybrid MDC/DDGT (§6 further work).\n\n")
 
-	s := NewSuite(arch.Default())
-	s.SimOptions = simOpts
+	s := NewSuite(arch.Default(), append([]Option{WithSimOptions(simOpts)}, opts...)...)
+	if err := s.Warm(ctx, MDCPrefClus, DDGTPrefClus); err != nil {
+		return "", err
+	}
 
 	t := textplot.NewTable("benchmark", "MDC", "DDGT", "hybrid", "vs MDC", "picked DDGT for")
 	var mdcTotal, ddgtTotal, hyTotal int64
 	for _, bench := range s.Benches {
-		mdc, err := s.Cell(bench.Name, MDCPrefClus)
+		mdc, err := s.CellCtx(ctx, bench.Name, MDCPrefClus)
 		if err != nil {
 			return "", err
 		}
-		dt, err := s.Cell(bench.Name, DDGTPrefClus)
+		dt, err := s.CellCtx(ctx, bench.Name, DDGTPrefClus)
 		if err != nil {
 			return "", err
 		}

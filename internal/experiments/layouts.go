@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"vliwcache/internal/arch"
@@ -15,19 +16,30 @@ import (
 // must keep every cluster's copy consistent — by broadcasting updates over
 // the memory buses (baseline/MDC) or, under DDGT, by the per-cluster store
 // instances updating their local copies directly.
-func Layouts(simOpts sim.Options) (string, error) {
+func Layouts(ctx context.Context, simOpts sim.Options, opts ...Option) (string, error) {
 	var b strings.Builder
 	b.WriteString("Cache layout study (§2.3): word-interleaved vs replicated.\n\n")
 
+	simOpts.CheckCoherence = true
 	benches := []string{"epicdec", "gsmdec", "pgpdec", "rasta"}
+
+	// One suite per layout so every (benchmark, variant, layout) cell fans
+	// out across the engine before the serial render below.
+	suites := make(map[arch.Layout]*Suite)
+	for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
+		s := NewSuite(arch.Default().WithLayout(layout), append([]Option{WithSimOptions(simOpts)}, opts...)...)
+		if err := s.WarmBenches(ctx, benches, MDCPrefClus, DDGTPrefClus); err != nil {
+			return "", err
+		}
+		suites[layout] = s
+	}
+
 	t := textplot.NewTable("benchmark", "layout", "variant", "cycles", "local hit", "bus transfers", "violations")
 	for _, name := range benches {
 		for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
-			s := NewSuite(arch.Default().WithLayout(layout))
-			s.SimOptions = simOpts
-			s.SimOptions.CheckCoherence = true
+			s := suites[layout]
 			for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
-				c, err := s.Cell(name, v)
+				c, err := s.CellCtx(ctx, name, v)
 				if err != nil {
 					return "", err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,10 @@ func TestLayoutsExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out, err := Layouts(sim.Options{MaxIterations: 120, MaxEntries: 1})
+	if raceEnabled {
+		t.Skip("whole-grid regeneration is too slow under -race; engine concurrency is covered by parallel_test.go")
+	}
+	out, err := Layouts(context.Background(), sim.Options{MaxIterations: 120, MaxEntries: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +40,10 @@ func TestHybridExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out, err := Hybrid(sim.Options{MaxIterations: 120, MaxEntries: 1})
+	if raceEnabled {
+		t.Skip("whole-grid regeneration is too slow under -race; engine concurrency is covered by parallel_test.go")
+	}
+	out, err := Hybrid(context.Background(), sim.Options{MaxIterations: 120, MaxEntries: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

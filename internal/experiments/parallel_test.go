@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sim"
+)
+
+var parallelSimOpts = sim.Options{MaxIterations: 60, MaxEntries: 1}
+
+// TestConcurrentCellRaceFree hammers Suite.Cell from many goroutines and
+// asserts the results are identical to a serial run: same pointers within
+// the suite (single-flight: one computation per cell) and same numbers as
+// an independently computed serial reference.
+func TestConcurrentCellRaceFree(t *testing.T) {
+	benches := []string{"epicdec", "gsmenc", "pgpdec"}
+	variants := []Variant{FreePrefClus, MDCPrefClus, DDGTPrefClus}
+
+	serial := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts), WithParallelism(1))
+	ref := make(map[string]*Cell)
+	for _, b := range benches {
+		for _, v := range variants {
+			c, err := serial.CellCtx(context.Background(), b, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[b+"/"+v.String()] = c
+		}
+	}
+
+	par := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts), WithParallelism(4))
+	const hammers = 8
+	var wg sync.WaitGroup
+	got := make([]map[string]*Cell, hammers)
+	errs := make([]error, hammers)
+	for g := 0; g < hammers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make(map[string]*Cell)
+			for _, b := range benches {
+				for _, v := range variants {
+					c, err := par.CellCtx(context.Background(), b, v)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					got[g][b+"/"+v.String()] = c
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for key, want := range ref {
+		first := got[0][key]
+		for g := 1; g < hammers; g++ {
+			if got[g][key] != first {
+				t.Errorf("%s: goroutines observed different cell pointers (cell computed twice)", key)
+			}
+		}
+		if first.Total != want.Total {
+			t.Errorf("%s: parallel total %+v != serial %+v", key, first.Total, want.Total)
+		}
+		if len(first.Loops) != len(want.Loops) {
+			t.Fatalf("%s: loop count %d != %d", key, len(first.Loops), len(want.Loops))
+		}
+		for i := range want.Loops {
+			p, s := first.Loops[i], want.Loops[i]
+			if p.Loop != s.Loop || p.II != s.II || p.Comms != s.Comms || *p.Stats != *s.Stats {
+				t.Errorf("%s loop %s: parallel run differs from serial", key, s.Loop)
+			}
+		}
+	}
+	m := par.Metrics()
+	want := int64(len(benches) * len(variants))
+	if m.Computed != want {
+		t.Errorf("parallel suite computed %d cells, want %d (single-flight broken)", m.Computed, want)
+	}
+	if m.CacheHits+m.FlightWaits != int64(hammers)*want-want {
+		t.Errorf("metrics don't add up: %+v", m)
+	}
+}
+
+// TestCellCancellation asserts that a canceled context surfaces promptly
+// as context.Canceled, both before a cell starts and mid-grid.
+func TestCellCancellation(t *testing.T) {
+	s := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.CellCtx(ctx, "gsmenc", MDCPrefClus); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled CellCtx = %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-grid: Warm over the full grid must return context.Canceled
+	// without computing every cell.
+	s2 := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts), WithParallelism(2))
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel2()
+	}()
+	err := s2.Warm(ctx2, FreeMinComs, FreePrefClus, MDCPrefClus, MDCMinComs, DDGTPrefClus, DDGTMinComs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-grid Warm = %v, want context.Canceled", err)
+	}
+	total := int64(len(s2.Benches) * 6)
+	if got := s2.Metrics().Computed; got >= total {
+		t.Errorf("cancellation computed all %d cells anyway", got)
+	}
+}
+
+// TestParallelFigureDeterminism asserts the parallel engine renders
+// byte-identical figures to the serial path.
+func TestParallelFigureDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("whole-grid regeneration is too slow under -race; engine concurrency is covered by parallel_test.go")
+	}
+	ctx := context.Background()
+	serial := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts), WithParallelism(1))
+	parallel := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts), WithParallelism(4))
+
+	wantFig, err := Figure7(ctx, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFig, err := Figure7(ctx, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFig != gotFig {
+		t.Errorf("parallel Figure 7 differs from serial:\n--- serial\n%s\n--- parallel\n%s", wantFig, gotFig)
+	}
+
+	wantTab, err := Table4(ctx, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTab, err := Table4(ctx, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantTab != gotTab {
+		t.Errorf("parallel Table 4 differs from serial")
+	}
+}
+
+func TestUnknownBenchmarkTyped(t *testing.T) {
+	s := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts))
+	_, err := s.CellCtx(context.Background(), "nosuch", MDCPrefClus)
+	if !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("unknown benchmark error %v must wrap ErrUnknownBenchmark", err)
+	}
+	if _, err := mediabench.Get("nosuch"); !errors.Is(err, mediabench.ErrUnknownBenchmark) {
+		t.Errorf("mediabench.Get error %v must wrap ErrUnknownBenchmark", err)
+	}
+}
+
+// TestPipelineErrorLocatesStage drives a benchmark with FP loops on a
+// machine without FP units and asserts the failure is a *PipelineError
+// naming the benchmark, loop, variant and stage.
+func TestPipelineErrorLocatesStage(t *testing.T) {
+	cfg := arch.Default()
+	cfg.FPUnits = 0
+	s := NewSuite(cfg, WithSimOptions(parallelSimOpts))
+	_, err := s.CellCtx(context.Background(), "rasta", MDCPrefClus)
+	if err == nil {
+		t.Fatal("scheduling FP loops without FP units must fail")
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PipelineError", err)
+	}
+	if pe.Bench != "rasta" || pe.Stage != "schedule" || pe.Variant != MDCPrefClus || pe.Loop == "" {
+		t.Errorf("PipelineError fields = %+v", pe)
+	}
+	if pe.Error() == "" || pe.Unwrap() == nil {
+		t.Error("PipelineError must render and unwrap")
+	}
+}
+
+// TestTracerObservesStages installs a tracer and checks every stage of a
+// cell computation is reported.
+func TestTracerObservesStages(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	s := NewSuite(arch.Default(),
+		WithSimOptions(parallelSimOpts),
+		WithTracer(func(ev TraceEvent) {
+			mu.Lock()
+			seen[ev.Stage]++
+			mu.Unlock()
+		}))
+	if _, err := s.CellCtx(context.Background(), "gsmenc", MDCPrefClus); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"prepare", "profile", "schedule", "simulate", "cell"} {
+		if seen[stage] == 0 {
+			t.Errorf("tracer never saw stage %q (saw %v)", stage, seen)
+		}
+	}
+	m := s.Metrics()
+	if len(m.Stages) == 0 || m.Computed != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}

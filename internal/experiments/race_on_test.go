@@ -1,0 +1,14 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in.
+//
+// The full-grid regeneration tests skip themselves under -race: the
+// detector's ~10x slowdown on the cycle-level simulator pushes a whole
+// figure's bench×variant grid past any reasonable package timeout on a
+// small machine, and those tests assert numerical output, not
+// concurrency. Race coverage of the engine comes from the dedicated
+// concurrent-Suite, cancellation and determinism tests in
+// parallel_test.go, which use tightly capped simulations and always run.
+const raceEnabled = true

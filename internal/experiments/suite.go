@@ -4,14 +4,27 @@
 // (Table 3), DDGT analysis (Table 4), the unbalanced-bus configurations,
 // the Attraction Buffer runs (Figure 9, §5.4) and code specialization
 // (Table 5).
+//
+// The evaluation is a benchmark × variant × loop grid of independent
+// pipeline runs. A Suite submits each (benchmark, variant) cell through a
+// shared engine.Engine: cells fan out across a bounded worker pool, are
+// memoized with single-flight deduplication (two callers asking for the
+// same cell compute it once), and honor context cancellation at pipeline
+// stage boundaries. Figures and tables first warm the grid in parallel and
+// then render serially in canonical cell order, so their output is
+// byte-identical to a serial run.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"vliwcache/internal/arch"
 	"vliwcache/internal/core"
 	"vliwcache/internal/ddg"
+	"vliwcache/internal/engine"
 	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/profiler"
@@ -62,27 +75,86 @@ func (c *Cell) CommOpsPerIter() float64 {
 	return float64(c.Total.CommOps) / float64(c.Total.Iterations)
 }
 
+// TraceEvent reports the completion of one pipeline stage (or a whole
+// cell) to a Suite tracer. Tracers run on worker goroutines and must be
+// safe for concurrent use.
+type TraceEvent struct {
+	Bench   string // benchmark name; empty for standalone loop runs
+	Loop    string // loop name; empty for cell-level events
+	Variant Variant
+	Stage   string // "prepare", "profile", "schedule", "simulate" or "cell"
+	Elapsed time.Duration
+	Err     error
+}
+
 // Suite runs and caches benchmark × variant cells for one base
 // architecture configuration (the per-benchmark interleaving factor is
-// applied on top).
+// applied on top). Cells are computed through a bounded parallel engine
+// with single-flight memoization; a Suite is safe for concurrent use.
 type Suite struct {
 	Base    arch.Config
 	Benches []*mediabench.Benchmark
 
 	// SimOptions applies to every run (iteration caps for quick runs).
+	// Set it before the first Cell call; cells are cached per
+	// (benchmark, variant) and are not recomputed when it changes.
 	SimOptions sim.Options
 
-	cells map[string]*Cell
+	parallelism int
+	tracer      func(TraceEvent)
+
+	engOnce sync.Once
+	eng     *engine.Engine
+}
+
+// Option configures a Suite at construction time.
+type Option func(*Suite)
+
+// WithSimOptions sets the simulation options applied to every run.
+func WithSimOptions(o sim.Options) Option {
+	return func(s *Suite) { s.SimOptions = o }
+}
+
+// WithParallelism bounds the number of cells computed concurrently.
+// Non-positive values (and the default) use runtime.GOMAXPROCS(0).
+// WithParallelism(1) reproduces the serial execution order exactly.
+func WithParallelism(n int) Option {
+	return func(s *Suite) { s.parallelism = n }
+}
+
+// WithTracer installs a callback invoked after every pipeline stage and
+// cell completion. The tracer runs on worker goroutines and must be safe
+// for concurrent use.
+func WithTracer(fn func(TraceEvent)) Option {
+	return func(s *Suite) { s.tracer = fn }
 }
 
 // NewSuite builds a suite over the paper's thirteen figure benchmarks.
-func NewSuite(base arch.Config) *Suite {
-	return &Suite{
+func NewSuite(base arch.Config, opts ...Option) *Suite {
+	s := &Suite{
 		Base:    base,
 		Benches: mediabench.Figures(),
-		cells:   make(map[string]*Cell),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
+
+// engine returns the suite's executor, creating it on first use so that
+// hand-constructed suites and option-free NewSuite calls both work.
+func (s *Suite) engine() *engine.Engine {
+	s.engOnce.Do(func() {
+		if s.eng == nil {
+			s.eng = engine.New(s.parallelism)
+		}
+	})
+	return s.eng
+}
+
+// Metrics snapshots the suite engine's counters: cells computed versus
+// cache hits, worker utilization, and wall time per pipeline stage.
+func (s *Suite) Metrics() engine.Metrics { return s.engine().Metrics() }
 
 func (s *Suite) bench(name string) (*mediabench.Benchmark, error) {
 	for _, b := range s.Benches {
@@ -90,60 +162,158 @@ func (s *Suite) bench(name string) (*mediabench.Benchmark, error) {
 			return b, nil
 		}
 	}
-	return nil, fmt.Errorf("experiments: benchmark %q not in suite", name)
+	return nil, fmt.Errorf("experiments: %w %q: not in suite", mediabench.ErrUnknownBenchmark, name)
 }
 
 // Cell returns the (cached) result of one benchmark under one variant.
+//
+// Deprecated: use CellCtx, which threads a context through the pipeline.
 func (s *Suite) Cell(bench string, v Variant) (*Cell, error) {
+	return s.CellCtx(context.Background(), bench, v)
+}
+
+// CellCtx returns the result of one benchmark under one variant. Results
+// are memoized: concurrent callers asking for the same cell share one
+// computation, and later callers get the cached cell. ctx cancellation is
+// honored at pipeline stage boundaries.
+func (s *Suite) CellCtx(ctx context.Context, bench string, v Variant) (*Cell, error) {
 	key := bench + "/" + v.String()
-	if c, ok := s.cells[key]; ok {
-		return c, nil
+	val, err := s.engine().Do(ctx, key, func(ctx context.Context) (any, error) {
+		return s.computeCell(ctx, bench, v)
+	})
+	if err != nil {
+		return nil, err
 	}
+	return val.(*Cell), nil
+}
+
+// computeCell runs every loop of one benchmark under one variant.
+func (s *Suite) computeCell(ctx context.Context, bench string, v Variant) (*Cell, error) {
 	b, err := s.bench(bench)
 	if err != nil {
 		return nil, err
 	}
 	cfg := s.Base.WithInterleave(b.Interleave)
 	c := &Cell{Bench: bench, Variant: v}
+	t0 := time.Now()
 	for _, loop := range b.Loops {
-		run, err := RunLoop(loop, cfg, v, s.SimOptions)
+		run, err := s.runLoop(ctx, loop, cfg, v, s.SimOptions, bench)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s %s: %w", bench, loop.Name, v, err)
+			return nil, err
 		}
 		c.Loops = append(c.Loops, *run)
 		c.Total.Add(run.Stats)
 	}
-	s.cells[key] = c
+	if s.tracer != nil {
+		s.tracer(TraceEvent{Bench: bench, Variant: v, Stage: "cell", Elapsed: time.Since(t0)})
+	}
 	return c, nil
 }
 
+// Warm computes every benchmark × variant cell of the grid concurrently
+// through the engine. After it returns, cell reads are cache hits, so a
+// figure or table can render serially in canonical order — byte-identical
+// to a serial run — while the computation itself used every worker. The
+// first error cancels the remaining cells and is returned.
+func (s *Suite) Warm(ctx context.Context, variants ...Variant) error {
+	benches := make([]string, len(s.Benches))
+	for i, b := range s.Benches {
+		benches[i] = b.Name
+	}
+	return s.WarmBenches(ctx, benches, variants...)
+}
+
+// WarmBenches is Warm restricted to a subset of the suite's benchmarks.
+func (s *Suite) WarmBenches(ctx context.Context, benches []string, variants ...Variant) error {
+	type cellID struct {
+		bench string
+		v     Variant
+	}
+	var grid []cellID
+	for _, b := range benches {
+		for _, v := range variants {
+			grid = append(grid, cellID{b, v})
+		}
+	}
+	return s.engine().Map(ctx, len(grid), func(ctx context.Context, i int) error {
+		_, err := s.CellCtx(ctx, grid[i].bench, grid[i].v)
+		return err
+	})
+}
+
 // RunLoop drives the full pipeline for one loop: profile, prepare under
-// the policy, modulo schedule, simulate.
-func RunLoop(loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
+// the policy, modulo schedule, simulate. ctx is checked at every stage
+// boundary; failures are reported as a *PipelineError naming the stage.
+func RunLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
+	s := &Suite{Base: cfg}
+	return s.runLoop(ctx, loop, cfg, v, opts, "")
+}
+
+// runLoop is RunLoop plus instrumentation: stage wall times go to the
+// suite engine and the tracer observes each stage.
+func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, bench string) (*LoopRun, error) {
+	fail := func(stage string, err error) (*LoopRun, error) {
+		return nil, &PipelineError{Bench: bench, Loop: loop.Name, Variant: v, Stage: stage, Err: err}
+	}
+	stageDone := func(stage string, t0 time.Time, err error) {
+		d := time.Since(t0)
+		// Cell computations always arrive through the engine, so s.eng is
+		// set; standalone RunLoop calls skip stage accounting.
+		if s.eng != nil {
+			s.eng.RecordStage(stage, d)
+		}
+		if s.tracer != nil {
+			s.tracer(TraceEvent{Bench: bench, Loop: loop.Name, Variant: v, Stage: stage, Elapsed: d, Err: err})
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
 	plan, err := core.Prepare(loop, v.Policy, cfg.NumClusters)
+	stageDone("prepare", t0, err)
 	if err != nil {
+		return fail("prepare", err)
+	}
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	prof := profiler.Run(loop, cfg)
-	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: v.Heuristic, Profile: prof})
-	if err != nil {
+	stageDone("profile", t0, nil)
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st, err := sim.Run(sc, opts)
+	t0 = time.Now()
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: v.Heuristic, Profile: prof})
+	stageDone("schedule", t0, err)
 	if err != nil {
+		return fail("schedule", err)
+	}
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	t0 = time.Now()
+	st, err := sim.Run(sc, opts)
+	stageDone("simulate", t0, err)
+	if err != nil {
+		return fail("simulate", err)
 	}
 	return &LoopRun{Loop: loop.Name, II: sc.II, Comms: sc.CommOps(), Stats: st}, nil
 }
 
 // RunHybrid implements the per-loop hybrid of §6 (further work): both MDC
 // and DDGT are scheduled and simulated and the faster one is kept per loop.
-func RunHybrid(loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
-	mdc, err := RunLoop(loop, cfg, Variant{core.PolicyMDC, h}, opts)
+func RunHybrid(ctx context.Context, loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
+	mdc, err := RunLoop(ctx, loop, cfg, Variant{core.PolicyMDC, h}, opts)
 	if err != nil {
 		return nil, err
 	}
-	dt, err := RunLoop(loop, cfg, Variant{core.PolicyDDGT, h}, opts)
+	dt, err := RunLoop(ctx, loop, cfg, Variant{core.PolicyDDGT, h}, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vliwcache/internal/arch"
@@ -56,18 +57,21 @@ func Table3() string {
 // Table4 reproduces Table 4: additional communication operations of DDGT
 // over MDC (PrefClus), and DDGT speedup on selected loops — loops with at
 // least a 10% MDC slowdown versus the optimistic baseline.
-func Table4(s *Suite) (string, error) {
+func Table4(ctx context.Context, s *Suite) (string, error) {
+	if err := s.Warm(ctx, MDCPrefClus, DDGTPrefClus, FreePrefClus); err != nil {
+		return "", err
+	}
 	t := textplot.NewTable("benchmark", "Δ com. ops", "speedup selected loops")
 	for _, b := range s.Benches {
-		mdc, err := s.Cell(b.Name, MDCPrefClus)
+		mdc, err := s.CellCtx(ctx, b.Name, MDCPrefClus)
 		if err != nil {
 			return "", err
 		}
-		dt, err := s.Cell(b.Name, DDGTPrefClus)
+		dt, err := s.CellCtx(ctx, b.Name, DDGTPrefClus)
 		if err != nil {
 			return "", err
 		}
-		free, err := s.Cell(b.Name, FreePrefClus)
+		free, err := s.CellCtx(ctx, b.Name, FreePrefClus)
 		if err != nil {
 			return "", err
 		}

@@ -1,6 +1,7 @@
 package mediabench
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -243,6 +244,11 @@ func Figures() []*Benchmark {
 	return bs
 }
 
+// ErrUnknownBenchmark reports a benchmark name outside the suite. Errors
+// returned by Get (and by experiment lookups built on it) wrap it, so
+// callers can test with errors.Is instead of string matching.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
+
 // Get generates one benchmark by name.
 func Get(name string) (*Benchmark, error) {
 	for i, d := range defs {
@@ -250,7 +256,7 @@ func Get(name string) (*Benchmark, error) {
 			return build(d, uint64(i)), nil
 		}
 	}
-	return nil, fmt.Errorf("mediabench: unknown benchmark %q (have %v)", name, Names())
+	return nil, fmt.Errorf("mediabench: %w %q (have %v)", ErrUnknownBenchmark, name, Names())
 }
 
 // Names lists the suite in table order.

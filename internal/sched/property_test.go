@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"testing"
 
 	"vliwcache/internal/arch"
@@ -123,6 +124,8 @@ func TestMaxIIRespected(t *testing.T) {
 		if MII(plan, cfg) > 1 {
 			t.Error("scheduler claimed success beyond MaxII")
 		}
+	} else if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible schedule error %v must wrap ErrInfeasible", err)
 	}
 }
 

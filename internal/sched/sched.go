@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,11 @@ import (
 	"vliwcache/internal/ir"
 	"vliwcache/internal/profiler"
 )
+
+// ErrInfeasible reports that no schedule fits within the II budget. Errors
+// returned by Run for an unschedulable loop wrap it, so callers can test
+// with errors.Is instead of string matching.
+var ErrInfeasible = errors.New("infeasible schedule")
 
 // Heuristic selects the cluster-assignment heuristic of §2.2.
 type Heuristic int
@@ -212,7 +218,7 @@ func Run(plan *core.Plan, opts Options) (*Schedule, error) {
 			return sc, nil
 		}
 	}
-	return nil, fmt.Errorf("sched: loop %q does not fit within MaxII=%d", plan.Loop.Name, opts.MaxII)
+	return nil, fmt.Errorf("sched: %w: loop %q does not fit within MaxII=%d", ErrInfeasible, plan.Loop.Name, opts.MaxII)
 }
 
 // MII returns the minimum initiation interval: the maximum of the resource
