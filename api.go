@@ -2,6 +2,7 @@ package vliwcache
 
 import (
 	"context"
+	"time"
 
 	"vliwcache/internal/arch"
 	"vliwcache/internal/core"
@@ -260,6 +261,13 @@ type (
 	// Metrics is a snapshot of the experiment engine's counters: cells
 	// computed vs cache hits, worker utilization, wall time per stage.
 	Metrics = engine.Metrics
+	// CellFailure records why one (benchmark, variant) cell could not be
+	// computed when a Suite runs degraded (WithDegraded); list them with
+	// Suite.Failures.
+	CellFailure = experiments.CellFailure
+	// PanicError is a recovered task panic (value + stack) surfaced as an
+	// error by the experiment engine instead of crashing the process.
+	PanicError = engine.PanicError
 )
 
 // Typed errors. Pipeline and suite failures wrap these sentinels (and
@@ -285,6 +293,9 @@ type settings struct {
 	sim         SimOptions
 	parallelism int
 	tracer      func(TraceEvent)
+	cellTimeout time.Duration
+	cellRetries int
+	degraded    bool
 }
 
 // Option configures the option-based API: Execute, ExecuteContext,
@@ -336,6 +347,28 @@ func WithTracer(fn func(TraceEvent)) Option {
 	return optionFunc(func(s *settings) { s.tracer = fn })
 }
 
+// WithCellTimeout bounds the wall time of each Suite cell. An expired
+// cell fails with context.DeadlineExceeded — fatally, or as an
+// n/a(timeout) annotation under WithDegraded.
+func WithCellTimeout(d time.Duration) Option {
+	return optionFunc(func(s *settings) { s.cellTimeout = d })
+}
+
+// WithCellRetries re-runs a failed cell up to n extra times when the
+// failure is transient.
+func WithCellRetries(n int) Option {
+	return optionFunc(func(s *settings) { s.cellRetries = n })
+}
+
+// WithDegraded turns on graceful degradation for a Suite: a failing cell
+// (pipeline error, panic, deadline) no longer aborts figure and table
+// rendering; it is recorded (Suite.Failures) and rendered as
+// n/a(reason), excluded from aggregate means. With zero failures the
+// output is byte-identical to normal mode.
+func WithDegraded() Option {
+	return optionFunc(func(s *settings) { s.degraded = true })
+}
+
 // ExecOptions configure the one-call pipeline.
 //
 // Deprecated: ExecOptions is the legacy struct-literal form; it remains a
@@ -372,14 +405,21 @@ type Result struct {
 }
 
 // NewSuite builds an experiment suite over the paper's figure benchmarks.
-// Useful options: WithSimOptions, WithParallelism, WithTracer.
+// Useful options: WithSimOptions, WithParallelism, WithTracer,
+// WithCellTimeout, WithDegraded.
 func NewSuite(cfg Config, opts ...Option) *Suite {
 	s := newSettings(opts)
-	return experiments.NewSuite(cfg,
+	sopts := []experiments.Option{
 		experiments.WithSimOptions(s.sim),
 		experiments.WithParallelism(s.parallelism),
 		experiments.WithTracer(s.tracer),
-	)
+		experiments.WithCellTimeout(s.cellTimeout),
+		experiments.WithCellRetries(s.cellRetries),
+	}
+	if s.degraded {
+		sopts = append(sopts, experiments.WithDegraded())
+	}
+	return experiments.NewSuite(cfg, sopts...)
 }
 
 // Execute runs the full pipeline on one loop: profile, prepare under the

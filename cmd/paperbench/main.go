@@ -14,7 +14,13 @@
 //	paperbench -experiment epicloop  # §5.4 case study
 //	paperbench -maxiters 500         # quick run (cap iterations per loop)
 //	paperbench -parallel 4           # bound the worker pool (1 = serial)
+//	paperbench -chaos -seed 7        # fault injection + coherence audit
+//	paperbench -cell-timeout 30s     # per-cell deadline (degraded mode)
 //	paperbench -v                    # engine metrics on stderr
+//
+// Exit codes: 0 every cell computed cleanly; 1 degraded (some cells failed
+// and were rendered as n/a, listed on stderr); 2 fatal (interrupted or a
+// non-degradable error).
 package main
 
 import (
@@ -23,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 
 	"vliwcache/internal/arch"
 	"vliwcache/internal/experiments"
+	"vliwcache/internal/fault"
 	"vliwcache/internal/sim"
 )
 
@@ -35,6 +43,9 @@ func main() {
 	experiment := flag.String("experiment", "", "named experiment: nobal, epicloop, layouts, hybrid")
 	maxIters := flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
 	parallel := flag.Int("parallel", 0, "worker pool size; 0 = one per core, 1 = serial")
+	chaos := flag.Bool("chaos", false, "inject seeded timing faults and audit coherence on every run")
+	seed := flag.Int64("seed", 1, "base seed for -chaos fault injection")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; expired cells render as n/a(timeout)")
 	verbose := flag.Bool("v", false, "print engine metrics (workers, cache hits, stage times) to stderr")
 	flag.Parse()
 
@@ -42,17 +53,46 @@ func main() {
 	defer stop()
 
 	opts := sim.Options{MaxIterations: *maxIters}
+	if *chaos {
+		opts.CheckCoherence = true
+		opts.NewFaults = fault.Seeded(*seed, fault.DefaultConfig())
+		fmt.Fprintf(os.Stderr, "paperbench: chaos mode, seed %d\n", *seed)
+	}
+
+	// Failures from every suite — including the ones Nobal, Layouts and
+	// Hybrid build internally — funnel through the shared hook.
+	var (
+		failMu   sync.Mutex
+		failures []*experiments.CellFailure
+	)
 	suiteOpts := []experiments.Option{
 		experiments.WithSimOptions(opts),
 		experiments.WithParallelism(*parallel),
 	}
+	if *chaos || *cellTimeout > 0 {
+		suiteOpts = append(suiteOpts,
+			experiments.WithDegraded(),
+			experiments.WithFailureHook(func(f *experiments.CellFailure) {
+				failMu.Lock()
+				failures = append(failures, f)
+				failMu.Unlock()
+			}))
+	}
+	if *cellTimeout > 0 {
+		suiteOpts = append(suiteOpts, experiments.WithCellTimeout(*cellTimeout))
+	}
 
 	all := *table == 0 && *figure == 0 && *experiment == ""
+	fatal := false
 	run := func(name string, f func() (string, error)) {
+		if fatal {
+			return
+		}
 		out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fatal = true
+			return
 		}
 		fmt.Println(out)
 	}
@@ -118,5 +158,33 @@ func main() {
 		for _, s := range suites {
 			fmt.Fprint(os.Stderr, s.Metrics().String())
 		}
+	}
+
+	failMu.Lock()
+	failed := failures
+	failMu.Unlock()
+	for _, f := range failed {
+		fmt.Fprintf(os.Stderr, "paperbench: cell %s/%s failed: %s: %v\n", f.Bench, f.Variant, f.Reason, f.Err)
+	}
+
+	switch {
+	case fatal || ctx.Err() != nil:
+		// Interrupted (or a non-degradable error): report how far the grid
+		// got before dying so a partial run is still interpretable.
+		var computed, cached, canceled int64
+		for _, s := range suites {
+			m := s.Metrics()
+			computed += m.Computed
+			cached += m.CacheHits
+			canceled += m.Canceled
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: aborted: %d cells computed, %d cache hits, %d canceled, %d failed\n",
+			computed, cached, canceled, len(failed))
+		stop()
+		os.Exit(2)
+	case len(failed) > 0:
+		fmt.Fprintf(os.Stderr, "paperbench: degraded: %d cells rendered as n/a\n", len(failed))
+		stop()
+		os.Exit(1)
 	}
 }

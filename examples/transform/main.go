@@ -33,14 +33,14 @@ func main() {
 		log.Fatal(err)
 	}
 	// The ambiguous dependences of Figure 3 (MA/MO/MF among n1..n4).
-	g.AddEdge(0, 2, vliwcache.MA, 0, true) // n1 -> n3
-	g.AddEdge(0, 3, vliwcache.MA, 0, true) // n1 -> n4 (redundant: RF n1->n4)
-	g.AddEdge(1, 2, vliwcache.MA, 0, true) // n2 -> n3
-	g.AddEdge(1, 3, vliwcache.MA, 0, true) // n2 -> n4
-	g.AddEdge(2, 3, vliwcache.MO, 0, true) // n3 -> n4
-	g.AddEdge(3, 2, vliwcache.MO, 1, true) // n4 -> n3 (loop-carried)
-	g.AddEdge(2, 0, vliwcache.MF, 1, true) // n3 -> n1
-	g.AddEdge(2, 1, vliwcache.MF, 1, true) // n3 -> n2
+	g.MustAddEdge(0, 2, vliwcache.MA, 0, true) // n1 -> n3
+	g.MustAddEdge(0, 3, vliwcache.MA, 0, true) // n1 -> n4 (redundant: RF n1->n4)
+	g.MustAddEdge(1, 2, vliwcache.MA, 0, true) // n2 -> n3
+	g.MustAddEdge(1, 3, vliwcache.MA, 0, true) // n2 -> n4
+	g.MustAddEdge(2, 3, vliwcache.MO, 0, true) // n3 -> n4
+	g.MustAddEdge(3, 2, vliwcache.MO, 1, true) // n4 -> n3 (loop-carried)
+	g.MustAddEdge(2, 0, vliwcache.MF, 1, true) // n3 -> n1
+	g.MustAddEdge(2, 1, vliwcache.MF, 1, true) // n3 -> n2
 
 	fmt.Println("== original DDG (Figure 3) ==")
 	fmt.Print(g)

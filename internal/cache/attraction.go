@@ -122,6 +122,21 @@ func (ab *AttractionBuffer) Write(sub arch.SubblockID, t int64) bool {
 	return false
 }
 
+// Invalidate drops the copy of a subblock if present, without writeback
+// accounting (a remote store made the copy — possibly still in flight —
+// stale, so it must not satisfy later accesses). It reports whether a copy
+// was dropped.
+func (ab *AttractionBuffer) Invalidate(sub arch.SubblockID) bool {
+	set := ab.set(sub)
+	for i := range set {
+		if set[i].valid && set[i].sub == sub {
+			set[i] = abLine{}
+			return true
+		}
+	}
+	return false
+}
+
 // Flush empties the buffer (loop boundary, §5.2/§5.3), counting dirty
 // entries that must update their home cluster.
 func (ab *AttractionBuffer) Flush() {

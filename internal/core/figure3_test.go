@@ -33,20 +33,20 @@ func figure3(t *testing.T) *ddg.Graph {
 	g := ddg.New(loop)
 	// Register flow, as in the figure: n4 is n1's only consumer, n5 is
 	// n2's only consumer.
-	g.AddEdge(0, 3, ddg.RF, 0, false) // n1 -> n4 (stored value)
-	g.AddEdge(1, 4, ddg.RF, 0, false) // n2 -> n5
+	g.MustAddEdge(0, 3, ddg.RF, 0, false) // n1 -> n4 (stored value)
+	g.MustAddEdge(1, 4, ddg.RF, 0, false) // n2 -> n5
 	// Memory flow (loop-carried: the stores feed next iteration's loads).
-	g.AddEdge(2, 0, ddg.MF, 1, true) // n3 -> n1
-	g.AddEdge(2, 1, ddg.MF, 1, true) // n3 -> n2
-	g.AddEdge(3, 1, ddg.MF, 1, true) // n4 -> n2
+	g.MustAddEdge(2, 0, ddg.MF, 1, true) // n3 -> n1
+	g.MustAddEdge(2, 1, ddg.MF, 1, true) // n3 -> n2
+	g.MustAddEdge(3, 1, ddg.MF, 1, true) // n4 -> n2
 	// Memory anti (the loads must read before the stores overwrite).
-	g.AddEdge(0, 2, ddg.MA, 0, true) // n1 -> n3: needs a fake consumer
-	g.AddEdge(0, 3, ddg.MA, 0, true) // n1 -> n4: redundant with RF n1->n4
-	g.AddEdge(1, 2, ddg.MA, 0, true) // n2 -> n3: SYNC n5 -> n3
-	g.AddEdge(1, 3, ddg.MA, 0, true) // n2 -> n4: SYNC n5 -> n4
+	g.MustAddEdge(0, 2, ddg.MA, 0, true) // n1 -> n3: needs a fake consumer
+	g.MustAddEdge(0, 3, ddg.MA, 0, true) // n1 -> n4: redundant with RF n1->n4
+	g.MustAddEdge(1, 2, ddg.MA, 0, true) // n2 -> n3: SYNC n5 -> n3
+	g.MustAddEdge(1, 3, ddg.MA, 0, true) // n2 -> n4: SYNC n5 -> n4
 	// Memory output.
-	g.AddEdge(2, 3, ddg.MO, 0, true) // n3 -> n4
-	g.AddEdge(3, 2, ddg.MO, 1, true) // n4 -> n3 (loop-carried)
+	g.MustAddEdge(2, 3, ddg.MO, 0, true) // n3 -> n4
+	g.MustAddEdge(3, 2, ddg.MO, 1, true) // n4 -> n3 (loop-carried)
 	return g
 }
 

@@ -108,15 +108,15 @@ func replicateStores(plan *Plan, numClusters int) {
 			// pairs with instance k — serialization between two stores (or
 			// a store and itself) happens inside each cluster.
 			for k := 1; k < numClusters; k++ {
-				tg.AddEdge(fromIDs[k], toIDs[k], e.Kind, e.Dist, e.Ambiguous)
+				tg.MustAddEdge(fromIDs[k], toIDs[k], e.Kind, e.Dist, e.Ambiguous)
 			}
 		case fromRep:
 			for k := 1; k < numClusters; k++ {
-				tg.AddEdge(fromIDs[k], e.To, e.Kind, e.Dist, e.Ambiguous)
+				tg.MustAddEdge(fromIDs[k], e.To, e.Kind, e.Dist, e.Ambiguous)
 			}
 		case toRep:
 			for k := 1; k < numClusters; k++ {
-				tg.AddEdge(e.From, toIDs[k], e.Kind, e.Dist, e.Ambiguous)
+				tg.MustAddEdge(e.From, toIDs[k], e.Kind, e.Dist, e.Ambiguous)
 			}
 		}
 	}
@@ -152,7 +152,7 @@ func synchronizeLoadsStores(plan *Plan) error {
 		if !ok {
 			cons = fakeConsumer(plan, l, fakeFor)
 		}
-		tg.AddEdge(cons, s, ddg.SYNC, d.Dist, false)
+		tg.MustAddEdge(cons, s, ddg.SYNC, d.Dist, false)
 		tg.RemoveEdge(d)
 		plan.RemovedMA++
 	}
@@ -238,7 +238,7 @@ func fakeConsumer(plan *Plan, l int, fakeFor map[int]int) int {
 	}
 	loop.Append(fc)
 	tg.Grow()
-	tg.AddEdge(l, fc.ID, ddg.RF, 0, false)
+	tg.MustAddEdge(l, fc.ID, ddg.RF, 0, false)
 	fakeFor[l] = fc.ID
 	plan.FakeConsumers = append(plan.FakeConsumers, fc.ID)
 	return fc.ID

@@ -1,6 +1,8 @@
 package ddg
 
 import (
+	"fmt"
+
 	"vliwcache/internal/ir"
 )
 
@@ -79,13 +81,16 @@ func (g *Graph) longest(ii int, lat LatencyFunc) ([]int, bool) {
 
 // RecMII returns the recurrence-constrained minimum initiation interval:
 // the smallest II for which no dependence cycle has positive constraint
-// weight. The result is at least 1.
-func (g *Graph) RecMII(lat LatencyFunc) int {
+// weight. The result is at least 1. A graph with a zero-distance positive
+// cycle admits no II at all; such malformed graphs (impossible from Build,
+// but constructible through AddEdge) are reported as an error instead of
+// diverging.
+func (g *Graph) RecMII(lat LatencyFunc) (int, error) {
 	lo, hi := 1, 2
 	for !g.FeasibleII(hi, lat) {
 		hi *= 2
 		if hi > 1<<20 {
-			panic("ddg: RecMII diverged (malformed graph with a zero-distance cycle?)")
+			return 0, fmt.Errorf("ddg: loop %q admits no initiation interval (zero-distance dependence cycle)", g.Loop.Name)
 		}
 	}
 	for lo < hi {
@@ -96,7 +101,17 @@ func (g *Graph) RecMII(lat LatencyFunc) int {
 			lo = mid + 1
 		}
 	}
-	return lo
+	return lo, nil
+}
+
+// MustRecMII is RecMII for graphs known to be well-formed (fixtures and
+// post-validation contexts); it panics on error.
+func (g *Graph) MustRecMII(lat LatencyFunc) int {
+	mii, err := g.RecMII(lat)
+	if err != nil {
+		panic(err)
+	}
+	return mii
 }
 
 // ASAP returns the as-soon-as-possible issue times at initiation interval

@@ -27,7 +27,7 @@ func chainLoop(t *testing.T, k int) *ir.Loop {
 func TestRecMIIChain(t *testing.T) {
 	for _, k := range []int{1, 2, 5, 17, 40} {
 		g := MustBuild(chainLoop(t, k))
-		if got := g.RecMII(DefaultLatency(1)); got != k {
+		if got := g.MustRecMII(DefaultLatency(1)); got != k {
 			t.Errorf("k=%d: RecMII = %d, want %d", k, got, k)
 		}
 	}
@@ -39,7 +39,7 @@ func TestRecMIIAcyclic(t *testing.T) {
 	w := b.Arith("", ir.KindMul, v)
 	b.Arith("", ir.KindAdd, w, v)
 	g := MustBuild(b.Loop())
-	if got := g.RecMII(DefaultLatency(1)); got != 1 {
+	if got := g.MustRecMII(DefaultLatency(1)); got != 1 {
 		t.Errorf("acyclic RecMII = %d, want 1", got)
 	}
 }
@@ -58,8 +58,8 @@ func TestRecMIIDistanceTwo(t *testing.T) {
 	l := b.Loop()
 	g := MustBuild(l)
 	// Manually add the back edge at distance 2.
-	g.AddEdge(9, 0, RF, 2, false)
-	if got := g.RecMII(DefaultLatency(1)); got != 5 {
+	g.MustAddEdge(9, 0, RF, 2, false)
+	if got := g.MustRecMII(DefaultLatency(1)); got != 5 {
 		t.Errorf("RecMII = %d, want 5", got)
 	}
 }
@@ -67,7 +67,7 @@ func TestRecMIIDistanceTwo(t *testing.T) {
 func TestASAPRespectsEdges(t *testing.T) {
 	g := MustBuild(chainLoop(t, 6))
 	lat := DefaultLatency(1)
-	ii := g.RecMII(lat)
+	ii := g.MustRecMII(lat)
 	asap, ok := g.ASAP(ii, lat)
 	if !ok {
 		t.Fatal("ASAP infeasible at RecMII")
@@ -128,7 +128,7 @@ func TestReachableZeroDist(t *testing.T) {
 	b.Arith("c", ir.KindAdd, w)
 	b.Arith("d", ir.KindAdd) // disconnected
 	g := MustBuild(b.Loop())
-	g.AddEdge(2, 3, RF, 1, false) // c -> d at distance 1 only
+	g.MustAddEdge(2, 3, RF, 1, false) // c -> d at distance 1 only
 
 	if !g.ReachableZeroDist(0, 2) {
 		t.Error("a must reach c at distance 0")
@@ -150,7 +150,7 @@ func TestGraphEditing(t *testing.T) {
 	b.Arith("b", ir.KindAdd, v)
 	l := b.Loop()
 	g := New(l)
-	e := g.AddEdge(0, 1, RF, 0, false)
+	e := g.MustAddEdge(0, 1, RF, 0, false)
 	if g.NumEdges() != 1 || !g.HasEdge(0, 1, RF, 0) {
 		t.Fatal("AddEdge failed")
 	}
@@ -191,7 +191,7 @@ func TestNegativeDistancePanics(t *testing.T) {
 			t.Error("negative distance must panic")
 		}
 	}()
-	g.AddEdge(0, 0, RF, -1, false)
+	g.MustAddEdge(0, 0, RF, -1, false)
 }
 
 func TestEdgeKindStrings(t *testing.T) {

@@ -59,7 +59,7 @@ func buildRegDeps(g *Graph) {
 				// own register): loop-carried.
 				dist = 1
 			}
-			g.AddEdge(reaching, o.ID, RF, dist, false)
+			g.MustAddEdge(reaching, o.ID, RF, dist, false)
 		}
 	}
 }
@@ -153,19 +153,19 @@ func addPairDeps(g *Graph, a, b *ir.Op) error {
 func addExact(g *Graph, a, b *ir.Op, d int64) {
 	switch {
 	case d > 0:
-		g.AddEdge(a.ID, b.ID, memKind(a, b), int(d), false)
+		g.MustAddEdge(a.ID, b.ID, memKind(a, b), int(d), false)
 	case d < 0:
 		if a.ID == b.ID {
 			return // mirror of the positive distance, already added
 		}
-		g.AddEdge(b.ID, a.ID, memKind(b, a), int(-d), false)
+		g.MustAddEdge(b.ID, a.ID, memKind(b, a), int(-d), false)
 	default: // d == 0: same iteration
 		if a.ID == b.ID {
 			return
 		}
 		// a precedes b in program order (caller guarantees a.ID < b.ID
 		// when a != b).
-		g.AddEdge(a.ID, b.ID, memKind(a, b), 0, false)
+		g.MustAddEdge(a.ID, b.ID, memKind(a, b), 0, false)
 	}
 }
 
@@ -175,22 +175,22 @@ func addExact(g *Graph, a, b *ir.Op, d int64) {
 // ops. For a self pair (a == b) a single distance-1 self edge suffices.
 func addAmbiguous(g *Graph, a, b *ir.Op) {
 	if a.ID == b.ID {
-		g.AddEdge(a.ID, b.ID, memKind(a, b), 1, true)
+		g.MustAddEdge(a.ID, b.ID, memKind(a, b), 1, true)
 		return
 	}
-	g.AddEdge(a.ID, b.ID, memKind(a, b), 0, true)
-	g.AddEdge(b.ID, a.ID, memKind(b, a), 1, true)
+	g.MustAddEdge(a.ID, b.ID, memKind(a, b), 0, true)
+	g.MustAddEdge(b.ID, a.ID, memKind(b, a), 1, true)
 }
 
 // addSerializing is addAmbiguous for pairs known to conflict (exact test,
 // stride 0): the edges are real, not ambiguous.
 func addSerializing(g *Graph, a, b *ir.Op) {
 	if a.ID == b.ID {
-		g.AddEdge(a.ID, b.ID, memKind(a, b), 1, false)
+		g.MustAddEdge(a.ID, b.ID, memKind(a, b), 1, false)
 		return
 	}
-	g.AddEdge(a.ID, b.ID, memKind(a, b), 0, false)
-	g.AddEdge(b.ID, a.ID, memKind(b, a), 1, false)
+	g.MustAddEdge(a.ID, b.ID, memKind(a, b), 0, false)
+	g.MustAddEdge(b.ID, a.ID, memKind(b, a), 1, false)
 }
 
 // memKind returns the dependence kind for an edge from x to y.

@@ -11,7 +11,10 @@ package ddg
 // faster: typically a loop-carried memory recurrence through a chain store
 // and its trailing load.
 func (g *Graph) CriticalCycle(lat LatencyFunc) []*Edge {
-	recmii := g.RecMII(lat)
+	recmii, err := g.RecMII(lat)
+	if err != nil {
+		return nil // no feasible II: every cycle is "critical", none binds
+	}
 	ii := recmii - 1
 	if ii < 1 {
 		// RecMII == 1: a cycle still "binds" if some cycle has

@@ -14,9 +14,9 @@ func TestCriticalCycleChain(t *testing.T) {
 		t.Fatal("a 12-op recurrence must report a critical cycle")
 	}
 	latency, distance, bound := g.CycleStats(cycle, lat)
-	if bound != g.RecMII(lat) {
+	if bound != g.MustRecMII(lat) {
 		t.Errorf("cycle bound %d (lat %d / dist %d) != RecMII %d",
-			bound, latency, distance, g.RecMII(lat))
+			bound, latency, distance, g.MustRecMII(lat))
 	}
 	// The cycle must be well-formed: consecutive edges connected, closed.
 	for i, e := range cycle {
@@ -51,7 +51,7 @@ func TestCriticalCycleMemoryRecurrence(t *testing.T) {
 	if !hasMF {
 		t.Errorf("critical cycle misses the MF edge: %v", cycle)
 	}
-	if _, _, bound := g.CycleStats(cycle, lat); bound != g.RecMII(lat) {
+	if _, _, bound := g.CycleStats(cycle, lat); bound != g.MustRecMII(lat) {
 		t.Errorf("bound mismatch")
 	}
 }

@@ -1,0 +1,96 @@
+package ddg
+
+import (
+	"testing"
+
+	"vliwcache/internal/ir"
+)
+
+// decodeLoop turns fuzz bytes into a structurally valid loop: every four
+// bytes become one op (kind selector, symbol/size selector, offset,
+// stride). The decoder only produces loops that pass ir validation, so the
+// fuzzer explores Build's dependence analysis — address patterns, aliasing,
+// distances — rather than tripping input validation.
+func decodeLoop(data []byte) *ir.Loop {
+	l := ir.NewLoop("fuzz")
+	l.Trip, l.Entries = 16, 1
+	l.AddSymbol(&ir.Symbol{Name: "A", Base: 0x1000, Size: 4096})
+	l.AddSymbol(&ir.Symbol{Name: "B", Base: 0x8000, Size: 4096, MayAlias: []string{"C"}})
+	l.AddSymbol(&ir.Symbol{Name: "C", Base: 0x10000, Size: 4096, MayAlias: []string{"B"}})
+	syms := [...]string{"A", "B", "C"}
+	sizes := [...]int{1, 2, 4, 8}
+	arith := [...]ir.Kind{ir.KindAdd, ir.KindMul, ir.KindCmp, ir.KindFAdd, ir.KindFMul}
+
+	var regs []ir.Reg
+	next := ir.Reg(0)
+	pick := func(b byte) []ir.Reg {
+		if len(regs) == 0 {
+			return nil
+		}
+		return []ir.Reg{regs[int(b)%len(regs)]}
+	}
+	for i := 0; i+3 < len(data) && len(l.Ops) < 24; i += 4 {
+		sel, sy, off, st := data[i], data[i+1], data[i+2], data[i+3]
+		addr := ir.AddrExpr{
+			Base:   syms[int(sy)%len(syms)],
+			Offset: int64(off) % 64,
+			Stride: int64(int8(st)) % 16,
+			Size:   sizes[int(sy>>4)%len(sizes)],
+		}
+		switch sel % 4 {
+		case 0: // load
+			l.Append(&ir.Op{Kind: ir.KindLoad, Dst: next, Addr: &addr})
+			regs = append(regs, next)
+			next++
+		case 1: // store
+			l.Append(&ir.Op{Kind: ir.KindStore, Dst: ir.NoReg, Srcs: pick(off), Addr: &addr})
+		default: // arithmetic over previously defined registers
+			srcs := pick(off)
+			if s := pick(st); s != nil && sel&0x10 != 0 {
+				srcs = append(srcs, s...)
+			}
+			l.Append(&ir.Op{Kind: arith[int(sel>>5)%len(arith)], Dst: next, Srcs: srcs})
+			regs = append(regs, next)
+			next++
+		}
+	}
+	l.Renumber()
+	if l.Validate() != nil {
+		return nil
+	}
+	return l
+}
+
+// FuzzBuildDDG asserts Build never panics on decoder-produced loops and
+// that every graph it accepts satisfies the edge invariants downstream
+// consumers rely on (endpoints in range, non-negative distances, a
+// feasible initiation interval).
+func FuzzBuildDDG(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 4})                                     // one load
+	f.Add([]byte{0, 1, 8, 4, 1, 1, 8, 4})                         // load + store, same address
+	f.Add([]byte{0, 0, 0, 1, 1, 0, 0, 255})                       // negative stride store
+	f.Add([]byte{0, 1, 0, 4, 2, 0, 0, 0, 1, 2, 0, 4})             // load, arith, store to aliased symbol
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 1, 2}) // store/store/load + arith
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := decodeLoop(data)
+		if l == nil || len(l.Ops) == 0 {
+			t.Skip()
+		}
+		g, err := Build(l)
+		if err != nil {
+			return // pathological dependence patterns are a legal outcome
+		}
+		for _, e := range g.Edges() {
+			if e.From < 0 || e.From >= g.NumNodes() || e.To < 0 || e.To >= g.NumNodes() {
+				t.Fatalf("edge %s endpoints outside [0,%d)", e, g.NumNodes())
+			}
+			if e.Dist < 0 {
+				t.Fatalf("edge %s has negative distance", e)
+			}
+		}
+		if _, err := g.RecMII(DefaultLatency(2)); err != nil {
+			t.Errorf("Build-produced graph admits no II: %v", err)
+		}
+	})
+}

@@ -108,17 +108,32 @@ func (g *Graph) Grow() {
 	}
 }
 
-// AddEdge inserts a dependence edge and returns it. Negative distances are
-// a programming error.
-func (g *Graph) AddEdge(from, to int, kind EdgeKind, dist int, ambiguous bool) *Edge {
+// AddEdge inserts a dependence edge and returns it. It rejects negative
+// distances and endpoints outside the loop's op range — a graph reached
+// through the public API must never panic on malformed input.
+func (g *Graph) AddEdge(from, to int, kind EdgeKind, dist int, ambiguous bool) (*Edge, error) {
 	if dist < 0 {
-		panic(fmt.Sprintf("ddg: negative dependence distance %d (%d->%d)", dist, from, to))
+		return nil, fmt.Errorf("ddg: negative dependence distance %d (%d->%d)", dist, from, to)
 	}
 	g.Grow()
+	if from < 0 || from >= len(g.out) || to < 0 || to >= len(g.in) {
+		return nil, fmt.Errorf("ddg: edge %d->%d outside op range [0,%d)", from, to, len(g.out))
+	}
 	e := &Edge{From: from, To: to, Kind: kind, Dist: dist, Ambiguous: ambiguous}
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
 	g.n++
+	return e, nil
+}
+
+// MustAddEdge is AddEdge for construction paths whose inputs are valid by
+// invariant (the builders in this package, the DDGT transformation, test
+// fixtures); it panics on error.
+func (g *Graph) MustAddEdge(from, to int, kind EdgeKind, dist int, ambiguous bool) *Edge {
+	e, err := g.AddEdge(from, to, kind, dist, ambiguous)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 

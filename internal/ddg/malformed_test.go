@@ -1,0 +1,85 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/ir"
+)
+
+// twoOpLoop is a minimal well-formed loop used as the substrate for
+// malformed-graph construction.
+func twoOpLoop(t *testing.T) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("malformed")
+	r := b.Arith("", ir.KindAdd)
+	b.Arith("", ir.KindAdd, r)
+	return b.Loop()
+}
+
+// The graph mutators reject malformed edges with errors instead of
+// panicking or silently accepting them — the ddg layer is the first line
+// of defense for every downstream consumer (chains, replication,
+// scheduling), so a corrupt edge must never enter the graph.
+func TestAddEdgeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to int
+		dist     int
+		wantSub  string
+	}{
+		{"negative distance", 0, 1, -1, "negative dependence distance"},
+		{"from below range", -1, 1, 0, "outside op range"},
+		{"to above range", 0, 2, 0, "outside op range"},
+		{"both out of range", -3, 99, 0, "outside op range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(twoOpLoop(t))
+			e, err := g.AddEdge(tc.from, tc.to, RF, tc.dist, false)
+			if err == nil {
+				t.Fatalf("AddEdge(%d, %d, dist=%d) accepted a malformed edge", tc.from, tc.to, tc.dist)
+			}
+			if e != nil {
+				t.Error("a rejected edge must be nil")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if g.NumEdges() != 0 {
+				t.Errorf("rejected edge still entered the graph (%d edges)", g.NumEdges())
+			}
+		})
+	}
+}
+
+func TestMustAddEdgePanicsOnMalformed(t *testing.T) {
+	g := New(twoOpLoop(t))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge must panic on a malformed edge")
+		}
+	}()
+	g.MustAddEdge(0, 1, RF, -2, false)
+}
+
+// A zero-distance positive-latency cycle admits no initiation interval at
+// all. Build can never produce one, but AddEdge-constructed graphs can;
+// RecMII must report it as an error rather than diverging.
+func TestRecMIIZeroDistanceCycle(t *testing.T) {
+	g := MustBuild(twoOpLoop(t)) // already has 0 -> 1 RF dist 0
+	g.MustAddEdge(1, 0, RF, 0, false)
+
+	if _, err := g.RecMII(DefaultLatency(1)); err == nil {
+		t.Fatal("RecMII accepted a zero-distance dependence cycle")
+	} else if !strings.Contains(err.Error(), "admits no initiation interval") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRecMII must panic on a graph with no feasible II")
+		}
+	}()
+	g.MustRecMII(DefaultLatency(1))
+}

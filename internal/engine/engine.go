@@ -9,7 +9,9 @@ package engine
 
 import (
 	"context"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,16 @@ type Engine struct {
 	flightWaits atomic.Int64
 	canceled    atomic.Int64
 	busyNanos   atomic.Int64
+	panics      atomic.Int64
+	retries     atomic.Int64
+	timedOut    atomic.Int64
+
+	// Robustness envelope (see robust.go).
+	taskTimeout time.Duration
+	retryMax    int
+	retryBase   time.Duration
+	rngMu       sync.Mutex
+	rng         *rand.Rand // backoff jitter
 
 	stageMu sync.Mutex
 	stages  map[string]*stageStat
@@ -54,18 +66,24 @@ type stageStat struct {
 }
 
 // New builds an engine with the given number of worker slots. A
-// non-positive count defaults to runtime.GOMAXPROCS(0).
-func New(workers int) *Engine {
+// non-positive count defaults to runtime.GOMAXPROCS(0). Options add the
+// robustness envelope: per-task deadlines, transient-error retry.
+func New(workers int, opts ...Option) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		flights: make(map[string]*flight),
 		start:   time.Now(),
 		stages:  make(map[string]*stageStat),
+		rng:     rand.New(rand.NewSource(1)),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Workers reports the pool size.
@@ -126,7 +144,7 @@ func (e *Engine) Do(ctx context.Context, key string, task Task) (any, error) {
 	}
 
 	t0 := time.Now()
-	val, err := task(ctx)
+	val, err := e.runTask(ctx, task)
 	e.busyNanos.Add(int64(time.Since(t0)))
 	<-e.sem
 
@@ -169,6 +187,15 @@ func (e *Engine) Map(ctx context.Context, n int, fn func(ctx context.Context, i 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					e.panics.Add(1)
+					once.Do(func() {
+						first = &PanicError{Value: r, Stack: debug.Stack()}
+						cancel()
+					})
+				}
+			}()
 			if ctx.Err() != nil {
 				return
 			}

@@ -30,6 +30,12 @@ type Metrics struct {
 	FlightWaits int64
 	// Canceled counts Do calls that returned early on context cancellation.
 	Canceled int64
+	// Panics counts task panics the engine recovered into errors.
+	Panics int64
+	// Retries counts transient-failure retries performed.
+	Retries int64
+	// TimedOut counts task attempts that hit the per-task deadline.
+	TimedOut int64
 	// Busy is the summed wall time worker slots spent executing tasks.
 	Busy time.Duration
 	// Wall is the elapsed time since the engine was created.
@@ -47,6 +53,9 @@ func (e *Engine) Metrics() Metrics {
 		CacheHits:   e.cacheHits.Load(),
 		FlightWaits: e.flightWaits.Load(),
 		Canceled:    e.canceled.Load(),
+		Panics:      e.panics.Load(),
+		Retries:     e.retries.Load(),
+		TimedOut:    e.timedOut.Load(),
 		Busy:        time.Duration(e.busyNanos.Load()),
 		Wall:        time.Since(e.start),
 	}
@@ -80,6 +89,10 @@ func (m Metrics) String() string {
 		m.Workers, m.Submitted, m.Computed, m.CacheHits, m.FlightWaits, m.Canceled)
 	fmt.Fprintf(&b, "engine: wall %v, busy %v, utilization %.0f%%\n",
 		m.Wall.Round(time.Millisecond), m.Busy.Round(time.Millisecond), 100*m.Utilization())
+	if m.Panics > 0 || m.Retries > 0 || m.TimedOut > 0 {
+		fmt.Fprintf(&b, "engine: %d panics recovered, %d retries, %d deadline hits\n",
+			m.Panics, m.Retries, m.TimedOut)
+	}
 	for _, st := range m.Stages {
 		fmt.Fprintf(&b, "engine: stage %-10s %6d runs  %v\n", st.Stage, st.Count, st.Total.Round(time.Millisecond))
 	}

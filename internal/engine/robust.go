@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// PanicError is a panic recovered from a task, carrying the recovered
+// value and the goroutine stack at the panic site. The engine converts
+// worker panics into errors so one diverging cell degrades the experiment
+// grid instead of killing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("task panicked: %v", p.Value) }
+
+// ErrTransient marks errors worth retrying (resource exhaustion, flaky
+// I/O). Wrap with MarkTransient; the engine retries only errors for which
+// Transient reports true.
+var ErrTransient = errors.New("transient failure")
+
+// MarkTransient wraps err so Transient (and errors.Is with ErrTransient)
+// reports true for it.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// Transient reports whether err is marked retryable.
+func Transient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithTaskTimeout bounds each task attempt: the context handed to the task
+// is cancelled after d, and a task that honors it returns
+// context.DeadlineExceeded. Zero (the default) means no per-task deadline.
+func WithTaskTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.taskTimeout = d }
+}
+
+// WithRetry re-runs a task up to max extra times when it fails with a
+// transient error (see ErrTransient), sleeping an exponentially growing,
+// jittered backoff starting at base between attempts. The jitter RNG is
+// seeded deterministically so test runs are reproducible.
+func WithRetry(max int, base time.Duration) Option {
+	return func(e *Engine) {
+		e.retryMax = max
+		e.retryBase = base
+	}
+}
+
+// WithRetrySeed seeds the backoff jitter (default 1).
+func WithRetrySeed(seed int64) Option {
+	return func(e *Engine) { e.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// runTask executes one task with the engine's robustness envelope:
+// per-attempt deadline, panic-to-error conversion, and bounded retry with
+// jittered backoff for transient failures.
+func (e *Engine) runTask(ctx context.Context, task Task) (any, error) {
+	for attempt := 0; ; attempt++ {
+		val, err := e.attempt(ctx, task)
+		if err == nil || attempt >= e.retryMax || !Transient(err) || ctx.Err() != nil {
+			return val, err
+		}
+		e.retries.Add(1)
+		select {
+		case <-time.After(e.backoffFor(attempt)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt runs the task once under the per-task deadline, converting a
+// panic into a *PanicError.
+func (e *Engine) attempt(ctx context.Context, task Task) (val any, err error) {
+	if e.taskTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.taskTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			val, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	val, err = task(ctx)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		e.timedOut.Add(1)
+	}
+	return val, err
+}
+
+// backoffFor returns the sleep before retry attempt+1: base << attempt,
+// plus up to 50% deterministic jitter to decorrelate retry storms.
+func (e *Engine) backoffFor(attempt int) time.Duration {
+	d := e.retryBase
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if attempt < 16 {
+		d <<= attempt
+	} else {
+		d <<= 16
+	}
+	e.rngMu.Lock()
+	j := e.rng.Int63n(int64(d)/2 + 1)
+	e.rngMu.Unlock()
+	return d + time.Duration(j)
+}
+
+// MapAll runs fn(ctx, i) for every i in [0, n) concurrently and waits for
+// all of them, collecting one error slot per index. Unlike Map it does NOT
+// cancel siblings on the first failure — this is the degraded-mode
+// primitive: every cell gets its chance, and the caller decides what to do
+// with the failures. A panicking fn is captured as a *PanicError in its
+// slot. The returned slice has length n; nil entries succeeded.
+func (e *Engine) MapAll(ctx context.Context, n int, fn func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					e.panics.Add(1)
+					errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fn(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDoRecoversPanic(t *testing.T) {
+	e := New(2)
+	_, err := e.Do(context.Background(), "boom", func(context.Context) (any, error) {
+		panic("cell diverged")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Value != "cell diverged" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "TestDoRecoversPanic") {
+		t.Errorf("stack does not name the panic site:\n%s", pe.Stack)
+	}
+	if m := e.Metrics(); m.Panics != 1 {
+		t.Errorf("Panics = %d, want 1", m.Panics)
+	}
+	// The flight was evicted: a later Do under the same key runs again.
+	v, err := e.Do(context.Background(), "boom", func(context.Context) (any, error) {
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("retry after panic: %v, %v", v, err)
+	}
+}
+
+func TestTaskTimeout(t *testing.T) {
+	e := New(2, WithTaskTimeout(20*time.Millisecond))
+	_, err := e.Do(context.Background(), "slow", func(ctx context.Context) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if m := e.Metrics(); m.TimedOut != 1 {
+		t.Errorf("TimedOut = %d, want 1", m.TimedOut)
+	}
+}
+
+func TestRetryTransient(t *testing.T) {
+	e := New(2, WithRetry(3, time.Millisecond))
+	calls := 0
+	v, err := e.Do(context.Background(), "flaky", func(context.Context) (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, MarkTransient(fmt.Errorf("hiccup %d", calls))
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if m := e.Metrics(); m.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", m.Retries)
+	}
+}
+
+func TestRetryDoesNotTouchPermanentErrors(t *testing.T) {
+	e := New(2, WithRetry(3, time.Millisecond))
+	calls := 0
+	_, err := e.Do(context.Background(), "perm", func(context.Context) (any, error) {
+		calls++
+		return nil, errors.New("deterministic failure")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want 1 call and an error", err, calls)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	e := New(2, WithRetry(2, time.Millisecond))
+	calls := 0
+	_, err := e.Do(context.Background(), "always", func(context.Context) (any, error) {
+		calls++
+		return nil, MarkTransient(errors.New("still down"))
+	})
+	if !Transient(err) {
+		t.Fatalf("got %v, want the final transient error", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (1 + 2 retries)", calls)
+	}
+}
+
+func TestMapRecoversPanic(t *testing.T) {
+	e := New(2)
+	err := e.Map(context.Background(), 4, func(_ context.Context, i int) error {
+		if i == 2 {
+			panic("worker down")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+}
+
+func TestMapAllCollectsWithoutCancelling(t *testing.T) {
+	e := New(4)
+	ran := make([]bool, 6)
+	errs := e.MapAll(context.Background(), 6, func(_ context.Context, i int) error {
+		ran[i] = true
+		switch i {
+		case 1:
+			return errors.New("cell 1 failed")
+		case 3:
+			panic("cell 3 diverged")
+		}
+		return nil
+	})
+	for i, r := range ran {
+		if !r {
+			t.Errorf("cell %d never ran (siblings must not be cancelled)", i)
+		}
+	}
+	for i, err := range errs {
+		switch i {
+		case 1:
+			if err == nil || err.Error() != "cell 1 failed" {
+				t.Errorf("errs[1] = %v", err)
+			}
+		case 3:
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Errorf("errs[3] = %v, want *PanicError", err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("errs[%d] = %v, want nil", i, err)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterminism(t *testing.T) {
+	a := New(1, WithRetry(4, time.Millisecond), WithRetrySeed(7))
+	b := New(1, WithRetry(4, time.Millisecond), WithRetrySeed(7))
+	for i := 0; i < 4; i++ {
+		if da, db := a.backoffFor(i), b.backoffFor(i); da != db {
+			t.Errorf("attempt %d: %v vs %v with the same seed", i, da, db)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vliwcache/internal/engine"
+)
+
+// CellFailure records why one (benchmark, variant) grid cell could not be
+// computed in degraded mode.
+type CellFailure struct {
+	Bench   string
+	Variant Variant
+	// Reason is the short annotation renderers print: "panic", "timeout",
+	// "canceled", a pipeline stage name, or "error".
+	Reason string
+	Err    error
+}
+
+// failureReason classifies an error into the short n/a annotation.
+func failureReason(err error) string {
+	var pe *engine.PanicError
+	if errors.As(err, &pe) {
+		return "panic"
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	var ple *PipelineError
+	if errors.As(err, &ple) {
+		return ple.Stage
+	}
+	return "error"
+}
+
+// recordFailure stores (or returns the already-stored) failure for a cell.
+func (s *Suite) recordFailure(bench string, v Variant, err error) *CellFailure {
+	key := bench + "/" + v.String()
+	s.failMu.Lock()
+	if f, ok := s.failures[key]; ok {
+		s.failMu.Unlock()
+		return f
+	}
+	if s.failures == nil {
+		s.failures = make(map[string]*CellFailure)
+	}
+	f := &CellFailure{Bench: bench, Variant: v, Reason: failureReason(err), Err: err}
+	s.failures[key] = f
+	hook := s.failHook
+	s.failMu.Unlock()
+	if hook != nil {
+		hook(f)
+	}
+	return f
+}
+
+// failure returns the recorded failure for a cell, or nil.
+func (s *Suite) failure(bench string, v Variant) *CellFailure {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failures[bench+"/"+v.String()]
+}
+
+// Failures lists the cells that failed, sorted by benchmark then variant.
+// Empty means every requested cell computed cleanly.
+func (s *Suite) Failures() []*CellFailure {
+	s.failMu.Lock()
+	fs := make([]*CellFailure, 0, len(s.failures))
+	for _, f := range s.failures {
+		fs = append(fs, f)
+	}
+	s.failMu.Unlock()
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Bench != fs[j].Bench {
+			return fs[i].Bench < fs[j].Bench
+		}
+		return fs[i].Variant.String() < fs[j].Variant.String()
+	})
+	return fs
+}
+
+// Degraded reports whether the suite runs in degraded mode and has
+// recorded at least one cell failure.
+func (s *Suite) Degraded() bool {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.degraded && len(s.failures) > 0
+}
+
+// firstFailure returns the first non-nil failure among fs, if any.
+func firstFailure(fs ...*CellFailure) *CellFailure {
+	for _, f := range fs {
+		if f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// naCell renders the annotation printed in place of a failed cell's data.
+func naCell(f *CellFailure) string { return "n/a(" + f.Reason + ")" }
+
+// cyclesOrNA renders a cell's cycle count, or its failure annotation.
+func cyclesOrNA(c *Cell, f *CellFailure) string {
+	if f != nil {
+		return naCell(f)
+	}
+	return fmt.Sprintf("%d", c.Total.Cycles())
+}
+
+// cellDegraded fetches one cell with degraded-mode semantics. Outside
+// degraded mode it behaves like CellCtx (cell or error). In degraded mode
+// a failed cell comes back as a *CellFailure instead of an error, and a
+// cell that already failed is not recomputed (the engine evicts failed
+// flights, so retrying a panicking or timing-out cell would pay its full
+// cost again on every render).
+func (s *Suite) cellDegraded(ctx context.Context, bench string, v Variant) (*Cell, *CellFailure, error) {
+	if s.degraded {
+		if f := s.failure(bench, v); f != nil {
+			return nil, f, nil
+		}
+	}
+	c, err := s.CellCtx(ctx, bench, v)
+	if err == nil {
+		return c, nil, nil
+	}
+	if !s.degraded {
+		return nil, nil, err
+	}
+	return nil, s.recordFailure(bench, v, err), nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/sim"
+)
+
+var degradedSimOpts = sim.Options{MaxIterations: 60, MaxEntries: 1}
+
+// panicTracer panics while the given cell's prepare stage reports — i.e.
+// inside the pipeline, on a worker goroutine — standing in for a diverging
+// pipeline stage.
+func panicTracer(bench string, v Variant) func(TraceEvent) {
+	return func(ev TraceEvent) {
+		if ev.Bench == bench && ev.Variant == v && ev.Stage == "prepare" {
+			panic("injected: cell diverged")
+		}
+	}
+}
+
+func TestDegradedRendersNAForPanickedCell(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		hooked []*CellFailure
+	)
+	s := NewSuite(arch.Default(),
+		WithSimOptions(degradedSimOpts),
+		WithDegraded(),
+		WithTracer(panicTracer("epicdec", MDCPrefClus)),
+		WithFailureHook(func(f *CellFailure) {
+			mu.Lock()
+			hooked = append(hooked, f)
+			mu.Unlock()
+		}))
+
+	out, err := Figure6(context.Background(), s)
+	if err != nil {
+		t.Fatalf("degraded Figure6 must not fail: %v", err)
+	}
+	if !strings.Contains(out, "n/a(panic)") {
+		t.Errorf("missing n/a(panic) annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "AMEAN") {
+		t.Errorf("AMEAN row must still render:\n%s", out)
+	}
+	if !s.Degraded() {
+		t.Error("Degraded() must report true after a failure")
+	}
+	fs := s.Failures()
+	if len(fs) != 1 {
+		t.Fatalf("Failures() = %d entries, want 1: %v", len(fs), fs)
+	}
+	if fs[0].Bench != "epicdec" || fs[0].Variant != MDCPrefClus || fs[0].Reason != "panic" {
+		t.Errorf("failure = %+v, want epicdec/MDC(PrefClus)/panic", fs[0])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hooked) != 1 || hooked[0] != fs[0] {
+		t.Errorf("failure hook saw %v, want the recorded failure once", hooked)
+	}
+
+	// The annotated cell must stay failed on a second render (no silent
+	// recompute), and the output must be stable.
+	out2, err := Figure6(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != out {
+		t.Error("degraded render is not stable across calls")
+	}
+}
+
+func TestNonDegradedPanicIsFatal(t *testing.T) {
+	s := NewSuite(arch.Default(),
+		WithSimOptions(degradedSimOpts),
+		WithTracer(panicTracer("epicdec", MDCPrefClus)))
+	if _, err := Figure6(context.Background(), s); err == nil {
+		t.Fatal("without WithDegraded a panicking cell must fail the figure")
+	}
+}
+
+func TestDegradedCleanOutputByteIdentical(t *testing.T) {
+	plain := NewSuite(arch.Default(), WithSimOptions(degradedSimOpts))
+	deg := NewSuite(arch.Default(), WithSimOptions(degradedSimOpts), WithDegraded())
+
+	a, err := Figure6(context.Background(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure6(context.Background(), deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("degraded mode with zero failures must be byte-identical to normal mode")
+	}
+	if deg.Degraded() {
+		t.Error("Degraded() must be false with zero failures")
+	}
+}
+
+func TestDegradedCellTimeout(t *testing.T) {
+	s := NewSuite(arch.Default(),
+		WithSimOptions(degradedSimOpts),
+		WithDegraded(),
+		WithCellTimeout(time.Nanosecond))
+	out, err := Figure6(context.Background(), s)
+	if err != nil {
+		t.Fatalf("degraded Figure6 must not fail: %v", err)
+	}
+	if !strings.Contains(out, "n/a(timeout)") {
+		t.Errorf("missing n/a(timeout) annotation:\n%s", out)
+	}
+	if len(s.Failures()) == 0 {
+		t.Error("timeouts must be recorded as failures")
+	}
+}

@@ -39,16 +39,26 @@ func Figure6(ctx context.Context, s *Suite) (string, error) {
 
 	t := textplot.NewTable("benchmark", "variant", "bar (0..100%)", "LH", "RH", "LM", "RM", "CO")
 	sums := make([][]float64, len(variants)) // per variant, per class, accumulated ratios
+	counts := make([]int, len(variants))     // per variant, benchmarks that computed
 	for i := range sums {
 		sums[i] = make([]float64, sim.NumClasses)
 	}
 
 	for _, bench := range s.Benches {
 		for vi, v := range variants {
-			c, err := s.CellCtx(ctx, bench.Name, v)
+			c, f, err := s.cellDegraded(ctx, bench.Name, v)
 			if err != nil {
 				return "", err
 			}
+			name := ""
+			if vi == 0 {
+				name = bench.Name
+			}
+			if f != nil {
+				t.Row(name, labels[vi], naCell(f), "-", "-", "-", "-", "-")
+				continue
+			}
+			counts[vi]++
 			var segs []textplot.Segment
 			ratios := make([]float64, sim.NumClasses)
 			for cl := sim.Class(0); cl < sim.NumClasses; cl++ {
@@ -57,24 +67,24 @@ func Figure6(ctx context.Context, s *Suite) (string, error) {
 				sums[vi][cl] += r
 				segs = append(segs, textplot.Segment{Frac: r, Rune: classGlyphs[cl]})
 			}
-			name := ""
-			if vi == 0 {
-				name = bench.Name
-			}
 			t.Row(name, labels[vi], "|"+textplot.StackedBar(40, segs)+"|",
 				pct(ratios[sim.LocalHit]), pct(ratios[sim.RemoteHit]),
 				pct(ratios[sim.LocalMiss]), pct(ratios[sim.RemoteMiss]), pct(ratios[sim.Combined]))
 		}
 	}
-	n := float64(len(s.Benches))
 	for vi := range variants {
-		var segs []textplot.Segment
-		for cl := sim.Class(0); cl < sim.NumClasses; cl++ {
-			segs = append(segs, textplot.Segment{Frac: sums[vi][cl] / n, Rune: classGlyphs[sim.Class(cl)]})
-		}
 		name := ""
 		if vi == 0 {
 			name = "AMEAN"
+		}
+		n := float64(counts[vi]) // mean over the cells that computed
+		if n == 0 {
+			t.Row(name, labels[vi], "n/a", "-", "-", "-", "-", "-")
+			continue
+		}
+		var segs []textplot.Segment
+		for cl := sim.Class(0); cl < sim.NumClasses; cl++ {
+			segs = append(segs, textplot.Segment{Frac: sums[vi][cl] / n, Rune: classGlyphs[sim.Class(cl)]})
 		}
 		t.Row(name, labels[vi], "|"+textplot.StackedBar(40, segs)+"|",
 			pct(sums[vi][sim.LocalHit]/n), pct(sums[vi][sim.RemoteHit]/n),
@@ -103,30 +113,41 @@ func executionTimeFigure(ctx context.Context, s *Suite, title string) (string, e
 
 	t := textplot.NewTable("benchmark", "variant", "bar (norm. cycles)", "total", "compute", "stall")
 	norms := make([][]float64, len(variants)) // total, compute, stall sums for AMEAN
+	counts := make([]int, len(variants))      // per variant, benchmarks that computed
 	for i := range norms {
 		norms[i] = make([]float64, 3)
 	}
 
 	for _, bench := range s.Benches {
-		base, err := s.CellCtx(ctx, bench.Name, FreeMinComs)
+		base, bf, err := s.cellDegraded(ctx, bench.Name, FreeMinComs)
 		if err != nil {
 			return "", err
 		}
-		bc := float64(base.Total.Cycles())
 		for vi, v := range variants {
-			c, err := s.CellCtx(ctx, bench.Name, v)
+			name := ""
+			if vi == 0 {
+				name = bench.Name
+			}
+			if bf != nil {
+				// Without the baseline nothing normalizes for this benchmark.
+				t.Row(name, labels[vi], "n/a(base:"+bf.Reason+")", "-", "-", "-")
+				continue
+			}
+			c, f, err := s.cellDegraded(ctx, bench.Name, v)
 			if err != nil {
 				return "", err
 			}
+			if f != nil {
+				t.Row(name, labels[vi], naCell(f), "-", "-", "-")
+				continue
+			}
+			bc := float64(base.Total.Cycles())
 			comp := float64(c.Total.ComputeCycles) / bc
 			stall := float64(c.Total.StallCycles) / bc
 			norms[vi][0] += comp + stall
 			norms[vi][1] += comp
 			norms[vi][2] += stall
-			name := ""
-			if vi == 0 {
-				name = bench.Name
-			}
+			counts[vi]++
 			t.Row(name, labels[vi],
 				"|"+textplot.StackedBar(50, []textplot.Segment{
 					{Frac: comp / 2, Rune: '#'}, // scale: 50 chars = 1.0 => frac relative to 2.0 width
@@ -135,11 +156,15 @@ func executionTimeFigure(ctx context.Context, s *Suite, title string) (string, e
 				fmt.Sprintf("%.3f", comp+stall), fmt.Sprintf("%.3f", comp), fmt.Sprintf("%.3f", stall))
 		}
 	}
-	n := float64(len(s.Benches))
 	for vi := range variants {
 		name := ""
 		if vi == 0 {
 			name = "AMEAN"
+		}
+		n := float64(counts[vi]) // mean over the cells that computed
+		if n == 0 {
+			t.Row(name, labels[vi], "n/a", "-", "-", "-")
+			continue
 		}
 		t.Row(name, labels[vi],
 			"|"+textplot.StackedBar(50, []textplot.Segment{
@@ -190,17 +215,22 @@ func Nobal(ctx context.Context, simOpts sim.Options, opts ...Option) (string, er
 		}
 		t := textplot.NewTable("benchmark", "MDC(Pref)", "MDC(Min)", "DDGT(Pref)", "DDGT(Pref) vs best MDC")
 		for _, bench := range s.Benches {
-			mp, err := s.CellCtx(ctx, bench.Name, MDCPrefClus)
+			mp, fp, err := s.cellDegraded(ctx, bench.Name, MDCPrefClus)
 			if err != nil {
 				return "", err
 			}
-			mm, err := s.CellCtx(ctx, bench.Name, MDCMinComs)
+			mm, fm, err := s.cellDegraded(ctx, bench.Name, MDCMinComs)
 			if err != nil {
 				return "", err
 			}
-			dp, err := s.CellCtx(ctx, bench.Name, DDGTPrefClus)
+			dp, fd, err := s.cellDegraded(ctx, bench.Name, DDGTPrefClus)
 			if err != nil {
 				return "", err
+			}
+			if fp != nil || fm != nil || fd != nil {
+				t.Rowf("%s\t%s\t%s\t%s\t%s", bench.Name,
+					cyclesOrNA(mp, fp), cyclesOrNA(mm, fm), cyclesOrNA(dp, fd), "n/a")
+				continue
 			}
 			best := mp.Total.Cycles()
 			if mm.Total.Cycles() < best {

@@ -27,13 +27,20 @@ func Hybrid(ctx context.Context, simOpts sim.Options, opts ...Option) (string, e
 	t := textplot.NewTable("benchmark", "MDC", "DDGT", "hybrid", "vs MDC", "picked DDGT for")
 	var mdcTotal, ddgtTotal, hyTotal int64
 	for _, bench := range s.Benches {
-		mdc, err := s.CellCtx(ctx, bench.Name, MDCPrefClus)
+		mdc, fm, err := s.cellDegraded(ctx, bench.Name, MDCPrefClus)
 		if err != nil {
 			return "", err
 		}
-		dt, err := s.CellCtx(ctx, bench.Name, DDGTPrefClus)
+		dt, fd, err := s.cellDegraded(ctx, bench.Name, DDGTPrefClus)
 		if err != nil {
 			return "", err
+		}
+		if f := firstFailure(fm, fd); f != nil {
+			// The hybrid picks per loop between the two legs; with either
+			// one missing the row (and the totals) cannot include it.
+			t.Rowf("%s\t%s\t%s\t%s\t%s\t%s", bench.Name,
+				cyclesOrNA(mdc, fm), cyclesOrNA(dt, fd), naCell(f), "n/a", "")
+			continue
 		}
 		var hy int64
 		var picked []string

@@ -39,9 +39,14 @@ func Layouts(ctx context.Context, simOpts sim.Options, opts ...Option) (string, 
 		for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
 			s := suites[layout]
 			for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
-				c, err := s.CellCtx(ctx, name, v)
+				c, f, err := s.cellDegraded(ctx, name, v)
 				if err != nil {
 					return "", err
+				}
+				if f != nil {
+					t.Rowf("%s\t%s\t%s\t%s\t%s\t%s\t%s",
+						name, layout, v, naCell(f), "-", "-", "-")
+					continue
 				}
 				t.Rowf("%s\t%s\t%s\t%d\t%.1f%%\t%d\t%d",
 					name, layout, v, c.Total.Cycles(),

@@ -18,6 +18,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -103,6 +104,16 @@ type Suite struct {
 	parallelism int
 	tracer      func(TraceEvent)
 
+	// Degraded-mode state (chaos mode). When degraded is set, a cell that
+	// fails — pipeline error, panic, deadline — is recorded instead of
+	// aborting the render; figures and tables annotate it n/a(reason).
+	cellTimeout time.Duration
+	cellRetries int
+	degraded    bool
+	failMu      sync.Mutex
+	failures    map[string]*CellFailure
+	failHook    func(*CellFailure)
+
 	engOnce sync.Once
 	eng     *engine.Engine
 }
@@ -129,6 +140,37 @@ func WithTracer(fn func(TraceEvent)) Option {
 	return func(s *Suite) { s.tracer = fn }
 }
 
+// WithCellTimeout bounds the wall time of each cell computation. A cell
+// that exceeds it fails with context.DeadlineExceeded — fatally outside
+// degraded mode, as an n/a(timeout) annotation inside it.
+func WithCellTimeout(d time.Duration) Option {
+	return func(s *Suite) { s.cellTimeout = d }
+}
+
+// WithCellRetries re-runs a cell up to n extra times when it fails with a
+// transient error (engine.ErrTransient).
+func WithCellRetries(n int) Option {
+	return func(s *Suite) { s.cellRetries = n }
+}
+
+// WithDegraded turns on graceful degradation: a failing cell no longer
+// aborts figure and table rendering. Instead the failure is recorded (see
+// Failures) and renderers print n/a(reason) for the affected rows,
+// excluding them from aggregate means. Output is byte-identical to normal
+// mode when every cell succeeds.
+func WithDegraded() Option {
+	return func(s *Suite) { s.degraded = true }
+}
+
+// WithFailureHook installs a callback invoked once per recorded cell
+// failure. Experiments like Nobal and Layouts build their own internal
+// suites; passing the hook through the option list lets a caller observe
+// every failure regardless of which suite recorded it. The hook runs on
+// worker goroutines and must be safe for concurrent use.
+func WithFailureHook(fn func(*CellFailure)) Option {
+	return func(s *Suite) { s.failHook = fn }
+}
+
 // NewSuite builds a suite over the paper's thirteen figure benchmarks.
 func NewSuite(base arch.Config, opts ...Option) *Suite {
 	s := &Suite{
@@ -146,7 +188,14 @@ func NewSuite(base arch.Config, opts ...Option) *Suite {
 func (s *Suite) engine() *engine.Engine {
 	s.engOnce.Do(func() {
 		if s.eng == nil {
-			s.eng = engine.New(s.parallelism)
+			var opts []engine.Option
+			if s.cellTimeout > 0 {
+				opts = append(opts, engine.WithTaskTimeout(s.cellTimeout))
+			}
+			if s.cellRetries > 0 {
+				opts = append(opts, engine.WithRetry(s.cellRetries, 25*time.Millisecond))
+			}
+			s.eng = engine.New(s.parallelism, opts...)
 		}
 	})
 	return s.eng
@@ -235,6 +284,16 @@ func (s *Suite) WarmBenches(ctx context.Context, benches []string, variants ...V
 			grid = append(grid, cellID{b, v})
 		}
 	}
+	if s.degraded {
+		// Every cell gets its chance; failures are recorded per cell and
+		// surface as n/a(reason) annotations at render time. Only parent
+		// cancellation is fatal.
+		s.engine().MapAll(ctx, len(grid), func(ctx context.Context, i int) error {
+			_, _, err := s.cellDegraded(ctx, grid[i].bench, grid[i].v)
+			return err
+		})
+		return ctx.Err()
+	}
 	return s.engine().Map(ctx, len(grid), func(ctx context.Context, i int) error {
 		_, err := s.CellCtx(ctx, grid[i].bench, grid[i].v)
 		return err
@@ -251,7 +310,18 @@ func RunLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opt
 
 // runLoop is RunLoop plus instrumentation: stage wall times go to the
 // suite engine and the tracer observes each stage.
-func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, bench string) (*LoopRun, error) {
+func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, bench string) (run *LoopRun, err error) {
+	// Cells computed through the engine already have panic recovery; this
+	// guard covers standalone RunLoop/RunHybrid callers so a diverging
+	// pipeline stage degrades into an error instead of killing the process.
+	defer func() {
+		if r := recover(); r != nil {
+			run, err = nil, &PipelineError{
+				Bench: bench, Loop: loop.Name, Variant: v, Stage: "panic",
+				Err: &engine.PanicError{Value: r, Stack: debug.Stack()},
+			}
+		}
+	}()
 	fail := func(stage string, err error) (*LoopRun, error) {
 		return nil, &PipelineError{Bench: bench, Loop: loop.Name, Variant: v, Stage: stage, Err: err}
 	}
@@ -298,7 +368,7 @@ func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v V
 		return nil, err
 	}
 	t0 = time.Now()
-	st, err := sim.Run(sc, opts)
+	st, err := sim.RunCtx(ctx, sc, opts)
 	stageDone("simulate", t0, err)
 	if err != nil {
 		return fail("simulate", err)

@@ -63,17 +63,23 @@ func Table4(ctx context.Context, s *Suite) (string, error) {
 	}
 	t := textplot.NewTable("benchmark", "Δ com. ops", "speedup selected loops")
 	for _, b := range s.Benches {
-		mdc, err := s.CellCtx(ctx, b.Name, MDCPrefClus)
+		mdc, fm, err := s.cellDegraded(ctx, b.Name, MDCPrefClus)
 		if err != nil {
 			return "", err
 		}
-		dt, err := s.CellCtx(ctx, b.Name, DDGTPrefClus)
+		dt, fd, err := s.cellDegraded(ctx, b.Name, DDGTPrefClus)
 		if err != nil {
 			return "", err
 		}
-		free, err := s.CellCtx(ctx, b.Name, FreePrefClus)
+		free, ff, err := s.cellDegraded(ctx, b.Name, FreePrefClus)
 		if err != nil {
 			return "", err
+		}
+		if f := firstFailure(fm, fd, ff); f != nil {
+			// The Δ and speedup columns compare the three variants
+			// loop-by-loop; with any leg missing the row is unusable.
+			t.Rowf("%s\t%s\t%s", b.Name, naCell(f), naCell(f))
+			continue
 		}
 
 		delta := 1.0

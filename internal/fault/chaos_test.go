@@ -1,0 +1,151 @@
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/fault"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// buildSchedule compiles one random loop under the given policy. Schedules
+// are expensive relative to short simulations, so the chaos tests build
+// each once and reuse it across many fault seeds.
+func buildSchedule(t *testing.T, loopSeed int64, pol core.Policy, cfg arch.Config) *sched.Schedule {
+	t.Helper()
+	loop := loopgen.Random(loopSeed, loopgen.DefaultParams())
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		t.Fatalf("loop seed %d %v: %v", loopSeed, pol, err)
+	}
+	h := sched.PrefClus
+	if loopSeed%2 == 0 {
+		h = sched.MinComs
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: h, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		t.Fatalf("loop seed %d %v: %v", loopSeed, pol, err)
+	}
+	return sc
+}
+
+// TestChaosCoherenceProperty is the paper's guarantee under adversarial
+// timing: across >=1000 seeded fault-injection runs, MDC and DDGT
+// schedules never produce a single memory ordering violation — injected
+// bus queueing, memory latency variance, hit/miss flips, and Attraction
+// Buffer flushes included.
+func TestChaosCoherenceProperty(t *testing.T) {
+	cfg := arch.Default().WithAttractionBuffers(16)
+	const loops = 8
+	const seedsPerSchedule = 64 // 8 loops x 2 policies x 64 seeds = 1024 runs
+	runs, faults := 0, int64(0)
+	for ls := int64(0); ls < loops; ls++ {
+		for _, pol := range []core.Policy{core.PolicyMDC, core.PolicyDDGT} {
+			sc := buildSchedule(t, ls, pol, cfg)
+			for fs := int64(0); fs < seedsPerSchedule; fs++ {
+				st, err := sim.Run(sc, sim.Options{
+					CheckCoherence: true,
+					MaxIterations:  48,
+					NewFaults:      fault.Seeded(fs, fault.DefaultConfig()),
+				})
+				if err != nil {
+					t.Fatalf("loop %d %v fault seed %d: %v", ls, pol, fs, err)
+				}
+				if st.Violations != 0 {
+					t.Errorf("loop %d %v fault seed %d: %d ordering violations under injection",
+						ls, pol, fs, st.Violations)
+				}
+				runs++
+				faults += st.InjectedFaults
+			}
+		}
+	}
+	if runs < 1000 {
+		t.Fatalf("only %d chaos runs, want >= 1000", runs)
+	}
+	if faults == 0 {
+		t.Fatalf("injector never fired across %d runs; the chaos suite is dead", runs)
+	}
+	t.Logf("%d runs, %d injected faults, 0 violations", runs, faults)
+}
+
+// TestChaosOracleLiveness proves the coherence checker still has teeth
+// under the same harness: the unprotected FREE baseline must trip it on at
+// least one seeded run. Without this, a silently broken checker would make
+// the zero-violation property above vacuous.
+func TestChaosOracleLiveness(t *testing.T) {
+	cfg := arch.Default()
+	for ls := int64(0); ls < 24; ls++ {
+		sc := buildSchedule(t, ls, core.PolicyFree, cfg)
+		for fs := int64(0); fs < 16; fs++ {
+			st, err := sim.Run(sc, sim.Options{
+				CheckCoherence: true,
+				MaxIterations:  48,
+				NewFaults:      fault.Seeded(fs, fault.DefaultConfig()),
+			})
+			if err != nil {
+				t.Fatalf("loop %d fault seed %d: %v", ls, fs, err)
+			}
+			if st.Violations > 0 {
+				t.Logf("FREE baseline: loop seed %d, fault seed %d -> %d violations", ls, fs, st.Violations)
+				return
+			}
+		}
+	}
+	t.Fatal("FREE baseline never tripped the coherence checker under injection; oracle may be dead")
+}
+
+// TestInjectorDeterminism: identical seeds reproduce the identical fault
+// sequence byte for byte, and identical statistics.
+func TestInjectorDeterminism(t *testing.T) {
+	sc := buildSchedule(t, 3, core.PolicyMDC, arch.Default().WithAttractionBuffers(16))
+	run := func(seed int64) (*sim.Stats, string) {
+		var inj *fault.Injector
+		st, err := sim.Run(sc, sim.Options{
+			CheckCoherence: true,
+			MaxIterations:  64,
+			NewFaults: func(*sched.Schedule) sim.FaultInjector {
+				inj = fault.New(seed, fault.DefaultConfig())
+				return inj
+			},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return st, inj.Log()
+	}
+
+	stA, logA := run(42)
+	stB, logB := run(42)
+	if logA == "" {
+		t.Fatal("seed 42 injected no faults; determinism test is vacuous")
+	}
+	if logA != logB {
+		t.Errorf("same seed, different fault logs:\n--- A ---\n%s--- B ---\n%s", logA, logB)
+	}
+	if *stA != *stB {
+		t.Errorf("same seed, different stats:\nA: %v\nB: %v", stA, stB)
+	}
+	_, logC := run(43)
+	if logC == logA {
+		t.Error("different seeds produced identical fault logs")
+	}
+}
+
+// TestChaosCancellation: a canceled context aborts a chaos run with the
+// context's error instead of completing it.
+func TestChaosCancellation(t *testing.T) {
+	sc := buildSchedule(t, 1, core.PolicyMDC, arch.Default())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sim.RunCtx(ctx, sc, sim.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx with canceled context: got %v, want context.Canceled", err)
+	}
+}

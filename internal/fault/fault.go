@@ -1,0 +1,138 @@
+// Package fault is the deterministic fault-injection harness ("chaos
+// mode") for the simulator and the scheduler:
+//
+//   - Injector implements sim.FaultInjector with a seeded RNG: randomized
+//     extra memory and bus latency, hit/miss class flips, and forced
+//     Attraction Buffer flushes. The same seed reproduces the same fault
+//     sequence byte for byte (Log), which is the property the chaos suite
+//     relies on to re-run counterexamples.
+//   - The mutators in mutate.go corrupt valid schedules in targeted ways
+//     and score whether sched.Validate kills every mutant.
+//
+// The injector only produces timings the real machine could produce (see
+// sim.FaultInjector): under any such timing the paper guarantees MDC and
+// DDGT schedules stay coherent, so the chaos suite asserts zero violations
+// for them across many seeds while the unprotected baseline trips the
+// checker.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// Config sets per-access fault probabilities and magnitudes. Zero-valued
+// fields disable the corresponding fault.
+type Config struct {
+	// MemExtraProb injects 1..MemExtraMax extra cycles on the data-return
+	// path of an access (DRAM variance, refill queueing).
+	MemExtraProb float64
+	MemExtraMax  int64
+
+	// BusExtraProb injects 1..BusExtraMax cycles of output-queue delay
+	// before a request enters memory-bus arbitration.
+	BusExtraProb float64
+	BusExtraMax  int64
+
+	// FlipProb flips an access's cache outcome (hit<->miss, timing only).
+	FlipProb float64
+
+	// ABFlushProb forcibly flushes the accessing cluster's Attraction
+	// Buffer before the access.
+	ABFlushProb float64
+}
+
+// DefaultConfig is an aggressive mix: every fault class enabled with
+// magnitudes large enough to reorder anything not explicitly protected.
+func DefaultConfig() Config {
+	return Config{
+		MemExtraProb: 0.10, MemExtraMax: 40,
+		BusExtraProb: 0.10, BusExtraMax: 25,
+		FlipProb:    0.05,
+		ABFlushProb: 0.02,
+	}
+}
+
+// Injector is a seeded sim.FaultInjector. It is stateful (RNG position and
+// fault log) and must not be shared between concurrent runs; build one per
+// run, e.g. via Seeded.
+type Injector struct {
+	cfg    Config
+	rng    *rand.Rand
+	log    strings.Builder
+	faults int
+}
+
+// New builds an injector whose fault sequence is fully determined by seed
+// and cfg (given a fixed consultation order, which the simulator provides).
+func New(seed int64, cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Faults returns how many faults the injector has emitted.
+func (j *Injector) Faults() int { return j.faults }
+
+// Log returns the fault event log: one line per emitted fault, in emission
+// order. Two runs with the same seed produce byte-identical logs.
+func (j *Injector) Log() string { return j.log.String() }
+
+func (j *Injector) emit(format string, args ...any) {
+	j.faults++
+	fmt.Fprintf(&j.log, format, args...)
+}
+
+// MemExtra implements sim.FaultInjector.
+func (j *Injector) MemExtra(op, cluster int, iter int64) int64 {
+	if j.cfg.MemExtraProb <= 0 || j.cfg.MemExtraMax < 1 || j.rng.Float64() >= j.cfg.MemExtraProb {
+		return 0
+	}
+	d := 1 + j.rng.Int63n(j.cfg.MemExtraMax)
+	j.emit("mem op=%d cl=%d it=%d +%d\n", op, cluster, iter, d)
+	return d
+}
+
+// BusExtra implements sim.FaultInjector.
+func (j *Injector) BusExtra(op, cluster int, iter int64) int64 {
+	if j.cfg.BusExtraProb <= 0 || j.cfg.BusExtraMax < 1 || j.rng.Float64() >= j.cfg.BusExtraProb {
+		return 0
+	}
+	d := 1 + j.rng.Int63n(j.cfg.BusExtraMax)
+	j.emit("bus op=%d cl=%d it=%d +%d\n", op, cluster, iter, d)
+	return d
+}
+
+// FlipClass implements sim.FaultInjector.
+func (j *Injector) FlipClass(op, cluster int, iter int64, hit bool) bool {
+	if j.cfg.FlipProb <= 0 || j.rng.Float64() >= j.cfg.FlipProb {
+		return false
+	}
+	j.emit("flip op=%d cl=%d it=%d hit=%t\n", op, cluster, iter, hit)
+	return true
+}
+
+// FlushAB implements sim.FaultInjector.
+func (j *Injector) FlushAB(cluster int, iter int64) bool {
+	if j.cfg.ABFlushProb <= 0 || j.rng.Float64() >= j.cfg.ABFlushProb {
+		return false
+	}
+	j.emit("abflush cl=%d it=%d\n", cluster, iter)
+	return true
+}
+
+// Seeded returns a factory for sim.Options.NewFaults: each run gets a
+// fresh injector whose seed mixes the base seed with the schedule's
+// identity (loop name, policy, II). A suite running cells concurrently
+// therefore injects the same faults into the same cell regardless of
+// execution order or parallelism.
+func Seeded(seed int64, cfg Config) sim.NewFaultsFunc {
+	return func(sc *sched.Schedule) sim.FaultInjector {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%s|%d", sc.Plan.Loop.Name, sc.Plan.Policy, sc.II)
+		return New(seed^int64(h.Sum64()), cfg)
+	}
+}

@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/sched"
+)
+
+// Mutator corrupts a valid schedule in one targeted way. Apply returns the
+// mutant and a description, or ok=false when the schedule has no structure
+// the mutator can corrupt (e.g. no replica groups to break). Every mutator
+// constructs a mutant that is invalid by construction, so an Apply that
+// returns ok=true and a mutant sched.Validate accepts is a genuine hole in
+// the validator.
+type Mutator struct {
+	Class string
+	Apply func(sc *sched.Schedule) (mutant *sched.Schedule, desc string, ok bool)
+}
+
+// Mutators returns the schedule mutation suite, one mutator per corruption
+// class of the validator's invariants.
+func Mutators() []Mutator {
+	return []Mutator{
+		{Class: "cycle-swap", Apply: mutateSwapCycles},
+		{Class: "chain-split", Apply: mutateSplitChain},
+		{Class: "drop-copy", Apply: mutateDropCopy},
+		{Class: "break-replica", Apply: mutateBreakReplica},
+		{Class: "shrink-ii", Apply: mutateShrinkII},
+	}
+}
+
+// cloneSchedule deep-copies the mutable schedule arrays; the Plan and
+// Config are shared (mutators never touch them).
+func cloneSchedule(sc *sched.Schedule) *sched.Schedule {
+	d := *sc
+	d.Cycle = append([]int(nil), sc.Cycle...)
+	d.Cluster = append([]int(nil), sc.Cluster...)
+	d.Lat = append([]int(nil), sc.Lat...)
+	d.Copies = append([]sched.Copy(nil), sc.Copies...)
+	return &d
+}
+
+// mutateSwapCycles swaps the issue cycles across a zero-distance dependence
+// edge, putting the consumer before its producer. Any edge with distinct
+// endpoint cycles works: after the swap the consumer issues at the
+// producer's old (earlier) cycle, which no non-negative edge latency can
+// satisfy.
+func mutateSwapCycles(sc *sched.Schedule) (*sched.Schedule, string, bool) {
+	for _, e := range sc.Plan.Graph.Edges() {
+		if e.Dist != 0 || sc.Cycle[e.From] == sc.Cycle[e.To] {
+			continue
+		}
+		d := cloneSchedule(sc)
+		d.Cycle[e.From], d.Cycle[e.To] = d.Cycle[e.To], d.Cycle[e.From]
+		return d, fmt.Sprintf("swapped cycles across %v edge %d->%d", e.Kind, e.From, e.To), true
+	}
+	return nil, "", false
+}
+
+// mutateSplitChain moves one member of a memory dependent chain to another
+// cluster, breaking the MDC single-cluster invariant.
+func mutateSplitChain(sc *sched.Schedule) (*sched.Schedule, string, bool) {
+	if sc.Arch.NumClusters < 2 {
+		return nil, "", false
+	}
+	for ci, chain := range sc.Plan.Chains {
+		if len(chain) < 2 {
+			continue
+		}
+		d := cloneSchedule(sc)
+		id := chain[1]
+		d.Cluster[id] = (d.Cluster[id] + 1) % sc.Arch.NumClusters
+		return d, fmt.Sprintf("moved op %d of chain %d off-cluster", id, ci), true
+	}
+	return nil, "", false
+}
+
+// mutateDropCopy removes the inter-cluster transfer a cross-cluster
+// register flow edge depends on.
+func mutateDropCopy(sc *sched.Schedule) (*sched.Schedule, string, bool) {
+	for _, e := range sc.Plan.Graph.Edges() {
+		if e.Kind == ddg.RF && sc.Cluster[e.From] != sc.Cluster[e.To] {
+			for i, c := range sc.Copies {
+				if c.Producer == e.From && c.ToCluster == sc.Cluster[e.To] {
+					d := cloneSchedule(sc)
+					d.Copies = append(d.Copies[:i:i], d.Copies[i+1:]...)
+					return d, fmt.Sprintf("dropped copy of op %d to cluster %d", c.Producer, c.ToCluster), true
+				}
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// mutateBreakReplica collapses two instances of a replica group into one
+// cluster, so the group no longer covers every cluster exactly once.
+func mutateBreakReplica(sc *sched.Schedule) (*sched.Schedule, string, bool) {
+	if sc.Arch.NumClusters < 2 {
+		return nil, "", false
+	}
+	for orig, group := range sc.Plan.ReplicaGroups {
+		if len(group) < 2 {
+			continue
+		}
+		d := cloneSchedule(sc)
+		d.Cluster[group[1]] = d.Cluster[group[0]]
+		return d, fmt.Sprintf("replica group of op %d doubled in cluster %d", orig, d.Cluster[group[0]]), true
+	}
+	return nil, "", false
+}
+
+// mutateShrinkII lowers the initiation interval below what the schedule
+// was built for: it walks II-1 downward and returns the first II the
+// validator should reject (some intermediate II may coincidentally still
+// fit the modulo reservation table); if every positive II somehow
+// validates, it falls back to the always-illegal II = 0.
+func mutateShrinkII(sc *sched.Schedule) (*sched.Schedule, string, bool) {
+	for ii := sc.II - 1; ii >= 0; ii-- {
+		d := cloneSchedule(sc)
+		d.II = ii
+		if sched.Validate(d) != nil {
+			return d, fmt.Sprintf("II shrunk %d -> %d", sc.II, ii), true
+		}
+	}
+	d := cloneSchedule(sc)
+	d.II = 0
+	return d, fmt.Sprintf("II forced %d -> 0", sc.II), true
+}
+
+// Survivor is a mutant the validator failed to kill.
+type Survivor struct {
+	Class string
+	Desc  string
+	Sched *sched.Schedule
+}
+
+// Scoreboard tallies, per mutation class, how many mutants applied and how
+// many the validator killed. It is the regression gate: AllKilled must
+// hold for the mutation suite to pass.
+type Scoreboard struct {
+	counts map[string]*tally
+}
+
+type tally struct{ applied, killed int }
+
+// NewScoreboard returns an empty scoreboard.
+func NewScoreboard() *Scoreboard {
+	return &Scoreboard{counts: make(map[string]*tally)}
+}
+
+// Record tallies one applied mutant of the class and whether it was killed.
+func (s *Scoreboard) Record(class string, killed bool) {
+	t := s.counts[class]
+	if t == nil {
+		t = &tally{}
+		s.counts[class] = t
+	}
+	t.applied++
+	if killed {
+		t.killed++
+	}
+}
+
+// Class returns how many mutants of one class were applied and killed.
+func (s *Scoreboard) Class(class string) (applied, killed int) {
+	if t := s.counts[class]; t != nil {
+		return t.applied, t.killed
+	}
+	return 0, 0
+}
+
+// Applied returns the total number of mutants applied.
+func (s *Scoreboard) Applied() int {
+	n := 0
+	for _, t := range s.counts {
+		n += t.applied
+	}
+	return n
+}
+
+// AllKilled reports whether at least one mutant applied and every applied
+// mutant was killed.
+func (s *Scoreboard) AllKilled() bool {
+	if len(s.counts) == 0 {
+		return false
+	}
+	for _, t := range s.counts {
+		if t.killed != t.applied {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the scoreboard, one class per line, sorted.
+func (s *Scoreboard) String() string {
+	classes := make([]string, 0, len(s.counts))
+	for c := range s.counts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	for _, c := range classes {
+		t := s.counts[c]
+		fmt.Fprintf(&b, "%-14s %d/%d killed\n", c, t.killed, t.applied)
+	}
+	return b.String()
+}
+
+// MutateAll runs every mutator against a valid schedule, records the
+// outcomes on the scoreboard, and returns the mutants that survived
+// validation (expected: none).
+func MutateAll(sc *sched.Schedule, sb *Scoreboard) []Survivor {
+	var survivors []Survivor
+	for _, m := range Mutators() {
+		mutant, desc, ok := m.Apply(sc)
+		if !ok {
+			continue
+		}
+		killed := sched.Validate(mutant) != nil
+		sb.Record(m.Class, killed)
+		if !killed {
+			survivors = append(survivors, Survivor{Class: m.Class, Desc: desc, Sched: mutant})
+		}
+	}
+	return survivors
+}

@@ -1,0 +1,42 @@
+package fault_test
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/fault"
+	"vliwcache/internal/sched"
+)
+
+// TestMutationScoreboard is the mutation-testing regression gate: every
+// applicable mutant of a valid schedule must be killed by sched.Validate.
+// A survivor is a hole in the validator — exactly the oracle the rest of
+// the repo (scheduler self-checks, simulator input checks, chaos suite)
+// leans on.
+func TestMutationScoreboard(t *testing.T) {
+	sb := fault.NewScoreboard()
+	cfg := arch.Default()
+	for ls := int64(0); ls < 12; ls++ {
+		for _, pol := range []core.Policy{core.PolicyFree, core.PolicyMDC, core.PolicyDDGT} {
+			sc := buildSchedule(t, ls, pol, cfg)
+			if err := sched.Validate(sc); err != nil {
+				t.Fatalf("loop %d %v: pristine schedule invalid: %v", ls, pol, err)
+			}
+			for _, s := range fault.MutateAll(sc, sb) {
+				t.Errorf("loop %d %v: SURVIVOR [%s] %s", ls, pol, s.Class, s.Desc)
+			}
+		}
+	}
+	if !sb.AllKilled() {
+		t.Errorf("mutants survived:\n%s", sb)
+	}
+	// Every mutation class must actually have been exercised: a class that
+	// never applies is a silently dead gate.
+	for _, m := range fault.Mutators() {
+		if applied, _ := sb.Class(m.Class); applied == 0 {
+			t.Errorf("mutation class %q never applied across the corpus", m.Class)
+		}
+	}
+	t.Logf("scoreboard (%d mutants):\n%s", sb.Applied(), sb)
+}

@@ -29,7 +29,8 @@ func Text(sc *sched.Schedule, st *sim.Stats) string {
 	// II decomposition.
 	res := sched.ResMII(plan, cfg)
 	lf := minLatencyFunc(cfg)
-	rec := plan.Graph.RecMII(lf)
+	// The schedule validated, so its graph is well-formed and RecMII exists.
+	rec := plan.Graph.MustRecMII(lf)
 	fmt.Fprintf(&b, "\nII = %d  (ResMII %d, RecMII %d, schedule length %d, %d copies/iter)\n",
 		sc.II, res, rec, sc.Length, len(sc.Copies))
 

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+)
+
+var (
+	fuzzOnce  sync.Once
+	fuzzBases []*Schedule
+)
+
+// fuzzSchedules builds a small pool of valid schedules (one per policy)
+// exactly once per process; every fuzz execution mutates a clone.
+func fuzzSchedules(tb testing.TB) []*Schedule {
+	fuzzOnce.Do(func() {
+		cfg := arch.Default()
+		loop := loopgen.Random(11, loopgen.DefaultParams())
+		prof := profiler.Run(loop, cfg)
+		for _, pol := range []core.Policy{core.PolicyFree, core.PolicyMDC, core.PolicyDDGT} {
+			plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			sc, err := Run(plan, Options{Arch: cfg, Heuristic: PrefClus, Profile: prof})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			fuzzBases = append(fuzzBases, sc)
+		}
+	})
+	return fuzzBases
+}
+
+func fuzzClone(sc *Schedule) *Schedule {
+	d := *sc
+	d.Cycle = append([]int(nil), sc.Cycle...)
+	d.Cluster = append([]int(nil), sc.Cluster...)
+	d.Lat = append([]int(nil), sc.Lat...)
+	d.Copies = append([]Copy(nil), sc.Copies...)
+	return &d
+}
+
+// FuzzValidate drives Validate with byte-directed corruptions of a valid
+// schedule: every three input bytes select a mutation site and value. The
+// property is purely defensive — Validate must return (an error or nil)
+// on every corruption, never panic or hang, because the chaos harness
+// leans on it as the oracle that kills schedule mutants.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{0, 0, 200})                      // corrupt one cycle
+	f.Add([]byte{1, 2, 255})                      // move an op off-grid
+	f.Add([]byte{3, 0, 0})                        // II = 0
+	f.Add([]byte{5, 0, 7, 6, 0, 9, 7, 1, 3})      // corrupt copy fields
+	f.Add([]byte{8, 0, 0, 8, 0, 0, 8, 0, 0})      // drop several copies
+	f.Add([]byte{9, 1, 1, 2, 3, 129, 4, 0, 250})  // duplicate copy + lat/length
+	f.Add([]byte{0, 1, 2, 1, 2, 3, 3, 1, 1, 255}) // mixed corruption
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, base := range fuzzSchedules(t) {
+			sc := fuzzClone(base)
+			n := len(sc.Cycle)
+			for i := 0; i+2 < len(data); i += 3 {
+				kind, idx, val := data[i], int(data[i+1]), int(int8(data[i+2]))
+				switch kind % 10 {
+				case 0:
+					sc.Cycle[idx%n] = val
+				case 1:
+					sc.Cluster[idx%n] = val
+				case 2:
+					sc.Lat[idx%n] = val
+				case 3:
+					sc.II = val
+				case 4:
+					sc.Length = val
+				case 5:
+					if len(sc.Copies) > 0 {
+						sc.Copies[idx%len(sc.Copies)].Start = val
+					}
+				case 6:
+					if len(sc.Copies) > 0 {
+						sc.Copies[idx%len(sc.Copies)].Bus = val
+					}
+				case 7:
+					if len(sc.Copies) > 0 {
+						sc.Copies[idx%len(sc.Copies)].ToCluster = val
+					}
+				case 8:
+					if len(sc.Copies) > 0 {
+						k := idx % len(sc.Copies)
+						sc.Copies = append(sc.Copies[:k:k], sc.Copies[k+1:]...)
+					}
+				case 9:
+					if len(sc.Copies) > 0 {
+						sc.Copies = append(sc.Copies, sc.Copies[idx%len(sc.Copies)])
+					}
+				}
+			}
+			_ = Validate(sc) // must not panic on any corruption
+
+			// The clone under mutation must not have leaked state into the
+			// shared base schedule.
+			if err := Validate(base); err != nil {
+				t.Fatalf("pristine base schedule no longer validates: %v", err)
+			}
+		}
+	})
+}

@@ -26,7 +26,7 @@ func TestLatencyAssignmentRecurrenceCapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Cycle: st -(MF,d1)-> ld -> r0 -> r1 -> st: RecMII = 3 + lat(ld).
-	ii := MII(plan, cfg)
+	ii := MustMII(plan, cfg)
 	lat, ok := assignLatencies(plan, cfg, ii)
 	if !ok {
 		t.Fatal("infeasible at MII")
@@ -54,7 +54,7 @@ func TestLatencyAssignmentSlackPromoted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ii := MII(plan, cfg) // 61 INT ops / 4 clusters => 16
+	ii := MustMII(plan, cfg) // 61 INT ops / 4 clusters => 16
 	lat, ok := assignLatencies(plan, cfg, ii)
 	if !ok {
 		t.Fatal("infeasible")
@@ -80,7 +80,7 @@ func TestLatencyAssignmentStoresStayMinimal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat, ok := assignLatencies(plan, cfg, MII(plan, cfg))
+	lat, ok := assignLatencies(plan, cfg, MustMII(plan, cfg))
 	if !ok {
 		t.Fatal("infeasible")
 	}

@@ -33,8 +33,8 @@ func TestRandomLoopsScheduleValidates(t *testing.T) {
 				if err := Validate(sc); err != nil {
 					t.Fatalf("seed %d %v/%v: %v\n%s", seed, pol, h, err, sc)
 				}
-				if sc.II < MII(plan, cfg) {
-					t.Fatalf("seed %d: II %d below MII %d", seed, sc.II, MII(plan, cfg))
+				if sc.II < MustMII(plan, cfg) {
+					t.Fatalf("seed %d: II %d below MII %d", seed, sc.II, MustMII(plan, cfg))
 				}
 			}
 		}
@@ -121,7 +121,7 @@ func TestMaxIIRespected(t *testing.T) {
 	if _, err := Run(plan, Options{Arch: cfg, Heuristic: MinComs, MaxII: 1, Budget: 1}); err == nil {
 		// A MaxII of 1 with budget 1 may still succeed for tiny loops;
 		// only fail the test if the loop clearly cannot fit.
-		if MII(plan, cfg) > 1 {
+		if MustMII(plan, cfg) > 1 {
 			t.Error("scheduler claimed success beyond MaxII")
 		}
 	} else if !errors.Is(err, ErrInfeasible) {

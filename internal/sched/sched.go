@@ -201,7 +201,10 @@ func Run(plan *core.Plan, opts Options) (*Schedule, error) {
 		}
 	}
 
-	mii := MII(plan, opts.Arch)
+	mii, err := MII(plan, opts.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("sched: loop %q: %w", plan.Loop.Name, err)
+	}
 	for ii := mii; ii <= opts.MaxII; ii++ {
 		lat, ok := assignLatencies(plan, opts.Arch, ii)
 		if !ok {
@@ -222,14 +225,29 @@ func Run(plan *core.Plan, opts Options) (*Schedule, error) {
 }
 
 // MII returns the minimum initiation interval: the maximum of the resource
-// and recurrence constrained bounds.
-func MII(plan *core.Plan, cfg arch.Config) int {
+// and recurrence constrained bounds. It fails when the dependence graph
+// admits no initiation interval at all (a zero-distance positive cycle —
+// impossible from ddg.Build, but reachable through hand-built graphs).
+func MII(plan *core.Plan, cfg arch.Config) (int, error) {
 	res := ResMII(plan, cfg)
-	rec := plan.Graph.RecMII(minLatency(plan, cfg))
-	if rec > res {
-		return rec
+	rec, err := plan.Graph.RecMII(minLatency(plan, cfg))
+	if err != nil {
+		return 0, err
 	}
-	return res
+	if rec > res {
+		return rec, nil
+	}
+	return res, nil
+}
+
+// MustMII is MII for plans known to be well-formed (fixtures and
+// post-validation contexts); it panics on error.
+func MustMII(plan *core.Plan, cfg arch.Config) int {
+	mii, err := MII(plan, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return mii
 }
 
 // ResMII returns the resource-constrained minimum initiation interval: per

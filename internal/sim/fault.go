@@ -1,0 +1,103 @@
+package sim
+
+import "vliwcache/internal/sched"
+
+// FaultInjector perturbs the timing the machine model produces. Injection
+// points are chosen so that every perturbation is one the real hardware
+// could legally produce — variable memory latency, queueing delay, cache
+// interference — never one that breaks a physical invariant the paper's
+// techniques rely on (in particular, requests from one cluster reach the
+// banks in issue order: the simulator serializes per-cluster request
+// streams FIFO even under injected delay). The paper's guarantee is that
+// MDC/DDGT schedules stay coherent under *any* such timing, so a schedule
+// that trips the coherence checker under injection is a real counterexample.
+//
+// An injector is stateful (it owns a seeded RNG and a fault log) and is
+// consulted by exactly one Run at a time; it must not be shared between
+// concurrent simulations. Implementations live in internal/fault.
+type FaultInjector interface {
+	// MemExtra returns extra cycles appended to the data-return path of
+	// the memory access by op at the given iteration (e.g. DRAM variance,
+	// refill queueing). It delays the value's availability, not the
+	// access's arrival at the bank.
+	MemExtra(op, cluster int, iter int64) int64
+
+	// BusExtra returns extra cycles the request of op waits in its
+	// cluster's output queue before entering memory-bus arbitration. The
+	// simulator keeps the per-cluster queue FIFO: a delayed request also
+	// delays every later request from the same cluster.
+	BusExtra(op, cluster int, iter int64) int64
+
+	// FlipClass reports whether to flip the cache outcome of this access:
+	// a hit is downgraded to a miss (forcing the next-level path) and a
+	// miss is upgraded to a hit (data served at hit latency, no fill) —
+	// pure timing perturbations of the word-interleaved modules.
+	FlipClass(op, cluster int, iter int64, hit bool) bool
+
+	// FlushAB reports whether to forcibly flush the cluster's Attraction
+	// Buffer before this access, modeling adversarial replacement.
+	FlushAB(cluster int, iter int64) bool
+}
+
+// NewFaultsFunc builds a fresh per-run injector for a schedule. Options
+// carries a factory rather than an injector so one Options value can be
+// shared across the concurrent runs of an experiment suite: each run gets
+// its own injector, deterministically derived from the schedule identity.
+type NewFaultsFunc func(sc *sched.Schedule) FaultInjector
+
+// faultHooks adapts an optional injector to unconditional call sites: a
+// nil *faultHooks (or nil injector) injects nothing.
+type faultHooks struct {
+	inj   FaultInjector
+	stats *Stats
+}
+
+func (f *faultHooks) memExtra(op, cluster int, iter int64) int64 {
+	if f == nil || f.inj == nil {
+		return 0
+	}
+	d := f.inj.MemExtra(op, cluster, iter)
+	if d < 0 {
+		d = 0
+	}
+	if d > 0 {
+		f.stats.InjectedFaults++
+	}
+	return d
+}
+
+func (f *faultHooks) busExtra(op, cluster int, iter int64) int64 {
+	if f == nil || f.inj == nil {
+		return 0
+	}
+	d := f.inj.BusExtra(op, cluster, iter)
+	if d < 0 {
+		d = 0
+	}
+	if d > 0 {
+		f.stats.InjectedFaults++
+	}
+	return d
+}
+
+func (f *faultHooks) flip(op, cluster int, iter int64, hit bool) bool {
+	if f == nil || f.inj == nil {
+		return false
+	}
+	if f.inj.FlipClass(op, cluster, iter, hit) {
+		f.stats.InjectedFaults++
+		return true
+	}
+	return false
+}
+
+func (f *faultHooks) flushAB(cluster int, iter int64) bool {
+	if f == nil || f.inj == nil {
+		return false
+	}
+	if f.inj.FlushAB(cluster, iter) {
+		f.stats.InjectedFaults++
+		return true
+	}
+	return false
+}

@@ -35,16 +35,24 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 			m.record(issue, iter, id, cluster, false, addr, o.Addr.Size)
 			return p
 		}
-		if m.modules[cluster].Access(block, issue, false) {
+		hit := m.modules[cluster].Access(block, issue, false)
+		fill := !hit
+		if m.faults.flip(id, cluster, iter, hit) {
+			hit = !hit
+			fill = false // flips are timing-only, never Fill (see memAccess)
+		}
+		if hit {
 			m.stats.Accesses[LocalHit]++
 			m.trace(iter, id, cluster, LocalHit, addr, issue)
 			m.record(issue, iter, id, cluster, false, addr, o.Addr.Size)
-			return issue + hitLat
+			return issue + hitLat + m.faults.memExtra(id, cluster, iter)
 		}
 		// Local miss: fetch from the next level (the source of truth).
 		start := m.ports.Acquire(issue + hitLat)
-		done := start + nextLat
-		m.modules[cluster].Fill(block, done, false)
+		done := start + nextLat + m.faults.memExtra(id, cluster, iter)
+		if fill {
+			m.modules[cluster].Fill(block, done, false)
+		}
 		m.pending[cluster][sub] = done
 		m.stats.Accesses[LocalMiss]++
 		m.trace(iter, id, cluster, LocalMiss, addr, issue)
@@ -87,7 +95,14 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 			continue
 		}
 		m.arb.Advance(issue)
-		_, arrive := m.arb.Acquire(issue)
+		// Injected queueing delay floors later messages from the same
+		// sender (FIFO per cluster), as in memAccess.
+		reqIssue := issue + m.faults.busExtra(id, cluster, iter)
+		if reqIssue < m.busFloor[cluster] {
+			reqIssue = m.busFloor[cluster]
+		}
+		m.busFloor[cluster] = reqIssue
+		_, arrive := m.arb.Acquire(reqIssue)
 		if m.modules[c].Contains(block) {
 			m.modules[c].Access(block, arrive, false)
 		}

@@ -25,6 +25,7 @@ package sim
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -50,15 +51,34 @@ type Options struct {
 	// entry,iter,op,cluster,class,addr,issue. A header line is written
 	// first.
 	Trace io.Writer
+	// NewFaults, when non-nil, builds a fresh fault injector for this run
+	// (chaos mode). A factory rather than an injector so one Options value
+	// is safe to share across concurrent runs; see FaultInjector.
+	NewFaults NewFaultsFunc
 }
+
+// ctxCheckInterval is how many simulated kernel cycles pass between
+// cancellation checks: rare enough to stay off the profile, frequent
+// enough that a run responds to cancellation in well under a millisecond.
+const ctxCheckInterval = 4096
 
 // Run simulates the schedule and returns its statistics.
 func Run(sc *sched.Schedule, opts Options) (*Stats, error) {
+	return RunCtx(context.Background(), sc, opts)
+}
+
+// RunCtx is Run with cancellation: the machine polls ctx every
+// ctxCheckInterval simulated cycles and abandons the run (returning the
+// wrapped ctx.Err()) once it is done.
+func RunCtx(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, error) {
 	m, err := newMachine(sc, opts)
 	if err != nil {
 		return nil, err
 	}
-	m.run()
+	m.ctx = ctx
+	if err := m.run(); err != nil {
+		return nil, err
+	}
 	if opts.CheckCoherence {
 		m.stats.Violations = m.checkCoherence()
 	}
@@ -103,6 +123,7 @@ type machine struct {
 	cfg  arch.Config
 	opts Options
 	loop *ir.Loop
+	ctx  context.Context
 
 	trip, entries int64
 
@@ -126,6 +147,9 @@ type machine struct {
 	pending []map[arch.SubblockID]int64
 	arb     *bus.Arbiter
 	ports   *bus.Ports
+
+	faults   *faultHooks // nil-safe fault injection adapter (chaos mode)
+	busFloor []int64     // per cluster: earliest time the next bus request may enter arbitration
 
 	recs     []bankRec
 	seq      int64
@@ -178,6 +202,12 @@ func newMachine(sc *sched.Schedule, opts Options) (*machine, error) {
 	}
 	m.arb = bus.NewArbiter(cfg.MemBuses, cfg.MemBusLatency)
 	m.ports = bus.NewPorts(cfg.NextLevelPorts)
+	m.busFloor = make([]int64, cfg.NumClusters)
+	if opts.NewFaults != nil {
+		if inj := opts.NewFaults(sc); inj != nil {
+			m.faults = &faultHooks{inj: inj, stats: m.stats}
+		}
+	}
 	if opts.Trace != nil {
 		m.tw = bufio.NewWriter(opts.Trace)
 		fmt.Fprintln(m.tw, "entry,iter,op,cluster,class,addr,issue")
@@ -289,9 +319,11 @@ func (m *machine) buildStatics() {
 }
 
 // run executes all entries of the loop.
-func (m *machine) run() {
+func (m *machine) run() error {
 	for e := int64(0); e < m.entries; e++ {
-		m.runEntry()
+		if err := m.runEntry(); err != nil {
+			return err
+		}
 		m.iterBase += m.trip
 		for _, ab := range m.abs {
 			ab.Flush()
@@ -301,10 +333,11 @@ func (m *machine) run() {
 	m.stats.Entries = m.entries
 	m.stats.StallCycles = m.stall
 	m.stats.CommOps = int64(len(m.sc.Copies)) * m.trip * m.entries
+	return nil
 }
 
 // runEntry simulates one entry: trip overlapped iterations of the kernel.
-func (m *machine) runEntry() {
+func (m *machine) runEntry() error {
 	ii := int64(m.sc.II)
 	vEnd := (m.trip-1)*ii + int64(m.maxCycle)
 
@@ -325,6 +358,13 @@ func (m *machine) runEntry() {
 		iter int64
 	}
 	for v := int64(0); v <= vEnd; v++ {
+		if m.ctx != nil && v%ctxCheckInterval == 0 {
+			select {
+			case <-m.ctx.Done():
+				return fmt.Errorf("sim: canceled at cycle %d: %w", m.base+v+m.stall, m.ctx.Err())
+			default:
+			}
+		}
 		slot := v % ii
 		active = active[:0]
 		for _, ev := range m.slotEvents[slot] {
@@ -368,6 +408,7 @@ func (m *machine) runEntry() {
 	}
 	m.stats.ComputeCycles += vEnd + 1
 	m.base += vEnd + 1
+	return nil
 }
 
 // valueReady returns when the value described by in is available for the
@@ -421,6 +462,12 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		return m.memAccessReplicated(id, iter, issue, cluster, addr, block, isStore)
 	}
 
+	// Chaos: adversarial Attraction Buffer replacement right before the
+	// access — the buffer may lose its copies at any time on real hardware.
+	if m.abs != nil && m.faults.flushAB(cluster, iter) {
+		m.abs[cluster].Flush()
+	}
+
 	// Store replication: only the instance in the home cluster executes.
 	// Nullified instances still keep their cluster's local copies fresh:
 	// they update a present Attraction Buffer copy and invalidate any
@@ -452,18 +499,37 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 			return p
 		}
 		delete(m.pending[cluster], sub)
+		// The reply will deposit a pre-store (stale) copy in the Attraction
+		// Buffer; drop it so the store — and everything after it — takes
+		// the bus path behind the fetch instead of hitting a copy whose
+		// data has not physically arrived yet.
+		if m.abs != nil {
+			m.abs[cluster].Invalidate(sub)
+		}
 	}
 
 	if cluster == home {
-		if m.modules[home].Access(block, issue, isStore) {
+		hit := m.modules[home].Access(block, issue, isStore)
+		fill := !hit
+		if m.faults.flip(id, cluster, iter, hit) {
+			// A flipped outcome is timing-only: a downgraded hit pays the
+			// next-level path but must not Fill (the subblock is already
+			// present; Fill would duplicate the line), and an upgraded miss
+			// is served at hit latency without the line ever arriving.
+			hit = !hit
+			fill = false
+		}
+		if hit {
 			m.stats.Accesses[LocalHit]++
 			m.trace(iter, id, cluster, LocalHit, addr, issue)
 			m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
-			return issue + hitLat
+			return issue + hitLat + m.faults.memExtra(id, cluster, iter)
 		}
 		start := m.ports.Acquire(issue + hitLat)
-		done := start + int64(m.cfg.NextLevelLatency)
-		m.modules[home].Fill(block, done, isStore)
+		done := start + int64(m.cfg.NextLevelLatency) + m.faults.memExtra(id, cluster, iter)
+		if fill {
+			m.modules[home].Fill(block, done, isStore)
+		}
 		m.pending[cluster][sub] = done
 		m.stats.Accesses[LocalMiss]++
 		m.trace(iter, id, cluster, LocalMiss, addr, issue)
@@ -493,17 +559,34 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	}
 
 	m.arb.Advance(issue) // the processor clock is monotone; prune dead intervals
-	_, reqDone := m.arb.Acquire(issue)
+	reqIssue := issue + m.faults.busExtra(id, cluster, iter)
+	// A cluster's request stream enters arbitration FIFO: injected queueing
+	// delay on one request also floors every later request from the same
+	// cluster, so injection can never reorder same-cluster bank arrivals —
+	// the invariant the paper's techniques (and real hardware) rely on.
+	if reqIssue < m.busFloor[cluster] {
+		reqIssue = m.busFloor[cluster]
+	}
+	m.busFloor[cluster] = reqIssue
+	_, reqDone := m.arb.Acquire(reqIssue)
 	arrive := reqDone
 	var dataAtHome int64
 	var class Class
-	if m.modules[home].Access(block, arrive, isStore) {
+	hit := m.modules[home].Access(block, arrive, isStore)
+	fill := !hit
+	if m.faults.flip(id, cluster, iter, hit) {
+		hit = !hit
+		fill = false // see the local path: flips are timing-only, never Fill
+	}
+	if hit {
 		class = RemoteHit
 		dataAtHome = arrive + hitLat
 	} else {
 		start := m.ports.Acquire(arrive + hitLat)
 		dataAtHome = start + int64(m.cfg.NextLevelLatency)
-		m.modules[home].Fill(block, dataAtHome, isStore)
+		if fill {
+			m.modules[home].Fill(block, dataAtHome, isStore)
+		}
 		class = RemoteMiss
 	}
 	m.stats.Accesses[class]++
@@ -520,7 +603,10 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		}
 		return dataAtHome
 	}
-	_, repDone := m.arb.Acquire(dataAtHome)
+	// MemExtra delays only the data-return path: the access's bank arrival
+	// (recorded above) is already fixed, so return-path variance cannot
+	// perturb the coherence order.
+	_, repDone := m.arb.Acquire(dataAtHome + m.faults.memExtra(id, cluster, iter))
 	m.pending[cluster][sub] = repDone
 	if m.abs != nil {
 		m.abs[cluster].Insert(sub, repDone)

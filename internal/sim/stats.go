@@ -61,6 +61,10 @@ type Stats struct {
 	NextLevelRequests, PortsWaited int64
 	Evictions, Writebacks          int64
 	ABFlushes, ABDirtyWritebacks   int64
+
+	// InjectedFaults counts perturbations the fault injector actually
+	// applied (chaos mode; zero when no injector is configured).
+	InjectedFaults int64
 }
 
 // Cycles is total execution time: compute plus stall.
@@ -115,6 +119,7 @@ func (s *Stats) Add(o *Stats) {
 	s.Writebacks += o.Writebacks
 	s.ABFlushes += o.ABFlushes
 	s.ABDirtyWritebacks += o.ABDirtyWritebacks
+	s.InjectedFaults += o.InjectedFaults
 }
 
 func (s *Stats) String() string {
