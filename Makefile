@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench paperbench chaos fuzz-smoke
+.PHONY: all build check vet test race bench paperbench chaos fuzz-smoke obs
 
 all: build
 
 # check is the CI gate: vet plus the full test suite under the race
 # detector (the parallel experiment engine must stay race-free), the
-# chaos/mutation property suites, and a replay of the checked-in fuzz
-# corpora.
-check: vet race chaos fuzz-smoke
+# chaos/mutation property suites, a replay of the checked-in fuzz
+# corpora, and the observability reconciliation + overhead guard.
+check: vet race chaos fuzz-smoke obs
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,17 @@ fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/sched/ ./internal/ddg/
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/sched/
 	$(GO) test -fuzz=FuzzBuildDDG -fuzztime=10s -run '^$$' ./internal/ddg/
+
+# obs verifies the observability layer: the cycle-level event stream
+# reconciles exactly with the aggregate Stats (per-class access counts,
+# summed stall cycles), traces are byte-identical per fault seed, and the
+# nil-tracer hot path stays within the no-overhead budget (default 2%,
+# override with OBS_GUARD_PCT=0.05). The guard skips with a diagnostic on
+# machines too noisy to resolve the budget; the cross-commit
+# BenchmarkSimulator comparison is the authoritative regression check.
+obs:
+	$(GO) test -count=1 -run 'TestTrace' .
+	OBS_GUARD=1 $(GO) test -count=1 -run 'TestObsOverheadGuard' -v .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -2,6 +2,7 @@ package vliwcache
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"vliwcache/internal/arch"
@@ -11,6 +12,7 @@ import (
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
+	"vliwcache/internal/obs"
 	"vliwcache/internal/profiler"
 	"vliwcache/internal/report"
 	"vliwcache/internal/sched"
@@ -229,6 +231,87 @@ const (
 // Simulate executes a schedule on the cycle-level machine model.
 func Simulate(s *Schedule, opts SimOptions) (*Stats, error) { return sim.Run(s, opts) }
 
+// Observability (see internal/obs). Set SimOptions.Tracer (or install an
+// Observer on a Suite) to capture cycle-level simulation events; leave it
+// nil for the zero-overhead path.
+type (
+	// SimEvent is one cycle-level simulation event: an operation issue, a
+	// cache-bank arrival, a bus transfer, Attraction Buffer activity, a
+	// stall, or a coherence-check outcome.
+	SimEvent = obs.Event
+	// SimEventKind enumerates simulation event kinds.
+	SimEventKind = obs.Kind
+	// SimTracer receives simulation events. Implementations used across
+	// concurrent runs must be safe for concurrent use.
+	SimTracer = obs.Tracer
+	// TraceRing is a fixed-capacity in-memory sink keeping the most
+	// recent events.
+	TraceRing = obs.Ring
+	// TraceJSONL streams events as deterministic JSON Lines.
+	TraceJSONL = obs.JSONL
+	// TraceCount tallies events by kind and class without storing them.
+	TraceCount = obs.Count
+	// Observer supplies per-run simulation tracers to a Suite (see
+	// WithObserver).
+	Observer = experiments.Observer
+)
+
+// Simulation event kinds.
+const (
+	EventIssue        = obs.KindIssue
+	EventStall        = obs.KindStall
+	EventAccess       = obs.KindAccess
+	EventBankArrival  = obs.KindBankArrival
+	EventBusTransfer  = obs.KindBusTransfer
+	EventABHit        = obs.KindABHit
+	EventABFlush      = obs.KindABFlush
+	EventABInvalidate = obs.KindABInvalidate
+	EventCoherence    = obs.KindCoherence
+)
+
+// NewTraceRing returns a ring-buffer sink holding the last n events.
+func NewTraceRing(n int) *TraceRing { return obs.NewRing(n) }
+
+// NewTraceJSONL returns a sink streaming events to w as JSON Lines.
+// Call Flush when the run completes (Simulate flushes it automatically).
+func NewTraceJSONL(w io.Writer) *TraceJSONL { return obs.NewJSONL(w) }
+
+// NewTraceCount returns a counting sink.
+func NewTraceCount() *TraceCount { return obs.NewCount() }
+
+// Machine-readable exports (see internal/report): simulation statistics,
+// engine metrics and fault logs as JSON or CSV.
+type (
+	// StatsExport labels one Stats value for export.
+	StatsExport = report.StatsRecord
+	// MetricsExport labels one engine metrics snapshot for export.
+	MetricsExport = report.MetricsRecord
+	// FaultExport labels one fault log or cell failure for export.
+	FaultExport = report.FaultRecord
+)
+
+// WriteStatsJSON serializes simulation statistics as a JSON array.
+func WriteStatsJSON(w io.Writer, recs []StatsExport) error { return report.WriteStatsJSON(w, recs) }
+
+// WriteStatsCSV serializes simulation statistics as CSV.
+func WriteStatsCSV(w io.Writer, recs []StatsExport) error { return report.WriteStatsCSV(w, recs) }
+
+// WriteMetricsJSON serializes engine metrics as a JSON array.
+func WriteMetricsJSON(w io.Writer, recs []MetricsExport) error {
+	return report.WriteMetricsJSON(w, recs)
+}
+
+// WriteMetricsCSV serializes per-stage engine latency rows as CSV.
+func WriteMetricsCSV(w io.Writer, recs []MetricsExport) error {
+	return report.WriteMetricsCSV(w, recs)
+}
+
+// WriteFaultsJSON serializes fault records as a JSON array.
+func WriteFaultsJSON(w io.Writer, recs []FaultExport) error { return report.WriteFaultsJSON(w, recs) }
+
+// WriteFaultsCSV serializes fault records as CSV.
+func WriteFaultsCSV(w io.Writer, recs []FaultExport) error { return report.WriteFaultsCSV(w, recs) }
+
 // Report renders a detailed human-readable report of a schedule and its
 // simulation: II decomposition with the binding recurrence, per-cluster
 // utilization, and the memory behaviour breakdown. stats may be nil.
@@ -293,6 +376,7 @@ type settings struct {
 	sim         SimOptions
 	parallelism int
 	tracer      func(TraceEvent)
+	observer    Observer
 	cellTimeout time.Duration
 	cellRetries int
 	degraded    bool
@@ -345,6 +429,15 @@ func WithParallelism(n int) Option {
 // concurrent use.
 func WithTracer(fn func(TraceEvent)) Option {
 	return optionFunc(func(s *settings) { s.tracer = fn })
+}
+
+// WithObserver installs an Observer on a Suite: its NewTracer hook is
+// called once per pipeline run and the returned tracer receives that
+// run's cycle-level simulation events. Runs execute on worker
+// goroutines, so NewTracer — and any tracer shared between runs — must
+// be safe for concurrent use.
+func WithObserver(o Observer) Option {
+	return optionFunc(func(s *settings) { s.observer = o })
 }
 
 // WithCellTimeout bounds the wall time of each Suite cell. An expired
@@ -415,6 +508,7 @@ func NewSuite(cfg Config, opts ...Option) *Suite {
 		experiments.WithTracer(s.tracer),
 		experiments.WithCellTimeout(s.cellTimeout),
 		experiments.WithCellRetries(s.cellRetries),
+		experiments.WithObserver(s.observer),
 	}
 	if s.degraded {
 		sopts = append(sopts, experiments.WithDegraded())

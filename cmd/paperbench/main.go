@@ -17,6 +17,16 @@
 //	paperbench -chaos -seed 7        # fault injection + coherence audit
 //	paperbench -cell-timeout 30s     # per-cell deadline (degraded mode)
 //	paperbench -v                    # engine metrics on stderr
+//	paperbench -trace ev.jsonl       # cycle-level simulation events (JSONL)
+//	paperbench -metrics m.json       # engine metrics export (.csv = CSV)
+//	paperbench -faults f.json        # cell-failure export (.csv = CSV)
+//	paperbench -pprof localhost:6060 # live net/http/pprof server
+//	paperbench -cpuprofile cpu.out   # CPU profile of the whole run
+//	paperbench -memprofile heap.out  # heap profile captured at exit
+//
+// With -trace, every simulated run appends to one JSONL stream; the
+// stream is byte-identical across runs of the same grid only under
+// -parallel 1 (workers interleave events otherwise).
 //
 // Exit codes: 0 every cell computed cleanly; 1 degraded (some cells failed
 // and were rendered as n/a, listed on stderr); 2 fatal (interrupted or a
@@ -27,15 +37,43 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/pprof"
+	"strings"
 	"sync"
 
 	"vliwcache/internal/arch"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/fault"
+	"vliwcache/internal/obs"
+	"vliwcache/internal/report"
 	"vliwcache/internal/sim"
 )
+
+// exportTo writes one export file, choosing CSV when the path ends in
+// .csv and JSON otherwise. Export errors are reported, not fatal: the
+// run's primary output already happened.
+func exportTo(path string, csv, json func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: export: %v\n", err)
+		return
+	}
+	write := json
+	if strings.HasSuffix(path, ".csv") {
+		write = csv
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: export %s: %v\n", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: export %s: %v\n", path, err)
+	}
+}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1..5); 0 = per other flags")
@@ -47,10 +85,64 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for -chaos fault injection")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; expired cells render as n/a(timeout)")
 	verbose := flag.Bool("v", false, "print engine metrics (workers, cache hits, stage times) to stderr")
+	traceFile := flag.String("trace", "", "write cycle-level simulation events (JSONL) to this file")
+	metricsFile := flag.String("metrics", "", "export engine metrics to this file (.csv = CSV, else JSON)")
+	faultsFile := flag.String("faults", "", "export cell failures to this file (.csv = CSV, else JSON)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile captured at exit to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// os.Exit skips defers, so every finalizer (trace flush, exports,
+	// profile capture) registers here and exit runs them in order.
+	var cleanup []func()
+	exit := func(code int) {
+		for _, fn := range cleanup {
+			fn()
+		}
+		stop()
+		os.Exit(code)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "paperbench: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cleanup = append(cleanup, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProfile != "" {
+		cleanup = append(cleanup, func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: memprofile: %v\n", err)
+				return
+			}
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: memprofile: %v\n", err)
+			}
+			f.Close()
+		})
+	}
 
 	opts := sim.Options{MaxIterations: *maxIters}
 	if *chaos {
@@ -81,6 +173,23 @@ func main() {
 	if *cellTimeout > 0 {
 		suiteOpts = append(suiteOpts, experiments.WithCellTimeout(*cellTimeout))
 	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(2)
+		}
+		sink := obs.NewJSONL(f)
+		suiteOpts = append(suiteOpts, experiments.WithObserver(experiments.Observer{
+			NewTracer: func(bench, loop string, v experiments.Variant) obs.Tracer { return sink },
+		}))
+		cleanup = append(cleanup, func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: trace: %v\n", err)
+			}
+			f.Close()
+		})
+	}
 
 	all := *table == 0 && *figure == 0 && *experiment == ""
 	fatal := false
@@ -97,22 +206,26 @@ func main() {
 		fmt.Println(out)
 	}
 
-	var suites []*experiments.Suite
-	newSuite := func(cfg arch.Config) *experiments.Suite {
+	var (
+		suites     []*experiments.Suite
+		suiteNames []string
+	)
+	newSuite := func(name string, cfg arch.Config) *experiments.Suite {
 		s := experiments.NewSuite(cfg, suiteOpts...)
 		suites = append(suites, s)
+		suiteNames = append(suiteNames, name)
 		return s
 	}
 	var base, ab *experiments.Suite
 	suite := func() *experiments.Suite {
 		if base == nil {
-			base = newSuite(arch.Default())
+			base = newSuite("default", arch.Default())
 		}
 		return base
 	}
 	abSuite := func() *experiments.Suite {
 		if ab == nil {
-			ab = newSuite(arch.Default().WithAttractionBuffers(16))
+			ab = newSuite("ab16", arch.Default().WithAttractionBuffers(16))
 		}
 		return ab
 	}
@@ -142,7 +255,7 @@ func main() {
 		run("figure 9", func() (string, error) { return experiments.Figure9(ctx, abSuite()) })
 	}
 	if all || *experiment == "epicloop" {
-		run("epicloop", func() (string, error) { return experiments.EpicLoop(ctx, opts) })
+		run("epicloop", func() (string, error) { return experiments.EpicLoop(ctx, opts, suiteOpts...) })
 	}
 	if all || *experiment == "layouts" {
 		run("layouts", func() (string, error) { return experiments.Layouts(ctx, opts, suiteOpts...) })
@@ -167,6 +280,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperbench: cell %s/%s failed: %s: %v\n", f.Bench, f.Variant, f.Reason, f.Err)
 	}
 
+	if *metricsFile != "" {
+		recs := make([]report.MetricsRecord, len(suites))
+		for i, s := range suites {
+			recs[i] = report.MetricsRecord{Name: suiteNames[i], Metrics: s.Metrics()}
+		}
+		exportTo(*metricsFile,
+			func(w io.Writer) error { return report.WriteMetricsCSV(w, recs) },
+			func(w io.Writer) error { return report.WriteMetricsJSON(w, recs) })
+	}
+	if *faultsFile != "" {
+		recs := make([]report.FaultRecord, len(failed))
+		for i, f := range failed {
+			recs[i] = report.FaultRecord{
+				Name:   f.Bench + "/" + f.Variant.String(),
+				Reason: f.Reason,
+				Err:    fmt.Sprint(f.Err),
+			}
+		}
+		exportTo(*faultsFile,
+			func(w io.Writer) error { return report.WriteFaultsCSV(w, recs) },
+			func(w io.Writer) error { return report.WriteFaultsJSON(w, recs) })
+	}
+
 	switch {
 	case fatal || ctx.Err() != nil:
 		// Interrupted (or a non-degradable error): report how far the grid
@@ -180,11 +316,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "paperbench: aborted: %d cells computed, %d cache hits, %d canceled, %d failed\n",
 			computed, cached, canceled, len(failed))
-		stop()
-		os.Exit(2)
+		exit(2)
 	case len(failed) > 0:
 		fmt.Fprintf(os.Stderr, "paperbench: degraded: %d cells rendered as n/a\n", len(failed))
-		stop()
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vliwcache/internal/obs"
 )
 
 // Task computes one memoizable unit of work. It must honor ctx promptly
@@ -61,8 +63,7 @@ type Engine struct {
 }
 
 type stageStat struct {
-	count int64
-	nanos int64
+	hist obs.Histogram
 }
 
 // New builds an engine with the given number of worker slots. A
@@ -212,7 +213,8 @@ func (e *Engine) Map(ctx context.Context, n int, fn func(ctx context.Context, i 
 }
 
 // RecordStage accumulates wall time attributed to a named pipeline stage
-// (prepare, profile, schedule, simulate, ...). Safe for concurrent use.
+// (prepare, profile, schedule, simulate, ...) into that stage's latency
+// histogram. Safe for concurrent use.
 func (e *Engine) RecordStage(name string, d time.Duration) {
 	e.stageMu.Lock()
 	st := e.stages[name]
@@ -220,7 +222,6 @@ func (e *Engine) RecordStage(name string, d time.Duration) {
 		st = &stageStat{}
 		e.stages[name] = st
 	}
-	st.count++
-	st.nanos += int64(d)
+	st.hist.Observe(d)
 	e.stageMu.Unlock()
 }

@@ -5,14 +5,21 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"vliwcache/internal/obs"
 )
 
 // StageTime is the accumulated wall time of one pipeline stage across all
-// tasks the engine ran.
+// tasks the engine ran, with the histogram summary of its per-run
+// latencies (p50/p95/max).
 type StageTime struct {
 	Stage string
 	Count int64
 	Total time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
 }
 
 // Metrics is a point-in-time snapshot of an engine's counters.
@@ -61,7 +68,9 @@ func (e *Engine) Metrics() Metrics {
 	}
 	e.stageMu.Lock()
 	for name, st := range e.stages {
-		m.Stages = append(m.Stages, StageTime{Stage: name, Count: st.count, Total: time.Duration(st.nanos)})
+		s := st.hist.Summarize()
+		m.Stages = append(m.Stages, StageTime{Stage: name, Count: s.Count,
+			Total: s.Total, Mean: s.Mean, P50: s.P50, P95: s.P95, Max: s.Max})
 	}
 	e.stageMu.Unlock()
 	sort.Slice(m.Stages, func(i, j int) bool { return m.Stages[i].Stage < m.Stages[j].Stage })
@@ -94,7 +103,15 @@ func (m Metrics) String() string {
 			m.Panics, m.Retries, m.TimedOut)
 	}
 	for _, st := range m.Stages {
-		fmt.Fprintf(&b, "engine: stage %-10s %6d runs  %v\n", st.Stage, st.Count, st.Total.Round(time.Millisecond))
+		fmt.Fprintf(&b, "engine: stage %-10s %6d runs  total %v  p50 %v  p95 %v  max %v\n",
+			st.Stage, st.Count, st.Total.Round(time.Millisecond),
+			st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond), st.Max.Round(time.Microsecond))
 	}
 	return b.String()
+}
+
+// Summary converts a StageTime back into an obs.Summary (for exports).
+func (st StageTime) Summary() obs.Summary {
+	return obs.Summary{Count: st.Count, Total: st.Total, Mean: st.Mean,
+		P50: st.P50, P95: st.P95, Max: st.Max}
 }

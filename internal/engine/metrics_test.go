@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Utilization divides by wall time × pool size; a zero-value snapshot
+// (no wall time elapsed, no workers) must yield 0, not NaN.
+func TestUtilizationZero(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+	}{
+		{"zero value", Metrics{}},
+		{"workers but no wall", Metrics{Workers: 8}},
+		{"wall but no workers", Metrics{Wall: time.Second}},
+	}
+	for _, tc := range cases {
+		if u := tc.m.Utilization(); u != 0 {
+			t.Errorf("%s: Utilization = %v, want 0", tc.name, u)
+		}
+		if out := tc.m.String(); strings.Contains(out, "NaN") {
+			t.Errorf("%s: String() leaked NaN: %s", tc.name, out)
+		}
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	m := Metrics{Workers: 1, Wall: time.Second, Busy: 2 * time.Second}
+	if u := m.Utilization(); u != 1 {
+		t.Errorf("Utilization = %v, want clamp to 1", u)
+	}
+}
+
+func TestStageHistogramSummaries(t *testing.T) {
+	e := New(2)
+	for i := 1; i <= 100; i++ {
+		e.RecordStage("simulate", time.Duration(i)*time.Millisecond)
+	}
+	m := e.Metrics()
+	if len(m.Stages) != 1 {
+		t.Fatalf("got %d stages, want 1", len(m.Stages))
+	}
+	st := m.Stages[0]
+	if st.Stage != "simulate" || st.Count != 100 {
+		t.Fatalf("stage = %+v", st)
+	}
+	if st.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", st.P50)
+	}
+	if st.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", st.P95)
+	}
+	if st.Max != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", st.Max)
+	}
+	if st.Total != 5050*time.Millisecond {
+		t.Errorf("total = %v", st.Total)
+	}
+	sum := st.Summary()
+	if sum.Count != 100 || sum.Max != st.Max {
+		t.Errorf("Summary round trip: %+v", sum)
+	}
+}

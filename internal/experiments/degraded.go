@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"vliwcache/internal/engine"
+	"vliwcache/internal/ir"
 )
 
 // CellFailure records why one (benchmark, variant) grid cell could not be
@@ -134,4 +135,28 @@ func (s *Suite) cellDegraded(ctx context.Context, bench string, v Variant) (*Cel
 		return nil, nil, err
 	}
 	return nil, s.recordFailure(bench, v, err), nil
+}
+
+// loopDegraded runs one standalone loop through the suite engine — so the
+// cell timeout, retry envelope and degraded-mode accounting all apply —
+// recording any failure under the given pseudo-benchmark name. Case
+// studies like EpicLoop use it to get cellDegraded semantics for runs
+// that are not part of the benchmark × variant grid.
+func (s *Suite) loopDegraded(ctx context.Context, name string, loop *ir.Loop, v Variant) (*LoopRun, *CellFailure, error) {
+	if s.degraded {
+		if f := s.failure(name, v); f != nil {
+			return nil, f, nil
+		}
+	}
+	key := name + "/" + loop.Name + "/" + v.String()
+	val, err := s.engine().Do(ctx, key, func(ctx context.Context) (any, error) {
+		return s.runLoop(ctx, loop, s.Base, v, s.SimOptions, name)
+	})
+	if err == nil {
+		return val.(*LoopRun), nil, nil
+	}
+	if !s.degraded {
+		return nil, nil, err
+	}
+	return nil, s.recordFailure(name, v, err), nil
 }

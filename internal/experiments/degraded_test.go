@@ -105,6 +105,69 @@ func TestDegradedCleanOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// When every cell fails (a 1ns cell timeout kills them all), the
+// renderers must produce n/a rows and n/a aggregates — never NaN or
+// garbage numbers from empty totals — and every failure must reach the
+// hook so paperbench can exit 1 (degraded) instead of 2 (fatal).
+func TestAllCellsFailNoGarbageAggregates(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		hooked []*CellFailure
+	)
+	allFail := []Option{
+		WithSimOptions(degradedSimOpts),
+		WithDegraded(),
+		WithCellTimeout(time.Nanosecond),
+		WithFailureHook(func(f *CellFailure) {
+			mu.Lock()
+			hooked = append(hooked, f)
+			mu.Unlock()
+		}),
+	}
+	ctx := context.Background()
+
+	s := NewSuite(arch.Default(), allFail...)
+	fig7, err := Figure7(ctx, s)
+	if err != nil {
+		t.Fatalf("all-fail Figure7 must degrade, not fail: %v", err)
+	}
+	if strings.Contains(fig7, "NaN") {
+		t.Errorf("Figure7 leaked NaN:\n%s", fig7)
+	}
+	if !strings.Contains(fig7, "AMEAN") || !strings.Contains(fig7, "n/a") {
+		t.Errorf("Figure7 must render n/a aggregates:\n%s", fig7)
+	}
+
+	hy, err := Hybrid(ctx, degradedSimOpts, allFail...)
+	if err != nil {
+		t.Fatalf("all-fail Hybrid must degrade, not fail: %v", err)
+	}
+	if strings.Contains(hy, "NaN") {
+		t.Errorf("Hybrid leaked NaN:\n%s", hy)
+	}
+	// The totals line divides by the hybrid total, which is zero here.
+	if !strings.Contains(hy, "n/a over always-MDC") {
+		t.Errorf("Hybrid totals must render n/a, got:\n%s", hy)
+	}
+
+	ep, err := EpicLoop(ctx, degradedSimOpts, allFail...)
+	if err != nil {
+		t.Fatalf("all-fail EpicLoop must degrade, not fail: %v", err)
+	}
+	if strings.Contains(ep, "NaN") {
+		t.Errorf("EpicLoop leaked NaN:\n%s", ep)
+	}
+	if !strings.Contains(ep, "n/a(timeout)") {
+		t.Errorf("EpicLoop must render n/a rows:\n%s", ep)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hooked) == 0 {
+		t.Error("no failures reached the hook; paperbench could not exit 1")
+	}
+}
+
 func TestDegradedCellTimeout(t *testing.T) {
 	s := NewSuite(arch.Default(),
 		WithSimOptions(degradedSimOpts),

@@ -247,8 +247,11 @@ func Nobal(ctx context.Context, simOpts sim.Options, opts ...Option) (string, er
 
 // EpicLoop reproduces the §5.4 case study: the epicdec loop whose 76-op
 // memory dependent chain overflows a single Attraction Buffer under MDC
-// while DDGT spreads its accesses over all four buffers.
-func EpicLoop(ctx context.Context, simOpts sim.Options) (string, error) {
+// while DDGT spreads its accesses over all four buffers. The runs go
+// through an internal suite, so WithDegraded, WithCellTimeout and
+// WithFailureHook apply exactly as they do to the grid experiments: a
+// failed run renders as n/a(reason) instead of aborting the table.
+func EpicLoop(ctx context.Context, simOpts sim.Options, opts ...Option) (string, error) {
 	bench, err := mediabench.Get("epicdec")
 	if err != nil {
 		return "", err
@@ -259,17 +262,20 @@ func EpicLoop(ctx context.Context, simOpts sim.Options) (string, error) {
 	t := textplot.NewTable("config", "variant", "local hit ratio", "stall cycles", "total cycles")
 	for _, ab := range []int{0, 16} {
 		cfg := arch.Default().WithInterleave(bench.Interleave)
+		label := "no AB"
 		if ab > 0 {
 			cfg = cfg.WithAttractionBuffers(ab)
+			label = fmt.Sprintf("%d-entry AB", ab)
 		}
+		s := NewSuite(cfg, append([]Option{WithSimOptions(simOpts)}, opts...)...)
 		for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
-			run, err := RunLoop(ctx, loop, cfg, v, simOpts)
+			run, f, err := s.loopDegraded(ctx, "epicloop("+label+")", loop, v)
 			if err != nil {
 				return "", err
 			}
-			label := "no AB"
-			if ab > 0 {
-				label = fmt.Sprintf("%d-entry AB", ab)
+			if f != nil {
+				t.Rowf("%s\t%s\t%s\t%s\t%s", label, v, naCell(f), "-", "-")
+				continue
 			}
 			t.Rowf("%s\t%s\t%.1f%%\t%d\t%d", label, v,
 				100*run.Stats.LocalHitRatio(), run.Stats.StallCycles, run.Stats.Cycles())

@@ -56,15 +56,22 @@ func Hybrid(ctx context.Context, simOpts sim.Options, opts ...Option) (string, e
 		mdcTotal += mdc.Total.Cycles()
 		ddgtTotal += dt.Total.Cycles()
 		hyTotal += hy
-		speedup := float64(mdc.Total.Cycles())/float64(hy) - 1
-		t.Rowf("%s\t%d\t%d\t%d\t%+.1f%%\t%s",
+		t.Rowf("%s\t%d\t%d\t%d\t%s\t%s",
 			bench.Name, mdc.Total.Cycles(), dt.Total.Cycles(), hy,
-			100*speedup, strings.Join(picked, " "))
+			pctDelta(mdc.Total.Cycles(), hy), strings.Join(picked, " "))
 	}
 	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\ntotals: MDC %d, DDGT %d, hybrid %d (%.1f%% over always-MDC, %.1f%% over always-DDGT)\n",
+	fmt.Fprintf(&b, "\ntotals: MDC %d, DDGT %d, hybrid %d (%s over always-MDC, %s over always-DDGT)\n",
 		mdcTotal, ddgtTotal, hyTotal,
-		100*(float64(mdcTotal)/float64(hyTotal)-1),
-		100*(float64(ddgtTotal)/float64(hyTotal)-1))
+		pctDelta(mdcTotal, hyTotal), pctDelta(ddgtTotal, hyTotal))
 	return b.String(), nil
+}
+
+// pctDelta renders num/den - 1 as a signed percentage, or n/a when the
+// denominator is zero (every contributing cell failed in degraded mode).
+func pctDelta(num, den int64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(num)/float64(den)-1))
 }

@@ -28,6 +28,7 @@ import (
 	"vliwcache/internal/engine"
 	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
+	"vliwcache/internal/obs"
 	"vliwcache/internal/profiler"
 	"vliwcache/internal/sched"
 	"vliwcache/internal/sim"
@@ -103,6 +104,7 @@ type Suite struct {
 
 	parallelism int
 	tracer      func(TraceEvent)
+	observer    Observer
 
 	// Degraded-mode state (chaos mode). When degraded is set, a cell that
 	// fails — pipeline error, panic, deadline — is recorded instead of
@@ -138,6 +140,24 @@ func WithParallelism(n int) Option {
 // for concurrent use.
 func WithTracer(fn func(TraceEvent)) Option {
 	return func(s *Suite) { s.tracer = fn }
+}
+
+// Observer supplies cycle-level simulation tracers to a suite's runs.
+// NewTracer is called once per pipeline run (one loop under one variant)
+// just before simulation; the tracer it returns receives every obs.Event
+// the simulator emits for that run. Returning nil leaves that run
+// untraced (the zero-overhead path). Runs execute on worker goroutines,
+// so NewTracer — and any tracer shared between runs — must be safe for
+// concurrent use.
+type Observer struct {
+	NewTracer func(bench, loop string, v Variant) obs.Tracer
+}
+
+// WithObserver installs an Observer whose tracers capture cycle-level
+// simulation events (issues, bank arrivals, bus transfers, AB activity,
+// stalls) for every run the suite executes.
+func WithObserver(o Observer) Option {
+	return func(s *Suite) { s.observer = o }
 }
 
 // WithCellTimeout bounds the wall time of each cell computation. A cell
@@ -368,6 +388,9 @@ func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v V
 		return nil, err
 	}
 	t0 = time.Now()
+	if s.observer.NewTracer != nil {
+		opts.Tracer = s.observer.NewTracer(bench, loop.Name, v)
+	}
 	st, err := sim.RunCtx(ctx, sc, opts)
 	stageDone("simulate", t0, err)
 	if err != nil {

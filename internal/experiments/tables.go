@@ -127,8 +127,14 @@ func Table5() string {
 		"(NEW) applying code specialization.\n\n" + t.String()
 }
 
-// pct formats a ratio as a percentage string.
-func pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }
+// pct formats a ratio as a percentage string. NaN (a ratio computed from
+// an empty run) renders as 0.0% so degraded cells stay machine-parseable.
+func pct(f float64) string {
+	if f != f {
+		f = 0
+	}
+	return fmt.Sprintf("%5.1f%%", 100*f)
+}
 
 // amean returns the arithmetic mean of the values.
 func amean(vals []float64) float64 {

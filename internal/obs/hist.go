@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates duration samples and summarizes them as quantiles.
+// The experiment engine keeps one per pipeline stage; with thousands of
+// grid cells at most, retaining raw samples is cheaper and more accurate
+// than a sketch. Not safe for concurrent use; callers lock around it.
+type Histogram struct {
+	samples []time.Duration
+	sum     time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+}
+
+// Count is the number of recorded samples.
+func (h *Histogram) Count() int64 { return int64(len(h.samples)) }
+
+// Sum is the total of all recorded samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Quantile returns the p-quantile (0 <= p <= 1) using nearest-rank on the
+// sorted samples, or 0 when empty.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(p*float64(len(h.samples))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summarize digests the histogram.
+func (h *Histogram) Summarize() Summary {
+	s := Summary{Count: h.Count(), Total: h.sum}
+	if s.Count > 0 {
+		s.Mean = h.sum / time.Duration(s.Count)
+		s.P50 = h.Quantile(0.50)
+		s.P95 = h.Quantile(0.95)
+		s.Max = h.Max()
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d total=%v mean=%v p50=%v p95=%v max=%v",
+		s.Count, s.Total.Round(time.Microsecond), s.Mean.Round(time.Microsecond),
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,214 @@
+// Package obs is the observability layer: structured cycle-level event
+// tracing for the simulator and latency histograms for the experiment
+// pipeline.
+//
+// The design contract is zero overhead when disabled: producers hold a
+// Tracer interface value that is nil when tracing is off and guard every
+// emission site with a single nil check, so the simulator hot path is
+// unchanged when no tracer is installed (guarded by the `make obs`
+// benchmark). When enabled, events are fixed-size structs routed to a
+// sink — a bounded in-memory Ring for interactive debugging, a JSONL
+// stream for machine-readable replay, or a Count sink that only
+// aggregates per-kind totals (used by the trace-reconciliation tests).
+//
+// Event streams are deterministic: every field derives from simulation
+// state, so two runs of the same schedule with the same fault seed
+// produce byte-identical JSONL files.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind enumerates the traced event types.
+type Kind uint8
+
+const (
+	// KindIssue: one scheduled op (or inter-cluster copy) issued.
+	// Arg is the op's completion time; Addr is 0 for non-memory ops.
+	KindIssue Kind = iota
+	// KindStall: the lockstep machine stalled on an unavailable source
+	// value (stall-on-use). Arg is the number of stall cycles paid;
+	// their sum reconciles exactly with Stats.StallCycles.
+	KindStall
+	// KindAccess: one classified memory access. Class holds the
+	// sim.Class; per-class counts reconcile exactly with Stats.Accesses.
+	KindAccess
+	// KindBankArrival: the access's serialization point saw the request.
+	// Cycle is the arrival time at the bank (or next level / remote copy).
+	KindBankArrival
+	// KindBusTransfer: a memory-bus transfer was granted. Cycle is the
+	// request time, Arg the grant completion time.
+	KindBusTransfer
+	// KindABHit: an Attraction Buffer satisfied a remote access locally.
+	KindABHit
+	// KindABFlush: an Attraction Buffer was emptied (loop boundary or
+	// injected adversarial replacement). Arg is 1 for injected flushes.
+	KindABFlush
+	// KindABInvalidate: a pending or present AB copy was dropped because
+	// a store made it stale.
+	KindABInvalidate
+	// KindCoherence: the coherence checker ran. Arg is the number of
+	// ordering violations found.
+	KindCoherence
+
+	numKinds = int(KindCoherence) + 1
+)
+
+var kindNames = [numKinds]string{
+	"issue", "stall", "access", "bank_arrival", "bus_transfer",
+	"ab_hit", "ab_flush", "ab_invalidate", "coherence",
+}
+
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// NumKinds is the number of defined event kinds.
+const NumKinds = numKinds
+
+// Event is one traced occurrence. It is a flat fixed-size struct so ring
+// storage and JSONL encoding stay allocation-light and deterministic.
+// Field meaning varies slightly by Kind (see the Kind constants).
+type Event struct {
+	Kind    Kind
+	Class   int8  // sim access class for KindAccess/KindBankArrival, else -1
+	Op      int32 // op ID (or copy index for copy issues), -1 when n/a
+	Cluster int32 // issuing cluster, -1 when n/a
+	Entry   int64 // loop entry index
+	Iter    int64 // iteration within the entry
+	Cycle   int64 // primary timestamp (issue time, flush time, ...)
+	Addr    uint64
+	Arg     int64 // kind-specific payload (see Kind constants)
+}
+
+// Tracer receives events. Implementations must be safe for use from a
+// single simulation goroutine; sinks shared across concurrent runs (the
+// JSONL sink behind paperbench -trace) serialize internally.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Flusher is implemented by sinks that buffer output.
+type Flusher interface {
+	Flush() error
+}
+
+// Ring is a bounded in-memory sink keeping the most recent events.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing builds a ring sink holding up to n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total is the number of events emitted, including evicted ones.
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events in emission order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Count aggregates per-kind totals without retaining events: the cheapest
+// enabled sink, used by reconciliation tests and overhead measurements.
+type Count struct {
+	N        [NumKinds]int64
+	StallSum int64              // summed KindStall Arg (total stall cycles)
+	ByClass  map[int8]int64     // KindAccess events per sim class
+}
+
+// NewCount builds a counting sink.
+func NewCount() *Count { return &Count{ByClass: make(map[int8]int64)} }
+
+// Emit implements Tracer.
+func (c *Count) Emit(e Event) {
+	if int(e.Kind) < NumKinds {
+		c.N[e.Kind]++
+	}
+	switch e.Kind {
+	case KindStall:
+		c.StallSum += e.Arg
+	case KindAccess:
+		c.ByClass[e.Class]++
+	}
+}
+
+// Accesses is the total number of KindAccess events seen.
+func (c *Count) Accesses() int64 { return c.N[KindAccess] }
+
+// JSONL streams events as JSON Lines. Encoding is hand-rolled with a fixed
+// field order so equal event streams produce byte-identical files. Safe
+// for concurrent emitters (each event line is written atomically).
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewJSONL builds a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: bufio.NewWriter(w)} }
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	fmt.Fprintf(j.w,
+		`{"kind":%q,"entry":%d,"iter":%d,"cycle":%d,"op":%d,"cluster":%d,"class":%d,"addr":%d,"arg":%d}`+"\n",
+		e.Kind.String(), e.Entry, e.Iter, e.Cycle, e.Op, e.Cluster, e.Class, e.Addr, e.Arg)
+	j.mu.Unlock()
+}
+
+// Flush drains the buffered output to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Flush()
+}
+
+// Tee fans every event out to each sink in order.
+type Tee []Tracer
+
+// Emit implements Tracer.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// Flush flushes every sink that buffers.
+func (t Tee) Flush() error {
+	for _, s := range t {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindIssue, Cycle: int64(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (emission order)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestRingUnderfill(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Cycle: 1})
+	r.Emit(Event{Cycle: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Fatalf("underfilled ring events = %v", evs)
+	}
+}
+
+func TestJSONLDeterministicAndParseable(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		j := NewJSONL(&buf)
+		j.Emit(Event{Kind: KindAccess, Class: 2, Op: 7, Cluster: 1, Entry: 0, Iter: 33, Cycle: 120, Addr: 0x1f40, Arg: 0})
+		j.Emit(Event{Kind: KindStall, Class: -1, Op: -1, Cluster: -1, Cycle: 121, Arg: 5})
+		if err := j.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatal("equal event streams must serialize byte-identically")
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"access"`) || !strings.Contains(lines[0], `"addr":8000`) {
+		t.Errorf("unexpected access line: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kind":"stall"`) || !strings.Contains(lines[1], `"arg":5`) {
+		t.Errorf("unexpected stall line: %s", lines[1])
+	}
+}
+
+func TestCountSink(t *testing.T) {
+	c := NewCount()
+	c.Emit(Event{Kind: KindAccess, Class: 0})
+	c.Emit(Event{Kind: KindAccess, Class: 0})
+	c.Emit(Event{Kind: KindAccess, Class: 3})
+	c.Emit(Event{Kind: KindStall, Arg: 7})
+	c.Emit(Event{Kind: KindStall, Arg: 3})
+	if c.Accesses() != 3 {
+		t.Errorf("Accesses = %d, want 3", c.Accesses())
+	}
+	if c.StallSum != 10 {
+		t.Errorf("StallSum = %d, want 10", c.StallSum)
+	}
+	if c.ByClass[0] != 2 || c.ByClass[3] != 1 {
+		t.Errorf("ByClass = %v", c.ByClass)
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewCount(), NewRing(2)
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	tee := Tee{a, b, j}
+	tee.Emit(Event{Kind: KindABHit})
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a.N[KindABHit] != 1 || b.Total() != 1 || !strings.Contains(buf.String(), "ab_hit") {
+		t.Error("tee must fan out to every sink")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if s := h.Summarize(); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Quantile(0.95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", got)
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.Total != 5050*time.Millisecond || s.Mean != 5050*time.Millisecond/100 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Observing after a quantile query must keep the digest correct.
+	h.Observe(500 * time.Millisecond)
+	if got := h.Max(); got != 500*time.Millisecond {
+		t.Errorf("max after late observe = %v, want 500ms", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := Kind(200).String(); !strings.HasPrefix(s, "Kind(") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}

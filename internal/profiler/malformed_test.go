@@ -1,0 +1,92 @@
+package profiler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/ir"
+)
+
+// ghostLoop builds a loop whose load references a symbol that is missing
+// from the symbol table — the malformed input a caller can produce by
+// skipping ir.Loop.Validate or by mutating Symbols after construction.
+func ghostLoop(t *testing.T) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("ghostly")
+	b.Symbol("real", 0x1000, 4096)
+	b.Trip(16, 1)
+	v := b.Load("real", ir.AddrExpr{Base: "real", Stride: 4, Size: 4})
+	b.Store("real", ir.AddrExpr{Base: "real", Offset: 64, Stride: 4, Size: 4}, v)
+	l := b.Loop()
+	l.Ops[1].Addr.Base = "ghost" // the store now references a missing symbol
+	return l
+}
+
+// Run must not panic on a memory op whose address base names no symbol;
+// it skips the op with a typed diagnostic and profiles the rest.
+func TestRunSkipsUnknownSymbol(t *testing.T) {
+	l := ghostLoop(t)
+	p := Run(l, arch.Default())
+
+	if len(p.Skipped) != 1 {
+		t.Fatalf("got %d skipped diagnostics, want 1: %v", len(p.Skipped), p.Skipped)
+	}
+	d := p.Skipped[0]
+	if d.Loop != "ghostly" || d.Op != 1 || d.Base != "ghost" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	for _, sub := range []string{"ghostly", "op 1", `"ghost"`} {
+		if !strings.Contains(d.Error(), sub) {
+			t.Errorf("error %q does not mention %s", d.Error(), sub)
+		}
+	}
+
+	// The well-formed load is still profiled; the skipped store reports
+	// no preference, like a non-memory op.
+	if got := p.Preferred(0); got < 0 {
+		t.Errorf("Preferred(0) = %d, want a cluster", got)
+	}
+	if got := p.Preferred(1); got != -1 {
+		t.Errorf("Preferred(1) = %d, want -1 for the skipped op", got)
+	}
+}
+
+func TestRunStrictRejectsUnknownSymbol(t *testing.T) {
+	l := ghostLoop(t)
+	p, err := RunStrict(l, arch.Default())
+	if err == nil {
+		t.Fatal("RunStrict accepted a loop with an unknown address base")
+	}
+	if p != nil {
+		t.Error("a rejected profile must be nil")
+	}
+	var use *UnknownSymbolError
+	if !errors.As(err, &use) {
+		t.Fatalf("error is %T, want *UnknownSymbolError", err)
+	}
+	if use.Base != "ghost" {
+		t.Errorf("Base = %q", use.Base)
+	}
+
+	// The strict check also fires under replicated layouts, where the
+	// profiling walk itself is skipped entirely.
+	if _, err := RunStrict(l, arch.Default().WithLayout(arch.LayoutReplicated)); err == nil {
+		t.Error("RunStrict missed the unknown symbol under the replicated layout")
+	}
+}
+
+func TestRunStrictAcceptsWellFormed(t *testing.T) {
+	b := ir.NewBuilder("ok")
+	b.Symbol("a", 0x2000, 1024)
+	b.Trip(8, 1)
+	b.Load("a", ir.AddrExpr{Base: "a", Stride: 4, Size: 4})
+	p, err := RunStrict(b.Loop(), arch.Default())
+	if err != nil {
+		t.Fatalf("RunStrict: %v", err)
+	}
+	if len(p.Skipped) != 0 {
+		t.Errorf("unexpected diagnostics: %v", p.Skipped)
+	}
+}

@@ -12,15 +12,35 @@
 package profiler
 
 import (
+	"fmt"
+
 	"vliwcache/internal/arch"
 	"vliwcache/internal/ir"
 )
+
+// UnknownSymbolError reports a memory op whose address base names no
+// symbol of its loop — the loop skipped ir.Loop.Validate, or the symbol
+// table was mutated after construction.
+type UnknownSymbolError struct {
+	Loop string
+	Op   int
+	Base string
+}
+
+func (e *UnknownSymbolError) Error() string {
+	return fmt.Sprintf("profiler: loop %q op %d: address base %q names no symbol", e.Loop, e.Op, e.Base)
+}
 
 // Profile holds per-op home-cluster histograms for one loop.
 type Profile struct {
 	NumClusters int
 	// Hist maps op ID to per-cluster access counts.
 	Hist map[int][]int64
+	// Skipped diagnoses memory ops the profiling walk could not place
+	// because their address base names no symbol. Skipped ops have no
+	// histogram, so Preferred reports -1 for them — the same "no
+	// preference" answer non-memory ops get.
+	Skipped []*UnknownSymbolError
 }
 
 // Run profiles a loop on its profile input. Loops without an explicit
@@ -50,14 +70,32 @@ func Run(loop *ir.Loop, cfg arch.Config) *Profile {
 		if !o.Kind.IsMem() {
 			continue
 		}
+		sym := loop.Symbols[o.Addr.Base]
+		if sym == nil {
+			p.Skipped = append(p.Skipped, &UnknownSymbolError{Loop: loop.Name, Op: o.ID, Base: o.Addr.Base})
+			continue
+		}
 		h := make([]int64, cfg.NumClusters)
-		base := loop.Symbols[o.Addr.Base].Base + uint64(loop.ProfileShift)
+		base := sym.Base + uint64(loop.ProfileShift)
 		for i := int64(0); i < trip; i++ {
 			h[cfg.HomeCluster(o.Addr.AddrAt(base, i))]++
 		}
 		p.Hist[o.ID] = h
 	}
 	return p
+}
+
+// RunStrict is Run with malformed input reported instead of tolerated: a
+// memory op whose address base names no symbol yields an
+// *UnknownSymbolError. Unlike Run, the check applies under every cache
+// layout, including replicated ones that skip the profiling walk.
+func RunStrict(loop *ir.Loop, cfg arch.Config) (*Profile, error) {
+	for _, o := range loop.Ops {
+		if o.Kind.IsMem() && loop.Symbols[o.Addr.Base] == nil {
+			return nil, &UnknownSymbolError{Loop: loop.Name, Op: o.ID, Base: o.Addr.Base}
+		}
+	}
+	return Run(loop, cfg), nil
 }
 
 // Preferred returns the preferred cluster of the op, or -1 when the op has

@@ -1,0 +1,249 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vliwcache/internal/engine"
+	"vliwcache/internal/sim"
+)
+
+// Machine-readable exports. Every figure and table of the evaluation is
+// backed by sim.Stats and engine.Metrics values; these writers serialize
+// them (plus chaos-mode fault logs) as JSON and CSV so external tooling
+// can consume a run without scraping the ASCII artifacts. Field sets and
+// column orders are fixed, so equal inputs produce byte-identical output.
+
+// StatsRecord labels one Stats value for export (a loop, a benchmark
+// total, a whole-suite aggregate...).
+type StatsRecord struct {
+	Name  string
+	Stats *sim.Stats
+}
+
+// statsView is the flattened projection of sim.Stats: raw counters plus
+// the derived quantities the paper reports. NaN can never appear — ratio
+// accessors return 0 for empty runs.
+type statsView struct {
+	Name              string  `json:"name"`
+	Iterations        int64   `json:"iterations"`
+	Entries           int64   `json:"entries"`
+	Cycles            int64   `json:"cycles"`
+	ComputeCycles     int64   `json:"compute_cycles"`
+	StallCycles       int64   `json:"stall_cycles"`
+	TotalAccesses     int64   `json:"total_accesses"`
+	LocalHits         int64   `json:"local_hits"`
+	RemoteHits        int64   `json:"remote_hits"`
+	LocalMisses       int64   `json:"local_misses"`
+	RemoteMisses      int64   `json:"remote_misses"`
+	Combined          int64   `json:"combined"`
+	LocalHitRatio     float64 `json:"local_hit_ratio"`
+	ABHits            int64   `json:"ab_hits"`
+	ABUpdates         int64   `json:"ab_updates"`
+	NullifiedStores   int64   `json:"nullified_stores"`
+	CommOps           int64   `json:"comm_ops"`
+	Violations        int64   `json:"violations"`
+	BusTransfers      int64   `json:"bus_transfers"`
+	BusWaitedCycles   int64   `json:"bus_waited_cycles"`
+	NextLevelRequests int64   `json:"next_level_requests"`
+	PortsWaited       int64   `json:"ports_waited"`
+	Evictions         int64   `json:"evictions"`
+	Writebacks        int64   `json:"writebacks"`
+	ABFlushes         int64   `json:"ab_flushes"`
+	ABDirtyWritebacks int64   `json:"ab_dirty_writebacks"`
+	InjectedFaults    int64   `json:"injected_faults"`
+}
+
+func viewOf(r StatsRecord) statsView {
+	s := r.Stats
+	return statsView{
+		Name:       r.Name,
+		Iterations: s.Iterations, Entries: s.Entries,
+		Cycles: s.Cycles(), ComputeCycles: s.ComputeCycles, StallCycles: s.StallCycles,
+		TotalAccesses: s.TotalAccesses(),
+		LocalHits:     s.Accesses[sim.LocalHit], RemoteHits: s.Accesses[sim.RemoteHit],
+		LocalMisses: s.Accesses[sim.LocalMiss], RemoteMisses: s.Accesses[sim.RemoteMiss],
+		Combined:      s.Accesses[sim.Combined],
+		LocalHitRatio: s.LocalHitRatio(),
+		ABHits:        s.ABHits, ABUpdates: s.ABUpdates,
+		NullifiedStores: s.NullifiedStores, CommOps: s.CommOps, Violations: s.Violations,
+		BusTransfers: s.BusTransfers, BusWaitedCycles: s.BusWaitedCycles,
+		NextLevelRequests: s.NextLevelRequests, PortsWaited: s.PortsWaited,
+		Evictions: s.Evictions, Writebacks: s.Writebacks,
+		ABFlushes: s.ABFlushes, ABDirtyWritebacks: s.ABDirtyWritebacks,
+		InjectedFaults: s.InjectedFaults,
+	}
+}
+
+// WriteStatsJSON serializes the records as a JSON array.
+func WriteStatsJSON(w io.Writer, recs []StatsRecord) error {
+	views := make([]statsView, len(recs))
+	for i, r := range recs {
+		views[i] = viewOf(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(views)
+}
+
+var statsHeader = []string{
+	"name", "iterations", "entries", "cycles", "compute_cycles", "stall_cycles",
+	"total_accesses", "local_hits", "remote_hits", "local_misses", "remote_misses",
+	"combined", "local_hit_ratio", "ab_hits", "ab_updates", "nullified_stores",
+	"comm_ops", "violations", "bus_transfers", "bus_waited_cycles",
+	"next_level_requests", "ports_waited", "evictions", "writebacks",
+	"ab_flushes", "ab_dirty_writebacks", "injected_faults",
+}
+
+// WriteStatsCSV serializes the records as CSV with a fixed header row.
+func WriteStatsCSV(w io.Writer, recs []StatsRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(statsHeader); err != nil {
+		return err
+	}
+	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, r := range recs {
+		v := viewOf(r)
+		row := []string{
+			v.Name, i64(v.Iterations), i64(v.Entries), i64(v.Cycles),
+			i64(v.ComputeCycles), i64(v.StallCycles), i64(v.TotalAccesses),
+			i64(v.LocalHits), i64(v.RemoteHits), i64(v.LocalMisses), i64(v.RemoteMisses),
+			i64(v.Combined), strconv.FormatFloat(v.LocalHitRatio, 'f', 6, 64),
+			i64(v.ABHits), i64(v.ABUpdates), i64(v.NullifiedStores),
+			i64(v.CommOps), i64(v.Violations), i64(v.BusTransfers), i64(v.BusWaitedCycles),
+			i64(v.NextLevelRequests), i64(v.PortsWaited), i64(v.Evictions), i64(v.Writebacks),
+			i64(v.ABFlushes), i64(v.ABDirtyWritebacks), i64(v.InjectedFaults),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// stageView serializes one pipeline stage's latency summary.
+type stageView struct {
+	Stage string `json:"stage"`
+	Count int64  `json:"count"`
+	Total int64  `json:"total_ns"`
+	Mean  int64  `json:"mean_ns"`
+	P50   int64  `json:"p50_ns"`
+	P95   int64  `json:"p95_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// metricsView serializes one engine.Metrics snapshot.
+type metricsView struct {
+	Name        string      `json:"name"`
+	Workers     int         `json:"workers"`
+	Submitted   int64       `json:"submitted"`
+	Computed    int64       `json:"computed"`
+	CacheHits   int64       `json:"cache_hits"`
+	FlightWaits int64       `json:"flight_waits"`
+	Canceled    int64       `json:"canceled"`
+	Panics      int64       `json:"panics"`
+	Retries     int64       `json:"retries"`
+	TimedOut    int64       `json:"timed_out"`
+	BusyNS      int64       `json:"busy_ns"`
+	WallNS      int64       `json:"wall_ns"`
+	Utilization float64     `json:"utilization"`
+	Stages      []stageView `json:"stages"`
+}
+
+// MetricsRecord labels one engine metrics snapshot for export.
+type MetricsRecord struct {
+	Name    string
+	Metrics engine.Metrics
+}
+
+func metricsViewOf(r MetricsRecord) metricsView {
+	m := r.Metrics
+	v := metricsView{
+		Name: r.Name, Workers: m.Workers, Submitted: m.Submitted,
+		Computed: m.Computed, CacheHits: m.CacheHits, FlightWaits: m.FlightWaits,
+		Canceled: m.Canceled, Panics: m.Panics, Retries: m.Retries, TimedOut: m.TimedOut,
+		BusyNS: int64(m.Busy), WallNS: int64(m.Wall), Utilization: m.Utilization(),
+	}
+	for _, st := range m.Stages {
+		v.Stages = append(v.Stages, stageView{
+			Stage: st.Stage, Count: st.Count, Total: int64(st.Total),
+			Mean: int64(st.Mean), P50: int64(st.P50), P95: int64(st.P95), Max: int64(st.Max),
+		})
+	}
+	return v
+}
+
+// WriteMetricsJSON serializes engine metrics snapshots as a JSON array.
+func WriteMetricsJSON(w io.Writer, recs []MetricsRecord) error {
+	views := make([]metricsView, len(recs))
+	for i, r := range recs {
+		views[i] = metricsViewOf(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(views)
+}
+
+// WriteMetricsCSV serializes per-stage latency rows as CSV.
+func WriteMetricsCSV(w io.Writer, recs []MetricsRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "stage", "count", "total_ns", "mean_ns", "p50_ns", "p95_ns", "max_ns"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		v := metricsViewOf(r)
+		for _, st := range v.Stages {
+			row := []string{
+				v.Name, st.Stage, strconv.FormatInt(st.Count, 10),
+				strconv.FormatInt(st.Total, 10), strconv.FormatInt(st.Mean, 10),
+				strconv.FormatInt(st.P50, 10), strconv.FormatInt(st.P95, 10),
+				strconv.FormatInt(st.Max, 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FaultRecord labels one chaos-mode fault log for export: either a
+// per-run injector log (Faults/Log) or a degraded-mode cell failure
+// (Reason/Err).
+type FaultRecord struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason,omitempty"`
+	Err    string `json:"error,omitempty"`
+	Faults int64  `json:"faults,omitempty"`
+	Log    string `json:"log,omitempty"`
+}
+
+// WriteFaultsJSON serializes fault records as a JSON array.
+func WriteFaultsJSON(w io.Writer, recs []FaultRecord) error {
+	if recs == nil {
+		recs = []FaultRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WriteFaultsCSV serializes fault records as CSV.
+func WriteFaultsCSV(w io.Writer, recs []FaultRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "reason", "error", "faults"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := cw.Write([]string{r.Name, r.Reason, r.Err, fmt.Sprint(r.Faults)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwcache/internal/engine"
+	"vliwcache/internal/sim"
+)
+
+func sampleStats() *sim.Stats {
+	s := &sim.Stats{Iterations: 10, Entries: 2, ComputeCycles: 100, StallCycles: 40}
+	s.Accesses[sim.LocalHit] = 6
+	s.Accesses[sim.RemoteHit] = 2
+	s.Accesses[sim.LocalMiss] = 1
+	s.Accesses[sim.RemoteMiss] = 1
+	s.Accesses[sim.Combined] = 3
+	s.ABHits = 4
+	return s
+}
+
+func TestWriteStatsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []StatsRecord{
+		{Name: "gsmdec/MDC+PrefClus", Stats: sampleStats()},
+		{Name: "empty", Stats: &sim.Stats{}}, // must not produce NaN
+	}
+	if err := WriteStatsJSON(&buf, recs); err != nil {
+		t.Fatalf("WriteStatsJSON: %v", err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0]["name"] != "gsmdec/MDC+PrefClus" {
+		t.Errorf("name = %v", got[0]["name"])
+	}
+	if got[0]["cycles"].(float64) != 140 {
+		t.Errorf("cycles = %v, want 140", got[0]["cycles"])
+	}
+	if got[0]["total_accesses"].(float64) != 13 {
+		t.Errorf("total_accesses = %v, want 13", got[0]["total_accesses"])
+	}
+	if r := got[0]["local_hit_ratio"].(float64); math.Abs(r-6.0/13) > 1e-9 {
+		t.Errorf("local_hit_ratio = %v, want %v", r, 6.0/13)
+	}
+	// Empty stats export as zeros, never NaN (json.Marshal would have
+	// failed on NaN — but check the value explicitly too).
+	if r := got[1]["local_hit_ratio"].(float64); r != 0 {
+		t.Errorf("empty local_hit_ratio = %v, want 0", r)
+	}
+}
+
+func TestWriteStatsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []StatsRecord{{Name: "a", Stats: sampleStats()}, {Name: "b", Stats: &sim.Stats{}}}
+	if err := WriteStatsCSV(&buf, recs); err != nil {
+		t.Fatalf("WriteStatsCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (header + 2)", len(rows))
+	}
+	if len(rows[0]) != len(statsHeader) {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(statsHeader))
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row has %d columns, header has %d", len(row), len(rows[0]))
+		}
+		for _, cell := range row {
+			if strings.Contains(cell, "NaN") {
+				t.Fatalf("NaN leaked into CSV row %v", row)
+			}
+		}
+	}
+	if rows[1][0] != "a" || rows[2][0] != "b" {
+		t.Errorf("name column = %q, %q", rows[1][0], rows[2][0])
+	}
+}
+
+func TestWriteStatsDeterministic(t *testing.T) {
+	recs := []StatsRecord{{Name: "x", Stats: sampleStats()}}
+	var a, b bytes.Buffer
+	if err := WriteStatsJSON(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStatsJSON(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("equal inputs produced different JSON bytes")
+	}
+}
+
+func TestWriteMetricsJSONAndCSV(t *testing.T) {
+	e := engine.New(4)
+	e.RecordStage("simulate", 10*time.Millisecond)
+	e.RecordStage("simulate", 30*time.Millisecond)
+	e.RecordStage("profile", 5*time.Millisecond)
+	m := e.Metrics()
+
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, []MetricsRecord{{Name: "suite", Metrics: m}}); err != nil {
+		t.Fatalf("WriteMetricsJSON: %v", err)
+	}
+	var got []metricsView
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].Workers != 4 {
+		t.Fatalf("bad metrics view: %+v", got)
+	}
+	if len(got[0].Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(got[0].Stages))
+	}
+	// Stages are sorted by name: profile, simulate.
+	if got[0].Stages[0].Stage != "profile" || got[0].Stages[1].Stage != "simulate" {
+		t.Errorf("stage order: %+v", got[0].Stages)
+	}
+	sim := got[0].Stages[1]
+	if sim.Count != 2 || sim.Total != int64(40*time.Millisecond) {
+		t.Errorf("simulate stage: %+v", sim)
+	}
+	if sim.Max != int64(30*time.Millisecond) {
+		t.Errorf("simulate max = %d", sim.Max)
+	}
+
+	buf.Reset()
+	if err := WriteMetricsCSV(&buf, []MetricsRecord{{Name: "suite", Metrics: m}}); err != nil {
+		t.Fatalf("WriteMetricsCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(rows) != 3 { // header + 2 stages
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+}
+
+func TestWriteFaults(t *testing.T) {
+	recs := []FaultRecord{
+		{Name: "gsmdec/MDC+PrefClus", Faults: 7, Log: "mem+3 op=1\n"},
+		{Name: "epic/DDGT+MinComs", Reason: "timeout", Err: "cell timed out"},
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultsJSON(&buf, recs); err != nil {
+		t.Fatalf("WriteFaultsJSON: %v", err)
+	}
+	var got []FaultRecord
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(got) != 2 || got[0].Faults != 7 || got[1].Reason != "timeout" {
+		t.Fatalf("round trip: %+v", got)
+	}
+
+	// nil slice must still encode as a JSON array, not null.
+	buf.Reset()
+	if err := WriteFaultsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("nil records encoded as %q, want []", s)
+	}
+
+	buf.Reset()
+	if err := WriteFaultsCSV(&buf, recs); err != nil {
+		t.Fatalf("WriteFaultsCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+}

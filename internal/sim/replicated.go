@@ -1,6 +1,9 @@
 package sim
 
-import "vliwcache/internal/arch"
+import (
+	"vliwcache/internal/arch"
+	"vliwcache/internal/obs"
+)
 
 // memAccessReplicated models one access under the replicated cache layout
 // (arch.LayoutReplicated): every cluster holds a full copy of the cache,
@@ -30,9 +33,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 	if !isStore {
 		// Combining with an in-flight local fill.
 		if p, ok := m.pending[cluster][sub]; ok && p > issue {
-			m.stats.Accesses[Combined]++
-			m.trace(iter, id, cluster, Combined, addr, issue)
-			m.record(issue, iter, id, cluster, false, addr, o.Addr.Size)
+			m.access(Combined, iter, id, cluster, cluster, addr, issue, issue, false, o.Addr.Size)
 			return p
 		}
 		hit := m.modules[cluster].Access(block, issue, false)
@@ -42,9 +43,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 			fill = false // flips are timing-only, never Fill (see memAccess)
 		}
 		if hit {
-			m.stats.Accesses[LocalHit]++
-			m.trace(iter, id, cluster, LocalHit, addr, issue)
-			m.record(issue, iter, id, cluster, false, addr, o.Addr.Size)
+			m.access(LocalHit, iter, id, cluster, cluster, addr, issue, issue, false, o.Addr.Size)
 			return issue + hitLat + m.faults.memExtra(id, cluster, iter)
 		}
 		// Local miss: fetch from the next level (the source of truth).
@@ -54,9 +53,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 			m.modules[cluster].Fill(block, done, false)
 		}
 		m.pending[cluster][sub] = done
-		m.stats.Accesses[LocalMiss]++
-		m.trace(iter, id, cluster, LocalMiss, addr, issue)
-		m.record(start, iter, id, l2, false, addr, o.Addr.Size)
+		m.access(LocalMiss, iter, id, cluster, l2, addr, issue, start, false, o.Addr.Size)
 		return done
 	}
 
@@ -65,13 +62,10 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 	localHit := m.modules[cluster].Contains(block)
 	if localHit {
 		m.modules[cluster].Access(block, issue, false) // LRU touch; stays clean (write-through)
-		m.stats.Accesses[LocalHit]++
-		m.trace(iter, id, cluster, LocalHit, addr, issue)
+		m.access(LocalHit, iter, id, cluster, cluster, addr, issue, issue, true, o.Addr.Size)
 	} else {
-		m.stats.Accesses[LocalMiss]++
-		m.trace(iter, id, cluster, LocalMiss, addr, issue)
+		m.access(LocalMiss, iter, id, cluster, cluster, addr, issue, issue, true, o.Addr.Size)
 	}
-	m.record(issue, iter, id, cluster, true, addr, o.Addr.Size)
 	// A store makes any in-flight pre-store fill of this cluster stale.
 	delete(m.pending[cluster], sub)
 
@@ -81,6 +75,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 		if cluster == 0 {
 			start := m.ports.Acquire(issue + hitLat)
 			m.record(start, iter, id, l2, true, addr, o.Addr.Size)
+			m.emitArrival(id, l2, iter, addr, start)
 			return start + nextLat
 		}
 		return issue + hitLat
@@ -89,6 +84,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 	// Ordinary store: write through and broadcast to the other copies.
 	start := m.ports.Acquire(issue + hitLat)
 	m.record(start, iter, id, l2, true, addr, o.Addr.Size)
+	m.emitArrival(id, l2, iter, addr, start)
 	done := start + nextLat
 	for c := 0; c < m.cfg.NumClusters; c++ {
 		if c == cluster {
@@ -103,10 +99,15 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 		}
 		m.busFloor[cluster] = reqIssue
 		_, arrive := m.arb.Acquire(reqIssue)
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Kind: obs.KindBusTransfer, Class: -1, Op: int32(id),
+				Cluster: int32(cluster), Entry: m.entry, Iter: iter, Cycle: reqIssue, Addr: addr, Arg: arrive})
+		}
 		if m.modules[c].Contains(block) {
 			m.modules[c].Access(block, arrive, false)
 		}
 		m.record(arrive, iter, id, c, true, addr, o.Addr.Size)
+		m.emitArrival(id, c, iter, addr, arrive)
 		// The broadcast supersedes any in-flight pre-store fill there.
 		if p, ok := m.pending[c][sub]; ok && p > arrive {
 			delete(m.pending[c], sub)

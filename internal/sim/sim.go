@@ -35,6 +35,7 @@ import (
 	"vliwcache/internal/cache"
 	"vliwcache/internal/ddg"
 	"vliwcache/internal/ir"
+	"vliwcache/internal/obs"
 	"vliwcache/internal/sched"
 )
 
@@ -51,6 +52,14 @@ type Options struct {
 	// entry,iter,op,cluster,class,addr,issue. A header line is written
 	// first.
 	Trace io.Writer
+	// Tracer, when non-nil, receives typed cycle-level events (issues,
+	// stalls, accesses, bank arrivals, bus transfers, Attraction Buffer
+	// activity, coherence results). Every emission site is gated on a nil
+	// check, so a run with Tracer == nil pays nothing. Event streams are
+	// deterministic: equal schedules and fault seeds produce identical
+	// streams. Sinks that implement obs.Flusher are flushed when the run
+	// completes.
+	Tracer obs.Tracer
 	// NewFaults, when non-nil, builds a fresh fault injector for this run
 	// (chaos mode). A factory rather than an injector so one Options value
 	// is safe to share across concurrent runs; see FaultInjector.
@@ -81,11 +90,20 @@ func RunCtx(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, erro
 	}
 	if opts.CheckCoherence {
 		m.stats.Violations = m.checkCoherence()
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Kind: obs.KindCoherence, Class: -1, Op: -1, Cluster: -1,
+				Cycle: m.base + m.stall, Arg: m.stats.Violations})
+		}
 	}
 	m.collect()
 	if m.tw != nil {
 		if err := m.tw.Flush(); err != nil {
 			return nil, fmt.Errorf("sim: trace: %w", err)
+		}
+	}
+	if f, ok := m.obs.(obs.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: tracer: %w", err)
 		}
 	}
 	return m.stats, nil
@@ -154,8 +172,10 @@ type machine struct {
 	recs     []bankRec
 	seq      int64
 	iterBase int64 // iterations completed in previous entries
+	entry    int64 // current loop entry index (observability)
 
-	tw *bufio.Writer // CSV access trace, nil when disabled
+	tw  *bufio.Writer // CSV access trace, nil when disabled
+	obs obs.Tracer    // typed event tracer, nil when disabled
 
 	stats *Stats
 }
@@ -212,7 +232,41 @@ func newMachine(sc *sched.Schedule, opts Options) (*machine, error) {
 		m.tw = bufio.NewWriter(opts.Trace)
 		fmt.Fprintln(m.tw, "entry,iter,op,cluster,class,addr,issue")
 	}
+	m.obs = opts.Tracer
 	return m, nil
+}
+
+// access books one classified memory access: the stats counter, the CSV
+// trace line, the coherence-checker record (arrival at loc), and — when a
+// tracer is installed — the KindAccess/KindBankArrival event pair.
+func (m *machine) access(class Class, iter int64, id, cluster, loc int, addr uint64, issue, arrive int64, isStore bool, size int) {
+	m.stats.Accesses[class]++
+	m.trace(iter, id, cluster, class, addr, issue)
+	m.record(arrive, iter, id, loc, isStore, addr, size)
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: obs.KindAccess, Class: int8(class), Op: int32(id),
+			Cluster: int32(cluster), Entry: m.entry, Iter: iter, Cycle: issue, Addr: addr})
+		m.obs.Emit(obs.Event{Kind: obs.KindBankArrival, Class: int8(class), Op: int32(id),
+			Cluster: int32(loc), Entry: m.entry, Iter: iter, Cycle: arrive, Addr: addr})
+	}
+}
+
+// emitArrival reports an extra bank arrival (beyond the classified
+// access's own) to the tracer: replicated-layout write-throughs and
+// broadcast updates touch several serialization points per access.
+func (m *machine) emitArrival(id, loc int, iter int64, addr uint64, arrive int64) {
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: obs.KindBankArrival, Class: -1, Op: int32(id),
+			Cluster: int32(loc), Entry: m.entry, Iter: iter, Cycle: arrive, Addr: addr})
+	}
+}
+
+// emitABHit reports an Attraction Buffer hit to the tracer.
+func (m *machine) emitABHit(id, cluster int, iter int64, addr uint64, issue int64) {
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: obs.KindABHit, Class: -1, Op: int32(id),
+			Cluster: int32(cluster), Entry: m.entry, Iter: iter, Cycle: issue, Addr: addr})
+	}
 }
 
 // trace emits one CSV line for a classified access.
@@ -321,12 +375,17 @@ func (m *machine) buildStatics() {
 // run executes all entries of the loop.
 func (m *machine) run() error {
 	for e := int64(0); e < m.entries; e++ {
+		m.entry = e
 		if err := m.runEntry(); err != nil {
 			return err
 		}
 		m.iterBase += m.trip
-		for _, ab := range m.abs {
+		for c, ab := range m.abs {
 			ab.Flush()
+			if m.obs != nil {
+				m.obs.Emit(obs.Event{Kind: obs.KindABFlush, Class: -1, Op: -1,
+					Cluster: int32(c), Entry: e, Cycle: m.base + m.stall})
+			}
 		}
 	}
 	m.stats.Iterations = m.trip * m.entries
@@ -398,6 +457,10 @@ func (m *machine) runEntry() error {
 			}
 		}
 		if ready > issue {
+			if m.obs != nil {
+				m.obs.Emit(obs.Event{Kind: obs.KindStall, Class: -1, Op: -1, Cluster: -1,
+					Entry: m.entry, Cycle: issue, Arg: ready - issue})
+			}
 			m.stall += ready - issue
 			issue = ready
 		}
@@ -443,6 +506,10 @@ func (m *machine) execute(ev event, iter, issue int64) {
 		}
 		done = issue + lat
 	}
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: obs.KindIssue, Class: -1, Op: int32(id),
+			Cluster: int32(m.sc.Cluster[id]), Entry: m.entry, Iter: iter, Cycle: issue, Arg: done})
+	}
 	m.complete[id][iter%int64(m.window)] = done
 }
 
@@ -466,6 +533,10 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	// access — the buffer may lose its copies at any time on real hardware.
 	if m.abs != nil && m.faults.flushAB(cluster, iter) {
 		m.abs[cluster].Flush()
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Kind: obs.KindABFlush, Class: -1, Op: int32(id),
+				Cluster: int32(cluster), Entry: m.entry, Iter: iter, Cycle: issue, Arg: 1})
+		}
 	}
 
 	// Store replication: only the instance in the home cluster executes.
@@ -493,9 +564,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	// in-flight copy stale, so the pending entry is invalidated.
 	if p, ok := m.pending[cluster][sub]; ok && p > issue {
 		if !isStore || cluster == home {
-			m.stats.Accesses[Combined]++
-			m.trace(iter, id, cluster, Combined, addr, issue)
-			m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
+			m.access(Combined, iter, id, cluster, home, addr, issue, issue, isStore, o.Addr.Size)
 			return p
 		}
 		delete(m.pending[cluster], sub)
@@ -505,6 +574,10 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		// data has not physically arrived yet.
 		if m.abs != nil {
 			m.abs[cluster].Invalidate(sub)
+			if m.obs != nil {
+				m.obs.Emit(obs.Event{Kind: obs.KindABInvalidate, Class: -1, Op: int32(id),
+					Cluster: int32(cluster), Entry: m.entry, Iter: iter, Cycle: issue, Addr: addr})
+			}
 		}
 	}
 
@@ -520,9 +593,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 			fill = false
 		}
 		if hit {
-			m.stats.Accesses[LocalHit]++
-			m.trace(iter, id, cluster, LocalHit, addr, issue)
-			m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
+			m.access(LocalHit, iter, id, cluster, home, addr, issue, issue, isStore, o.Addr.Size)
 			return issue + hitLat + m.faults.memExtra(id, cluster, iter)
 		}
 		start := m.ports.Acquire(issue + hitLat)
@@ -531,9 +602,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 			m.modules[home].Fill(block, done, isStore)
 		}
 		m.pending[cluster][sub] = done
-		m.stats.Accesses[LocalMiss]++
-		m.trace(iter, id, cluster, LocalMiss, addr, issue)
-		m.record(issue, iter, id, home, isStore, addr, o.Addr.Size)
+		m.access(LocalMiss, iter, id, cluster, home, addr, issue, issue, isStore, o.Addr.Size)
 		return done
 	}
 
@@ -542,18 +611,16 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	// boundary) — both count as local (§5).
 	if m.abs != nil {
 		if !isStore && m.abs[cluster].Lookup(sub, issue) {
-			m.stats.Accesses[LocalHit]++
 			m.stats.ABHits++
-			m.trace(iter, id, cluster, LocalHit, addr, issue)
-			m.record(issue, iter, id, home, false, addr, o.Addr.Size)
+			m.access(LocalHit, iter, id, cluster, home, addr, issue, issue, false, o.Addr.Size)
+			m.emitABHit(id, cluster, iter, addr, issue)
 			return issue + hitLat
 		}
 		if isStore && m.abs[cluster].Write(sub, issue) {
-			m.stats.Accesses[LocalHit]++
 			m.stats.ABHits++
 			m.stats.ABUpdates++
-			m.trace(iter, id, cluster, LocalHit, addr, issue)
-			m.record(issue, iter, id, home, true, addr, o.Addr.Size)
+			m.access(LocalHit, iter, id, cluster, home, addr, issue, issue, true, o.Addr.Size)
+			m.emitABHit(id, cluster, iter, addr, issue)
 			return issue + hitLat
 		}
 	}
@@ -569,6 +636,10 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	}
 	m.busFloor[cluster] = reqIssue
 	_, reqDone := m.arb.Acquire(reqIssue)
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: obs.KindBusTransfer, Class: -1, Op: int32(id),
+			Cluster: int32(cluster), Entry: m.entry, Iter: iter, Cycle: reqIssue, Addr: addr, Arg: reqDone})
+	}
 	arrive := reqDone
 	var dataAtHome int64
 	var class Class
@@ -589,9 +660,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		}
 		class = RemoteMiss
 	}
-	m.stats.Accesses[class]++
-	m.trace(iter, id, cluster, class, addr, issue)
-	m.record(arrive, iter, id, home, isStore, addr, o.Addr.Size)
+	m.access(class, iter, id, cluster, home, addr, issue, arrive, isStore, o.Addr.Size)
 
 	if isStore {
 		// The store's data travels with the request; no reply. A local AB
@@ -606,7 +675,12 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	// MemExtra delays only the data-return path: the access's bank arrival
 	// (recorded above) is already fixed, so return-path variance cannot
 	// perturb the coherence order.
-	_, repDone := m.arb.Acquire(dataAtHome + m.faults.memExtra(id, cluster, iter))
+	repStart := dataAtHome + m.faults.memExtra(id, cluster, iter)
+	_, repDone := m.arb.Acquire(repStart)
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: obs.KindBusTransfer, Class: -1, Op: int32(id),
+			Cluster: int32(home), Entry: m.entry, Iter: iter, Cycle: repStart, Addr: addr, Arg: repDone})
+	}
 	m.pending[cluster][sub] = repDone
 	if m.abs != nil {
 		m.abs[cluster].Insert(sub, repDone)

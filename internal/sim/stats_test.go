@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ratio accessors divide by the total access count; a run with zero
+// accesses (a compute-only loop, or a degraded cell) must yield 0, not
+// NaN, all the way through to the rendered string.
+func TestRatioAccessorsZeroAccesses(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+	}{
+		{"zero value", Stats{}},
+		{"cycles but no accesses", Stats{Iterations: 5, Entries: 1, ComputeCycles: 100, StallCycles: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if r := tc.s.LocalHitRatio(); r != 0 {
+				t.Errorf("LocalHitRatio = %v, want 0", r)
+			}
+			for c := Class(0); c < NumClasses; c++ {
+				if r := tc.s.ClassRatio(c); r != 0 {
+					t.Errorf("ClassRatio(%v) = %v, want 0", c, r)
+				}
+			}
+			if out := tc.s.String(); strings.Contains(out, "NaN") {
+				t.Errorf("String() leaked NaN: %s", out)
+			}
+		})
+	}
+}
+
+func TestRatioAccessorsNonZero(t *testing.T) {
+	var s Stats
+	s.Accesses[LocalHit] = 3
+	s.Accesses[RemoteMiss] = 1
+	if r := s.LocalHitRatio(); r != 0.75 {
+		t.Errorf("LocalHitRatio = %v, want 0.75", r)
+	}
+	if r := s.ClassRatio(RemoteMiss); r != 0.25 {
+		t.Errorf("ClassRatio(RemoteMiss) = %v, want 0.25", r)
+	}
+}

@@ -45,8 +45,11 @@ func StackedBar(width int, segs []Segment) string {
 // Bar renders a single-valued bar scaled so that 1.0 == width runes; values
 // above max are truncated with a '>' marker.
 func Bar(width int, value, max float64, r rune) string {
-	if max <= 0 {
+	if max <= 0 || max != max {
 		max = 1
+	}
+	if value != value { // NaN renders as an empty bar, not garbage
+		value = 0
 	}
 	n := int(value / max * float64(width))
 	if n > width {

@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -49,6 +50,21 @@ func TestBar(t *testing.T) {
 	}
 	if got := Bar(4, 1, 0, '#'); len(got) != 4 {
 		t.Errorf("zero-max Bar = %q", got)
+	}
+}
+
+func TestBarNaN(t *testing.T) {
+	nan := math.NaN()
+	// A NaN value (e.g. a ratio over zero accesses) renders as an empty
+	// bar of the right width; a NaN max falls back to 1.
+	if got := Bar(10, nan, 1.0, '#'); got != strings.Repeat(" ", 10) {
+		t.Errorf("NaN value Bar = %q", got)
+	}
+	if got := Bar(10, 0.5, nan, '#'); got != "#####     " {
+		t.Errorf("NaN max Bar = %q", got)
+	}
+	if got := Bar(10, nan, nan, '#'); got != strings.Repeat(" ", 10) {
+		t.Errorf("NaN/NaN Bar = %q", got)
 	}
 }
 

@@ -1,0 +1,128 @@
+package vliwcache
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/fault"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/obs"
+	"vliwcache/internal/sim"
+)
+
+// traceLoop returns the loop the tracing tests run: the first gsmdec
+// loop, the same substrate the simulator benchmarks use.
+func traceLoop(t testing.TB) *Loop {
+	t.Helper()
+	b, err := mediabench.Get("gsmdec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Loops[0]
+}
+
+func runTraced(t testing.TB, v experiments.Variant, opts sim.Options) *sim.Stats {
+	t.Helper()
+	run, err := experiments.RunLoop(context.Background(), traceLoop(t), arch.Default(), v, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Stats
+}
+
+// The event stream must reconcile exactly with the aggregate statistics:
+// the tracer observes the same bookkeeping sites that increment Stats, so
+// any drift between the two is a bug in one of them. One MDC and one DDGT
+// run cover both the plain and the replicated-store access paths.
+func TestTraceReconciliation(t *testing.T) {
+	for _, v := range []experiments.Variant{experiments.MDCPrefClus, experiments.DDGTPrefClus} {
+		t.Run(v.String(), func(t *testing.T) {
+			cnt := obs.NewCount()
+			st := runTraced(t, v, sim.Options{MaxIterations: 300, MaxEntries: 1, Tracer: cnt})
+
+			if got, want := cnt.Accesses(), st.TotalAccesses(); got != want {
+				t.Errorf("access events = %d, Stats.TotalAccesses = %d", got, want)
+			}
+			for c := sim.Class(0); c < sim.NumClasses; c++ {
+				if got, want := cnt.ByClass[int8(c)], st.Accesses[c]; got != want {
+					t.Errorf("%v events = %d, Stats.Accesses = %d", c, got, want)
+				}
+			}
+			if got, want := cnt.StallSum, st.StallCycles; got != want {
+				t.Errorf("summed stall event cycles = %d, Stats.StallCycles = %d", got, want)
+			}
+			// Every classified access serializes at at least one bank; the
+			// replicated/DDGT paths add broadcast and write-through arrivals.
+			if cnt.N[obs.KindBankArrival] < cnt.N[obs.KindAccess] {
+				t.Errorf("bank arrivals (%d) < accesses (%d)", cnt.N[obs.KindBankArrival], cnt.N[obs.KindAccess])
+			}
+			if cnt.N[obs.KindIssue] == 0 {
+				t.Error("no issue events")
+			}
+			if cnt.N[obs.KindCoherence] != 0 {
+				t.Error("coherence event without CheckCoherence")
+			}
+		})
+	}
+}
+
+func TestTraceCoherenceEvent(t *testing.T) {
+	ring := obs.NewRing(4)
+	st := runTraced(t, experiments.MDCPrefClus,
+		sim.Options{MaxIterations: 60, MaxEntries: 1, CheckCoherence: true, Tracer: ring})
+	var found bool
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KindCoherence {
+			found = true
+			if e.Arg != st.Violations {
+				t.Errorf("coherence event Arg = %d, Stats.Violations = %d", e.Arg, st.Violations)
+			}
+		}
+	}
+	if !found {
+		t.Error("CheckCoherence run emitted no coherence event (or it fell out of the ring)")
+	}
+}
+
+// jsonlTrace captures one MDC + one DDGT run into a single JSONL stream,
+// mirroring what paperbench -trace produces for a two-cell grid.
+func jsonlTrace(t testing.TB, opts sim.Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	opts.Tracer = sink
+	for _, v := range []experiments.Variant{experiments.MDCPrefClus, experiments.DDGTPrefClus} {
+		runTraced(t, v, opts)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Every event field derives from simulation state, so equal inputs — and
+// equal fault seeds in chaos mode — must produce byte-identical traces.
+func TestTraceGoldenByteIdentical(t *testing.T) {
+	opts := sim.Options{MaxIterations: 120, MaxEntries: 1}
+	a, b := jsonlTrace(t, opts), jsonlTrace(t, opts)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("equal runs produced different trace bytes")
+	}
+
+	chaos := opts
+	chaos.CheckCoherence = true
+	chaos.NewFaults = fault.Seeded(7, fault.DefaultConfig())
+	c1, c2 := jsonlTrace(t, chaos), jsonlTrace(t, chaos)
+	if !bytes.Equal(c1, c2) {
+		t.Error("equal fault seeds produced different trace bytes")
+	}
+	if bytes.Equal(a, c1) {
+		t.Error("chaos trace is identical to the fault-free trace; faults not traced?")
+	}
+}
