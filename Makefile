@@ -1,23 +1,34 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench paperbench chaos fuzz-smoke obs
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs
 
 all: build
 
 # check is the CI gate: vet plus the full test suite under the race
 # detector (the parallel experiment engine must stay race-free), the
 # chaos/mutation property suites, a replay of the checked-in fuzz
-# corpora, and the observability reconciliation + overhead guard.
-check: vet race chaos fuzz-smoke obs
+# corpora, the observability reconciliation + overhead guard, and the
+# perf-regression gate against the committed baseline.
+check: vet race chaos fuzz-smoke obs bench-check
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is installed and is a no-op otherwise, so
+# `make lint` works in minimal containers. vet already flags misformatted
+# "// Deprecated:" markers via its comment checks either way.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go vet still runs in 'make check')"; \
+	fi
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # chaos runs the fault-injection property suites at fixed seeds under the
 # race detector: 1000+ seeded perturbed simulations with zero coherence
@@ -47,6 +58,22 @@ obs:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/perfbench/
+
+# bench-baseline rewrites the committed perf baseline (BENCH_sim.json) from
+# fresh measurements on this machine. Run it on a quiet host and commit the
+# result; bench-check compares against it.
+bench-baseline:
+	REFRESH_BENCH=1 $(GO) test -count=1 -run TestBenchBaselineRefresh -v ./internal/perfbench/
+
+# bench-check is the perf-regression gate: the steady-state benchmarks must
+# not allocate (always fails on an alloc regression — allocation counts are
+# deterministic), and ns/op must stay within 10% of the committed baseline
+# (skipped with a diagnostic when the host is too noisy to resolve 10%;
+# NOISY_HOST=1 forces that skip, mirroring the OBS_GUARD pattern).
+bench-check:
+	$(GO) test -count=1 -run 'TestSteadyStateAllocs|TestBaselineFileValid|TestCompare' ./internal/perfbench/
+	BENCH_CHECK=1 $(GO) test -count=1 -run TestBenchRegressionGate -v ./internal/perfbench/
 
 # Quick full-grid regeneration through the parallel engine.
 paperbench:

@@ -13,6 +13,7 @@ import (
 	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/obs"
+	"vliwcache/internal/perfbench"
 	"vliwcache/internal/profiler"
 	"vliwcache/internal/report"
 	"vliwcache/internal/sched"
@@ -228,8 +229,17 @@ const (
 	Combined   = sim.Combined
 )
 
-// Simulate executes a schedule on the cycle-level machine model.
-func Simulate(s *Schedule, opts SimOptions) (*Stats, error) { return sim.Run(s, opts) }
+// Simulate is SimulateContext with a background context.
+func Simulate(s *Schedule, opts SimOptions) (*Stats, error) {
+	return SimulateContext(context.Background(), s, opts)
+}
+
+// SimulateContext executes a schedule on the cycle-level machine model;
+// ctx is polled every few thousand simulated cycles, so a canceled run
+// returns promptly.
+func SimulateContext(ctx context.Context, s *Schedule, opts SimOptions) (*Stats, error) {
+	return sim.RunContext(ctx, s, opts)
+}
 
 // Observability (see internal/obs). Set SimOptions.Tracer (or install an
 // Observer on a Suite) to capture cycle-level simulation events; leave it
@@ -380,6 +390,9 @@ type settings struct {
 	cellTimeout time.Duration
 	cellRetries int
 	degraded    bool
+	pool        bool
+	poolSize    int
+	failureHook func(*CellFailure)
 }
 
 // Option configures the option-based API: Execute, ExecuteContext,
@@ -462,23 +475,22 @@ func WithDegraded() Option {
 	return optionFunc(func(s *settings) { s.degraded = true })
 }
 
-// ExecOptions configure the one-call pipeline.
-//
-// Deprecated: ExecOptions is the legacy struct-literal form; it remains a
-// thin shim that applies all four fields at once. New code should pass
-// functional options (WithArch, WithPolicy, WithHeuristic, WithSimOptions)
-// to Execute or ExecuteContext instead.
-type ExecOptions struct {
-	Arch      Config
-	Policy    Policy
-	Heuristic Heuristic
-	Sim       SimOptions
+// WithMachinePool routes a Suite's simulations through a pool of at most
+// n reusable simulation machines (<= 0 sizes the pool to the worker
+// count). Pooled machines are reset to cold state between runs, so
+// results are bit-identical to unpooled execution while the steady state
+// stops allocating; pool traffic appears in Metrics as PoolRuns /
+// PoolReuses.
+func WithMachinePool(n int) Option {
+	return optionFunc(func(s *settings) { s.pool, s.poolSize = true, n })
 }
 
-// apply makes the legacy struct a valid Option: it overwrites every
-// execution field, zero values included, preserving its old semantics.
-func (o ExecOptions) apply(s *settings) {
-	s.arch, s.policy, s.heuristic, s.sim = o.Arch, o.Policy, o.Heuristic, o.Sim
+// WithFailureHook installs a callback invoked once per cell failure a
+// degraded Suite records, including failures recorded by the internal
+// suites that named experiments build. The hook runs on worker goroutines
+// and must be safe for concurrent use.
+func WithFailureHook(fn func(*CellFailure)) Option {
+	return optionFunc(func(s *settings) { s.failureHook = fn })
 }
 
 func newSettings(opts []Option) settings {
@@ -498,8 +510,8 @@ type Result struct {
 }
 
 // NewSuite builds an experiment suite over the paper's figure benchmarks.
-// Useful options: WithSimOptions, WithParallelism, WithTracer,
-// WithCellTimeout, WithDegraded.
+// Useful options: WithSimOptions, WithParallelism, WithMachinePool,
+// WithTracer, WithCellTimeout, WithDegraded.
 func NewSuite(cfg Config, opts ...Option) *Suite {
 	s := newSettings(opts)
 	sopts := []experiments.Option{
@@ -512,6 +524,12 @@ func NewSuite(cfg Config, opts ...Option) *Suite {
 	}
 	if s.degraded {
 		sopts = append(sopts, experiments.WithDegraded())
+	}
+	if s.pool {
+		sopts = append(sopts, experiments.WithMachinePool(s.poolSize))
+	}
+	if s.failureHook != nil {
+		sopts = append(sopts, experiments.WithFailureHook(s.failureHook))
 	}
 	return experiments.NewSuite(cfg, sopts...)
 }
@@ -559,7 +577,7 @@ func ExecuteContext(ctx context.Context, l *Loop, opts ...Option) (*Result, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st, err := sim.Run(sc, s.sim)
+	st, err := sim.RunContext(ctx, sc, s.sim)
 	if err != nil {
 		return nil, err
 	}
@@ -587,4 +605,29 @@ func ExecuteHybridContext(ctx context.Context, l *Loop, opts ...Option) (*Result
 		return dt, nil
 	}
 	return mdc, nil
+}
+
+// Performance baselines (see internal/perfbench). BENCH_sim.json at the
+// repository root records the simulator hot path's measured performance;
+// `make bench-check` re-measures and compares against it.
+type (
+	// BenchBaseline is the committed performance-baseline file: schema
+	// version, the git SHA and date of the refresh, and per-benchmark
+	// metrics (ns/op, allocs/op, B/op, cells/sec).
+	BenchBaseline = perfbench.Baseline
+	// BenchMetric is one benchmark's recorded performance.
+	BenchMetric = perfbench.Metric
+	// BenchRegression is one violation found by CompareBenchBaselines.
+	BenchRegression = perfbench.Regression
+)
+
+// LoadBenchBaseline reads and validates a committed baseline file.
+func LoadBenchBaseline(path string) (*BenchBaseline, error) { return perfbench.Load(path) }
+
+// CompareBenchBaselines checks measured results against a recorded
+// baseline: ns/op may drift up to base × (1 + tolerance) (<= 0 uses the
+// default 10%); any allocs/op above the recorded value fails. It returns
+// every violation, sorted by benchmark name.
+func CompareBenchBaselines(base, got *BenchBaseline, tolerance float64) []BenchRegression {
+	return perfbench.Compare(base, got, tolerance)
 }

@@ -153,7 +153,7 @@ func TestTypedErrorsFacade(t *testing.T) {
 		t.Errorf("BenchmarkByName error %v must wrap ErrUnknownBenchmark", err)
 	}
 	s := NewSuite(DefaultConfig())
-	if _, err := s.CellCtx(context.Background(), "bogus", Variant{}); !errors.Is(err, ErrUnknownBenchmark) {
+	if _, err := s.CellContext(context.Background(), "bogus", Variant{}); !errors.Is(err, ErrUnknownBenchmark) {
 		t.Errorf("suite cell error %v must wrap ErrUnknownBenchmark", err)
 	}
 
@@ -161,7 +161,7 @@ func TestTypedErrorsFacade(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.FPUnits = 0
 	bad := NewSuite(cfg, WithSimOptions(SimOptions{MaxIterations: 50, MaxEntries: 1}))
-	_, err := bad.CellCtx(context.Background(), "rasta", Variant{Policy: PolicyMDC, Heuristic: PrefClus})
+	_, err := bad.CellContext(context.Background(), "rasta", Variant{Policy: PolicyMDC, Heuristic: PrefClus})
 	var pe *PipelineError
 	if !errors.As(err, &pe) || pe.Bench != "rasta" || pe.Stage != "schedule" {
 		t.Errorf("error %v must be a *PipelineError for rasta/schedule", err)
@@ -175,7 +175,7 @@ func TestSuiteOptionsAndMetrics(t *testing.T) {
 		WithSimOptions(SimOptions{MaxIterations: 50, MaxEntries: 1}),
 		WithParallelism(2),
 		WithTracer(func(TraceEvent) { mu.Lock(); stages++; mu.Unlock() }))
-	if _, err := s.CellCtx(context.Background(), "gsmenc", Variant{Policy: PolicyMDC, Heuristic: PrefClus}); err != nil {
+	if _, err := s.CellContext(context.Background(), "gsmenc", Variant{Policy: PolicyMDC, Heuristic: PrefClus}); err != nil {
 		t.Fatal(err)
 	}
 	m := s.Metrics()

@@ -182,11 +182,11 @@ func BenchmarkHybrid(b *testing.B) {
 		for _, bench := range mediabench.Figures() {
 			cfg := DefaultConfig().WithInterleave(bench.Interleave)
 			for _, loop := range bench.Loops {
-				m, err := experiments.RunLoop(context.Background(), loop, cfg, experiments.MDCPrefClus, benchSimOptions)
+				m, err := experiments.RunLoopContext(context.Background(), loop, cfg, experiments.MDCPrefClus, benchSimOptions)
 				if err != nil {
 					b.Fatal(err)
 				}
-				d, err := experiments.RunLoop(context.Background(), loop, cfg, experiments.DDGTPrefClus, benchSimOptions)
+				d, err := experiments.RunLoopContext(context.Background(), loop, cfg, experiments.DDGTPrefClus, benchSimOptions)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -216,7 +216,7 @@ func BenchmarkAblationRegBuses(b *testing.B) {
 		for _, buses := range []int{4, 32} {
 			cfg := arch.Default().WithInterleave(bench.Interleave)
 			cfg.RegBuses = buses
-			run, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
+			run, err := experiments.RunLoopContext(context.Background(), bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -239,7 +239,7 @@ func BenchmarkAblationInterleave(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, il := range []int{2, 4, 8} {
 			cfg := arch.Default().WithInterleave(il)
-			run, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			run, err := experiments.RunLoopContext(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -268,7 +268,7 @@ func BenchmarkAblationABSize(b *testing.B) {
 			if entries > 0 {
 				cfg = cfg.WithAttractionBuffers(entries)
 			}
-			run, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			run, err := experiments.RunLoopContext(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -353,11 +353,11 @@ func BenchmarkLayouts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, layout := range []arch.Layout{arch.LayoutWordInterleaved, arch.LayoutReplicated} {
 			cfg := arch.Default().WithInterleave(bench.Interleave).WithLayout(layout)
-			mdc, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
+			mdc, err := experiments.RunLoopContext(context.Background(), bench.Loops[0], cfg, experiments.MDCPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}
-			dt, err := experiments.RunLoop(context.Background(), bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
+			dt, err := experiments.RunLoopContext(context.Background(), bench.Loops[0], cfg, experiments.DDGTPrefClus, benchSimOptions)
 			if err != nil {
 				b.Fatal(err)
 			}

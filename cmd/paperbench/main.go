@@ -14,6 +14,7 @@
 //	paperbench -experiment epicloop  # §5.4 case study
 //	paperbench -maxiters 500         # quick run (cap iterations per loop)
 //	paperbench -parallel 4           # bound the worker pool (1 = serial)
+//	paperbench -pool=false           # fresh machine per run (no pooling)
 //	paperbench -chaos -seed 7        # fault injection + coherence audit
 //	paperbench -cell-timeout 30s     # per-cell deadline (degraded mode)
 //	paperbench -v                    # engine metrics on stderr
@@ -81,6 +82,7 @@ func main() {
 	experiment := flag.String("experiment", "", "named experiment: nobal, epicloop, layouts, hybrid")
 	maxIters := flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
 	parallel := flag.Int("parallel", 0, "worker pool size; 0 = one per core, 1 = serial")
+	pool := flag.Bool("pool", true, "reuse simulator machines across cells (allocation-free steady state)")
 	chaos := flag.Bool("chaos", false, "inject seeded timing faults and audit coherence on every run")
 	seed := flag.Int64("seed", 1, "base seed for -chaos fault injection")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; expired cells render as n/a(timeout)")
@@ -160,6 +162,12 @@ func main() {
 	suiteOpts := []experiments.Option{
 		experiments.WithSimOptions(opts),
 		experiments.WithParallelism(*parallel),
+	}
+	if *pool {
+		// Size the pool like the worker pool: 0 lets it default to one
+		// machine per core. Results are byte-identical either way; -pool
+		// only changes how much the simulator allocates.
+		suiteOpts = append(suiteOpts, experiments.WithMachinePool(*parallel))
 	}
 	if *chaos || *cellTimeout > 0 {
 		suiteOpts = append(suiteOpts,

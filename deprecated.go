@@ -1,0 +1,36 @@
+package vliwcache
+
+// This file is the facade's consolidated pre-v1 compatibility surface.
+// Everything in it keeps old call sites compiling but has a canonical
+// replacement; nothing here gains features. The same convention applies
+// below the facade: experiments.Suite.CellCtx and sim.RunCtx are the
+// deprecated spellings of CellContext and RunContext.
+//
+// Conventions for the v1 surface:
+//
+//   - entry points are context-first: the canonical form is XxxContext
+//     and the bare Xxx spelling is a thin background-context wrapper
+//     (Execute/ExecuteContext, Simulate/SimulateContext);
+//   - configuration is functional options named With*;
+//   - constructors are named New*.
+
+// ExecOptions configure the one-call pipeline.
+//
+// Deprecated: ExecOptions is the legacy struct-literal configuration
+// form. It remains a valid Option — it applies all four fields at once,
+// zero values included — so pre-existing Execute(loop, ExecOptions{...})
+// call sites keep compiling, but new code should pass functional options
+// (WithArch, WithPolicy, WithHeuristic, WithSimOptions) to Execute or
+// ExecuteContext instead.
+type ExecOptions struct {
+	Arch      Config
+	Policy    Policy
+	Heuristic Heuristic
+	Sim       SimOptions
+}
+
+// apply makes the legacy struct a valid Option: it overwrites every
+// execution field, zero values included, preserving its old semantics.
+func (o ExecOptions) apply(s *settings) {
+	s.arch, s.policy, s.heuristic, s.sim = o.Arch, o.Policy, o.Heuristic, o.Sim
+}

@@ -59,7 +59,7 @@
 // ExecuteContext and ExecuteHybridContext accept a context.Context that is
 // checked at every pipeline stage boundary (prepare → schedule →
 // simulate); once the context is done they return its error promptly. The
-// experiment suite's Suite.CellCtx does the same for whole benchmark ×
+// experiment suite's Suite.CellContext does the same for whole benchmark ×
 // variant cells.
 //
 // # Parallel experiments
@@ -71,7 +71,7 @@
 //	suite := vliwcache.NewSuite(vliwcache.DefaultConfig(),
 //		vliwcache.WithParallelism(8), // default: one worker per core
 //		vliwcache.WithTracer(func(ev vliwcache.TraceEvent) { log.Print(ev.Stage) }))
-//	cell, err := suite.CellCtx(ctx, "epicdec", vliwcache.Variant{...})
+//	cell, err := suite.CellContext(ctx, "epicdec", vliwcache.Variant{...})
 //	fmt.Print(suite.Metrics()) // cells computed vs cache hits, utilization
 //
 // Figures and tables warm the grid in parallel and render serially in

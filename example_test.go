@@ -46,7 +46,7 @@ func ExampleNewSuite() {
 		vliwcache.WithParallelism(4), // 0 = one worker per core, 1 = serial
 		vliwcache.WithSimOptions(vliwcache.SimOptions{MaxIterations: 100}))
 
-	cell, err := suite.CellCtx(ctx, "epicdec", vliwcache.Variant{
+	cell, err := suite.CellContext(ctx, "epicdec", vliwcache.Variant{
 		Policy:    vliwcache.PolicyDDGT,
 		Heuristic: vliwcache.PrefClus,
 	})
@@ -59,6 +59,131 @@ func ExampleNewSuite() {
 	// Output:
 	// loops: 2
 	// computed: 1 cache hits: 0
+}
+
+// ExampleSimulateContext drives the pipeline stage by stage — prepare,
+// profile, schedule — and then simulates the schedule with a cancelable
+// context (the canonical context-first simulation entry point).
+func ExampleSimulateContext() {
+	b := vliwcache.NewBuilder("scale")
+	b.Symbol("v", 0x10000, 1<<20)
+	b.Trip(1000, 1)
+	x := b.Load("ld", vliwcache.AddrExpr{Base: "v", Stride: 16, Size: 4})
+	y := b.Arith("mul", vliwcache.KindMul, x)
+	b.Store("st", vliwcache.AddrExpr{Base: "v", Offset: -16, Stride: 16, Size: 4}, y)
+	loop := b.Loop()
+
+	cfg := vliwcache.DefaultConfig()
+	plan, err := vliwcache.Prepare(loop, vliwcache.PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		panic(err)
+	}
+	sc, err := vliwcache.ModuloSchedule(plan, vliwcache.ScheduleOptions{
+		Arch:      cfg,
+		Heuristic: vliwcache.PrefClus,
+		Profile:   vliwcache.ProfileLoop(loop, cfg),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := vliwcache.SimulateContext(ctx, sc, vliwcache.SimOptions{CheckCoherence: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", st.Violations)
+	fmt.Println("accesses:", st.TotalAccesses())
+	// Output:
+	// violations: 0
+	// accesses: 2000
+}
+
+// ExampleExecuteHybrid compiles a loop under both MDC and DDGT and keeps
+// the faster result (the per-loop hybrid of §6).
+func ExampleExecuteHybrid() {
+	b := vliwcache.NewBuilder("hybrid")
+	b.Symbol("v", 0x10000, 1<<20)
+	b.Trip(500, 1)
+	x := b.Load("ld", vliwcache.AddrExpr{Base: "v", Stride: 8, Size: 4})
+	y := b.Arith("add", vliwcache.KindAdd, x)
+	b.Store("st", vliwcache.AddrExpr{Base: "v", Offset: -8, Stride: 8, Size: 4}, y)
+
+	res, err := vliwcache.ExecuteHybrid(b.Loop(),
+		vliwcache.WithSimOptions(vliwcache.SimOptions{CheckCoherence: true}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", res.Stats.Violations)
+	fmt.Println("scheduled:", res.Schedule.II > 0)
+	// Output:
+	// violations: 0
+	// scheduled: true
+}
+
+// ExampleNewTraceCount attaches a counting sink to a simulation: every
+// cycle-level event is tallied by kind with no storage cost, and the
+// stream reconciles with the aggregate statistics.
+func ExampleNewTraceCount() {
+	b := vliwcache.NewBuilder("traced")
+	b.Symbol("v", 0x10000, 1<<20)
+	b.Trip(1000, 1)
+	x := b.Load("ld", vliwcache.AddrExpr{Base: "v", Stride: 16, Size: 4})
+	y := b.Arith("mul", vliwcache.KindMul, x)
+	b.Store("st", vliwcache.AddrExpr{Base: "v", Offset: -16, Stride: 16, Size: 4}, y)
+
+	count := vliwcache.NewTraceCount()
+	res, err := vliwcache.Execute(b.Loop(),
+		vliwcache.WithPolicy(vliwcache.PolicyMDC),
+		vliwcache.WithSimOptions(vliwcache.SimOptions{Tracer: count}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("events match stats:", count.N[vliwcache.EventAccess] == res.Stats.TotalAccesses())
+	// Output:
+	// events match stats: true
+}
+
+// ExampleWithMachinePool routes a suite's simulations through a pool of
+// reusable machines: after the first loop run, the simulator's steady
+// state stops allocating, and pool traffic is visible in Metrics.
+func ExampleWithMachinePool() {
+	suite := vliwcache.NewSuite(vliwcache.DefaultConfig(),
+		vliwcache.WithParallelism(1),
+		vliwcache.WithMachinePool(1),
+		vliwcache.WithSimOptions(vliwcache.SimOptions{MaxIterations: 100}))
+
+	_, err := suite.CellContext(context.Background(), "epicdec", vliwcache.Variant{
+		Policy:    vliwcache.PolicyDDGT,
+		Heuristic: vliwcache.PrefClus,
+	})
+	if err != nil {
+		panic(err)
+	}
+	m := suite.Metrics()
+	fmt.Println("pool runs:", m.PoolRuns, "reuses:", m.PoolReuses)
+	// Output:
+	// pool runs: 2 reuses: 1
+}
+
+// ExampleLoadBenchBaseline reads the committed performance baseline and
+// checks a hypothetical re-measurement against it.
+func ExampleLoadBenchBaseline() {
+	base, err := vliwcache.LoadBenchBaseline("BENCH_sim.json")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("benchmarks recorded:", len(base.Benchmarks))
+	fmt.Println("steady state allocs:", base.Benchmarks["RunnerSteadyState"].AllocsPerOp)
+
+	measured := *base // pretend re-measurement: identical metrics
+	regs := vliwcache.CompareBenchBaselines(base, &measured, 0.10)
+	fmt.Println("regressions:", len(regs))
+	// Output:
+	// benchmarks recorded: 4
+	// steady state allocs: 0
+	// regressions: 0
 }
 
 // ExampleChains analyzes a loop's memory dependent chains (§3.2).

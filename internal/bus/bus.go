@@ -29,6 +29,18 @@ func NewArbiter(n, lat int) *Arbiter {
 	return &Arbiter{lat: int64(lat), busy: make([][]interval, n)}
 }
 
+// Reset returns the arbiter to its just-constructed state — no booked
+// intervals, zeroed counters — while keeping the per-bus interval storage
+// allocated, so a pooled simulation machine can rerun without reallocating.
+func (a *Arbiter) Reset() {
+	for b := range a.busy {
+		a.busy[b] = a.busy[b][:0]
+	}
+	a.floor = 0
+	a.Transfers = 0
+	a.Waited = 0
+}
+
 // Advance declares that every future Acquire time will be at or after t
 // (the processor's monotone issue clock), allowing intervals wholly in the
 // past to be pruned. Acquire itself never prunes: replies are booked at
@@ -120,6 +132,15 @@ type Ports struct {
 // NewPorts creates a port scheduler admitting n request starts per cycle.
 func NewPorts(n int) *Ports {
 	return &Ports{n: n, starts: make(map[int64]int)}
+}
+
+// Reset returns the port scheduler to its just-constructed state. The
+// per-cycle start map keeps its buckets, so a reused scheduler admitting a
+// similar number of distinct start cycles does not allocate again.
+func (p *Ports) Reset() {
+	clear(p.starts)
+	p.Requests = 0
+	p.Waited = 0
 }
 
 // Acquire returns the earliest cycle >= t at which a request may start.

@@ -40,6 +40,17 @@ func NewAttractionBuffer(entries, assoc int) *AttractionBuffer {
 	return ab
 }
 
+// Reset returns the buffer to its just-constructed (empty) state with all
+// counters zeroed, keeping the set storage allocated. Unlike Flush it is
+// not a simulated event: nothing is counted.
+func (ab *AttractionBuffer) Reset() {
+	for _, set := range ab.sets {
+		clear(set)
+	}
+	ab.Hits, ab.Misses, ab.Inserts, ab.Updates, ab.Evictions, ab.Flushes = 0, 0, 0, 0, 0, 0
+	ab.DirtyWritebacks = 0
+}
+
 func (ab *AttractionBuffer) set(sub arch.SubblockID) []abLine {
 	// Hash block address and home cluster into a set index.
 	h := sub.Block>>5 ^ uint64(sub.Cluster)*0x9e3779b9

@@ -42,6 +42,16 @@ func NewModule(moduleBytes, subblockBytes, assoc, blockBytes int) (*Module, erro
 	return m, nil
 }
 
+// Reset returns the module to its just-constructed (cold) state — every
+// line invalid, all counters zero — without releasing the set storage, so a
+// pooled simulation machine can rerun from a cold cache with no allocation.
+func (m *Module) Reset() {
+	for _, set := range m.sets {
+		clear(set)
+	}
+	m.Hits, m.Misses, m.Evictions, m.Writebacks = 0, 0, 0, 0
+}
+
 // Access looks up the subblock of the given block address at time t; store
 // accesses mark the line dirty on hit. It reports whether the access hit.
 // On a miss the caller is responsible for calling Fill once the subblock

@@ -43,6 +43,13 @@ type Metrics struct {
 	Retries int64
 	// TimedOut counts task attempts that hit the per-task deadline.
 	TimedOut int64
+	// PoolRuns counts simulations dispatched through a machine pool.
+	// Zero unless the owner wired a pool in (see experiments.WithMachinePool);
+	// the engine itself does not pool machines.
+	PoolRuns int64
+	// PoolReuses counts PoolRuns that reused an idle pooled machine
+	// instead of constructing one.
+	PoolReuses int64
 	// Busy is the summed wall time worker slots spent executing tasks.
 	Busy time.Duration
 	// Wall is the elapsed time since the engine was created.
@@ -101,6 +108,10 @@ func (m Metrics) String() string {
 	if m.Panics > 0 || m.Retries > 0 || m.TimedOut > 0 {
 		fmt.Fprintf(&b, "engine: %d panics recovered, %d retries, %d deadline hits\n",
 			m.Panics, m.Retries, m.TimedOut)
+	}
+	if m.PoolRuns > 0 {
+		fmt.Fprintf(&b, "engine: machine pool %d runs, %d reuses (%.0f%%)\n",
+			m.PoolRuns, m.PoolReuses, 100*float64(m.PoolReuses)/float64(m.PoolRuns))
 	}
 	for _, st := range m.Stages {
 		fmt.Fprintf(&b, "engine: stage %-10s %6d runs  total %v  p50 %v  p95 %v  max %v\n",

@@ -116,7 +116,7 @@ func cyclesOrNA(c *Cell, f *CellFailure) string {
 }
 
 // cellDegraded fetches one cell with degraded-mode semantics. Outside
-// degraded mode it behaves like CellCtx (cell or error). In degraded mode
+// degraded mode it behaves like CellContext (cell or error). In degraded mode
 // a failed cell comes back as a *CellFailure instead of an error, and a
 // cell that already failed is not recomputed (the engine evicts failed
 // flights, so retrying a panicking or timing-out cell would pay its full
@@ -127,7 +127,7 @@ func (s *Suite) cellDegraded(ctx context.Context, bench string, v Variant) (*Cel
 			return nil, f, nil
 		}
 	}
-	c, err := s.CellCtx(ctx, bench, v)
+	c, err := s.CellContext(ctx, bench, v)
 	if err == nil {
 		return c, nil, nil
 	}

@@ -158,15 +158,15 @@ func TestRunHybridPicksFaster(t *testing.T) {
 	}
 	cfg := arch.Default().WithInterleave(b.Interleave)
 	opts := sim.Options{MaxIterations: 150, MaxEntries: 1}
-	hy, err := RunHybrid(context.Background(), b.Loops[0], cfg, sched.PrefClus, opts)
+	hy, err := RunHybridContext(context.Background(), b.Loops[0], cfg, sched.PrefClus, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mdc, err := RunLoop(context.Background(), b.Loops[0], cfg, MDCPrefClus, opts)
+	mdc, err := RunLoopContext(context.Background(), b.Loops[0], cfg, MDCPrefClus, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dt, err := RunLoop(context.Background(), b.Loops[0], cfg, DDGTPrefClus, opts)
+	dt, err := RunLoopContext(context.Background(), b.Loops[0], cfg, DDGTPrefClus, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

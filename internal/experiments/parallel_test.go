@@ -26,7 +26,7 @@ func TestConcurrentCellRaceFree(t *testing.T) {
 	ref := make(map[string]*Cell)
 	for _, b := range benches {
 		for _, v := range variants {
-			c, err := serial.CellCtx(context.Background(), b, v)
+			c, err := serial.CellContext(context.Background(), b, v)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,7 +46,7 @@ func TestConcurrentCellRaceFree(t *testing.T) {
 			got[g] = make(map[string]*Cell)
 			for _, b := range benches {
 				for _, v := range variants {
-					c, err := par.CellCtx(context.Background(), b, v)
+					c, err := par.CellContext(context.Background(), b, v)
 					if err != nil {
 						errs[g] = err
 						return
@@ -98,8 +98,8 @@ func TestCellCancellation(t *testing.T) {
 	s := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.CellCtx(ctx, "gsmenc", MDCPrefClus); !errors.Is(err, context.Canceled) {
-		t.Errorf("pre-canceled CellCtx = %v, want context.Canceled", err)
+	if _, err := s.CellContext(ctx, "gsmenc", MDCPrefClus); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled CellContext = %v, want context.Canceled", err)
 	}
 
 	// Cancel mid-grid: Warm over the full grid must return context.Canceled
@@ -160,7 +160,7 @@ func TestParallelFigureDeterminism(t *testing.T) {
 
 func TestUnknownBenchmarkTyped(t *testing.T) {
 	s := NewSuite(arch.Default(), WithSimOptions(parallelSimOpts))
-	_, err := s.CellCtx(context.Background(), "nosuch", MDCPrefClus)
+	_, err := s.CellContext(context.Background(), "nosuch", MDCPrefClus)
 	if !errors.Is(err, ErrUnknownBenchmark) {
 		t.Errorf("unknown benchmark error %v must wrap ErrUnknownBenchmark", err)
 	}
@@ -176,7 +176,7 @@ func TestPipelineErrorLocatesStage(t *testing.T) {
 	cfg := arch.Default()
 	cfg.FPUnits = 0
 	s := NewSuite(cfg, WithSimOptions(parallelSimOpts))
-	_, err := s.CellCtx(context.Background(), "rasta", MDCPrefClus)
+	_, err := s.CellContext(context.Background(), "rasta", MDCPrefClus)
 	if err == nil {
 		t.Fatal("scheduling FP loops without FP units must fail")
 	}
@@ -204,7 +204,7 @@ func TestTracerObservesStages(t *testing.T) {
 			seen[ev.Stage]++
 			mu.Unlock()
 		}))
-	if _, err := s.CellCtx(context.Background(), "gsmenc", MDCPrefClus); err != nil {
+	if _, err := s.CellContext(context.Background(), "gsmenc", MDCPrefClus); err != nil {
 		t.Fatal(err)
 	}
 	for _, stage := range []string{"prepare", "profile", "schedule", "simulate", "cell"} {

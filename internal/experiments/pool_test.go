@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/fault"
+	"vliwcache/internal/sim"
+)
+
+// poolTestOpts trims the pooled-identity workload under the race
+// detector so the package stays inside the test timeout on slow hosts;
+// the identity property is size-independent, so checking a smaller run
+// proves the same thing.
+func poolTestOpts() sim.Options {
+	opts := parallelSimOpts
+	if raceEnabled {
+		opts.MaxIterations = 20
+	}
+	return opts
+}
+
+// poolTestBenches likewise narrows the grid under -race.
+func poolTestBenches(all []string) []string {
+	if raceEnabled {
+		return all[:1]
+	}
+	return all
+}
+
+// cellsEqual compares two cells field by field (stats by value).
+func cellsEqual(t *testing.T, label string, got, want *Cell) {
+	t.Helper()
+	if got.Total != want.Total {
+		t.Errorf("%s: totals diverge:\n got %+v\nwant %+v", label, got.Total, want.Total)
+	}
+	if len(got.Loops) != len(want.Loops) {
+		t.Fatalf("%s: %d loops vs %d", label, len(got.Loops), len(want.Loops))
+	}
+	for i := range got.Loops {
+		g, w := got.Loops[i], want.Loops[i]
+		if g.Loop != w.Loop || g.II != w.II || g.Comms != w.Comms || *g.Stats != *w.Stats {
+			t.Errorf("%s loop %s: pooled run diverges:\n got II=%d comms=%d %+v\nwant II=%d comms=%d %+v",
+				label, g.Loop, g.II, g.Comms, *g.Stats, w.II, w.Comms, *w.Stats)
+		}
+	}
+}
+
+// TestPooledCellsMatchSerial interleaves pooled cells across workers —
+// hammered from several goroutines so machines are recycled mid-grid —
+// and asserts the results are identical to an unpooled serial run. Run
+// under -race this also proves the pool's concurrency safety.
+func TestPooledCellsMatchSerial(t *testing.T) {
+	benches := poolTestBenches([]string{"epicdec", "gsmenc"})
+	variants := []Variant{MDCPrefClus, DDGTMinComs}
+
+	serial := NewSuite(arch.Default(), WithSimOptions(poolTestOpts()), WithParallelism(1))
+	ref := make(map[string]*Cell)
+	for _, b := range benches {
+		for _, v := range variants {
+			c, err := serial.CellContext(context.Background(), b, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[b+"/"+v.String()] = c
+		}
+	}
+
+	pooled := NewSuite(arch.Default(),
+		WithSimOptions(poolTestOpts()), WithParallelism(4), WithMachinePool(2))
+	const hammers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, hammers)
+	cells := make([]map[string]*Cell, hammers)
+	for g := 0; g < hammers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cells[g] = make(map[string]*Cell)
+			for _, b := range benches {
+				for _, v := range variants {
+					c, err := pooled.CellContext(context.Background(), b, v)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					cells[g][b+"/"+v.String()] = c
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < hammers; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		for key, want := range ref {
+			cellsEqual(t, key, cells[g][key], want)
+		}
+	}
+
+	m := pooled.Metrics()
+	if m.PoolRuns == 0 {
+		t.Error("pooled suite reported zero PoolRuns")
+	}
+	if m.PoolReuses == 0 {
+		t.Error("pooled suite never reused a machine")
+	}
+	if serial.Metrics().PoolRuns != 0 {
+		t.Error("unpooled suite reported pool traffic")
+	}
+}
+
+// TestPooledFigureMatchesSerial regenerates a figure through pooled
+// workers and asserts the rendered text is byte-identical to the serial
+// unpooled rendering.
+func TestPooledFigureMatchesSerial(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("whole-grid regeneration is too slow here; cell identity is covered above")
+	}
+	serial := quickSuite(t, arch.Default())
+	want, err := Figure6(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := NewSuite(arch.Default(),
+		WithSimOptions(serial.SimOptions), WithMachinePool(0))
+	got, err := Figure6(context.Background(), pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("pooled Figure 6 rendering diverges from serial:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPooledChaosSmoke pushes seeded timing faults through pooled
+// machines: injection must actually fire, recycled machines must not leak
+// fault state between cells, and the paper's guarantee — zero coherence
+// violations for MDC and DDGT schedules — must hold.
+func TestPooledChaosSmoke(t *testing.T) {
+	opts := poolTestOpts()
+	opts.CheckCoherence = true
+	opts.NewFaults = fault.Seeded(7, fault.DefaultConfig())
+
+	s := NewSuite(arch.Default(), WithSimOptions(opts), WithParallelism(2), WithMachinePool(2))
+	var total sim.Stats
+	for _, b := range poolTestBenches([]string{"epicdec", "gsmenc", "pgpdec"}) {
+		for _, v := range []Variant{MDCPrefClus, DDGTPrefClus} {
+			c, err := s.CellContext(context.Background(), b, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Total.Violations != 0 {
+				t.Errorf("%s/%s: %d coherence violations through pooled machines",
+					b, v, c.Total.Violations)
+			}
+			total.Add(&c.Total)
+		}
+	}
+	if total.InjectedFaults == 0 {
+		t.Error("chaos smoke injected no faults")
+	}
+	if runs, reuses := s.Metrics().PoolRuns, s.Metrics().PoolReuses; runs == 0 || reuses == 0 {
+		t.Errorf("pool not exercised: %d runs, %d reuses", runs, reuses)
+	}
+}

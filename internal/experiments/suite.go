@@ -105,6 +105,7 @@ type Suite struct {
 	parallelism int
 	tracer      func(TraceEvent)
 	observer    Observer
+	pool        *sim.Pool
 
 	// Degraded-mode state (chaos mode). When degraded is set, a cell that
 	// fails — pipeline error, panic, deadline — is recorded instead of
@@ -158,6 +159,16 @@ type Observer struct {
 // stalls) for every run the suite executes.
 func WithObserver(o Observer) Option {
 	return func(s *Suite) { s.observer = o }
+}
+
+// WithMachinePool routes every simulation the suite runs through a pool
+// of at most n reusable simulation machines (<= 0 sizes the pool to the
+// worker count). Pooled cells pay for cache modules, bus arbiters and
+// hot-path tables once per worker instead of once per loop run; results
+// are bit-identical to unpooled runs (machines reset to cold state).
+// Pool traffic shows up in Metrics as PoolRuns / PoolReuses.
+func WithMachinePool(n int) Option {
+	return func(s *Suite) { s.pool = sim.NewPool(n) }
 }
 
 // WithCellTimeout bounds the wall time of each cell computation. A cell
@@ -222,8 +233,15 @@ func (s *Suite) engine() *engine.Engine {
 }
 
 // Metrics snapshots the suite engine's counters: cells computed versus
-// cache hits, worker utilization, and wall time per pipeline stage.
-func (s *Suite) Metrics() engine.Metrics { return s.engine().Metrics() }
+// cache hits, worker utilization, wall time per pipeline stage, and — when
+// WithMachinePool is in force — machine pool traffic.
+func (s *Suite) Metrics() engine.Metrics {
+	m := s.engine().Metrics()
+	if s.pool != nil {
+		m.PoolRuns, m.PoolReuses = s.pool.Counters()
+	}
+	return m
+}
 
 func (s *Suite) bench(name string) (*mediabench.Benchmark, error) {
 	for _, b := range s.Benches {
@@ -234,18 +252,24 @@ func (s *Suite) bench(name string) (*mediabench.Benchmark, error) {
 	return nil, fmt.Errorf("experiments: %w %q: not in suite", mediabench.ErrUnknownBenchmark, name)
 }
 
-// Cell returns the (cached) result of one benchmark under one variant.
-//
-// Deprecated: use CellCtx, which threads a context through the pipeline.
+// Cell is CellContext with a background context — the convenience form
+// for interactive and test use.
 func (s *Suite) Cell(bench string, v Variant) (*Cell, error) {
-	return s.CellCtx(context.Background(), bench, v)
+	return s.CellContext(context.Background(), bench, v)
 }
 
-// CellCtx returns the result of one benchmark under one variant. Results
-// are memoized: concurrent callers asking for the same cell share one
-// computation, and later callers get the cached cell. ctx cancellation is
-// honored at pipeline stage boundaries.
+// CellCtx returns the (cached) result of one benchmark under one variant.
+//
+// Deprecated: CellCtx is the pre-v1 spelling of CellContext; use that.
 func (s *Suite) CellCtx(ctx context.Context, bench string, v Variant) (*Cell, error) {
+	return s.CellContext(ctx, bench, v)
+}
+
+// CellContext returns the result of one benchmark under one variant.
+// Results are memoized: concurrent callers asking for the same cell share
+// one computation, and later callers get the cached cell. ctx cancellation
+// is honored at pipeline stage boundaries.
+func (s *Suite) CellContext(ctx context.Context, bench string, v Variant) (*Cell, error) {
 	key := bench + "/" + v.String()
 	val, err := s.engine().Do(ctx, key, func(ctx context.Context) (any, error) {
 		return s.computeCell(ctx, bench, v)
@@ -315,17 +339,23 @@ func (s *Suite) WarmBenches(ctx context.Context, benches []string, variants ...V
 		return ctx.Err()
 	}
 	return s.engine().Map(ctx, len(grid), func(ctx context.Context, i int) error {
-		_, err := s.CellCtx(ctx, grid[i].bench, grid[i].v)
+		_, err := s.CellContext(ctx, grid[i].bench, grid[i].v)
 		return err
 	})
 }
 
-// RunLoop drives the full pipeline for one loop: profile, prepare under
-// the policy, modulo schedule, simulate. ctx is checked at every stage
-// boundary; failures are reported as a *PipelineError naming the stage.
-func RunLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
+// RunLoopContext drives the full pipeline for one loop: profile, prepare
+// under the policy, modulo schedule, simulate. ctx is checked at every
+// stage boundary; failures are reported as a *PipelineError naming the
+// stage.
+func RunLoopContext(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
 	s := &Suite{Base: cfg}
 	return s.runLoop(ctx, loop, cfg, v, opts, "")
+}
+
+// RunLoop is RunLoopContext with a background context.
+func RunLoop(loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
+	return RunLoopContext(context.Background(), loop, cfg, v, opts)
 }
 
 // runLoop is RunLoop plus instrumentation: stage wall times go to the
@@ -391,7 +421,12 @@ func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v V
 	if s.observer.NewTracer != nil {
 		opts.Tracer = s.observer.NewTracer(bench, loop.Name, v)
 	}
-	st, err := sim.RunCtx(ctx, sc, opts)
+	var st *sim.Stats
+	if s.pool != nil {
+		st, err = s.pool.RunSchedule(ctx, sc, opts)
+	} else {
+		st, err = sim.RunContext(ctx, sc, opts)
+	}
 	stageDone("simulate", t0, err)
 	if err != nil {
 		return fail("simulate", err)
@@ -399,14 +434,15 @@ func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v V
 	return &LoopRun{Loop: loop.Name, II: sc.II, Comms: sc.CommOps(), Stats: st}, nil
 }
 
-// RunHybrid implements the per-loop hybrid of §6 (further work): both MDC
-// and DDGT are scheduled and simulated and the faster one is kept per loop.
-func RunHybrid(ctx context.Context, loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
-	mdc, err := RunLoop(ctx, loop, cfg, Variant{core.PolicyMDC, h}, opts)
+// RunHybridContext implements the per-loop hybrid of §6 (further work):
+// both MDC and DDGT are scheduled and simulated and the faster one is kept
+// per loop.
+func RunHybridContext(ctx context.Context, loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
+	mdc, err := RunLoopContext(ctx, loop, cfg, Variant{core.PolicyMDC, h}, opts)
 	if err != nil {
 		return nil, err
 	}
-	dt, err := RunLoop(ctx, loop, cfg, Variant{core.PolicyDDGT, h}, opts)
+	dt, err := RunLoopContext(ctx, loop, cfg, Variant{core.PolicyDDGT, h}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -414,6 +450,11 @@ func RunHybrid(ctx context.Context, loop *ir.Loop, cfg arch.Config, h sched.Heur
 		return dt, nil
 	}
 	return mdc, nil
+}
+
+// RunHybrid is RunHybridContext with a background context.
+func RunHybrid(loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
+	return RunHybridContext(context.Background(), loop, cfg, h, opts)
 }
 
 // Chains analysis shared by Table 3 and Table 5.

@@ -144,8 +144,8 @@ func TestChaosCancellation(t *testing.T) {
 	sc := buildSchedule(t, 1, core.PolicyMDC, arch.Default())
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := sim.RunCtx(ctx, sc, sim.Options{})
+	_, err := sim.RunContext(ctx, sc, sim.Options{})
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("RunCtx with canceled context: got %v, want context.Canceled", err)
+		t.Fatalf("RunContext with canceled context: got %v, want context.Canceled", err)
 	}
 }

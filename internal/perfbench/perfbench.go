@@ -1,0 +1,131 @@
+// Package perfbench defines the committed performance-baseline schema for
+// the simulator's hot path and the comparison logic of the regression
+// gate. The baseline (BENCH_sim.json at the repository root) records, per
+// benchmark, the ns/op, allocs/op, B/op and cells/sec measured on the
+// machine that refreshed it; `make bench-check` re-measures and fails when
+// ns/op regresses beyond the tolerance or the steady state allocates.
+//
+// This package holds only the schema and arithmetic — measurement lives in
+// the repository's _test.go files (testing.Benchmark), keeping the
+// "testing" package out of non-test binaries that link the facade.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema is the current baseline file schema version.
+const Schema = 1
+
+// DefaultTolerance is the relative ns/op regression the gate accepts
+// before failing (10%), absorbing run-to-run noise on a quiet host.
+const DefaultTolerance = 0.10
+
+// Metric is one benchmark's recorded performance.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// CellsPerSec is the paper-grid throughput in experiment cells per
+	// second, recorded for benchmarks that run whole cells (0 otherwise).
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+}
+
+// Baseline is the committed performance baseline.
+type Baseline struct {
+	Schema     int               `json:"schema"`
+	GitSHA     string            `json:"git_sha"`
+	Date       string            `json:"date"` // RFC 3339, UTC
+	GoVersion  string            `json:"go_version"`
+	Benchmarks map[string]Metric `json:"benchmarks"`
+}
+
+// Load reads and validates a baseline file.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: %s: schema %d, want %d", path, b.Schema, Schema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perfbench: %s: no benchmarks recorded", path)
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline deterministically (sorted keys, indented)
+// so refreshes produce minimal diffs.
+func (b *Baseline) Write(path string) error {
+	b.Schema = Schema
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perfbench: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Benchmark string  // benchmark name
+	Field     string  // "ns_per_op", "allocs_per_op", or "missing"
+	Base      float64 // recorded value
+	Got       float64 // measured value
+}
+
+func (r Regression) String() string {
+	if r.Field == "missing" {
+		return fmt.Sprintf("%s: recorded in the baseline but not measured", r.Benchmark)
+	}
+	return fmt.Sprintf("%s: %s regressed %.0f -> %.0f (%+.1f%%)",
+		r.Benchmark, r.Field, r.Base, r.Got, 100*(r.Got-r.Base)/r.Base)
+}
+
+// Compare checks measured results against a recorded baseline and returns
+// every violation, sorted by benchmark name:
+//
+//   - a baseline benchmark that was not measured ("missing");
+//   - ns/op above base × (1 + tolerance);
+//   - allocs/op above zero when the baseline records zero (the
+//     steady-state benchmarks pin the allocation-free contract exactly),
+//     or above base × (1 + tolerance) otherwise (benchmarks that
+//     inherently allocate see a few counts of run-to-run jitter from
+//     background goroutines).
+//
+// Benchmarks measured but not recorded are ignored: adding a benchmark
+// must not fail the gate until the baseline is refreshed.
+func Compare(base, got *Baseline, tolerance float64) []Regression {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	var regs []Regression
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		g, ok := got.Benchmarks[name]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: name, Field: "missing"})
+			continue
+		}
+		if b.NsPerOp > 0 && g.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regs = append(regs, Regression{Benchmark: name, Field: "ns_per_op", Base: b.NsPerOp, Got: g.NsPerOp})
+		}
+		allocBudget := b.AllocsPerOp * (1 + tolerance) // 0 stays exactly 0
+		if g.AllocsPerOp > allocBudget {
+			regs = append(regs, Regression{Benchmark: name, Field: "allocs_per_op", Base: b.AllocsPerOp, Got: g.AllocsPerOp})
+		}
+	}
+	return regs
+}

@@ -32,7 +32,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 
 	if !isStore {
 		// Combining with an in-flight local fill.
-		if p, ok := m.pending[cluster][sub]; ok && p > issue {
+		if p := m.pending[cluster].get(subKey(sub)); p > issue {
 			m.access(Combined, iter, id, cluster, cluster, addr, issue, issue, false, o.Addr.Size)
 			return p
 		}
@@ -52,7 +52,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 		if fill {
 			m.modules[cluster].Fill(block, done, false)
 		}
-		m.pending[cluster][sub] = done
+		m.pending[cluster].put(subKey(sub), done)
 		m.access(LocalMiss, iter, id, cluster, l2, addr, issue, start, false, o.Addr.Size)
 		return done
 	}
@@ -67,7 +67,7 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 		m.access(LocalMiss, iter, id, cluster, cluster, addr, issue, issue, true, o.Addr.Size)
 	}
 	// A store makes any in-flight pre-store fill of this cluster stale.
-	delete(m.pending[cluster], sub)
+	m.pending[cluster].put(subKey(sub), 0)
 
 	if m.group[id] {
 		// DDGT instance: it only owns its cluster's copy. The instance in
@@ -109,8 +109,8 @@ func (m *machine) memAccessReplicated(id int, iter, issue int64, cluster int, ad
 		m.record(arrive, iter, id, c, true, addr, o.Addr.Size)
 		m.emitArrival(id, c, iter, addr, arrive)
 		// The broadcast supersedes any in-flight pre-store fill there.
-		if p, ok := m.pending[c][sub]; ok && p > arrive {
-			delete(m.pending[c], sub)
+		if m.pending[c].get(subKey(sub)) > arrive {
+			m.pending[c].put(subKey(sub), 0)
 		}
 		if arrive+hitLat > done {
 			done = arrive + hitLat

@@ -1,0 +1,438 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/bus"
+	"vliwcache/internal/cache"
+	"vliwcache/internal/sched"
+)
+
+// This file holds the reusable-execution layer of the simulator: Runner
+// (one machine kept alive across runs), Pool (a concurrent store of idle
+// Runners), and the epoch-cleared open-addressed tables that replace the
+// per-run maps on the hot path. Splitting construction from execution is
+// what makes the steady state allocation-free: statics are built once per
+// schedule (Bind), the substrate once per cache geometry, and a Run only
+// touches preallocated storage.
+
+// Runner is a simulation machine bound to one schedule that can execute it
+// repeatedly. Run resets all dynamic state (cold caches, empty buses, zero
+// counters), so every Run of the same schedule and options produces results
+// identical to a fresh sim.Run — but, once warm, without allocating.
+//
+// The *Stats returned by Run points into the Runner and is overwritten by
+// the next Run; copy it if it must outlive the Runner's reuse. A Runner is
+// not safe for concurrent use; use a Pool to share machines across
+// goroutines.
+type Runner struct {
+	m machine
+}
+
+// NewRunner validates the schedule and builds a machine for it.
+func NewRunner(sc *sched.Schedule, opts Options) (*Runner, error) {
+	r := &Runner{}
+	if err := r.Bind(sc, opts); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Bind points the Runner at a (possibly different) schedule and option set.
+// Schedule-derived statics are rebuilt; the machine substrate (cache
+// modules, Attraction Buffers, buses, next-level ports, pending tables) is
+// kept when the new schedule's cache geometry matches the old one and
+// rebuilt otherwise, so a pool cycling through cells that share a machine
+// configuration reuses almost all of its storage.
+func (r *Runner) Bind(sc *sched.Schedule, opts Options) error {
+	return r.m.bind(sc, opts)
+}
+
+// Run resets the machine and executes the bound schedule, honoring ctx as
+// RunContext does. The returned *Stats is owned by the Runner and
+// overwritten by the next Run.
+func (r *Runner) Run(ctx context.Context) (*Stats, error) {
+	return r.m.runAll(ctx)
+}
+
+// Schedule returns the currently bound schedule.
+func (r *Runner) Schedule() *sched.Schedule { return r.m.sc }
+
+// Pool is a concurrent store of idle Runners. RunSchedule pulls a machine
+// from the pool (binding it to the requested schedule) instead of building
+// one from scratch, so a grid of cells sharing a machine configuration pays
+// for cache modules, bus arbiters and hot-path tables once per worker
+// rather than once per cell. A Pool is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Runner
+	max  int
+
+	runs   int64
+	reuses int64
+}
+
+// NewPool builds a pool keeping at most max idle Runners (<= 0 defaults to
+// runtime.GOMAXPROCS(0), one per worker of a default engine).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{max: max}
+}
+
+// RunSchedule executes one schedule on a pooled machine and returns a
+// caller-owned copy of its statistics. Results are identical to sim.Run:
+// the machine is reset to cold state before executing.
+func (p *Pool) RunSchedule(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, error) {
+	r := p.get()
+	var err error
+	if r == nil {
+		r, err = NewRunner(sc, opts)
+	} else {
+		err = r.Bind(sc, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, err := r.Run(ctx)
+	if err != nil {
+		// The machine is left in a defined state by the failed run's reset
+		// on next use, so it is safe to pool it again.
+		p.put(r)
+		return nil, err
+	}
+	out := new(Stats)
+	*out = *st
+	p.put(r)
+	return out, nil
+}
+
+// Counters reports how many schedules the pool has run and how many of
+// those reused an idle machine instead of constructing one.
+func (p *Pool) Counters() (runs, reuses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runs, p.reuses
+}
+
+func (p *Pool) get() *Runner {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.runs++
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		return r
+	}
+	return nil
+}
+
+func (p *Pool) put(r *Runner) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, r)
+	}
+}
+
+// subKey packs a SubblockID into one word. Block addresses are aligned to
+// BlockBytes and Validate guarantees BlockBytes >= NumClusters *
+// InterleaveBytes, so the home-cluster index fits in the block's zero low
+// bits without colliding.
+func subKey(sub arch.SubblockID) uint64 {
+	return sub.Block | uint64(sub.Cluster)
+}
+
+// fibMult is the 64-bit Fibonacci hashing multiplier.
+const fibMult = 0x9E3779B97F4A7C15
+
+// pendTab tracks the in-flight (pending) subblock requests of one cluster:
+// an open-addressed, linearly probed table from packed SubblockID to the
+// request's completion time. It replaces the per-run
+// map[arch.SubblockID]int64 of earlier versions: clearing is an epoch bump
+// (no per-entry work), lookups are one multiply-shift hash over a single
+// word, and the storage persists across runs so the steady state never
+// allocates.
+//
+// There is no deletion: an entry is "absent" when its value is zero, which
+// callers never confuse with a live request because every pending check is
+// a strict p > now comparison and completion times are positive.
+type pendTab struct {
+	keys  []uint64
+	vals  []int64
+	eps   []uint32
+	epoch uint32
+	live  int
+	shift uint
+}
+
+const pendTabMinSize = 64
+
+func (t *pendTab) init() {
+	if t.keys == nil {
+		t.alloc(pendTabMinSize)
+	}
+	t.reset()
+}
+
+func (t *pendTab) alloc(n int) {
+	t.keys = make([]uint64, n)
+	t.vals = make([]int64, n)
+	t.eps = make([]uint32, n)
+	t.shift = 64 - log2(uint(n))
+}
+
+// reset invalidates every entry in O(1) by advancing the epoch.
+func (t *pendTab) reset() {
+	t.epoch++
+	t.live = 0
+	if t.epoch == 0 { // wrapped: stale epochs could alias, really clear
+		clear(t.eps)
+		t.epoch = 1
+	}
+}
+
+// get returns the completion time for key, or 0 when no request is pending.
+func (t *pendTab) get(key uint64) int64 {
+	mask := uint64(len(t.keys) - 1)
+	i := (key * fibMult) >> t.shift
+	for t.eps[i] == t.epoch {
+		if t.keys[i] == key {
+			return t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	return 0
+}
+
+// put records (or overwrites) the completion time for key. Storing 0
+// removes the request (see the type comment).
+func (t *pendTab) put(key uint64, v int64) {
+	if t.live >= len(t.keys)-len(t.keys)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := (key * fibMult) >> t.shift
+	for t.eps[i] == t.epoch {
+		if t.keys[i] == key {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i], t.vals[i], t.eps[i] = key, v, t.epoch
+	t.live++
+}
+
+func (t *pendTab) grow() {
+	ok, ov, oe, epoch := t.keys, t.vals, t.eps, t.epoch
+	t.alloc(2 * len(ok))
+	clear(t.eps)
+	t.epoch = 1
+	t.live = 0
+	for i, e := range oe {
+		if e == epoch {
+			t.put(ok[i], ov[i])
+		}
+	}
+}
+
+// coherTab is the coherence checker's per-byte ordering state: for each
+// (serialization point, byte address) it holds the largest program-order
+// index seen over all accesses and over stores alone. Same open-addressed
+// epoch-cleared design as pendTab; the sentinel for "never seen" is -1
+// (program-order indices are non-negative).
+type coherTab struct {
+	keys   []uint64
+	maxAny []int64
+	maxSto []int64
+	eps    []uint32
+	epoch  uint32
+	live   int
+	shift  uint
+}
+
+const coherTabMinSize = 1024
+
+// coherKey packs a serialization point and a byte address. Serialization
+// points are cluster indices plus one next-level slot, far below 256.
+func coherKey(loc int, addr uint64) uint64 {
+	return addr<<8 | uint64(loc)
+}
+
+func (t *coherTab) init() {
+	if t.keys == nil {
+		t.allocTab(coherTabMinSize)
+	}
+	t.reset()
+}
+
+func (t *coherTab) allocTab(n int) {
+	t.keys = make([]uint64, n)
+	t.maxAny = make([]int64, n)
+	t.maxSto = make([]int64, n)
+	t.eps = make([]uint32, n)
+	t.shift = 64 - log2(uint(n))
+}
+
+func (t *coherTab) reset() {
+	t.epoch++
+	t.live = 0
+	if t.epoch == 0 {
+		clear(t.eps)
+		t.epoch = 1
+	}
+}
+
+// slot returns the index of key's entry, claiming (and initializing to the
+// -1 sentinels) a fresh one if the byte has not been seen this epoch.
+func (t *coherTab) slot(key uint64) int {
+	if t.live >= len(t.keys)-len(t.keys)/4 {
+		t.growTab()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := (key * fibMult) >> t.shift
+	for t.eps[i] == t.epoch {
+		if t.keys[i] == key {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i], t.maxAny[i], t.maxSto[i], t.eps[i] = key, -1, -1, t.epoch
+	t.live++
+	return int(i)
+}
+
+func (t *coherTab) growTab() {
+	ok, oa, os, oe, epoch := t.keys, t.maxAny, t.maxSto, t.eps, t.epoch
+	t.allocTab(2 * len(ok))
+	clear(t.eps)
+	t.epoch = 1
+	t.live = 0
+	for i, e := range oe {
+		if e == epoch {
+			s := t.slot(ok[i])
+			t.maxAny[s], t.maxSto[s] = oa[i], os[i]
+		}
+	}
+}
+
+// log2 returns floor(log2(n)) for a power-of-two n.
+func log2(n uint) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// grownInt64 returns a slice of length n, reusing b's storage when it is
+// large enough (grow-only buffers for the pooled machine's value rings).
+func grownInt64(b []int64, n int) []int64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int64, n)
+}
+
+// geometry is the subset of the machine configuration that determines the
+// substrate's storage shape. Two schedules whose configs agree on it can
+// share cache modules, buffers, buses and tables across a Bind.
+type geometry struct {
+	numClusters    int
+	moduleBytes    int
+	subblockBytes  int
+	cacheAssoc     int
+	blockBytes     int
+	abEntries      int
+	abAssoc        int
+	memBuses       int
+	memBusLatency  int
+	nextLevelPorts int
+}
+
+func geometryOf(cfg arch.Config) geometry {
+	return geometry{
+		numClusters:    cfg.NumClusters,
+		moduleBytes:    cfg.ModuleBytes(),
+		subblockBytes:  cfg.SubblockBytes(),
+		cacheAssoc:     cfg.CacheAssoc,
+		blockBytes:     cfg.BlockBytes,
+		abEntries:      cfg.ABEntries,
+		abAssoc:        cfg.ABAssoc,
+		memBuses:       cfg.MemBuses,
+		memBusLatency:  cfg.MemBusLatency,
+		nextLevelPorts: cfg.NextLevelPorts,
+	}
+}
+
+// ensureSubstrate builds or resets the machine substrate for cfg.
+func (m *machine) ensureSubstrate(cfg arch.Config) error {
+	geo := geometryOf(cfg)
+	if m.geo == geo && m.modules != nil {
+		return nil // same shape: Run's reset will cold-start it
+	}
+	modules := make([]*cache.Module, cfg.NumClusters)
+	for c := range modules {
+		mod, err := cache.NewModule(cfg.ModuleBytes(), cfg.SubblockBytes(), cfg.CacheAssoc, cfg.BlockBytes)
+		if err != nil {
+			return err
+		}
+		modules[c] = mod
+	}
+	m.modules = modules
+	m.abs = nil
+	if cfg.ABEntries > 0 {
+		m.abs = make([]*cache.AttractionBuffer, cfg.NumClusters)
+		for c := range m.abs {
+			m.abs[c] = cache.NewAttractionBuffer(cfg.ABEntries, cfg.ABAssoc)
+		}
+	}
+	m.arb = bus.NewArbiter(cfg.MemBuses, cfg.MemBusLatency)
+	m.ports = bus.NewPorts(cfg.NextLevelPorts)
+	m.busFloor = make([]int64, cfg.NumClusters)
+	m.pending = make([]pendTab, cfg.NumClusters)
+	m.geo = geo
+	return nil
+}
+
+// reset returns every piece of dynamic state to the just-constructed
+// condition so the next run is indistinguishable from a fresh machine's.
+// It touches only preallocated storage.
+func (m *machine) reset() {
+	m.statsVal = Stats{}
+	m.stall = 0
+	m.base = 0
+	m.seq = 0
+	m.iterBase = 0
+	m.entry = 0
+	for _, mod := range m.modules {
+		mod.Reset()
+	}
+	for _, ab := range m.abs {
+		ab.Reset()
+	}
+	m.arb.Reset()
+	m.ports.Reset()
+	clear(m.busFloor)
+	for c := range m.pending {
+		m.pending[c].init()
+	}
+	m.recs = m.recs[:0]
+	if m.opts.CheckCoherence {
+		m.coher.init()
+	}
+	if m.opts.NewFaults != nil {
+		m.faults.inj = m.opts.NewFaults(m.sc)
+	} else {
+		m.faults.inj = nil
+	}
+	m.faults.stats = &m.statsVal
+}

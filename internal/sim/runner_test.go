@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+// buildSchedule compiles a loop for the config with the given policy.
+func buildSchedule(t *testing.T, seed int64, pol core.Policy, cfg arch.Config) *sched.Schedule {
+	t.Helper()
+	loop := loopgen.Random(seed, loopgen.DefaultParams())
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.MinComs, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// countingInjector is a deterministic FaultInjector for tests: it derives
+// every decision from its call counter, so two runs consulted identically
+// produce identical fault sequences.
+type countingInjector struct{ n int64 }
+
+func (c *countingInjector) MemExtra(op, cluster int, iter int64) int64 {
+	c.n++
+	if c.n%7 == 0 {
+		return c.n % 5
+	}
+	return 0
+}
+func (c *countingInjector) BusExtra(op, cluster int, iter int64) int64 {
+	c.n++
+	if c.n%11 == 0 {
+		return 2
+	}
+	return 0
+}
+func (c *countingInjector) FlipClass(op, cluster int, iter int64, hit bool) bool {
+	c.n++
+	return c.n%13 == 0
+}
+func (c *countingInjector) FlushAB(cluster int, iter int64) bool {
+	c.n++
+	return c.n%17 == 0
+}
+
+// TestRunnerMatchesRun: repeated Runs of one Runner must be byte-identical
+// to a fresh sim.Run — stats and CSV trace — across layouts, coherence
+// checking, Attraction Buffers, and fault injection.
+func TestRunnerMatchesRun(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  core.Policy
+		cfg  arch.Config
+	}{
+		{"mdc-default", core.PolicyMDC, arch.Default()},
+		{"mdc-ab", core.PolicyMDC, arch.Default().WithAttractionBuffers(16)},
+		{"ddgt", core.PolicyDDGT, arch.Default()},
+		{"free-baseline", core.PolicyFree, arch.Default()},
+		{"ddgt-replicated", core.PolicyDDGT, arch.Default().WithLayout(arch.LayoutReplicated)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := buildSchedule(t, 11, tc.pol, tc.cfg)
+			mkOpts := func(buf *bytes.Buffer) Options {
+				return Options{
+					MaxIterations:  200,
+					CheckCoherence: true,
+					Trace:          buf,
+					NewFaults:      func(*sched.Schedule) FaultInjector { return &countingInjector{} },
+				}
+			}
+
+			var wantTrace bytes.Buffer
+			want, err := Run(sc, mkOpts(&wantTrace))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			r, err := NewRunner(sc, mkOpts(&buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				buf.Reset()
+				got, err := r.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if *got != *want {
+					t.Fatalf("rep %d: pooled stats diverge:\n got %+v\nwant %+v", rep, *got, *want)
+				}
+				if !bytes.Equal(buf.Bytes(), wantTrace.Bytes()) {
+					t.Fatalf("rep %d: pooled trace diverges from fresh run", rep)
+				}
+			}
+		})
+	}
+}
+
+// TestRunnerRebind: one machine cycled through schedules with different
+// loops, policies, and cache geometries must reproduce fresh-run results
+// every time, and must keep its substrate when the geometry is unchanged.
+func TestRunnerRebind(t *testing.T) {
+	opts := Options{MaxIterations: 150, CheckCoherence: true}
+	scheds := []*sched.Schedule{
+		buildSchedule(t, 1, core.PolicyMDC, arch.Default()),
+		buildSchedule(t, 2, core.PolicyDDGT, arch.Default()),                           // same geometry
+		buildSchedule(t, 3, core.PolicyMDC, arch.Default().WithAttractionBuffers(16)),  // new geometry
+		buildSchedule(t, 4, core.PolicyDDGT, arch.Default().WithAttractionBuffers(16)), // back to shared
+		buildSchedule(t, 5, core.PolicyDDGT, arch.Default().WithLayout(arch.LayoutReplicated)),
+	}
+
+	r, err := NewRunner(scheds[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scheds {
+		if i > 0 {
+			before := r.m.modules[0]
+			if err := r.Bind(sc, opts); err != nil {
+				t.Fatal(err)
+			}
+			sameGeo := geometryOf(scheds[i-1].Arch) == geometryOf(sc.Arch)
+			if sameGeo && r.m.modules[0] != before {
+				t.Errorf("bind %d rebuilt substrate despite unchanged geometry", i)
+			}
+			if !sameGeo && r.m.modules[0] == before {
+				t.Errorf("bind %d kept substrate despite changed geometry", i)
+			}
+		}
+		got, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("schedule %d: rebound stats diverge:\n got %+v\nwant %+v", i, *got, *want)
+		}
+	}
+}
+
+// TestPoolRunSchedule: the pool must hand back caller-owned stats equal to
+// fresh runs, and reuse machines once warmed.
+func TestPoolRunSchedule(t *testing.T) {
+	opts := Options{MaxIterations: 100, CheckCoherence: true}
+	scheds := []*sched.Schedule{
+		buildSchedule(t, 21, core.PolicyMDC, arch.Default()),
+		buildSchedule(t, 22, core.PolicyDDGT, arch.Default()),
+		buildSchedule(t, 23, core.PolicyFree, arch.Default()),
+	}
+	p := NewPool(2)
+	ctx := context.Background()
+	var kept []*Stats
+	for rep := 0; rep < 3; rep++ {
+		for _, sc := range scheds {
+			st, err := p.RunSchedule(ctx, sc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kept = append(kept, st)
+		}
+	}
+	// Caller-owned copies must not have been overwritten by later runs.
+	for i, sc := range scheds {
+		want, err := Run(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			if got := kept[rep*len(scheds)+i]; *got != *want {
+				t.Fatalf("rep %d sched %d: pool stats diverge:\n got %+v\nwant %+v", rep, i, *got, *want)
+			}
+		}
+	}
+	runs, reuses := p.Counters()
+	if runs != 9 {
+		t.Errorf("runs = %d, want 9", runs)
+	}
+	if reuses < 7 { // sequential use of a 2-slot pool: only the first run builds
+		t.Errorf("reuses = %d, want >= 7", reuses)
+	}
+}
+
+// TestRunnerSteadyStateAllocs: once warm, a Run with tracing disabled must
+// not allocate at all — the headline property of the pooled hot path.
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	for _, check := range []bool{false, true} {
+		opts := Options{MaxIterations: 100, CheckCoherence: check}
+		sc := buildSchedule(t, 31, core.PolicyMDC, arch.Default().WithAttractionBuffers(16))
+		r, err := NewRunner(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < 2; i++ { // warm: grow tables, rings, recs
+			if _, err := r.Run(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := testing.AllocsPerRun(5, func() {
+			if _, err := r.Run(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("CheckCoherence=%v: %v allocs per steady-state run, want 0", check, n)
+		}
+	}
+}
+
+// TestRunnerCancel: a canceled context must abort a pooled run the same
+// way it aborts RunContext.
+func TestRunnerCancel(t *testing.T) {
+	sc := buildSchedule(t, 41, core.PolicyMDC, arch.Default())
+	r, err := NewRunner(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(ctx); err == nil {
+		t.Fatal("run with canceled context succeeded")
+	}
+	// The machine must remain usable after an aborted run.
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run after aborted run: %v", err)
+	}
+}

@@ -21,6 +21,13 @@
 //   - a coherence checker (optional) that records every access's arrival
 //     at the banks and counts conflicting accesses arriving out of program
 //     order — the corruption the paper's techniques exist to prevent.
+//
+// Execution is split into three layers so machines can be pooled (see
+// Runner and Pool in runner.go): schedule-derived statics built once per
+// Bind, a config-derived substrate (caches, buses, tables) reused across
+// schedules with the same geometry, and per-run dynamic state cleared by
+// an allocation-free reset. RunContext is the one-shot convenience over a
+// throwaway Runner.
 package sim
 
 import (
@@ -28,6 +35,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"vliwcache/internal/arch"
@@ -73,40 +81,27 @@ const ctxCheckInterval = 4096
 
 // Run simulates the schedule and returns its statistics.
 func Run(sc *sched.Schedule, opts Options) (*Stats, error) {
-	return RunCtx(context.Background(), sc, opts)
+	return RunContext(context.Background(), sc, opts)
 }
 
-// RunCtx is Run with cancellation: the machine polls ctx every
+// RunContext is Run with cancellation: the machine polls ctx every
 // ctxCheckInterval simulated cycles and abandons the run (returning the
-// wrapped ctx.Err()) once it is done.
-func RunCtx(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, error) {
-	m, err := newMachine(sc, opts)
+// wrapped ctx.Err()) once it is done. It builds a machine, runs it once
+// and discards it; callers running many simulations should reuse a Runner
+// or a Pool instead.
+func RunContext(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, error) {
+	r, err := NewRunner(sc, opts)
 	if err != nil {
 		return nil, err
 	}
-	m.ctx = ctx
-	if err := m.run(); err != nil {
-		return nil, err
-	}
-	if opts.CheckCoherence {
-		m.stats.Violations = m.checkCoherence()
-		if m.obs != nil {
-			m.obs.Emit(obs.Event{Kind: obs.KindCoherence, Class: -1, Op: -1, Cluster: -1,
-				Cycle: m.base + m.stall, Arg: m.stats.Violations})
-		}
-	}
-	m.collect()
-	if m.tw != nil {
-		if err := m.tw.Flush(); err != nil {
-			return nil, fmt.Errorf("sim: trace: %w", err)
-		}
-	}
-	if f, ok := m.obs.(obs.Flusher); ok {
-		if err := f.Flush(); err != nil {
-			return nil, fmt.Errorf("sim: tracer: %w", err)
-		}
-	}
-	return m.stats, nil
+	return r.Run(ctx)
+}
+
+// RunCtx simulates the schedule with cancellation.
+//
+// Deprecated: RunCtx is the pre-v1 spelling of RunContext; use that.
+func RunCtx(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, error) {
+	return RunContext(ctx, sc, opts)
 }
 
 // event is one statically-scheduled kernel event: an op issue or a copy
@@ -122,6 +117,12 @@ type input struct {
 	from    int // producer op
 	dist    int // iteration distance
 	copyIdx int // index into Schedule.Copies when the value crosses clusters, else -1
+}
+
+// activeEvent is one kernel event due in the current cycle.
+type activeEvent struct {
+	ev   event
+	iter int64
 }
 
 // bankRec is one access arrival for the coherence checker.
@@ -145,7 +146,7 @@ type machine struct {
 
 	trip, entries int64
 
-	// Static tables.
+	// Static tables, rebuilt by bind for each schedule.
 	slotEvents [][]event // by cycle % II
 	maxCycle   int
 	inputs     [][]input // per op
@@ -154,22 +155,27 @@ type machine struct {
 	origin     []int     // per op: replica origin (or self)
 	window     int       // value ring size
 
-	// Dynamic state.
-	complete [][]int64 // per op, ring over iterations: value-ready time
-	copyArr  [][]int64 // per copy, ring: arrival time at target cluster
+	// Dynamic state, cleared by reset before every run.
+	complete []int64 // flat [op][window] ring over iterations: value-ready time
+	copyArr  []int64 // flat [copy][window] ring: arrival time at target cluster
 	stall    int64
 	base     int64 // absolute time offset of the current entry
 
+	// Substrate, shared across schedules with equal geometry (see
+	// ensureSubstrate).
+	geo     geometry
 	modules []*cache.Module
 	abs     []*cache.AttractionBuffer
-	pending []map[arch.SubblockID]int64
+	pending []pendTab
 	arb     *bus.Arbiter
 	ports   *bus.Ports
 
-	faults   *faultHooks // nil-safe fault injection adapter (chaos mode)
-	busFloor []int64     // per cluster: earliest time the next bus request may enter arbitration
+	faults   faultHooks // nil-safe fault injection adapter (chaos mode)
+	busFloor []int64    // per cluster: earliest time the next bus request may enter arbitration
 
 	recs     []bankRec
+	coher    coherTab
+	active   []activeEvent
 	seq      int64
 	iterBase int64 // iterations completed in previous entries
 	entry    int64 // current loop entry index (observability)
@@ -177,63 +183,70 @@ type machine struct {
 	tw  *bufio.Writer // CSV access trace, nil when disabled
 	obs obs.Tracer    // typed event tracer, nil when disabled
 
-	stats *Stats
+	statsVal Stats
+	stats    *Stats
 }
 
-func newMachine(sc *sched.Schedule, opts Options) (*machine, error) {
+// bind attaches the machine to a schedule and option set: validate,
+// rebuild the schedule-derived statics, and (re)build the substrate when
+// the cache geometry changed.
+func (m *machine) bind(sc *sched.Schedule, opts Options) error {
 	if err := sched.Validate(sc); err != nil {
-		return nil, fmt.Errorf("sim: invalid schedule: %w", err)
+		return fmt.Errorf("sim: invalid schedule: %w", err)
 	}
 	cfg := sc.Arch
-	loop := sc.Plan.Loop
-	m := &machine{
-		sc:      sc,
-		cfg:     cfg,
-		opts:    opts,
-		loop:    loop,
-		trip:    loop.Trip,
-		entries: loop.Entries,
-		stats:   &Stats{},
-	}
+	m.sc, m.cfg, m.opts, m.loop = sc, cfg, opts, sc.Plan.Loop
+	m.trip, m.entries = m.loop.Trip, m.loop.Entries
 	if opts.MaxIterations > 0 && m.trip > opts.MaxIterations {
 		m.trip = opts.MaxIterations
 	}
 	if opts.MaxEntries > 0 && m.entries > opts.MaxEntries {
 		m.entries = opts.MaxEntries
 	}
+	m.stats = &m.statsVal
 
 	m.buildStatics()
+	if err := m.ensureSubstrate(cfg); err != nil {
+		return err
+	}
 
-	m.modules = make([]*cache.Module, cfg.NumClusters)
-	m.pending = make([]map[arch.SubblockID]int64, cfg.NumClusters)
-	for c := range m.modules {
-		mod, err := cache.NewModule(cfg.ModuleBytes(), cfg.SubblockBytes(), cfg.CacheAssoc, cfg.BlockBytes)
-		if err != nil {
-			return nil, err
-		}
-		m.modules[c] = mod
-		m.pending[c] = make(map[arch.SubblockID]int64)
-	}
-	if cfg.ABEntries > 0 {
-		m.abs = make([]*cache.AttractionBuffer, cfg.NumClusters)
-		for c := range m.abs {
-			m.abs[c] = cache.NewAttractionBuffer(cfg.ABEntries, cfg.ABAssoc)
-		}
-	}
-	m.arb = bus.NewArbiter(cfg.MemBuses, cfg.MemBusLatency)
-	m.ports = bus.NewPorts(cfg.NextLevelPorts)
-	m.busFloor = make([]int64, cfg.NumClusters)
-	if opts.NewFaults != nil {
-		if inj := opts.NewFaults(sc); inj != nil {
-			m.faults = &faultHooks{inj: inj, stats: m.stats}
-		}
-	}
+	m.tw = nil
 	if opts.Trace != nil {
 		m.tw = bufio.NewWriter(opts.Trace)
-		fmt.Fprintln(m.tw, "entry,iter,op,cluster,class,addr,issue")
 	}
 	m.obs = opts.Tracer
-	return m, nil
+	return nil
+}
+
+// runAll resets the machine and executes the bound schedule once.
+func (m *machine) runAll(ctx context.Context) (*Stats, error) {
+	m.ctx = ctx
+	m.reset()
+	if m.tw != nil {
+		fmt.Fprintln(m.tw, "entry,iter,op,cluster,class,addr,issue")
+	}
+	if err := m.run(); err != nil {
+		return nil, err
+	}
+	if m.opts.CheckCoherence {
+		m.stats.Violations = m.checkCoherence()
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Kind: obs.KindCoherence, Class: -1, Op: -1, Cluster: -1,
+				Cycle: m.base + m.stall, Arg: m.stats.Violations})
+		}
+	}
+	m.collect()
+	if m.tw != nil {
+		if err := m.tw.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: trace: %w", err)
+		}
+	}
+	if f, ok := m.obs.(obs.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: tracer: %w", err)
+		}
+	}
+	return m.stats, nil
 }
 
 // access books one classified memory access: the stats counter, the CSV
@@ -285,7 +298,10 @@ func maxOne(v int64) int64 {
 	return v
 }
 
-// buildStatics precomputes the kernel event tables and input routing.
+// buildStatics precomputes the kernel event tables and input routing for
+// the bound schedule. It runs once per Bind, never per run, so the
+// allocations here are off the steady-state path; the flat value rings
+// reuse their storage when the previous schedule's was large enough.
 func (m *machine) buildStatics() {
 	sc, loop := m.sc, m.loop
 	ii := sc.II
@@ -341,6 +357,7 @@ func (m *machine) buildStatics() {
 	for i, c := range sc.Copies {
 		evs = append(evs, event{isCopy: true, idx: i, cycle: c.Start})
 	}
+	m.maxCycle = 0
 	m.slotEvents = make([][]event, ii)
 	for _, ev := range evs {
 		if ev.cycle > m.maxCycle {
@@ -362,14 +379,8 @@ func (m *machine) buildStatics() {
 		})
 	}
 
-	m.complete = make([][]int64, len(loop.Ops))
-	for i := range m.complete {
-		m.complete[i] = make([]int64, m.window)
-	}
-	m.copyArr = make([][]int64, len(sc.Copies))
-	for i := range m.copyArr {
-		m.copyArr[i] = make([]int64, m.window)
-	}
+	m.complete = grownInt64(m.complete, len(loop.Ops)*m.window)
+	m.copyArr = grownInt64(m.copyArr, len(sc.Copies)*m.window)
 }
 
 // run executes all entries of the loop.
@@ -399,23 +410,12 @@ func (m *machine) run() error {
 func (m *machine) runEntry() error {
 	ii := int64(m.sc.II)
 	vEnd := (m.trip-1)*ii + int64(m.maxCycle)
+	window := int64(m.window)
 
 	// Reset value rings: live-in values are ready at entry start.
-	for i := range m.complete {
-		for j := range m.complete[i] {
-			m.complete[i][j] = 0
-		}
-	}
-	for i := range m.copyArr {
-		for j := range m.copyArr[i] {
-			m.copyArr[i][j] = 0
-		}
-	}
+	clear(m.complete)
+	clear(m.copyArr)
 
-	var active []struct {
-		ev   event
-		iter int64
-	}
 	for v := int64(0); v <= vEnd; v++ {
 		if m.ctx != nil && v%ctxCheckInterval == 0 {
 			select {
@@ -425,17 +425,14 @@ func (m *machine) runEntry() error {
 			}
 		}
 		slot := v % ii
-		active = active[:0]
+		m.active = m.active[:0]
 		for _, ev := range m.slotEvents[slot] {
 			i := (v - int64(ev.cycle)) / ii
 			if i >= 0 && i < m.trip && (v-int64(ev.cycle))%ii == 0 {
-				active = append(active, struct {
-					ev   event
-					iter int64
-				}{ev, i})
+				m.active = append(m.active, activeEvent{ev, i})
 			}
 		}
-		if len(active) == 0 {
+		if len(m.active) == 0 {
 			continue
 		}
 
@@ -443,7 +440,7 @@ func (m *machine) runEntry() error {
 		// event in it has arrived.
 		issue := m.base + v + m.stall
 		ready := issue
-		for _, a := range active {
+		for _, a := range m.active {
 			var ins []input
 			if a.ev.isCopy {
 				ins = m.copyInputs[a.ev.idx : a.ev.idx+1]
@@ -451,7 +448,7 @@ func (m *machine) runEntry() error {
 				ins = m.inputs[a.ev.idx]
 			}
 			for _, in := range ins {
-				if r := m.valueReady(in, a.iter); r > ready {
+				if r := m.valueReady(in, a.iter, window); r > ready {
 					ready = r
 				}
 			}
@@ -465,7 +462,7 @@ func (m *machine) runEntry() error {
 			issue = ready
 		}
 
-		for _, a := range active {
+		for _, a := range m.active {
 			m.execute(a.ev, a.iter, issue)
 		}
 	}
@@ -477,21 +474,22 @@ func (m *machine) runEntry() error {
 // valueReady returns when the value described by in is available for the
 // consumer of iteration iter. Values produced before the entry's first
 // iteration (live-ins) are ready immediately.
-func (m *machine) valueReady(in input, iter int64) int64 {
+func (m *machine) valueReady(in input, iter, window int64) int64 {
 	pi := iter - int64(in.dist)
 	if pi < 0 {
 		return 0
 	}
 	if in.copyIdx >= 0 {
-		return m.copyArr[in.copyIdx][pi%int64(m.window)]
+		return m.copyArr[int64(in.copyIdx)*window+pi%window]
 	}
-	return m.complete[in.from][pi%int64(m.window)]
+	return m.complete[int64(in.from)*window+pi%window]
 }
 
 // execute performs one event at the (stall-adjusted) issue time.
 func (m *machine) execute(ev event, iter, issue int64) {
+	window := int64(m.window)
 	if ev.isCopy {
-		m.copyArr[ev.idx][iter%int64(m.window)] = issue + int64(m.cfg.RegBusLatency)
+		m.copyArr[int64(ev.idx)*window+iter%window] = issue + int64(m.cfg.RegBusLatency)
 		return
 	}
 	id := ev.idx
@@ -510,7 +508,7 @@ func (m *machine) execute(ev event, iter, issue int64) {
 		m.obs.Emit(obs.Event{Kind: obs.KindIssue, Class: -1, Op: int32(id),
 			Cluster: int32(m.sc.Cluster[id]), Entry: m.entry, Iter: iter, Cycle: issue, Arg: done})
 	}
-	m.complete[id][iter%int64(m.window)] = done
+	m.complete[int64(id)*window+iter%window] = done
 }
 
 // memAccess models one memory access and returns its completion time (for
@@ -552,7 +550,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 					m.stats.ABUpdates++
 				}
 			}
-			delete(m.pending[cluster], sub)
+			m.pending[cluster].put(subKey(sub), 0)
 			return issue + 1
 		}
 	}
@@ -562,12 +560,12 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 	// write merges when the fill lands, in issue order). A remote store
 	// cannot join — its write must reach the home bank — and it makes the
 	// in-flight copy stale, so the pending entry is invalidated.
-	if p, ok := m.pending[cluster][sub]; ok && p > issue {
+	if p := m.pending[cluster].get(subKey(sub)); p > issue {
 		if !isStore || cluster == home {
 			m.access(Combined, iter, id, cluster, home, addr, issue, issue, isStore, o.Addr.Size)
 			return p
 		}
-		delete(m.pending[cluster], sub)
+		m.pending[cluster].put(subKey(sub), 0)
 		// The reply will deposit a pre-store (stale) copy in the Attraction
 		// Buffer; drop it so the store — and everything after it — takes
 		// the bus path behind the fetch instead of hitting a copy whose
@@ -601,7 +599,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		if fill {
 			m.modules[home].Fill(block, done, isStore)
 		}
-		m.pending[cluster][sub] = done
+		m.pending[cluster].put(subKey(sub), done)
 		m.access(LocalMiss, iter, id, cluster, home, addr, issue, issue, isStore, o.Addr.Size)
 		return done
 	}
@@ -681,7 +679,7 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		m.obs.Emit(obs.Event{Kind: obs.KindBusTransfer, Class: -1, Op: int32(id),
 			Cluster: int32(home), Entry: m.entry, Iter: iter, Cycle: repStart, Addr: addr, Arg: repDone})
 	}
-	m.pending[cluster][sub] = repDone
+	m.pending[cluster].put(subKey(sub), repDone)
 	if m.abs != nil {
 		m.abs[cluster].Insert(sub, repDone)
 	}
@@ -723,42 +721,47 @@ func (m *machine) record(arrive, iter int64, id, loc int, store bool, addr uint6
 // counts conflicting accesses that arrive out of program order: a store
 // arriving after a program-later access to the same byte, or a load
 // arriving after a program-later store. These are exactly the reorderings
-// that corrupt memory in the optimistic baseline (§2.3).
+// that corrupt memory in the optimistic baseline (§2.3). The per-byte
+// ordering state lives in an epoch-cleared table reused across runs
+// (earlier versions built two fresh maps per run).
 func (m *machine) checkCoherence() int64 {
-	sort.Slice(m.recs, func(i, j int) bool {
-		if m.recs[i].arrive != m.recs[j].arrive {
-			return m.recs[i].arrive < m.recs[j].arrive
+	slices.SortFunc(m.recs, func(a, b bankRec) int {
+		switch {
+		case a.arrive != b.arrive:
+			if a.arrive < b.arrive {
+				return -1
+			}
+			return 1
+		case a.seq != b.seq:
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
 		}
-		return m.recs[i].seq < m.recs[j].seq
+		return 0
 	})
-	type cell struct {
-		loc  int
-		addr uint64
-	}
-	maxAny := make(map[cell]int64)
-	maxStore := make(map[cell]int64)
+	t := &m.coher
 	var violations int64
-	for _, r := range m.recs {
+	for i := range m.recs {
+		r := &m.recs[i]
 		bad := false
 		for b := uint64(0); b < uint64(r.size); b++ {
-			a := cell{r.loc, r.addr + b}
+			s := t.slot(coherKey(r.loc, r.addr+b))
 			if r.store {
-				if p, ok := maxAny[a]; ok && p > r.prog {
+				if t.maxAny[s] > r.prog {
 					bad = true
 				}
-			} else if p, ok := maxStore[a]; ok && p > r.prog {
+			} else if t.maxSto[s] > r.prog {
 				bad = true
 			}
 		}
 		for b := uint64(0); b < uint64(r.size); b++ {
-			a := cell{r.loc, r.addr + b}
-			if p, ok := maxAny[a]; !ok || r.prog > p {
-				maxAny[a] = r.prog
+			s := t.slot(coherKey(r.loc, r.addr+b))
+			if r.prog > t.maxAny[s] {
+				t.maxAny[s] = r.prog
 			}
-			if r.store {
-				if p, ok := maxStore[a]; !ok || r.prog > p {
-					maxStore[a] = r.prog
-				}
+			if r.store && r.prog > t.maxSto[s] {
+				t.maxSto[s] = r.prog
 			}
 		}
 		if bad {

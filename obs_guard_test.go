@@ -63,6 +63,7 @@ func TestObsOverheadGuard(t *testing.T) {
 
 	const attempts = 5
 	bestRatio, bestNoise := math.Inf(1), math.Inf(1)
+	minDis, minEn, maxDis := math.Inf(1), math.Inf(1), 0.0
 	for i := 0; i < attempts; i++ {
 		d1 := measure(nil)
 		en := measure(noopTracer{})
@@ -72,17 +73,35 @@ func TestObsOverheadGuard(t *testing.T) {
 		ratio := en / disabled
 		t.Logf("attempt %d: disabled %.0f ns/op, noop-enabled %.0f ns/op, ratio %.3f, A/A noise %.1f%%",
 			i+1, disabled, en, ratio, 100*noise)
+		if noise < bestNoise {
+			bestNoise = noise
+		}
 		if ratio < bestRatio {
-			bestRatio, bestNoise = ratio, noise
+			bestRatio = ratio
+		}
+		// Host drift *during* the enabled sample inflates the paired ratio
+		// while leaving the d1/d2 bracket clean, so also compare each
+		// path's minimum across attempts: a slow sample can only inflate a
+		// measurement, making the minima the truest observations of either
+		// path's cost.
+		minDis, minEn = math.Min(minDis, math.Min(d1, d2)), math.Min(minEn, en)
+		maxDis = math.Max(maxDis, math.Max(d1, d2))
+		if r := minEn / minDis; r < bestRatio {
+			bestRatio = r
 		}
 		if bestRatio <= 1+budget+bestNoise {
 			return // within budget; no need to keep burning benchmark time
 		}
 	}
-	if bestNoise > budget {
-		t.Skipf("machine too noisy to resolve a %.0f%% budget (best A/A noise %.1f%%); "+
+	// Two noise signals: the A/A bracket inside one attempt, and the
+	// disabled path disagreeing with itself across attempts — the second
+	// catches slow host drift that a clean bracket hides.
+	spread := (maxDis - minDis) / minDis
+	if bestNoise > budget || spread > budget {
+		t.Skipf("machine too noisy to resolve a %.0f%% budget (best A/A noise %.1f%%, "+
+			"disabled-path spread %.1f%% across attempts); "+
 			"rely on the cross-commit BenchmarkSimulator comparison",
-			100*budget, 100*bestNoise)
+			100*budget, 100*bestNoise, 100*spread)
 	}
 	t.Errorf("noop-enabled tracing costs %.1f%% over disabled (budget %.0f%% + %.1f%% noise); "+
 		"the nil-tracer path can no longer be zero-overhead",

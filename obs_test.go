@@ -26,7 +26,7 @@ func traceLoop(t testing.TB) *Loop {
 
 func runTraced(t testing.TB, v experiments.Variant, opts sim.Options) *sim.Stats {
 	t.Helper()
-	run, err := experiments.RunLoop(context.Background(), traceLoop(t), arch.Default(), v, opts)
+	run, err := experiments.RunLoopContext(context.Background(), traceLoop(t), arch.Default(), v, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
