@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs check-deprecated serve-smoke
 
 all: build
 
 # check is the CI gate: vet plus the full test suite under the race
 # detector (the parallel experiment engine must stay race-free), the
 # chaos/mutation property suites, a replay of the checked-in fuzz
-# corpora, the observability reconciliation + overhead guard, and the
-# perf-regression gate against the committed baseline.
-check: vet race chaos fuzz-smoke obs bench-check
+# corpora, the observability reconciliation + overhead guard, the
+# perf-regression gate against the committed baseline, the
+# deprecated-symbol gate, and the serving-layer smoke test.
+check: vet race chaos fuzz-smoke obs bench-check check-deprecated serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +75,32 @@ bench-baseline:
 bench-check:
 	$(GO) test -count=1 -run 'TestSteadyStateAllocs|TestBaselineFileValid|TestCompare' ./internal/perfbench/
 	BENCH_CHECK=1 $(GO) test -count=1 -run TestBenchRegressionGate -v ./internal/perfbench/
+
+# check-deprecated fails when new code uses the deprecated pre-v1
+# spellings (ExecOptions literals, Suite.CellCtx, sim.RunCtx call
+# sites). The shims themselves live in deprecated.go and stay covered by
+# deprecated_test.go; everything else must use the functional options
+# and the *Context spellings.
+check-deprecated:
+	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(' \
+		--include='*.go' . \
+		| grep -v -e '^\./deprecated\.go:' -e '^\./deprecated_test\.go:' \
+		          -e '/sim/sim\.go:' -e '/experiments/suite\.go:' \
+		|| true); \
+	if [ -n "$$matches" ]; then \
+		echo "check-deprecated: migrate these call sites off the deprecated spellings:"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi; \
+	echo "check-deprecated: clean"
+
+# serve-smoke is the paperserved end-to-end smoke: build the binary,
+# start it on an ephemeral port, POST the committed golden request, diff
+# the response against the committed golden bytes, and verify a clean
+# SIGTERM drain. Refresh the golden with:
+#   go test -run TestServeSmoke ./cmd/paperserved/ -update
+serve-smoke:
+	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/paperserved/
 
 # Quick full-grid regeneration through the parallel engine.
 paperbench:

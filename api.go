@@ -16,7 +16,9 @@ import (
 	"vliwcache/internal/perfbench"
 	"vliwcache/internal/profiler"
 	"vliwcache/internal/report"
+	"vliwcache/internal/resultcache"
 	"vliwcache/internal/sched"
+	"vliwcache/internal/server"
 	"vliwcache/internal/sim"
 )
 
@@ -606,6 +608,60 @@ func ExecuteHybridContext(ctx context.Context, l *Loop, opts ...Option) (*Result
 	}
 	return mdc, nil
 }
+
+// Serving (see internal/server and internal/resultcache): paperserved's
+// HTTP service over the pipeline — a versioned wire schema, a
+// content-addressed result cache with single-flight request coalescing,
+// and admission control in front of the experiment engine.
+type (
+	// Server is the paperserved HTTP service. Build one with NewServer,
+	// mount Handler (or call Serve / ListenAndServe), stop with Shutdown.
+	Server = server.Server
+	// ServerOption configures NewServer.
+	ServerOption = server.Option
+	// ResultCacheStats snapshots the serving result cache's counters
+	// (hits, misses, coalesced flights, evictions, byte volume).
+	ResultCacheStats = resultcache.Stats
+	// RequestEvent is one request lifecycle stage (admit, shed,
+	// cache_hit, coalesced, compute, error) emitted by the server.
+	RequestEvent = obs.RequestEvent
+	// RequestSink receives request lifecycle events.
+	RequestSink = obs.RequestSink
+	// RequestLog is a bounded in-memory RequestSink keeping the most
+	// recent events.
+	RequestLog = obs.RequestLog
+)
+
+// NewServer builds a paperserved service. No listener is opened until
+// Serve or ListenAndServe.
+func NewServer(opts ...ServerOption) *Server { return server.New(opts...) }
+
+// WithCacheBytes sets the result cache's byte budget.
+func WithCacheBytes(n int64) ServerOption { return server.WithCacheBytes(n) }
+
+// WithQueueDepth bounds how many admitted requests may wait for a worker
+// slot; requests beyond workers+depth are shed with 429.
+func WithQueueDepth(n int) ServerOption { return server.WithQueueDepth(n) }
+
+// WithDrainTimeout bounds how long Shutdown waits for in-flight requests.
+func WithDrainTimeout(d time.Duration) ServerOption { return server.WithDrainTimeout(d) }
+
+// WithServerDeadline sets the per-request deadline applied when a
+// request does not carry one.
+func WithServerDeadline(d time.Duration) ServerOption { return server.WithDefaultDeadline(d) }
+
+// WithServerArch sets the base machine description requests start from.
+func WithServerArch(cfg Config) ServerOption { return server.WithArch(cfg) }
+
+// WithServerParallelism bounds the server's compute worker pool.
+func WithServerParallelism(n int) ServerOption { return server.WithParallelism(n) }
+
+// WithRequestSink installs a sink receiving request lifecycle events.
+func WithRequestSink(sink RequestSink) ServerOption { return server.WithRequestSink(sink) }
+
+// NewRequestLog returns a bounded request-event log keeping the last n
+// events.
+func NewRequestLog(n int) *RequestLog { return obs.NewRequestLog(n) }
 
 // Performance baselines (see internal/perfbench). BENCH_sim.json at the
 // repository root records the simulator hot path's measured performance;

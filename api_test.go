@@ -24,12 +24,11 @@ func exampleLoop() *Loop {
 
 func TestExecutePipeline(t *testing.T) {
 	for _, pol := range []Policy{PolicyFree, PolicyMDC, PolicyDDGT} {
-		res, err := Execute(exampleLoop(), ExecOptions{
-			Arch:      DefaultConfig(),
-			Policy:    pol,
-			Heuristic: PrefClus,
-			Sim:       SimOptions{CheckCoherence: true},
-		})
+		res, err := Execute(exampleLoop(),
+			WithArch(DefaultConfig()),
+			WithPolicy(pol),
+			WithHeuristic(PrefClus),
+			WithSimOptions(SimOptions{CheckCoherence: true}))
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
@@ -46,10 +45,9 @@ func TestExecutePipeline(t *testing.T) {
 }
 
 func TestExecuteHybridFacade(t *testing.T) {
-	res, err := ExecuteHybrid(exampleLoop(), ExecOptions{
-		Arch:      DefaultConfig(),
-		Heuristic: MinComs,
-	})
+	res, err := ExecuteHybrid(exampleLoop(),
+		WithArch(DefaultConfig()),
+		WithHeuristic(MinComs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,28 +110,6 @@ func TestExecuteFunctionalOptions(t *testing.T) {
 	// Omitting WithArch must default to the paper's Table 2 machine.
 	if res.Schedule.II < 1 {
 		t.Error("default arch did not schedule")
-	}
-}
-
-func TestExecuteShimEquivalence(t *testing.T) {
-	legacy, err := Execute(exampleLoop(), ExecOptions{
-		Arch:      DefaultConfig(),
-		Policy:    PolicyDDGT,
-		Heuristic: MinComs,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	modern, err := Execute(exampleLoop(),
-		WithArch(DefaultConfig()),
-		WithPolicy(PolicyDDGT),
-		WithHeuristic(MinComs))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if legacy.Stats.Cycles() != modern.Stats.Cycles() || legacy.Schedule.II != modern.Schedule.II {
-		t.Errorf("legacy shim (%d cycles, II=%d) differs from options (%d cycles, II=%d)",
-			legacy.Stats.Cycles(), legacy.Schedule.II, modern.Stats.Cycles(), modern.Schedule.II)
 	}
 }
 

@@ -1,0 +1,86 @@
+// Command paperserved serves the scheduling + simulation pipeline over
+// HTTP: POST /v1/schedule and /v1/simulate run one loop through the full
+// pipeline, POST /v1/suite computes a benchmark × variant grid, and
+// GET /v1/benchmarks lists the synthesized Mediabench suite. Responses
+// are cached by content address (identical requests are byte-identical
+// and computed once), concurrent identical requests coalesce onto one
+// computation, and a bounded admission queue sheds overload with 429.
+//
+// Usage:
+//
+//	paperserved -addr 127.0.0.1:8080
+//	paperserved -addr :0 -portfile /tmp/paperserved.port
+//	paperserved -cache-bytes 134217728 -queue 128 -parallel 8
+//
+// SIGINT/SIGTERM begin a graceful drain: new compute requests get a
+// typed 503, in-flight requests finish within the -drain timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vliwcache"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = default 64 MiB)")
+		queue      = flag.Int("queue", 64, "admitted requests that may wait for a worker beyond those executing")
+		parallel   = flag.Int("parallel", 0, "compute workers (0 = GOMAXPROCS)")
+		deadline   = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		portfile   = flag.String("portfile", "", "write the bound address to this file once listening")
+	)
+	flag.Parse()
+
+	srv := vliwcache.NewServer(
+		vliwcache.WithCacheBytes(*cacheBytes),
+		vliwcache.WithQueueDepth(*queue),
+		vliwcache.WithServerParallelism(*parallel),
+		vliwcache.WithServerDeadline(*deadline),
+		vliwcache.WithDrainTimeout(*drain),
+	)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(l.Addr().String()), 0o644); err != nil {
+			fatalf("writing portfile: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "paperserved listening on %s\n", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan error, 1)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "paperserved: %v, draining\n", s)
+		drained <- srv.Shutdown(context.Background())
+	}()
+
+	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		fatalf("serve: %v", err)
+	}
+	if err := <-drained; err != nil {
+		fatalf("drain: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "paperserved: drained")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperserved: "+format+"\n", args...)
+	os.Exit(1)
+}

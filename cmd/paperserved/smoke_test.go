@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the serve-smoke golden response")
+
+// TestServeSmoke is the end-to-end smoke: build the real binary, start
+// it on an ephemeral port, POST the committed golden request, diff the
+// response against the committed golden bytes, and verify a clean
+// SIGTERM drain. `make serve-smoke` runs exactly this.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve-smoke builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "paperserved")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	portfile := filepath.Join(dir, "port")
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-portfile", portfile, "-parallel", "2")
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	addr, err := waitForPortfile(portfile, 15*time.Second)
+	if err != nil {
+		t.Fatalf("%v\nstderr: %s", err, stderr.Bytes())
+	}
+	base := "http://" + addr
+
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "schedule_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := postOK(t, base+"/v1/schedule", reqBody)
+
+	golden := filepath.Join("testdata", "schedule_response.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The same request again must be a byte-identical cache hit.
+	if again := postOK(t, base+"/v1/schedule", reqBody); !bytes.Equal(again, got) {
+		t.Error("repeat request served different bytes")
+	}
+
+	// Liveness surface answers.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hbody), `"status":"ok"`) {
+		t.Errorf("healthz = %d (%s)", hresp.StatusCode, hbody)
+	}
+
+	// Graceful drain: SIGTERM, clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Errorf("exit after SIGTERM: %v\nstderr: %s", err, stderr.Bytes())
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("binary did not exit within 15s of SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("drain message missing from stderr: %s", stderr.Bytes())
+	}
+}
+
+func waitForPortfile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			return string(bytes.TrimSpace(data)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("portfile %s did not appear within %v", path, timeout)
+}
+
+func postOK(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d (%s)", url, resp.StatusCode, data)
+	}
+	return data
+}

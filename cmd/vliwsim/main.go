@@ -119,20 +119,20 @@ func main() {
 		fmt.Printf("== %s  (%s) ==\n", b.Name, bcfg)
 		var total vliwcache.Stats
 		for _, loop := range b.Loops {
-			opts := vliwcache.ExecOptions{
-				Arch:      bcfg,
-				Policy:    pol,
-				Heuristic: h,
-				Sim: vliwcache.SimOptions{
+			opts := []vliwcache.Option{
+				vliwcache.WithArch(bcfg),
+				vliwcache.WithPolicy(pol),
+				vliwcache.WithHeuristic(h),
+				vliwcache.WithSimOptions(vliwcache.SimOptions{
 					MaxIterations:  *maxIters,
 					CheckCoherence: *coherence,
-				},
+				}),
 			}
 			run := vliwcache.Execute
 			if hybrid {
 				run = vliwcache.ExecuteHybrid
 			}
-			res, err := run(loop, opts)
+			res, err := run(loop, opts...)
 			if err != nil {
 				fatalf("%s/%s: %v", b.Name, loop.Name, err)
 			}
@@ -168,25 +168,26 @@ func runLoopFile(path string, cfg vliwcache.Config, pol vliwcache.Policy, hybrid
 	if err != nil {
 		fatalf("%v", err)
 	}
-	opts := vliwcache.ExecOptions{
-		Arch:      cfg,
-		Policy:    pol,
-		Heuristic: h,
-		Sim:       vliwcache.SimOptions{MaxIterations: maxIters, CheckCoherence: coherence},
-	}
+	simOpts := vliwcache.SimOptions{MaxIterations: maxIters, CheckCoherence: coherence}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer f.Close()
-		opts.Sim.Trace = f
+		simOpts.Trace = f
+	}
+	opts := []vliwcache.Option{
+		vliwcache.WithArch(cfg),
+		vliwcache.WithPolicy(pol),
+		vliwcache.WithHeuristic(h),
+		vliwcache.WithSimOptions(simOpts),
 	}
 	run := vliwcache.Execute
 	if hybrid {
 		run = vliwcache.ExecuteHybrid
 	}
-	res, err := run(loop, opts)
+	res, err := run(loop, opts...)
 	if err != nil {
 		fatalf("%s: %v", loop.Name, err)
 	}

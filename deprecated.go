@@ -18,8 +18,9 @@ package vliwcache
 //
 // Deprecated: ExecOptions is the legacy struct-literal configuration
 // form. It remains a valid Option — it applies all four fields at once,
-// zero values included — so pre-existing Execute(loop, ExecOptions{...})
-// call sites keep compiling, but new code should pass functional options
+// zero values included (a zero Arch selects DefaultConfig()) — so
+// pre-existing Execute(loop, ExecOptions{...}) call sites keep
+// compiling, but new code should pass functional options
 // (WithArch, WithPolicy, WithHeuristic, WithSimOptions) to Execute or
 // ExecuteContext instead.
 type ExecOptions struct {
@@ -30,7 +31,13 @@ type ExecOptions struct {
 }
 
 // apply makes the legacy struct a valid Option: it overwrites every
-// execution field, zero values included, preserving its old semantics.
+// execution field, zero values included, preserving its old semantics —
+// except a zero-value Arch, which keeps the DefaultConfig() baseline. A
+// zero Config describes no machine (zero clusters divides by zero in
+// address mapping), so no working caller ever depended on it.
 func (o ExecOptions) apply(s *settings) {
-	s.arch, s.policy, s.heuristic, s.sim = o.Arch, o.Policy, o.Heuristic, o.Sim
+	if o.Arch.NumClusters != 0 {
+		s.arch = o.Arch
+	}
+	s.policy, s.heuristic, s.sim = o.Policy, o.Heuristic, o.Sim
 }

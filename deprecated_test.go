@@ -1,0 +1,71 @@
+package vliwcache
+
+import "testing"
+
+// The tests in this file exercise the deprecated pre-v1 spellings on
+// purpose: the shims must keep compiling and behaving identically until
+// they are removed. Everything else in the repo uses the functional
+// options (`make check-deprecated` enforces that).
+
+// TestExecuteShimEquivalence pins the ExecOptions struct shim to the
+// functional-options path bit for bit.
+func TestExecuteShimEquivalence(t *testing.T) {
+	legacy, err := Execute(exampleLoop(), ExecOptions{
+		Arch:      DefaultConfig(),
+		Policy:    PolicyDDGT,
+		Heuristic: MinComs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := Execute(exampleLoop(),
+		WithArch(DefaultConfig()),
+		WithPolicy(PolicyDDGT),
+		WithHeuristic(MinComs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Stats.Cycles() != modern.Stats.Cycles() || legacy.Schedule.II != modern.Schedule.II {
+		t.Errorf("legacy shim (%d cycles, II=%d) differs from options (%d cycles, II=%d)",
+			legacy.Stats.Cycles(), legacy.Schedule.II, modern.Stats.Cycles(), modern.Schedule.II)
+	}
+}
+
+// TestExecOptionsZeroArchDefaults pins the shim's one divergence from
+// blind field assignment: a zero-value Arch keeps the DefaultConfig()
+// baseline instead of selecting a zero-cluster machine (which divided by
+// zero in address mapping, so no working caller ever relied on it).
+func TestExecOptionsZeroArchDefaults(t *testing.T) {
+	legacy, err := Execute(exampleLoop(), ExecOptions{
+		Policy:    PolicyMDC,
+		Heuristic: PrefClus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := Execute(exampleLoop(),
+		WithPolicy(PolicyMDC),
+		WithHeuristic(PrefClus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Stats.Cycles() != modern.Stats.Cycles() || legacy.Schedule.II != modern.Schedule.II {
+		t.Errorf("zero-Arch shim (%d cycles, II=%d) differs from defaults (%d cycles, II=%d)",
+			legacy.Stats.Cycles(), legacy.Schedule.II, modern.Stats.Cycles(), modern.Schedule.II)
+	}
+}
+
+// TestExecOptionsHybridShim keeps the hybrid entry point covered under
+// the struct form too.
+func TestExecOptionsHybridShim(t *testing.T) {
+	res, err := ExecuteHybrid(exampleLoop(), ExecOptions{
+		Arch:      DefaultConfig(),
+		Heuristic: PrefClus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Policy != PolicyMDC && res.Plan.Policy != PolicyDDGT {
+		t.Errorf("hybrid picked %v", res.Plan.Policy)
+	}
+}

@@ -51,8 +51,9 @@
 // zero under PolicyMDC and PolicyDDGT and generally nonzero under the
 // optimistic PolicyFree baseline on aliased loops.
 //
-// The struct-literal form Execute(loop, ExecOptions{...}) keeps working as
-// a deprecated shim: ExecOptions satisfies Option.
+// The legacy ExecOptions struct literal keeps working as a deprecated
+// shim (it satisfies Option; see deprecated.go), but new code should use
+// the functional options — `make check-deprecated` enforces that.
 //
 // # Cancellation
 //

@@ -2,7 +2,11 @@ package vliwcache_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
+	"strings"
 	"time"
 
 	"vliwcache"
@@ -236,4 +240,61 @@ func ExampleTransform() {
 	// replicated stores: 1
 	// ops after transform: 6
 	// MA dependences eliminated: 4
+}
+
+// ExampleNewServer starts the paperserved HTTP service on a loopback
+// listener, schedules one loop over the wire, demonstrates the
+// content-addressed result cache, and drains the server.
+func ExampleNewServer() {
+	srv := vliwcache.NewServer(
+		vliwcache.WithServerParallelism(2),
+		vliwcache.WithCacheBytes(1<<20),
+		vliwcache.WithQueueDepth(8),
+		vliwcache.WithDrainTimeout(5*time.Second),
+	)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(l)
+
+	loop := `{"name":"scale","trip":100,"symbols":[{"name":"v","base":65536,"size":1048576}],` +
+		`"ops":[{"name":"ld","kind":"load","dst":0,"addr":{"base":"v","stride":8,"size":8}},` +
+		`{"name":"mul","kind":"mul","dst":1,"srcs":[0]},` +
+		`{"name":"st","kind":"store","srcs":[1],"addr":{"base":"v","stride":8,"size":8}}]}`
+	body := `{"loop":` + loop + `,"policy":"mdc","maxIterations":10}`
+	url := "http://" + l.Addr().String() + "/v1/schedule"
+
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	var out struct {
+		Loop   string `json:"loop"`
+		Policy string `json:"policy"`
+		II     int    `json:"ii"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("%s under %s: II=%d\n", out.Loop, out.Policy, out.II)
+
+	// An identical request is answered from the result cache with the
+	// exact bytes the first computation produced.
+	resp2, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	resp2.Body.Close()
+	fmt.Println("cache:", resp2.Header.Get("X-Cache"))
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		panic(err)
+	}
+	fmt.Println("drained")
+	// Output:
+	// scale under mdc: II=2
+	// cache: hit
+	// drained
 }

@@ -36,12 +36,12 @@ func main() {
 		}
 		fmt.Printf("== %s ==\n", label)
 		for _, pol := range []vliwcache.Policy{vliwcache.PolicyMDC, vliwcache.PolicyDDGT} {
-			res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
-				Arch:      cfg,
-				Policy:    pol,
-				Heuristic: vliwcache.PrefClus,
-				Sim:       vliwcache.SimOptions{MaxIterations: 1000},
-			})
+			res, err := vliwcache.Execute(loop,
+				vliwcache.WithArch(cfg),
+				vliwcache.WithPolicy(pol),
+				vliwcache.WithHeuristic(vliwcache.PrefClus),
+				vliwcache.WithSimOptions(vliwcache.SimOptions{MaxIterations: 1000}),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}

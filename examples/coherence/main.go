@@ -53,12 +53,12 @@ func main() {
 	fmt.Println("  -> the load reads stale values whenever X is homed in its cluster")
 
 	for _, pol := range []vliwcache.Policy{vliwcache.PolicyMDC, vliwcache.PolicyDDGT} {
-		res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
-			Arch:      cfg,
-			Policy:    pol,
-			Heuristic: vliwcache.MinComs,
-			Sim:       vliwcache.SimOptions{CheckCoherence: true},
-		})
+		res, err := vliwcache.Execute(loop,
+			vliwcache.WithArch(cfg),
+			vliwcache.WithPolicy(pol),
+			vliwcache.WithHeuristic(vliwcache.MinComs),
+			vliwcache.WithSimOptions(vliwcache.SimOptions{CheckCoherence: true}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -29,12 +29,12 @@ func main() {
 		cfg := vliwcache.DefaultConfig().WithLayout(layout)
 		fmt.Printf("== %v cache ==\n", layout)
 		for _, pol := range []vliwcache.Policy{vliwcache.PolicyMDC, vliwcache.PolicyDDGT} {
-			res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
-				Arch:      cfg,
-				Policy:    pol,
-				Heuristic: vliwcache.PrefClus,
-				Sim:       vliwcache.SimOptions{CheckCoherence: true},
-			})
+			res, err := vliwcache.Execute(loop,
+				vliwcache.WithArch(cfg),
+				vliwcache.WithPolicy(pol),
+				vliwcache.WithHeuristic(vliwcache.PrefClus),
+				vliwcache.WithSimOptions(vliwcache.SimOptions{CheckCoherence: true}),
+			)
 			if err != nil {
 				log.Fatalf("%v/%v: %v", layout, pol, err)
 			}

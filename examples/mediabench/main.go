@@ -42,12 +42,12 @@ func main() {
 		var total vliwcache.Stats
 		fmt.Printf("%v(%v):\n", v.pol, v.h)
 		for _, loop := range bench.Loops {
-			res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
-				Arch:      cfg,
-				Policy:    v.pol,
-				Heuristic: v.h,
-				Sim:       vliwcache.SimOptions{MaxIterations: 1500},
-			})
+			res, err := vliwcache.Execute(loop,
+				vliwcache.WithArch(cfg),
+				vliwcache.WithPolicy(v.pol),
+				vliwcache.WithHeuristic(v.h),
+				vliwcache.WithSimOptions(vliwcache.SimOptions{MaxIterations: 1500}),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}

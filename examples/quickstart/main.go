@@ -32,12 +32,12 @@ func main() {
 	for _, pol := range []vliwcache.Policy{
 		vliwcache.PolicyFree, vliwcache.PolicyMDC, vliwcache.PolicyDDGT,
 	} {
-		res, err := vliwcache.Execute(loop, vliwcache.ExecOptions{
-			Arch:      cfg,
-			Policy:    pol,
-			Heuristic: vliwcache.PrefClus,
-			Sim:       vliwcache.SimOptions{CheckCoherence: true},
-		})
+		res, err := vliwcache.Execute(loop,
+			vliwcache.WithArch(cfg),
+			vliwcache.WithPolicy(pol),
+			vliwcache.WithHeuristic(vliwcache.PrefClus),
+			vliwcache.WithSimOptions(vliwcache.SimOptions{CheckCoherence: true}),
+		)
 		if err != nil {
 			log.Fatalf("%v: %v", pol, err)
 		}
@@ -52,9 +52,10 @@ func main() {
 	}
 
 	// The §6 hybrid: compile both techniques, keep the faster.
-	res, err := vliwcache.ExecuteHybrid(loop, vliwcache.ExecOptions{
-		Arch: cfg, Heuristic: vliwcache.PrefClus,
-	})
+	res, err := vliwcache.ExecuteHybrid(loop,
+		vliwcache.WithArch(cfg),
+		vliwcache.WithHeuristic(vliwcache.PrefClus),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,246 @@
+// Package apiv1 is the versioned wire schema of the paperserved HTTP
+// service. It mirrors the facade's functional-options API one-for-one:
+// every request field corresponds to a With* option (or a SimOptions
+// field), and every response field is a stable projection of the
+// pipeline artifacts (Plan, Schedule, Stats).
+//
+// The schema is deliberately flat and order-stable: struct fields are
+// declared in wire order and encoding/json preserves declaration order,
+// so two marshals of the same value are byte-identical. The serving
+// layer's content-addressed result cache depends on that property —
+// a cache hit replays the exact bytes the populating miss produced.
+//
+// Versioning contract: fields may be added to v1 (old clients ignore
+// them), but existing fields never change name, type or order. Breaking
+// changes get a new package (apiv2) and a new URL prefix.
+package apiv1
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// ScheduleRequest asks for the full pipeline on one loop: profile,
+// prepare under the coherence policy, modulo schedule, simulate.
+// It is also the body of POST /v1/simulate (which returns only the
+// simulation statistics).
+type ScheduleRequest struct {
+	// Loop is the loop body in the ir JSON interchange format. The
+	// service canonicalizes it (decode + deterministic re-encode), so
+	// formatting differences do not defeat result caching.
+	Loop json.RawMessage `json:"loop"`
+	// Policy selects the coherence policy: "free", "mdc" or "ddgt".
+	Policy string `json:"policy"`
+	// Heuristic selects the cluster-assignment heuristic: "prefclus"
+	// (default) or "mincoms".
+	Heuristic string `json:"heuristic,omitempty"`
+	// Config names the machine description: "default" (Table 2),
+	// "nobal+mem" or "nobal+reg" (§4.2). Empty means "default".
+	Config string `json:"config,omitempty"`
+	// Layout selects the cache organization: "interleaved" (default)
+	// or "replicated".
+	Layout string `json:"layout,omitempty"`
+	// ABEntries enables per-cluster Attraction Buffers (0 = off).
+	ABEntries int `json:"abEntries,omitempty"`
+	// MaxIterations caps simulated iterations per loop entry (0 = the
+	// loop's trip count).
+	MaxIterations int64 `json:"maxIterations,omitempty"`
+	// MaxEntries caps simulated loop entries (0 = the loop's entries).
+	MaxEntries int64 `json:"maxEntries,omitempty"`
+	// CheckCoherence runs the memory ordering checker.
+	CheckCoherence bool `json:"checkCoherence,omitempty"`
+	// FaultSeed, when non-zero, enables deterministic fault injection
+	// (chaos mode) with the default fault mix under this seed.
+	FaultSeed int64 `json:"faultSeed,omitempty"`
+	// IncludeSchedule adds the rendered modulo schedule to the response.
+	IncludeSchedule bool `json:"includeSchedule,omitempty"`
+	// DeadlineMillis bounds the request's wall time. Zero uses the
+	// server default; values above the server maximum are clamped.
+	// The deadline does not participate in the result-cache key.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+}
+
+// ScheduleResponse is the outcome of POST /v1/schedule.
+type ScheduleResponse struct {
+	Loop      string `json:"loop"`
+	Policy    string `json:"policy"`
+	Heuristic string `json:"heuristic"`
+	// II is the initiation interval of the kernel.
+	II int `json:"ii"`
+	// Comms counts scheduled inter-cluster copies per iteration.
+	Comms int `json:"comms"`
+	// Stats are the simulation statistics.
+	Stats Stats `json:"stats"`
+	// Schedule is the rendered modulo schedule (IncludeSchedule only).
+	Schedule string `json:"schedule,omitempty"`
+}
+
+// SimulateResponse is the outcome of POST /v1/simulate: the statistics
+// alone, for callers that only need timing/behaviour numbers.
+type SimulateResponse struct {
+	Loop  string `json:"loop"`
+	Stats Stats  `json:"stats"`
+}
+
+// Stats is the wire projection of sim.Stats: raw counters plus the
+// derived cycle total. Field order is frozen.
+type Stats struct {
+	Iterations      int64 `json:"iterations"`
+	Entries         int64 `json:"entries"`
+	Cycles          int64 `json:"cycles"`
+	ComputeCycles   int64 `json:"computeCycles"`
+	StallCycles     int64 `json:"stallCycles"`
+	LocalHits       int64 `json:"localHits"`
+	RemoteHits      int64 `json:"remoteHits"`
+	LocalMisses     int64 `json:"localMisses"`
+	RemoteMisses    int64 `json:"remoteMisses"`
+	ABHits          int64 `json:"abHits"`
+	NullifiedStores int64 `json:"nullifiedStores"`
+	CommOps         int64 `json:"commOps"`
+	Violations      int64 `json:"violations"`
+	BusTransfers    int64 `json:"busTransfers"`
+	InjectedFaults  int64 `json:"injectedFaults"`
+}
+
+// StatsOf projects sim.Stats onto the wire schema.
+func StatsOf(s *sim.Stats) Stats {
+	return Stats{
+		Iterations:      s.Iterations,
+		Entries:         s.Entries,
+		Cycles:          s.Cycles(),
+		ComputeCycles:   s.ComputeCycles,
+		StallCycles:     s.StallCycles,
+		LocalHits:       s.Accesses[sim.LocalHit],
+		RemoteHits:      s.Accesses[sim.RemoteHit],
+		LocalMisses:     s.Accesses[sim.LocalMiss],
+		RemoteMisses:    s.Accesses[sim.RemoteMiss],
+		ABHits:          s.ABHits,
+		NullifiedStores: s.NullifiedStores,
+		CommOps:         s.CommOps,
+		Violations:      s.Violations,
+		BusTransfers:    s.BusTransfers,
+		InjectedFaults:  s.InjectedFaults,
+	}
+}
+
+// Variant names one (policy, heuristic) combination of a suite grid.
+type Variant struct {
+	Policy    string `json:"policy"`
+	Heuristic string `json:"heuristic"`
+}
+
+// SuiteRequest asks for a benchmark × variant grid of experiment cells.
+type SuiteRequest struct {
+	// Benches selects benchmarks by name; empty means every benchmark
+	// of the paper's result figures.
+	Benches []string `json:"benches,omitempty"`
+	// Variants lists the (policy, heuristic) combinations to run; it
+	// must not be empty.
+	Variants []Variant `json:"variants"`
+	// MaxIterations caps simulated iterations per loop entry.
+	MaxIterations int64 `json:"maxIterations,omitempty"`
+	// CheckCoherence runs the memory ordering checker on every cell.
+	CheckCoherence bool `json:"checkCoherence,omitempty"`
+	// FaultSeed, when non-zero, enables deterministic fault injection.
+	FaultSeed int64 `json:"faultSeed,omitempty"`
+	// DeadlineMillis bounds the request's wall time (see ScheduleRequest).
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+}
+
+// SuiteResponse carries the computed grid in canonical cell order
+// (benchmarks in request order, variants in request order within each).
+type SuiteResponse struct {
+	Cells []SuiteCell `json:"cells"`
+}
+
+// SuiteCell is one benchmark under one variant.
+type SuiteCell struct {
+	Bench     string    `json:"bench"`
+	Policy    string    `json:"policy"`
+	Heuristic string    `json:"heuristic"`
+	Loops     []LoopRun `json:"loops"`
+	Total     Stats     `json:"total"`
+}
+
+// LoopRun is one loop's outcome inside a suite cell.
+type LoopRun struct {
+	Loop  string `json:"loop"`
+	II    int    `json:"ii"`
+	Comms int    `json:"comms"`
+	Stats Stats  `json:"stats"`
+}
+
+// BenchmarksResponse lists the synthesized Mediabench suite.
+type BenchmarksResponse struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is the wire projection of one benchmark's Table 1 metadata.
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Interleave   int     `json:"interleave"`
+	Loops        int     `json:"loops"`
+	MainDataSize int     `json:"mainDataSize"`
+	MainDataPct  float64 `json:"mainDataPct"`
+	ProfileInput string  `json:"profileInput"`
+	ExecInput    string  `json:"execInput"`
+	InFigures    bool    `json:"inFigures"`
+}
+
+// ParsePolicy maps a wire policy name onto core.Policy. Names are
+// case-insensitive.
+func ParsePolicy(name string) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "free":
+		return core.PolicyFree, nil
+	case "mdc":
+		return core.PolicyMDC, nil
+	case "ddgt":
+		return core.PolicyDDGT, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want free, mdc or ddgt)", name)
+}
+
+// ParseHeuristic maps a wire heuristic name onto sched.Heuristic. The
+// empty string defaults to PrefClus.
+func ParseHeuristic(name string) (sched.Heuristic, error) {
+	switch strings.ToLower(name) {
+	case "", "prefclus":
+		return sched.PrefClus, nil
+	case "mincoms":
+		return sched.MinComs, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (want prefclus or mincoms)", name)
+}
+
+// ParseConfig maps a wire config name onto a machine description. The
+// empty string defaults to the paper's Table 2 configuration.
+func ParseConfig(name string) (arch.Config, error) {
+	switch strings.ToLower(name) {
+	case "", "default":
+		return arch.Default(), nil
+	case "nobal+mem":
+		return arch.NobalMem(), nil
+	case "nobal+reg":
+		return arch.NobalReg(), nil
+	}
+	return arch.Config{}, fmt.Errorf("unknown config %q (want default, nobal+mem or nobal+reg)", name)
+}
+
+// ParseLayout maps a wire layout name onto arch.Layout. The empty string
+// defaults to the word-interleaved layout.
+func ParseLayout(name string) (arch.Layout, error) {
+	switch strings.ToLower(name) {
+	case "", "interleaved":
+		return arch.LayoutWordInterleaved, nil
+	case "replicated":
+		return arch.LayoutReplicated, nil
+	}
+	return 0, fmt.Errorf("unknown layout %q (want interleaved or replicated)", name)
+}

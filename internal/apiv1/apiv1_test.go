@@ -1,0 +1,182 @@
+package apiv1
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// TestScheduleRequestRoundTrip proves the request schema survives
+// encode → decode → encode byte-identically (stable field order).
+func TestScheduleRequestRoundTrip(t *testing.T) {
+	req := ScheduleRequest{
+		Loop:            json.RawMessage(`{"name":"daxpy","trip":10,"symbols":[],"ops":[]}`),
+		Policy:          "mdc",
+		Heuristic:       "mincoms",
+		Config:          "nobal+mem",
+		Layout:          "replicated",
+		ABEntries:       16,
+		MaxIterations:   500,
+		MaxEntries:      2,
+		CheckCoherence:  true,
+		FaultSeed:       7,
+		IncludeSchedule: true,
+		DeadlineMillis:  1500,
+	}
+	first, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ScheduleRequest
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", first, second)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Errorf("round trip changed value: %+v vs %+v", req, back)
+	}
+}
+
+func TestSuiteRequestRoundTrip(t *testing.T) {
+	req := SuiteRequest{
+		Benches:        []string{"pgpdec", "rasta"},
+		Variants:       []Variant{{"mdc", "prefclus"}, {"ddgt", "mincoms"}},
+		MaxIterations:  100,
+		CheckCoherence: true,
+		FaultSeed:      3,
+	}
+	first, _ := json.Marshal(req)
+	var back SuiteRequest
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := json.Marshal(back)
+	if string(first) != string(second) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", first, second)
+	}
+}
+
+// TestResponseFieldOrder freezes the wire order of the response schema:
+// marshal output must list fields in declaration order, so cached bytes
+// and freshly marshaled bytes can never disagree.
+func TestResponseFieldOrder(t *testing.T) {
+	resp := ScheduleResponse{Loop: "l", Policy: "mdc", Heuristic: "prefclus", II: 3, Comms: 1}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"loop":"l","policy":"mdc","heuristic":"prefclus","ii":3,"comms":1,` +
+		`"stats":{"iterations":0,"entries":0,"cycles":0,"computeCycles":0,"stallCycles":0,` +
+		`"localHits":0,"remoteHits":0,"localMisses":0,"remoteMisses":0,"abHits":0,` +
+		`"nullifiedStores":0,"commOps":0,"violations":0,"busTransfers":0,"injectedFaults":0}}`
+	if string(b) != want {
+		t.Errorf("field order drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	s := &sim.Stats{
+		Iterations:    10,
+		Entries:       1,
+		ComputeCycles: 100,
+		StallCycles:   20,
+		CommOps:       5,
+		Violations:    1,
+	}
+	s.Accesses[sim.LocalHit] = 7
+	s.Accesses[sim.RemoteMiss] = 3
+	got := StatsOf(s)
+	if got.Cycles != 120 || got.LocalHits != 7 || got.RemoteMisses != 3 || got.Violations != 1 {
+		t.Errorf("projection wrong: %+v", got)
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if p, err := ParsePolicy("DDGT"); err != nil || p != core.PolicyDDGT {
+		t.Errorf("ParsePolicy(DDGT) = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) must fail")
+	}
+	if h, err := ParseHeuristic(""); err != nil || h != sched.PrefClus {
+		t.Errorf("ParseHeuristic(empty) = %v, %v", h, err)
+	}
+	if _, err := ParseHeuristic("x"); err == nil {
+		t.Error("ParseHeuristic(x) must fail")
+	}
+	if cfg, err := ParseConfig(""); err != nil || cfg != arch.Default() {
+		t.Errorf("ParseConfig(empty) = %+v, %v", cfg, err)
+	}
+	if _, err := ParseConfig("x"); err == nil {
+		t.Error("ParseConfig(x) must fail")
+	}
+	if l, err := ParseLayout("replicated"); err != nil || l != arch.LayoutReplicated {
+		t.Errorf("ParseLayout(replicated) = %v, %v", l, err)
+	}
+	if _, err := ParseLayout("x"); err == nil {
+		t.Error("ParseLayout(x) must fail")
+	}
+}
+
+func TestErrorFor(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{fmt.Errorf("wrap: %w", mediabench.ErrUnknownBenchmark), http.StatusNotFound, CodeUnknownBenchmark},
+		{fmt.Errorf("wrap: %w", sched.ErrInfeasible), http.StatusUnprocessableEntity, CodeInfeasibleSchedule},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, CodeDeadlineExceeded},
+		{errors.New("boom"), http.StatusInternalServerError, CodeInternal},
+	}
+	for _, c := range cases {
+		status, resp := ErrorFor(c.err)
+		if status != c.status || resp.Code != c.code {
+			t.Errorf("ErrorFor(%v) = %d/%s, want %d/%s", c.err, status, resp.Code, c.status, c.code)
+		}
+	}
+
+	// A PipelineError wrapping ErrInfeasible keeps the infeasible code
+	// and gains location details.
+	pe := &experiments.PipelineError{
+		Bench: "pgpdec", Loop: "main",
+		Variant: experiments.MDCPrefClus, Stage: "schedule",
+		Err: fmt.Errorf("sched: %w", sched.ErrInfeasible),
+	}
+	status, resp := ErrorFor(pe)
+	if status != http.StatusUnprocessableEntity || resp.Code != CodeInfeasibleSchedule {
+		t.Errorf("pipeline infeasible = %d/%s", status, resp.Code)
+	}
+	if resp.Details["stage"] != "schedule" || resp.Details["bench"] != "pgpdec" {
+		t.Errorf("details = %v", resp.Details)
+	}
+
+	// A PipelineError wrapping an unclassified error becomes a typed
+	// pipeline failure, not an internal error.
+	pe.Err = errors.New("weird")
+	status, resp = ErrorFor(pe)
+	if status != http.StatusUnprocessableEntity || resp.Code != CodePipelineFailure {
+		t.Errorf("pipeline failure = %d/%s", status, resp.Code)
+	}
+
+	if StatusOf("no_such_code") != http.StatusInternalServerError {
+		t.Error("unknown codes must map to 500")
+	}
+}

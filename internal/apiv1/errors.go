@@ -1,0 +1,103 @@
+package apiv1
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sched"
+)
+
+// ErrorResponse is the body of every non-2xx response. Code is a stable
+// machine-readable discriminator (the Code* constants); Message is
+// human-readable and may change between releases; Details carries
+// error-specific context (pipeline stage, benchmark name, ...).
+type ErrorResponse struct {
+	Code    string            `json:"code"`
+	Message string            `json:"message"`
+	Details map[string]string `json:"details,omitempty"`
+}
+
+// Typed error codes. Every code maps to exactly one HTTP status.
+const (
+	// CodeBadRequest: the request body could not be decoded or failed
+	// validation (malformed JSON, unknown policy name, invalid loop).
+	CodeBadRequest = "bad_request" // 400
+	// CodeUnknownBenchmark: a suite request named a benchmark outside
+	// the synthesized Mediabench suite.
+	CodeUnknownBenchmark = "unknown_benchmark" // 404
+	// CodeInfeasibleSchedule: the loop does not fit within the
+	// scheduler's II budget.
+	CodeInfeasibleSchedule = "infeasible_schedule" // 422
+	// CodePipelineFailure: a pipeline stage failed for a reason other
+	// than infeasibility; Details locates the stage.
+	CodePipelineFailure = "pipeline_failure" // 422
+	// CodeDeadlineExceeded: the per-request deadline expired before the
+	// computation finished.
+	CodeDeadlineExceeded = "deadline_exceeded" // 504
+	// CodeOverloaded: the admission queue is full; retry after the
+	// Retry-After header's delay.
+	CodeOverloaded = "overloaded" // 429
+	// CodeDraining: the server is shutting down and no longer admits
+	// compute requests.
+	CodeDraining = "draining" // 503
+	// CodeInternal: an unexpected failure (recovered panic, ...).
+	CodeInternal = "internal" // 500
+)
+
+// StatusOf returns the HTTP status a code maps to.
+func StatusOf(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownBenchmark:
+		return http.StatusNotFound
+	case CodeInfeasibleSchedule, CodePipelineFailure:
+		return http.StatusUnprocessableEntity
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// ErrorFor maps a pipeline error onto its wire representation: the HTTP
+// status and the typed ErrorResponse body. It understands the repo's
+// sentinel errors (mediabench.ErrUnknownBenchmark, sched.ErrInfeasible),
+// *experiments.PipelineError (whose location lands in Details), and
+// context deadline expiry; anything else is CodeInternal.
+func ErrorFor(err error) (int, ErrorResponse) {
+	resp := ErrorResponse{Message: err.Error()}
+	switch {
+	case errors.Is(err, mediabench.ErrUnknownBenchmark):
+		resp.Code = CodeUnknownBenchmark
+	case errors.Is(err, sched.ErrInfeasible):
+		resp.Code = CodeInfeasibleSchedule
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Code = CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		resp.Code = CodeDraining
+	default:
+		resp.Code = CodeInternal
+	}
+	var pe *experiments.PipelineError
+	if errors.As(err, &pe) {
+		if resp.Code == CodeInternal {
+			resp.Code = CodePipelineFailure
+		}
+		resp.Details = map[string]string{
+			"stage":   pe.Stage,
+			"loop":    pe.Loop,
+			"variant": pe.Variant.String(),
+		}
+		if pe.Bench != "" {
+			resp.Details["bench"] = pe.Bench
+		}
+	}
+	return StatusOf(resp.Code), resp
+}

@@ -159,6 +159,37 @@ func (e *Engine) Do(ctx context.Context, key string, task Task) (any, error) {
 	return val, nil
 }
 
+// Run executes task on a worker slot without memoization. Unlike Do it
+// takes no key and caches nothing — callers that own result reuse (the
+// serving layer's content-addressed cache coalesces and stores response
+// bytes itself) still share the same bounded pool, robustness envelope
+// (per-task deadline, transient retry, panic recovery) and metrics as
+// the memoized path. Time spent waiting for a worker slot is recorded
+// as the "queue" stage, so pool backpressure is visible in Metrics.
+func (e *Engine) Run(ctx context.Context, task Task) (any, error) {
+	e.submitted.Add(1)
+	if err := ctx.Err(); err != nil {
+		e.canceled.Add(1)
+		return nil, err
+	}
+	tq := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+	e.RecordStage("queue", time.Since(tq))
+
+	t0 := time.Now()
+	val, err := e.runTask(ctx, task)
+	e.busyNanos.Add(int64(time.Since(t0)))
+	<-e.sem
+
+	e.computed.Add(1)
+	return val, err
+}
+
 // abort finalizes a failed flight: the error reaches every waiter, and the
 // key is evicted so a future Do retries the computation.
 func (e *Engine) abort(key string, f *flight, err error) {

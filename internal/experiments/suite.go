@@ -136,6 +136,15 @@ func WithParallelism(n int) Option {
 	return func(s *Suite) { s.parallelism = n }
 }
 
+// WithEngine runs the suite on a caller-owned engine instead of a
+// private one, pooling its worker slots and aggregating stage metrics
+// across suites (the serving layer uses this to surface pipeline stage
+// timings in one place). Overrides WithParallelism and the engine
+// robustness options.
+func WithEngine(e *engine.Engine) Option {
+	return func(s *Suite) { s.eng = e }
+}
+
 // WithTracer installs a callback invoked after every pipeline stage and
 // cell completion. The tracer runs on worker goroutines and must be safe
 // for concurrent use.
@@ -344,10 +353,37 @@ func (s *Suite) WarmBenches(ctx context.Context, benches []string, variants ...V
 	})
 }
 
-// RunLoopContext drives the full pipeline for one loop: profile, prepare
-// under the policy, modulo schedule, simulate. ctx is checked at every
-// stage boundary; failures are reported as a *PipelineError naming the
-// stage.
+// PipelineResult bundles every artifact of one pipeline run. LoopRun is
+// its reporting projection; serving callers need the Schedule itself
+// (to render words or validate) alongside the statistics.
+type PipelineResult struct {
+	Plan     *core.Plan
+	Profile  *profiler.Profile
+	Schedule *sched.Schedule
+	Stats    *sim.Stats
+}
+
+// Run is the reporting projection of a pipeline result.
+func (r *PipelineResult) Run(loop string) *LoopRun {
+	return &LoopRun{Loop: loop, II: r.Schedule.II, Comms: r.Schedule.CommOps(), Stats: r.Stats}
+}
+
+// RunPipelineContext drives the full pipeline for one loop — profile,
+// prepare under the policy, modulo schedule, simulate — and returns
+// every artifact. ctx is checked at every stage boundary; failures are
+// reported as a *PipelineError naming the stage. Suite options apply
+// (e.g. WithEngine to aggregate stage timings, WithTracer to observe
+// stage boundaries).
+func RunPipelineContext(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, suiteOpts ...Option) (*PipelineResult, error) {
+	s := &Suite{Base: cfg}
+	for _, o := range suiteOpts {
+		o(s)
+	}
+	return s.runPipeline(ctx, loop, cfg, v, opts, "")
+}
+
+// RunLoopContext is RunPipelineContext reduced to the reporting
+// projection (II, communication ops, statistics).
 func RunLoopContext(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*LoopRun, error) {
 	s := &Suite{Base: cfg}
 	return s.runLoop(ctx, loop, cfg, v, opts, "")
@@ -358,21 +394,30 @@ func RunLoop(loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options) (*Loop
 	return RunLoopContext(context.Background(), loop, cfg, v, opts)
 }
 
-// runLoop is RunLoop plus instrumentation: stage wall times go to the
-// suite engine and the tracer observes each stage.
-func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, bench string) (run *LoopRun, err error) {
+// runLoop is runPipeline reduced to the reporting projection.
+func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, bench string) (*LoopRun, error) {
+	res, err := s.runPipeline(ctx, loop, cfg, v, opts, bench)
+	if err != nil {
+		return nil, err
+	}
+	return res.Run(loop.Name), nil
+}
+
+// runPipeline drives the full pipeline plus instrumentation: stage wall
+// times go to the suite engine and the tracer observes each stage.
+func (s *Suite) runPipeline(ctx context.Context, loop *ir.Loop, cfg arch.Config, v Variant, opts sim.Options, bench string) (res *PipelineResult, err error) {
 	// Cells computed through the engine already have panic recovery; this
 	// guard covers standalone RunLoop/RunHybrid callers so a diverging
 	// pipeline stage degrades into an error instead of killing the process.
 	defer func() {
 		if r := recover(); r != nil {
-			run, err = nil, &PipelineError{
+			res, err = nil, &PipelineError{
 				Bench: bench, Loop: loop.Name, Variant: v, Stage: "panic",
 				Err: &engine.PanicError{Value: r, Stack: debug.Stack()},
 			}
 		}
 	}()
-	fail := func(stage string, err error) (*LoopRun, error) {
+	fail := func(stage string, err error) (*PipelineResult, error) {
 		return nil, &PipelineError{Bench: bench, Loop: loop.Name, Variant: v, Stage: stage, Err: err}
 	}
 	stageDone := func(stage string, t0 time.Time, err error) {
@@ -431,7 +476,7 @@ func (s *Suite) runLoop(ctx context.Context, loop *ir.Loop, cfg arch.Config, v V
 	if err != nil {
 		return fail("simulate", err)
 	}
-	return &LoopRun{Loop: loop.Name, II: sc.II, Comms: sc.CommOps(), Stats: st}, nil
+	return &PipelineResult{Plan: plan, Profile: prof, Schedule: sc, Stats: st}, nil
 }
 
 // RunHybridContext implements the per-loop hybrid of §6 (further work):

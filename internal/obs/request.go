@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RequestEvent is one stage of a served request's lifecycle, emitted by
+// the serving layer (internal/server) alongside the cycle-level
+// simulation events: admission, queueing, computation, cache service
+// and load shedding all leave a record, so a request's path through the
+// admission-control state machine can be reconstructed after the fact.
+type RequestEvent struct {
+	// Seq is the request's serve-order sequence number (1-based).
+	Seq int64
+	// Route is the endpoint ("/v1/schedule", "/v1/suite", ...).
+	Route string
+	// Stage names the lifecycle step: "admit", "shed", "cache_hit",
+	// "coalesced", "compute", "error" or "done".
+	Stage string
+	// Key is the content address of the request's result, when known.
+	Key string
+	// Status is the HTTP status the stage resolved to (0 when the
+	// request is still in flight).
+	Status int
+	// Elapsed is the time spent in (or up to) this stage.
+	Elapsed time.Duration
+}
+
+// RequestSink receives request lifecycle events. Implementations must
+// be safe for concurrent use; the serving layer emits from handler
+// goroutines.
+type RequestSink interface {
+	EmitRequest(RequestEvent)
+}
+
+// RequestLog is a bounded in-memory RequestSink keeping the most recent
+// events, mirroring Ring for simulation events.
+type RequestLog struct {
+	mu     sync.Mutex
+	events []RequestEvent
+	next   int
+	filled bool
+	total  int64
+}
+
+// NewRequestLog returns a log holding the last n events (n < 1 is
+// raised to 1).
+func NewRequestLog(n int) *RequestLog {
+	if n < 1 {
+		n = 1
+	}
+	return &RequestLog{events: make([]RequestEvent, n)}
+}
+
+// EmitRequest implements RequestSink.
+func (l *RequestLog) EmitRequest(e RequestEvent) {
+	l.mu.Lock()
+	l.events[l.next] = e
+	l.next++
+	if l.next == len(l.events) {
+		l.next, l.filled = 0, true
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total reports how many events were emitted over the log's lifetime.
+func (l *RequestLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Events returns the retained events, oldest first.
+func (l *RequestLog) Events() []RequestEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.filled {
+		return append([]RequestEvent(nil), l.events[:l.next]...)
+	}
+	out := make([]RequestEvent, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}

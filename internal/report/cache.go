@@ -1,0 +1,61 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// CacheRecord labels one result-cache counter snapshot for export
+// (serving layer, see internal/resultcache). It is a flat copy of the
+// cache's Stats so report stays decoupled from the cache package;
+// field set and column order are fixed, like every export here.
+type CacheRecord struct {
+	Name        string `json:"name"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Coalesced   int64  `json:"coalesced"`
+	Puts        int64  `json:"puts"`
+	Evictions   int64  `json:"evictions"`
+	Oversized   int64  `json:"oversized"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+}
+
+// WriteCacheJSON serializes cache records as a JSON array.
+func WriteCacheJSON(w io.Writer, recs []CacheRecord) error {
+	if recs == nil {
+		recs = []CacheRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+var cacheHeader = []string{
+	"name", "hits", "misses", "coalesced", "puts", "evictions",
+	"oversized", "entries", "bytes", "budget_bytes",
+}
+
+// WriteCacheCSV serializes cache records as CSV with a fixed header row.
+func WriteCacheCSV(w io.Writer, recs []CacheRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(cacheHeader); err != nil {
+		return err
+	}
+	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, r := range recs {
+		row := []string{
+			r.Name, i64(r.Hits), i64(r.Misses), i64(r.Coalesced), i64(r.Puts),
+			i64(r.Evictions), i64(r.Oversized), strconv.Itoa(r.Entries),
+			i64(r.Bytes), i64(r.BudgetBytes),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

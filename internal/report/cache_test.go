@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteCacheJSONAndCSV(t *testing.T) {
+	recs := []CacheRecord{{
+		Name: "results", Hits: 7, Misses: 3, Coalesced: 2, Puts: 3,
+		Evictions: 1, Oversized: 0, Entries: 2, Bytes: 1024, BudgetBytes: 4096,
+	}}
+
+	var buf bytes.Buffer
+	if err := WriteCacheJSON(&buf, recs); err != nil {
+		t.Fatalf("WriteCacheJSON: %v", err)
+	}
+	var got []CacheRecord
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0] != recs[0] {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	// Determinism: equal inputs produce identical bytes.
+	var again bytes.Buffer
+	if err := WriteCacheJSON(&again, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("equal inputs produced different JSON bytes")
+	}
+
+	buf.Reset()
+	if err := WriteCacheCSV(&buf, recs); err != nil {
+		t.Fatalf("WriteCacheCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want header + 1", len(rows))
+	}
+	wantHeader := []string{"name", "hits", "misses", "coalesced", "puts",
+		"evictions", "oversized", "entries", "bytes", "budget_bytes"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, rows[0][i], h)
+		}
+	}
+	if rows[1][0] != "results" || rows[1][1] != "7" || rows[1][9] != "4096" {
+		t.Errorf("row = %v", rows[1])
+	}
+}
+
+func TestWriteCacheJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCacheJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(bytes.TrimSpace(buf.Bytes())); got != "[]" {
+		t.Errorf("nil records = %q, want []", got)
+	}
+}

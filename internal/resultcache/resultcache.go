@@ -1,0 +1,270 @@
+// Package resultcache is the serving layer's content-addressed result
+// cache: computed response bodies keyed by a stable hash of everything
+// that determines them, with single-flight request coalescing and an
+// LRU byte-budget eviction policy.
+//
+// The design leans on a property the rest of the repo already proves:
+// the pipeline is deterministic — equal inputs (canonical loop bytes,
+// policy, heuristic, machine description, simulation options, fault
+// seed) produce byte-identical outputs. Caching and coalescing are
+// therefore correct by construction: a hit replays the exact bytes the
+// populating miss produced, and N concurrent identical requests can
+// safely share one computation.
+//
+// Unlike engine.Engine's single-flight memo (which caches forever and
+// is sized for a bounded experiment grid), this cache is built for an
+// unbounded request stream: completed flights are dropped, results live
+// in the LRU under a byte budget, and eviction is O(1) per entry.
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key hashes an ordered list of request components into a stable
+// content address. Components are length-prefixed before hashing, so
+// ("ab","c") and ("a","bc") cannot collide.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Outcome classifies how a Do call was served.
+type Outcome int
+
+const (
+	// Miss: this caller computed the result (the flight leader).
+	Miss Outcome = iota
+	// Hit: the result was already cached; its stored bytes were served.
+	Hit
+	// Coalesced: an identical computation was in flight; this caller
+	// waited for it and shares its result.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups served from a stored result.
+	Hits int64
+	// Misses counts lookups that computed (Do) or missed (Get).
+	Misses int64
+	// Coalesced counts Do calls that joined an in-flight computation.
+	Coalesced int64
+	// Puts counts results inserted into the store.
+	Puts int64
+	// Evictions counts entries removed to honor the byte budget.
+	Evictions int64
+	// Oversized counts results too large to store at all (larger than
+	// the whole budget); they are served but never cached.
+	Oversized int64
+	// Entries is the number of stored results.
+	Entries int
+	// Bytes is the stored payload volume (keys + values).
+	Bytes int64
+	// BudgetBytes is the configured byte budget.
+	BudgetBytes int64
+}
+
+// flight is one in-progress computation of a key.
+type flight struct {
+	done chan struct{} // closed when val/err are final
+	val  []byte
+	err  error
+}
+
+// entry is one stored result.
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is a content-addressed byte cache with single-flight coalescing
+// and LRU eviction under a byte budget. It is safe for concurrent use.
+// The zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	flights map[string]*flight
+
+	hits, misses, coalesced int64
+	puts, evictions         int64
+	oversized               int64
+}
+
+// DefaultBudget is the byte budget used when New is given a
+// non-positive one: 64 MiB, roughly 10^5 schedule responses.
+const DefaultBudget = 64 << 20
+
+// New builds a cache with the given byte budget (<= 0 uses
+// DefaultBudget).
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	return &Cache{
+		budget:  budgetBytes,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get returns the stored bytes for key, marking the entry most recently
+// used. Callers must treat the returned slice as immutable: the cache
+// serves the same backing array to every hit (that is what makes hits
+// byte-identical and allocation-free).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek is Get for layered lookups: a found key counts as a hit and is
+// marked most recently used, but an absent key records nothing — the
+// caller is expected to follow up with Do, which owns the miss (or
+// coalesce) accounting. This keeps Hits+Misses+Coalesced equal to the
+// number of logical lookups when a fast path runs in front of Do.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// Put stores val under key (no-op if the key is already present),
+// evicting least-recently-used entries until the budget holds. The
+// cache takes ownership of val.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, val)
+}
+
+func (c *Cache) putLocked(key string, val []byte) {
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	size := entrySize(key, val)
+	if size > c.budget {
+		c.oversized++
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.bytes += size
+	c.puts++
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= entrySize(e.key, e.val)
+		c.evictions++
+	}
+}
+
+func entrySize(key string, val []byte) int64 { return int64(len(key) + len(val)) }
+
+// Do returns the bytes for key, computing them at most once across
+// concurrent callers. A stored result is served directly (Hit). If an
+// identical computation is in flight, the caller waits for it and
+// shares its outcome (Coalesced); cancelling ctx abandons the wait. The
+// first caller for an absent key runs compute (Miss) and publishes a
+// successful result to the store; a failed computation is delivered to
+// every coalesced waiter and nothing is cached, so a later call
+// retries.
+//
+// The leader runs compute with its own ctx — if the leader's request is
+// cancelled mid-computation, coalesced waiters receive that error too
+// (they can retry, becoming the new leader).
+func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) ([]byte, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, Coalesced, f.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	val, err := compute(ctx)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil {
+		c.putLocked(key, val)
+	}
+	c.mu.Unlock()
+	f.val, f.err = val, err
+	close(f.done)
+	return val, Miss, err
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Coalesced:   c.coalesced,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		Oversized:   c.oversized,
+		Entries:     len(c.entries),
+		Bytes:       c.bytes,
+		BudgetBytes: c.budget,
+	}
+}

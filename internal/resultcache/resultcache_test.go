@@ -1,0 +1,208 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyStableAndPrefixSafe(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("Key must be deterministic")
+	}
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("length prefixing must prevent concatenation collisions")
+	}
+	if Key("a") == Key("a", "") {
+		t.Error("arity must be part of the address")
+	}
+}
+
+func TestGetPutLRUEviction(t *testing.T) {
+	// Budget fits exactly two of these entries (key 1 byte + val 9 bytes).
+	c := New(20)
+	val := func(s string) []byte { return []byte(s + "12345678") }
+	c.Put("a", val("a"))
+	c.Put("b", val("b"))
+	if got, ok := c.Get("a"); !ok || !bytes.Equal(got, val("a")) {
+		t.Fatal("a must be cached")
+	}
+	// "a" is now most recently used, so inserting "c" evicts "b".
+	c.Put("c", val("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b must have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a must have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c must be cached")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOversizedNeverStored(t *testing.T) {
+	c := New(4)
+	c.Put("k", []byte("way too large"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("oversized entry must not be stored")
+	}
+	if st := c.Stats(); st.Oversized != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDoOutcomes(t *testing.T) {
+	c := New(0)
+	ctx := context.Background()
+	calls := 0
+	compute := func(context.Context) ([]byte, error) { calls++; return []byte("r"), nil }
+
+	got, out, err := c.Do(ctx, "k", compute)
+	if err != nil || out != Miss || string(got) != "r" {
+		t.Fatalf("first Do = %q, %v, %v", got, out, err)
+	}
+	got, out, err = c.Do(ctx, "k", compute)
+	if err != nil || out != Hit || string(got) != "r" {
+		t.Fatalf("second Do = %q, %v, %v", got, out, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+
+	// A failed computation is not cached and the error is returned.
+	boom := errors.New("boom")
+	_, out, err = c.Do(ctx, "bad", func(context.Context) ([]byte, error) { return nil, boom })
+	if out != Miss || !errors.Is(err, boom) {
+		t.Fatalf("failed Do = %v, %v", out, err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Error("failed result must not be cached")
+	}
+
+	for o, want := range map[Outcome]string{Miss: "miss", Hit: "hit", Coalesced: "coalesced", Outcome(9): "unknown"} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q", o, o.String())
+		}
+	}
+}
+
+// TestDoCoalescing proves N concurrent identical Do calls run compute
+// exactly once: one leader computes while every other caller blocks on
+// the in-flight computation and shares its bytes.
+func TestDoCoalescing(t *testing.T) {
+	const n = 16
+	c := New(0)
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(context.Context) ([]byte, error) {
+		computes.Add(1)
+		close(started)
+		<-release
+		return []byte("shared"), nil
+	}
+
+	results := make([][]byte, n)
+	outcomes := make([]Outcome, n)
+	var wg sync.WaitGroup
+	leaderIn := make(chan struct{}) // leader's Do call entered
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(leaderIn)
+		results[0], outcomes[0], _ = c.Do(context.Background(), "k", compute)
+	}()
+	<-leaderIn
+	<-started // compute is running; everyone else must coalesce
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], outcomes[i], _ = c.Do(context.Background(), "k", compute)
+		}(i)
+	}
+	// Wait until all followers are registered as coalesced, then let
+	// the leader finish.
+	for {
+		if st := c.Stats(); st.Coalesced == n-1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	var coalesced int
+	for i := range results {
+		if !bytes.Equal(results[i], []byte("shared")) {
+			t.Fatalf("caller %d got %q", i, results[i])
+		}
+		if outcomes[i] == Coalesced {
+			coalesced++
+		}
+	}
+	if outcomes[0] != Miss || coalesced != n-1 {
+		t.Errorf("outcomes = %v", outcomes)
+	}
+}
+
+func TestDoCoalescedWaiterCancellation(t *testing.T) {
+	c := New(0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		close(started)
+		<-release
+		return []byte("v"), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.Do(ctx, "k", func(context.Context) ([]byte, error) {
+		t.Error("cancelled waiter must not compute")
+		return nil, nil
+	})
+	if out != Coalesced || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter = %v, %v", out, err)
+	}
+	close(release)
+}
+
+// TestDoConcurrentDistinctKeys hammers the cache with a mixed keyspace
+// under the race detector.
+func TestDoConcurrentDistinctKeys(t *testing.T) {
+	c := New(1 << 10) // small budget: eviction races with lookup
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				want := []byte(fmt.Sprintf("v%d", i%32))
+				got, _, err := c.Do(context.Background(), key, func(context.Context) ([]byte, error) {
+					return want, nil
+				})
+				if err != nil || !bytes.Equal(got, want) {
+					t.Errorf("Do(%s) = %q, %v", key, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced != 8*200 {
+		t.Errorf("lookup accounting leaks: %+v", st)
+	}
+}

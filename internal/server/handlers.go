@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"vliwcache/internal/apiv1"
+	"vliwcache/internal/arch"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/fault"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/report"
+	"vliwcache/internal/resultcache"
+	"vliwcache/internal/sim"
+)
+
+// maxBodyBytes bounds request bodies; loops are small, so 4 MiB is
+// generous headroom rather than a real limit.
+const maxBodyBytes = 4 << 20
+
+// writeJSON writes a marshaled value with the v1 content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeBody serves precomputed response bytes, labeling how the cache
+// resolved them (miss / hit / coalesced) in the X-Cache header.
+func writeBody(w http.ResponseWriter, body []byte, xcache string) {
+	w.Header().Set("Content-Type", "application/json")
+	if xcache != "" {
+		w.Header().Set("X-Cache", xcache)
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// writeError writes a typed v1 error.
+func writeError(w http.ResponseWriter, status int, resp apiv1.ErrorResponse) {
+	writeJSON(w, status, resp)
+}
+
+// writeErrorFor maps err through the v1 error taxonomy and writes it.
+func writeErrorFor(w http.ResponseWriter, err error) int {
+	status, resp := apiv1.ErrorFor(err)
+	writeError(w, status, resp)
+	return status
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeError(w, http.StatusBadRequest, apiv1.ErrorResponse{
+		Code:    apiv1.CodeBadRequest,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// decodeRequest reads and unmarshals a request body into v.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		badRequest(w, "reading body: %v", err)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		badRequest(w, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// deadlineFor clamps a requested deadline into the server's window.
+func (s *Server) deadlineFor(millis int64) time.Duration {
+	if millis <= 0 {
+		return s.defaultDeadline
+	}
+	d := time.Duration(millis) * time.Millisecond
+	if d > s.maxDeadline {
+		return s.maxDeadline
+	}
+	return d
+}
+
+// simOptionsKey renders the cache-relevant simulation knobs. The
+// per-request deadline is deliberately absent: it bounds the wall time
+// of a computation, never its result.
+func simOptionsKey(opts sim.Options, seed int64) string {
+	return fmt.Sprintf("maxIters=%d maxEntries=%d coherence=%t seed=%d",
+		opts.MaxIterations, opts.MaxEntries, opts.CheckCoherence, seed)
+}
+
+// resolvedSchedule is a validated ScheduleRequest bound to internal
+// types, plus the request's content address.
+type resolvedSchedule struct {
+	loop     *ir.Loop
+	variant  experiments.Variant
+	cfgValue arch.Config
+	sim      sim.Options
+	seed     int64
+	schedule bool // include the rendered schedule
+	deadline time.Duration
+	key      string
+}
+
+// resolveSchedule validates a ScheduleRequest and derives its cache
+// key. The loop is canonicalized — decoded and deterministically
+// re-encoded — so formatting differences between equivalent request
+// bodies address the same cache entry.
+func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolvedSchedule, *apiv1.ErrorResponse) {
+	fail := func(format string, args ...any) (*resolvedSchedule, *apiv1.ErrorResponse) {
+		return nil, &apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+	}
+	if len(req.Loop) == 0 || string(bytes.TrimSpace(req.Loop)) == "null" {
+		return fail("missing loop")
+	}
+	loop, err := ir.DecodeJSON(req.Loop)
+	if err != nil {
+		return fail("invalid loop: %v", err)
+	}
+	if loop.Name == "" || len(loop.Ops) == 0 {
+		return fail("loop must have a name and at least one op")
+	}
+	canonical, err := ir.EncodeJSON(loop)
+	if err != nil {
+		return fail("canonicalizing loop: %v", err)
+	}
+	policy, err := apiv1.ParsePolicy(req.Policy)
+	if err != nil {
+		return fail("%v", err)
+	}
+	heuristic, err := apiv1.ParseHeuristic(req.Heuristic)
+	if err != nil {
+		return fail("%v", err)
+	}
+	cfg := s.base
+	if req.Config != "" {
+		cfg, err = apiv1.ParseConfig(req.Config)
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+	layout, err := apiv1.ParseLayout(req.Layout)
+	if err != nil {
+		return fail("%v", err)
+	}
+	cfg = cfg.WithLayout(layout)
+	if req.ABEntries < 0 {
+		return fail("abEntries must be >= 0")
+	}
+	if req.ABEntries > 0 {
+		cfg = cfg.WithAttractionBuffers(req.ABEntries)
+	}
+	if req.MaxIterations < 0 || req.MaxEntries < 0 {
+		return fail("iteration caps must be >= 0")
+	}
+	opts := sim.Options{
+		MaxIterations:  req.MaxIterations,
+		MaxEntries:     req.MaxEntries,
+		CheckCoherence: req.CheckCoherence,
+	}
+	res := &resolvedSchedule{
+		loop:     loop,
+		variant:  experiments.Variant{Policy: policy, Heuristic: heuristic},
+		sim:      opts,
+		seed:     req.FaultSeed,
+		schedule: req.IncludeSchedule,
+		deadline: s.deadlineFor(req.DeadlineMillis),
+	}
+	res.key = resultcache.Key(
+		ns,
+		string(canonical),
+		policy.String(),
+		heuristic.String(),
+		fmt.Sprintf("%+v", cfg),
+		simOptionsKey(opts, req.FaultSeed),
+		fmt.Sprintf("schedule=%t", req.IncludeSchedule),
+	)
+	res.cfgValue = cfg
+	return res, nil
+}
+
+// handleSchedule serves POST /v1/schedule: the full pipeline on one
+// loop, returning plan/schedule summary plus simulation statistics.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.serveSchedule(w, r, "/v1/schedule", false)
+}
+
+// handleSimulate serves POST /v1/simulate: the same pipeline, but the
+// response carries only the simulation statistics.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.serveSchedule(w, r, "/v1/simulate", true)
+}
+
+func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, route string, simulateOnly bool) {
+	var req apiv1.ScheduleRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	res, eresp := s.resolveSchedule(route, &req)
+	if eresp != nil {
+		writeError(w, apiv1.StatusOf(eresp.Code), *eresp)
+		return
+	}
+	s.serveCached(w, r, route, res.key, res.deadline, func(ctx context.Context) ([]byte, error) {
+		opts := res.sim
+		if res.seed != 0 {
+			opts.NewFaults = fault.Seeded(res.seed, fault.DefaultConfig())
+		}
+		pr, err := experiments.RunPipelineContext(ctx, res.loop, res.cfgValue, res.variant, opts,
+			experiments.WithEngine(s.eng))
+		if err != nil {
+			return nil, err
+		}
+		if simulateOnly {
+			return json.Marshal(apiv1.SimulateResponse{
+				Loop:  res.loop.Name,
+				Stats: apiv1.StatsOf(pr.Stats),
+			})
+		}
+		resp := apiv1.ScheduleResponse{
+			Loop:      res.loop.Name,
+			Policy:    strings.ToLower(res.variant.Policy.String()),
+			Heuristic: strings.ToLower(res.variant.Heuristic.String()),
+			II:        pr.Schedule.II,
+			Comms:     pr.Schedule.CommOps(),
+			Stats:     apiv1.StatsOf(pr.Stats),
+		}
+		if res.schedule {
+			resp.Schedule = fmt.Sprint(pr.Schedule)
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// handleSuite serves POST /v1/suite: a benchmark × variant grid of
+// experiment cells, rendered in canonical order.
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/suite"
+	var req apiv1.SuiteRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Variants) == 0 {
+		badRequest(w, "missing variants")
+		return
+	}
+	variants := make([]experiments.Variant, len(req.Variants))
+	for i, v := range req.Variants {
+		policy, err := apiv1.ParsePolicy(v.Policy)
+		if err != nil {
+			badRequest(w, "variant %d: %v", i, err)
+			return
+		}
+		heuristic, err := apiv1.ParseHeuristic(v.Heuristic)
+		if err != nil {
+			badRequest(w, "variant %d: %v", i, err)
+			return
+		}
+		variants[i] = experiments.Variant{Policy: policy, Heuristic: heuristic}
+	}
+	benches := req.Benches
+	if len(benches) == 0 {
+		for _, b := range mediabench.Figures() {
+			benches = append(benches, b.Name)
+		}
+	}
+	for _, name := range benches {
+		if _, err := mediabench.Get(name); err != nil {
+			writeErrorFor(w, err)
+			return
+		}
+	}
+	if req.MaxIterations < 0 {
+		badRequest(w, "iteration caps must be >= 0")
+		return
+	}
+	opts := sim.Options{
+		MaxIterations:  req.MaxIterations,
+		CheckCoherence: req.CheckCoherence,
+	}
+	if req.FaultSeed != 0 {
+		opts.NewFaults = fault.Seeded(req.FaultSeed, fault.DefaultConfig())
+	}
+
+	var variantNames []string
+	for _, v := range variants {
+		variantNames = append(variantNames, v.String())
+	}
+	key := resultcache.Key(
+		route,
+		strings.Join(benches, ","),
+		strings.Join(variantNames, ","),
+		fmt.Sprintf("%+v", s.base),
+		simOptionsKey(opts, req.FaultSeed),
+	)
+
+	s.serveCached(w, r, route, key, s.deadlineFor(req.DeadlineMillis), func(ctx context.Context) ([]byte, error) {
+		// Each request gets its own suite (sim options are per-suite
+		// state); its internal pool is bounded like the server's, and
+		// whole-response reuse happens in the result cache.
+		suite := experiments.NewSuite(s.base,
+			experiments.WithSimOptions(opts),
+			experiments.WithParallelism(s.parallelism),
+			experiments.WithMachinePool(0),
+		)
+		suite.Benches = mediabench.All()
+		if err := suite.WarmBenches(ctx, benches, variants...); err != nil {
+			return nil, err
+		}
+		resp := apiv1.SuiteResponse{Cells: []apiv1.SuiteCell{}}
+		for _, bench := range benches {
+			for _, v := range variants {
+				cell, err := suite.CellContext(ctx, bench, v)
+				if err != nil {
+					return nil, err
+				}
+				sc := apiv1.SuiteCell{
+					Bench:     bench,
+					Policy:    strings.ToLower(v.Policy.String()),
+					Heuristic: strings.ToLower(v.Heuristic.String()),
+					Loops:     []apiv1.LoopRun{},
+					Total:     apiv1.StatsOf(&cell.Total),
+				}
+				for _, lr := range cell.Loops {
+					sc.Loops = append(sc.Loops, apiv1.LoopRun{
+						Loop: lr.Loop, II: lr.II, Comms: lr.Comms,
+						Stats: apiv1.StatsOf(lr.Stats),
+					})
+				}
+				resp.Cells = append(resp.Cells, sc)
+			}
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// serveCached drives the admission-control state machine around one
+// cacheable computation. See the package comment for the lifecycle.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, route, key string, deadline time.Duration, compute func(ctx context.Context) ([]byte, error)) {
+	t0 := time.Now()
+	seq := s.seq.Add(1)
+
+	if s.draining.Load() {
+		s.emit(seq, route, "shed", key, http.StatusServiceUnavailable, time.Since(t0))
+		writeError(w, http.StatusServiceUnavailable, apiv1.ErrorResponse{
+			Code: apiv1.CodeDraining, Message: "server is draining",
+		})
+		return
+	}
+
+	// Fast path: a stored result needs no admission — hits stay cheap
+	// and available even when the queue is saturated.
+	if body, ok := s.cache.Peek(key); ok {
+		s.eng.RecordStage("cache_hit", time.Since(t0))
+		s.emit(seq, route, "cache_hit", key, http.StatusOK, time.Since(t0))
+		writeBody(w, body, resultcache.Hit.String())
+		return
+	}
+
+	// Admission: take a token or shed. Tokens bound requests in the
+	// system (executing + waiting for a worker slot).
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		s.eng.RecordStage("shed", time.Since(t0))
+		s.emit(seq, route, "shed", key, http.StatusTooManyRequests, time.Since(t0))
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, apiv1.ErrorResponse{
+			Code:    apiv1.CodeOverloaded,
+			Message: fmt.Sprintf("admission queue full (%d in system)", cap(s.admit)),
+		})
+		return
+	}
+	s.admitted.Add(1)
+	s.inflight.Add(1)
+	defer func() {
+		<-s.admit
+		s.inflight.Add(-1)
+	}()
+	s.eng.RecordStage("admit", time.Since(t0))
+	s.emit(seq, route, "admit", key, 0, time.Since(t0))
+
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	body, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+		val, err := s.eng.Run(ctx, func(ctx context.Context) (any, error) {
+			if gate := s.testGate; gate != nil {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return compute(ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val.([]byte), nil
+	})
+	if err != nil {
+		status := writeErrorFor(w, err)
+		s.emit(seq, route, "error", key, status, time.Since(t0))
+		return
+	}
+	stage := "compute"
+	if outcome == resultcache.Coalesced {
+		stage = "coalesced"
+	}
+	s.eng.RecordStage(stage, time.Since(t0))
+	s.emit(seq, route, stage, key, http.StatusOK, time.Since(t0))
+	writeBody(w, body, outcome.String())
+}
+
+// handleBenchmarks serves GET /v1/benchmarks: the synthesized
+// Mediabench suite's Table 1 metadata. The body is computed once.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	s.benchOnce.Do(func() {
+		resp := apiv1.BenchmarksResponse{}
+		for _, b := range mediabench.All() {
+			resp.Benchmarks = append(resp.Benchmarks, apiv1.Benchmark{
+				Name:         b.Name,
+				Interleave:   b.Interleave,
+				Loops:        len(b.Loops),
+				MainDataSize: b.MainDataSize,
+				MainDataPct:  b.MainDataPct,
+				ProfileInput: b.ProfileInput,
+				ExecInput:    b.ExecInput,
+				InFigures:    b.InFigures(),
+			})
+		}
+		s.benchBody, s.benchErr = json.Marshal(resp)
+	})
+	if s.benchErr != nil {
+		writeErrorFor(w, s.benchErr)
+		return
+	}
+	writeBody(w, s.benchBody, "")
+}
+
+// healthState is the GET /healthz body. The endpoint bypasses
+// admission entirely, so it answers even when the queue is saturated.
+type healthState struct {
+	Status       string `json:"status"`
+	Draining     bool   `json:"draining"`
+	UptimeMillis int64  `json:"uptimeMillis"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := healthState{Status: "ok", Draining: s.draining.Load(),
+		UptimeMillis: time.Since(s.started).Milliseconds()}
+	if st.Draining {
+		st.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// serverMetrics is the server-level section of GET /metrics.
+type serverMetrics struct {
+	UptimeMillis  int64 `json:"uptimeMillis"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+	Inflight      int64 `json:"inflight"`
+	QueueCapacity int   `json:"queueCapacity"`
+	Workers       int   `json:"workers"`
+	Draining      bool  `json:"draining"`
+}
+
+// metricsBody assembles the full /metrics document: server counters,
+// result-cache counters (via the report export, fixed field order) and
+// the engine metrics with per-stage latency histogram summaries.
+type metricsBody struct {
+	Server serverMetrics   `json:"server"`
+	Cache  json.RawMessage `json:"cache"`
+	Engine json.RawMessage `json:"engine"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var cacheBuf, engineBuf bytes.Buffer
+	cs := s.cache.Stats()
+	if err := report.WriteCacheJSON(&cacheBuf, []report.CacheRecord{{
+		Name: "results", Hits: cs.Hits, Misses: cs.Misses, Coalesced: cs.Coalesced,
+		Puts: cs.Puts, Evictions: cs.Evictions, Oversized: cs.Oversized,
+		Entries: cs.Entries, Bytes: cs.Bytes, BudgetBytes: cs.BudgetBytes,
+	}}); err != nil {
+		writeErrorFor(w, err)
+		return
+	}
+	if err := report.WriteMetricsJSON(&engineBuf, []report.MetricsRecord{{
+		Name: "server", Metrics: s.eng.Metrics(),
+	}}); err != nil {
+		writeErrorFor(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, metricsBody{
+		Server: serverMetrics{
+			UptimeMillis:  time.Since(s.started).Milliseconds(),
+			Admitted:      s.admitted.Load(),
+			Shed:          s.shed.Load(),
+			Inflight:      s.inflight.Load(),
+			QueueCapacity: cap(s.admit),
+			Workers:       s.eng.Workers(),
+			Draining:      s.draining.Load(),
+		},
+		Cache:  bytes.TrimSpace(cacheBuf.Bytes()),
+		Engine: bytes.TrimSpace(engineBuf.Bytes()),
+	})
+}

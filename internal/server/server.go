@@ -1,0 +1,242 @@
+// Package server is the serving layer: paperserved's HTTP service
+// wrapping the scheduling + simulation pipeline in a production-shaped
+// stack — a versioned wire schema (internal/apiv1), a content-addressed
+// result cache with single-flight request coalescing
+// (internal/resultcache), and admission control in front of the
+// experiment engine's bounded worker pool.
+//
+// Request lifecycle (the admission-control state machine, see
+// DESIGN.md §11):
+//
+//	decode ──▶ cache hit? ──▶ serve stored bytes        (no admission)
+//	   │
+//	   ▼ miss
+//	admit ──▶ full? ──▶ shed: 429 + Retry-After
+//	   │
+//	   ▼ token held
+//	coalesce (single-flight) ──▶ queue (worker slot) ──▶ compute ──▶ cache
+//
+// Every stage emits an obs.RequestEvent and records its latency as an
+// engine stage histogram, surfaced at GET /metrics. Determinism makes
+// the cache exact: a hit's bytes are the bytes the populating miss
+// produced.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/engine"
+	"vliwcache/internal/obs"
+	"vliwcache/internal/resultcache"
+)
+
+// Defaults for the option-configurable limits.
+const (
+	DefaultQueueDepth      = 64
+	DefaultDeadline        = 30 * time.Second
+	DefaultMaxDeadline     = 2 * time.Minute
+	DefaultDrainTimeout    = 10 * time.Second
+	defaultRequestLogDepth = 1024
+)
+
+// Server is the paperserved HTTP service. Build one with New, mount
+// Handler on a listener (or call Serve/ListenAndServe), and stop it
+// with Shutdown for a graceful drain.
+type Server struct {
+	base        arch.Config
+	parallelism int
+	queueDepth  int
+	cacheBytes  int64
+
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	drainTimeout    time.Duration
+
+	eng   *engine.Engine
+	cache *resultcache.Cache
+	admit chan struct{} // admission tokens: workers + queue depth
+	sink  obs.RequestSink
+
+	seq      atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+	started  time.Time
+
+	benchOnce sync.Once
+	benchBody []byte
+	benchErr  error
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+
+	// testGate, when non-nil, blocks every computation until the gate
+	// closes (or the request context expires). Tests use it to hold
+	// requests in flight deterministically; production servers never
+	// set it.
+	testGate chan struct{}
+}
+
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithArch sets the base machine description requests start from
+// (default: the paper's Table 2 configuration). Named configs in a
+// request override it.
+func WithArch(cfg arch.Config) Option {
+	return func(s *Server) { s.base = cfg }
+}
+
+// WithParallelism bounds the worker pool computing responses.
+// Non-positive values (and the default) use runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(s *Server) { s.parallelism = n }
+}
+
+// WithQueueDepth bounds how many admitted requests may wait for a
+// worker slot beyond those executing. Zero means no waiting room (a
+// request is admitted only if a worker is expected to be free);
+// negative values are treated as zero. Default: DefaultQueueDepth.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth = n }
+}
+
+// WithCacheBytes sets the result cache's byte budget
+// (default: resultcache.DefaultBudget).
+func WithCacheBytes(n int64) Option {
+	return func(s *Server) { s.cacheBytes = n }
+}
+
+// WithDefaultDeadline sets the per-request deadline applied when a
+// request does not carry one (default: DefaultDeadline).
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(s *Server) { s.defaultDeadline = d }
+}
+
+// WithMaxDeadline caps the per-request deadline a client may ask for
+// (default: DefaultMaxDeadline).
+func WithMaxDeadline(d time.Duration) Option {
+	return func(s *Server) { s.maxDeadline = d }
+}
+
+// WithDrainTimeout bounds how long Shutdown waits for in-flight
+// requests before giving up (default: DefaultDrainTimeout).
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *Server) { s.drainTimeout = d }
+}
+
+// WithRequestSink installs a sink receiving one obs.RequestEvent per
+// request lifecycle stage. The default is a bounded in-memory log;
+// pass an explicit sink to export events elsewhere.
+func WithRequestSink(sink obs.RequestSink) Option {
+	return func(s *Server) { s.sink = sink }
+}
+
+// New builds a server. No listener is opened until Serve.
+func New(opts ...Option) *Server {
+	s := &Server{
+		base:            arch.Default(),
+		queueDepth:      DefaultQueueDepth,
+		defaultDeadline: DefaultDeadline,
+		maxDeadline:     DefaultMaxDeadline,
+		drainTimeout:    DefaultDrainTimeout,
+		started:         time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.queueDepth < 0 {
+		s.queueDepth = 0
+	}
+	if s.defaultDeadline <= 0 {
+		s.defaultDeadline = DefaultDeadline
+	}
+	if s.maxDeadline < s.defaultDeadline {
+		s.maxDeadline = s.defaultDeadline
+	}
+	if s.sink == nil {
+		s.sink = obs.NewRequestLog(defaultRequestLogDepth)
+	}
+	s.eng = engine.New(s.parallelism)
+	s.cache = resultcache.New(s.cacheBytes)
+	s.admit = make(chan struct{}, s.eng.Workers()+s.queueDepth)
+	return s
+}
+
+// Engine exposes the server's compute engine (for metrics assertions).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// CacheStats snapshots the result cache's counters.
+func (s *Server) CacheStats() resultcache.Stats { return s.cache.Stats() }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown (or a listener error).
+// Like http.Server.Serve it always returns a non-nil error; after a
+// graceful Shutdown that error is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpMu.Lock()
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{Handler: s.Handler()}
+	}
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: new compute requests are refused with a
+// typed 503 (draining), idle connections close, and in-flight requests
+// get up to the drain timeout to finish. It is safe to call before
+// Serve (the server just marks itself draining).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if s.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.drainTimeout)
+		defer cancel()
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// emit sends one lifecycle event to the request sink.
+func (s *Server) emit(seq int64, route, stage, key string, status int, elapsed time.Duration) {
+	s.sink.EmitRequest(obs.RequestEvent{
+		Seq: seq, Route: route, Stage: stage, Key: key,
+		Status: status, Elapsed: elapsed,
+	})
+}

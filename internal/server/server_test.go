@@ -1,0 +1,630 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vliwcache/internal/apiv1"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/obs"
+)
+
+// daxpyJSON is a small well-formed loop in the interchange format.
+const daxpyJSON = `{
+  "name": "daxpy",
+  "trip": 50,
+  "symbols": [
+    {"name": "x", "base": 65536, "size": 1048576},
+    {"name": "y", "base": 524288, "size": 1048576}
+  ],
+  "ops": [
+    {"name": "ldx", "kind": "load", "dst": 0, "addr": {"base": "x", "stride": 8, "size": 8}},
+    {"name": "ldy", "kind": "load", "dst": 1, "addr": {"base": "y", "stride": 8, "size": 8}},
+    {"name": "mul", "kind": "fmul", "dst": 2, "srcs": [0, 1]},
+    {"name": "sty", "kind": "store", "srcs": [2], "addr": {"base": "y", "stride": 8, "size": 8}}
+  ]
+}`
+
+// infeasibleLoopJSON builds a loop whose recurrence exceeds the
+// scheduler's II budget (MaxII 1024): a loop-carried memory dependence
+// through a chain of ~1100 single-cycle-plus operations.
+func infeasibleLoopJSON(t *testing.T) []byte {
+	t.Helper()
+	b := ir.NewBuilder("hopeless")
+	b.Symbol("v", 0x10000, 1<<16)
+	b.Trip(10, 1)
+	r := b.Load("ld", ir.AddrExpr{Base: "v", Size: 8}) // stride 0: same address every iteration
+	for i := 0; i < 1100; i++ {
+		r = b.Arith(fmt.Sprintf("a%d", i), ir.KindAdd, r)
+	}
+	b.Store("st", ir.AddrExpr{Base: "v", Size: 8}, r)
+	data, err := ir.EncodeJSON(b.Loop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func scheduleBody(t *testing.T, mutate func(*apiv1.ScheduleRequest)) []byte {
+	t.Helper()
+	req := apiv1.ScheduleRequest{
+		Loop:          json.RawMessage(daxpyJSON),
+		Policy:        "mdc",
+		MaxIterations: 25,
+	}
+	if mutate != nil {
+		mutate(&req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// postQuiet is post for non-test goroutines (no *testing.T calls).
+func postQuiet(ts *httptest.Server, path string, body []byte) (int, []byte) {
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeError(t *testing.T, data []byte) apiv1.ErrorResponse {
+	t.Helper()
+	var e apiv1.ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body %q is not an ErrorResponse: %v", data, err)
+	}
+	return e
+}
+
+// TestHandlerErrors is the table test over the typed error surface.
+func TestHandlerErrors(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		path   string
+		body   []byte
+		status int
+		code   string
+	}{
+		{"malformed json", "/v1/schedule", []byte(`{"loop":`), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"missing loop", "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Loop = nil }), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"invalid loop", "/v1/schedule", []byte(`{"loop":{"name":"x","ops":[{"kind":"warp"}]},"policy":"mdc"}`), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"unknown policy", "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Policy = "strict" }), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"unknown heuristic", "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Heuristic = "fastest" }), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"unknown config", "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Config = "nobal+bus" }), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"negative caps", "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.MaxIterations = -1 }), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"simulate malformed", "/v1/simulate", []byte(`[`), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"infeasible II", "/v1/schedule", func() []byte {
+			req := apiv1.ScheduleRequest{Loop: infeasibleLoopJSON(t), Policy: "mdc"}
+			b, _ := json.Marshal(req)
+			return b
+		}(), http.StatusUnprocessableEntity, apiv1.CodeInfeasibleSchedule},
+		{"suite no variants", "/v1/suite", []byte(`{"benches":["pgpdec"]}`), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"suite bad variant", "/v1/suite", []byte(`{"variants":[{"policy":"warp"}]}`), http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"suite unknown bench", "/v1/suite", []byte(`{"benches":["quake3"],"variants":[{"policy":"mdc","heuristic":"prefclus"}]}`), http.StatusNotFound, apiv1.CodeUnknownBenchmark},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := post(t, ts, c.path, c.body)
+			if resp.StatusCode != c.status {
+				t.Fatalf("status = %d (%s), want %d", resp.StatusCode, data, c.status)
+			}
+			if e := decodeError(t, data); e.Code != c.code {
+				t.Errorf("code = %q, want %q", e.Code, c.code)
+			}
+		})
+	}
+}
+
+// TestScheduleDeterministicCacheHit proves a cache hit's body is
+// byte-identical to the miss that populated it, and that the X-Cache
+// header tells them apart.
+func TestScheduleDeterministicCacheHit(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.IncludeSchedule = true })
+	resp1, data1 := post(t, ts, "/v1/schedule", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("miss status = %d (%s)", resp1.StatusCode, data1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	resp2, data2 := post(t, ts, "/v1/schedule", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("hit status = %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatalf("cache hit is not byte-identical to the miss:\n%s\n%s", data1, data2)
+	}
+
+	var sr apiv1.ScheduleResponse
+	if err := json.Unmarshal(data1, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Loop != "daxpy" || sr.Policy != "mdc" || sr.II < 1 || sr.Stats.Cycles <= 0 || sr.Schedule == "" {
+		t.Errorf("response incomplete: %+v", sr)
+	}
+
+	// Canonicalization: a formatting-different but equivalent request
+	// addresses the same entry.
+	var loose map[string]any
+	if err := json.Unmarshal(body, &loose); err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := json.MarshalIndent(loose, "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3, data3 := post(t, ts, "/v1/schedule", reordered)
+	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("X-Cache") != "hit" {
+		t.Errorf("reformatted request must hit (status %d, X-Cache %q)",
+			resp3.StatusCode, resp3.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(data1, data3) {
+		t.Error("reformatted request served different bytes")
+	}
+
+	if st := srv.CacheStats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("cache stats = %+v", st)
+	}
+	if m := srv.Engine().Metrics(); m.Computed != 1 {
+		t.Errorf("engine computed %d tasks, want 1", m.Computed)
+	}
+}
+
+// TestCoalescing proves N concurrent identical requests execute exactly
+// one simulation: one leader computes while the rest coalesce onto its
+// flight, and everyone receives identical bytes.
+func TestCoalescing(t *testing.T) {
+	const n = 8
+	srv := New(WithParallelism(2), WithQueueDepth(2*n))
+	srv.testGate = make(chan struct{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := scheduleBody(t, nil)
+	type result struct {
+		status int
+		xcache string
+		data   []byte
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results[i] = result{0, "", nil}
+				return
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			results[i] = result{resp.StatusCode, resp.Header.Get("X-Cache"), data}
+		}(i)
+	}
+	// Hold the gate until every follower has coalesced onto the
+	// leader's flight, so the single-computation claim is meaningful.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.CacheStats().Coalesced != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: %+v", srv.CacheStats())
+		}
+		runtime.Gosched()
+	}
+	close(srv.testGate)
+	wg.Wait()
+
+	var misses, coalesced int
+	for i, r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, r.status, r.data)
+		}
+		if !bytes.Equal(r.data, results[0].data) {
+			t.Fatalf("request %d served different bytes", i)
+		}
+		switch r.xcache {
+		case "miss":
+			misses++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Errorf("request %d: X-Cache %q", i, r.xcache)
+		}
+	}
+	if misses != 1 || coalesced != n-1 {
+		t.Errorf("misses=%d coalesced=%d, want 1 and %d", misses, coalesced, n-1)
+	}
+	if m := srv.Engine().Metrics(); m.Computed != 1 {
+		t.Errorf("engine computed %d tasks, want exactly 1", m.Computed)
+	}
+	if st := srv.CacheStats(); st.Misses != 1 || st.Coalesced != n-1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+// TestAdmissionShed saturates the admission queue and checks the
+// contract: excess load is shed with 429 + Retry-After while /healthz
+// and /metrics stay live, and capacity freed by completion is reusable.
+func TestAdmissionShed(t *testing.T) {
+	srv := New(WithParallelism(1), WithQueueDepth(0)) // one request in the system
+	srv.testGate = make(chan struct{})
+	log := obs.NewRequestLog(64)
+	srv.sink = log
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	blocked := scheduleBody(t, nil)
+	done := make(chan int, 1)
+	go func() {
+		status, _ := postQuiet(ts, "/v1/schedule", blocked)
+		done <- status
+	}()
+	// Wait for the request to hold the only admission token.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.inflight.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		runtime.Gosched()
+	}
+
+	// A distinct request must be shed: 429, typed code, Retry-After.
+	distinct := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Policy = "ddgt" })
+	resp, data := post(t, ts, "/v1/schedule", distinct)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Code != apiv1.CodeOverloaded {
+		t.Errorf("code = %q", e.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+
+	// The health and metrics planes bypass admission.
+	hresp, hdata := get(t, ts, "/healthz")
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hdata), `"status":"ok"`) {
+		t.Errorf("healthz under saturation = %d (%s)", hresp.StatusCode, hdata)
+	}
+	mresp, _ := get(t, ts, "/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("metrics under saturation = %d", mresp.StatusCode)
+	}
+
+	close(srv.testGate)
+	if status := <-done; status != http.StatusOK {
+		t.Errorf("blocked request finished with %d", status)
+	}
+
+	// Capacity is back: the previously shed request now succeeds.
+	resp, data = post(t, ts, "/v1/schedule", distinct)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after drain: %d (%s)", resp.StatusCode, data)
+	}
+
+	// The lifecycle left typed events: at least one shed and one admit.
+	var sawShed, sawAdmit bool
+	for _, e := range log.Events() {
+		switch e.Stage {
+		case "shed":
+			sawShed = true
+			if e.Status != http.StatusTooManyRequests {
+				t.Errorf("shed event status = %d", e.Status)
+			}
+		case "admit":
+			sawAdmit = true
+		}
+	}
+	if !sawShed || !sawAdmit {
+		t.Errorf("request log missing stages (shed=%t admit=%t): %+v", sawShed, sawAdmit, log.Events())
+	}
+	if srv.shed.Load() == 0 {
+		t.Error("shed counter not incremented")
+	}
+}
+
+// TestCacheHitBypassesAdmission: stored results are served even when
+// the queue is saturated.
+func TestCacheHitBypassesAdmission(t *testing.T) {
+	srv := New(WithParallelism(1), WithQueueDepth(0))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := scheduleBody(t, nil)
+	if resp, data := post(t, ts, "/v1/schedule", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("populate: %d (%s)", resp.StatusCode, data)
+	}
+
+	// Saturate with a gated request.
+	srv.testGate = make(chan struct{})
+	defer close(srv.testGate)
+	gated := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Policy = "free" })
+	go postQuiet(ts, "/v1/schedule", gated)
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.inflight.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gated request never admitted")
+		}
+		runtime.Gosched()
+	}
+
+	resp, _ := post(t, ts, "/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("saturated hit = %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+}
+
+// TestDeadline: a request whose deadline expires mid-computation gets
+// the typed 504.
+func TestDeadline(t *testing.T) {
+	srv := New(WithParallelism(1))
+	srv.testGate = make(chan struct{}) // never closed during the request
+	defer close(srv.testGate)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.DeadlineMillis = 50 })
+	resp, data := post(t, ts, "/v1/schedule", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Code != apiv1.CodeDeadlineExceeded {
+		t.Errorf("code = %q", e.Code)
+	}
+	// Nothing was cached: a retry recomputes rather than serving junk.
+	if st := srv.CacheStats(); st.Entries != 0 {
+		t.Errorf("failed computation cached: %+v", st)
+	}
+}
+
+// TestDrainingRefusesCompute: once shutdown begins, compute endpoints
+// return the typed 503 and healthz reports draining.
+func TestDrainingRefusesCompute(t *testing.T) {
+	srv := New(WithParallelism(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.draining.Store(true)
+	resp, data := post(t, ts, "/v1/schedule", scheduleBody(t, nil))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Code != apiv1.CodeDraining {
+		t.Errorf("code = %q", e.Code)
+	}
+	hresp, hdata := get(t, ts, "/healthz")
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hdata), `"draining":true`) {
+		t.Errorf("healthz while draining = %d (%s)", hresp.StatusCode, hdata)
+	}
+}
+
+// TestSimulateAndScheduleKeysDiffer: the endpoint namespace is part of
+// the content address, so /v1/simulate cannot serve /v1/schedule bytes.
+func TestSimulateAndScheduleKeysDiffer(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := scheduleBody(t, nil)
+	_, sched := post(t, ts, "/v1/schedule", body)
+	resp, simData := post(t, ts, "/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d (%s)", resp.StatusCode, simData)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Errorf("simulate after schedule must miss, got %q", resp.Header.Get("X-Cache"))
+	}
+	var sr apiv1.SimulateResponse
+	if err := json.Unmarshal(simData, &sr); err != nil {
+		t.Fatal(err)
+	}
+	var fr apiv1.ScheduleResponse
+	if err := json.Unmarshal(sched, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Stats != fr.Stats {
+		t.Errorf("simulate stats differ from schedule stats:\n%+v\n%+v", sr.Stats, fr.Stats)
+	}
+}
+
+func TestSuiteEndpoint(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := []byte(`{"benches":["pgpdec","rasta"],"variants":[{"policy":"mdc","heuristic":"prefclus"},{"policy":"ddgt","heuristic":"mincoms"}],"maxIterations":50}`)
+	resp, data := post(t, ts, "/v1/suite", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite: %d (%s)", resp.StatusCode, data)
+	}
+	var sr apiv1.SuiteResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(sr.Cells))
+	}
+	// Canonical order: benches outer (request order), variants inner.
+	want := []string{"pgpdec/mdc", "pgpdec/ddgt", "rasta/mdc", "rasta/ddgt"}
+	for i, c := range sr.Cells {
+		if got := c.Bench + "/" + c.Policy; got != want[i] {
+			t.Errorf("cell %d = %s, want %s", i, got, want[i])
+		}
+		if len(c.Loops) == 0 || c.Total.Cycles <= 0 {
+			t.Errorf("cell %d empty: %+v", i, c)
+		}
+	}
+
+	// Identical grid request: cache hit, byte-identical.
+	resp2, data2 := post(t, ts, "/v1/suite", body)
+	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(data, data2) {
+		t.Error("identical suite request must serve identical cached bytes")
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := get(t, ts, "/v1/benchmarks")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("benchmarks: %d", resp.StatusCode)
+	}
+	var br apiv1.BenchmarksResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Benchmarks) < 10 {
+		t.Fatalf("only %d benchmarks", len(br.Benchmarks))
+	}
+	var sawPgp bool
+	for _, b := range br.Benchmarks {
+		if b.Name == "pgpdec" {
+			sawPgp = true
+			if b.Loops == 0 || b.Interleave == 0 {
+				t.Errorf("pgpdec metadata empty: %+v", b)
+			}
+		}
+	}
+	if !sawPgp {
+		t.Error("pgpdec missing")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post(t, ts, "/v1/schedule", scheduleBody(t, nil))
+	post(t, ts, "/v1/schedule", scheduleBody(t, nil)) // hit
+
+	resp, data := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var m struct {
+		Server struct {
+			Admitted      int64 `json:"admitted"`
+			QueueCapacity int   `json:"queueCapacity"`
+			Workers       int   `json:"workers"`
+		} `json:"server"`
+		Cache []struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		Engine []struct {
+			Name   string `json:"name"`
+			Stages []struct {
+				Stage string `json:"stage"`
+			} `json:"stages"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("metrics body not parseable: %v\n%s", err, data)
+	}
+	if m.Server.Admitted != 1 || m.Server.Workers != 2 {
+		t.Errorf("server section = %+v", m.Server)
+	}
+	if len(m.Cache) != 1 || m.Cache[0].Hits != 1 || m.Cache[0].Misses != 1 {
+		t.Errorf("cache section = %+v", m.Cache)
+	}
+	if len(m.Engine) != 1 {
+		t.Fatalf("engine section = %+v", m.Engine)
+	}
+	stages := map[string]bool{}
+	for _, st := range m.Engine[0].Stages {
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{"admit", "cache_hit", "compute", "queue", "simulate"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from engine metrics (have %v)", want, stages)
+		}
+	}
+}
+
+// TestLRUEvictionAcrossRequests: a byte budget small enough for one
+// response evicts the older entry.
+func TestLRUEvictionAcrossRequests(t *testing.T) {
+	srv := New(WithParallelism(1), WithCacheBytes(700))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	a := scheduleBody(t, nil)
+	b := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Policy = "ddgt" })
+	post(t, ts, "/v1/schedule", a)
+	post(t, ts, "/v1/schedule", b) // evicts a
+	resp, _ := post(t, ts, "/v1/schedule", a)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("evicted entry served as %q, want miss", got)
+	}
+	if st := srv.CacheStats(); st.Evictions == 0 {
+		t.Errorf("no evictions recorded: %+v", st)
+	}
+}
+
+func TestRequestLogRing(t *testing.T) {
+	l := obs.NewRequestLog(2)
+	for i := 1; i <= 3; i++ {
+		l.EmitRequest(obs.RequestEvent{Seq: int64(i)})
+	}
+	ev := l.Events()
+	if l.Total() != 3 || len(ev) != 2 || ev[0].Seq != 2 || ev[1].Seq != 3 {
+		t.Errorf("ring = %+v (total %d)", ev, l.Total())
+	}
+}
