@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs check-deprecated serve-smoke
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs check-deprecated oracle-smoke serve-smoke
 
 all: build
 
@@ -10,7 +10,7 @@ all: build
 # corpora, the observability reconciliation + overhead guard, the
 # perf-regression gate against the committed baseline, the
 # deprecated-symbol gate, and the serving-layer smoke test.
-check: vet race chaos fuzz-smoke obs bench-check check-deprecated serve-smoke
+check: vet race chaos fuzz-smoke obs bench-check check-deprecated oracle-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,14 +78,17 @@ bench-check:
 
 # check-deprecated fails when new code uses the deprecated pre-v1
 # spellings (ExecOptions literals, Suite.CellCtx, sim.RunCtx call
-# sites). The shims themselves live in deprecated.go and stay covered by
-# deprecated_test.go; everything else must use the functional options
-# and the *Context spellings.
+# sites, and the Order enum spelling of scheduler selection — use
+# registry names like "prefclus-slack" instead). The shims themselves
+# live in deprecated.go and stay covered by deprecated_test.go; the
+# Order machinery itself lives in internal/sched; everything else must
+# use the functional options, the *Context spellings and registry names.
 check-deprecated:
-	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(' \
+	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(|\bOrderHeight\b|\bOrderSlack\b' \
 		--include='*.go' . \
 		| grep -v -e '^\./deprecated\.go:' -e '^\./deprecated_test\.go:' \
 		          -e '/sim/sim\.go:' -e '/experiments/suite\.go:' \
+		          -e '^\./internal/sched/' \
 		|| true); \
 	if [ -n "$$matches" ]; then \
 		echo "check-deprecated: migrate these call sites off the deprecated spellings:"; \
@@ -93,6 +96,15 @@ check-deprecated:
 		exit 1; \
 	fi; \
 	echo "check-deprecated: clean"
+
+# oracle-smoke pins the exact scheduler end to end: the three hand-built
+# known-optimal loops must close at their proven IIs, and one
+# budget-capped real benchmark loop must degrade to a deterministic
+# bound-only result. Output is diffed against a committed golden;
+# refresh with:
+#   go test -run TestOracleSmoke ./internal/oracle/ -update
+oracle-smoke:
+	$(GO) test -count=1 -run TestOracleSmoke -v ./internal/oracle/
 
 # serve-smoke is the paperserved end-to-end smoke: build the binary,
 # start it on an ephemeral port, POST the committed golden request, diff

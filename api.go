@@ -13,6 +13,7 @@ import (
 	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/obs"
+	"vliwcache/internal/oracle"
 	"vliwcache/internal/perfbench"
 	"vliwcache/internal/profiler"
 	"vliwcache/internal/report"
@@ -187,17 +188,27 @@ const (
 	MinComs  = sched.MinComs
 )
 
-// Order selects the scheduler's placement priority.
-type Order = sched.Order
-
-// Placement priority orders: Rau-style height or swing-style slack.
-const (
-	OrderHeight = sched.OrderHeight
-	OrderSlack  = sched.OrderSlack
-)
-
 // ModuloSchedule runs the clustered iterative modulo scheduler on a plan.
 func ModuloSchedule(p *Plan, opts ScheduleOptions) (*Schedule, error) { return sched.Run(p, opts) }
+
+// Scheduler is the pluggable scheduling interface: anything that turns a
+// prepared plan into a valid modulo schedule. Registered implementations
+// are selected by name — see SchedulerNames, WithScheduler and
+// WithPortfolio.
+type Scheduler = sched.Scheduler
+
+// SchedulerNames lists the registered schedulers, sorted: the paper's
+// heuristics ("prefclus", "mincoms"), their swing-ordered variants
+// ("prefclus-slack", "mincoms-slack"), the locality-aware assignment
+// ("locality") and the exact branch-and-bound oracle ("oracle").
+func SchedulerNames() []string { return sched.Names() }
+
+// ScheduleWith runs the named registered scheduler on a plan. Unknown
+// names wrap ErrUnknownScheduler; ctx cancellation is honored at II
+// boundaries (and inside the oracle's search).
+func ScheduleWith(ctx context.Context, name string, p *Plan, opts ScheduleOptions) (*Schedule, error) {
+	return sched.RunScheduler(ctx, name, p, opts)
+}
 
 // ValidateSchedule checks every invariant of a schedule (placement,
 // capacities, dependences, chain and replica constraints).
@@ -329,6 +340,47 @@ func WriteFaultsCSV(w io.Writer, recs []FaultExport) error { return report.Write
 // utilization, and the memory behaviour breakdown. stats may be nil.
 func Report(s *Schedule, stats *Stats) string { return report.Text(s, stats) }
 
+// Optimality gap (see internal/oracle and the gap experiment): the exact
+// branch-and-bound oracle proves per-loop lower bounds on the initiation
+// interval; the gap report compares every registered heuristic against
+// them.
+type (
+	// GapRow is one loop's optimality-gap record: proven lower bound,
+	// oracle II and status, and every heuristic's II.
+	GapRow = report.GapRow
+	// GapHeuristic is one heuristic scheduler's result on a loop.
+	GapHeuristic = report.GapHeuristic
+	// GapOptions configure GapReportContext (policy, oracle node budget,
+	// heuristic set).
+	GapOptions = experiments.GapOptions
+	// OracleBudgetError carries the oracle's best proven bound when its
+	// node budget ran out; retrieve it with errors.As from errors
+	// wrapping ErrOracleBudget.
+	OracleBudgetError = oracle.BudgetError
+)
+
+// Gap row statuses.
+const (
+	// GapClosed marks a loop the oracle solved to optimality.
+	GapClosed = report.GapClosed
+	// GapBoundOnly marks a loop where only the lower bound is proven.
+	GapBoundOnly = report.GapBoundOnly
+)
+
+// GapReportContext computes the optimality-gap rows for the named
+// benchmarks (nil = the full 14-benchmark suite): every registered
+// heuristic's II against the oracle's proven lower bound, per loop.
+// Output is deterministic — equal inputs yield byte-identical exports.
+func GapReportContext(ctx context.Context, cfg Config, benches []*Benchmark, opts GapOptions) ([]GapRow, error) {
+	return experiments.GapReport(ctx, cfg, benches, opts)
+}
+
+// WriteGapJSON serializes gap rows as an indented JSON array.
+func WriteGapJSON(w io.Writer, rows []GapRow) error { return report.WriteGapJSON(w, rows) }
+
+// WriteGapCSV serializes gap rows as CSV (one heuristic II column each).
+func WriteGapCSV(w io.Writer, rows []GapRow) error { return report.WriteGapCSV(w, rows) }
+
 // Workloads (see internal/mediabench).
 type (
 	// Benchmark is one synthesized Mediabench program.
@@ -374,6 +426,13 @@ var (
 	// ErrInfeasibleSchedule reports that a loop does not fit within the
 	// scheduler's II budget.
 	ErrInfeasibleSchedule = sched.ErrInfeasible
+	// ErrUnknownScheduler reports a scheduler name absent from the
+	// registry (WithScheduler, WithPortfolio, ScheduleWith).
+	ErrUnknownScheduler = sched.ErrUnknownScheduler
+	// ErrOracleBudget reports that the exact oracle exhausted its node
+	// budget before closing a loop; the result degrades to a proven
+	// lower bound (errors.As against *oracle.BudgetError for the bound).
+	ErrOracleBudget = oracle.ErrBudget
 )
 
 // PipelineError locates a failure inside the experiment grid: benchmark,
@@ -385,6 +444,8 @@ type settings struct {
 	arch        Config
 	policy      Policy
 	heuristic   Heuristic
+	scheduler   string
+	portfolio   []string
 	sim         SimOptions
 	parallelism int
 	tracer      func(TraceEvent)
@@ -425,6 +486,24 @@ func WithPolicy(p Policy) Option {
 // PrefClus).
 func WithHeuristic(h Heuristic) Option {
 	return optionFunc(func(s *settings) { s.heuristic = h })
+}
+
+// WithScheduler schedules with the named registered scheduler
+// ("oracle", "locality", "prefclus-slack", ...) instead of the
+// WithHeuristic enum. Unknown names surface as errors wrapping
+// ErrUnknownScheduler when the pipeline runs. Overrides WithHeuristic;
+// mutually exclusive with WithPortfolio (the last one set wins).
+func WithScheduler(name string) Option {
+	return optionFunc(func(s *settings) { s.scheduler, s.portfolio = name, nil })
+}
+
+// WithPortfolio races the named registered schedulers and keeps the best
+// valid schedule (tie-break: II, then schedule length, then name order).
+// A portfolio of one behaves exactly like WithScheduler with that name.
+func WithPortfolio(names ...string) Option {
+	return optionFunc(func(s *settings) {
+		s.scheduler, s.portfolio = "", append([]string(nil), names...)
+	})
 }
 
 // WithSimOptions sets the simulation options.
@@ -533,6 +612,12 @@ func NewSuite(cfg Config, opts ...Option) *Suite {
 	if s.failureHook != nil {
 		sopts = append(sopts, experiments.WithFailureHook(s.failureHook))
 	}
+	if s.scheduler != "" {
+		sopts = append(sopts, experiments.WithScheduler(s.scheduler))
+	}
+	if len(s.portfolio) > 0 {
+		sopts = append(sopts, experiments.WithPortfolio(s.portfolio...))
+	}
 	return experiments.NewSuite(cfg, sopts...)
 }
 
@@ -568,11 +653,25 @@ func ExecuteContext(ctx context.Context, l *Loop, opts ...Option) (*Result, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sc, err := sched.Run(plan, sched.Options{
+	sopts := sched.Options{
 		Arch:      s.arch,
 		Heuristic: s.heuristic,
 		Profile:   prof,
-	})
+	}
+	var sc *Schedule
+	switch {
+	case len(s.portfolio) > 0:
+		var p *sched.Portfolio
+		if p, err = sched.NewPortfolio(s.portfolio...); err == nil {
+			sc, err = p.Schedule(ctx, plan, sopts)
+		}
+	case s.scheduler != "":
+		sc, err = sched.RunScheduler(ctx, s.scheduler, plan, sopts)
+	default:
+		// The frozen enum path: byte-identical schedules and perf to the
+		// pre-registry scheduler.
+		sc, err = sched.Run(plan, sopts)
+	}
 	if err != nil {
 		return nil, err
 	}

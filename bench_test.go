@@ -384,11 +384,11 @@ func BenchmarkAblationOrdering(b *testing.B) {
 				b.Fatal(err)
 			}
 			prof := ProfileLoop(loop, cfg)
-			h, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: prof})
+			h, err := ScheduleWith(context.Background(), "prefclus", plan, ScheduleOptions{Arch: cfg, Profile: prof})
 			if err != nil {
 				b.Fatal(err)
 			}
-			s, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: prof, Order: OrderSlack})
+			s, err := ScheduleWith(context.Background(), "prefclus-slack", plan, ScheduleOptions{Arch: cfg, Profile: prof})
 			if err != nil {
 				b.Fatal(err)
 			}

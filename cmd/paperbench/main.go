@@ -15,6 +15,10 @@
 //	paperbench -maxiters 500         # quick run (cap iterations per loop)
 //	paperbench -parallel 4           # bound the worker pool (1 = serial)
 //	paperbench -pool=false           # fresh machine per run (no pooling)
+//	paperbench -scheduler locality   # schedule every cell with one registered scheduler
+//	paperbench -portfolio prefclus,mincoms,oracle  # race schedulers, keep the best
+//	paperbench -gap gap.json         # optimality-gap report (.csv = CSV, else JSON)
+//	paperbench -oracle-budget 100000 # cap the oracle's search nodes per loop
 //	paperbench -chaos -seed 7        # fault injection + coherence audit
 //	paperbench -cell-timeout 30s     # per-cell deadline (degraded mode)
 //	paperbench -v                    # engine metrics on stderr
@@ -28,6 +32,12 @@
 // With -trace, every simulated run appends to one JSONL stream; the
 // stream is byte-identical across runs of the same grid only under
 // -parallel 1 (workers interleave events otherwise).
+//
+// -portfolio and -chaos are mutually exclusive: chaos mode scores every
+// schedule a run produces against the coherence checker, but a portfolio
+// race keeps only the winning schedule, so the losers' behaviour under
+// fault injection would go unscored. Combining them is rejected with an
+// error instead of silently scoring only the winner.
 //
 // Exit codes: 0 every cell computed cleanly; 1 degraded (some cells failed
 // and were rendered as n/a, listed on stderr); 2 fatal (interrupted or a
@@ -52,6 +62,7 @@ import (
 	"vliwcache/internal/fault"
 	"vliwcache/internal/obs"
 	"vliwcache/internal/report"
+	"vliwcache/internal/sched"
 	"vliwcache/internal/sim"
 )
 
@@ -83,6 +94,10 @@ func main() {
 	maxIters := flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
 	parallel := flag.Int("parallel", 0, "worker pool size; 0 = one per core, 1 = serial")
 	pool := flag.Bool("pool", true, "reuse simulator machines across cells (allocation-free steady state)")
+	scheduler := flag.String("scheduler", "", "schedule every cell with this registered scheduler (see -gap output for names)")
+	portfolio := flag.String("portfolio", "", "comma-separated schedulers to race per cell, best schedule wins (incompatible with -chaos)")
+	gapFile := flag.String("gap", "", "write the per-benchmark optimality-gap report to this file (.csv = CSV, else JSON) and exit")
+	oracleBudget := flag.Int64("oracle-budget", 0, "cap the oracle's search nodes per loop in the -gap report (0 = default)")
 	chaos := flag.Bool("chaos", false, "inject seeded timing faults and audit coherence on every run")
 	seed := flag.Int64("seed", 1, "base seed for -chaos fault injection")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; expired cells render as n/a(timeout)")
@@ -94,6 +109,42 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile captured at exit to this file")
 	flag.Parse()
+
+	// Scheduler-selection validation happens before any work starts so a
+	// typo fails in milliseconds, not after a grid warm-up.
+	var portfolioNames []string
+	if *portfolio != "" {
+		for _, n := range strings.Split(*portfolio, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				portfolioNames = append(portfolioNames, n)
+			}
+		}
+	}
+	if *scheduler != "" && len(portfolioNames) > 0 {
+		fmt.Fprintln(os.Stderr, "paperbench: -scheduler and -portfolio are mutually exclusive")
+		os.Exit(2)
+	}
+	if len(portfolioNames) > 0 && *chaos {
+		// Chaos mode scores every schedule against the coherence checker;
+		// a portfolio race would leave the losing schedulers' schedules
+		// unscored. Refuse instead of silently scoring only the winner.
+		fmt.Fprintln(os.Stderr, "paperbench: -portfolio cannot be combined with -chaos: "+
+			"fault-injection scoring would only see each race's winning schedule; "+
+			"run the portfolio members separately with -scheduler instead")
+		os.Exit(2)
+	}
+	if *scheduler != "" {
+		if _, err := sched.Get(*scheduler); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(portfolioNames) > 0 {
+		if _, err := sched.NewPortfolio(portfolioNames...); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -146,6 +197,33 @@ func main() {
 		})
 	}
 
+	// -gap is its own mode: compute the optimality-gap report over the
+	// full 14-benchmark suite and exit. -scheduler narrows the heuristic
+	// columns to one; the oracle always runs.
+	if *gapFile != "" {
+		var gopts experiments.GapOptions
+		gopts.NodeBudget = *oracleBudget
+		if *scheduler != "" {
+			gopts.Schedulers = []string{*scheduler}
+		}
+		rows, err := experiments.GapReport(ctx, arch.Default(), nil, gopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: gap: %v\n", err)
+			exit(2)
+		}
+		exportTo(*gapFile,
+			func(w io.Writer) error { return report.WriteGapCSV(w, rows) },
+			func(w io.Writer) error { return report.WriteGapJSON(w, rows) })
+		closed := 0
+		for _, r := range rows {
+			if r.Status == report.GapClosed {
+				closed++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: gap: %d loops, %d closed by the oracle\n", len(rows), closed)
+		exit(0)
+	}
+
 	opts := sim.Options{MaxIterations: *maxIters}
 	if *chaos {
 		opts.CheckCoherence = true
@@ -162,6 +240,12 @@ func main() {
 	suiteOpts := []experiments.Option{
 		experiments.WithSimOptions(opts),
 		experiments.WithParallelism(*parallel),
+	}
+	if *scheduler != "" {
+		suiteOpts = append(suiteOpts, experiments.WithScheduler(*scheduler))
+	}
+	if len(portfolioNames) > 0 {
+		suiteOpts = append(suiteOpts, experiments.WithPortfolio(portfolioNames...))
 	}
 	if *pool {
 		// Size the pool like the worker pool: 0 lets it default to one

@@ -1,5 +1,7 @@
 package vliwcache
 
+import "vliwcache/internal/sched"
+
 // This file is the facade's consolidated pre-v1 compatibility surface.
 // Everything in it keeps old call sites compiling but has a canonical
 // replacement; nothing here gains features. The same convention applies
@@ -13,6 +15,25 @@ package vliwcache
 //     (Execute/ExecuteContext, Simulate/SimulateContext);
 //   - configuration is functional options named With*;
 //   - constructors are named New*.
+
+// Order selects the scheduler's placement priority.
+//
+// Deprecated: Order is the pre-registry spelling of scheduler selection.
+// The ordering is part of a scheduler's identity now — select it by
+// registry name instead: ScheduleWith / WithScheduler with "prefclus" or
+// "mincoms" for the height-ordered schedulers, "prefclus-slack" or
+// "mincoms-slack" for the swing-ordered ones. ScheduleOptions.Order
+// keeps working for ModuloSchedule call sites.
+type Order = sched.Order
+
+// Placement priority orders.
+//
+// Deprecated: use the registry names instead — OrderHeight is implied by
+// "prefclus"/"mincoms", OrderSlack by "prefclus-slack"/"mincoms-slack".
+const (
+	OrderHeight = sched.OrderHeight
+	OrderSlack  = sched.OrderSlack
+)
 
 // ExecOptions configure the one-call pipeline.
 //

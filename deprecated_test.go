@@ -1,6 +1,9 @@
 package vliwcache
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The tests in this file exercise the deprecated pre-v1 spellings on
 // purpose: the shims must keep compiling and behaving identically until
@@ -52,6 +55,31 @@ func TestExecOptionsZeroArchDefaults(t *testing.T) {
 	if legacy.Stats.Cycles() != modern.Stats.Cycles() || legacy.Schedule.II != modern.Schedule.II {
 		t.Errorf("zero-Arch shim (%d cycles, II=%d) differs from defaults (%d cycles, II=%d)",
 			legacy.Stats.Cycles(), legacy.Schedule.II, modern.Stats.Cycles(), modern.Schedule.II)
+	}
+}
+
+// TestOrderShimEquivalence pins the deprecated Order enum spelling to
+// its registry-name replacement bit for bit: ScheduleOptions.Order slack
+// must produce the same schedule as the "prefclus-slack" scheduler.
+func TestOrderShimEquivalence(t *testing.T) {
+	loop := exampleLoop()
+	cfg := DefaultConfig()
+	prof := ProfileLoop(loop, cfg)
+	plan, err := Prepare(loop, PolicyMDC, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := ModuloSchedule(plan, ScheduleOptions{Arch: cfg, Heuristic: PrefClus, Profile: prof, Order: OrderSlack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := ScheduleWith(context.Background(), "prefclus-slack", plan, ScheduleOptions{Arch: cfg, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.II != modern.II || legacy.Length != modern.Length {
+		t.Errorf("Order shim (II=%d len=%d) differs from registry name (II=%d len=%d)",
+			legacy.II, legacy.Length, modern.II, modern.Length)
 	}
 }
 

@@ -64,6 +64,16 @@ type ScheduleRequest struct {
 	// server default; values above the server maximum are clamped.
 	// The deadline does not participate in the result-cache key.
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+	// Scheduler, when set, schedules with the named registered scheduler
+	// ("oracle", "locality", "prefclus-slack", ...) instead of the
+	// Heuristic enum. Unknown names fail with a 422 unknown_scheduler
+	// error. Absent, the frozen v1 heuristic behavior applies.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Portfolio, when set, races the named registered schedulers and
+	// keeps the best valid schedule (tie-break: II, then schedule length,
+	// then name order). Mutually exclusive with Scheduler. A portfolio of
+	// one behaves exactly like Scheduler with that name.
+	Portfolio []string `json:"portfolio,omitempty"`
 }
 
 // ScheduleResponse is the outcome of POST /v1/schedule.
@@ -79,6 +89,11 @@ type ScheduleResponse struct {
 	Stats Stats `json:"stats"`
 	// Schedule is the rendered modulo schedule (IncludeSchedule only).
 	Schedule string `json:"schedule,omitempty"`
+	// Scheduler echoes the effective scheduler selection — the request's
+	// scheduler name, or "portfolio(a+b+...)" for a portfolio race.
+	// Absent when the request used the frozen heuristic path, so legacy
+	// response bytes are unchanged.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 // SimulateResponse is the outcome of POST /v1/simulate: the statistics
@@ -151,6 +166,12 @@ type SuiteRequest struct {
 	FaultSeed int64 `json:"faultSeed,omitempty"`
 	// DeadlineMillis bounds the request's wall time (see ScheduleRequest).
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+	// Scheduler, when set, schedules every cell with the named registered
+	// scheduler instead of each variant's heuristic (see ScheduleRequest).
+	Scheduler string `json:"scheduler,omitempty"`
+	// Portfolio, when set, races the named schedulers on every cell.
+	// Mutually exclusive with Scheduler.
+	Portfolio []string `json:"portfolio,omitempty"`
 }
 
 // SuiteResponse carries the computed grid in canonical cell order
@@ -166,6 +187,9 @@ type SuiteCell struct {
 	Heuristic string    `json:"heuristic"`
 	Loops     []LoopRun `json:"loops"`
 	Total     Stats     `json:"total"`
+	// Scheduler echoes the request-level scheduler selection (see
+	// ScheduleResponse.Scheduler). Absent for frozen-path requests.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 // LoopRun is one loop's outcome inside a suite cell.
@@ -191,6 +215,32 @@ type Benchmark struct {
 	ProfileInput string  `json:"profileInput"`
 	ExecInput    string  `json:"execInput"`
 	InFigures    bool    `json:"inFigures"`
+}
+
+// ValidateSchedulers checks a request's scheduler selection: scheduler
+// and portfolio are mutually exclusive, and every name must be in the
+// sched registry (unknown names wrap sched.ErrUnknownScheduler, the
+// CodeUnknownScheduler case). It returns the selection's response label
+// — the scheduler name, "portfolio(a+b)", or "" when nothing was
+// selected and the frozen v1 behavior applies.
+func ValidateSchedulers(scheduler string, portfolio []string) (string, error) {
+	if scheduler != "" && len(portfolio) > 0 {
+		return "", fmt.Errorf("scheduler and portfolio are mutually exclusive")
+	}
+	if scheduler != "" {
+		if _, err := sched.Get(scheduler); err != nil {
+			return "", err
+		}
+		return scheduler, nil
+	}
+	if len(portfolio) > 0 {
+		p, err := sched.NewPortfolio(portfolio...)
+		if err != nil {
+			return "", err
+		}
+		return p.Name(), nil
+	}
+	return "", nil
 }
 
 // ParsePolicy maps a wire policy name onto core.Policy. Names are

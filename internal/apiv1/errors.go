@@ -31,6 +31,9 @@ const (
 	// CodeInfeasibleSchedule: the loop does not fit within the
 	// scheduler's II budget.
 	CodeInfeasibleSchedule = "infeasible_schedule" // 422
+	// CodeUnknownScheduler: the request named a scheduler (or portfolio
+	// member) absent from the registry.
+	CodeUnknownScheduler = "unknown_scheduler" // 422
 	// CodePipelineFailure: a pipeline stage failed for a reason other
 	// than infeasibility; Details locates the stage.
 	CodePipelineFailure = "pipeline_failure" // 422
@@ -54,7 +57,7 @@ func StatusOf(code string) int {
 		return http.StatusBadRequest
 	case CodeUnknownBenchmark:
 		return http.StatusNotFound
-	case CodeInfeasibleSchedule, CodePipelineFailure:
+	case CodeInfeasibleSchedule, CodeUnknownScheduler, CodePipelineFailure:
 		return http.StatusUnprocessableEntity
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
@@ -76,6 +79,8 @@ func ErrorFor(err error) (int, ErrorResponse) {
 	switch {
 	case errors.Is(err, mediabench.ErrUnknownBenchmark):
 		resp.Code = CodeUnknownBenchmark
+	case errors.Is(err, sched.ErrUnknownScheduler):
+		resp.Code = CodeUnknownScheduler
 	case errors.Is(err, sched.ErrInfeasible):
 		resp.Code = CodeInfeasibleSchedule
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/oracle"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/report"
+	"vliwcache/internal/sched"
+)
+
+// The optimality-gap experiment: for every loop of every benchmark, run
+// each registered heuristic scheduler and the exact oracle, and report the
+// heuristic initiation intervals against the oracle's proven lower bound.
+// Loops the oracle closes within its node budget carry a certified gap;
+// the rest carry the admissible bound only. Output order and content are
+// deterministic — the same inputs produce byte-identical reports, which is
+// what `make oracle-smoke` diffs.
+
+// GapOptions configure a gap report.
+type GapOptions struct {
+	// Policy is the coherence policy the gap is computed under (default
+	// PolicyMDC — the paper's primary sound configuration).
+	Policy core.Policy
+
+	// NodeBudget caps the oracle's search per loop (default
+	// oracle.DefaultNodeBudget). Loops exceeding it report
+	// report.GapBoundOnly.
+	NodeBudget int64
+
+	// Schedulers names the heuristics to compare (default: every
+	// registered scheduler except the oracle, sorted by name).
+	Schedulers []string
+}
+
+func (o GapOptions) withDefaults() GapOptions {
+	if o.Policy == 0 {
+		o.Policy = core.PolicyMDC
+	}
+	if o.NodeBudget == 0 {
+		o.NodeBudget = oracle.DefaultNodeBudget
+	}
+	if o.Schedulers == nil {
+		for _, n := range sched.Names() {
+			if n != sched.NameOracle {
+				o.Schedulers = append(o.Schedulers, n)
+			}
+		}
+	}
+	return o
+}
+
+// GapReport computes the optimality-gap rows for the given benchmarks
+// (nil means the full 14-benchmark suite) on the base configuration. Rows
+// come back in benchmark order, loops in program order. ctx cancellation
+// is honored between oracle searches.
+func GapReport(ctx context.Context, base arch.Config, benches []*mediabench.Benchmark, opts GapOptions) ([]report.GapRow, error) {
+	opts = opts.withDefaults()
+	if benches == nil {
+		benches = mediabench.All()
+	}
+	var rows []report.GapRow
+	for _, b := range benches {
+		cfg := base.WithInterleave(b.Interleave)
+		for _, loop := range b.Loops {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			row, err := gapRow(ctx, loop, b.Name, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func gapRow(ctx context.Context, loop *ir.Loop, benchName string, cfg arch.Config, opts GapOptions) (*report.GapRow, error) {
+	plan, err := core.Prepare(loop, opts.Policy, cfg.NumClusters)
+	if err != nil {
+		return nil, err
+	}
+	prof := profiler.Run(loop, cfg)
+	row := &report.GapRow{
+		Bench:  benchName,
+		Loop:   loop.Name,
+		Policy: opts.Policy.String(),
+	}
+	for _, name := range opts.Schedulers {
+		sc, err := sched.RunScheduler(ctx, name, plan, sched.Options{Arch: cfg, Profile: prof})
+		ii := 0
+		if err == nil {
+			ii = sc.II
+		} else if errors.Is(err, sched.ErrUnknownScheduler) || ctx.Err() != nil {
+			return nil, err
+		}
+		row.Heuristics = append(row.Heuristics, report.GapHeuristic{Name: name, II: ii})
+	}
+	res, err := oracle.Solve(ctx, plan, oracle.Options{Arch: cfg, NodeBudget: opts.NodeBudget})
+	if err != nil && !errors.Is(err, oracle.ErrBudget) && !errors.Is(err, sched.ErrInfeasible) {
+		return nil, err
+	}
+	row.LowerBound, row.Nodes = res.LowerBound, res.Nodes
+	row.OracleII = res.II
+	if res.Closed {
+		row.Status = report.GapClosed
+	} else {
+		row.Status = report.GapBoundOnly
+	}
+	return row, nil
+}

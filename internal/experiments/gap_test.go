@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/report"
+)
+
+func TestGapReportSingleBenchmark(t *testing.T) {
+	b, err := mediabench.Get("rasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := GapReport(context.Background(), arch.Default(), []*mediabench.Benchmark{b}, GapOptions{NodeBudget: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(b.Loops) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(b.Loops))
+	}
+	for _, r := range rows {
+		if r.LowerBound < 1 {
+			t.Errorf("%s/%s: lower bound %d", r.Bench, r.Loop, r.LowerBound)
+		}
+		if r.Status != report.GapClosed && r.Status != report.GapBoundOnly {
+			t.Errorf("%s/%s: status %q", r.Bench, r.Loop, r.Status)
+		}
+		if r.Status == report.GapClosed {
+			if r.OracleII != r.LowerBound {
+				t.Errorf("%s/%s: closed but II %d != bound %d", r.Bench, r.Loop, r.OracleII, r.LowerBound)
+			}
+			// Optimality: no heuristic may beat a closed oracle.
+			for _, h := range r.Heuristics {
+				if h.II > 0 && h.II < r.OracleII {
+					t.Errorf("%s/%s: heuristic %s II %d beats closed oracle II %d",
+						r.Bench, r.Loop, h.Name, h.II, r.OracleII)
+				}
+			}
+		}
+		if len(r.Heuristics) != 5 {
+			t.Errorf("%s/%s: %d heuristics, want 5", r.Bench, r.Loop, len(r.Heuristics))
+		}
+	}
+
+	// The writers must accept what the experiment produces.
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := report.WriteGapJSON(&jsonBuf, rows); err != nil {
+		t.Fatalf("WriteGapJSON: %v", err)
+	}
+	if err := report.WriteGapCSV(&csvBuf, rows); err != nil {
+		t.Fatalf("WriteGapCSV: %v", err)
+	}
+
+	// Determinism: a second computation yields byte-identical exports.
+	rows2, err := GapReport(context.Background(), arch.Default(), []*mediabench.Benchmark{b}, GapOptions{NodeBudget: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf2 bytes.Buffer
+	if err := report.WriteGapJSON(&jsonBuf2, rows2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonBuf.Bytes(), jsonBuf2.Bytes()) {
+		t.Error("gap report is not deterministic")
+	}
+}

@@ -34,22 +34,40 @@ import (
 	"vliwcache/internal/sim"
 )
 
-// Variant identifies one (policy, heuristic) combination.
+// Variant identifies one (policy, scheduler) combination. The scheduler is
+// named either by the legacy Heuristic enum (the paper's variants) or by a
+// registry name in Scheduler, which takes precedence when set.
 type Variant struct {
 	Policy    core.Policy
 	Heuristic sched.Heuristic
+
+	// Scheduler, when non-empty, selects a registered scheduler by name
+	// ("oracle", "locality", "prefclus-slack", ...) instead of the
+	// Heuristic enum. The empty value preserves the pre-registry behavior
+	// — and the pre-registry cell-key format — exactly.
+	Scheduler string
 }
 
-func (v Variant) String() string { return fmt.Sprintf("%s(%s)", v.Policy, v.Heuristic) }
+// String renders the cell-key form of the variant. The historical
+// "Policy(Heuristic)" format is kept verbatim for enum variants — engine
+// memo keys and serving cache keys are derived from it — and named
+// schedulers render as "Policy(name)" (registry names are lower-case, so
+// the two spellings cannot collide).
+func (v Variant) String() string {
+	if v.Scheduler != "" {
+		return fmt.Sprintf("%s(%s)", v.Policy, v.Scheduler)
+	}
+	return fmt.Sprintf("%s(%s)", v.Policy, v.Heuristic)
+}
 
 // The paper's variants.
 var (
-	FreeMinComs  = Variant{core.PolicyFree, sched.MinComs}  // the optimistic baseline
-	FreePrefClus = Variant{core.PolicyFree, sched.PrefClus} // Figure 6 bar (i)
-	MDCPrefClus  = Variant{core.PolicyMDC, sched.PrefClus}
-	MDCMinComs   = Variant{core.PolicyMDC, sched.MinComs}
-	DDGTPrefClus = Variant{core.PolicyDDGT, sched.PrefClus}
-	DDGTMinComs  = Variant{core.PolicyDDGT, sched.MinComs}
+	FreeMinComs  = Variant{Policy: core.PolicyFree, Heuristic: sched.MinComs}  // the optimistic baseline
+	FreePrefClus = Variant{Policy: core.PolicyFree, Heuristic: sched.PrefClus} // Figure 6 bar (i)
+	MDCPrefClus  = Variant{Policy: core.PolicyMDC, Heuristic: sched.PrefClus}
+	MDCMinComs   = Variant{Policy: core.PolicyMDC, Heuristic: sched.MinComs}
+	DDGTPrefClus = Variant{Policy: core.PolicyDDGT, Heuristic: sched.PrefClus}
+	DDGTMinComs  = Variant{Policy: core.PolicyDDGT, Heuristic: sched.MinComs}
 )
 
 // LoopRun is one loop's outcome under one variant.
@@ -106,6 +124,13 @@ type Suite struct {
 	tracer      func(TraceEvent)
 	observer    Observer
 	pool        *sim.Pool
+
+	// Scheduler selection. scheduler overrides the per-variant enums with
+	// one registered scheduler; portfolio races several and keeps the best
+	// schedule. A Variant.Scheduler set on the cell wins over both. All
+	// empty (the default) runs the legacy enum path on the hot path.
+	scheduler string
+	portfolio []string
 
 	// Degraded-mode state (chaos mode). When degraded is set, a cell that
 	// fails — pipeline error, panic, deadline — is recorded instead of
@@ -178,6 +203,22 @@ func WithObserver(o Observer) Option {
 // Pool traffic shows up in Metrics as PoolRuns / PoolReuses.
 func WithMachinePool(n int) Option {
 	return func(s *Suite) { s.pool = sim.NewPool(n) }
+}
+
+// WithScheduler makes the suite schedule every cell with the named
+// registered scheduler ("oracle", "locality", "prefclus-slack", ...)
+// instead of the variant's Heuristic enum. Unknown names surface as
+// schedule-stage pipeline errors wrapping sched.ErrUnknownScheduler.
+func WithScheduler(name string) Option {
+	return func(s *Suite) { s.scheduler = name }
+}
+
+// WithPortfolio makes the suite race the named registered schedulers on
+// every cell and keep the best valid schedule (tie-break: II, then
+// schedule length, then name order — see sched.Portfolio). A portfolio of
+// one behaves exactly like WithScheduler with that name.
+func WithPortfolio(names ...string) Option {
+	return func(s *Suite) { s.portfolio = append([]string(nil), names...) }
 }
 
 // WithCellTimeout bounds the wall time of each cell computation. A cell
@@ -279,7 +320,7 @@ func (s *Suite) CellCtx(ctx context.Context, bench string, v Variant) (*Cell, er
 // one computation, and later callers get the cached cell. ctx cancellation
 // is honored at pipeline stage boundaries.
 func (s *Suite) CellContext(ctx context.Context, bench string, v Variant) (*Cell, error) {
-	key := bench + "/" + v.String()
+	key := bench + "/" + v.String() + s.schedulerKey()
 	val, err := s.engine().Do(ctx, key, func(ctx context.Context) (any, error) {
 		return s.computeCell(ctx, bench, v)
 	})
@@ -453,7 +494,7 @@ func (s *Suite) runPipeline(ctx context.Context, loop *ir.Loop, cfg arch.Config,
 		return nil, err
 	}
 	t0 = time.Now()
-	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: v.Heuristic, Profile: prof})
+	sc, err := s.schedule(ctx, plan, sched.Options{Arch: cfg, Heuristic: v.Heuristic, Profile: prof}, v)
 	stageDone("schedule", t0, err)
 	if err != nil {
 		return fail("schedule", err)
@@ -479,15 +520,57 @@ func (s *Suite) runPipeline(ctx context.Context, loop *ir.Loop, cfg arch.Config,
 	return &PipelineResult{Plan: plan, Profile: prof, Schedule: sc, Stats: st}, nil
 }
 
+// schedulerKey is the suffix distinguishing engine memo keys when a
+// suite-level scheduler or portfolio is in force. Empty in the default
+// configuration, so legacy keys — and everything derived from them — are
+// unchanged; with a scheduler set, suites sharing one engine (WithEngine)
+// cannot collide on cells scheduled differently.
+func (s *Suite) schedulerKey() string {
+	switch {
+	case len(s.portfolio) > 0:
+		key := "@portfolio="
+		for i, n := range s.portfolio {
+			if i > 0 {
+				key += "+"
+			}
+			key += n
+		}
+		return key
+	case s.scheduler != "":
+		return "@scheduler=" + s.scheduler
+	}
+	return ""
+}
+
+// schedule dispatches the schedule stage: an explicit Variant.Scheduler
+// wins, then the suite's portfolio or scheduler, and with none of those
+// set the legacy enum path runs — byte-identical to the pre-registry
+// scheduler, keeping the hot path and its perf baseline intact.
+func (s *Suite) schedule(ctx context.Context, plan *core.Plan, opts sched.Options, v Variant) (*sched.Schedule, error) {
+	switch {
+	case v.Scheduler != "":
+		return sched.RunScheduler(ctx, v.Scheduler, plan, opts)
+	case len(s.portfolio) > 0:
+		p, err := sched.NewPortfolio(s.portfolio...)
+		if err != nil {
+			return nil, err
+		}
+		return p.Schedule(ctx, plan, opts)
+	case s.scheduler != "":
+		return sched.RunScheduler(ctx, s.scheduler, plan, opts)
+	}
+	return sched.Run(plan, opts)
+}
+
 // RunHybridContext implements the per-loop hybrid of §6 (further work):
 // both MDC and DDGT are scheduled and simulated and the faster one is kept
 // per loop.
 func RunHybridContext(ctx context.Context, loop *ir.Loop, cfg arch.Config, h sched.Heuristic, opts sim.Options) (*LoopRun, error) {
-	mdc, err := RunLoopContext(ctx, loop, cfg, Variant{core.PolicyMDC, h}, opts)
+	mdc, err := RunLoopContext(ctx, loop, cfg, Variant{Policy: core.PolicyMDC, Heuristic: h}, opts)
 	if err != nil {
 		return nil, err
 	}
-	dt, err := RunLoopContext(ctx, loop, cfg, Variant{core.PolicyDDGT, h}, opts)
+	dt, err := RunLoopContext(ctx, loop, cfg, Variant{Policy: core.PolicyDDGT, Heuristic: h}, opts)
 	if err != nil {
 		return nil, err
 	}

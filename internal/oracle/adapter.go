@@ -1,0 +1,42 @@
+package oracle
+
+import (
+	"context"
+
+	"vliwcache/internal/core"
+	"vliwcache/internal/sched"
+)
+
+// Scheduler adapts the exact solver to the sched.Scheduler interface.
+// Importing this package is what registers "oracle" in the scheduler
+// registry (database/sql-driver style): the experiments package imports
+// it, so every binary built on experiments can resolve the name.
+type Scheduler struct {
+	// NodeBudget overrides the search budget (default DefaultNodeBudget).
+	NodeBudget int64
+}
+
+// Name returns the registry name "oracle".
+func (Scheduler) Name() string { return sched.NameOracle }
+
+// Schedule solves the plan exactly. MaxII carries over from the sched
+// options when set; the heuristic-specific Budget field does not (the
+// oracle's budget is in search nodes, not placement attempts per II).
+// Budget exhaustion returns a *BudgetError even when a non-optimal
+// schedule was found — a portfolio treats that as this member failing,
+// and a direct caller who wants the inexact schedule uses Solve.
+func (o Scheduler) Schedule(ctx context.Context, plan *core.Plan, opts sched.Options) (*sched.Schedule, error) {
+	res, err := Solve(ctx, plan, Options{
+		Arch:       opts.Arch,
+		MaxII:      opts.MaxII,
+		NodeBudget: o.NodeBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+func init() {
+	sched.MustRegister(Scheduler{})
+}

@@ -1,0 +1,584 @@
+// Package oracle implements an exact branch-and-bound modulo scheduler
+// for small loops. It searches cluster assignment and slot placement
+// jointly over the modulo reservation table (per-cluster functional units
+// plus the shared register buses, with cross-cluster register flow paying
+// the bus latency), pruning with the admissible lower bound
+// max(ResMII, RecMII). A node budget and context cancellation make it
+// degrade to "bound only" instead of hanging on loops beyond its reach.
+//
+// The oracle prices memory latencies through the same cache-sensitive
+// assignment as the heuristic schedulers (sched.AssignLatencies), so its
+// initiation intervals are directly comparable, and every schedule it
+// emits passes sched.Validate.
+//
+// Exactness contract: Closed is true only when the oracle finds a
+// schedule whose II equals the admissible lower bound — such a schedule
+// is provably optimal in II. A best schedule found at a higher II is an
+// upper bound only: the slot windows are searched exhaustively but copy
+// routing is greedy earliest-fit (a failed search at some II therefore
+// does not prove that II infeasible, and the oracle never claims it
+// does).
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/sched"
+)
+
+// ErrBudget reports that the search exhausted its node budget before
+// closing the instance. Errors carrying the best bound wrap it (see
+// BudgetError), so callers test with errors.Is.
+var ErrBudget = errors.New("oracle: node budget exhausted")
+
+// BudgetError is the typed budget-exhaustion error: the search stopped
+// after Nodes placement attempts with the admissible lower bound Bound
+// still open. It wraps ErrBudget.
+type BudgetError struct {
+	// Bound is the admissible lower bound on II at the time the budget
+	// ran out (max of ResMII and RecMII — never invalidated by more
+	// search).
+	Bound int
+	// Nodes is the number of placement attempts expended.
+	Nodes int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("oracle: node budget exhausted after %d nodes (lower bound II >= %d)", e.Nodes, e.Bound)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// DefaultNodeBudget bounds the search when Options.NodeBudget is zero.
+// It is sized so the hand-built known-optimal loops close in well under a
+// second while full media benchmark loops hit the budget and report
+// bound-only instead of stalling a suite run.
+const DefaultNodeBudget = 400_000
+
+// Options configure an exact solve.
+type Options struct {
+	Arch arch.Config
+
+	// MaxII caps the II escalation. Zero means LowerBound+7: the oracle
+	// exists to close instances at the bound; scanning far above it only
+	// burns budget that later IIs cannot repay.
+	MaxII int
+
+	// NodeBudget caps the total number of placement attempts across all
+	// candidate IIs (default DefaultNodeBudget). The budget is the knob
+	// between "exact" and "bound only".
+	NodeBudget int64
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// Schedule is the best schedule found, or nil when the search found
+	// none before the budget or II cap.
+	Schedule *sched.Schedule
+	// II is Schedule's initiation interval (0 when Schedule is nil).
+	II int
+	// LowerBound is the admissible bound max(ResMII, RecMII): no schedule
+	// of this loop on this machine has a smaller II.
+	LowerBound int
+	// Closed reports that II == LowerBound: Schedule is provably optimal
+	// in initiation interval.
+	Closed bool
+	// Nodes is the number of placement attempts expended.
+	Nodes int64
+}
+
+// Solve runs the exact search on a planned loop. On budget exhaustion it
+// returns a *BudgetError (wrapping ErrBudget) carrying the best bound; the
+// Result is still returned alongside so callers can use a non-optimal
+// schedule found before the budget ran out.
+func Solve(ctx context.Context, plan *core.Plan, opts Options) (*Result, error) {
+	if opts.NodeBudget == 0 {
+		opts.NodeBudget = DefaultNodeBudget
+	}
+	if err := sched.Precheck(plan, opts.Arch); err != nil {
+		return nil, err
+	}
+	lb, err := sched.MII(plan, opts.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: loop %q: %w", plan.Loop.Name, err)
+	}
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = lb + 7
+	}
+
+	res := &Result{LowerBound: lb}
+	for ii := lb; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		lat, ok := sched.AssignLatencies(plan, opts.Arch, ii)
+		if !ok {
+			continue
+		}
+		s, err := newSearcher(ctx, plan, opts.Arch, ii, lat, opts.NodeBudget-res.Nodes)
+		if err != nil {
+			continue // ii infeasible by recurrence analysis
+		}
+		found := s.solve()
+		res.Nodes += s.nodes
+		if found {
+			sc := s.emit()
+			if err := sched.Validate(sc); err != nil {
+				return nil, fmt.Errorf("oracle: internal error: emitted invalid schedule: %w", err)
+			}
+			res.Schedule, res.II, res.Closed = sc, ii, ii == lb
+			return res, nil
+		}
+		if s.err != nil {
+			if errors.Is(s.err, ErrBudget) {
+				return res, &BudgetError{Bound: lb, Nodes: res.Nodes}
+			}
+			return res, s.err // context cancellation
+		}
+	}
+	return res, fmt.Errorf("oracle: %w: loop %q not closed within II <= %d", sched.ErrInfeasible, plan.Loop.Name, maxII)
+}
+
+// searcher is the depth-first search state at one fixed II.
+type searcher struct {
+	ctx  context.Context
+	plan *core.Plan
+	cfg  arch.Config
+	ii   int
+	lat  []int
+
+	order []int // op IDs in placement order (height desc, ID asc)
+	asap  []int
+
+	cycle, cluster []int
+	chainCluster   []int
+	usage          []int // ops per cluster (for the symmetry break)
+
+	// fu[cluster][class][slot] counts reserved units.
+	fu  [][][]int
+	bus [][]int // bus[b][slot] = producer op ID or -1
+
+	copies map[copyKey]*transfer
+
+	symmetric bool // clusters interchangeable: symmetry break allowed
+
+	budget int64
+	nodes  int64
+	err    error // ErrBudget or ctx.Err() when the search stopped early
+}
+
+type copyKey struct{ producer, toCluster int }
+
+// transfer is one reserved inter-cluster value transfer, with enough
+// bookkeeping to undo user additions on backtrack.
+type transfer struct {
+	start, bus int
+	users      []int
+}
+
+func newSearcher(ctx context.Context, plan *core.Plan, cfg arch.Config, ii int, lat []int, budget int64) (*searcher, error) {
+	s := &searcher{
+		ctx:    ctx,
+		plan:   plan,
+		cfg:    cfg,
+		ii:     ii,
+		lat:    lat,
+		copies: make(map[copyKey]*transfer),
+		budget: budget,
+	}
+	lf := func(o *ir.Op) int { return lat[o.ID] }
+	asap, ok := plan.Graph.ASAP(ii, lf)
+	if !ok {
+		return nil, fmt.Errorf("oracle: II %d infeasible", ii)
+	}
+	s.asap = asap
+	heights, ok := plan.Graph.Heights(ii, lf)
+	if !ok {
+		return nil, fmt.Errorf("oracle: II %d infeasible", ii)
+	}
+	n := len(plan.Loop.Ops)
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		if heights[s.order[a]] != heights[s.order[b]] {
+			return heights[s.order[a]] > heights[s.order[b]]
+		}
+		return s.order[a] < s.order[b]
+	})
+
+	s.cycle = make([]int, n)
+	s.cluster = make([]int, n)
+	for i := range s.cycle {
+		s.cycle[i], s.cluster[i] = -1, -1
+	}
+	s.chainCluster = make([]int, len(plan.Chains))
+	for i := range s.chainCluster {
+		s.chainCluster[i] = -1
+	}
+	s.usage = make([]int, cfg.NumClusters)
+	s.fu = make([][][]int, cfg.NumClusters)
+	for c := range s.fu {
+		s.fu[c] = make([][]int, 3)
+		for k := range s.fu[c] {
+			s.fu[c][k] = make([]int, ii)
+		}
+	}
+	s.bus = make([][]int, cfg.RegBuses)
+	for b := range s.bus {
+		s.bus[b] = make([]int, ii)
+		for t := range s.bus[b] {
+			s.bus[b][t] = -1
+		}
+	}
+	// Clusters are interchangeable only when nothing pins an op to a
+	// specific physical cluster. (Profiles do not reach the oracle: it
+	// searches all assignments, so preferred clusters are irrelevant.)
+	s.symmetric = len(plan.ForceCluster) == 0 && len(plan.ReplicaGroups) == 0
+	return s, nil
+}
+
+// solve runs the DFS. It returns true when every op is placed; false when
+// the (window-bounded) search space is exhausted or the budget/context
+// stopped it (then s.err is set).
+func (s *searcher) solve() bool {
+	return s.place(0)
+}
+
+func (s *searcher) place(k int) bool {
+	if k == len(s.order) {
+		return true
+	}
+	u := s.order[k]
+	op := s.plan.Loop.Ops[u]
+
+	for _, c := range s.allowedClusters(u) {
+		lo, hi, ok := s.window(u, c)
+		if !ok {
+			continue
+		}
+		for t := lo; t <= hi; t++ {
+			s.nodes++
+			if s.nodes > s.budget {
+				s.err = ErrBudget
+				return false
+			}
+			if s.nodes%4096 == 0 {
+				if err := s.ctx.Err(); err != nil {
+					s.err = err
+					return false
+				}
+			}
+			if !s.fuFree(c, op.Kind.UnitClass(), t) {
+				continue
+			}
+			undo, ok := s.reserve(u, c, t)
+			if !ok {
+				continue
+			}
+			if s.place(k + 1) {
+				return true
+			}
+			undo()
+			if s.err != nil {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// allowedClusters returns the clusters op u may be assigned to, in
+// ascending order: the pinned cluster for DDGT replicas, the chain's
+// cluster when another member is already placed (MDC), otherwise all
+// clusters — truncated, when the machine is symmetric, to the used ones
+// plus the single lowest-numbered empty cluster (opening any other empty
+// cluster yields a schedule identical up to cluster renaming).
+func (s *searcher) allowedClusters(u int) []int {
+	if c, ok := s.plan.ForceCluster[u]; ok {
+		return []int{c}
+	}
+	if ci, ok := s.plan.ChainOf[u]; ok && s.chainCluster[ci] >= 0 {
+		return []int{s.chainCluster[ci]}
+	}
+	n := s.cfg.NumClusters
+	if s.symmetric {
+		used := 0
+		for c, cnt := range s.usage {
+			if cnt > 0 {
+				used = c + 1
+			}
+		}
+		if used < n {
+			n = used + 1
+		}
+	}
+	cs := make([]int, n)
+	for i := range cs {
+		cs[i] = i
+	}
+	return cs
+}
+
+// window computes the feasible cycle range for op u in cluster c from its
+// already-placed neighbors: predecessors bound it below (cross-cluster
+// register flow adds the bus latency), successors bound it above. The
+// range is clipped to II consecutive cycles — more would only revisit the
+// same modulo slots at longer flat cycles.
+func (s *searcher) window(u, c int) (lo, hi int, ok bool) {
+	lo = s.asap[u]
+	hi = 1<<31 - 1
+	bl := s.cfg.RegBusLatency
+	ops := s.plan.Loop.Ops
+	lf := func(o *ir.Op) int { return s.lat[o.ID] }
+	for _, e := range s.plan.Graph.In(u) {
+		if e.From == u || s.cycle[e.From] < 0 {
+			continue
+		}
+		w := ddg.EdgeLatency(e, ops, lf)
+		if e.Kind == ddg.RF && s.cluster[e.From] != c {
+			w += bl
+		}
+		if b := s.cycle[e.From] + w - s.ii*e.Dist; b > lo {
+			lo = b
+		}
+	}
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.To == u || s.cycle[e.To] < 0 {
+			continue
+		}
+		w := ddg.EdgeLatency(e, ops, lf)
+		if e.Kind == ddg.RF && s.cluster[e.To] != c {
+			w += bl
+		}
+		if b := s.cycle[e.To] - w + s.ii*e.Dist; b < hi {
+			hi = b
+		}
+	}
+	if cap := lo + s.ii - 1; cap < hi {
+		hi = cap
+	}
+	return lo, hi, lo <= hi
+}
+
+// reserve commits op u at (cluster c, cycle t): functional unit, chain
+// cluster, and the inter-cluster transfers its placed neighbors need.
+// Copy routing is greedy earliest-fit (see the package comment); on any
+// routing failure nothing is left reserved and ok is false. The returned
+// undo unwinds the whole placement.
+func (s *searcher) reserve(u, c, t int) (undo func(), ok bool) {
+	type freshCopy struct {
+		key copyKey
+		tr  *transfer
+	}
+	var fresh []freshCopy
+	var reused []copyKey
+	bl := s.cfg.RegBusLatency
+
+	unwindCopies := func() {
+		for _, k := range reused {
+			tr := s.copies[k]
+			tr.users = tr.users[:len(tr.users)-1]
+		}
+		for _, f := range fresh {
+			s.busRelease(f.tr.bus, f.tr.start)
+			delete(s.copies, f.key)
+		}
+	}
+
+	route := func(key copyKey, ready, deadline, user int) bool {
+		if tr, ok := s.copies[key]; ok {
+			if tr.start >= ready && tr.start <= deadline {
+				tr.users = append(tr.users, user)
+				reused = append(reused, key)
+				return true
+			}
+			return false
+		}
+		start, bus, ok := s.findBus(ready, deadline)
+		if !ok {
+			return false
+		}
+		tr := &transfer{start: start, bus: bus, users: []int{user}}
+		s.busReserve(key.producer, bus, start)
+		s.copies[key] = tr
+		fresh = append(fresh, freshCopy{key, tr})
+		return true
+	}
+
+	// Inbound: values produced in other clusters that u consumes.
+	for _, e := range s.plan.Graph.In(u) {
+		if e.Kind != ddg.RF || e.From == u || s.cycle[e.From] < 0 || s.cluster[e.From] == c {
+			continue
+		}
+		p := e.From
+		if !route(copyKey{p, c}, s.cycle[p]+s.lat[p], t+s.ii*e.Dist-bl, u) {
+			unwindCopies()
+			return nil, false
+		}
+	}
+	// Outbound: u's value to clusters holding placed consumers.
+	for _, e := range s.plan.Graph.Out(u) {
+		if e.Kind != ddg.RF || e.To == u || s.cycle[e.To] < 0 || s.cluster[e.To] == c {
+			continue
+		}
+		if !route(copyKey{u, s.cluster[e.To]}, t+s.lat[u], s.cycle[e.To]+s.ii*e.Dist-bl, e.To) {
+			unwindCopies()
+			return nil, false
+		}
+	}
+
+	cls := classIndex(s.plan.Loop.Ops[u].Kind.UnitClass())
+	s.fu[c][cls][s.slot(t)]++
+	s.cycle[u], s.cluster[u] = t, c
+	s.usage[c]++
+	chainSet := false
+	if ci, ok := s.plan.ChainOf[u]; ok && s.chainCluster[ci] < 0 {
+		s.chainCluster[ci] = c
+		chainSet = true
+	}
+	return func() {
+		if chainSet {
+			ci := s.plan.ChainOf[u]
+			s.chainCluster[ci] = -1
+		}
+		s.usage[c]--
+		s.cycle[u], s.cluster[u] = -1, -1
+		s.fu[c][cls][s.slot(t)]--
+		unwindCopies()
+	}, true
+}
+
+// findBus scans starts chronologically for a bus with every slot of the
+// transfer free. Scanning more than II starts would revisit the same
+// modulo slots.
+func (s *searcher) findBus(ready, deadline int) (start, bus int, ok bool) {
+	if deadline < ready {
+		return 0, 0, false
+	}
+	limit := deadline
+	if cap := ready + s.ii - 1; cap < limit {
+		limit = cap
+	}
+	for t := ready; t <= limit; t++ {
+		for b := range s.bus {
+			if s.busFreeOn(b, t) {
+				return t, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (s *searcher) slot(t int) int {
+	m := t % s.ii
+	if m < 0 {
+		m += s.ii
+	}
+	return m
+}
+
+func (s *searcher) fuFree(c int, class ir.Class, t int) bool {
+	k := classIndex(class)
+	return s.fu[c][k][s.slot(t)] < s.units(k)
+}
+
+func (s *searcher) units(class int) int {
+	switch class {
+	case 0:
+		return s.cfg.IntUnits
+	case 1:
+		return s.cfg.FPUnits
+	case 2:
+		return s.cfg.MemUnits
+	}
+	return 0
+}
+
+func classIndex(c ir.Class) int {
+	switch c {
+	case ir.ClassInt:
+		return 0
+	case ir.ClassFP:
+		return 1
+	case ir.ClassMem:
+		return 2
+	}
+	return -1
+}
+
+// busSpan is the occupancy span of one transfer in the modulo table; a
+// transfer longer than II wraps onto itself, occupying the full row.
+func (s *searcher) busSpan() int {
+	if s.cfg.RegBusLatency > s.ii {
+		return s.ii
+	}
+	return s.cfg.RegBusLatency
+}
+
+func (s *searcher) busFreeOn(b, t int) bool {
+	for d := 0; d < s.busSpan(); d++ {
+		if s.bus[b][s.slot(t+d)] != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) busReserve(producer, b, t int) {
+	for d := 0; d < s.busSpan(); d++ {
+		s.bus[b][s.slot(t+d)] = producer
+	}
+}
+
+func (s *searcher) busRelease(b, t int) {
+	for d := 0; d < s.busSpan(); d++ {
+		s.bus[b][s.slot(t+d)] = -1
+	}
+}
+
+// emit freezes a completed placement into a Schedule.
+func (s *searcher) emit() *sched.Schedule {
+	sc := &sched.Schedule{
+		Plan:    s.plan,
+		Arch:    s.cfg,
+		II:      s.ii,
+		Cycle:   append([]int(nil), s.cycle...),
+		Cluster: append([]int(nil), s.cluster...),
+		Lat:     append([]int(nil), s.lat...),
+	}
+	for i := range sc.Cycle {
+		if end := sc.Cycle[i] + s.lat[i]; end > sc.Length {
+			sc.Length = end
+		}
+	}
+	keys := make([]copyKey, 0, len(s.copies))
+	for k := range s.copies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].producer != keys[j].producer {
+			return keys[i].producer < keys[j].producer
+		}
+		return keys[i].toCluster < keys[j].toCluster
+	})
+	for _, k := range keys {
+		tr := s.copies[k]
+		sc.Copies = append(sc.Copies, sched.Copy{
+			Producer:  k.producer,
+			ToCluster: k.toCluster,
+			Start:     tr.start,
+			Bus:       tr.bus,
+		})
+	}
+	return sc
+}

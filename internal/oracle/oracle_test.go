@@ -1,0 +1,203 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+// indepLoop builds four independent integer adds on live-in registers:
+// ResMII = ceil(4 / (1 INT x 4 clusters)) = 1, no recurrences, so the
+// optimal II is 1.
+func indepLoop() *ir.Loop {
+	b := ir.NewBuilder("indep4")
+	for i := 0; i < 4; i++ {
+		b.Arith("", ir.KindAdd, b.Reg())
+	}
+	return b.Loop()
+}
+
+// recurLoop builds a two-op loop-carried recurrence (a = f(b); b = g(a)
+// from the previous iteration): cycle latency 2 over distance 1, so
+// RecMII = 2 and the optimal II is 2.
+func recurLoop() *ir.Loop {
+	b := ir.NewBuilder("recur2")
+	x := b.Arith("f", ir.KindAdd, b.Reg())
+	y := b.Arith("g", ir.KindAdd, x)
+	loop := b.Loop()
+	// Feed g's value back into f across the iteration boundary.
+	loop.Ops[0].Srcs = []ir.Reg{y}
+	loop.Renumber()
+	if err := loop.Validate(); err != nil {
+		panic(err)
+	}
+	return loop
+}
+
+// chainLoop builds load -> add -> store where the store may alias the
+// load. The conservative store->load flow dependence at distance 1 closes
+// a cycle of latency 3 (load 1, add 1, memory serialization 1), so
+// RecMII = 3 dominates the chain resource bound ceil(2 / 1 MEM) = 2 and
+// the optimal II is 3. The accesses stride one full interleave period, so
+// every access homes in cluster 0 and profiling is deterministic.
+func chainLoop() *ir.Loop {
+	b := ir.NewBuilder("chain3")
+	b.Symbol("a", 0x10000, 1<<20)
+	b.Symbol("p", 0x90000, 1<<20, "a")
+	v := b.Load("ld", ir.AddrExpr{Base: "a", Stride: 16, Size: 4})
+	s := b.Arith("add", ir.KindAdd, v)
+	b.Store("st", ir.AddrExpr{Base: "p", Stride: 16, Size: 4}, s)
+	return b.Loop()
+}
+
+// knownOptimal are the hand-built instances with provably optimal IIs.
+var knownOptimal = []struct {
+	name   string
+	build  func() *ir.Loop
+	policy core.Policy
+	wantII int
+}{
+	{"indep4/FREE", indepLoop, core.PolicyFree, 1},
+	{"recur2/FREE", recurLoop, core.PolicyFree, 2},
+	{"chain3/MDC", chainLoop, core.PolicyMDC, 3},
+}
+
+func planFor(t *testing.T, loop *ir.Loop, pol core.Policy, cfg arch.Config) *core.Plan {
+	t.Helper()
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestOracleClosesKnownOptimal(t *testing.T) {
+	cfg := arch.Default()
+	for _, tc := range knownOptimal {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := planFor(t, tc.build(), tc.policy, cfg)
+			res, err := Solve(context.Background(), plan, Options{Arch: cfg})
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if !res.Closed {
+				t.Fatalf("not closed: II=%d lower bound=%d after %d nodes", res.II, res.LowerBound, res.Nodes)
+			}
+			if res.II != tc.wantII {
+				t.Errorf("II = %d, want %d", res.II, tc.wantII)
+			}
+			if err := sched.Validate(res.Schedule); err != nil {
+				t.Errorf("invalid schedule: %v\n%s", err, res.Schedule)
+			}
+		})
+	}
+}
+
+// TestOracleNotWorseThanHeuristics is the optimality property: on every
+// instance the oracle closes, its II is a true optimum, so no registered
+// heuristic may beat it — and the oracle must be at least as good.
+func TestOracleNotWorseThanHeuristics(t *testing.T) {
+	cfg := arch.Default()
+	loops := []struct {
+		name   string
+		build  func() *ir.Loop
+		policy core.Policy
+	}{
+		{"indep4/FREE", indepLoop, core.PolicyFree},
+		{"recur2/FREE", recurLoop, core.PolicyFree},
+		{"chain3/FREE", chainLoop, core.PolicyFree},
+		{"chain3/MDC", chainLoop, core.PolicyMDC},
+		{"chain3/DDGT", chainLoop, core.PolicyDDGT},
+		{"recur2/MDC", recurLoop, core.PolicyMDC},
+	}
+	for _, tc := range loops {
+		t.Run(tc.name, func(t *testing.T) {
+			loop := tc.build()
+			plan := planFor(t, loop, tc.policy, cfg)
+			res, err := Solve(context.Background(), plan, Options{Arch: cfg})
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if !res.Closed {
+				t.Skipf("oracle did not close (II=%d, bound=%d)", res.II, res.LowerBound)
+			}
+			if err := sched.Validate(res.Schedule); err != nil {
+				t.Fatalf("invalid oracle schedule: %v", err)
+			}
+			prof := profiler.Run(loop, cfg)
+			for _, name := range sched.Names() {
+				if name == sched.NameOracle {
+					continue
+				}
+				hsc, err := sched.RunScheduler(context.Background(), name, plan,
+					sched.Options{Arch: cfg, Profile: prof})
+				if err != nil {
+					continue // a heuristic may legitimately fail where the oracle succeeds
+				}
+				if res.II > hsc.II {
+					t.Errorf("oracle II %d worse than %s II %d", res.II, name, hsc.II)
+				}
+			}
+		})
+	}
+}
+
+func TestOracleBudgetExhaustion(t *testing.T) {
+	cfg := arch.Default()
+	plan := planFor(t, chainLoop(), core.PolicyMDC, cfg)
+	res, err := Solve(context.Background(), plan, Options{Arch: cfg, NodeBudget: 2})
+	if err == nil {
+		t.Fatalf("Solve succeeded within 2 nodes; want budget exhaustion (II=%d)", res.II)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("error %v does not wrap ErrBudget", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+	if be.Bound < 1 {
+		t.Errorf("budget error carries bound %d, want >= 1", be.Bound)
+	}
+	if be.Nodes < 1 {
+		t.Errorf("budget error reports %d nodes", be.Nodes)
+	}
+	if res == nil || res.LowerBound != be.Bound {
+		t.Errorf("result lower bound does not match budget error bound")
+	}
+}
+
+func TestOracleCancellation(t *testing.T) {
+	cfg := arch.Default()
+	plan := planFor(t, chainLoop(), core.PolicyMDC, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, plan, Options{Arch: cfg}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOracleRegistered(t *testing.T) {
+	s, err := sched.Get(sched.NameOracle)
+	if err != nil {
+		t.Fatalf("oracle not registered: %v", err)
+	}
+	cfg := arch.Default()
+	plan := planFor(t, indepLoop(), core.PolicyFree, cfg)
+	sc, err := s.Schedule(context.Background(), plan, sched.Options{Arch: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.II != 1 {
+		t.Errorf("II = %d, want 1", sc.II)
+	}
+	if err := sched.Validate(sc); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+}

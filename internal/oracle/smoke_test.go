@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite the oracle-smoke golden output")
+
+// smokeBudget caps the real-benchmark search so the smoke stays fast and
+// deterministically lands in bound-only territory.
+const smokeBudget = 10_000
+
+// TestOracleSmoke is `make oracle-smoke`: the three hand-built loops
+// with proven optimal IIs must close exactly, and one budget-capped real
+// benchmark loop must degrade to a deterministic bound-only result. The
+// rendered outcome — including node counts, which the deterministic DFS
+// fixes — is diffed against the committed golden.
+func TestOracleSmoke(t *testing.T) {
+	cfg := arch.Default()
+	var buf bytes.Buffer
+
+	for _, tc := range knownOptimal {
+		plan := planFor(t, tc.build(), tc.policy, cfg)
+		res, err := Solve(context.Background(), plan, Options{Arch: cfg})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Closed || res.II != tc.wantII {
+			t.Fatalf("%s: II=%d closed=%t, want closed at %d", tc.name, res.II, res.Closed, tc.wantII)
+		}
+		if err := sched.Validate(res.Schedule); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", tc.name, err)
+		}
+		fmt.Fprintf(&buf, "%s: lb=%d ii=%d closed nodes=%d\n", tc.name, res.LowerBound, res.II, res.Nodes)
+	}
+
+	// One real Mediabench loop under a tight budget: large enough that the
+	// oracle cannot close it, so the smoke pins the degraded path too.
+	b, err := mediabench.Get("rasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := b.Loops[0]
+	bcfg := cfg.WithInterleave(b.Interleave)
+	plan, err := core.Prepare(loop, core.PolicyMDC, bcfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(context.Background(), plan, Options{Arch: bcfg, NodeBudget: smokeBudget})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("rasta/%s: err=%v (II=%d), want budget exhaustion", loop.Name, err, res.II)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %v is not a *BudgetError", err)
+	}
+	fmt.Fprintf(&buf, "rasta/%s/MDC: lb=%d bound-only(budget) nodes=%d\n", loop.Name, be.Bound, be.Nodes)
+
+	golden := filepath.Join("testdata", "smoke.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (refresh with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("oracle smoke output diverged from golden.\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Optimality-gap export: per-loop initiation intervals of the heuristic
+// schedulers against the exact oracle's lower bound. Field sets and column
+// orders are fixed — equal inputs produce byte-identical output — so the
+// committed gap artifacts diff cleanly.
+
+// Gap row statuses.
+const (
+	// GapClosed marks a loop the oracle solved to optimality: OracleII
+	// equals LowerBound.
+	GapClosed = "closed"
+	// GapBoundOnly marks a loop the oracle could not close within its
+	// node budget; only LowerBound is proven.
+	GapBoundOnly = "bound-only(budget)"
+)
+
+// GapHeuristic is one heuristic scheduler's result on a loop.
+type GapHeuristic struct {
+	Name string `json:"name"` // registry name ("prefclus", "mincoms", ...)
+	II   int    `json:"ii"`   // achieved initiation interval (0 = failed)
+}
+
+// GapRow is one loop's optimality-gap record.
+type GapRow struct {
+	Bench      string         `json:"bench"`
+	Loop       string         `json:"loop"`
+	Policy     string         `json:"policy"`
+	LowerBound int            `json:"lower_bound"`
+	OracleII   int            `json:"oracle_ii"` // 0 when the oracle found no schedule
+	Status     string         `json:"status"`    // GapClosed or GapBoundOnly
+	Nodes      int64          `json:"nodes"`     // oracle search nodes expended
+	Heuristics []GapHeuristic `json:"heuristics"`
+}
+
+// BestHeuristicII returns the smallest successful heuristic II of the row,
+// or 0 when every heuristic failed.
+func (r *GapRow) BestHeuristicII() int {
+	best := 0
+	for _, h := range r.Heuristics {
+		if h.II > 0 && (best == 0 || h.II < best) {
+			best = h.II
+		}
+	}
+	return best
+}
+
+// Gap returns best heuristic II minus the proven lower bound — the
+// certified suboptimality of the best heuristic. Only meaningful when the
+// row is closed (otherwise it is an upper bound on the true gap).
+func (r *GapRow) Gap() int {
+	if best := r.BestHeuristicII(); best > 0 {
+		return best - r.LowerBound
+	}
+	return 0
+}
+
+// WriteGapJSON serializes gap rows as an indented JSON array.
+func WriteGapJSON(w io.Writer, rows []GapRow) error {
+	if rows == nil {
+		rows = []GapRow{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// WriteGapCSV serializes gap rows as CSV. The heuristic columns are taken
+// from the first row's Heuristics in order; every row must carry the same
+// heuristic set (the gap experiment guarantees this).
+func WriteGapCSV(w io.Writer, rows []GapRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bench", "loop", "policy", "lower_bound", "oracle_ii", "status", "nodes", "gap"}
+	var names []string
+	if len(rows) > 0 {
+		for _, h := range rows[0].Heuristics {
+			names = append(names, h.Name)
+			header = append(header, h.Name+"_ii")
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		rec := []string{
+			r.Bench, r.Loop, r.Policy,
+			strconv.Itoa(r.LowerBound), strconv.Itoa(r.OracleII),
+			r.Status, strconv.FormatInt(r.Nodes, 10), strconv.Itoa(r.Gap()),
+		}
+		byName := make(map[string]int, len(r.Heuristics))
+		for _, h := range r.Heuristics {
+			byName[h.Name] = h.II
+		}
+		if len(r.Heuristics) != len(names) {
+			return fmt.Errorf("report: gap row %s/%s has %d heuristics, header has %d",
+				r.Bench, r.Loop, len(r.Heuristics), len(names))
+		}
+		for _, n := range names {
+			ii, ok := byName[n]
+			if !ok {
+				return fmt.Errorf("report: gap row %s/%s missing heuristic %q", r.Bench, r.Loop, n)
+			}
+			rec = append(rec, strconv.Itoa(ii))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -51,9 +51,9 @@ func newState(plan *core.Plan, opts Options, ii int, lat []int) *state {
 	for i := range s.chainCluster {
 		s.chainCluster[i] = -1
 	}
-	// PrefClus computes chain clusters prior to scheduling: the average
-	// preferred cluster of the whole chain (§3.2).
-	if opts.Heuristic == PrefClus && opts.Profile != nil {
+	// PrefClus (and Locality) computes chain clusters prior to
+	// scheduling: the average preferred cluster of the whole chain (§3.2).
+	if (opts.Heuristic == PrefClus || opts.Heuristic == Locality) && opts.Profile != nil {
 		for i, chain := range plan.Chains {
 			s.chainCluster[i] = opts.Profile.ChainPreferred(chain)
 		}
@@ -164,7 +164,8 @@ func (s *state) candidates(u int) []int {
 	}
 
 	op := s.plan.Loop.Ops[u]
-	if s.opts.Heuristic == PrefClus && op.Kind.IsMem() && s.opts.Profile != nil {
+	memPreferred := s.opts.Heuristic == PrefClus || s.opts.Heuristic == Locality
+	if memPreferred && op.Kind.IsMem() && s.opts.Profile != nil {
 		// Preferred-cluster ordering by access histogram (replicas share
 		// the original's profile).
 		hid := u
@@ -179,17 +180,29 @@ func (s *state) candidates(u int) []int {
 		}
 	}
 
-	// MinComs (and non-memory ops under PrefClus): maximize already-placed
-	// RF neighbors in the cluster, then workload balance.
+	// MinComs (and non-memory ops under PrefClus/Locality): maximize
+	// already-placed RF neighbors in the cluster, then workload balance.
+	// Locality weighs memory neighbors double so computation gravitates
+	// toward the cluster whose cache bank holds the data it consumes.
+	memWeight := 1
+	if s.opts.Heuristic == Locality {
+		memWeight = 2
+	}
+	weightOf := func(id int) int {
+		if s.plan.Loop.Ops[id].Kind.IsMem() {
+			return memWeight
+		}
+		return 1
+	}
 	aff := make([]int, nc)
 	for _, e := range s.plan.Graph.In(u) {
 		if e.Kind == ddg.RF && e.From != u && s.cycle[e.From] >= 0 {
-			aff[s.cluster[e.From]]++
+			aff[s.cluster[e.From]] += weightOf(e.From)
 		}
 	}
 	for _, e := range s.plan.Graph.Out(u) {
 		if e.Kind == ddg.RF && e.To != u && s.cycle[e.To] >= 0 {
-			aff[s.cluster[e.To]]++
+			aff[s.cluster[e.To]] += weightOf(e.To)
 		}
 	}
 	sort.SliceStable(order, func(i, j int) bool {

@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"vliwcache/internal/core"
+	"vliwcache/internal/engine"
+)
+
+// Portfolio races several registered schedulers on the same plan and
+// keeps the best valid schedule. "Best" is decided by a deterministic
+// total order — initiation interval first (steady-state cycles are
+// II-proportional), then schedule length (fill/drain cycles), then
+// communication ops, then the portfolio's name order as the final
+// tie-break — so a portfolio run is reproducible regardless of which
+// member finishes first.
+//
+// A portfolio of one member is exactly that member: the schedule (and
+// therefore everything downstream — simulation statistics, rendered
+// figures, cache keys' payloads) is byte-identical to calling the member
+// directly.
+type Portfolio struct {
+	members []Scheduler
+	eng     *engine.Engine
+}
+
+// NewPortfolio resolves the named schedulers in the registry. The name
+// order is preserved — it is the deterministic tie-break. Duplicate names
+// are rejected (a duplicate could never win a tie-break and only burns a
+// race slot); unknown names wrap ErrUnknownScheduler.
+func NewPortfolio(names ...string) (*Portfolio, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("sched: empty portfolio")
+	}
+	seen := make(map[string]bool, len(names))
+	p := &Portfolio{members: make([]Scheduler, len(names))}
+	for i, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("sched: duplicate scheduler %q in portfolio", name)
+		}
+		seen[name] = true
+		s, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		p.members[i] = s
+	}
+	return p, nil
+}
+
+// WithEngine routes the race through a caller-owned engine's bounded
+// worker pool instead of one goroutine per member, so portfolio fan-out
+// shares worker slots (and metrics) with the experiment grid. It returns
+// p for chaining.
+func (p *Portfolio) WithEngine(e *engine.Engine) *Portfolio {
+	p.eng = e
+	return p
+}
+
+// Names returns the member names in race (tie-break) order.
+func (p *Portfolio) Names() []string {
+	ns := make([]string, len(p.members))
+	for i, m := range p.members {
+		ns[i] = m.Name()
+	}
+	return ns
+}
+
+// Name implements Scheduler: "portfolio(a+b+c)".
+func (p *Portfolio) Name() string {
+	out := "portfolio("
+	for i, m := range p.members {
+		if i > 0 {
+			out += "+"
+		}
+		out += m.Name()
+	}
+	return out + ")"
+}
+
+// Schedule implements Scheduler by racing every member and returning the
+// winning schedule. Use ScheduleBest to also learn which member won.
+func (p *Portfolio) Schedule(ctx context.Context, plan *core.Plan, opts Options) (*Schedule, error) {
+	sc, _, err := p.ScheduleBest(ctx, plan, opts)
+	return sc, err
+}
+
+// ScheduleBest races every member concurrently and returns the best valid
+// schedule plus the winning member's name. When every member fails, the
+// errors are joined (errors.Is still finds ErrInfeasible and friends
+// through the join).
+func (p *Portfolio) ScheduleBest(ctx context.Context, plan *core.Plan, opts Options) (*Schedule, string, error) {
+	if len(p.members) == 1 {
+		sc, err := p.members[0].Schedule(ctx, plan, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		return sc, p.members[0].Name(), nil
+	}
+
+	// Each member writes only its own slot, so the race is data-race-free
+	// and the outcome does not depend on finish order.
+	scs := make([]*Schedule, len(p.members))
+	errs := make([]error, len(p.members))
+	var wg sync.WaitGroup
+	for i, m := range p.members {
+		wg.Add(1)
+		go func(i int, m Scheduler) {
+			defer wg.Done()
+			if p.eng != nil {
+				v, err := p.eng.Run(ctx, func(ctx context.Context) (any, error) {
+					return m.Schedule(ctx, plan, opts)
+				})
+				if sc, ok := v.(*Schedule); ok {
+					scs[i] = sc
+				}
+				errs[i] = err
+				return
+			}
+			scs[i], errs[i] = m.Schedule(ctx, plan, opts)
+		}(i, m)
+	}
+	wg.Wait()
+
+	best := -1
+	for i, sc := range scs {
+		if errs[i] != nil || sc == nil {
+			continue
+		}
+		if best < 0 || betterSchedule(sc, scs[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, "", fmt.Errorf("sched: portfolio %s: every member failed: %w", p.Name(), errors.Join(errs...))
+	}
+	return scs[best], p.members[best].Name(), nil
+}
+
+// betterSchedule reports whether a strictly beats b in the portfolio
+// order: lower II, then shorter length, then fewer communication ops.
+// Equal schedules are not "better", so the earliest member in name order
+// keeps a tie.
+func betterSchedule(a, b *Schedule) bool {
+	if a.II != b.II {
+		return a.II < b.II
+	}
+	if a.Length != b.Length {
+		return a.Length < b.Length
+	}
+	return len(a.Copies) < len(b.Copies)
+}

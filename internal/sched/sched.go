@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,11 +49,20 @@ const (
 	// runs a post-pass mapping virtual to physical clusters to maximize
 	// local accesses.
 	MinComs
+	// Locality schedules memory instructions in their profiled home
+	// cluster (as PrefClus) and weighs memory neighbors double when
+	// placing non-memory instructions, so computation follows the data
+	// into the cluster whose cache bank holds it. Canonically selected as
+	// the registered scheduler NameLocality.
+	Locality
 )
 
 func (h Heuristic) String() string {
-	if h == PrefClus {
+	switch h {
+	case PrefClus:
 		return "PrefClus"
+	case Locality:
+		return "Locality"
 	}
 	return "MinComs"
 }
@@ -84,6 +94,12 @@ type Options struct {
 	Heuristic Heuristic
 
 	// Order selects the placement priority (default OrderHeight).
+	//
+	// Deprecated: Order (with Heuristic) is the enum spelling of
+	// scheduler selection, kept for pre-registry call sites. New code
+	// selects a registered Scheduler by name instead — "prefclus-slack"
+	// and "mincoms-slack" are the registry names for the OrderSlack
+	// variants (see Register, Get and RunScheduler).
 	Order Order
 
 	// Profile supplies preferred-cluster information. Required by PrefClus
@@ -181,24 +197,45 @@ func (s *Schedule) String() string {
 	return out
 }
 
-// Run modulo-schedules a planned loop. It assigns latencies, computes the
-// minimum initiation interval, and escalates II until a schedule fits.
+// Run modulo-schedules a planned loop with the heuristic/order selected
+// by the Options enums. It is the legacy enum spelling of scheduler
+// selection and behaves identically to resolving the corresponding
+// registry name and calling its Schedule with a background context.
 func Run(plan *core.Plan, opts Options) (*Schedule, error) {
-	opts = opts.withDefaults()
-	if err := opts.Arch.Validate(); err != nil {
-		return nil, err
+	return RunScheduler(context.Background(), nameFor(opts.Heuristic, opts.Order), plan, opts)
+}
+
+// Precheck validates that a plan is schedulable at all on the machine:
+// the configuration is sound, the loop carries no pre-existing copy ops,
+// and every op has a functional unit to run on. Every Scheduler
+// implementation runs it first so the error surface is uniform.
+func Precheck(plan *core.Plan, cfg arch.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	for _, o := range plan.Loop.Ops {
 		if o.Kind == ir.KindCopy {
-			return nil, fmt.Errorf("sched: loop %q contains explicit copy ops; copies are generated by the scheduler", plan.Loop.Name)
+			return fmt.Errorf("sched: loop %q contains explicit copy ops; copies are generated by the scheduler", plan.Loop.Name)
 		}
 	}
-	if opts.Arch.FPUnits == 0 {
+	if cfg.FPUnits == 0 {
 		for _, o := range plan.Loop.Ops {
 			if o.Kind.UnitClass() == ir.ClassFP {
-				return nil, fmt.Errorf("sched: loop %q uses FP ops but the machine has no FP units", plan.Loop.Name)
+				return fmt.Errorf("sched: loop %q uses FP ops but the machine has no FP units", plan.Loop.Name)
 			}
 		}
+	}
+	return nil
+}
+
+// runIMS is the iterative-modulo-scheduling engine shared by every
+// heuristic scheduler: assign latencies, compute the minimum initiation
+// interval, and escalate II until a schedule fits. ctx is checked once
+// per candidate II.
+func runIMS(ctx context.Context, plan *core.Plan, opts Options) (*Schedule, error) {
+	opts = opts.withDefaults()
+	if err := Precheck(plan, opts.Arch); err != nil {
+		return nil, err
 	}
 
 	mii, err := MII(plan, opts.Arch)
@@ -206,6 +243,9 @@ func Run(plan *core.Plan, opts Options) (*Schedule, error) {
 		return nil, fmt.Errorf("sched: loop %q: %w", plan.Loop.Name, err)
 	}
 	for ii := mii; ii <= opts.MaxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lat, ok := assignLatencies(plan, opts.Arch, ii)
 		if !ok {
 			continue
@@ -293,6 +333,14 @@ func minLatency(plan *core.Plan, cfg arch.Config) ddg.LatencyFunc {
 		}
 		return o.Kind.Latency()
 	}
+}
+
+// AssignLatencies exposes the cache-sensitive latency assignment to other
+// schedulers (the exact oracle): every Scheduler must price loads the same
+// way or its II would not be comparable to the heuristics'. ok is false
+// when the II is infeasible even at minimum latencies.
+func AssignLatencies(plan *core.Plan, cfg arch.Config, ii int) ([]int, bool) {
+	return assignLatencies(plan, cfg, ii)
 }
 
 // assignLatencies performs cache-sensitive latency assignment at the given

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vliwcache/internal/core"
+)
+
+// ErrUnknownScheduler reports a scheduler name absent from the registry.
+// Errors returned by Get (and everything layered on it: portfolios, the
+// experiment options, the wire schema) wrap it, so callers test with
+// errors.Is instead of string matching.
+var ErrUnknownScheduler = errors.New("unknown scheduler")
+
+// Scheduler is the pluggable scheduling interface: anything that turns a
+// planned loop into a valid modulo schedule. Implementations must be safe
+// for concurrent use (one Scheduler value is shared by every portfolio
+// race and experiment cell) and must emit schedules that pass Validate.
+//
+// Schedule must honor ctx: a canceled context returns promptly with
+// ctx.Err() (checked at least once per candidate II). The Options carry
+// the machine description, profile and budgets; implementations that
+// select their own heuristic/ordering ignore the corresponding enum
+// fields.
+type Scheduler interface {
+	// Name returns the registry name, a stable lower-case identifier
+	// ("prefclus", "mincoms", "oracle", ...).
+	Name() string
+	// Schedule modulo-schedules the plan.
+	Schedule(ctx context.Context, plan *core.Plan, opts Options) (*Schedule, error)
+}
+
+// registry is the global scheduler registry. Built-in heuristics register
+// in init below; the oracle self-registers from its own package (like a
+// database/sql driver), so importing internal/oracle is what makes
+// "oracle" resolvable.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Scheduler
+}{m: make(map[string]Scheduler)}
+
+// Register adds a scheduler under its Name. Registering an empty name or
+// a name already taken is an error — names are the wire-visible identity
+// of a scheduler and must be unique.
+func Register(s Scheduler) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("sched: cannot register scheduler with empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("sched: scheduler %q already registered", name)
+	}
+	registry.m[name] = s
+	return nil
+}
+
+// MustRegister is Register for init-time registration of schedulers whose
+// names are unique by construction; it panics on error.
+func MustRegister(s Scheduler) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the scheduler registered under name. Unknown names wrap
+// ErrUnknownScheduler and list the registered names.
+func Get(name string) (Scheduler, error) {
+	registry.RLock()
+	s, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: %w %q (registered: %s)",
+			ErrUnknownScheduler, name, namesString())
+	}
+	return s, nil
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func namesString() string {
+	ns := Names()
+	out := ""
+	for i, n := range ns {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// heuristicScheduler adapts the iterative modulo scheduler to the
+// Scheduler interface: each registered name fixes one (heuristic, order)
+// combination, overriding whatever the enum fields of the passed Options
+// say. This is the canonical spelling of heuristic selection; the enum
+// fields remain only for pre-portfolio call sites (see Options.Order).
+type heuristicScheduler struct {
+	name      string
+	heuristic Heuristic
+	order     Order
+}
+
+func (h *heuristicScheduler) Name() string { return h.name }
+
+func (h *heuristicScheduler) Schedule(ctx context.Context, plan *core.Plan, opts Options) (*Schedule, error) {
+	opts.Heuristic = h.heuristic
+	opts.Order = h.order
+	return runIMS(ctx, plan, opts)
+}
+
+// Built-in registry names.
+const (
+	// NamePrefClus is the paper's PrefClus assignment under Rau
+	// height-priority ordering.
+	NamePrefClus = "prefclus"
+	// NameMinComs is the paper's MinComs assignment (with the
+	// virtual-to-physical post-pass) under height-priority ordering.
+	NameMinComs = "mincoms"
+	// NamePrefClusSlack and NameMinComsSlack are the swing-style
+	// minimum-slack ordering variants of the two paper heuristics.
+	NamePrefClusSlack = "prefclus-slack"
+	NameMinComsSlack  = "mincoms-slack"
+	// NameLocality is the locality-aware assignment variant: memory
+	// instructions go to their profiled home cluster (as PrefClus) and
+	// non-memory instructions follow the data — register neighbors that
+	// are memory instructions weigh double, keeping consumers next to
+	// the cache bank holding their operands (after the locality-aware
+	// MPSoC scheduling line of work).
+	NameLocality = "locality"
+	// NameOracle is the exact branch-and-bound scheduler registered by
+	// internal/oracle.
+	NameOracle = "oracle"
+)
+
+func init() {
+	MustRegister(&heuristicScheduler{NamePrefClus, PrefClus, OrderHeight})
+	MustRegister(&heuristicScheduler{NameMinComs, MinComs, OrderHeight})
+	MustRegister(&heuristicScheduler{NamePrefClusSlack, PrefClus, OrderSlack})
+	MustRegister(&heuristicScheduler{NameMinComsSlack, MinComs, OrderSlack})
+	MustRegister(&heuristicScheduler{NameLocality, Locality, OrderHeight})
+}
+
+// nameFor maps the legacy enum pair onto the registry name that runs the
+// identical algorithm. It backs the compatibility shim: Run(plan, opts)
+// behaves exactly as it did before the registry existed.
+func nameFor(h Heuristic, o Order) string {
+	switch {
+	case h == PrefClus && o == OrderHeight:
+		return NamePrefClus
+	case h == PrefClus && o == OrderSlack:
+		return NamePrefClusSlack
+	case h == MinComs && o == OrderHeight:
+		return NameMinComs
+	case h == MinComs && o == OrderSlack:
+		return NameMinComsSlack
+	case h == Locality:
+		return NameLocality
+	}
+	return NamePrefClus
+}
+
+// RunScheduler resolves name in the registry and schedules the plan with
+// it. It is the context-first, name-based spelling of Run.
+func RunScheduler(ctx context.Context, name string, plan *core.Plan, opts Options) (*Schedule, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Schedule(ctx, plan, opts)
+}

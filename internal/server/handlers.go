@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/report"
 	"vliwcache/internal/resultcache"
+	"vliwcache/internal/sched"
 	"vliwcache/internal/sim"
 )
 
@@ -104,14 +106,16 @@ func simOptionsKey(opts sim.Options, seed int64) string {
 // resolvedSchedule is a validated ScheduleRequest bound to internal
 // types, plus the request's content address.
 type resolvedSchedule struct {
-	loop     *ir.Loop
-	variant  experiments.Variant
-	cfgValue arch.Config
-	sim      sim.Options
-	seed     int64
-	schedule bool // include the rendered schedule
-	deadline time.Duration
-	key      string
+	loop       *ir.Loop
+	variant    experiments.Variant
+	cfgValue   arch.Config
+	sim        sim.Options
+	seed       int64
+	schedule   bool // include the rendered schedule
+	deadline   time.Duration
+	portfolio  []string
+	schedLabel string // response Scheduler field ("" = frozen path)
+	key        string
 }
 
 // resolveSchedule validates a ScheduleRequest and derives its cache
@@ -144,6 +148,10 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 	if err != nil {
 		return fail("%v", err)
 	}
+	schedLabel, err := apiv1.ValidateSchedulers(req.Scheduler, req.Portfolio)
+	if err != nil {
+		return nil, schedulerError(err)
+	}
 	cfg := s.base
 	if req.Config != "" {
 		cfg, err = apiv1.ParseConfig(req.Config)
@@ -171,14 +179,16 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 		CheckCoherence: req.CheckCoherence,
 	}
 	res := &resolvedSchedule{
-		loop:     loop,
-		variant:  experiments.Variant{Policy: policy, Heuristic: heuristic},
-		sim:      opts,
-		seed:     req.FaultSeed,
-		schedule: req.IncludeSchedule,
-		deadline: s.deadlineFor(req.DeadlineMillis),
+		loop:       loop,
+		variant:    experiments.Variant{Policy: policy, Heuristic: heuristic, Scheduler: req.Scheduler},
+		sim:        opts,
+		seed:       req.FaultSeed,
+		schedule:   req.IncludeSchedule,
+		deadline:   s.deadlineFor(req.DeadlineMillis),
+		portfolio:  req.Portfolio,
+		schedLabel: schedLabel,
 	}
-	res.key = resultcache.Key(
+	parts := []string{
 		ns,
 		string(canonical),
 		policy.String(),
@@ -186,9 +196,29 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 		fmt.Sprintf("%+v", cfg),
 		simOptionsKey(opts, req.FaultSeed),
 		fmt.Sprintf("schedule=%t", req.IncludeSchedule),
-	)
+	}
+	// Scheduler selection joins the key only when present, so legacy
+	// requests keep addressing their pre-existing cache entries.
+	if req.Scheduler != "" {
+		parts = append(parts, "scheduler="+req.Scheduler)
+	}
+	if len(req.Portfolio) > 0 {
+		parts = append(parts, "portfolio="+strings.Join(req.Portfolio, "+"))
+	}
+	res.key = resultcache.Key(parts...)
 	res.cfgValue = cfg
 	return res, nil
+}
+
+// schedulerError maps a scheduler-selection validation failure onto the
+// wire taxonomy: unknown registry names are the typed 422, anything else
+// (mutually exclusive fields) is a plain bad request.
+func schedulerError(err error) *apiv1.ErrorResponse {
+	code := apiv1.CodeBadRequest
+	if errors.Is(err, sched.ErrUnknownScheduler) {
+		code = apiv1.CodeUnknownScheduler
+	}
+	return &apiv1.ErrorResponse{Code: code, Message: err.Error()}
 }
 
 // handleSchedule serves POST /v1/schedule: the full pipeline on one
@@ -218,8 +248,11 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, route str
 		if res.seed != 0 {
 			opts.NewFaults = fault.Seeded(res.seed, fault.DefaultConfig())
 		}
-		pr, err := experiments.RunPipelineContext(ctx, res.loop, res.cfgValue, res.variant, opts,
-			experiments.WithEngine(s.eng))
+		suiteOpts := []experiments.Option{experiments.WithEngine(s.eng)}
+		if len(res.portfolio) > 0 {
+			suiteOpts = append(suiteOpts, experiments.WithPortfolio(res.portfolio...))
+		}
+		pr, err := experiments.RunPipelineContext(ctx, res.loop, res.cfgValue, res.variant, opts, suiteOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -240,6 +273,7 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, route str
 		if res.schedule {
 			resp.Schedule = fmt.Sprint(pr.Schedule)
 		}
+		resp.Scheduler = res.schedLabel
 		return json.Marshal(resp)
 	})
 }
@@ -286,6 +320,12 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "iteration caps must be >= 0")
 		return
 	}
+	schedLabel, err := apiv1.ValidateSchedulers(req.Scheduler, req.Portfolio)
+	if err != nil {
+		eresp := schedulerError(err)
+		writeError(w, apiv1.StatusOf(eresp.Code), *eresp)
+		return
+	}
 	opts := sim.Options{
 		MaxIterations:  req.MaxIterations,
 		CheckCoherence: req.CheckCoherence,
@@ -298,23 +338,37 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	for _, v := range variants {
 		variantNames = append(variantNames, v.String())
 	}
-	key := resultcache.Key(
+	parts := []string{
 		route,
 		strings.Join(benches, ","),
 		strings.Join(variantNames, ","),
 		fmt.Sprintf("%+v", s.base),
 		simOptionsKey(opts, req.FaultSeed),
-	)
+	}
+	if req.Scheduler != "" {
+		parts = append(parts, "scheduler="+req.Scheduler)
+	}
+	if len(req.Portfolio) > 0 {
+		parts = append(parts, "portfolio="+strings.Join(req.Portfolio, "+"))
+	}
+	key := resultcache.Key(parts...)
 
 	s.serveCached(w, r, route, key, s.deadlineFor(req.DeadlineMillis), func(ctx context.Context) ([]byte, error) {
 		// Each request gets its own suite (sim options are per-suite
 		// state); its internal pool is bounded like the server's, and
 		// whole-response reuse happens in the result cache.
-		suite := experiments.NewSuite(s.base,
+		suiteOpts := []experiments.Option{
 			experiments.WithSimOptions(opts),
 			experiments.WithParallelism(s.parallelism),
 			experiments.WithMachinePool(0),
-		)
+		}
+		if req.Scheduler != "" {
+			suiteOpts = append(suiteOpts, experiments.WithScheduler(req.Scheduler))
+		}
+		if len(req.Portfolio) > 0 {
+			suiteOpts = append(suiteOpts, experiments.WithPortfolio(req.Portfolio...))
+		}
+		suite := experiments.NewSuite(s.base, suiteOpts...)
 		suite.Benches = mediabench.All()
 		if err := suite.WarmBenches(ctx, benches, variants...); err != nil {
 			return nil, err
@@ -332,6 +386,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 					Heuristic: strings.ToLower(v.Heuristic.String()),
 					Loops:     []apiv1.LoopRun{},
 					Total:     apiv1.StatsOf(&cell.Total),
+					Scheduler: schedLabel,
 				}
 				for _, lr := range cell.Loops {
 					sc.Loops = append(sc.Loops, apiv1.LoopRun{

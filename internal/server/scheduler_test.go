@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vliwcache/internal/apiv1"
+)
+
+// TestScheduleSchedulerSelection exercises the optional scheduler and
+// portfolio request fields on /v1/schedule: valid names run and are
+// echoed, unknown names fail with the typed 422, and the two fields are
+// mutually exclusive.
+func TestScheduleSchedulerSelection(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	decode := func(data []byte) apiv1.ScheduleResponse {
+		var r apiv1.ScheduleResponse
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+		return r
+	}
+
+	t.Run("named scheduler", func(t *testing.T) {
+		body := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Scheduler = "mincoms" })
+		resp, data := post(t, ts, "/v1/schedule", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+		}
+		sr := decode(data)
+		if sr.Scheduler != "mincoms" {
+			t.Errorf("scheduler = %q, want %q", sr.Scheduler, "mincoms")
+		}
+		if sr.II < 1 {
+			t.Errorf("ii = %d", sr.II)
+		}
+	})
+
+	t.Run("portfolio", func(t *testing.T) {
+		body := scheduleBody(t, func(r *apiv1.ScheduleRequest) {
+			r.Portfolio = []string{"prefclus", "mincoms"}
+		})
+		resp, data := post(t, ts, "/v1/schedule", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+		}
+		if sr := decode(data); sr.Scheduler != "portfolio(prefclus+mincoms)" {
+			t.Errorf("scheduler = %q", sr.Scheduler)
+		}
+	})
+
+	t.Run("portfolio of one matches single scheduler", func(t *testing.T) {
+		_, one := post(t, ts, "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) {
+			r.Portfolio = []string{"mincoms"}
+		}))
+		_, single := post(t, ts, "/v1/schedule", scheduleBody(t, func(r *apiv1.ScheduleRequest) {
+			r.Scheduler = "mincoms"
+		}))
+		a, b := decode(one), decode(single)
+		a.Scheduler, b.Scheduler = "", "" // labels differ by construction
+		if a != b {
+			t.Errorf("portfolio-of-one result %+v != single-scheduler result %+v", a, b)
+		}
+	})
+
+	t.Run("frozen path omits the field", func(t *testing.T) {
+		resp, data := post(t, ts, "/v1/schedule", scheduleBody(t, nil))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+		}
+		if bytes.Contains(data, []byte(`"scheduler"`)) {
+			t.Errorf("legacy response grew a scheduler field: %s", data)
+		}
+	})
+
+	cases := []struct {
+		name   string
+		mutate func(*apiv1.ScheduleRequest)
+		status int
+		code   string
+	}{
+		{"unknown scheduler", func(r *apiv1.ScheduleRequest) { r.Scheduler = "quantum" },
+			http.StatusUnprocessableEntity, apiv1.CodeUnknownScheduler},
+		{"unknown portfolio member", func(r *apiv1.ScheduleRequest) { r.Portfolio = []string{"prefclus", "quantum"} },
+			http.StatusUnprocessableEntity, apiv1.CodeUnknownScheduler},
+		{"duplicate portfolio member", func(r *apiv1.ScheduleRequest) { r.Portfolio = []string{"mincoms", "mincoms"} },
+			http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"scheduler and portfolio together", func(r *apiv1.ScheduleRequest) {
+			r.Scheduler = "mincoms"
+			r.Portfolio = []string{"prefclus"}
+		}, http.StatusBadRequest, apiv1.CodeBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := post(t, ts, "/v1/schedule", scheduleBody(t, c.mutate))
+			if resp.StatusCode != c.status {
+				t.Fatalf("status = %d (%s), want %d", resp.StatusCode, data, c.status)
+			}
+			if e := decodeError(t, data); e.Code != c.code {
+				t.Errorf("code = %q, want %q", e.Code, c.code)
+			}
+		})
+	}
+}
+
+// TestSuiteSchedulerSelection exercises the request-level scheduler
+// fields on /v1/suite.
+func TestSuiteSchedulerSelection(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	suiteBody := func(mutate func(*apiv1.SuiteRequest)) []byte {
+		req := apiv1.SuiteRequest{
+			Benches:       []string{"rasta"},
+			Variants:      []apiv1.Variant{{Policy: "mdc", Heuristic: "prefclus"}},
+			MaxIterations: 5,
+		}
+		if mutate != nil {
+			mutate(&req)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	t.Run("named scheduler", func(t *testing.T) {
+		resp, data := post(t, ts, "/v1/suite", suiteBody(func(r *apiv1.SuiteRequest) {
+			r.Scheduler = "mincoms-slack"
+		}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+		}
+		var sr apiv1.SuiteResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Cells) != 1 || sr.Cells[0].Scheduler != "mincoms-slack" {
+			t.Errorf("cells = %+v", sr.Cells)
+		}
+	})
+
+	t.Run("frozen path omits the field", func(t *testing.T) {
+		resp, data := post(t, ts, "/v1/suite", suiteBody(nil))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+		}
+		if bytes.Contains(data, []byte(`"scheduler"`)) {
+			t.Errorf("legacy suite response grew a scheduler field: %s", data)
+		}
+	})
+
+	t.Run("unknown scheduler", func(t *testing.T) {
+		resp, data := post(t, ts, "/v1/suite", suiteBody(func(r *apiv1.SuiteRequest) {
+			r.Scheduler = "quantum"
+		}))
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+		}
+		if e := decodeError(t, data); e.Code != apiv1.CodeUnknownScheduler {
+			t.Errorf("code = %q", e.Code)
+		}
+	})
+
+	t.Run("scheduler changes the cache key", func(t *testing.T) {
+		_, plain := post(t, ts, "/v1/suite", suiteBody(nil))
+		resp, named := post(t, ts, "/v1/suite", suiteBody(func(r *apiv1.SuiteRequest) {
+			r.Scheduler = "prefclus"
+		}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%s)", resp.StatusCode, named)
+		}
+		// Same underlying schedule, but the named request must not replay
+		// the frozen entry's bytes (they differ in the scheduler echo).
+		if bytes.Equal(plain, named) {
+			t.Error("named-scheduler suite response replayed the frozen-path cache entry")
+		}
+	})
+}

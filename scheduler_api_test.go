@@ -1,0 +1,156 @@
+package vliwcache
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// The three hand-built loops with provably optimal IIs, mirrored from
+// the oracle's own fixtures: four independent adds (II 1), a two-op
+// loop-carried recurrence (II 2), and a may-alias load-add-store chain
+// whose store→load dependence closes a latency-3 cycle (II 3).
+
+func agreeIndepLoop() *Loop {
+	b := NewBuilder("indep4")
+	for i := 0; i < 4; i++ {
+		b.Arith("", KindAdd, b.Reg())
+	}
+	return b.Loop()
+}
+
+func agreeRecurLoop() *Loop {
+	b := NewBuilder("recur2")
+	x := b.Arith("f", KindAdd, b.Reg())
+	y := b.Arith("g", KindAdd, x)
+	loop := b.Loop()
+	loop.Ops[0].Srcs = []Reg{y}
+	loop.Renumber()
+	if err := loop.Validate(); err != nil {
+		panic(err)
+	}
+	return loop
+}
+
+func agreeChainLoop() *Loop {
+	b := NewBuilder("chain3")
+	b.Symbol("a", 0x10000, 1<<20)
+	b.Symbol("p", 0x90000, 1<<20, "a")
+	v := b.Load("ld", AddrExpr{Base: "a", Stride: 16, Size: 4})
+	s := b.Arith("add", KindAdd, v)
+	b.Store("st", AddrExpr{Base: "p", Stride: 16, Size: 4}, s)
+	return b.Loop()
+}
+
+var agreementLoops = []struct {
+	name   string
+	build  func() *Loop
+	policy Policy
+}{
+	{"indep4/FREE", agreeIndepLoop, PolicyFree},
+	{"recur2/FREE", agreeRecurLoop, PolicyFree},
+	{"chain3/MDC", agreeChainLoop, PolicyMDC},
+}
+
+// TestSchedulerAgreement: on the three known-optimal loops, every
+// registered scheduler — the exact oracle included — must produce a
+// schedule whose simulation yields identical Stats. The loops are small
+// enough that every scheduler finds the optimum, so any divergence in
+// observable behaviour is a scheduler bug, not a quality difference.
+func TestSchedulerAgreement(t *testing.T) {
+	ctx := context.Background()
+	cfg := DefaultConfig()
+	for _, tc := range agreementLoops {
+		t.Run(tc.name, func(t *testing.T) {
+			loop := tc.build()
+			prof := ProfileLoop(loop, cfg)
+			plan, err := Prepare(loop, tc.policy, cfg.NumClusters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var baseline *Stats
+			for _, name := range SchedulerNames() {
+				sc, err := ScheduleWith(ctx, name, plan, ScheduleOptions{Arch: cfg, Profile: prof})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := ValidateSchedule(sc); err != nil {
+					t.Fatalf("%s: invalid schedule: %v", name, err)
+				}
+				st, err := SimulateContext(ctx, sc, SimOptions{})
+				if err != nil {
+					t.Fatalf("%s: simulate: %v", name, err)
+				}
+				if baseline == nil {
+					baseline = st
+					continue
+				}
+				if !reflect.DeepEqual(baseline, st) {
+					t.Errorf("%s stats diverge from %s:\n%+v\nvs\n%+v",
+						name, SchedulerNames()[0], st, baseline)
+				}
+			}
+		})
+	}
+}
+
+// TestExecuteWithScheduler threads the registry through the one-call
+// pipeline: WithScheduler("oracle") must run the exact scheduler.
+func TestExecuteWithScheduler(t *testing.T) {
+	res, err := Execute(agreeIndepLoop(), WithScheduler("oracle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.II != 1 {
+		t.Errorf("oracle II = %d, want 1", res.Schedule.II)
+	}
+}
+
+// TestExecutePortfolioOfOne pins the acceptance criterion: a portfolio
+// containing a single scheduler behaves exactly like selecting that
+// scheduler directly.
+func TestExecutePortfolioOfOne(t *testing.T) {
+	one, err := Execute(agreeChainLoop(), WithPolicy(PolicyMDC), WithPortfolio("mincoms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Execute(agreeChainLoop(), WithPolicy(PolicyMDC), WithScheduler("mincoms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Schedule.II != single.Schedule.II || one.Schedule.Length != single.Schedule.Length {
+		t.Errorf("portfolio of one (II=%d len=%d) differs from single scheduler (II=%d len=%d)",
+			one.Schedule.II, one.Schedule.Length, single.Schedule.II, single.Schedule.Length)
+	}
+	if !reflect.DeepEqual(one.Stats, single.Stats) {
+		t.Errorf("portfolio-of-one stats diverge:\n%+v\nvs\n%+v", one.Stats, single.Stats)
+	}
+}
+
+// TestExecutePortfolioRace races heuristics against the oracle and must
+// come out at the proven optimum.
+func TestExecutePortfolioRace(t *testing.T) {
+	res, err := Execute(agreeRecurLoop(), WithPortfolio("prefclus", "mincoms", "oracle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.II != 2 {
+		t.Errorf("portfolio II = %d, want the optimal 2", res.Schedule.II)
+	}
+}
+
+// TestScheduleWithUnknownName pins the typed error surface.
+func TestScheduleWithUnknownName(t *testing.T) {
+	loop := agreeIndepLoop()
+	plan, err := Prepare(loop, PolicyFree, DefaultConfig().NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScheduleWith(context.Background(), "quantum", plan, ScheduleOptions{Arch: DefaultConfig()}); !errors.Is(err, ErrUnknownScheduler) {
+		t.Fatalf("err = %v, want ErrUnknownScheduler", err)
+	}
+	if _, err := Execute(loop, WithScheduler("quantum")); !errors.Is(err, ErrUnknownScheduler) {
+		t.Fatalf("Execute err = %v, want ErrUnknownScheduler", err)
+	}
+}
