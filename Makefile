@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs check-deprecated oracle-smoke serve-smoke
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs check-deprecated oracle-smoke serve-smoke mc-smoke
 
 all: build
 
@@ -9,8 +9,10 @@ all: build
 # chaos/mutation property suites, a replay of the checked-in fuzz
 # corpora, the observability reconciliation + overhead guard, the
 # perf-regression gate against the committed baseline, the
-# deprecated-symbol gate, and the serving-layer smoke test.
-check: vet race chaos fuzz-smoke obs bench-check check-deprecated oracle-smoke serve-smoke
+# deprecated-symbol gate, the serving-layer smoke test, and the
+# model-checker smoke (exhaustive coherence verification of the canonical
+# bounded configurations).
+check: vet race chaos fuzz-smoke obs bench-check check-deprecated oracle-smoke serve-smoke mc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,9 +44,10 @@ chaos:
 # fuzz-smoke replays the checked-in corpora and then fuzzes each target
 # briefly. Native Go fuzzing supports one fuzz target per invocation.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/sched/ ./internal/ddg/
+	$(GO) test -run 'Fuzz' ./internal/sched/ ./internal/ddg/ ./internal/mc/
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/sched/
 	$(GO) test -fuzz=FuzzBuildDDG -fuzztime=10s -run '^$$' ./internal/ddg/
+	$(GO) test -fuzz=FuzzMCConfig -fuzztime=10s -run '^$$' ./internal/mc/
 
 # obs verifies the observability layer: the cycle-level event stream
 # reconciles exactly with the aggregate Stats (per-class access counts,
@@ -113,6 +116,17 @@ oracle-smoke:
 #   go test -run TestServeSmoke ./cmd/paperserved/ -update
 serve-smoke:
 	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/paperserved/
+
+# mc-smoke is the model-checker gate: every canonical bounded
+# configuration must verify clean with exactly the golden-pinned state and
+# transition counts (a coverage regression — fewer states explored — fails
+# as loudly as a violation), the checked-in PR 2 counterexample must still
+# be rediscovered as a minimal trace when the fix is toggled off, and a
+# deliberately starved budget must degrade to the typed *BudgetError with
+# the explored frontier intact. `paperbench -mc` prints the same table.
+mc-smoke:
+	$(GO) test -count=1 -run 'TestMCSmoke|TestPR2Counterexample|TestBudgetExhaustion' -v ./internal/mc/
+	$(GO) run ./cmd/paperbench -mc
 
 # Quick full-grid regeneration through the parallel engine.
 paperbench:

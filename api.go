@@ -11,6 +11,7 @@ import (
 	"vliwcache/internal/engine"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/ir"
+	"vliwcache/internal/mc"
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/obs"
 	"vliwcache/internal/oracle"
@@ -380,6 +381,46 @@ func WriteGapJSON(w io.Writer, rows []GapRow) error { return report.WriteGapJSON
 
 // WriteGapCSV serializes gap rows as CSV (one heuristic II column each).
 func WriteGapCSV(w io.Writer, rows []GapRow) error { return report.WriteGapCSV(w, rows) }
+
+// Model checking (see internal/mc): exhaustive explicit-state
+// verification of the coherence substrate on small bounded
+// configurations. Where the chaos harness samples timed interleavings,
+// the checker enumerates all of them (in the untimed abstraction) and
+// checks the paper's invariants on every reachable state.
+type (
+	// ModelConfig is one bounded model-checking problem: machine shape,
+	// program, and exploration budget.
+	ModelConfig = mc.Config
+	// ModelOp is one memory operation of the modeled program.
+	ModelOp = mc.Op
+	// ModelResult is one check's outcome: explored-space counts and, on
+	// violation, a minimal counterexample.
+	ModelResult = mc.Result
+	// ModelCounterexample is a minimal-length violating trace; it replays
+	// both as an obs event stream and as a fault-script delay plan.
+	ModelCounterexample = mc.Counterexample
+	// ModelBudgetError reports an exhausted exploration budget with the
+	// coverage reached; retrieve it with errors.As from errors wrapping
+	// ErrModelBudget.
+	ModelBudgetError = mc.BudgetError
+)
+
+// ErrModelBudget is the sentinel all model-checking budget exhaustions
+// wrap.
+var ErrModelBudget = mc.ErrBudget
+
+// CheckModel exhaustively explores the configuration and checks the
+// coherence invariants on every reachable state. A violation is not an
+// error: it is reported in the Result's Counterexample. The error return
+// is for invalid configurations, context cancellation and exhausted
+// budgets (ErrModelBudget, with the partial Result still valid).
+func CheckModel(ctx context.Context, cfg *ModelConfig) (*ModelResult, error) {
+	return mc.Check(ctx, cfg)
+}
+
+// ModelConfigs returns the canonical bounded configurations `paperbench
+// -mc` and `make mc-smoke` verify.
+func ModelConfigs() []*ModelConfig { return mc.CanonicalConfigs() }
 
 // Workloads (see internal/mediabench).
 type (

@@ -177,3 +177,28 @@ func TestConfigFacade(t *testing.T) {
 		t.Error("suite must cover the 13 figure benchmarks")
 	}
 }
+
+func TestCheckModelFacade(t *testing.T) {
+	ctx := context.Background()
+	for _, cfg := range ModelConfigs() {
+		res, err := CheckModel(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !res.OK() {
+			t.Errorf("%s: %v", cfg.Name, res.Counterexample)
+		}
+	}
+	// An exhausted budget degrades to the typed error plus a partial
+	// result, reachable through the facade's re-exports.
+	tiny := *ModelConfigs()[0]
+	tiny.MaxStates = 3
+	res, err := CheckModel(ctx, &tiny)
+	if !errors.Is(err, ErrModelBudget) {
+		t.Fatalf("tiny budget: err = %v, want ErrModelBudget", err)
+	}
+	var be *ModelBudgetError
+	if !errors.As(err, &be) || be.States != res.States {
+		t.Fatalf("budget error %+v inconsistent with partial result %+v", be, res)
+	}
+}

@@ -18,6 +18,7 @@
 //	paperbench -scheduler locality   # schedule every cell with one registered scheduler
 //	paperbench -portfolio prefclus,mincoms,oracle  # race schedulers, keep the best
 //	paperbench -gap gap.json         # optimality-gap report (.csv = CSV, else JSON)
+//	paperbench -mc                   # exhaustively model-check the coherence substrate
 //	paperbench -oracle-budget 100000 # cap the oracle's search nodes per loop
 //	paperbench -chaos -seed 7        # fault injection + coherence audit
 //	paperbench -cell-timeout 30s     # per-cell deadline (degraded mode)
@@ -60,6 +61,7 @@ import (
 	"vliwcache/internal/arch"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/fault"
+	"vliwcache/internal/mc"
 	"vliwcache/internal/obs"
 	"vliwcache/internal/report"
 	"vliwcache/internal/sched"
@@ -97,6 +99,7 @@ func main() {
 	scheduler := flag.String("scheduler", "", "schedule every cell with this registered scheduler (see -gap output for names)")
 	portfolio := flag.String("portfolio", "", "comma-separated schedulers to race per cell, best schedule wins (incompatible with -chaos)")
 	gapFile := flag.String("gap", "", "write the per-benchmark optimality-gap report to this file (.csv = CSV, else JSON) and exit")
+	mcMode := flag.Bool("mc", false, "exhaustively model-check the coherence substrate's canonical configurations and exit")
 	oracleBudget := flag.Int64("oracle-budget", 0, "cap the oracle's search nodes per loop in the -gap report (0 = default)")
 	chaos := flag.Bool("chaos", false, "inject seeded timing faults and audit coherence on every run")
 	seed := flag.Int64("seed", 1, "base seed for -chaos fault injection")
@@ -195,6 +198,38 @@ func main() {
 			}
 			f.Close()
 		})
+	}
+
+	// -mc is its own mode: exhaustively model-check every canonical
+	// configuration of the coherence substrate and exit. Any violation or
+	// exhausted budget is a nonzero exit; PASS lines report the explored
+	// state space so regressions in coverage are visible too.
+	if *mcMode {
+		ck := mc.NewChecker()
+		fmt.Printf("%-18s %-8s %10s %12s %6s %6s\n",
+			"config", "verdict", "states", "transitions", "depth", "autos")
+		code := 0
+		for _, cfg := range mc.CanonicalConfigs() {
+			res, err := ck.Check(ctx, cfg)
+			verdict := "PASS"
+			if !res.OK() {
+				verdict = "FAIL"
+				code = 1
+			}
+			if err != nil {
+				verdict = "BUDGET"
+				code = 1
+			}
+			fmt.Printf("%-18s %-8s %10d %12d %6d %6d\n",
+				cfg.Name, verdict, res.States, res.Transitions, res.Depth, res.Automorphisms)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: mc: %s: %v\n", cfg.Name, err)
+			}
+			if !res.OK() {
+				fmt.Fprintf(os.Stderr, "paperbench: mc: %s\n", res.Counterexample)
+			}
+		}
+		exit(code)
 	}
 
 	// -gap is its own mode: compute the optimality-gap report over the

@@ -52,9 +52,7 @@ func (ab *AttractionBuffer) Reset() {
 }
 
 func (ab *AttractionBuffer) set(sub arch.SubblockID) []abLine {
-	// Hash block address and home cluster into a set index.
-	h := sub.Block>>5 ^ uint64(sub.Cluster)*0x9e3779b9
-	return ab.sets[h%uint64(ab.nsets)]
+	return ab.sets[ab.SetIndex(sub)]
 }
 
 // Lookup reports whether the subblock is present, updating LRU state and
@@ -146,6 +144,43 @@ func (ab *AttractionBuffer) Invalidate(sub arch.SubblockID) bool {
 		}
 	}
 	return false
+}
+
+// Clone returns a deep copy of the buffer: lines and counters. The copy
+// shares nothing with the original, so explicit-state exploration (the
+// internal/mc model checker embeds real Attraction Buffers in its states)
+// can branch a buffer without the branches aliasing.
+func (ab *AttractionBuffer) Clone() *AttractionBuffer {
+	cp := &AttractionBuffer{nsets: ab.nsets}
+	cp.sets = make([][]abLine, len(ab.sets))
+	for i, set := range ab.sets {
+		cp.sets[i] = append([]abLine(nil), set...)
+	}
+	cp.Hits, cp.Misses, cp.Inserts, cp.Updates = ab.Hits, ab.Misses, ab.Inserts, ab.Updates
+	cp.Evictions, cp.Flushes, cp.DirtyWritebacks = ab.Evictions, ab.Flushes, ab.DirtyWritebacks
+	return cp
+}
+
+// VisitLines calls fn for every line in storage order (set-major,
+// way-minor), including invalid lines. Storage order is behaviorally
+// significant — the victim scan in Insert prefers the lowest invalid way —
+// so state canonicalization must preserve it; lastUse timestamps only
+// matter as a relative order within a set, which is what callers encode.
+func (ab *AttractionBuffer) VisitLines(fn func(set, way int, sub arch.SubblockID, valid, dirty bool, lastUse int64)) {
+	for s, set := range ab.sets {
+		for w, ln := range set {
+			fn(s, w, ln.sub, ln.valid, ln.dirty, ln.lastUse)
+		}
+	}
+}
+
+// SetIndex returns the set a subblock maps to (hashing the block address
+// and home cluster), exposing the placement function so the model checker
+// can reject symmetry permutations that would move a subblock across sets
+// (those are not behavior-preserving).
+func (ab *AttractionBuffer) SetIndex(sub arch.SubblockID) int {
+	h := sub.Block>>5 ^ uint64(sub.Cluster)*0x9e3779b9
+	return int(h % uint64(ab.nsets))
 }
 
 // Flush empties the buffer (loop boundary, §5.2/§5.3), counting dirty

@@ -196,3 +196,65 @@ func TestABInvalidGeometry(t *testing.T) {
 		t.Error("invalid geometries must return nil")
 	}
 }
+
+func TestABCloneIsDeep(t *testing.T) {
+	ab := NewAttractionBuffer(4, 2)
+	a, b := sub(0x40, 1), sub(0x80, 2)
+	ab.Insert(a, 1)
+	ab.Insert(b, 2)
+	ab.Write(a, 3)
+
+	cp := ab.Clone()
+	if !cp.Update(a, 4) || !cp.Update(b, 4) {
+		t.Fatal("clone must hold the original's lines")
+	}
+	cp.Invalidate(a)
+	cp.Flush()
+	if !ab.Update(a, 5) || !ab.Update(b, 5) {
+		t.Error("mutating the clone must not disturb the original")
+	}
+	if ab.Flushes != 0 {
+		t.Errorf("original Flushes = %d after flushing the clone", ab.Flushes)
+	}
+	if cp.Flushes != 1 {
+		t.Errorf("clone Flushes = %d, want 1", cp.Flushes)
+	}
+}
+
+func TestABVisitLines(t *testing.T) {
+	ab := NewAttractionBuffer(4, 2)
+	a := sub(0x40, 1)
+	ab.Insert(a, 7)
+	ab.Write(a, 8)
+
+	var valid, total int
+	var saw bool
+	lastSet, lastWay := -1, -1
+	ab.VisitLines(func(set, way int, s arch.SubblockID, v, dirty bool, lastUse int64) {
+		total++
+		// Storage order: set-major, way-minor.
+		if set < lastSet || (set == lastSet && way <= lastWay) {
+			t.Errorf("visit order violated: (%d,%d) after (%d,%d)", set, way, lastSet, lastWay)
+		}
+		lastSet, lastWay = set, way
+		if !v {
+			return
+		}
+		valid++
+		if s == a {
+			saw = true
+			if !dirty || lastUse != 8 {
+				t.Errorf("line %v: dirty=%t lastUse=%d, want dirty at 8", s, dirty, lastUse)
+			}
+			if set != ab.SetIndex(a) {
+				t.Errorf("line %v visited in set %d, SetIndex says %d", s, set, ab.SetIndex(a))
+			}
+		}
+	})
+	if total != 4 {
+		t.Errorf("visited %d lines, want 4 (including invalid)", total)
+	}
+	if valid != 1 || !saw {
+		t.Errorf("valid=%d saw=%t, want exactly the inserted line", valid, saw)
+	}
+}

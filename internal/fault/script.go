@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// Script is an explicit fault plan: instead of sampling faults from a
+// seeded RNG it injects exactly the listed delays, flips and flushes and
+// nothing else. It is how a model-checker counterexample is replayed in
+// the timed simulator — the checker's interleaving names which request
+// must be held back, and a Script realizes exactly that delay — and is
+// useful anywhere a test needs one precisely-placed fault rather than a
+// statistical mix.
+//
+// Keys address a dynamic access as (op ID, iteration); Flush keys are
+// (cluster, iteration). A Script is immutable while running; build one,
+// then hand Faults() to sim.Options.NewFaults.
+type Script struct {
+	// Bus maps {op, iter} to extra cycles the access's request waits
+	// before entering memory-bus arbitration.
+	Bus map[ScriptKey]int64
+	// Mem maps {op, iter} to extra cycles on the data-return path.
+	Mem map[ScriptKey]int64
+	// Flip marks {op, iter} accesses whose hit/miss class is flipped.
+	Flip map[ScriptKey]bool
+	// Flush marks {cluster, iter} points where the cluster's Attraction
+	// Buffer is forcibly flushed before the access.
+	Flush map[ScriptKey]bool
+}
+
+// ScriptKey addresses one dynamic event of a Script.
+type ScriptKey struct {
+	ID   int // op ID (Bus/Mem/Flip) or cluster (Flush)
+	Iter int64
+}
+
+// Faults returns a sim.Options.NewFaults factory. Each run gets a fresh
+// injector over the shared (read-only) plan, so one Script is safe across
+// concurrent runs and every run's Log is byte-identical.
+func (s *Script) Faults() sim.NewFaultsFunc {
+	return func(*sched.Schedule) sim.FaultInjector {
+		return &scriptRun{plan: s}
+	}
+}
+
+// scriptRun is one run's view of a Script: the plan plus this run's log.
+type scriptRun struct {
+	plan   *Script
+	log    strings.Builder
+	faults int
+}
+
+// Faults returns how many faults this run has emitted.
+func (r *scriptRun) Faults() int { return r.faults }
+
+// Log returns the fault event log in emission order, in the same format
+// as the seeded Injector's.
+func (r *scriptRun) Log() string { return r.log.String() }
+
+func (r *scriptRun) emit(format string, args ...any) {
+	r.faults++
+	fmt.Fprintf(&r.log, format, args...)
+}
+
+// MemExtra implements sim.FaultInjector.
+func (r *scriptRun) MemExtra(op, cluster int, iter int64) int64 {
+	d := r.plan.Mem[ScriptKey{op, iter}]
+	if d > 0 {
+		r.emit("mem op=%d cl=%d it=%d +%d\n", op, cluster, iter, d)
+	}
+	return d
+}
+
+// BusExtra implements sim.FaultInjector.
+func (r *scriptRun) BusExtra(op, cluster int, iter int64) int64 {
+	d := r.plan.Bus[ScriptKey{op, iter}]
+	if d > 0 {
+		r.emit("bus op=%d cl=%d it=%d +%d\n", op, cluster, iter, d)
+	}
+	return d
+}
+
+// FlipClass implements sim.FaultInjector.
+func (r *scriptRun) FlipClass(op, cluster int, iter int64, hit bool) bool {
+	if !r.plan.Flip[ScriptKey{op, iter}] {
+		return false
+	}
+	r.emit("flip op=%d cl=%d it=%d hit=%t\n", op, cluster, iter, hit)
+	return true
+}
+
+// FlushAB implements sim.FaultInjector.
+func (r *scriptRun) FlushAB(cluster int, iter int64) bool {
+	if !r.plan.Flush[ScriptKey{cluster, iter}] {
+		return false
+	}
+	r.emit("abflush cl=%d it=%d\n", cluster, iter)
+	return true
+}

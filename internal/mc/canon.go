@@ -1,0 +1,384 @@
+package mc
+
+import (
+	"vliwcache/internal/arch"
+	"vliwcache/internal/cache"
+)
+
+// Canonicalization and symmetry reduction.
+//
+// Two states are equivalent when one is the image of the other under a
+// configuration automorphism: a pair of permutations (π over clusters,
+// σ over subblocks) that maps the static structure — homes, the program's
+// slots/kinds/origins, Attraction Buffer set placement, and the
+// program-order semantics (prog identities and load expectations) — onto
+// itself. The checker encodes every state under every automorphism and
+// keeps the lexicographically smallest byte string as the canonical form;
+// states are deduplicated by a 64-bit FNV-1a fingerprint of that string
+// (hash compaction, the standard explicit-state trade: a fingerprint
+// collision could merge two distinct states, with probability ~n²/2⁶⁵ for
+// n explored states).
+
+// autoPerm is one configuration automorphism, with the forward maps the
+// filter derived and the inverse maps the encoder iterates with.
+type autoPerm struct {
+	clus []int8  // cluster c -> image cluster π(c)
+	sub  []int8  // subblock s -> image subblock σ(s)
+	op   []int16 // op i -> image op (the op at π(cluster), same slot)
+	id   []int16 // program identity p -> image identity prog[op[p]]
+
+	clusInv []int8
+	subInv  []int8
+}
+
+// automorphisms enumerates the configuration's automorphism group by
+// filtering all (π, σ) pairs — at most 24×24 for the bounded limits. The
+// identity is always autos[0].
+func (m *model) automorphisms() []autoPerm {
+	cfg := m.cfg
+	var autos []autoPerm
+	var abGeom *cache.AttractionBuffer
+	if cfg.ABEntries > 0 {
+		abGeom = cache.NewAttractionBuffer(cfg.ABEntries, cfg.ABAssoc)
+	}
+	for _, pi := range permutations(m.nclus) {
+		for _, sigma := range permutations(m.nsubs) {
+			if a := m.checkAuto(pi, sigma, abGeom); a != nil {
+				autos = append(autos, *a)
+			}
+		}
+	}
+	return autos
+}
+
+// checkAuto decides whether (π, σ) is a configuration automorphism and, if
+// so, builds the full autoPerm. Every condition below is required for the
+// image of a reachable state to be reachable with an isomorphic future:
+//
+//   - homes commute: home(σ(s)) == π(home(s));
+//   - AB placement commutes: σ(s)'s subblock hashes to the same set as s;
+//   - the program maps onto itself slot-wise: the image of op i — same
+//     slot, cluster π(cluster(i)) — exists with the same kind, subblock
+//     σ(sub(i)), and a consistently mapped replica origin;
+//   - program-order semantics are preserved: the induced identity map is
+//     strictly monotone (serialization compares identities with <), every
+//     load's expected store maps to the image load's expected store, and
+//     each subblock's program-last store maps across σ.
+func (m *model) checkAuto(pi, sigma []int8, abGeom *cache.AttractionBuffer) *autoPerm {
+	cfg := m.cfg
+	for s, h := range cfg.Homes {
+		if cfg.Homes[sigma[s]] != int(pi[h]) {
+			return nil
+		}
+		if abGeom != nil && abGeom.SetIndex(cfg.subID(s)) != abGeom.SetIndex(cfg.subID(int(sigma[s]))) {
+			return nil
+		}
+	}
+	opMap := make([]int16, len(cfg.Ops))
+	for i, o := range cfg.Ops {
+		j := -1
+		for k, ok := range cfg.Ops {
+			if ok.Slot == o.Slot && ok.Cluster == int(pi[o.Cluster]) {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return nil
+		}
+		img := cfg.Ops[j]
+		if img.Kind != o.Kind || img.Sub != int(sigma[o.Sub]) || (img.Origin < 0) != (o.Origin < 0) {
+			return nil
+		}
+		opMap[i] = int16(j)
+	}
+	for i, o := range cfg.Ops {
+		if o.Origin >= 0 && int(cfg.Ops[opMap[i]].Origin) != int(opMap[o.Origin]) {
+			return nil
+		}
+	}
+	// Induced identity map. Program-order comparisons are all
+	// per-subblock (serialize compares a store against every earlier
+	// access of its subblock and a load against its stores), so the map
+	// must preserve relative order on every comparable pair: same
+	// subblock, at least one store. Pure load-load pairs are never
+	// ordered by any check and may swap — that freedom is exactly what
+	// lets symmetric read sharing collapse.
+	idMap := make([]int16, len(cfg.Ops))
+	for p := range idMap {
+		idMap[p] = m.prog[opMap[p]]
+	}
+	for s := range cfg.Homes {
+		var ids []int
+		for i, o := range cfg.Ops {
+			if int(m.prog[i]) == i && o.Sub == s {
+				ids = append(ids, i)
+			}
+		}
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				p, q := ids[x], ids[y]
+				if cfg.Ops[p].Kind == Store || cfg.Ops[q].Kind == Store {
+					if idMap[p] >= idMap[q] {
+						return nil
+					}
+				}
+			}
+		}
+	}
+	for i, o := range cfg.Ops {
+		if o.Kind == Load && m.want[opMap[i]] != mapVer(m.want[i], idMap) {
+			return nil
+		}
+	}
+	for s := range cfg.Homes {
+		if m.last[sigma[s]] != mapVer(m.last[s], idMap) {
+			return nil
+		}
+	}
+	a := &autoPerm{
+		clus: append([]int8(nil), pi...), sub: append([]int8(nil), sigma...),
+		op: opMap, id: idMap,
+		clusInv: invert(pi), subInv: invert(sigma),
+	}
+	return a
+}
+
+// mapVer maps a version value through an automorphism's identity map:
+// store identities remap, in-flight links follow the op map (the caller
+// passes a.id or a.op appropriately via mapVerFull), sentinels pass
+// through.
+func mapVer(v int16, idMap []int16) int16 {
+	if v >= 0 {
+		return idMap[v]
+	}
+	return v
+}
+
+// mapVerFull additionally follows in-flight links through the op map.
+func (a *autoPerm) mapVerFull(v int16) int16 {
+	switch {
+	case v >= 0:
+		return a.id[v]
+	case v <= verFlightBase:
+		return encodeFlight(int(a.op[decodeFlight(v)]))
+	}
+	return v
+}
+
+func (a *autoPerm) mapOp(v int16) int16 {
+	if v < 0 {
+		return v
+	}
+	return a.op[v]
+}
+
+func permutations(n int) [][]int8 {
+	base := make([]int8, n)
+	for i := range base {
+		base[i] = int8(i)
+	}
+	var out [][]int8
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int8(nil), base...))
+			return
+		}
+		// Lexicographic-first order keeps the identity at index 0.
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+		// The swap generation above is not fully lexicographic beyond the
+		// first level, but the identity (no swaps) is always emitted first,
+		// which is all the callers rely on.
+	}
+	rec(0)
+	return out
+}
+
+func invert(p []int8) []int8 {
+	inv := make([]int8, len(p))
+	for i, v := range p {
+		inv[v] = int8(i)
+	}
+	return inv
+}
+
+// encByte packs a small signed model value (identities, sentinels,
+// in-flight links; range -(2+MaxOps) .. MaxOps) into one byte.
+func encByte(v int16) byte { return byte(v + 16) }
+
+const (
+	encSep     = byte(0xFE) // section / queue separator
+	encInvalid = byte(0xFF) // invalid AB way
+)
+
+// encode appends st's byte encoding under automorphism a to buf. The
+// encoding is a total description of the modeled machine: issue cursor,
+// per-subblock bank state, per-cluster pending and copy-version tables,
+// Attraction Buffer contents with lastUse reduced to per-set LRU ranks
+// (the absolute clock never matters, only the relative recency the victim
+// scan compares), and in-flight messages — requests per source cluster in
+// FIFO order, replies sorted by op. Counters are deliberately excluded:
+// they never influence behavior.
+func (m *model) encode(st *state, a *autoPerm, buf []byte) []byte {
+	buf = append(buf, byte(st.next))
+	for t := 0; t < m.nsubs; t++ {
+		s := int(a.subInv[t])
+		buf = append(buf, encByte(a.mapVerFull(st.bankVer[s])),
+			encByte(a.mapVerFull(st.maxAny[s])), encByte(a.mapVerFull(st.maxSto[s])))
+	}
+	for tc := 0; tc < m.nclus; tc++ {
+		c := int(a.clusInv[tc])
+		for ts := 0; ts < m.nsubs; ts++ {
+			s := int(a.subInv[ts])
+			ps := c*m.nsubs + s
+			buf = append(buf, encByte(a.mapOp(st.pend[ps])), encByte(a.mapVerFull(st.copyVer[ps])))
+		}
+	}
+	if st.abs != nil {
+		for tc := 0; tc < m.nclus; tc++ {
+			buf = m.encodeAB(st, int(a.clusInv[tc]), a, buf)
+		}
+	}
+	// Requests: per image cluster, source FIFO order.
+	for tc := 0; tc < m.nclus; tc++ {
+		c := int(a.clusInv[tc])
+		for i := range st.msgs {
+			mg := &st.msgs[i]
+			if mg.stage != stageReq || int(mg.cluster) != c {
+				continue
+			}
+			kind := byte(0)
+			if mg.store {
+				kind = 1
+			}
+			buf = append(buf, encByte(a.mapOp(mg.op)), kind, byte(a.sub[mg.sub]))
+			buf = m.encodeObs(mg.obs, a, buf)
+		}
+		buf = append(buf, encSep)
+	}
+	// Replies: unordered; sort by image op for a canonical listing.
+	var reps [MaxOps]int16
+	nr := 0
+	for i := range st.msgs {
+		if st.msgs[i].stage == stageRep {
+			reps[nr] = int16(i)
+			nr++
+		}
+	}
+	for x := 1; x < nr; x++ { // insertion sort by mapped op
+		for y := x; y > 0 && a.mapOp(st.msgs[reps[y]].op) < a.mapOp(st.msgs[reps[y-1]].op); y-- {
+			reps[y], reps[y-1] = reps[y-1], reps[y]
+		}
+	}
+	for x := 0; x < nr; x++ {
+		mg := &st.msgs[reps[x]]
+		buf = append(buf, encByte(a.mapOp(mg.op)), encByte(a.mapVerFull(mg.capVer)))
+	}
+	return buf
+}
+
+// encodeAB appends cluster c's Attraction Buffer in storage order (the
+// victim scan prefers the lowest invalid way, so way positions are kept),
+// with lastUse compressed to the line's LRU rank within its set.
+func (m *model) encodeAB(st *state, c int, a *autoPerm, buf []byte) []byte {
+	type lineEnc struct {
+		set, way int
+		sub      int8
+		valid    bool
+		dirty    bool
+		lastUse  int64
+	}
+	var lines [MaxABLines]lineEnc
+	n := 0
+	st.abs[c].VisitLines(func(set, way int, sub arch.SubblockID, valid, dirty bool, lastUse int64) {
+		le := lineEnc{set: set, way: way, valid: valid, dirty: dirty, lastUse: lastUse}
+		if valid {
+			le.sub = a.sub[int(sub.Block>>5)-1]
+		}
+		lines[n] = le
+		n++
+	})
+	for i := 0; i < n; i++ {
+		if !lines[i].valid {
+			buf = append(buf, encInvalid)
+			continue
+		}
+		rank := byte(0) // how many valid lines in the same set are more recent
+		for j := 0; j < n; j++ {
+			if j != i && lines[j].valid && lines[j].set == lines[i].set && lines[j].lastUse > lines[i].lastUse {
+				rank++
+			}
+		}
+		d := byte(0)
+		if lines[i].dirty {
+			d = 1
+		}
+		buf = append(buf, byte(lines[i].sub), d, rank)
+	}
+	return append(buf, encSep)
+}
+
+func (m *model) encodeObs(obsList []int16, a *autoPerm, buf []byte) []byte {
+	var mapped [MaxOps]int16
+	for i, o := range obsList {
+		mapped[i] = a.mapOp(o)
+	}
+	n := len(obsList)
+	for x := 1; x < n; x++ {
+		for y := x; y > 0 && mapped[y] < mapped[y-1]; y-- {
+			mapped[y], mapped[y-1] = mapped[y-1], mapped[y]
+		}
+	}
+	buf = append(buf, byte(n))
+	for i := 0; i < n; i++ {
+		buf = append(buf, encByte(mapped[i]))
+	}
+	return buf
+}
+
+// canonical returns the lexicographically smallest encoding of st over
+// the automorphism group (or the identity encoding when symmetry
+// reduction is disabled) and its 64-bit FNV-1a fingerprint. The scratch
+// buffers live in the Checker so steady-state exploration does not
+// allocate per state.
+func (m *model) canonical(st *state, scratch *[2][]byte) ([]byte, uint64) {
+	autos := m.autos
+	if m.cfg.DisableSymmetry {
+		autos = autos[:1]
+	}
+	scratch[0] = m.encode(st, &autos[0], scratch[0][:0])
+	for i := 1; i < len(autos); i++ {
+		scratch[1] = m.encode(st, &autos[i], scratch[1][:0])
+		if lessBytes(scratch[1], scratch[0]) {
+			scratch[0], scratch[1] = scratch[1], scratch[0]
+		}
+	}
+	return scratch[0], fnv64(scratch[0])
+}
+
+func lessBytes(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func fnv64(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,137 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/obs"
+)
+
+// Invariant names carried by Violation.
+const (
+	InvSerialization = "serialization"
+	InvStaleValue    = "stale-value"
+	InvSingleOwner   = "single-owner"
+	InvLostUpdate    = "lost-update"
+)
+
+// Violation describes one invariant failure.
+type Violation struct {
+	// Invariant is one of the Inv* constants.
+	Invariant string
+	// Op is the violating operation's index, -1 for whole-state
+	// invariants (single-owner, lost-update).
+	Op int
+	// Sub is the subblock involved.
+	Sub int
+	// Detail is a human-readable account of the failure.
+	Detail string
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s violation: %s", v.Invariant, v.Detail)
+}
+
+// Counterexample is a minimal-length trace from the initial state to a
+// violation: BFS order guarantees no shorter step sequence violates any
+// invariant. Replaying the Steps through the model reproduces the
+// violation deterministically.
+type Counterexample struct {
+	Config    *Config
+	Steps     []Step
+	Violation Violation
+}
+
+func (cx *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample (%d steps) for %q:\n", len(cx.Steps), cx.Config.Name)
+	for i, sp := range cx.Steps {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, sp.String())
+	}
+	fmt.Fprintf(&b, "  => %s\n", cx.Violation.String())
+	return b.String()
+}
+
+// Replay re-executes the counterexample on a fresh model, returning the
+// violation it reproduces (nil if the trace no longer violates — e.g.
+// replayed against a config with the fix re-enabled). When em is non-nil
+// it receives the obs event stream of the replay; Cycle carries the step
+// index (the model is untimed), and a final KindCoherence event with
+// Arg=1 marks the reproduced violation.
+func (cx *Counterexample) Replay(cfg *Config, em func(obs.Event)) (*Violation, error) {
+	m, err := newModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := m.initial()
+	for i, sp := range cx.Steps {
+		step := int64(i)
+		wrap := em
+		if em != nil {
+			wrap = func(e obs.Event) {
+				e.Cycle = step
+				em(e)
+			}
+		}
+		if v := m.apply(st, sp, wrap); v != nil {
+			if em != nil {
+				em(obs.Event{Kind: obs.KindCoherence, Class: -1, Op: -1, Cluster: -1, Cycle: step, Arg: 1})
+			}
+			return v, nil
+		}
+	}
+	if m.terminal(st) {
+		if v := m.finalCheck(st, nil); v != nil {
+			if em != nil {
+				em(obs.Event{Kind: obs.KindCoherence, Class: -1, Op: -1, Cluster: -1, Cycle: int64(len(cx.Steps)), Arg: 1})
+			}
+			return v, nil
+		}
+	}
+	return nil, nil
+}
+
+// Events renders the counterexample as the obs event stream of its
+// replay — the regression-fixture form: a golden stream a test can pin
+// and diff, in the exact encoding the simulator's tracing uses.
+func (cx *Counterexample) Events() []obs.Event {
+	var sink obs.Slice
+	cx.Replay(cx.Config, sink.Emit)
+	return sink.Events
+}
+
+// DelayedRequests reports, for every request the trace delivers at a
+// bank, how many issue steps elapsed between the op's issue and its
+// delivery. A positive count means the interleaving held that request
+// back across later instructions — exactly the delay a fault.Script bus
+// hold must realize to reproduce the trace in the timed simulator (the
+// chaos-seed form of the counterexample).
+func (cx *Counterexample) DelayedRequests() map[int]int {
+	issued := map[int]int{} // op -> number of issue steps completed at its issue
+	issues := 0
+	out := map[int]int{}
+	for _, sp := range cx.Steps {
+		switch sp.Kind {
+		case StepIssue:
+			issues++
+			for _, id := range opsInSlot(cx.Config, sp.Op) {
+				issued[id] = issues
+			}
+		case StepDeliverReq:
+			if at, ok := issued[sp.Op]; ok {
+				out[sp.Op] = issues - at
+			}
+		}
+	}
+	return out
+}
+
+func opsInSlot(cfg *Config, slot int) []int {
+	var ids []int
+	for i, o := range cfg.Ops {
+		if o.Slot == slot {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,132 @@
+package mc
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vliwcache/internal/obs"
+)
+
+// pr2Config is the checked-in regression configuration: the canonical MDC
+// chain with the PR 2 Attraction-Buffer conflict fix reverted via the
+// injected toggle.
+func pr2Config() *Config {
+	cfg := MDCChain()
+	cfg.Name = "mdc-chain-pr2"
+	cfg.DisableABInvalidate = true
+	return cfg
+}
+
+// pr2Steps is the minimal counterexample the checker must rediscover: the
+// lead load's bus request is held in flight while the store issues,
+// conflicts with the pending fetch, phantom-writes the eagerly-inserted
+// (and, with the fix reverted, never invalidated) Attraction Buffer copy
+// — serializing the store at issue — and only then does the lead request
+// reach the bank, after its program-later store.
+var pr2Steps = []Step{
+	{Kind: StepIssue, Op: 0},
+	{Kind: StepIssue, Op: 1},
+	{Kind: StepDeliverReq, Cluster: 0, Op: 0},
+}
+
+// pr2Events is the counterexample in its obs-event regression-fixture
+// form: the exact stream Counterexample.Events must replay. Cycle is the
+// trace step index (the model is untimed); the final KindCoherence event
+// with Arg=1 marks the reproduced violation.
+var pr2Events = []obs.Event{
+	{Kind: obs.KindAccess, Class: -1, Op: 0, Cluster: 0, Cycle: 0},
+	{Kind: obs.KindBusTransfer, Class: -1, Op: 0, Cluster: 0, Cycle: 0},
+	{Kind: obs.KindAccess, Class: -1, Op: 1, Cluster: 0, Cycle: 1},
+	{Kind: obs.KindBankArrival, Class: -1, Op: 1, Cluster: 1, Cycle: 1},
+	{Kind: obs.KindABHit, Class: -1, Op: 1, Cluster: 0, Cycle: 1},
+	{Kind: obs.KindBankArrival, Class: -1, Op: 0, Cluster: 1, Cycle: 2},
+	{Kind: obs.KindCoherence, Class: -1, Op: -1, Cluster: -1, Cycle: 2, Arg: 1},
+}
+
+// TestPR2CounterexampleRegression: the checker rediscovers the PR 2
+// call-order-visibility bug, minimally, whenever the fix is absent — and
+// proves its absence is the cause, because the identical trace replayed
+// against the fixed model is violation-free.
+func TestPR2CounterexampleRegression(t *testing.T) {
+	res, err := Check(context.Background(), pr2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("checker failed to rediscover the PR 2 bug with the fix reverted")
+	}
+	cx := res.Counterexample
+	if !reflect.DeepEqual(cx.Steps, pr2Steps) {
+		t.Errorf("counterexample drifted from the minimal trace:\n got %v\nwant %v", cx.Steps, pr2Steps)
+	}
+	v := cx.Violation
+	if v.Invariant != InvSerialization || v.Op != 0 || v.Sub != 0 {
+		t.Errorf("violation = %+v, want serialization on load 0 / subblock 0", v)
+	}
+
+	// The same trace against the fixed model: no violation. The fix keeps
+	// the store off the stale copy, so the interleaving is harmless.
+	if got, err := cx.Replay(MDCChain(), nil); err != nil || got != nil {
+		t.Errorf("trace violates the FIXED model too (v=%v err=%v): the fix is not what prevents it", got, err)
+	}
+	// And against the bug config it reproduces the identical violation.
+	got, err := cx.Replay(pr2Config(), nil)
+	if err != nil || got == nil || *got != v {
+		t.Errorf("replay did not reproduce the violation: got %v err=%v want %v", got, err, v)
+	}
+
+	// With the fix in force, the full state space is clean.
+	fixed, err := Check(context.Background(), MDCChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.OK() {
+		t.Fatalf("fixed configuration violates:\n%s", fixed.Counterexample)
+	}
+}
+
+// TestPR2EventFixture: the counterexample's obs-event rendering is the
+// pinned golden stream.
+func TestPR2EventFixture(t *testing.T) {
+	res, err := Check(context.Background(), pr2Config())
+	if err != nil || res.OK() {
+		t.Fatalf("no counterexample: %v %v", res, err)
+	}
+	got := res.Counterexample.Events()
+	if !reflect.DeepEqual(got, pr2Events) {
+		t.Errorf("event fixture drifted:\n got %+v\nwant %+v", got, pr2Events)
+	}
+}
+
+// TestCounterexampleString: the human rendering names every step and the
+// violation.
+func TestCounterexampleString(t *testing.T) {
+	res, err := Check(context.Background(), pr2Config())
+	if err != nil || res.OK() {
+		t.Fatalf("no counterexample: %v %v", res, err)
+	}
+	s := res.Counterexample.String()
+	for _, want := range []string{
+		"counterexample (3 steps)", "issue slot 0", "issue slot 1",
+		"deliver request of op 0", "serialization violation",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestDelayedRequests: the chaos-seed sizing: the trace holds the lead
+// load's request across exactly one later issue (the store's).
+func TestDelayedRequests(t *testing.T) {
+	res, err := Check(context.Background(), pr2Config())
+	if err != nil || res.OK() {
+		t.Fatalf("no counterexample: %v %v", res, err)
+	}
+	got := res.Counterexample.DelayedRequests()
+	if !reflect.DeepEqual(got, map[int]int{0: 1}) {
+		t.Errorf("DelayedRequests = %v, want map[0:1]", got)
+	}
+}

@@ -1,0 +1,81 @@
+package mc
+
+// Canonical bounded configurations: the shapes the paper's techniques
+// must keep coherent, small enough to check exhaustively. These back the
+// smoke suite (`make mc-smoke`), the paperbench -mc mode, and the golden
+// state/transition counts pinned in the tests.
+
+// MDCChain is the MDC (memory dependent chain) shape: one cluster issues
+// load / store / load of one remote subblock, so the whole chain rides
+// the bus, the pending-fetch combining logic, and the Attraction Buffer.
+// With DisableABInvalidate set this exact configuration rediscovers the
+// PR 2 bug: the store conflicting with the lead load's pending fetch
+// leaves the eagerly-inserted copy visible, phantom-writes it, and the
+// delayed lead request then serializes after the store.
+func MDCChain() *Config {
+	return &Config{
+		Name:     "mdc-chain",
+		Clusters: 2,
+		Homes:    []int{1}, // the chain's cluster 0 is remote from the data
+		Ops: []Op{
+			{Cluster: 0, Kind: Load, Sub: 0, Slot: 0, Origin: -1},
+			{Cluster: 0, Kind: Store, Sub: 0, Slot: 1, Origin: -1},
+			{Cluster: 0, Kind: Load, Sub: 0, Slot: 2, Origin: -1},
+		},
+		ABEntries:        2,
+		ABAssoc:          2,
+		AdversarialFlush: true,
+	}
+}
+
+// DDGTReplication is the DDGT (data dependent graph transformation)
+// shape: a store replicated across both clusters — the home instance
+// writes the bank, the nullified replica refreshes its cluster's copy —
+// followed by two loads in the non-home cluster that exercise the fetch,
+// requester-side combining, and the Attraction Buffer fill. The flow-only
+// ordering (store group first) is deliberate: a load issued before the
+// replicated store genuinely races the home instance's bank write under
+// unbounded request delay, a checker finding recorded in EXPERIMENTS.md.
+func DDGTReplication() *Config {
+	return &Config{
+		Name:     "ddgt-replication",
+		Clusters: 2,
+		Homes:    []int{0},
+		Ops: []Op{
+			{Cluster: 0, Kind: Store, Sub: 0, Slot: 0, Origin: 0},
+			{Cluster: 1, Kind: Store, Sub: 0, Slot: 0, Origin: 0},
+			{Cluster: 1, Kind: Load, Sub: 0, Slot: 1, Origin: -1},
+			{Cluster: 1, Kind: Load, Sub: 0, Slot: 2, Origin: -1},
+		},
+		ABEntries:        2,
+		ABAssoc:          2,
+		AdversarialFlush: true,
+	}
+}
+
+// ReadSharing is the symmetric read-sharing shape: two non-home clusters
+// each load the same subblock twice. Swapping the two reader clusters is
+// a configuration automorphism, so symmetry reduction folds the state
+// space roughly in half — the property TestSymmetryReduction pins.
+func ReadSharing() *Config {
+	return &Config{
+		Name:     "read-sharing",
+		Clusters: 3,
+		Homes:    []int{0},
+		Ops: []Op{
+			{Cluster: 1, Kind: Load, Sub: 0, Slot: 0, Origin: -1},
+			{Cluster: 2, Kind: Load, Sub: 0, Slot: 0, Origin: -1},
+			{Cluster: 1, Kind: Load, Sub: 0, Slot: 1, Origin: -1},
+			{Cluster: 2, Kind: Load, Sub: 0, Slot: 1, Origin: -1},
+		},
+		ABEntries:        2,
+		ABAssoc:          2,
+		AdversarialFlush: true,
+	}
+}
+
+// CanonicalConfigs returns the configurations paperbench -mc and the
+// smoke suite check, in reporting order.
+func CanonicalConfigs() []*Config {
+	return []*Config{MDCChain(), DDGTReplication(), ReadSharing()}
+}

@@ -1,0 +1,135 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fuzzBudget keeps each fuzz execution bounded: large enough that the
+// canonical configurations complete, small enough that a pathological
+// decoded program degrades in milliseconds.
+const (
+	fuzzMaxStates      = 5000
+	fuzzMaxTransitions = 30000
+)
+
+// decodeConfig turns fuzz bytes into a candidate configuration. The
+// decoder is biased toward validity (clusters, subblocks and ops mostly
+// land in range) but deliberately leaves room for every Validate failure
+// mode, so the fuzzer exercises both the checker and its input gate.
+func decodeConfig(data []byte) *Config {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	cfg := &Config{
+		Name:     "fuzz",
+		Clusters: int(next() % (MaxClusters + 1)), // 0..4: 0 is invalid
+	}
+	nsubs := int(next() % 3) // 0..2: 0 is invalid
+	for s := 0; s < nsubs; s++ {
+		cfg.Homes = append(cfg.Homes, int(next()%(MaxClusters+1))-1) // -1..3
+	}
+	nops := int(next() % 6) // 0..5: 0 is invalid
+	slot := 0
+	for i := 0; i < nops; i++ {
+		b := next()
+		op := Op{
+			Cluster: int(b % MaxClusters),
+			Kind:    OpKind(b >> 7),
+			Origin:  -1,
+		}
+		if nsubs > 0 {
+			op.Sub = int(b>>2) % (nsubs + 1) // may exceed the last subblock
+		}
+		if b&0x40 != 0 && i > 0 {
+			slot++
+		}
+		op.Slot = slot
+		if b&0x20 != 0 && i > 0 {
+			op.Origin = int(b) % i // replica link; Validate vets the group shape
+		}
+		cfg.Ops = append(cfg.Ops, op)
+	}
+	flags := next()
+	cfg.ABEntries = int(flags%3) * 2 // 0, 2 or 4 lines
+	cfg.ABAssoc = 1 + int(flags>>2)%2
+	cfg.AdversarialFlush = flags&0x10 != 0
+	cfg.DisableABInvalidate = flags&0x20 != 0
+	cfg.MaxStates = fuzzMaxStates
+	cfg.MaxTransitions = fuzzMaxTransitions
+	return cfg
+}
+
+// FuzzMCConfig holds the checker to its contract on arbitrary bounded
+// configurations: Validate never panics; on every valid configuration
+// Check terminates within budget or degrades to *BudgetError, is
+// byte-deterministic across runs, reaches the same verdict with symmetry
+// reduction on and off, and any counterexample it reports replays to the
+// identical violation.
+func FuzzMCConfig(f *testing.F) {
+	// Shapes of the canonical configurations plus a few degenerate ones.
+	f.Add([]byte{2, 1, 1, 3, 0x80, 0x40, 0x40, 0x12})          // mdc-chain-like: L/S/L, adversarial flush + toggle room
+	f.Add([]byte{2, 1, 0, 2, 0x80, 0xE1, 0x11})                // replica store pair
+	f.Add([]byte{3, 1, 0, 4, 1, 2, 0x41, 0x42, 0x12})          // read sharing across two slots
+	f.Add([]byte{2, 2, 0, 1, 3, 0x84, 0x44, 0x31})             // two subblocks, mixed kinds
+	f.Add([]byte{0})                                           // invalid: zero clusters
+	f.Add([]byte{2, 0})                                        // invalid: no subblocks
+	f.Add([]byte{2, 1, 5, 1, 0})                               // invalid: home out of range
+	f.Add([]byte{4, 2, 0, 1, 5, 0x80, 0x41, 0x42, 0x43, 0xFF}) // wide, all knobs
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := decodeConfig(data)
+		if err := cfg.Validate(); err != nil {
+			return // the gate rejected it; that is a fine outcome
+		}
+		ctx := context.Background()
+		res1, err1 := Check(ctx, cfg)
+		res2, err2 := Check(ctx, cfg)
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(res1, res2) {
+			t.Fatalf("nondeterministic check:\nrun1 %v (%v)\nrun2 %v (%v)", res1, err1, res2, err2)
+		}
+		if err1 != nil {
+			var be *BudgetError
+			if !errors.Is(err1, ErrBudget) || !errors.As(err1, &be) {
+				t.Fatalf("check failed with a non-budget error: %v", err1)
+			}
+			var be2 *BudgetError
+			errors.As(err2, &be2)
+			if *be != *be2 {
+				t.Fatalf("budget degradation nondeterministic: %+v vs %+v", be, be2)
+			}
+		}
+		if res1 != nil && res1.Counterexample != nil {
+			v, rerr := res1.Counterexample.Replay(cfg, nil)
+			if rerr != nil {
+				t.Fatalf("counterexample does not replay: %v", rerr)
+			}
+			if v == nil || *v != res1.Counterexample.Violation {
+				t.Fatalf("replayed violation %v differs from reported %v", v, res1.Counterexample.Violation)
+			}
+		}
+
+		// Differential: the verdict must not depend on symmetry reduction.
+		// (Comparable only when both explorations finish within budget —
+		// the reduced space can fit where the full one exhausts.)
+		nosym := *cfg
+		nosym.DisableSymmetry = true
+		res3, err3 := Check(ctx, &nosym)
+		if err1 == nil && err3 == nil && res1.OK() != res3.OK() {
+			t.Fatalf("symmetry reduction changed the verdict: sym=%v nosym=%v", res1, res3)
+		}
+		if err1 == nil && err3 == nil && !res1.OK() &&
+			res1.Counterexample.Violation.Invariant != res3.Counterexample.Violation.Invariant {
+			t.Fatalf("symmetry reduction changed the violated invariant: %v vs %v",
+				res1.Counterexample.Violation, res3.Counterexample.Violation)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package mc is an explicit-state model checker for the coherence
+// substrate: it exhaustively enumerates the interleavings a small bounded
+// configuration of cache banks, Attraction Buffers and memory buses can
+// produce, and checks the paper's coherence invariants as safety
+// properties on every reachable state.
+//
+// The model is the untimed abstraction of the cycle-level simulator
+// (internal/sim). Issue order is fixed — the machine is a lockstep VLIW,
+// so all clusters issue a slot's operations simultaneously and slots
+// issue in schedule order — while everything the compiler cannot see is
+// nondeterministic: when each in-flight bus request reaches its home
+// bank (constrained only by the per-cluster FIFO the arbiter guarantees,
+// see internal/bus), when each reply lands, and when an Attraction
+// Buffer spontaneously loses its copies (adversarial replacement). A
+// state therefore abstracts times away entirely and a path through the
+// transition system is one possible serialization of the timed machine;
+// conversely every timed execution, under any fault injection the chaos
+// harness can produce, maps to some path. Checking all paths subsumes
+// chaos testing's sampled ones on these bounded configurations.
+//
+// Checked invariants (see DESIGN.md §13 for the exact statements):
+//
+//   - serialization: aliased accesses reach their subblock's
+//     serialization point in program order — precisely the property
+//     sim's coherence checker tests on timed runs;
+//   - stale-value: every load observes the value of the program-latest
+//     store ordered before it (Attraction Buffer copies are never
+//     stale-visible — the bug class PR 2's chaos suite caught);
+//   - single-owner: a dirty Attraction Buffer copy of a subblock
+//     excludes every other cluster's copy (MDC confines modified data
+//     to one cluster);
+//   - lost-update: after the final buffer flush the banks hold the
+//     program-last store of every subblock.
+//
+// Deliberate model simplifications, documented rather than hidden: cache
+// modules are abstracted away (hit/miss affects timing only, and the
+// model has no time), local-miss pending entries are not modeled (a
+// local access serializes at issue either way), and a reply fill never
+// clobbers a copy a later store already updated (the simulator carries
+// no data, so its Insert-refresh has the same effect).
+package mc
+
+import (
+	"fmt"
+
+	"vliwcache/internal/arch"
+)
+
+// OpKind is the kind of a modeled memory operation.
+type OpKind uint8
+
+const (
+	// Load reads one subblock.
+	Load OpKind = iota
+	// Store writes one subblock.
+	Store
+)
+
+func (k OpKind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// Op is one memory operation of the modeled program. Operations sharing
+// a Slot issue simultaneously (one VLIW word); a store replicated by DDGT
+// appears as one instance per cluster, all sharing the group's Origin.
+type Op struct {
+	// Cluster issues the operation.
+	Cluster int
+	// Kind is Load or Store.
+	Kind OpKind
+	// Sub indexes Config.Homes: which subblock the operation touches.
+	Sub int
+	// Slot is the issue slot. Slots are issued in increasing order; ops
+	// within a slot issue in the same cycle (at most one per cluster).
+	Slot int
+	// Origin is -1 for a plain operation. Store-replication (DDGT)
+	// instances of one original store share the group leader's op index
+	// here: only the instance in the home cluster performs the store,
+	// the others are nullified (refreshing their cluster's Attraction
+	// Buffer copy). The group's program-order identity is Origin.
+	Origin int
+}
+
+// Limits keeping configurations bounded: the checker is exhaustive, so
+// these are small by design (the ISSUE's canonical configurations use 2
+// clusters, 1 subblock and 3-4 operations).
+const (
+	MaxClusters = 4
+	MaxSubs     = 4
+	MaxOps      = 10
+	MaxABLines  = 4
+)
+
+// Default exploration budgets (see Config.MaxStates/MaxTransitions).
+const (
+	DefaultMaxStates      = 1 << 20
+	DefaultMaxTransitions = 1 << 23
+)
+
+// Config is one bounded model-checking problem: the machine shape, the
+// program, and the exploration budget. Validate before Check (Check
+// validates too).
+type Config struct {
+	// Name labels the configuration in results and reports.
+	Name string
+	// Clusters is the number of clusters (1..MaxClusters).
+	Clusters int
+	// Homes maps each modeled subblock to its home cluster.
+	Homes []int
+	// Ops is the program in issue order (sorted by Slot; within a slot,
+	// ascending Cluster).
+	Ops []Op
+	// ABEntries/ABAssoc give every cluster an Attraction Buffer of that
+	// geometry; ABEntries == 0 disables the buffers.
+	ABEntries int
+	ABAssoc   int
+	// AdversarialFlush adds a transition that empties any cluster's
+	// Attraction Buffer at any point — the buffer may lose its copies to
+	// replacement at any time on real hardware, so a protected program
+	// must stay coherent without them.
+	AdversarialFlush bool
+	// DisableABInvalidate reverts the PR 2 Attraction-Buffer fix in the
+	// model, exactly as sim.Options.DisableABInvalidate does in the
+	// simulator: a remote store conflicting with a pending fetch leaves
+	// the eagerly-inserted copy visible. Exists so the checked-in
+	// counterexample regression can rediscover the bug.
+	DisableABInvalidate bool
+	// DisableSymmetry turns off symmetry reduction (canonicalization
+	// still runs with the identity permutation only). Used by the
+	// differential fuzz check: the verdict must not depend on it.
+	DisableSymmetry bool
+	// MaxStates / MaxTransitions bound the exploration; 0 selects the
+	// defaults. Exhaustion is not an abort: Check returns the partial
+	// Result plus a *BudgetError describing the explored coverage.
+	MaxStates      int64
+	MaxTransitions int64
+}
+
+// Validate checks the configuration's internal consistency.
+func (c *Config) Validate() error {
+	if c.Clusters < 1 || c.Clusters > MaxClusters {
+		return fmt.Errorf("mc: Clusters must be 1..%d, got %d", MaxClusters, c.Clusters)
+	}
+	if len(c.Homes) < 1 || len(c.Homes) > MaxSubs {
+		return fmt.Errorf("mc: need 1..%d subblocks, got %d", MaxSubs, len(c.Homes))
+	}
+	for s, h := range c.Homes {
+		if h < 0 || h >= c.Clusters {
+			return fmt.Errorf("mc: subblock %d homed in invalid cluster %d", s, h)
+		}
+	}
+	if len(c.Ops) < 1 || len(c.Ops) > MaxOps {
+		return fmt.Errorf("mc: need 1..%d ops, got %d", MaxOps, len(c.Ops))
+	}
+	if c.ABEntries < 0 || c.ABEntries > MaxABLines {
+		return fmt.Errorf("mc: ABEntries must be 0..%d, got %d", MaxABLines, c.ABEntries)
+	}
+	if c.ABEntries > 0 && (c.ABAssoc < 1 || c.ABEntries%c.ABAssoc != 0) {
+		return fmt.Errorf("mc: ABAssoc %d does not divide ABEntries %d", c.ABAssoc, c.ABEntries)
+	}
+	if c.MaxStates < 0 || c.MaxTransitions < 0 {
+		return fmt.Errorf("mc: negative budget")
+	}
+	slot, lastCluster := 0, -1
+	for i, o := range c.Ops {
+		if o.Cluster < 0 || o.Cluster >= c.Clusters {
+			return fmt.Errorf("mc: op %d in invalid cluster %d", i, o.Cluster)
+		}
+		if o.Sub < 0 || o.Sub >= len(c.Homes) {
+			return fmt.Errorf("mc: op %d touches invalid subblock %d", i, o.Sub)
+		}
+		if o.Kind != Load && o.Kind != Store {
+			return fmt.Errorf("mc: op %d has invalid kind %d", i, o.Kind)
+		}
+		switch {
+		case o.Slot == slot+1:
+			slot, lastCluster = o.Slot, -1
+		case o.Slot != slot:
+			return fmt.Errorf("mc: op %d slot %d breaks the contiguous non-decreasing slot order", i, o.Slot)
+		}
+		if i == 0 && o.Slot != 0 {
+			return fmt.Errorf("mc: first op must be in slot 0, got %d", o.Slot)
+		}
+		if o.Cluster <= lastCluster {
+			return fmt.Errorf("mc: op %d: within a slot ops must be in ascending cluster order (one per cluster)", i)
+		}
+		lastCluster = o.Cluster
+		if o.Origin != -1 {
+			if o.Origin < 0 || o.Origin >= len(c.Ops) || o.Origin > i {
+				return fmt.Errorf("mc: op %d has invalid replica origin %d", i, o.Origin)
+			}
+			org := c.Ops[o.Origin]
+			if o.Kind != Store || org.Kind != Store || org.Origin != o.Origin || org.Sub != o.Sub {
+				return fmt.Errorf("mc: op %d: replica group must be stores of one subblock led by their first instance", i)
+			}
+		}
+	}
+	return nil
+}
+
+// prog returns the program-order identity of op i: the replica group's
+// origin for grouped stores, the op's own index otherwise. Identities
+// order aliased accesses; the serialization invariant demands the banks
+// see them in this order.
+func (c *Config) prog(i int) int {
+	if o := c.Ops[i]; o.Origin >= 0 {
+		return o.Origin
+	}
+	return i
+}
+
+// subID synthesizes the arch.SubblockID the model uses for subblock s, so
+// the states can embed the real cache.AttractionBuffer implementation.
+// Distinct subblocks get distinct block addresses; the home cluster rides
+// along as in the simulator.
+func (c *Config) subID(s int) arch.SubblockID {
+	return arch.SubblockID{Block: uint64(s+1) << 5, Cluster: c.Homes[s]}
+}

@@ -1,0 +1,224 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"vliwcache/internal/obs"
+)
+
+// TestMCSmoke pins the canonical configurations' exact exploration
+// profile: the checker is deterministic, so states, transitions, depth
+// and automorphism-group size are golden values. A change here means the
+// model (or its canonicalization) changed behavior — which must be
+// deliberate.
+func TestMCSmoke(t *testing.T) {
+	want := map[string]Result{
+		"mdc-chain":        {States: 32, Transitions: 56, Depth: 9, Automorphisms: 1},
+		"ddgt-replication": {States: 18, Transitions: 27, Depth: 8, Automorphisms: 1},
+		"read-sharing":     {States: 104, Transitions: 277, Depth: 13, Automorphisms: 2},
+	}
+	ck := NewChecker()
+	for _, cfg := range CanonicalConfigs() {
+		res, err := ck.Check(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !res.OK() {
+			t.Fatalf("%s: unexpected violation:\n%s", cfg.Name, res.Counterexample)
+		}
+		w := want[cfg.Name]
+		if res.States != w.States || res.Transitions != w.Transitions ||
+			res.Depth != w.Depth || res.Automorphisms != w.Automorphisms {
+			t.Errorf("%s: got %v, want states=%d transitions=%d depth=%d autos=%d",
+				cfg.Name, res, w.States, w.Transitions, w.Depth, w.Automorphisms)
+		}
+	}
+}
+
+// TestBudgetExhaustion: budgets degrade to a typed partial-coverage
+// error, never a panic and never a silent pass.
+func TestBudgetExhaustion(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  func() *Config
+	}{
+		{"states", func() *Config { c := ReadSharing(); c.MaxStates = 5; return c }},
+		{"transitions", func() *Config { c := ReadSharing(); c.MaxTransitions = 7; return c }},
+	} {
+		cfg := tc.cfg()
+		res, err := Check(context.Background(), cfg)
+		if err == nil {
+			t.Fatalf("%s: budget did not trip (%v)", tc.name, res)
+		}
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("%s: err = %v, want ErrBudget", tc.name, err)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: err %T does not unwrap to *BudgetError", tc.name, err)
+		}
+		if res == nil {
+			t.Fatalf("%s: no partial result alongside the budget error", tc.name)
+		}
+		if be.States != res.States || be.Transitions != res.Transitions {
+			t.Errorf("%s: coverage mismatch: error %+v vs result %v", tc.name, be, res)
+		}
+		if be.Frontier <= 0 {
+			t.Errorf("%s: budget error reports no unexplored frontier: %+v", tc.name, be)
+		}
+		if res.Counterexample != nil {
+			t.Errorf("%s: partial exploration of a passing config found a violation", tc.name)
+		}
+	}
+}
+
+// TestSymmetryReduction: the reader-swap automorphism of read-sharing
+// folds the state space, and the verdict does not depend on the
+// reduction.
+func TestSymmetryReduction(t *testing.T) {
+	sym, err := Check(context.Background(), ReadSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nosym := ReadSharing()
+	nosym.DisableSymmetry = true
+	full, err := Check(context.Background(), nosym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Automorphisms != 2 || full.Automorphisms != 1 {
+		t.Errorf("automorphisms = %d/%d, want 2 with reduction and 1 without",
+			sym.Automorphisms, full.Automorphisms)
+	}
+	if sym.States >= full.States {
+		t.Errorf("symmetry reduction did not reduce: %d states with, %d without", sym.States, full.States)
+	}
+	if sym.OK() != full.OK() {
+		t.Errorf("verdict depends on symmetry reduction: %v vs %v", sym.OK(), full.OK())
+	}
+}
+
+// TestDeterminism: the same configuration explores identically — counts,
+// counterexample steps and the replayed event stream — across runs,
+// across fresh and reused checkers. make race runs this under the race
+// detector.
+func TestDeterminism(t *testing.T) {
+	bug := MDCChain()
+	bug.Name = "mdc-chain-pr2"
+	bug.DisableABInvalidate = true
+	shared := NewChecker()
+	var first *Result
+	var firstEvents []obs.Event
+	for i := 0; i < 3; i++ {
+		ck := shared
+		if i == 1 {
+			ck = NewChecker() // a fresh checker must agree with a reused one
+		}
+		res, err := ck.Check(context.Background(), bug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK() {
+			t.Fatal("PR 2 configuration did not produce a counterexample")
+		}
+		ev := res.Counterexample.Events()
+		if first == nil {
+			first, firstEvents = res, ev
+			continue
+		}
+		if !reflect.DeepEqual(res, first) {
+			t.Errorf("run %d: result diverged:\n got %v\nwant %v", i, res, first)
+		}
+		if !reflect.DeepEqual(ev, firstEvents) {
+			t.Errorf("run %d: replayed event stream diverged", i)
+		}
+	}
+	for i := 0; i < 2; i++ { // passing configs too
+		res, err := shared.Check(context.Background(), MDCChain())
+		if err != nil || !res.OK() {
+			t.Fatalf("mdc-chain: %v %v", res, err)
+		}
+		if res.States != 32 || res.Transitions != 56 {
+			t.Errorf("run %d: mdc-chain drifted: %v", i, res)
+		}
+	}
+}
+
+// TestDDGTAntiDependence records a genuine checker finding (see
+// EXPERIMENTS.md): a load issued before a replicated store group, fetching
+// the subblock from another cluster, races the home instance's bank write
+// under unbounded request delay. The schedule must order the store group
+// after such loads (or pad the anti-dependence); the flow-only canonical
+// configuration does, this variant deliberately does not.
+func TestDDGTAntiDependence(t *testing.T) {
+	cfg := &Config{
+		Name:     "ddgt-antidep",
+		Clusters: 2,
+		Homes:    []int{0},
+		Ops: []Op{
+			{Cluster: 1, Kind: Load, Sub: 0, Slot: 0, Origin: -1}, // in-flight fetch...
+			{Cluster: 0, Kind: Store, Sub: 0, Slot: 1, Origin: 1}, // ...races the home write
+			{Cluster: 1, Kind: Store, Sub: 0, Slot: 1, Origin: 1},
+		},
+		ABEntries: 2,
+		ABAssoc:   2,
+	}
+	res, err := Check(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("expected the anti-dependence race to violate serialization")
+	}
+	if got := res.Counterexample.Violation.Invariant; got != InvSerialization {
+		t.Errorf("violated invariant = %s, want %s", got, InvSerialization)
+	}
+}
+
+// TestConfigValidate rejects malformed configurations.
+func TestConfigValidate(t *testing.T) {
+	base := func() *Config { return MDCChain() }
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no clusters", func(c *Config) { c.Clusters = 0 }},
+		{"too many clusters", func(c *Config) { c.Clusters = MaxClusters + 1 }},
+		{"no subblocks", func(c *Config) { c.Homes = nil }},
+		{"bad home", func(c *Config) { c.Homes = []int{7} }},
+		{"no ops", func(c *Config) { c.Ops = nil }},
+		{"bad op cluster", func(c *Config) { c.Ops[0].Cluster = 9 }},
+		{"bad op sub", func(c *Config) { c.Ops[0].Sub = 3 }},
+		{"slot gap", func(c *Config) { c.Ops[2].Slot = 5 }},
+		{"first slot nonzero", func(c *Config) { for i := range c.Ops { c.Ops[i].Slot++ } }},
+		{"assoc mismatch", func(c *Config) { c.ABAssoc = 3 }},
+		{"negative budget", func(c *Config) { c.MaxStates = -1 }},
+		{"origin not a store group", func(c *Config) { c.Ops[2].Origin = 0 }},
+		{"origin in the future", func(c *Config) { c.Ops[0].Origin = 2 }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", tc.name)
+		}
+	}
+	for _, cfg := range CanonicalConfigs() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+// TestContextCancel: a canceled context aborts cleanly.
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Check(ctx, ReadSharing())
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want context.Canceled", res, err)
+	}
+}

@@ -1,0 +1,626 @@
+package mc
+
+import (
+	"fmt"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/cache"
+	"vliwcache/internal/obs"
+)
+
+// Sentinels for state.copyVer: the version a cluster's Attraction Buffer
+// copy of a subblock holds. Non-negative values are the identity (origin
+// op index) of the store whose value the copy carries; verInit is the
+// initial memory content; verNone marks "no copy"; values <= verFlightBase
+// encode a copy whose data is still in flight on fetch by op
+// -(v - verFlightBase).
+const (
+	verInit       = int16(-1)
+	verNone       = int16(-2)
+	verFlightBase = int16(-3)
+)
+
+func encodeFlight(op int) int16 { return verFlightBase - int16(op) }
+func decodeFlight(v int16) int  { return int(verFlightBase - v) }
+
+// model holds the static tables derived from a validated Config.
+type model struct {
+	cfg    *Config
+	nclus  int
+	nsubs  int
+	slots  [][]int // slot -> op indices, in listed order
+	prog   []int16 // per op: program-order identity
+	want   []int16 // per load op: identity of the expected observed store
+	last   []int16 // per sub: identity of the program-last store
+	subIDs []arch.SubblockID
+	autos  []autoPerm // config automorphisms; autos[0] is the identity
+}
+
+// state is one explored machine configuration. States are cloned before
+// every transition; the Attraction Buffers are the real cache
+// implementation so the checker exercises its replacement behavior, with
+// copyVer carrying the value identity the buffer itself does not store.
+type state struct {
+	next    int16   // next slot to issue
+	bankVer []int16 // per sub: identity of the last store serialized at the bank
+	maxAny  []int16 // per sub: largest identity of any serialized access
+	maxSto  []int16 // per sub: largest identity of a serialized store
+	pend    []int16 // [cluster*nsubs+sub]: op of the live pending fetch, -1 none
+	copyVer []int16 // [cluster*nsubs+sub]: version of the AB copy (see sentinels)
+	abs     []*cache.AttractionBuffer
+	msgs    []msg
+	step    int64 // LRU clock; canonicalization reduces it to per-set ranks
+}
+
+// msg is one in-flight bus message. Requests (stage 0) leave their
+// cluster in FIFO order — the arbiter property internal/bus pins — and
+// replies (stage 1) land in any order.
+type msg struct {
+	op      int16
+	cluster int8
+	sub     int8
+	store   bool
+	stage   int8
+	capVer  int16   // bank version captured at the bank (stage 1)
+	obs     []int16 // loads observing this fetch's value, checked at capture
+}
+
+const (
+	stageReq = int8(0)
+	stageRep = int8(1)
+)
+
+// StepKind enumerates the transition kinds of the model.
+type StepKind uint8
+
+const (
+	// StepIssue issues the next slot's operations (lockstep word).
+	StepIssue StepKind = iota
+	// StepDeliverReq delivers a cluster's oldest queued request to its
+	// subblock's home bank.
+	StepDeliverReq
+	// StepDeliverRep lands an in-flight reply at its requesting cluster.
+	StepDeliverRep
+	// StepFlush adversarially empties one cluster's Attraction Buffer.
+	StepFlush
+)
+
+// Step is one transition: a counterexample is a sequence of Steps from
+// the initial state.
+type Step struct {
+	Kind    StepKind
+	Cluster int // DeliverReq/DeliverRep/Flush: the requesting cluster
+	Op      int // Issue: slot index; DeliverReq/DeliverRep: the message's op
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepIssue:
+		return fmt.Sprintf("issue slot %d", s.Op)
+	case StepDeliverReq:
+		return fmt.Sprintf("deliver request of op %d (cluster %d) at bank", s.Op, s.Cluster)
+	case StepDeliverRep:
+		return fmt.Sprintf("deliver reply of op %d to cluster %d", s.Op, s.Cluster)
+	case StepFlush:
+		return fmt.Sprintf("flush attraction buffer of cluster %d", s.Cluster)
+	}
+	return fmt.Sprintf("step(%d)", s.Kind)
+}
+
+// newModel builds the static tables for cfg (which must validate).
+func newModel(cfg *Config) (*model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &model{cfg: cfg, nclus: cfg.Clusters, nsubs: len(cfg.Homes)}
+	for i, o := range cfg.Ops {
+		for o.Slot >= len(m.slots) {
+			m.slots = append(m.slots, nil)
+		}
+		m.slots[o.Slot] = append(m.slots[o.Slot], i)
+	}
+	m.prog = make([]int16, len(cfg.Ops))
+	m.want = make([]int16, len(cfg.Ops))
+	m.last = make([]int16, m.nsubs)
+	for s := range m.last {
+		m.last[s] = verInit
+	}
+	for i, o := range cfg.Ops {
+		m.prog[i] = int16(cfg.prog(i))
+		m.want[i] = m.last[o.Sub] // loads expect the program-latest earlier store
+		if o.Kind == Store {
+			m.last[o.Sub] = m.prog[i]
+		}
+	}
+	m.subIDs = make([]arch.SubblockID, m.nsubs)
+	for s := range m.subIDs {
+		m.subIDs[s] = cfg.subID(s)
+	}
+	m.autos = m.automorphisms()
+	return m, nil
+}
+
+// initial builds the root state: nothing issued, banks at initial memory.
+func (m *model) initial() *state {
+	st := &state{
+		bankVer: fill16(m.nsubs, verInit),
+		maxAny:  fill16(m.nsubs, verInit),
+		maxSto:  fill16(m.nsubs, verInit),
+		pend:    fill16(m.nclus*m.nsubs, -1),
+		copyVer: fill16(m.nclus*m.nsubs, verNone),
+	}
+	if m.cfg.ABEntries > 0 {
+		st.abs = make([]*cache.AttractionBuffer, m.nclus)
+		for c := range st.abs {
+			st.abs[c] = cache.NewAttractionBuffer(m.cfg.ABEntries, m.cfg.ABAssoc)
+		}
+	}
+	return st
+}
+
+func fill16(n int, v int16) []int16 {
+	s := make([]int16, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// clone deep-copies a state so a transition can be applied to the copy.
+func (st *state) clone() *state {
+	cp := &state{
+		next:    st.next,
+		bankVer: append([]int16(nil), st.bankVer...),
+		maxAny:  append([]int16(nil), st.maxAny...),
+		maxSto:  append([]int16(nil), st.maxSto...),
+		pend:    append([]int16(nil), st.pend...),
+		copyVer: append([]int16(nil), st.copyVer...),
+		step:    st.step,
+	}
+	if st.abs != nil {
+		cp.abs = make([]*cache.AttractionBuffer, len(st.abs))
+		for c, ab := range st.abs {
+			cp.abs[c] = ab.Clone()
+		}
+	}
+	cp.msgs = make([]msg, len(st.msgs))
+	for i, mg := range st.msgs {
+		cp.msgs[i] = mg
+		if mg.obs != nil {
+			cp.msgs[i].obs = append([]int16(nil), mg.obs...)
+		}
+	}
+	return cp
+}
+
+// terminal reports whether every op has issued and no message is in
+// flight: the program has quiesced.
+func (m *model) terminal(st *state) bool {
+	return int(st.next) >= len(m.slots) && len(st.msgs) == 0
+}
+
+// enumerate lists the enabled transitions of st in a fixed deterministic
+// order: issue, then each cluster's oldest queued request, then replies
+// by op, then adversarial flushes by cluster.
+func (m *model) enumerate(st *state) []Step {
+	var steps []Step
+	if int(st.next) < len(m.slots) {
+		steps = append(steps, Step{Kind: StepIssue, Op: int(st.next)})
+	}
+	for c := 0; c < m.nclus; c++ {
+		for i := range st.msgs {
+			mg := &st.msgs[i]
+			if mg.stage == stageReq && int(mg.cluster) == c {
+				steps = append(steps, Step{Kind: StepDeliverReq, Cluster: c, Op: int(mg.op)})
+				break // FIFO: only the oldest request of a cluster may deliver
+			}
+		}
+	}
+	for op := 0; op < len(m.cfg.Ops); op++ {
+		for i := range st.msgs {
+			mg := &st.msgs[i]
+			if mg.stage == stageRep && int(mg.op) == op {
+				steps = append(steps, Step{Kind: StepDeliverRep, Cluster: int(mg.cluster), Op: op})
+			}
+		}
+	}
+	if m.cfg.AdversarialFlush && st.abs != nil {
+		for c := 0; c < m.nclus; c++ {
+			if present, _ := m.abScan(st, c); present != 0 {
+				steps = append(steps, Step{Kind: StepFlush, Cluster: c})
+			}
+		}
+	}
+	return steps
+}
+
+// apply executes one transition on st in place, returning the first
+// invariant violation it causes (nil if none). em, when non-nil, receives
+// the obs events the transition corresponds to — the same code path
+// drives exploration and counterexample replay.
+func (m *model) apply(st *state, sp Step, em func(obs.Event)) *Violation {
+	switch sp.Kind {
+	case StepIssue:
+		if int(st.next) >= len(m.slots) || sp.Op != int(st.next) {
+			return nil
+		}
+		ops := m.slots[sp.Op]
+		st.next++
+		for _, id := range ops {
+			if v := m.issue(st, id, em); v != nil {
+				return v
+			}
+		}
+		return m.ownerCheck(st)
+	case StepDeliverReq:
+		if v := m.deliverReq(st, sp, em); v != nil {
+			return v
+		}
+		return m.ownerCheck(st)
+	case StepDeliverRep:
+		m.deliverRep(st, sp, em)
+		return m.ownerCheck(st)
+	case StepFlush:
+		m.flushAB(st, sp.Cluster, true, em)
+		return m.ownerCheck(st)
+	}
+	return nil
+}
+
+// issue executes op id at its cluster, mirroring sim.memAccess with time
+// abstracted away: nullified replica instances, requester-side combining
+// (and the remote-store conflict the PR 2 fix handles), local accesses,
+// Attraction Buffer hits, and the bus path.
+func (m *model) issue(st *state, id int, em func(obs.Event)) *Violation {
+	o := m.cfg.Ops[id]
+	c, s, home := o.Cluster, o.Sub, m.cfg.Homes[o.Sub]
+	isStore := o.Kind == Store
+	ps := c*m.nsubs + s
+	emit(em, obs.Event{Kind: obs.KindAccess, Class: -1, Op: int32(id), Cluster: int32(c)})
+
+	// Store replication: only the instance in the home cluster executes;
+	// the others keep their cluster's local state fresh.
+	if isStore && o.Origin >= 0 && c != home {
+		if st.abs != nil && m.abHas(st, c, s) {
+			st.abs[c].Update(m.subIDs[s], st.tick())
+			st.copyVer[ps] = m.prog[id]
+		}
+		st.pend[ps] = -1
+		return nil
+	}
+
+	// Requester-side combining: a live pending fetch of the subblock.
+	if p := st.pend[ps]; p >= 0 {
+		if !isStore {
+			// Combined: serialized with the original request at issue
+			// (sim records the arrival at issue time); the observed value
+			// is whatever the fetch captures at the bank.
+			if v := m.serialize(st, s, id, false, em); v != nil {
+				return v
+			}
+			return m.observeFetch(st, int(p), id)
+		}
+		// A remote store cannot join — its write must reach the home
+		// bank — and it makes the in-flight copy stale: drop the pending
+		// entry and (the PR 2 fix) the eagerly-inserted copy.
+		st.pend[ps] = -1
+		if st.abs != nil && !m.cfg.DisableABInvalidate {
+			if st.abs[c].Invalidate(m.subIDs[s]) {
+				st.copyVer[ps] = verNone
+				emit(em, obs.Event{Kind: obs.KindABInvalidate, Class: -1, Op: int32(id), Cluster: int32(c)})
+			}
+		}
+	}
+
+	// Local access: serialized at the bank immediately.
+	if c == home {
+		if v := m.serialize(st, s, id, isStore, em); v != nil {
+			return v
+		}
+		if isStore {
+			st.bankVer[s] = m.prog[id]
+			return nil
+		}
+		return m.observed(st, id, st.bankVer[s])
+	}
+
+	// Remote access: the Attraction Buffer may satisfy it locally.
+	if st.abs != nil && m.abHas(st, c, s) {
+		if !isStore {
+			st.abs[c].Lookup(m.subIDs[s], st.tick())
+			if v := m.serialize(st, s, id, false, em); v != nil {
+				return v
+			}
+			emit(em, obs.Event{Kind: obs.KindABHit, Class: -1, Op: int32(id), Cluster: int32(c)})
+			if cv := st.copyVer[ps]; cv <= verFlightBase {
+				// The copy's data is still in flight (possible only with
+				// the PR 2 fix disabled): the load observes the capture.
+				return m.observeFetch(st, decodeFlight(cv), id)
+			}
+			return m.observed(st, id, st.copyVer[ps])
+		}
+		// MDC store into the replicated copy: dirty, written back to the
+		// home bank when the buffer flushes.
+		st.abs[c].Write(m.subIDs[s], st.tick())
+		if v := m.serialize(st, s, id, true, em); v != nil {
+			return v
+		}
+		emit(em, obs.Event{Kind: obs.KindABHit, Class: -1, Op: int32(id), Cluster: int32(c)})
+		st.copyVer[ps] = m.prog[id]
+		return nil
+	}
+
+	// Bus path: the request enters this cluster's FIFO stream.
+	st.msgs = append(st.msgs, msg{op: int16(id), cluster: int8(c), sub: int8(s), store: isStore})
+	emit(em, obs.Event{Kind: obs.KindBusTransfer, Class: -1, Op: int32(id), Cluster: int32(c)})
+	if !isStore {
+		st.pend[ps] = int16(id)
+		if st.abs != nil {
+			// Eager insert (sim inserts at issue, timestamped reply
+			// time): the copy is visible from now, its data in flight.
+			m.abInsert(st, c, s, encodeFlight(id))
+		}
+	}
+	return nil
+}
+
+// deliverReq delivers the named queued request at its home bank: the
+// access serializes there, stores write the bank, loads capture the bank
+// version (their reply carries it back).
+func (m *model) deliverReq(st *state, sp Step, em func(obs.Event)) *Violation {
+	i := st.findMsg(int16(sp.Op), stageReq)
+	if i < 0 {
+		return nil
+	}
+	mg := &st.msgs[i]
+	s := int(mg.sub)
+	if v := m.serialize(st, s, int(mg.op), mg.store, em); v != nil {
+		return v
+	}
+	if mg.store {
+		st.bankVer[s] = m.prog[mg.op]
+		st.msgs = append(st.msgs[:i], st.msgs[i+1:]...)
+		return nil
+	}
+	cap := st.bankVer[s]
+	mg.capVer = cap
+	mg.stage = stageRep
+	if v := m.observed(st, int(mg.op), cap); v != nil {
+		return v
+	}
+	for _, ob := range mg.obs {
+		if v := m.observed(st, int(ob), cap); v != nil {
+			return v
+		}
+	}
+	mg.obs = mg.obs[:0]
+	return nil
+}
+
+// deliverRep lands a reply: the pending entry retires and the in-flight
+// Attraction Buffer copy resolves to the captured version. A copy a later
+// store already updated keeps the newer version (non-clobbering fill, see
+// the package comment), and a copy that was invalidated or evicted in the
+// meantime is not re-inserted (the simulator's insert happened at issue).
+func (m *model) deliverRep(st *state, sp Step, em func(obs.Event)) {
+	i := st.findMsg(int16(sp.Op), stageRep)
+	if i < 0 {
+		return
+	}
+	mg := st.msgs[i]
+	c, s := int(mg.cluster), int(mg.sub)
+	ps := c*m.nsubs + s
+	emit(em, obs.Event{Kind: obs.KindBusTransfer, Class: -1, Op: int32(mg.op), Cluster: int32(c)})
+	if st.pend[ps] == mg.op {
+		st.pend[ps] = -1
+	}
+	if st.abs != nil && m.abHas(st, c, s) {
+		st.abs[c].Insert(m.subIDs[s], st.tick()) // refresh; the line is present, nothing evicts
+		if st.copyVer[ps] == encodeFlight(int(mg.op)) {
+			st.copyVer[ps] = mg.capVer
+		}
+	}
+	st.msgs = append(st.msgs[:i], st.msgs[i+1:]...)
+}
+
+// flushAB empties one cluster's Attraction Buffer: dirty copies write
+// their value back to the home bank (the technique's free flush), then
+// every line drops.
+func (m *model) flushAB(st *state, c int, injected bool, em func(obs.Event)) {
+	if st.abs == nil {
+		return
+	}
+	present, dirty := m.abScan(st, c)
+	for s := 0; s < m.nsubs; s++ {
+		ps := c*m.nsubs + s
+		if present&(1<<s) != 0 {
+			if dirty&(1<<s) != 0 && st.copyVer[ps] >= 0 {
+				st.bankVer[s] = st.copyVer[ps]
+			}
+			st.copyVer[ps] = verNone
+		}
+	}
+	st.abs[c].Flush()
+	arg := int64(0)
+	if injected {
+		arg = 1
+	}
+	emit(em, obs.Event{Kind: obs.KindABFlush, Class: -1, Op: -1, Cluster: int32(c), Arg: arg})
+}
+
+// finalCheck runs on terminal states: flush every buffer (the loop
+// boundary), then the banks must hold the program-last store of every
+// subblock.
+func (m *model) finalCheck(st *state, em func(obs.Event)) *Violation {
+	for c := 0; c < m.nclus; c++ {
+		m.flushAB(st, c, false, em)
+	}
+	for s := 0; s < m.nsubs; s++ {
+		if st.bankVer[s] != m.last[s] {
+			return &Violation{
+				Invariant: InvLostUpdate, Op: -1, Sub: s,
+				Detail: fmt.Sprintf("bank of subblock %d holds version %s after the final flush, program-last store is %s",
+					s, verName(st.bankVer[s]), verName(m.last[s])),
+			}
+		}
+	}
+	return nil
+}
+
+// serialize orders one access at its subblock's serialization point and
+// checks the serialization invariant — the untimed statement of what
+// sim's coherence checker tests on bank-arrival records: a store must not
+// arrive after a program-later access, a load not after a program-later
+// store.
+func (m *model) serialize(st *state, s, id int, isStore bool, em func(obs.Event)) *Violation {
+	p := m.prog[id]
+	emit(em, obs.Event{Kind: obs.KindBankArrival, Class: -1, Op: int32(id), Cluster: int32(m.cfg.Homes[s])})
+	if isStore && st.maxAny[s] > p {
+		return &Violation{
+			Invariant: InvSerialization, Op: id, Sub: s,
+			Detail: fmt.Sprintf("store %d serialized after program-later access %d of subblock %d", id, st.maxAny[s], s),
+		}
+	}
+	if !isStore && st.maxSto[s] > p {
+		return &Violation{
+			Invariant: InvSerialization, Op: id, Sub: s,
+			Detail: fmt.Sprintf("load %d serialized after program-later store %d of subblock %d", id, st.maxSto[s], s),
+		}
+	}
+	if p > st.maxAny[s] {
+		st.maxAny[s] = p
+	}
+	if isStore && p > st.maxSto[s] {
+		st.maxSto[s] = p
+	}
+	return nil
+}
+
+// observed checks the stale-value invariant: load id saw version got; it
+// must equal the program-latest store ordered before the load.
+func (m *model) observed(st *state, id int, got int16) *Violation {
+	if got == m.want[id] {
+		return nil
+	}
+	return &Violation{
+		Invariant: InvStaleValue, Op: id, Sub: m.cfg.Ops[id].Sub,
+		Detail: fmt.Sprintf("load %d observed version %s, expected %s", id, verName(got), verName(m.want[id])),
+	}
+}
+
+// observeFetch defers load id's value check to fetchOp's bank capture, or
+// performs it now when the capture already happened.
+func (m *model) observeFetch(st *state, fetchOp, id int) *Violation {
+	for i := range st.msgs {
+		mg := &st.msgs[i]
+		if int(mg.op) != fetchOp {
+			continue
+		}
+		if mg.stage == stageRep {
+			return m.observed(st, id, mg.capVer)
+		}
+		mg.obs = append(mg.obs, int16(id))
+		return nil
+	}
+	return nil // fetch already fully retired; nothing left to observe
+}
+
+// ownerCheck checks the single-owner invariant on the whole state: a
+// dirty copy of a subblock (modified data, MDC) excludes every other
+// cluster's copy of it.
+func (m *model) ownerCheck(st *state) *Violation {
+	if st.abs == nil {
+		return nil
+	}
+	for s := 0; s < m.nsubs; s++ {
+		holders, dirtyHolders := 0, 0
+		for c := 0; c < m.nclus; c++ {
+			present, dirty := m.abScan(st, c)
+			if present&(1<<s) != 0 {
+				holders++
+				if dirty&(1<<s) != 0 {
+					dirtyHolders++
+				}
+			}
+		}
+		if dirtyHolders > 1 || (dirtyHolders == 1 && holders > 1) {
+			return &Violation{
+				Invariant: InvSingleOwner, Op: -1, Sub: s,
+				Detail: fmt.Sprintf("subblock %d has a dirty copy alongside %d other cop(ies)", s, holders-1),
+			}
+		}
+	}
+	return nil
+}
+
+// abScan reports which subblocks cluster c's Attraction Buffer currently
+// holds (and which of those copies are dirty) as bitmasks.
+func (m *model) abScan(st *state, c int) (present, dirty uint32) {
+	st.abs[c].VisitLines(func(_, _ int, sub arch.SubblockID, valid, d bool, _ int64) {
+		if !valid {
+			return
+		}
+		s := int(sub.Block>>5) - 1
+		present |= 1 << s
+		if d {
+			dirty |= 1 << s
+		}
+	})
+	return present, dirty
+}
+
+func (m *model) abHas(st *state, c, s int) bool {
+	present, _ := m.abScan(st, c)
+	return present&(1<<s) != 0
+}
+
+// abInsert inserts subblock s into cluster c's buffer with the given copy
+// version, reconciling copyVer with any eviction the insertion caused
+// (a dirty victim writes back to its home bank, exactly as a flush
+// would — the copy is the freshest value).
+func (m *model) abInsert(st *state, c, s int, ver int16) {
+	pre, preDirty := m.abScan(st, c)
+	st.abs[c].Insert(m.subIDs[s], st.tick())
+	post, _ := m.abScan(st, c)
+	for e := 0; e < m.nsubs; e++ {
+		if e == s || pre&(1<<e) == 0 || post&(1<<e) != 0 {
+			continue
+		}
+		pe := c*m.nsubs + e
+		if preDirty&(1<<e) != 0 && st.copyVer[pe] >= 0 {
+			st.bankVer[e] = st.copyVer[pe]
+		}
+		st.copyVer[pe] = verNone
+	}
+	st.copyVer[c*m.nsubs+s] = ver
+}
+
+func (st *state) tick() int64 {
+	st.step++
+	return st.step
+}
+
+func (st *state) findMsg(op int16, stage int8) int {
+	for i := range st.msgs {
+		if st.msgs[i].op == op && st.msgs[i].stage == stage {
+			return i
+		}
+	}
+	return -1
+}
+
+func emit(em func(obs.Event), e obs.Event) {
+	if em != nil {
+		em(e)
+	}
+}
+
+func verName(v int16) string {
+	switch {
+	case v == verInit:
+		return "initial-memory"
+	case v >= 0:
+		return fmt.Sprintf("store %d", v)
+	}
+	return fmt.Sprintf("version(%d)", v)
+}

@@ -1,0 +1,279 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the sentinel wrapped by every BudgetError, so callers can
+// errors.Is(err, mc.ErrBudget) without caring which bound tripped.
+var ErrBudget = errors.New("mc: exploration budget exhausted")
+
+// BudgetError reports that exploration stopped at its state or transition
+// budget. It is a degradation, not a failure: the partial Result returned
+// alongside it is sound for every state actually explored, and the error
+// carries the coverage the run achieved — how much was seen, how much
+// frontier was left unexplored, and how deep the search got.
+type BudgetError struct {
+	MaxStates      int64 // configured bounds
+	MaxTransitions int64
+	States         int64 // explored before the budget tripped
+	Transitions    int64
+	Frontier       int // states enqueued but never expanded
+	Depth          int // deepest BFS level reached
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf(
+		"mc: exploration budget exhausted: %d/%d states, %d/%d transitions explored (frontier %d unexpanded, depth %d)",
+		e.States, e.MaxStates, e.Transitions, e.MaxTransitions, e.Frontier, e.Depth)
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) true.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// Result is the outcome of one exhaustive check.
+type Result struct {
+	// Name echoes the configuration's name.
+	Name string
+	// States is the number of distinct canonical states reached.
+	States int64
+	// Transitions is the number of transitions explored.
+	Transitions int64
+	// Depth is the deepest BFS level expanded (the longest shortest-path).
+	Depth int
+	// Automorphisms is the symmetry group size used for reduction
+	// (1 = identity only).
+	Automorphisms int
+	// Counterexample is non-nil iff an invariant was violated; it is a
+	// minimal-length trace.
+	Counterexample *Counterexample
+}
+
+// OK reports whether the check passed (no violation found).
+func (r *Result) OK() bool { return r != nil && r.Counterexample == nil }
+
+func (r *Result) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL(" + r.Counterexample.Violation.Invariant + ")"
+	}
+	return fmt.Sprintf("%s: %s states=%d transitions=%d depth=%d autos=%d",
+		r.Name, verdict, r.States, r.Transitions, r.Depth, r.Automorphisms)
+}
+
+// Checker runs exhaustive checks, reusing its seen-table and encoding
+// buffers across calls (the epoch-cleared-table idiom the simulator's
+// runner uses for its per-run maps).
+type Checker struct {
+	seen    seenTab
+	scratch [2][]byte
+}
+
+// NewChecker builds a reusable checker.
+func NewChecker() *Checker {
+	c := &Checker{}
+	c.seen.init()
+	c.scratch[0] = make([]byte, 0, 256)
+	c.scratch[1] = make([]byte, 0, 256)
+	return c
+}
+
+// Check explores cfg exhaustively. See Checker.Check.
+func Check(ctx context.Context, cfg *Config) (*Result, error) {
+	return NewChecker().Check(ctx, cfg)
+}
+
+// node is one discovered state in the BFS tree: enough to reconstruct
+// the (minimal) path from the root via parent pointers.
+type node struct {
+	parent int32
+	step   Step
+}
+
+type qent struct {
+	id    int32
+	depth int32
+	st    *state
+}
+
+// Check runs a breadth-first exhaustive exploration of cfg's transition
+// system, checking every invariant on every reachable state. It returns:
+//
+//   - (result with nil Counterexample, nil): every reachable state within
+//     the budget satisfies the invariants and the search exhausted the
+//     state space — a full proof for the bounded configuration;
+//   - (result with Counterexample, nil): a violation, with a
+//     minimal-length trace;
+//   - (partial result, *BudgetError): the budget tripped first; the error
+//     carries the explored coverage (errors.Is(err, ErrBudget));
+//   - (nil, err): invalid configuration or canceled context.
+func (ck *Checker) Check(ctx context.Context, cfg *Config) (*Result, error) {
+	m, err := newModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxStates, maxTransitions := cfg.MaxStates, cfg.MaxTransitions
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	if maxTransitions == 0 {
+		maxTransitions = DefaultMaxTransitions
+	}
+
+	res := &Result{Name: cfg.Name, Automorphisms: len(m.autos)}
+	if cfg.DisableSymmetry {
+		res.Automorphisms = 1
+	}
+	ck.seen.reset()
+
+	root := m.initial()
+	_, fp := m.canonical(root, &ck.scratch)
+	ck.seen.insert(fp)
+	res.States = 1
+
+	nodes := []node{{parent: -1}}
+	queue := []qent{{id: 0, depth: 0, st: root}}
+
+	path := func(id int32, extra *Step) []Step {
+		var steps []Step
+		for id > 0 {
+			steps = append(steps, nodes[id].step)
+			id = nodes[id].parent
+		}
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		if extra != nil {
+			steps = append(steps, *extra)
+		}
+		return steps
+	}
+	fail := func(id int32, extra *Step, v *Violation) (*Result, error) {
+		res.Counterexample = &Counterexample{Config: cfg, Steps: path(id, extra), Violation: *v}
+		return res, nil
+	}
+	budget := func(qi int) (*Result, error) {
+		return res, &BudgetError{
+			MaxStates: maxStates, MaxTransitions: maxTransitions,
+			States: res.States, Transitions: res.Transitions,
+			Frontier: len(queue) - qi, Depth: res.Depth,
+		}
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		queue[qi].st = nil // expanded states are not revisited; let them go
+		if int(cur.depth) > res.Depth {
+			res.Depth = int(cur.depth)
+		}
+		if res.Transitions&0x3FF == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if m.terminal(cur.st) {
+			if v := m.finalCheck(cur.st.clone(), nil); v != nil {
+				return fail(cur.id, nil, v)
+			}
+			continue
+		}
+		for _, sp := range m.enumerate(cur.st) {
+			if res.Transitions >= maxTransitions {
+				return budget(qi)
+			}
+			res.Transitions++
+			succ := cur.st.clone()
+			sp := sp
+			if v := m.apply(succ, sp, nil); v != nil {
+				return fail(cur.id, &sp, v)
+			}
+			_, fp := m.canonical(succ, &ck.scratch)
+			if !ck.seen.insert(fp) {
+				continue // already reached (possibly as a symmetric image)
+			}
+			if res.States >= maxStates {
+				return budget(qi)
+			}
+			res.States++
+			nodes = append(nodes, node{parent: cur.id, step: sp})
+			queue = append(queue, qent{id: int32(len(nodes) - 1), depth: cur.depth + 1, st: succ})
+		}
+	}
+	return res, nil
+}
+
+// seenTab is an open-addressed fingerprint set with O(1) epoch clearing —
+// the same table idiom the simulator's runner uses for its pending and
+// coherence maps, here keyed by canonical-state fingerprints.
+type seenTab struct {
+	fps   []uint64
+	eps   []uint32
+	shift uint
+	n     int
+	epoch uint32
+}
+
+const seenTabMinSize = 1 << 10
+
+func (t *seenTab) init() {
+	if t.fps == nil {
+		t.alloc(seenTabMinSize)
+		t.epoch = 1
+	}
+}
+
+func (t *seenTab) alloc(n int) {
+	t.fps = make([]uint64, n)
+	t.eps = make([]uint32, n)
+	t.shift = 64 - log2(n)
+	t.n = 0
+}
+
+// reset invalidates every entry in O(1) by advancing the epoch.
+func (t *seenTab) reset() {
+	t.epoch++
+	t.n = 0
+	if t.epoch == 0 { // wrapped: stale epochs could alias, really clear
+		clear(t.eps)
+		t.epoch = 1
+	}
+}
+
+// insert adds fp, reporting whether it was absent.
+func (t *seenTab) insert(fp uint64) bool {
+	if t.n >= len(t.fps)-len(t.fps)/4 {
+		t.grow()
+	}
+	i := (fp * fibMult) >> t.shift
+	for t.eps[i] == t.epoch {
+		if t.fps[i] == fp {
+			return false
+		}
+		i = (i + 1) & uint64(len(t.fps)-1)
+	}
+	t.fps[i], t.eps[i] = fp, t.epoch
+	t.n++
+	return true
+}
+
+func (t *seenTab) grow() {
+	of, oe, epoch := t.fps, t.eps, t.epoch
+	t.alloc(2 * len(of))
+	t.epoch = 1
+	for i, e := range oe {
+		if e == epoch {
+			t.insert(of[i])
+		}
+	}
+}
+
+// fibMult is the 64-bit Fibonacci hashing multiplier.
+const fibMult = 0x9E3779B97F4A7C15
+
+func log2(n int) uint {
+	s := uint(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}

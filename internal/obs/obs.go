@@ -137,6 +137,21 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
+// Slice is an unbounded in-memory sink retaining every event in emission
+// order. Unlike Ring it never evicts, so it is the sink of choice for
+// fixtures that must compare a complete expected stream (the model
+// checker's counterexample regressions) rather than a recent window. Not
+// safe for concurrent emitters.
+type Slice struct {
+	Events []Event
+}
+
+// Emit implements Tracer.
+func (s *Slice) Emit(e Event) { s.Events = append(s.Events, e) }
+
+// Reset drops the retained events, keeping the storage.
+func (s *Slice) Reset() { s.Events = s.Events[:0] }
+
 // Count aggregates per-kind totals without retaining events: the cheapest
 // enabled sink, used by reconciliation tests and overhead measurements.
 type Count struct {

@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/sched"
+)
+
+// tinyOracleOnce registers a budget-starved oracle under a test-only name
+// so a portfolio can race a member that is guaranteed to exhaust its
+// budget. Registration is global and once-per-process.
+var tinyOracleOnce sync.Once
+
+func tinyOracleName(t *testing.T) string {
+	t.Helper()
+	tinyOracleOnce.Do(func() {
+		sched.MustRegister(namedTiny{})
+	})
+	return "oracle-tiny-budget"
+}
+
+type namedTiny struct{}
+
+func (namedTiny) Name() string { return "oracle-tiny-budget" }
+
+func (namedTiny) Schedule(ctx context.Context, plan *core.Plan, opts sched.Options) (*sched.Schedule, error) {
+	return Scheduler{NodeBudget: 2}.Schedule(ctx, plan, opts)
+}
+
+// TestPortfolioOracleBudgetExhaustionNoLeak: a portfolio race in which the
+// oracle member dies on budget exhaustion must still drain every race
+// goroutine once the surviving heuristic reports.
+func TestPortfolioOracleBudgetExhaustionNoLeak(t *testing.T) {
+	cfg := arch.Default()
+	plan := planFor(t, chainLoop(), core.PolicyMDC, cfg)
+	p, err := sched.NewPortfolio(tinyOracleName(t), sched.NameMinComs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		sc, winner, err := p.ScheduleBest(context.Background(), plan, sched.Options{Arch: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if winner != sched.NameMinComs || sc == nil {
+			t.Fatalf("winner = %q, want %s (the budget-starved oracle must lose)", winner, sched.NameMinComs)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after portfolio races: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

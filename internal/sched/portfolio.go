@@ -101,6 +101,13 @@ func (p *Portfolio) ScheduleBest(ctx context.Context, plan *core.Plan, opts Opti
 		return sc, p.members[0].Name(), nil
 	}
 
+	// The race runs under a derived context that is canceled as soon as
+	// every slot has reported (and on every early return): a member that
+	// spawned ctx-watching helpers must not keep them alive past the race,
+	// and a caller-supplied long-lived context must not pin them either.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	// Each member writes only its own slot, so the race is data-race-free
 	// and the outcome does not depend on finish order.
 	scs := make([]*Schedule, len(p.members))

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+)
+
+// waitNoExtraGoroutines polls until the process is back to the baseline
+// goroutine count (anything spawned by the code under test has exited),
+// failing with a full stack dump if it never settles.
+func waitNoExtraGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ctxWatcher is a portfolio member that spawns a helper goroutine watching
+// its context — the pattern that leaks if the portfolio never cancels the
+// race context — and then declines to schedule.
+type ctxWatcher struct {
+	name  string
+	alive *atomic.Int32
+}
+
+func (w ctxWatcher) Name() string { return w.name }
+
+func (w ctxWatcher) Schedule(ctx context.Context, plan *core.Plan, opts Options) (*Schedule, error) {
+	w.alive.Add(1)
+	go func() {
+		<-ctx.Done()
+		w.alive.Add(-1)
+	}()
+	return nil, fmt.Errorf("%s: declines every plan", w.name)
+}
+
+// TestPortfolioCancelsRaceContext: once every race slot has reported, the
+// portfolio cancels the derived context, so ctx-watching helpers spawned
+// by losing members exit even under a never-canceled parent context.
+func TestPortfolioCancelsRaceContext(t *testing.T) {
+	cfg := arch.Default()
+	plan, err := core.Prepare(daxpyLoop(), core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := Get(NameMinComs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alive atomic.Int32
+	p := &Portfolio{members: []Scheduler{
+		real,
+		ctxWatcher{name: "watcher-a", alive: &alive},
+		ctxWatcher{name: "watcher-b", alive: &alive},
+	}}
+
+	base := runtime.NumGoroutine()
+	sc, winner, err := p.ScheduleBest(context.Background(), plan, Options{Arch: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != NameMinComs || sc == nil {
+		t.Fatalf("winner = %q (sc=%v), want %s", winner, sc, NameMinComs)
+	}
+	waitNoExtraGoroutines(t, base)
+	if n := alive.Load(); n != 0 {
+		t.Errorf("%d ctx-watching helpers still alive after the race settled", n)
+	}
+}
+
+// TestPortfolioAllFail: the joined failure path also tears the race down.
+func TestPortfolioAllFail(t *testing.T) {
+	cfg := arch.Default()
+	plan, err := core.Prepare(daxpyLoop(), core.PolicyFree, cfg.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alive atomic.Int32
+	p := &Portfolio{members: []Scheduler{
+		ctxWatcher{name: "watcher-a", alive: &alive},
+		ctxWatcher{name: "watcher-b", alive: &alive},
+	}}
+	base := runtime.NumGoroutine()
+	if _, _, err := p.ScheduleBest(context.Background(), plan, Options{Arch: cfg}); err == nil {
+		t.Fatal("portfolio of declining members succeeded")
+	}
+	waitNoExtraGoroutines(t, base)
+	if n := alive.Load(); n != 0 {
+		t.Errorf("%d ctx-watching helpers still alive after the failed race", n)
+	}
+}

@@ -72,6 +72,14 @@ type Options struct {
 	// (chaos mode). A factory rather than an injector so one Options value
 	// is safe to share across concurrent runs; see FaultInjector.
 	NewFaults NewFaultsFunc
+	// DisableABInvalidate reverts the Attraction-Buffer conflict fix: a
+	// remote store that finds a pending fetch of its subblock clears the
+	// pending entry but leaves the eagerly-inserted (still in-flight) copy
+	// visible. This reintroduces the call-order-visibility bug the
+	// coherence checker originally caught, and exists only so regression
+	// tests (and the internal/mc counterexample replay) can demonstrate
+	// that the checker still trips on it. Never set it in real runs.
+	DisableABInvalidate bool
 }
 
 // ctxCheckInterval is how many simulated kernel cycles pass between
@@ -569,8 +577,9 @@ func (m *machine) memAccess(id int, iter, issue int64) int64 {
 		// The reply will deposit a pre-store (stale) copy in the Attraction
 		// Buffer; drop it so the store — and everything after it — takes
 		// the bus path behind the fetch instead of hitting a copy whose
-		// data has not physically arrived yet.
-		if m.abs != nil {
+		// data has not physically arrived yet. (Options.DisableABInvalidate
+		// skips the drop to let regressions re-trip the checker.)
+		if m.abs != nil && !m.opts.DisableABInvalidate {
 			m.abs[cluster].Invalidate(sub)
 			if m.obs != nil {
 				m.obs.Emit(obs.Event{Kind: obs.KindABInvalidate, Class: -1, Op: int32(id),
