@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs check-deprecated oracle-smoke serve-smoke mc-smoke
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs fast-smoke check-deprecated oracle-smoke serve-smoke mc-smoke
 
 all: build
 
@@ -12,7 +12,7 @@ all: build
 # deprecated-symbol gate, the serving-layer smoke test, and the
 # model-checker smoke (exhaustive coherence verification of the canonical
 # bounded configurations).
-check: vet race chaos fuzz-smoke obs bench-check check-deprecated oracle-smoke serve-smoke mc-smoke
+check: vet race chaos fuzz-smoke obs fast-smoke bench-check check-deprecated oracle-smoke serve-smoke mc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,17 @@ fuzz-smoke:
 obs:
 	$(GO) test -count=1 -run 'TestTrace' .
 	OBS_GUARD=1 $(GO) test -count=1 -run 'TestObsOverheadGuard' -v .
+
+# fast-smoke is the steady-state fast path gate: the slow-vs-fast
+# byte-diff over every benchmark × policy cell plus trip-extended
+# extrapolating runs (TestFastPathIdenticalStats / ExtrapolatesExtended /
+# BatchGridIdentity), and the loud-fallback contract — a chaos-seeded
+# fault injector, tracers, and coherence audits must fall back to
+# cycle-by-cycle simulation with identical bytes and a counted reason
+# (TestFastPathFallbackLoud), never extrapolate around a fault.
+fast-smoke:
+	$(GO) test -count=1 -run 'TestFastPathIdenticalStats|TestFastPathExtrapolatesExtended|TestFastPathFallbackLoud' ./internal/sim/
+	$(GO) test -count=1 -run 'TestBatchGridIdentity' ./internal/perfbench/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

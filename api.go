@@ -228,8 +228,15 @@ func ProfileLoop(l *Loop, cfg Config) *Profile { return profiler.Run(l, cfg) }
 type (
 	// Stats aggregates the observable quantities the paper reports.
 	Stats = sim.Stats
-	// SimOptions control a simulation run.
+	// SimOptions control a simulation run. Set FastPath to skip dead
+	// cycles and extrapolate validated steady-state loops — results are
+	// bit-identical to the default path (see FastPathStats for the
+	// per-run eligibility and skip accounting).
 	SimOptions = sim.Options
+	// FastPathStats reports what the steady-state fast path did on a
+	// run: eligible vs fallback counts (with the last fallback reason),
+	// dead cycles skipped, and iterations extrapolated.
+	FastPathStats = sim.FastPathStats
 	// AccessClass classifies memory accesses.
 	AccessClass = sim.Class
 )
@@ -253,6 +260,15 @@ func Simulate(s *Schedule, opts SimOptions) (*Stats, error) {
 // returns promptly.
 func SimulateContext(ctx context.Context, s *Schedule, opts SimOptions) (*Stats, error) {
 	return sim.RunContext(ctx, s, opts)
+}
+
+// SimulateBatch executes many schedules on one reused machine, in order.
+// With opts.FastPath set this is the fastest way to sweep a family of
+// schedules: the substrate is allocated once and steady-state iterations
+// are extrapolated instead of simulated. Statistics are bit-identical to
+// per-schedule Simulate calls.
+func SimulateBatch(ctx context.Context, scs []*Schedule, opts SimOptions) ([]Stats, error) {
+	return sim.RunBatch(ctx, scs, opts)
 }
 
 // Observability (see internal/obs). Set SimOptions.Tracer (or install an
@@ -496,6 +512,7 @@ type settings struct {
 	degraded    bool
 	pool        bool
 	poolSize    int
+	fastPath    bool
 	failureHook func(*CellFailure)
 }
 
@@ -550,6 +567,13 @@ func WithPortfolio(names ...string) Option {
 // WithSimOptions sets the simulation options.
 func WithSimOptions(o SimOptions) Option {
 	return optionFunc(func(s *settings) { s.sim = o })
+}
+
+// WithFastPath turns on the simulator's steady-state fast path for every
+// run a Suite executes (bit-identical results; ineligible runs fall back
+// to plain simulation). Composes with WithSimOptions in either order.
+func WithFastPath() Option {
+	return optionFunc(func(s *settings) { s.fastPath = true })
 }
 
 // WithParallelism bounds how many experiment cells a Suite computes
@@ -649,6 +673,9 @@ func NewSuite(cfg Config, opts ...Option) *Suite {
 	}
 	if s.pool {
 		sopts = append(sopts, experiments.WithMachinePool(s.poolSize))
+	}
+	if s.fastPath {
+		sopts = append(sopts, experiments.WithFastPath())
 	}
 	if s.failureHook != nil {
 		sopts = append(sopts, experiments.WithFailureHook(s.failureHook))

@@ -96,6 +96,7 @@ func main() {
 	maxIters := flag.Int64("maxiters", 0, "cap simulated iterations per loop entry (0 = full)")
 	parallel := flag.Int("parallel", 0, "worker pool size; 0 = one per core, 1 = serial")
 	pool := flag.Bool("pool", true, "reuse simulator machines across cells (allocation-free steady state)")
+	fast := flag.Bool("fast", false, "skip dead cycles and extrapolate validated steady-state loops (bit-identical results)")
 	scheduler := flag.String("scheduler", "", "schedule every cell with this registered scheduler (see -gap output for names)")
 	portfolio := flag.String("portfolio", "", "comma-separated schedulers to race per cell, best schedule wins (incompatible with -chaos)")
 	gapFile := flag.String("gap", "", "write the per-benchmark optimality-gap report to this file (.csv = CSV, else JSON) and exit")
@@ -275,6 +276,9 @@ func main() {
 	suiteOpts := []experiments.Option{
 		experiments.WithSimOptions(opts),
 		experiments.WithParallelism(*parallel),
+	}
+	if *fast {
+		suiteOpts = append(suiteOpts, experiments.WithFastPath())
 	}
 	if *scheduler != "" {
 		suiteOpts = append(suiteOpts, experiments.WithScheduler(*scheduler))

@@ -58,6 +58,11 @@ type ScheduleRequest struct {
 	// FaultSeed, when non-zero, enables deterministic fault injection
 	// (chaos mode) with the default fault mix under this seed.
 	FaultSeed int64 `json:"faultSeed,omitempty"`
+	// FastPath turns on the simulator's steady-state fast path
+	// (dead-cycle skipping plus validated loop extrapolation). Results
+	// are bit-identical to the default path; requests the fast path
+	// cannot prove periodic fall back to plain simulation.
+	FastPath bool `json:"fastPath,omitempty"`
 	// IncludeSchedule adds the rendered modulo schedule to the response.
 	IncludeSchedule bool `json:"includeSchedule,omitempty"`
 	// DeadlineMillis bounds the request's wall time. Zero uses the
@@ -164,6 +169,9 @@ type SuiteRequest struct {
 	CheckCoherence bool `json:"checkCoherence,omitempty"`
 	// FaultSeed, when non-zero, enables deterministic fault injection.
 	FaultSeed int64 `json:"faultSeed,omitempty"`
+	// FastPath turns on the simulator's steady-state fast path for
+	// every cell (see ScheduleRequest.FastPath). Bit-identical results.
+	FastPath bool `json:"fastPath,omitempty"`
 	// DeadlineMillis bounds the request's wall time (see ScheduleRequest).
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 	// Scheduler, when set, schedules every cell with the named registered

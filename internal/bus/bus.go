@@ -118,12 +118,38 @@ func (a *Arbiter) prune() {
 // Latency returns the per-transfer occupancy.
 func (a *Arbiter) Latency() int64 { return a.lat }
 
+// VisitBusy calls f for every booked interval, in bus order and, within a
+// bus, in start order. Callers snapshotting the arbiter should Advance
+// first so only live intervals remain.
+func (a *Arbiter) VisitBusy(f func(bus int, start, end int64)) {
+	for b, ivs := range a.busy {
+		for _, iv := range ivs {
+			f(b, iv.start, iv.end)
+		}
+	}
+}
+
+// ShiftTime translates the arbiter forward by delta cycles: every booked
+// interval and the prune floor move together. Advance should run first so
+// dead intervals are not dragged into the future as phantom blockers.
+func (a *Arbiter) ShiftTime(delta int64) {
+	for b, ivs := range a.busy {
+		for i := range ivs {
+			ivs[i].start += delta
+			ivs[i].end += delta
+		}
+		a.busy[b] = ivs
+	}
+	a.floor += delta
+}
+
 // Ports models the next memory level's request ports: at most n requests
 // may start per cycle (the level itself is pipelined with a fixed total
 // latency).
 type Ports struct {
-	n      int
-	starts map[int64]int
+	n        int
+	starts   map[int64]int
+	maxStart int64 // largest start cycle ever booked (future-load horizon)
 
 	Requests int64
 	Waited   int64
@@ -139,6 +165,7 @@ func NewPorts(n int) *Ports {
 // similar number of distinct start cycles does not allocate again.
 func (p *Ports) Reset() {
 	clear(p.starts)
+	p.maxStart = 0
 	p.Requests = 0
 	p.Waited = 0
 }
@@ -150,7 +177,42 @@ func (p *Ports) Acquire(t int64) int64 {
 		start++
 	}
 	p.starts[start]++
+	if start > p.maxStart {
+		p.maxStart = start
+	}
 	p.Requests++
 	p.Waited += start - t
 	return start
+}
+
+// MaxStart returns the largest start cycle ever booked (0 when none).
+// Bookings at cycles <= the current issue clock can no longer influence a
+// future Acquire at or after it, so [now, MaxStart()] bounds the port
+// state that is still live.
+func (p *Ports) MaxStart() int64 { return p.maxStart }
+
+// CountAt returns how many requests are booked to start at cycle t.
+func (p *Ports) CountAt(t int64) int { return p.starts[t] }
+
+// ShiftFuture translates the live port bookings forward by delta cycles:
+// every booking at a cycle >= from moves to cycle+delta and bookings
+// strictly before from — which can no longer collide with requests issued
+// at or after it — are dropped. Bucket storage is kept.
+func (p *Ports) ShiftFuture(from, delta int64) {
+	if p.maxStart < from {
+		clear(p.starts)
+		return
+	}
+	span := p.maxStart - from
+	kept := make([]int, span+1)
+	for i := range kept {
+		kept[i] = p.starts[from+int64(i)]
+	}
+	clear(p.starts)
+	for i, n := range kept {
+		if n > 0 {
+			p.starts[from+int64(i)+delta] = n
+		}
+	}
+	p.maxStart += delta
 }

@@ -74,6 +74,11 @@ func (m *Module) Access(block uint64, t int64, store bool) bool {
 
 // Fill inserts the subblock of the given block, evicting the LRU way.
 // store marks the freshly filled line dirty (write-allocate store miss).
+// Equal lastUse ties break by block tag, not way index, so victim choice
+// is invariant under renaming the ways of a set: two modules holding the
+// same lines in different ways behave identically forever, which is what
+// lets the simulator's steady-state detector compare sets as sorted line
+// lists instead of positional arrays.
 func (m *Module) Fill(block uint64, t int64, store bool) {
 	set := m.set(block)
 	victim := 0
@@ -82,7 +87,8 @@ func (m *Module) Fill(block uint64, t int64, store bool) {
 			victim = i
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
+		if set[i].lastUse < set[victim].lastUse ||
+			(set[i].lastUse == set[victim].lastUse && set[i].tag < set[victim].tag) {
 			victim = i
 		}
 	}
@@ -107,4 +113,36 @@ func (m *Module) Contains(block uint64) bool {
 
 func (m *Module) set(block uint64) []line {
 	return m.sets[(block/m.blockBytes)%m.nsets]
+}
+
+// Shape returns the module's set count and associativity, for callers that
+// need to walk every way (the simulator's steady-state snapshots).
+func (m *Module) Shape() (nsets, assoc int) {
+	return int(m.nsets), len(m.sets[0])
+}
+
+// Line exposes one way of one set for inspection: the block tag, the valid
+// and dirty bits, and the LRU timestamp. No LRU update.
+func (m *Module) Line(set, way int) (tag uint64, valid, dirty bool, lastUse int64) {
+	l := &m.sets[set][way]
+	return l.tag, l.valid, l.dirty, l.lastUse
+}
+
+// AdjustLine shifts one valid line's tag (wrapping uint64 addition, so a
+// two's-complement delta moves tags backward) and LRU timestamp. The set
+// index of the shifted tag must equal the line's current set — callers that
+// translate a module forward in time (steady-state extrapolation) are
+// responsible for choosing set-preserving deltas. Invalid ways are left
+// untouched.
+func (m *Module) AdjustLine(set, way int, tagDelta uint64, timeDelta int64) {
+	l := &m.sets[set][way]
+	if !l.valid {
+		return
+	}
+	nt := l.tag + tagDelta
+	if (nt/m.blockBytes)%m.nsets != (l.tag/m.blockBytes)%m.nsets {
+		panic("cache: AdjustLine delta changes the line's set")
+	}
+	l.tag = nt
+	l.lastUse += timeDelta
 }

@@ -50,6 +50,22 @@ type Metrics struct {
 	// PoolReuses counts PoolRuns that reused an idle pooled machine
 	// instead of constructing one.
 	PoolReuses int64
+	// FastPathRuns counts pooled simulations that ran with the
+	// steady-state fast path armed (sim.Options.FastPath set and the
+	// schedule proved eligible). Like the pool counters, these are wired
+	// in by the owner (see experiments.WithFastPath); zero without a
+	// machine pool.
+	FastPathRuns int64
+	// FastPathFallbacks counts fast-path runs that fell back to plain
+	// cycle-by-cycle simulation because eligibility could not be proved
+	// (tracer installed, fault injection, aperiodic state, ...).
+	FastPathFallbacks int64
+	// FastPathExtrapolations counts steady-state detections that
+	// validated and skipped ahead analytically.
+	FastPathExtrapolations int64
+	// FastPathSkippedCycles is the total simulated cycles the fast path
+	// never executed: dead-cycle skips plus extrapolated iterations.
+	FastPathSkippedCycles int64
 	// Busy is the summed wall time worker slots spent executing tasks.
 	Busy time.Duration
 	// Wall is the elapsed time since the engine was created.
@@ -112,6 +128,10 @@ func (m Metrics) String() string {
 	if m.PoolRuns > 0 {
 		fmt.Fprintf(&b, "engine: machine pool %d runs, %d reuses (%.0f%%)\n",
 			m.PoolRuns, m.PoolReuses, 100*float64(m.PoolReuses)/float64(m.PoolRuns))
+	}
+	if m.FastPathRuns > 0 || m.FastPathFallbacks > 0 {
+		fmt.Fprintf(&b, "engine: fast path %d eligible, %d fallbacks, %d extrapolations, %d cycles skipped\n",
+			m.FastPathRuns, m.FastPathFallbacks, m.FastPathExtrapolations, m.FastPathSkippedCycles)
 	}
 	for _, st := range m.Stages {
 		fmt.Fprintf(&b, "engine: stage %-10s %6d runs  total %v  p50 %v  p95 %v  max %v\n",

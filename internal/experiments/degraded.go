@@ -150,7 +150,7 @@ func (s *Suite) loopDegraded(ctx context.Context, name string, loop *ir.Loop, v 
 	}
 	key := name + "/" + loop.Name + "/" + v.String()
 	val, err := s.engine().Do(ctx, key, func(ctx context.Context) (any, error) {
-		return s.runLoop(ctx, loop, s.Base, v, s.SimOptions, name)
+		return s.runLoop(ctx, loop, s.Base, v, s.simOpts(), name)
 	})
 	if err == nil {
 		return val.(*LoopRun), nil, nil

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"vliwcache/internal/arch"
+)
+
+// TestFastPathCellsMatchSlow runs a small grid with the steady-state
+// fast path on (pooled, so FastPathStats aggregate) and asserts every
+// cell is identical to the plain serial run, and that the fast-path
+// counters actually surface through Metrics.
+func TestFastPathCellsMatchSlow(t *testing.T) {
+	benches := poolTestBenches([]string{"epicdec", "gsmenc"})
+	variants := []Variant{MDCPrefClus, DDGTMinComs}
+
+	serial := NewSuite(arch.Default(), WithSimOptions(poolTestOpts()), WithParallelism(1))
+	fast := NewSuite(arch.Default(),
+		WithSimOptions(poolTestOpts()), WithParallelism(1),
+		WithMachinePool(1), WithFastPath())
+
+	for _, b := range benches {
+		for _, v := range variants {
+			want, err := serial.CellContext(context.Background(), b, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.CellContext(context.Background(), b, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cellsEqual(t, b+"/"+v.String(), got, want)
+		}
+	}
+
+	m := fast.Metrics()
+	if m.FastPathRuns+m.FastPathFallbacks == 0 {
+		t.Error("fast-path suite ran but Metrics shows no eligible runs and no fallbacks")
+	}
+	if got := serial.Metrics(); got.FastPathRuns != 0 || got.FastPathFallbacks != 0 {
+		t.Errorf("slow suite reports fast-path traffic: %d eligible, %d fallbacks",
+			got.FastPathRuns, got.FastPathFallbacks)
+	}
+}

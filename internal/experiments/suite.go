@@ -124,6 +124,7 @@ type Suite struct {
 	tracer      func(TraceEvent)
 	observer    Observer
 	pool        *sim.Pool
+	fastPath    bool
 
 	// Scheduler selection. scheduler overrides the per-variant enums with
 	// one registered scheduler; portfolio races several and keeps the best
@@ -152,6 +153,28 @@ type Option func(*Suite)
 // WithSimOptions sets the simulation options applied to every run.
 func WithSimOptions(o sim.Options) Option {
 	return func(s *Suite) { s.SimOptions = o }
+}
+
+// WithFastPath turns on the simulator's steady-state fast path for every
+// run the suite executes: dead cycles are skipped and periodic loop bodies
+// are detected, validated, and extrapolated analytically. Results are
+// bit-identical to the slow path; runs the fast path cannot prove periodic
+// (tracers, fault injection, coherence checking, replicated layouts, ...)
+// fall back loudly — the fallback count and reason surface through
+// Metrics when a machine pool is in force. Composes with WithSimOptions
+// regardless of option order.
+func WithFastPath() Option {
+	return func(s *Suite) { s.fastPath = true }
+}
+
+// simOpts is the effective per-run simulation options: SimOptions with
+// the WithFastPath flag folded in.
+func (s *Suite) simOpts() sim.Options {
+	o := s.SimOptions
+	if s.fastPath {
+		o.FastPath = true
+	}
+	return o
 }
 
 // WithParallelism bounds the number of cells computed concurrently.
@@ -289,6 +312,11 @@ func (s *Suite) Metrics() engine.Metrics {
 	m := s.engine().Metrics()
 	if s.pool != nil {
 		m.PoolRuns, m.PoolReuses = s.pool.Counters()
+		fp := s.pool.FastPath()
+		m.FastPathRuns = fp.EligibleRuns
+		m.FastPathFallbacks = fp.FallbackRuns
+		m.FastPathExtrapolations = fp.Extrapolations
+		m.FastPathSkippedCycles = fp.SkippedCycles + fp.DeadCyclesSkipped
 	}
 	return m
 }
@@ -340,7 +368,7 @@ func (s *Suite) computeCell(ctx context.Context, bench string, v Variant) (*Cell
 	c := &Cell{Bench: bench, Variant: v}
 	t0 := time.Now()
 	for _, loop := range b.Loops {
-		run, err := s.runLoop(ctx, loop, cfg, v, s.SimOptions, bench)
+		run, err := s.runLoop(ctx, loop, cfg, v, s.simOpts(), bench)
 		if err != nil {
 			return nil, err
 		}

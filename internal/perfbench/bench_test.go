@@ -107,6 +107,61 @@ func BenchmarkColdRun(b *testing.B) {
 // gridCells is how many cells one PooledGrid iteration computes.
 const gridCells = 6
 
+// batchCells is how many schedules one SimGrid iteration simulates, and
+// extTrip the stretched trip count that puts them deep in steady state —
+// long enough that the fast path's detect + validate overhead amortizes
+// into a >=10x throughput win over cycle-by-cycle simulation.
+const (
+	batchCells = 4
+	extTrip    = 16000
+)
+
+// batchSchedules builds the SimGrid vehicle: the steady-state auxiliary
+// loop of four benchmarks, trip-extended to extTrip, scheduled under
+// MDC + PrefClus. The same schedules feed the slow and the fast variant,
+// so the pair measures exactly the extrapolation win.
+func batchSchedules(tb testing.TB) []*sched.Schedule {
+	tb.Helper()
+	scs := make([]*sched.Schedule, 0, batchCells)
+	for _, name := range []string{"epicenc", "jpegdec", "jpegenc", "mpeg2dec"} {
+		bench, err := mediabench.Get(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		loop := *bench.Loops[1]
+		loop.Trip = extTrip
+		cfg := arch.Default().WithInterleave(bench.Interleave)
+		plan, err := core.Prepare(&loop, core.PolicyMDC, cfg.NumClusters)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus, Profile: profiler.Run(&loop, cfg)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		scs = append(scs, sc)
+	}
+	return scs
+}
+
+func simGridBench(tb testing.TB, fast bool) func(b *testing.B) {
+	scs := batchSchedules(tb)
+	opts := sim.Options{MaxEntries: 1, FastPath: fast}
+	ctx := context.Background()
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunBatch(ctx, scs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSimGrid(b *testing.B)     { simGridBench(b, false)(b) }
+func BenchmarkFastSimGrid(b *testing.B) { simGridBench(b, true)(b) }
+
 func pooledGridOnce(tb testing.TB) {
 	opts := sim.Options{MaxIterations: 120, MaxEntries: 1}
 	s := experiments.NewSuite(arch.Default(),
@@ -178,6 +233,8 @@ func measure(tb testing.TB) map[string]Metric {
 	record("RunnerCoherence", runnerBench(tb, coh), 0)
 	record("ColdRun", BenchmarkColdRun, 0)
 	record("PooledGrid", BenchmarkPooledGrid, gridCells)
+	record("SimGrid", simGridBench(tb, false), batchCells)
+	record("FastSimGrid", simGridBench(tb, true), batchCells)
 	return out
 }
 
@@ -329,7 +386,7 @@ func TestBaselineFileValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"RunnerSteadyState", "RunnerCoherence", "ColdRun", "PooledGrid"} {
+	for _, name := range []string{"RunnerSteadyState", "RunnerCoherence", "ColdRun", "PooledGrid", "SimGrid", "FastSimGrid"} {
 		m, ok := b.Benchmarks[name]
 		if !ok {
 			t.Errorf("baseline is missing benchmark %q", name)
@@ -344,8 +401,93 @@ func TestBaselineFileValid(t *testing.T) {
 			t.Errorf("%s: baseline records %g allocs/op; the steady state must stay allocation-free", name, m.AllocsPerOp)
 		}
 	}
+	// Every grid-shaped benchmark must record its throughput (schema 1
+	// recorded cells_per_sec only for PooledGrid).
+	for _, name := range []string{"PooledGrid", "SimGrid", "FastSimGrid"} {
+		if m := b.Benchmarks[name]; m.CellsPerSec <= 0 {
+			t.Errorf("%s: cells_per_sec %v, want > 0", name, m.CellsPerSec)
+		}
+	}
+	// The headline claim of the fast path, pinned on the committed
+	// numbers: extrapolation buys at least an order of magnitude on the
+	// steady-state grid.
+	if slow, fast := b.Benchmarks["SimGrid"].CellsPerSec, b.Benchmarks["FastSimGrid"].CellsPerSec; fast < 10*slow {
+		t.Errorf("FastSimGrid %.1f cells/s vs SimGrid %.1f cells/s: %.1fx, want >= 10x",
+			fast, slow, fast/slow)
+	}
 	if b.GitSHA == "" || b.Date == "" || b.GoVersion == "" {
 		t.Error("baseline provenance fields (git_sha, date, go_version) must be set")
+	}
+}
+
+// TestLoadSchema1 pins backward compatibility: schema-1 baseline files
+// (no cells_per_sec outside PooledGrid) must keep loading after the
+// schema-2 bump, and unknown future schemas must be rejected.
+func TestLoadSchema1(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bench.json"
+	v1 := `{
+  "schema": 1,
+  "git_sha": "abc",
+  "date": "2026-01-01T00:00:00Z",
+  "go_version": "go1.24",
+  "benchmarks": {
+    "RunnerSteadyState": {"ns_per_op": 100, "allocs_per_op": 0, "bytes_per_op": 0},
+    "PooledGrid": {"ns_per_op": 500, "allocs_per_op": 9, "bytes_per_op": 10, "cells_per_sec": 12}
+  }
+}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(path)
+	if err != nil {
+		t.Fatalf("schema-1 baseline rejected: %v", err)
+	}
+	if b.Benchmarks["PooledGrid"].CellsPerSec != 12 {
+		t.Errorf("cells_per_sec = %v, want 12", b.Benchmarks["PooledGrid"].CellsPerSec)
+	}
+	if b.Benchmarks["RunnerSteadyState"].CellsPerSec != 0 {
+		t.Errorf("absent cells_per_sec decoded as %v, want 0", b.Benchmarks["RunnerSteadyState"].CellsPerSec)
+	}
+	// Comparing a schema-2 measurement against the schema-1 file must not
+	// flag the added benchmarks/fields (they are simply not recorded).
+	got := &Baseline{Benchmarks: map[string]Metric{
+		"RunnerSteadyState": {NsPerOp: 100},
+		"PooledGrid":        {NsPerOp: 500, AllocsPerOp: 9, CellsPerSec: 240},
+		"SimGrid":           {NsPerOp: 900, CellsPerSec: 20},
+		"FastSimGrid":       {NsPerOp: 60, CellsPerSec: 300},
+	}}
+	if regs := Compare(b, got, 0.10); len(regs) != 0 {
+		t.Errorf("schema-1 baseline vs schema-2 measurement: unexpected regressions %v", regs)
+	}
+
+	future := `{"schema": 3, "benchmarks": {"A": {"ns_per_op": 1}}}`
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("schema-3 baseline loaded; want rejection")
+	}
+}
+
+// TestBatchGridIdentity pins the SimGrid vehicle's correctness outside
+// benchmark runs: the fast variant must return statistics identical to
+// cycle-by-cycle simulation on every schedule it extrapolates.
+func TestBatchGridIdentity(t *testing.T) {
+	scs := batchSchedules(t)
+	ctx := context.Background()
+	slow, err := sim.RunBatch(ctx, scs, sim.Options{MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sim.RunBatch(ctx, scs, sim.Options{MaxEntries: 1, FastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Errorf("schedule %d: fast-path stats diverge:\nslow: %+v\nfast: %+v", i, slow[i], fast[i])
+		}
 	}
 }
 

@@ -17,8 +17,14 @@ import (
 	"sort"
 )
 
-// Schema is the current baseline file schema version.
-const Schema = 1
+// Schema is the current baseline file schema version. Version 2 added
+// cells_per_sec to every grid-shaped benchmark (schema 1 recorded it only
+// for PooledGrid); the field itself decodes identically, so Load accepts
+// both versions.
+const Schema = 2
+
+// minSchema is the oldest baseline file version Load still accepts.
+const minSchema = 1
 
 // DefaultTolerance is the relative ns/op regression the gate accepts
 // before failing (10%), absorbing run-to-run noise on a quiet host.
@@ -53,8 +59,8 @@ func Load(path string) (*Baseline, error) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
 	}
-	if b.Schema != Schema {
-		return nil, fmt.Errorf("perfbench: %s: schema %d, want %d", path, b.Schema, Schema)
+	if b.Schema < minSchema || b.Schema > Schema {
+		return nil, fmt.Errorf("perfbench: %s: schema %d, want %d..%d", path, b.Schema, minSchema, Schema)
 	}
 	if len(b.Benchmarks) == 0 {
 		return nil, fmt.Errorf("perfbench: %s: no benchmarks recorded", path)

@@ -99,8 +99,16 @@ func (s *Server) deadlineFor(millis int64) time.Duration {
 // per-request deadline is deliberately absent: it bounds the wall time
 // of a computation, never its result.
 func simOptionsKey(opts sim.Options, seed int64) string {
-	return fmt.Sprintf("maxIters=%d maxEntries=%d coherence=%t seed=%d",
+	k := fmt.Sprintf("maxIters=%d maxEntries=%d coherence=%t seed=%d",
 		opts.MaxIterations, opts.MaxEntries, opts.CheckCoherence, seed)
+	// The fast path produces bit-identical statistics, but it joins the
+	// key anyway so a fallback investigation (re-request without the
+	// flag) never gets served the other mode's cached bytes. Appended
+	// only when set, so legacy requests keep their cache addresses.
+	if opts.FastPath {
+		k += " fast=true"
+	}
+	return k
 }
 
 // resolvedSchedule is a validated ScheduleRequest bound to internal
@@ -177,6 +185,7 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 		MaxIterations:  req.MaxIterations,
 		MaxEntries:     req.MaxEntries,
 		CheckCoherence: req.CheckCoherence,
+		FastPath:       req.FastPath,
 	}
 	res := &resolvedSchedule{
 		loop:       loop,
@@ -329,6 +338,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	opts := sim.Options{
 		MaxIterations:  req.MaxIterations,
 		CheckCoherence: req.CheckCoherence,
+		FastPath:       req.FastPath,
 	}
 	if req.FaultSeed != 0 {
 		opts.NewFaults = fault.Seeded(req.FaultSeed, fault.DefaultConfig())

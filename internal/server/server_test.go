@@ -628,3 +628,30 @@ func TestRequestLogRing(t *testing.T) {
 		t.Errorf("ring = %+v (total %d)", ev, l.Total())
 	}
 }
+
+// TestFastPathRequest pins the fastPath wire field: a fast-path request
+// returns a body identical to the plain request's (the fast path is
+// bit-identical or falls back), but addresses its own cache entry, so a
+// fallback investigation never receives the other mode's cached bytes.
+func TestFastPathRequest(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	plainBody := scheduleBody(t, nil)
+	_, plain := post(t, ts, "/v1/simulate", plainBody)
+	fastBody := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.FastPath = true })
+	resp, fast := post(t, ts, "/v1/simulate", fastBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast-path status = %d (%s)", resp.StatusCode, fast)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("fast-path request X-Cache = %q, want miss (distinct cache key)", got)
+	}
+	if !bytes.Equal(plain, fast) {
+		t.Errorf("fast-path response differs from plain simulation:\n%s\n%s", plain, fast)
+	}
+	if resp2, again := post(t, ts, "/v1/simulate", fastBody); resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(fast, again) {
+		t.Error("repeated fast-path request did not hit its own cache entry byte-identically")
+	}
+}

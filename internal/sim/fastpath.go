@@ -1,0 +1,906 @@
+package sim
+
+// This file is the simulator's fast-forward layer (ROADMAP item 5). It
+// exploits the structure the paper itself relies on: a modulo-scheduled
+// loop repeats its kernel with period II, so once the memory substrate
+// reaches a steady state the machine's dynamic state becomes periodic and
+// the remaining iterations are analytically extrapolable. Two mechanisms,
+// both exact:
+//
+//  1. Dead-cycle skipping. A kernel cycle with no active event mutates
+//     nothing and emits nothing — state changes only when an event
+//     executes — so the cycle counter may jump over a run of dead cycles
+//     in one step. Inside the fully-active region the per-slot activity
+//     pattern is static, so the jump is a table lookup. This is sound
+//     unconditionally (even under tracers and fault injection: a dead
+//     cycle produces no trace line and consults no injector).
+//
+//  2. Steady-state extrapolation. At iteration boundaries the dynamic
+//     state is snapshotted in a *normalized* form (times relative to the
+//     current clock, cache tags shifted back by each address stream's
+//     per-iteration stride, LRU timestamps rank-compressed) and hashed
+//     into an epoch-cleared open-addressed table — the same idiom as the
+//     pendTab/coherTab hot-path tables. When two snapshots taken P
+//     iterations apart compare equal byte-for-byte, one more full period
+//     is simulated and compared against the recorded one (state AND
+//     counter deltas); only then are the remaining whole periods skipped:
+//     counters are credited in bulk and the live state is translated
+//     forward in time (and the tags forward in address space) to exactly
+//     the state the slow path would have reached. Because validation
+//     precedes the jump, a 64-bit hash collision costs a wasted compare,
+//     never a wrong result (contrast DESIGN.md §13.3, where fingerprints
+//     are trusted).
+//
+// The detection layer disarms itself — loudly, via FastPathStats — for
+// anything that breaks periodicity or observability-neutrality: tracers,
+// CSV traces, fault injectors, the coherence checker, replicated layouts,
+// Attraction Buffers, overlapping unequal-stride address streams, or
+// periods too long to pay off. Disarmed runs still get dead-cycle
+// skipping and remain byte-identical to the slow path.
+
+import (
+	"math"
+	"sort"
+)
+
+// FastPathStats reports what the fast-forward layer did during a run (or,
+// aggregated by a Pool, across runs). It lives outside Stats on purpose:
+// Stats must be byte-identical between the fast and slow paths.
+type FastPathStats struct {
+	// EligibleRuns / FallbackRuns count runs where steady-state detection
+	// was armed / disarmed. LastFallbackReason names the most recent
+	// disarm cause ("" when none): the loud part of "falls back loudly,
+	// never silently wrong".
+	EligibleRuns       int64
+	FallbackRuns       int64
+	LastFallbackReason string
+
+	// Dead-cycle skipping (always on under Options.FastPath).
+	DeadCycleSkips    int64 // jumps over >= 2 consecutive dead cycles
+	DeadCyclesSkipped int64 // cycles those jumps covered beyond the first
+
+	// Steady-state detection and extrapolation.
+	Snapshots          int64 // normalized state snapshots taken
+	Detections         int64 // snapshot pairs that compared equal
+	ValidationFailures int64 // detections whose confirmation period diverged
+	Extrapolations     int64 // validated skips applied
+	SkippedIterations  int64 // iterations covered by extrapolation
+	SkippedCycles      int64 // absolute cycles (compute+stall) extrapolated
+}
+
+// Add accumulates o into s (Pool aggregation).
+func (s *FastPathStats) Add(o *FastPathStats) {
+	s.EligibleRuns += o.EligibleRuns
+	s.FallbackRuns += o.FallbackRuns
+	if o.LastFallbackReason != "" {
+		s.LastFallbackReason = o.LastFallbackReason
+	}
+	s.DeadCycleSkips += o.DeadCycleSkips
+	s.DeadCyclesSkipped += o.DeadCyclesSkipped
+	s.Snapshots += o.Snapshots
+	s.Detections += o.Detections
+	s.ValidationFailures += o.ValidationFailures
+	s.Extrapolations += o.Extrapolations
+	s.SkippedIterations += o.SkippedIterations
+	s.SkippedCycles += o.SkippedCycles
+}
+
+const (
+	// fpMaxPeriod caps the set-aligned snapshot period (in iterations):
+	// beyond it detection cannot amortize before realistic trip counts.
+	fpMaxPeriod = 4096
+	// fpMaxPortSpan caps the live next-level-port window a snapshot will
+	// serialize; larger windows defer the snapshot to the next boundary.
+	fpMaxPortSpan = 4096
+	// fpSlots is how many snapshots are retained for period detection.
+	fpSlots = 8
+	// fpTabSize is the open-addressed fingerprint table size (power of 2).
+	fpTabSize = 64
+)
+
+// strideClass is one merged address stream: every memory op whose
+// footprint falls in [lo, hi) advances by stride bytes per iteration.
+type strideClass struct {
+	stride int64
+	lo, hi uint64 // block-aligned byte footprint [lo, hi)
+}
+
+// fpSlot is one retained snapshot: the normalized state words, the raw
+// counter vector at the instant it was taken, and where/when it was taken.
+type fpSlot struct {
+	used  bool
+	c     int64 // iteration index
+	at    int64 // absolute time (base + v + stall)
+	hash  uint64
+	words []uint64
+	ctr   []int64
+}
+
+// fpTab maps snapshot hashes to slot indices: open-addressed, linearly
+// probed, cleared per entry by an epoch bump (the pendTab idiom).
+type fpTab struct {
+	hashes [fpTabSize]uint64
+	slot   [fpTabSize]int32
+	eps    [fpTabSize]uint32
+	epoch  uint32
+}
+
+func (t *fpTab) reset() {
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.eps[:])
+		t.epoch = 1
+	}
+}
+
+const fpDetect, fpValidate = 0, 1
+
+type fastPath struct {
+	stats FastPathStats
+
+	// Schedule/option-derived statics, rebuilt per bind.
+	detect     bool   // steady-state detection armed for this bind
+	reason     string // why not, when !detect
+	classes    []strideClass
+	period     int64 // snapshot cadence, iterations (set-aligned)
+	snapLo     int64 // first snapshot-eligible iteration
+	snapHi     int64 // last snapshot-eligible iteration
+	skipEndMax int64 // skipped windows must end at or before this iteration
+	steadyNext []int64
+	steadyEnd  int64 // last cycle of the fully-active region
+
+	// Per-entry dynamic state.
+	armed     bool
+	phase     int
+	tab       fpTab
+	slots     [fpSlots]fpSlot
+	nextSlot  int
+	valRef    *fpSlot
+	valPd     int64
+	valTarget int64
+	valDelta  []int64
+
+	// Reusable scratch.
+	buf      []uint64 // snapshot under construction
+	ctrBuf   []int64  // counter vector under construction
+	deltaBuf []int64
+	ptrs     []*int64
+	ring     []int64  // ring rotation scratch
+	pendKeys []uint64 // pending-table rebuild scratch
+	pendVals []int64
+	rank     []int64 // per-set LRU sort scratch
+	rankTag  []uint64
+	rankIdx  []int
+}
+
+// bindFast (re)derives the fast-forward statics for the bound schedule.
+// Called at the end of machine.bind; a nil m.fast means Options.FastPath
+// is off and the hot loop takes the historic path untouched.
+func (m *machine) bindFast() {
+	if !m.opts.FastPath {
+		m.fast = nil
+		return
+	}
+	if m.fast == nil {
+		m.fast = &fastPath{}
+	}
+	m.fast.buildStatic(m)
+}
+
+// buildStatic derives the per-slot dead-cycle jump table, the stride
+// classes and the set-aligned snapshot period, and decides whether
+// steady-state detection can arm for this schedule + option set.
+func (f *fastPath) buildStatic(m *machine) {
+	ii := int64(m.sc.II)
+	f.steadyEnd = int64(f.minEventCycle(m)) + (m.trip-1)*ii
+	if cap(f.steadyNext) < int(ii) {
+		f.steadyNext = make([]int64, ii)
+	}
+	f.steadyNext = f.steadyNext[:ii]
+	for s := int64(0); s < ii; s++ {
+		d := int64(1)
+		for ; d < ii; d++ {
+			if len(m.slotEvents[(s+d)%ii]) > 0 {
+				break
+			}
+		}
+		f.steadyNext[s] = d
+	}
+
+	f.detect, f.reason = f.detectEligible(m)
+}
+
+func (f *fastPath) minEventCycle(m *machine) int {
+	minEv := m.maxCycle
+	for _, evs := range m.slotEvents {
+		for _, ev := range evs {
+			if ev.cycle < minEv {
+				minEv = ev.cycle
+			}
+		}
+	}
+	return minEv
+}
+
+// detectEligible checks every precondition of steady-state extrapolation
+// and computes the stride classes and snapshot window. The conditions are
+// exactly the ones under which a skipped interval could differ from its
+// recorded period or be externally observable; anything else falls back
+// to plain (dead-cycle-skipping) simulation, counted in FastPathStats.
+func (f *fastPath) detectEligible(m *machine) (bool, string) {
+	o, cfg := &m.opts, m.cfg
+	switch {
+	case o.Tracer != nil:
+		return false, "tracer installed"
+	case o.Trace != nil:
+		return false, "CSV trace installed"
+	case o.NewFaults != nil:
+		return false, "fault injector installed"
+	case o.CheckCoherence:
+		return false, "coherence checker records every access"
+	case o.DisableABInvalidate:
+		return false, "AB-invalidate fix disabled"
+	case cfg.Replicated():
+		return false, "replicated layout"
+	case cfg.ABEntries > 0:
+		return false, "attraction buffers hold cross-period state"
+	}
+
+	// Build one footprint per memory op, merge same-stride overlaps, and
+	// reject unequal-stride overlaps: tag attribution during the skip's
+	// address translation must be unique.
+	f.classes = f.classes[:0]
+	for id := range m.loop.Ops {
+		op := m.loop.Ops[id]
+		if !op.Kind.IsMem() {
+			continue
+		}
+		base := m.loop.Symbols[op.Addr.Base].Base
+		a0 := op.Addr.AddrAt(base, 0)
+		a1 := op.Addr.AddrAt(base, m.trip-1)
+		lo, hi := a0, a1
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		hi += uint64(op.Addr.Size) - 1
+		bb := uint64(cfg.BlockBytes)
+		lo -= lo % bb
+		hi = hi - hi%bb + bb
+		f.classes = append(f.classes, strideClass{stride: op.Addr.Stride, lo: lo, hi: hi})
+	}
+	if len(f.classes) == 0 {
+		return false, "no memory ops"
+	}
+	sort.Slice(f.classes, func(i, j int) bool { return f.classes[i].lo < f.classes[j].lo })
+	merged := f.classes[:1]
+	for _, c := range f.classes[1:] {
+		last := &merged[len(merged)-1]
+		if c.lo < last.hi {
+			if c.stride != last.stride {
+				return false, "overlapping address streams with unequal strides"
+			}
+			if c.hi > last.hi {
+				last.hi = c.hi
+			}
+			continue
+		}
+		merged = append(merged, c)
+	}
+	f.classes = merged
+
+	// Fill breaks equal-lastUse victim ties by tag, and the snapshot's
+	// way-insensitive set encoding relies on that order being stable as
+	// the streams translate: a tie between blocks of two unequal-stride
+	// classes must keep its sign after both advance by up to trip
+	// iterations. Distinct classes are separated by at least their gap
+	// (footprints are disjoint after merging), so gap >= |stride
+	// difference| * trip rules every flip out. Same-stride pairs shift
+	// rigidly and need no check.
+	for i := range f.classes {
+		for j := i + 1; j < len(f.classes); j++ {
+			ds := f.classes[i].stride - f.classes[j].stride
+			if ds == 0 {
+				continue
+			}
+			if ds < 0 {
+				ds = -ds
+			}
+			gap := f.classes[j].lo - f.classes[i].hi
+			if uint64(m.trip) > 0 && uint64(ds) > math.MaxUint64/uint64(m.trip) {
+				return false, "address streams too close for stable victim tie-breaking"
+			}
+			if gap < uint64(ds)*uint64(m.trip) {
+				return false, "address streams too close for stable victim tie-breaking"
+			}
+		}
+	}
+
+	// Set-aligned period: after P iterations each stream's addresses have
+	// advanced by stride*P bytes, a multiple of nsets*BlockBytes, so every
+	// tag moves within its own set (and, BlockBytes being a multiple of
+	// NumClusters*InterleaveBytes, keeps its home cluster and subblock).
+	nsets, _ := m.modules[0].Shape()
+	wrap := int64(nsets) * int64(cfg.BlockBytes)
+	period := int64(1)
+	for _, c := range f.classes {
+		s := c.stride
+		if s == 0 {
+			continue
+		}
+		if s < 0 {
+			s = -s
+		}
+		p := wrap / gcd64(s, wrap)
+		period = lcm64(period, p)
+		if period > fpMaxPeriod {
+			return false, "set-alignment period too long"
+		}
+	}
+	f.period = period
+
+	ii := int64(m.sc.II)
+	f.snapLo = ceilDiv64(int64(m.maxCycle), ii)
+	tailPad := ceilDiv64(int64(m.maxCycle), ii) + 1
+	f.snapHi = m.trip - 1 - tailPad
+	minEv := int64(f.minEventCycle(m))
+	f.skipEndMax = (minEv + (m.trip-1)*ii + 1) / ii
+	if f.skipEndMax > m.trip {
+		f.skipEndMax = m.trip
+	}
+	// Detection needs room for two matching snapshots, a validation
+	// period, and at least one period worth of skipping.
+	if f.snapHi-f.snapLo < 4*period {
+		return false, "trip too short for the snapshot period"
+	}
+	return true, ""
+}
+
+// runBegin resets the per-run statistics (machine.reset).
+func (f *fastPath) runBegin() {
+	reason := f.reason
+	f.stats = FastPathStats{}
+	if f.detect {
+		f.stats.EligibleRuns = 1
+	} else {
+		f.stats.FallbackRuns = 1
+		f.stats.LastFallbackReason = reason
+	}
+}
+
+// entryBegin resets the per-entry detection state (runEntry).
+func (f *fastPath) entryBegin() {
+	f.armed = f.detect
+	f.phase = fpDetect
+	f.tab.reset()
+	for i := range f.slots {
+		f.slots[i].used = false
+	}
+	f.nextSlot = 0
+	f.valRef = nil
+}
+
+// boundary runs at iteration boundaries while detection is armed. It
+// returns (newV, true) when a validated skip jumped the cycle counter.
+func (f *fastPath) boundary(m *machine, v int64) (int64, bool) {
+	c := v / int64(m.sc.II)
+	if c < f.snapLo || c > f.snapHi || (c-f.snapLo)%f.period != 0 {
+		return 0, false
+	}
+	if f.phase == fpValidate && c != f.valTarget {
+		return 0, false
+	}
+	words, ok := f.buildSnapshot(m, v)
+	if !ok {
+		return 0, false
+	}
+	f.stats.Snapshots++
+	h := fpHash(words)
+	now := m.base + v + m.stall
+	ctr := m.fpCounters(f.ctrBuf[:0])
+	f.ctrBuf = ctr
+
+	if f.phase == fpValidate {
+		f.valTarget = 0
+		match := wordsEqual(words, f.valRef.words) &&
+			deltaEqual(ctr, f.valRef.ctr, f.valDelta)
+		if match {
+			if nv, ok := f.skip(m, v, c, now); ok {
+				return nv, true
+			}
+			// No room (or an overflow guard tripped): nothing was
+			// mutated; detection stays disarmed for this entry.
+			f.armed = false
+			return 0, false
+		}
+		f.stats.ValidationFailures++
+		f.phase = fpDetect
+		f.store(c, now, h, words, ctr)
+		return 0, false
+	}
+
+	if prev := f.probe(h, words); prev != nil {
+		f.stats.Detections++
+		pd := c - prev.c
+		f.valDelta = subVec(f.deltaBuf[:0], ctr, prev.ctr)
+		f.deltaBuf = f.valDelta
+		f.valRef = f.store(c, now, h, words, ctr)
+		f.valPd = pd
+		f.valTarget = c + pd
+		if f.valTarget > f.snapHi {
+			// Too close to the tail to confirm; keep hunting for a
+			// shorter period (there is none on this grid — disarm).
+			f.armed = false
+			return 0, false
+		}
+		f.phase = fpValidate
+		return 0, false
+	}
+	f.store(c, now, h, words, ctr)
+	return 0, false
+}
+
+// probe looks the hash up and returns the retained snapshot that compares
+// fully equal, or nil. Stale table entries (recycled slots) lose.
+func (f *fastPath) probe(h uint64, words []uint64) *fpSlot {
+	t := &f.tab
+	i := (h * fibMult) >> (64 - 6)
+	for n := 0; n < fpTabSize && t.eps[i] == t.epoch; n++ {
+		if t.hashes[i] == h {
+			s := &f.slots[t.slot[i]]
+			if s.used && s.hash == h && wordsEqual(s.words, words) {
+				return s
+			}
+		}
+		i = (i + 1) & (fpTabSize - 1)
+	}
+	return nil
+}
+
+// insert records hash -> slot, overwriting an equal-hash entry.
+func (f *fastPath) insert(h uint64, slot int32) {
+	t := &f.tab
+	i := (h * fibMult) >> (64 - 6)
+	for n := 0; n < fpTabSize-1 && t.eps[i] == t.epoch && t.hashes[i] != h; n++ {
+		i = (i + 1) & (fpTabSize - 1)
+	}
+	t.hashes[i], t.slot[i], t.eps[i] = h, slot, t.epoch
+}
+
+// store copies the snapshot into the next ring slot and returns its index.
+func (f *fastPath) store(c, at int64, h uint64, words []uint64, ctr []int64) *fpSlot {
+	idx := f.nextSlot
+	f.nextSlot = (f.nextSlot + 1) % fpSlots
+	s := &f.slots[idx]
+	s.used, s.c, s.at, s.hash = true, c, at, h
+	s.words = append(s.words[:0], words...)
+	s.ctr = append(s.ctr[:0], ctr...)
+	// The table may still reference the evicted occupant; probe treats
+	// hash-mismatched slots as stale.
+	f.insert(h, int32(idx))
+	return s
+}
+
+// ctrStall is the index of the stall accumulator in the counter vector
+// built by fpCounters.
+const ctrStall = int(NumClasses) + 3
+
+// fpCounters serializes every counter that advances during steady kernel
+// iterations into one flat vector. fpCounterPtrs must mirror this layout
+// exactly: the pair is how extrapolated periods are credited in bulk.
+// Counters that cannot advance while detection is armed (AB flush/hit
+// counters, injected faults, coherence records) are excluded by the
+// eligibility conditions and asserted by validation: if one did move, the
+// state or delta comparison fails and no skip happens.
+func (m *machine) fpCounters(out []int64) []int64 {
+	st := m.stats
+	out = append(out, st.Accesses[:]...)
+	out = append(out, st.ABHits, st.ABUpdates, st.NullifiedStores, m.stall)
+	for _, mod := range m.modules {
+		out = append(out, mod.Hits, mod.Misses, mod.Evictions, mod.Writebacks)
+	}
+	out = append(out, m.arb.Transfers, m.arb.Waited, m.ports.Requests, m.ports.Waited)
+	return out
+}
+
+func (m *machine) fpCounterPtrs() []*int64 {
+	st := m.stats
+	p := m.fast.ptrs[:0]
+	for i := range st.Accesses {
+		p = append(p, &st.Accesses[i])
+	}
+	p = append(p, &st.ABHits, &st.ABUpdates, &st.NullifiedStores, &m.stall)
+	for _, mod := range m.modules {
+		p = append(p, &mod.Hits, &mod.Misses, &mod.Evictions, &mod.Writebacks)
+	}
+	p = append(p, &m.arb.Transfers, &m.arb.Waited, &m.ports.Requests, &m.ports.Waited)
+	m.fast.ptrs = p
+	return p
+}
+
+// skip applies a validated extrapolation: credit nskip periods of counter
+// deltas and translate the live machine state forward by exactly the time
+// (and address) distance the slow path would have covered. All overflow
+// guards run before the first mutation, so a failed skip leaves the
+// machine untouched and simulation simply continues.
+func (f *fastPath) skip(m *machine, v, c, now int64) (int64, bool) {
+	ii := int64(m.sc.II)
+	pd := f.valPd
+	nskip := (f.skipEndMax - c) / pd
+	if nskip < 1 {
+		return 0, false
+	}
+	iters := nskip * pd
+	stallDelta := f.valDelta[ctrStall]
+	// Guard the cycle arithmetic itself (satellite: int64 overflow audit).
+	stallPart, ok := mulAdd64(nskip, stallDelta, 0)
+	if !ok {
+		return 0, false
+	}
+	shift, ok := mulAdd64(iters, ii, stallPart)
+	if !ok {
+		return 0, false
+	}
+	ptrs := m.fpCounterPtrs()
+	for i, p := range ptrs {
+		if _, ok := mulAdd64(nskip, f.valDelta[i], *p); !ok {
+			return 0, false
+		}
+	}
+
+	// 1. Counters, in bulk.
+	for i, p := range ptrs {
+		*p += nskip * f.valDelta[i]
+	}
+
+	// 2. Value rings: rotate by iters (ring index is iter % window) and
+	// translate every completion time forward.
+	window := int64(m.window)
+	f.shiftRings(m.complete, window, iters, shift)
+	f.shiftRings(m.copyArr, window, iters, shift)
+
+	// 3. Cache modules: each stream's tags advance by stride*iters bytes
+	// (set-preserving by construction of the period); LRU clocks advance
+	// with the machine clock.
+	for _, mod := range m.modules {
+		nsets, assoc := mod.Shape()
+		for set := 0; set < nsets; set++ {
+			for way := 0; way < assoc; way++ {
+				tag, valid, _, _ := mod.Line(set, way)
+				if !valid {
+					continue
+				}
+				cls := f.classify(tag)
+				mod.AdjustLine(set, way, uint64(cls.stride*iters), shift)
+			}
+		}
+	}
+
+	// 4. Pending tables: live requests move with their stream; completed
+	// ones are dropped (a strict `> now` check already ignores them).
+	for cl := range m.pending {
+		t := &m.pending[cl]
+		keys, vals := f.pendKeys[:0], f.pendVals[:0]
+		t.visit(func(key uint64, val int64) {
+			if val > now {
+				keys = append(keys, key)
+				vals = append(vals, val)
+			}
+		})
+		t.reset()
+		bb := uint64(m.cfg.BlockBytes)
+		for i, key := range keys {
+			blk := key / bb * bb
+			cls := f.classify(blk)
+			t.put(key+uint64(cls.stride*iters), vals[i]+shift)
+		}
+		f.pendKeys, f.pendVals = keys, vals
+	}
+
+	// 5. Buses and ports: prune what is already dead, then translate the
+	// live reservations. Future requests issue at or after now+shift, so
+	// the untranslated (skipped-period) reservations they would have seen
+	// on the slow path can no longer influence any arbitration decision.
+	m.arb.Advance(now)
+	m.arb.ShiftTime(shift)
+	m.ports.ShiftFuture(now, shift)
+	for cl := range m.busFloor {
+		if m.busFloor[cl] > now {
+			m.busFloor[cl] += shift
+		}
+	}
+
+	f.stats.Extrapolations++
+	f.stats.SkippedIterations += iters
+	f.stats.SkippedCycles += shift
+	f.armed = false
+	return v + iters*ii, true
+}
+
+// shiftRings maps slot p%window of iteration p to hold what iteration
+// p-iters held, translated by shift: exactly the slow path's post-skip
+// ring content (stale slots are governed by the same periodicity).
+func (f *fastPath) shiftRings(rings []int64, window, iters, shift int64) {
+	r := iters % window
+	if cap(f.ring) < int(window) {
+		f.ring = make([]int64, window)
+	}
+	scratch := f.ring[:window]
+	for base := int64(0); base < int64(len(rings)); base += window {
+		ring := rings[base : base+window]
+		for j := int64(0); j < window; j++ {
+			scratch[j] = ring[((j-r)%window+window)%window] + shift
+		}
+		copy(ring, scratch)
+	}
+}
+
+// classify returns the stride class owning block address blk. Every tag
+// and pending key originates from a classified memory op, so the lookup
+// cannot miss; the panic guards the invariant.
+func (f *fastPath) classify(blk uint64) *strideClass {
+	lo, hi := 0, len(f.classes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.classes[mid].lo <= blk {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 || blk >= f.classes[lo-1].hi {
+		panic("sim: fast path: unclassified block address")
+	}
+	return &f.classes[lo-1]
+}
+
+// buildSnapshot serializes the complete live dynamic state at iteration
+// boundary v into a normalized word vector: every absolute time becomes a
+// delta from the current clock (clamped at zero — anything in the past is
+// behaviorally equivalent to "ready now"), every tag is shifted back by
+// stride*iteration so periodic streams compare equal, and LRU timestamps
+// are rank-compressed per set (victim selection depends only on relative
+// order, and every future touch outranks every current one). Two equal
+// snapshots therefore guarantee identical future behavior per cycle
+// offset — the skip-safety argument of DESIGN.md §14.
+func (f *fastPath) buildSnapshot(m *machine, v int64) ([]uint64, bool) {
+	ii := int64(m.sc.II)
+	c := v / ii
+	now := m.base + v + m.stall
+	w := f.buf[:0]
+
+	// Value rings, canonical order: slots for iterations c-1 .. c-window.
+	window := int64(m.window)
+	w = f.snapRings(w, m.complete, window, c, now)
+	w = f.snapRings(w, m.copyArr, window, c, now)
+
+	// Pending requests per cluster, live entries only, sorted by
+	// stream-normalized key.
+	bb := uint64(m.cfg.BlockBytes)
+	for cl := range m.pending {
+		keys, vals := f.pendKeys[:0], f.pendVals[:0]
+		m.pending[cl].visit(func(key uint64, val int64) {
+			if val > now {
+				blk := key / bb * bb
+				keys = append(keys, key-uint64(f.classify(blk).stride*c))
+				vals = append(vals, val-now)
+			}
+		})
+		sort.Sort(&pendPairs{keys, vals})
+		w = append(w, uint64(len(keys)))
+		for i := range keys {
+			w = append(w, keys[i], uint64(vals[i]))
+		}
+		f.pendKeys, f.pendVals = keys, vals
+	}
+
+	// Cache modules: each set as a way-insensitive sorted line list —
+	// valid lines in (lastUse, tag) order (exactly Fill's victim-scan
+	// order, which the tag tie-break makes invariant under renaming the
+	// ways), emitted as (stream-normalized tag, dirty) pairs behind a
+	// count. LRU timestamps are rank-compressed into the emission order:
+	// victim selection depends only on relative order, and every future
+	// touch outranks every line present now. Two states whose sets hold
+	// the same lines in different ways therefore compare equal — they
+	// behave identically forever — which halves the detected period on
+	// loops where competing streams alternate ways each set wrap.
+	for _, mod := range m.modules {
+		nsets, assoc := mod.Shape()
+		if cap(f.rank) < assoc {
+			f.rank = make([]int64, assoc)
+			f.rankTag = make([]uint64, assoc)
+			f.rankIdx = make([]int, assoc)
+		}
+		for set := 0; set < nsets; set++ {
+			n := 0
+			for way := 0; way < assoc; way++ {
+				tag, valid, _, lastUse := mod.Line(set, way)
+				if valid {
+					f.rank[n] = lastUse
+					f.rankTag[n] = tag
+					f.rankIdx[n] = way
+					n++
+				}
+			}
+			// Insertion sort by (lastUse, tag): n <= assoc, tiny.
+			for i := 1; i < n; i++ {
+				for j := i; j > 0 && (f.rank[j] < f.rank[j-1] ||
+					(f.rank[j] == f.rank[j-1] && f.rankTag[j] < f.rankTag[j-1])); j-- {
+					f.rank[j], f.rank[j-1] = f.rank[j-1], f.rank[j]
+					f.rankTag[j], f.rankTag[j-1] = f.rankTag[j-1], f.rankTag[j]
+					f.rankIdx[j], f.rankIdx[j-1] = f.rankIdx[j-1], f.rankIdx[j]
+				}
+			}
+			w = append(w, uint64(n))
+			for i := 0; i < n; i++ {
+				_, _, dirty, _ := mod.Line(set, f.rankIdx[i])
+				d := uint64(0)
+				if dirty {
+					d = 1
+				}
+				tag := f.rankTag[i]
+				w = append(w, tag-uint64(f.classify(tag).stride*c), d)
+			}
+		}
+	}
+
+	// Bus arbiter: live intervals, starts clamped to now (a reservation
+	// already underway blocks exactly like one starting now).
+	lastBus := -1
+	m.arb.VisitBusy(func(bus int, start, end int64) {
+		if end <= now {
+			return
+		}
+		for lastBus < bus {
+			lastBus++
+			w = append(w, ^uint64(0)-1) // per-bus separator
+		}
+		if start < now {
+			start = now
+		}
+		w = append(w, uint64(start-now), uint64(end-now))
+	})
+
+	// Next-level ports: the live booking window [now, maxStart].
+	span := m.ports.MaxStart() - now
+	if span > fpMaxPortSpan {
+		return nil, false
+	}
+	w = append(w, ^uint64(0)-2)
+	for t := int64(0); t <= span; t++ {
+		if n := m.ports.CountAt(now + t); n > 0 {
+			w = append(w, uint64(t), uint64(n))
+		}
+	}
+
+	// Per-cluster FIFO floors, clamped: floors in the past are inert.
+	for _, fl := range m.busFloor {
+		d := fl - now
+		if d < 0 {
+			d = 0
+		}
+		w = append(w, uint64(d))
+	}
+
+	f.buf = w
+	return w, true
+}
+
+// snapRings appends the normalized ring state: for each ring, the values
+// of producer iterations c-1 .. c-window, as clamped deltas from now.
+func (f *fastPath) snapRings(w []uint64, rings []int64, window, c, now int64) []uint64 {
+	for base := int64(0); base < int64(len(rings)); base += window {
+		ring := rings[base : base+window]
+		for j := int64(1); j <= window; j++ {
+			p := c - j
+			var raw int64
+			if p >= 0 {
+				raw = ring[p%window]
+			}
+			d := raw - now
+			if d < 0 {
+				d = 0
+			}
+			w = append(w, uint64(d))
+		}
+	}
+	return w
+}
+
+// pendPairs sorts parallel key/value slices by key.
+type pendPairs struct {
+	keys []uint64
+	vals []int64
+}
+
+func (p *pendPairs) Len() int           { return len(p.keys) }
+func (p *pendPairs) Less(i, j int) bool { return p.keys[i] < p.keys[j] }
+func (p *pendPairs) Swap(i, j int) {
+	p.keys[i], p.keys[j] = p.keys[j], p.keys[i]
+	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
+}
+
+func fpHash(words []uint64) uint64 {
+	h := uint64(len(words)) + 1
+	for _, w := range words {
+		h = (h ^ w) * fibMult
+		h ^= h >> 29
+	}
+	return h
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subVec appends a-b to out.
+func subVec(out, a, b []int64) []int64 {
+	for i := range a {
+		out = append(out, a[i]-b[i])
+	}
+	return out
+}
+
+// deltaEqual reports whether cur-base == delta, componentwise.
+func deltaEqual(cur, base, delta []int64) bool {
+	if len(cur) != len(base) || len(cur) != len(delta) {
+		return false
+	}
+	for i := range cur {
+		if cur[i]-base[i] != delta[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mulAdd64 computes a*b + c, reporting false on any int64 overflow.
+// Extrapolation deltas are non-negative (counters are monotone), so a
+// negative operand also fails closed.
+func mulAdd64(a, b, c int64) (int64, bool) {
+	if a < 0 || b < 0 || c < 0 {
+		if b == 0 && c >= 0 { // a*0+c is safe for any a
+			return c, true
+		}
+		return 0, false
+	}
+	if b != 0 && a > math.MaxInt64/b {
+		return 0, false
+	}
+	p := a * b
+	if c > math.MaxInt64-p {
+		return 0, false
+	}
+	return p + c, true
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 {
+	return a / gcd64(a, b) * b
+}
+
+func ceilDiv64(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// visit calls fn for every live entry of the pending table.
+func (t *pendTab) visit(fn func(key uint64, val int64)) {
+	for i, e := range t.eps {
+		if e == t.epoch && t.vals[i] != 0 {
+			fn(t.keys[i], t.vals[i])
+		}
+	}
+}

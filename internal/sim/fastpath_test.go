@@ -1,0 +1,398 @@
+package sim
+
+// Differential tests of the fast-forward layer: the fast path must be
+// byte-identical to the slow path — same Stats, same traces — on every
+// mediabench schedule, and must actually extrapolate (not merely match)
+// on steady loops with room to skip.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+// fpSchedule builds a schedule for the given mediabench loop, optionally
+// overriding the trip count (0 keeps the benchmark's own trip).
+func fpSchedule(tb testing.TB, benchName string, loopIdx int, trip int64, pol core.Policy) *sched.Schedule {
+	tb.Helper()
+	bench, err := mediabench.Get(benchName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	loop := bench.Loops[loopIdx]
+	if trip > 0 {
+		ext := *loop // shallow copy: Ops and Symbols are read-only here
+		ext.Trip = trip
+		loop = &ext
+	}
+	cfg := arch.Default().WithInterleave(bench.Interleave)
+	plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus, Profile: profiler.Run(loop, cfg)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sc
+}
+
+// diffRun runs sc through the slow and fast paths and requires identical
+// Stats, returning the fast run's FastPathStats.
+func diffRun(tb testing.TB, sc *sched.Schedule, opts Options) FastPathStats {
+	tb.Helper()
+	slow, err := Run(sc, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fopts := opts
+	fopts.FastPath = true
+	r, err := NewRunner(sc, fopts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fast, err := r.Run(context.Background())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if !reflect.DeepEqual(*slow, *fast) {
+		tb.Errorf("fast path diverged:\nslow: %+v\nfast: %+v\nfast-path stats: %+v",
+			*slow, *fast, r.FastPath())
+	}
+	return r.FastPath()
+}
+
+// TestFastPathIdenticalStats runs every mediabench loop under every
+// policy through both paths at the benchmark's natural trip and requires
+// exactly equal Stats. This is the byte-identity gate of the PR: whatever
+// the detector does — extrapolate, validate-fail, or disarm — the result
+// must be indistinguishable from the slow path.
+func TestFastPathIdenticalStats(t *testing.T) {
+	for _, name := range mediabench.Names() {
+		bench, err := mediabench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li := range bench.Loops {
+			for _, pol := range []core.Policy{core.PolicyFree, core.PolicyMDC, core.PolicyDDGT} {
+				sc := fpSchedule(t, name, li, 0, pol)
+				diffRun(t, sc, Options{})
+				if t.Failed() {
+					t.Fatalf("%s loop %d policy %v diverged", name, li, pol)
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathExtrapolatesExtended extends the trip of one loop per
+// benchmark far enough for steady-state detection to amortize (the
+// natural mediabench trips are too short for their snapshot periods) and
+// requires extrapolation to actually fire — with Stats still exactly
+// equal to the slow path's.
+func TestFastPathExtrapolatesExtended(t *testing.T) {
+	// Aux loops: only table- and fixed-home accesses (strides 0 and N*I),
+	// so the set-alignment period is short and the address lanes leave
+	// room for tens of thousands of iterations.
+	cases := []struct {
+		bench string
+		loop  int
+		trip  int64
+	}{
+		{"epicenc", 1, 16000},
+		{"g721dec", 1, 16000},
+		{"jpegdec", 1, 16000},
+		{"gsmenc", 1, 16000},
+		{"pgpenc", 1, 16000},
+	}
+	for _, tc := range cases {
+		sc := fpSchedule(t, tc.bench, tc.loop, tc.trip, core.PolicyMDC)
+		fp := diffRun(t, sc, Options{})
+		if t.Failed() {
+			t.Fatalf("%s loop %d diverged", tc.bench, tc.loop)
+		}
+		if fp.Extrapolations == 0 {
+			t.Errorf("%s loop %d trip %d: no extrapolation: %+v", tc.bench, tc.loop, tc.trip, fp)
+		}
+		t.Logf("%s loop %d: skipped %d/%d iterations in %d skips",
+			tc.bench, tc.loop, fp.SkippedIterations, tc.trip, fp.Extrapolations)
+	}
+}
+
+// TestFastPathProbe exercises one aux loop with an extended trip and
+// reports what the detector did — the development probe kept as a
+// regression anchor: extrapolation must fire here.
+func TestFastPathProbe(t *testing.T) {
+	sc := fpSchedule(t, "epicenc", 1, 16000, core.PolicyMDC)
+	fp := diffRun(t, sc, Options{})
+	t.Logf("fast-path stats: %+v", fp)
+	if fp.Extrapolations == 0 {
+		t.Errorf("expected extrapolation to fire, got %+v", fp)
+	}
+}
+
+// TestFastPathBoundaryTrips sweeps trip counts across the detector's
+// edges — around eligibility, around snapshot-period multiples, and at
+// the extremes of the skippable window — pinning the final-iteration
+// cycle and stall attribution: Stats (ComputeCycles, StallCycles, every
+// counter) must equal the slow path's exactly at every boundary.
+func TestFastPathBoundaryTrips(t *testing.T) {
+	// epicenc's aux loop has snapshot period 256 (strides {0, 16}, 128
+	// sets x 32B blocks); sweep around multiples of it.
+	trips := []int64{
+		1, 2, 3, 17,
+		255, 256, 257,
+		1023, 1024, 1025, // around 4*period: the eligibility edge
+		1279, 1280, 1281,
+		2047, 2048, 2049,
+		4095, 4096, 4097,
+		8191, 8192, 8193,
+		16000,
+	}
+	for _, trip := range trips {
+		sc := fpSchedule(t, "epicenc", 1, trip, core.PolicyMDC)
+		fp := diffRun(t, sc, Options{})
+		if t.Failed() {
+			t.Fatalf("trip %d diverged (fast-path stats: %+v)", trip, fp)
+		}
+	}
+}
+
+// TestFastPathFallbackLoud: every configuration that would break the
+// byte-identity guarantee must disarm steady-state detection, count the
+// fallback with a reason, and still produce identical Stats (and, where
+// applicable, identical traces and fault logs).
+func TestFastPathFallbackLoud(t *testing.T) {
+	base := func() *sched.Schedule { return fpSchedule(t, "epicenc", 1, 16000, core.PolicyMDC) }
+	cases := []struct {
+		name   string
+		sc     func() *sched.Schedule
+		opts   Options
+		reason string
+	}{
+		{"csv-trace", base, Options{Trace: io.Discard}, "CSV trace"},
+		{"coherence", base, Options{CheckCoherence: true}, "coherence checker"},
+		{"chaos", base, Options{
+			NewFaults: func(*sched.Schedule) FaultInjector { return &countingInjector{} },
+		}, "fault injector"},
+		{"attraction-buffers", func() *sched.Schedule {
+			bench, err := mediabench.Get("epicenc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			loop := bench.Loops[1]
+			ext := *loop
+			ext.Trip = 16000
+			cfg := arch.Default().WithInterleave(bench.Interleave).WithAttractionBuffers(16)
+			plan, err := core.Prepare(&ext, core.PolicyMDC, cfg.NumClusters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus, Profile: profiler.Run(&ext, cfg)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sc
+		}, Options{}, "attraction buffers"},
+		{"short-trip", func() *sched.Schedule { return fpSchedule(t, "epicenc", 1, 300, core.PolicyMDC) },
+			Options{}, "trip too short"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := tc.sc()
+
+			var slowTrace, fastTrace bytes.Buffer
+			opts := tc.opts
+			if opts.Trace != nil {
+				opts.Trace = &slowTrace
+			}
+			slow, err := Run(sc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fopts := tc.opts
+			fopts.FastPath = true
+			if fopts.Trace != nil {
+				fopts.Trace = &fastTrace
+			}
+			r, err := NewRunner(sc, fopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := r.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(*slow, *fast) {
+				t.Errorf("stats diverged:\nslow: %+v\nfast: %+v", *slow, *fast)
+			}
+			if !bytes.Equal(slowTrace.Bytes(), fastTrace.Bytes()) {
+				t.Error("CSV traces diverged")
+			}
+			fp := r.FastPath()
+			if fp.FallbackRuns != 1 || fp.EligibleRuns != 0 {
+				t.Errorf("expected a counted fallback, got %+v", fp)
+			}
+			if !strings.Contains(fp.LastFallbackReason, tc.reason) {
+				t.Errorf("fallback reason %q does not mention %q", fp.LastFallbackReason, tc.reason)
+			}
+			if fp.Extrapolations != 0 {
+				t.Errorf("disarmed run extrapolated: %+v", fp)
+			}
+		})
+	}
+}
+
+// pollCtx is a deterministic context for the cancellation-latency test:
+// Done() reports a closed channel from the cancelAt-th poll onward, so
+// the exact poll at which the simulator notices cancellation is chosen
+// by the test, not by a racing goroutine.
+type pollCtx struct {
+	polls    int64
+	cancelAt int64 // 0 = never
+	closed   chan struct{}
+	open     chan struct{}
+}
+
+func newPollCtx(cancelAt int64) *pollCtx {
+	p := &pollCtx{cancelAt: cancelAt, closed: make(chan struct{}), open: make(chan struct{})}
+	close(p.closed)
+	return p
+}
+
+func (p *pollCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (p *pollCtx) Value(any) any               { return nil }
+func (p *pollCtx) Done() <-chan struct{} {
+	p.polls++
+	if p.cancelAt > 0 && p.polls >= p.cancelAt {
+		return p.closed
+	}
+	return p.open
+}
+func (p *pollCtx) Err() error {
+	if p.cancelAt > 0 && p.polls >= p.cancelAt {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestFastPathCancelAfterSkip is the regression test for the context-
+// check cadence: a skip jumps the cycle counter by thousands of cycles,
+// and the historic `v % interval` check could then drift (or stop firing
+// altogether). The machine now counts simulated progress, so every skip
+// forces a prompt re-check: a cancel arriving at any poll — including
+// the post-skip ones — must abort the run within one check interval.
+func TestFastPathCancelAfterSkip(t *testing.T) {
+	sc := fpSchedule(t, "epicenc", 1, 16000, core.PolicyMDC)
+	opts := Options{FastPath: true}
+	r, err := NewRunner(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncancelled run: count polls and find where the skip landed.
+	free := newPollCtx(0)
+	if _, err := r.Run(free); err != nil {
+		t.Fatal(err)
+	}
+	fp := r.FastPath()
+	if fp.Extrapolations == 0 {
+		t.Fatalf("skip did not fire; the test needs one: %+v", fp)
+	}
+	if free.polls < 2 {
+		t.Fatalf("expected an entry-start poll plus post-skip polls, got %d", free.polls)
+	}
+
+	// Cancel at every poll index. Each run must abort with a wrapped
+	// context.Canceled, and the reported cycles must be non-decreasing in
+	// the poll index — in particular the cancel at the last poll (after
+	// the skip) must still be honored.
+	lastCycle := int64(-1)
+	sawPostSkip := false
+	for at := int64(1); at <= free.polls; at++ {
+		_, err := r.Run(newPollCtx(at))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel at poll %d: got %v, want context.Canceled", at, err)
+		}
+		var cyc int64
+		if _, serr := fmt.Sscanf(err.Error(), "sim: canceled at cycle %d", &cyc); serr != nil {
+			t.Fatalf("cannot parse cancel cycle from %q: %v", err, serr)
+		}
+		if cyc < lastCycle {
+			t.Fatalf("cancel cycle went backwards: poll %d at cycle %d after %d", at, cyc, lastCycle)
+		}
+		lastCycle = cyc
+		if r.FastPath().Extrapolations > 0 {
+			sawPostSkip = true
+		}
+	}
+	if !sawPostSkip {
+		t.Error("no cancel was delivered after the skip; the post-skip re-check is untested")
+	}
+}
+
+// FuzzFastPath is the differential fuzzer of satellite 4: random small
+// loops, scheduled for a deliberately tiny cache (8 sets per module, so
+// snapshot periods are short and skips fire at modest trips), run down
+// both paths. Any Stats difference is a finding.
+func FuzzFastPath(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, int64(2000), false)
+	}
+	f.Add(int64(3), int64(4096), true)
+	f.Fuzz(func(t *testing.T, seed, trip int64, ddgt bool) {
+		if trip < 1 || trip > 1<<14 {
+			t.Skip()
+		}
+		params := loopgen.DefaultParams()
+		params.Trip = trip
+		loop := loopgen.Random(seed, params)
+
+		cfg := arch.Default()
+		cfg.CacheBytes = 512 // 8 sets/module: wrap period 256 iterations max
+		pol := core.PolicyMDC
+		if ddgt {
+			pol = core.PolicyDDGT
+		}
+		plan, err := core.Prepare(loop, pol, cfg.NumClusters)
+		if err != nil {
+			t.Skip()
+		}
+		sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus, Profile: profiler.Run(loop, cfg)})
+		if err != nil {
+			t.Skip()
+		}
+
+		slow, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(sc, Options{FastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*slow, *fast) {
+			t.Errorf("seed %d trip %d ddgt %v: fast path diverged\nslow: %+v\nfast: %+v\nfp: %+v\n%s",
+				seed, trip, ddgt, *slow, *fast, r.FastPath(), loop)
+		}
+	})
+}

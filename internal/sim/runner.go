@@ -61,6 +61,35 @@ func (r *Runner) Run(ctx context.Context) (*Stats, error) {
 // Schedule returns the currently bound schedule.
 func (r *Runner) Schedule() *sched.Schedule { return r.m.sc }
 
+// FastPath reports what the fast-forward layer did during the most recent
+// Run. The zero value is returned when Options.FastPath was off.
+func (r *Runner) FastPath() FastPathStats {
+	if r.m.fast == nil {
+		return FastPathStats{}
+	}
+	return r.m.fast.stats
+}
+
+// RunBatch simulates each schedule in order on one reused machine and
+// returns caller-owned statistics, amortizing machine construction (and,
+// across schedules sharing a cache geometry, the substrate) over the
+// batch. Results are identical to running each schedule through sim.Run.
+func RunBatch(ctx context.Context, scs []*sched.Schedule, opts Options) ([]Stats, error) {
+	out := make([]Stats, len(scs))
+	var r Runner
+	for i, sc := range scs {
+		if err := r.Bind(sc, opts); err != nil {
+			return nil, err
+		}
+		st, err := r.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = *st
+	}
+	return out, nil
+}
+
 // Pool is a concurrent store of idle Runners. RunSchedule pulls a machine
 // from the pool (binding it to the requested schedule) instead of building
 // one from scratch, so a grid of cells sharing a machine configuration pays
@@ -73,6 +102,7 @@ type Pool struct {
 
 	runs   int64
 	reuses int64
+	fast   FastPathStats
 }
 
 // NewPool builds a pool keeping at most max idle Runners (<= 0 defaults to
@@ -107,8 +137,22 @@ func (p *Pool) RunSchedule(ctx context.Context, sc *sched.Schedule, opts Options
 	}
 	out := new(Stats)
 	*out = *st
+	if r.m.fast != nil {
+		fp := r.m.fast.stats
+		p.mu.Lock()
+		p.fast.Add(&fp)
+		p.mu.Unlock()
+	}
 	p.put(r)
 	return out, nil
+}
+
+// FastPath reports the aggregated fast-forward statistics of every run
+// the pool dispatched with Options.FastPath set.
+func (p *Pool) FastPath() FastPathStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fast
 }
 
 // Counters reports how many schedules the pool has run and how many of
@@ -435,4 +479,7 @@ func (m *machine) reset() {
 		m.faults.inj = nil
 	}
 	m.faults.stats = &m.statsVal
+	if m.fast != nil {
+		m.fast.runBegin()
+	}
 }

@@ -72,6 +72,14 @@ type Options struct {
 	// (chaos mode). A factory rather than an injector so one Options value
 	// is safe to share across concurrent runs; see FaultInjector.
 	NewFaults NewFaultsFunc
+	// FastPath enables the fast-forward layer (see fastpath.go): dead
+	// kernel cycles are jumped in one step, and — when the schedule and
+	// options permit — the steady-state tail of each entry is detected by
+	// normalized state snapshots and extrapolated analytically. Results
+	// (Stats, traces, fault logs) are byte-identical to the slow path;
+	// configurations that would break that guarantee disarm the detector
+	// and are counted in FastPathStats (Runner.FastPath, Pool.FastPath).
+	FastPath bool
 	// DisableABInvalidate reverts the Attraction-Buffer conflict fix: a
 	// remote store that finds a pending fetch of its subblock clears the
 	// pending entry but leaves the eagerly-inserted (still in-flight) copy
@@ -191,6 +199,13 @@ type machine struct {
 	tw  *bufio.Writer // CSV access trace, nil when disabled
 	obs obs.Tracer    // typed event tracer, nil when disabled
 
+	// fast is the fast-forward layer (nil unless Options.FastPath).
+	// sinceCtx counts simulated cycles since the last cancellation check;
+	// unlike the historic `v % ctxCheckInterval` cadence it stays accurate
+	// when skips jump the cycle counter (a jump forces a prompt re-check).
+	fast     *fastPath
+	sinceCtx int64
+
 	statsVal Stats
 	stats    *Stats
 }
@@ -223,6 +238,7 @@ func (m *machine) bind(sc *sched.Schedule, opts Options) error {
 		m.tw = bufio.NewWriter(opts.Trace)
 	}
 	m.obs = opts.Tracer
+	m.bindFast()
 	return nil
 }
 
@@ -424,12 +440,31 @@ func (m *machine) runEntry() error {
 	clear(m.complete)
 	clear(m.copyArr)
 
-	for v := int64(0); v <= vEnd; v++ {
-		if m.ctx != nil && v%ctxCheckInterval == 0 {
+	fp := m.fast
+	if fp != nil {
+		fp.entryBegin()
+	}
+	// Check cancellation immediately (as the historic v == 0 check did)
+	// and then once per interval of *simulated progress*: sinceCtx
+	// advances by the actual number of cycles each step covers, so a
+	// fast-path jump of thousands of cycles triggers a prompt re-check
+	// instead of silently stretching the cancellation latency.
+	m.sinceCtx = ctxCheckInterval
+
+	for v := int64(0); v <= vEnd; {
+		if m.ctx != nil && m.sinceCtx >= ctxCheckInterval {
+			m.sinceCtx = 0
 			select {
 			case <-m.ctx.Done():
 				return fmt.Errorf("sim: canceled at cycle %d: %w", m.base+v+m.stall, m.ctx.Err())
 			default:
+			}
+		}
+		if fp != nil && fp.armed && v%ii == 0 {
+			if nv, skipped := fp.boundary(m, v); skipped {
+				m.sinceCtx = ctxCheckInterval // wall-event boundary: re-check promptly
+				v = nv
+				continue
 			}
 		}
 		slot := v % ii
@@ -441,6 +476,28 @@ func (m *machine) runEntry() error {
 			}
 		}
 		if len(m.active) == 0 {
+			// Dead cycle: no event executes, so no state mutates and no
+			// event (trace line, stall, fault consultation) can occur
+			// before the next active cycle — jumping is unobservable.
+			// Inside the fully-active region the activity pattern per
+			// slot is static and the jump is a table lookup; during fill
+			// and drain (a few II at each end) just tick.
+			adv := int64(1)
+			if fp != nil && v >= int64(m.maxCycle) && v+fp.steadyNext[slot] <= fp.steadyEnd {
+				adv = fp.steadyNext[slot]
+				if fp.armed {
+					// Land on iteration boundaries while snapshots run.
+					if b := ii - slot; b < adv {
+						adv = b
+					}
+				}
+				if adv > 1 {
+					fp.stats.DeadCycleSkips++
+					fp.stats.DeadCyclesSkipped += adv - 1
+				}
+			}
+			v += adv
+			m.sinceCtx += adv
 			continue
 		}
 
@@ -473,6 +530,8 @@ func (m *machine) runEntry() error {
 		for _, a := range m.active {
 			m.execute(a.ev, a.iter, issue)
 		}
+		v++
+		m.sinceCtx++
 	}
 	m.stats.ComputeCycles += vEnd + 1
 	m.base += vEnd + 1

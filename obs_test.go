@@ -69,6 +69,35 @@ func TestTraceReconciliation(t *testing.T) {
 	}
 }
 
+// The same reconciliation must hold with the fast path requested: a
+// tracer makes the run ineligible for steady-state extrapolation (it
+// falls back, counted in FastPathStats), but dead-cycle skipping stays
+// on — and neither may perturb a single event or counter.
+func TestTraceReconciliationFastPath(t *testing.T) {
+	for _, v := range []experiments.Variant{experiments.MDCPrefClus, experiments.DDGTPrefClus} {
+		t.Run(v.String(), func(t *testing.T) {
+			cnt := obs.NewCount()
+			st := runTraced(t, v, sim.Options{MaxIterations: 300, MaxEntries: 1, Tracer: cnt, FastPath: true})
+			ref := runTraced(t, v, sim.Options{MaxIterations: 300, MaxEntries: 1})
+
+			if *st != *ref {
+				t.Errorf("fast-path stats diverge from plain run:\nfast: %+v\nref:  %+v", *st, *ref)
+			}
+			if got, want := cnt.Accesses(), st.TotalAccesses(); got != want {
+				t.Errorf("access events = %d, Stats.TotalAccesses = %d", got, want)
+			}
+			for c := sim.Class(0); c < sim.NumClasses; c++ {
+				if got, want := cnt.ByClass[int8(c)], st.Accesses[c]; got != want {
+					t.Errorf("%v events = %d, Stats.Accesses = %d", c, got, want)
+				}
+			}
+			if got, want := cnt.StallSum, st.StallCycles; got != want {
+				t.Errorf("summed stall event cycles = %d, Stats.StallCycles = %d", got, want)
+			}
+		})
+	}
+}
+
 func TestTraceCoherenceEvent(t *testing.T) {
 	ring := obs.NewRing(4)
 	st := runTraced(t, experiments.MDCPrefClus,
@@ -124,5 +153,20 @@ func TestTraceGoldenByteIdentical(t *testing.T) {
 	}
 	if bytes.Equal(a, c1) {
 		t.Error("chaos trace is identical to the fault-free trace; faults not traced?")
+	}
+
+	// The fast path must not move a byte: with a tracer installed it
+	// falls back to dead-cycle skipping only, and skipped cycles are by
+	// construction event-free — so the JSONL streams (and the chaos
+	// fault logs embedded in them) must be identical to the slow path's.
+	fastOpts := opts
+	fastOpts.FastPath = true
+	if fa := jsonlTrace(t, fastOpts); !bytes.Equal(a, fa) {
+		t.Error("fast-path trace differs from slow-path trace")
+	}
+	fastChaos := chaos
+	fastChaos.FastPath = true
+	if fc := jsonlTrace(t, fastChaos); !bytes.Equal(c1, fc) {
+		t.Error("fast-path chaos trace differs from slow-path chaos trace")
 	}
 }
