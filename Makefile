@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs fast-smoke check-deprecated oracle-smoke serve-smoke mc-smoke
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs fast-smoke check-deprecated oracle-smoke serve-smoke mc-smoke sweep-smoke
 
 all: build
 
@@ -12,7 +12,7 @@ all: build
 # deprecated-symbol gate, the serving-layer smoke test, and the
 # model-checker smoke (exhaustive coherence verification of the canonical
 # bounded configurations).
-check: vet race chaos fuzz-smoke obs fast-smoke bench-check check-deprecated oracle-smoke serve-smoke mc-smoke
+check: vet race chaos fuzz-smoke obs fast-smoke bench-check check-deprecated oracle-smoke serve-smoke mc-smoke sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,10 +44,12 @@ chaos:
 # fuzz-smoke replays the checked-in corpora and then fuzzes each target
 # briefly. Native Go fuzzing supports one fuzz target per invocation.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/sched/ ./internal/ddg/ ./internal/mc/
+	$(GO) test -run 'Fuzz' ./internal/sched/ ./internal/ddg/ ./internal/mc/ ./internal/apiv1/ ./internal/loopgen/
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/sched/
 	$(GO) test -fuzz=FuzzBuildDDG -fuzztime=10s -run '^$$' ./internal/ddg/
 	$(GO) test -fuzz=FuzzMCConfig -fuzztime=10s -run '^$$' ./internal/mc/
+	$(GO) test -fuzz=FuzzArchConfig -fuzztime=10s -run '^$$' ./internal/apiv1/
+	$(GO) test -fuzz=FuzzLoopgenCorpus -fuzztime=10s -run '^$$' ./internal/loopgen/
 
 # obs verifies the observability layer: the cycle-level event stream
 # reconciles exactly with the aggregate Stats (per-class access counts,
@@ -92,17 +94,20 @@ bench-check:
 
 # check-deprecated fails when new code uses the deprecated pre-v1
 # spellings (ExecOptions literals, Suite.CellCtx, sim.RunCtx call
-# sites, and the Order enum spelling of scheduler selection — use
-# registry names like "prefclus-slack" instead). The shims themselves
-# live in deprecated.go and stay covered by deprecated_test.go; the
-# Order machinery itself lives in internal/sched; everything else must
-# use the functional options, the *Context spellings and registry names.
+# sites, the Order enum spelling of scheduler selection — use registry
+# names like "prefclus-slack" instead — and apiv1.ParseConfig, whose
+# replacement is NamedConfig plus structured Arch overlays). The shims
+# themselves live in deprecated.go / apiv1.go and stay covered by their
+# tests; the Order machinery itself lives in internal/sched; everything
+# else must use the functional options, the *Context spellings and
+# registry names.
 check-deprecated:
-	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(|\bOrderHeight\b|\bOrderSlack\b' \
+	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(|\bOrderHeight\b|\bOrderSlack\b|\bParseConfig\(' \
 		--include='*.go' . \
 		| grep -v -e '^\./deprecated\.go:' -e '^\./deprecated_test\.go:' \
 		          -e '/sim/sim\.go:' -e '/experiments/suite\.go:' \
 		          -e '^\./internal/sched/' \
+		          -e '^\./internal/apiv1/apiv1\.go:' -e '^\./internal/apiv1/arch_test\.go:' \
 		|| true); \
 	if [ -n "$$matches" ]; then \
 		echo "check-deprecated: migrate these call sites off the deprecated spellings:"; \
@@ -119,6 +124,14 @@ check-deprecated:
 #   go test -run TestOracleSmoke ./internal/oracle/ -update
 oracle-smoke:
 	$(GO) test -count=1 -run TestOracleSmoke -v ./internal/oracle/
+
+# sweep-smoke regenerates the canonical design-space sweep (the
+# archspace grid over every benchmark plus the seed-1 corpus) and
+# byte-diffs it against the committed SWEEP_report.json/.csv. Refresh
+# the artifacts with:
+#   go test -run TestSweepSmoke ./internal/experiments/ -update
+sweep-smoke:
+	$(GO) test -count=1 -run TestSweepSmoke -v ./internal/experiments/
 
 # serve-smoke is the paperserved end-to-end smoke: build the binary,
 # start it on an ephemeral port, POST the committed golden request, diff

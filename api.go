@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"vliwcache/internal/arch"
+	"vliwcache/internal/archspace"
 	"vliwcache/internal/core"
 	"vliwcache/internal/ddg"
 	"vliwcache/internal/engine"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/ir"
+	"vliwcache/internal/loopgen"
 	"vliwcache/internal/mc"
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/obs"
@@ -499,6 +501,7 @@ type PipelineError = experiments.PipelineError
 // settings collects everything the option-based entry points configure.
 type settings struct {
 	arch        Config
+	archGrid    *ArchSpace
 	policy      Policy
 	heuristic   Heuristic
 	scheduler   string
@@ -533,6 +536,13 @@ func (f optionFunc) apply(s *settings) { f(s) }
 // WithArch selects the machine description (default: DefaultConfig()).
 func WithArch(cfg Config) Option {
 	return optionFunc(func(s *settings) { s.arch = cfg })
+}
+
+// WithArchGrid sets the architecture design-space grid RunSweep explores
+// (default: CanonicalArchSpace()). Entry points that run a single machine
+// (Execute, NewSuite) ignore it, consistent with the Option contract.
+func WithArchGrid(g ArchSpace) Option {
+	return optionFunc(func(s *settings) { s.archGrid = &g })
 }
 
 // WithPolicy selects the coherence policy (default: PolicyFree).
@@ -776,6 +786,103 @@ func ExecuteHybridContext(ctx context.Context, l *Loop, opts ...Option) (*Result
 	return mdc, nil
 }
 
+// Design-space exploration (see internal/archspace, internal/loopgen and
+// the sweep experiment): the paper's single Table 2 machine opened into a
+// sweepable grid of architecture points, and the 14 tuned benchmarks
+// opened into a seeded continuum of envelope-checked generated loops.
+type (
+	// ArchSpace enumerates machine configurations over per-field dials;
+	// the zero value of every dial inherits the base configuration.
+	ArchSpace = archspace.Grid
+	// ArchPoint is one named, validated configuration of a grid.
+	ArchPoint = archspace.Point
+	// ArchInvalid reports a grid point rejected by Config.Validate.
+	ArchInvalid = archspace.Invalid
+	// SweepWorkload names a set of loops runnable as sweep rows.
+	SweepWorkload = experiments.SweepWorkload
+	// SweepOptions configure Sweep (variants, simulation, fast path,
+	// parallelism).
+	SweepOptions = experiments.SweepOptions
+	// SweepRow is one (arch point, workload, variant) cell of a sweep.
+	SweepRow = report.SweepRow
+	// CorpusParams are the generative loop corpus dials: memory
+	// operations, chain ratio, alias density, recurrence depth, stride
+	// mix, element size.
+	CorpusParams = loopgen.CorpusParams
+	// StrideMix weights the corpus's table / fixed-home / streaming
+	// access patterns.
+	StrideMix = loopgen.StrideMix
+	// CorpusEnvelope bounds the characteristics (op counts, memory
+	// ratio, CMR/CAR) every generated loop must satisfy.
+	CorpusEnvelope = loopgen.Envelope
+)
+
+// CanonicalArchSpace returns the committed sweep's grid: cluster counts
+// 2/4/8 × interleavings 2/4 × Attraction Buffers off/on over the Table 2
+// base.
+func CanonicalArchSpace() ArchSpace { return archspace.Canonical() }
+
+// ArchPointName renders the canonical short name of a configuration
+// (e.g. "c4-i4-8KB-w2-rb4x2-mb4x2-ab0-wi").
+func ArchPointName(cfg Config) string { return archspace.Name(cfg) }
+
+// DistinctSubstrates counts the distinct simulation substrates a set of
+// grid points builds: points differing only in fields that do not change
+// machine storage (e.g. InterleaveBytes) share one pooled machine.
+func DistinctSubstrates(points []ArchPoint) int { return archspace.DistinctSubstrates(points) }
+
+// Sweep runs every (arch point × workload × variant) cell and returns
+// rows in canonical grid order. Determinism holds at any parallelism.
+func Sweep(ctx context.Context, points []ArchPoint, workloads []SweepWorkload, opts SweepOptions) ([]SweepRow, error) {
+	return experiments.Sweep(ctx, points, workloads, opts)
+}
+
+// RunSweep is the option-based spelling of Sweep: the grid comes from
+// WithArchGrid (default CanonicalArchSpace()), simulation options from
+// WithSimOptions/WithFastPath, and concurrency from WithParallelism.
+func RunSweep(ctx context.Context, workloads []SweepWorkload, opts ...Option) ([]SweepRow, error) {
+	s := newSettings(opts)
+	grid := s.archGrid
+	if grid == nil {
+		g := CanonicalArchSpace()
+		grid = &g
+	}
+	so := SweepOptions{Sim: s.sim, FastPath: s.fastPath, Parallelism: s.parallelism}
+	return experiments.Sweep(ctx, grid.Points(), workloads, so)
+}
+
+// CanonicalSweepWorkloads returns the committed sweep's workloads: the
+// full synthesized Mediabench suite plus the seed-1 generated corpus.
+func CanonicalSweepWorkloads() ([]SweepWorkload, error) {
+	return experiments.CanonicalSweepWorkloads()
+}
+
+// CanonicalSweepOptions returns the committed sweep's options.
+func CanonicalSweepOptions() SweepOptions { return experiments.CanonicalSweepOptions() }
+
+// WriteSweepJSON serializes sweep rows as an indented JSON array.
+func WriteSweepJSON(w io.Writer, rows []SweepRow) error { return report.WriteSweepJSON(w, rows) }
+
+// WriteSweepCSV serializes sweep rows as CSV.
+func WriteSweepCSV(w io.Writer, rows []SweepRow) error { return report.WriteSweepCSV(w, rows) }
+
+// LoopCorpus generates n seeded loops satisfying the characteristic
+// envelope; equal (seed, n, params) yield identical loops. Dials the
+// envelope cannot satisfy fail with an error.
+func LoopCorpus(seed int64, n int, p CorpusParams) ([]*Loop, error) {
+	return loopgen.Corpus(seed, n, p)
+}
+
+// DefaultCorpusParams returns mediabench-like corpus dials.
+func DefaultCorpusParams() CorpusParams { return loopgen.DefaultCorpusParams() }
+
+// DefaultCorpusEnvelope returns the Table 1/3/4 characteristic envelope
+// every generated corpus loop is checked against.
+func DefaultCorpusEnvelope() CorpusEnvelope { return loopgen.DefaultEnvelope() }
+
+// CheckCorpusEnvelope reports whether a loop fits the envelope.
+func CheckCorpusEnvelope(l *Loop, env CorpusEnvelope) error { return loopgen.CheckEnvelope(l, env) }
+
 // Serving (see internal/server and internal/resultcache): paperserved's
 // HTTP service over the pipeline — a versioned wire schema, a
 // content-addressed result cache with single-flight request coalescing,
@@ -819,6 +926,10 @@ func WithServerDeadline(d time.Duration) ServerOption { return server.WithDefaul
 
 // WithServerArch sets the base machine description requests start from.
 func WithServerArch(cfg Config) ServerOption { return server.WithArch(cfg) }
+
+// WithServerArchGrid sets the design-space grid the server advertises at
+// GET /v1/archspace (default: the canonical grid).
+func WithServerArchGrid(points []ArchPoint) ServerOption { return server.WithArchGrid(points) }
 
 // WithServerParallelism bounds the server's compute worker pool.
 func WithServerParallelism(n int) ServerOption { return server.WithParallelism(n) }

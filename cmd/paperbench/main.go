@@ -18,6 +18,8 @@
 //	paperbench -scheduler locality   # schedule every cell with one registered scheduler
 //	paperbench -portfolio prefclus,mincoms,oracle  # race schedulers, keep the best
 //	paperbench -gap gap.json         # optimality-gap report (.csv = CSV, else JSON)
+//	paperbench -sweep sweep.json     # canonical design-space sweep (.csv = CSV, else JSON)
+//	paperbench -sweep s.json -corpus 16  # sweep with 16 generated corpus loops
 //	paperbench -mc                   # exhaustively model-check the coherence substrate
 //	paperbench -oracle-budget 100000 # cap the oracle's search nodes per loop
 //	paperbench -chaos -seed 7        # fault injection + coherence audit
@@ -59,6 +61,7 @@ import (
 	"sync"
 
 	"vliwcache/internal/arch"
+	"vliwcache/internal/archspace"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/fault"
 	"vliwcache/internal/mc"
@@ -100,6 +103,8 @@ func main() {
 	scheduler := flag.String("scheduler", "", "schedule every cell with this registered scheduler (see -gap output for names)")
 	portfolio := flag.String("portfolio", "", "comma-separated schedulers to race per cell, best schedule wins (incompatible with -chaos)")
 	gapFile := flag.String("gap", "", "write the per-benchmark optimality-gap report to this file (.csv = CSV, else JSON) and exit")
+	sweepFile := flag.String("sweep", "", "write the canonical design-space sweep to this file (.csv = CSV, else JSON) and exit")
+	corpusN := flag.Int("corpus", 8, "generated corpus loops appended to the -sweep workloads (seed 1; 0 = benchmarks only)")
 	mcMode := flag.Bool("mc", false, "exhaustively model-check the coherence substrate's canonical configurations and exit")
 	oracleBudget := flag.Int64("oracle-budget", 0, "cap the oracle's search nodes per loop in the -gap report (0 = default)")
 	chaos := flag.Bool("chaos", false, "inject seeded timing faults and audit coherence on every run")
@@ -257,6 +262,35 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "paperbench: gap: %d loops, %d closed by the oracle\n", len(rows), closed)
+		exit(0)
+	}
+
+	// -sweep is its own mode: run the canonical archspace grid over the
+	// benchmark suite plus the generated corpus and export the rows.
+	// -maxiters and -parallel tune the run; the defaults reproduce the
+	// committed SWEEP_report byte for byte.
+	if *sweepFile != "" {
+		points := archspace.Canonical().Points()
+		workloads, err := experiments.SweepWorkloadsWithCorpus(1, *corpusN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: sweep: %v\n", err)
+			exit(2)
+		}
+		sopts := experiments.CanonicalSweepOptions()
+		if *maxIters > 0 {
+			sopts.Sim.MaxIterations = *maxIters
+		}
+		sopts.Parallelism = *parallel
+		rows, err := experiments.Sweep(ctx, points, workloads, sopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: sweep: %v\n", err)
+			exit(2)
+		}
+		exportTo(*sweepFile,
+			func(w io.Writer) error { return report.WriteSweepCSV(w, rows) },
+			func(w io.Writer) error { return report.WriteSweepJSON(w, rows) })
+		fmt.Fprintf(os.Stderr, "paperbench: sweep: %d rows (%d points × %d workloads), %d distinct substrates\n",
+			len(rows), len(points), len(workloads), archspace.DistinctSubstrates(points))
 		exit(0)
 	}
 

@@ -185,7 +185,7 @@ func ExampleLoadBenchBaseline() {
 	regs := vliwcache.CompareBenchBaselines(base, &measured, 0.10)
 	fmt.Println("regressions:", len(regs))
 	// Output:
-	// benchmarks recorded: 6
+	// benchmarks recorded: 7
 	// steady state allocs: 0
 	// regressions: 0
 }

@@ -79,6 +79,13 @@ type ScheduleRequest struct {
 	// then name order). Mutually exclusive with Scheduler. A portfolio of
 	// one behaves exactly like Scheduler with that name.
 	Portfolio []string `json:"portfolio,omitempty"`
+	// Arch, when set, overrides individual machine-description fields on
+	// top of the named Config (or the Table 2 default). Omitted fields
+	// inherit; a resulting geometry that fails validation is the typed
+	// 422 invalid_arch error. When Arch is present, the legacy Layout
+	// field applies only if non-empty (the structured layout wins
+	// otherwise); ABEntries > 0 still applies on top.
+	Arch *Arch `json:"arch,omitempty"`
 }
 
 // ScheduleResponse is the outcome of POST /v1/schedule.
@@ -180,6 +187,10 @@ type SuiteRequest struct {
 	// Portfolio, when set, races the named schedulers on every cell.
 	// Mutually exclusive with Scheduler.
 	Portfolio []string `json:"portfolio,omitempty"`
+	// Arch, when set, overrides machine-description fields on top of the
+	// server's base configuration for every cell (see
+	// ScheduleRequest.Arch).
+	Arch *Arch `json:"arch,omitempty"`
 }
 
 // SuiteResponse carries the computed grid in canonical cell order
@@ -279,16 +290,12 @@ func ParseHeuristic(name string) (sched.Heuristic, error) {
 
 // ParseConfig maps a wire config name onto a machine description. The
 // empty string defaults to the paper's Table 2 configuration.
+//
+// Deprecated: ParseConfig is the name-only spelling of machine selection;
+// use NamedConfig for the three frozen names and Arch.Apply for
+// structured overrides.
 func ParseConfig(name string) (arch.Config, error) {
-	switch strings.ToLower(name) {
-	case "", "default":
-		return arch.Default(), nil
-	case "nobal+mem":
-		return arch.NobalMem(), nil
-	case "nobal+reg":
-		return arch.NobalReg(), nil
-	}
-	return arch.Config{}, fmt.Errorf("unknown config %q (want default, nobal+mem or nobal+reg)", name)
+	return NamedConfig(name)
 }
 
 // ParseLayout maps a wire layout name onto arch.Layout. The empty string

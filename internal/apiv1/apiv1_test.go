@@ -121,11 +121,11 @@ func TestParsers(t *testing.T) {
 	if _, err := ParseHeuristic("x"); err == nil {
 		t.Error("ParseHeuristic(x) must fail")
 	}
-	if cfg, err := ParseConfig(""); err != nil || cfg != arch.Default() {
-		t.Errorf("ParseConfig(empty) = %+v, %v", cfg, err)
+	if cfg, err := NamedConfig(""); err != nil || cfg != arch.Default() {
+		t.Errorf("NamedConfig(empty) = %+v, %v", cfg, err)
 	}
-	if _, err := ParseConfig("x"); err == nil {
-		t.Error("ParseConfig(x) must fail")
+	if _, err := NamedConfig("x"); err == nil {
+		t.Error("NamedConfig(x) must fail")
 	}
 	if l, err := ParseLayout("replicated"); err != nil || l != arch.LayoutReplicated {
 		t.Errorf("ParseLayout(replicated) = %v, %v", l, err)

@@ -1,0 +1,171 @@
+package apiv1
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/arch"
+)
+
+// Structured architecture descriptions on the wire. The legacy `config`
+// field names one of three frozen machine shapes; the `arch` object opens
+// every arch.Config dial to clients. Every field is optional — an omitted
+// field inherits the base configuration (the named config, or Table 2) —
+// so the empty object is exactly the legacy behavior and old request
+// bytes keep their meaning and their cache addresses.
+
+// ErrInvalidArch marks a structured arch override whose resulting
+// geometry fails arch.Validate — the typed 422 invalid_arch case.
+var ErrInvalidArch = errors.New("invalid arch")
+
+// Arch is the wire form of arch.Config. All fields are pointers: nil
+// inherits the base value, a present value overrides it. Field order is
+// frozen like every other v1 type.
+type Arch struct {
+	// Layout: "interleaved" or "replicated".
+	Layout           *string `json:"layout,omitempty"`
+	NumClusters      *int    `json:"numClusters,omitempty"`
+	IntUnits         *int    `json:"intUnits,omitempty"`
+	FPUnits          *int    `json:"fpUnits,omitempty"`
+	MemUnits         *int    `json:"memUnits,omitempty"`
+	CacheBytes       *int    `json:"cacheBytes,omitempty"`
+	BlockBytes       *int    `json:"blockBytes,omitempty"`
+	CacheAssoc       *int    `json:"cacheAssoc,omitempty"`
+	InterleaveBytes  *int    `json:"interleaveBytes,omitempty"`
+	CacheHitLatency  *int    `json:"cacheHitLatency,omitempty"`
+	RegBuses         *int    `json:"regBuses,omitempty"`
+	RegBusLatency    *int    `json:"regBusLatency,omitempty"`
+	MemBuses         *int    `json:"memBuses,omitempty"`
+	MemBusLatency    *int    `json:"memBusLatency,omitempty"`
+	NextLevelLatency *int    `json:"nextLevelLatency,omitempty"`
+	NextLevelPorts   *int    `json:"nextLevelPorts,omitempty"`
+	ABEntries        *int    `json:"abEntries,omitempty"`
+	ABAssoc          *int    `json:"abAssoc,omitempty"`
+}
+
+func override(dst *int, src *int) {
+	if src != nil {
+		*dst = *src
+	}
+}
+
+// Apply overlays the present fields onto base and validates the result.
+// A geometry rejected by arch.Validate comes back wrapping ErrInvalidArch
+// so the serving layer can map it to the typed 422 invalid_arch error.
+func (a *Arch) Apply(base arch.Config) (arch.Config, error) {
+	cfg := base
+	if a == nil {
+		return cfg, nil
+	}
+	if a.Layout != nil {
+		l, err := ParseLayout(*a.Layout)
+		if err != nil {
+			return arch.Config{}, fmt.Errorf("%w: %v", ErrInvalidArch, err)
+		}
+		cfg.Layout = l
+	}
+	override(&cfg.NumClusters, a.NumClusters)
+	override(&cfg.IntUnits, a.IntUnits)
+	override(&cfg.FPUnits, a.FPUnits)
+	override(&cfg.MemUnits, a.MemUnits)
+	override(&cfg.CacheBytes, a.CacheBytes)
+	override(&cfg.BlockBytes, a.BlockBytes)
+	override(&cfg.CacheAssoc, a.CacheAssoc)
+	override(&cfg.InterleaveBytes, a.InterleaveBytes)
+	override(&cfg.CacheHitLatency, a.CacheHitLatency)
+	override(&cfg.RegBuses, a.RegBuses)
+	override(&cfg.RegBusLatency, a.RegBusLatency)
+	override(&cfg.MemBuses, a.MemBuses)
+	override(&cfg.MemBusLatency, a.MemBusLatency)
+	override(&cfg.NextLevelLatency, a.NextLevelLatency)
+	override(&cfg.NextLevelPorts, a.NextLevelPorts)
+	override(&cfg.ABEntries, a.ABEntries)
+	override(&cfg.ABAssoc, a.ABAssoc)
+	if cfg.ABEntries > 0 && cfg.ABAssoc < 1 && a.ABAssoc == nil {
+		// Enabling ABs through the wire without naming an associativity
+		// gets the paper's 2-way default, mirroring WithAttractionBuffers.
+		cfg.ABAssoc = 2
+	}
+	if err := cfg.Validate(); err != nil {
+		return arch.Config{}, fmt.Errorf("%w: %v", ErrInvalidArch, err)
+	}
+	return cfg, nil
+}
+
+// ArchKey renders the canonical cache-key encoding of a configuration:
+// every arch.Config field in declaration order, independent of which
+// request fields produced it. Two requests resolving to the same machine
+// share one cache entry; the encoding never changes once shipped.
+func ArchKey(c arch.Config) string {
+	layout := "interleaved"
+	if c.Replicated() {
+		layout = "replicated"
+	}
+	return fmt.Sprintf(
+		"layout=%s,nc=%d,int=%d,fp=%d,mem=%d,cache=%d,block=%d,assoc=%d,il=%d,hit=%d,rb=%d,rbl=%d,mb=%d,mbl=%d,nll=%d,nlp=%d,ab=%d,aba=%d",
+		layout, c.NumClusters, c.IntUnits, c.FPUnits, c.MemUnits,
+		c.CacheBytes, c.BlockBytes, c.CacheAssoc, c.InterleaveBytes,
+		c.CacheHitLatency, c.RegBuses, c.RegBusLatency, c.MemBuses,
+		c.MemBusLatency, c.NextLevelLatency, c.NextLevelPorts,
+		c.ABEntries, c.ABAssoc)
+}
+
+// ArchOf renders a configuration as a fully-specified wire object:
+// every field present, so applying it to any base reproduces c exactly.
+func ArchOf(c arch.Config) Arch {
+	layout := "interleaved"
+	if c.Replicated() {
+		layout = "replicated"
+	}
+	p := func(v int) *int { return &v }
+	return Arch{
+		Layout:           &layout,
+		NumClusters:      p(c.NumClusters),
+		IntUnits:         p(c.IntUnits),
+		FPUnits:          p(c.FPUnits),
+		MemUnits:         p(c.MemUnits),
+		CacheBytes:       p(c.CacheBytes),
+		BlockBytes:       p(c.BlockBytes),
+		CacheAssoc:       p(c.CacheAssoc),
+		InterleaveBytes:  p(c.InterleaveBytes),
+		CacheHitLatency:  p(c.CacheHitLatency),
+		RegBuses:         p(c.RegBuses),
+		RegBusLatency:    p(c.RegBusLatency),
+		MemBuses:         p(c.MemBuses),
+		MemBusLatency:    p(c.MemBusLatency),
+		NextLevelLatency: p(c.NextLevelLatency),
+		NextLevelPorts:   p(c.NextLevelPorts),
+		ABEntries:        p(c.ABEntries),
+		ABAssoc:          p(c.ABAssoc),
+	}
+}
+
+// ArchPoint is one entry of the GET /v1/archspace listing: a named grid
+// point, its canonical cache-key encoding, and the fully-specified arch
+// object a client can echo back on /v1/schedule or /v1/suite.
+type ArchPoint struct {
+	Name string `json:"name"`
+	Key  string `json:"key"`
+	Arch Arch   `json:"arch"`
+}
+
+// ArchSpaceResponse is the body of GET /v1/archspace.
+type ArchSpaceResponse struct {
+	Points []ArchPoint `json:"points"`
+}
+
+// NamedConfig maps a wire config name onto a machine description. The
+// empty string defaults to the paper's Table 2 configuration. This is the
+// replacement for the deprecated ParseConfig spelling.
+func NamedConfig(name string) (arch.Config, error) {
+	switch strings.ToLower(name) {
+	case "", "default":
+		return arch.Default(), nil
+	case "nobal+mem":
+		return arch.NobalMem(), nil
+	case "nobal+reg":
+		return arch.NobalReg(), nil
+	}
+	return arch.Config{}, fmt.Errorf("unknown config %q (want default, nobal+mem or nobal+reg)", name)
+}

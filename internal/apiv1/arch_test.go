@@ -1,0 +1,124 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+)
+
+// TestParseConfigNamedConfigEquivalence pins the deprecation contract:
+// the deprecated ParseConfig and its replacement NamedConfig are the
+// same function over every input class.
+func TestParseConfigNamedConfigEquivalence(t *testing.T) {
+	for _, name := range []string{"", "default", "DEFAULT", "nobal+mem", "nobal+reg", "NoBal+Reg", "turbo", "nobal+bus"} {
+		oldCfg, oldErr := ParseConfig(name)
+		newCfg, newErr := NamedConfig(name)
+		if oldCfg != newCfg {
+			t.Errorf("ParseConfig(%q) = %+v, NamedConfig = %+v", name, oldCfg, newCfg)
+		}
+		if (oldErr == nil) != (newErr == nil) {
+			t.Errorf("ParseConfig(%q) err = %v, NamedConfig err = %v", name, oldErr, newErr)
+		}
+	}
+}
+
+// TestArchApply covers the overlay semantics: nil inherits, the empty
+// object is the identity, present fields override, and a geometry
+// rejected by arch.Validate wraps ErrInvalidArch.
+func TestArchApply(t *testing.T) {
+	base := arch.Default()
+
+	var nilArch *Arch
+	got, err := nilArch.Apply(base)
+	if err != nil || got != base {
+		t.Errorf("nil Apply = %+v, %v; want identity", got, err)
+	}
+
+	got, err = (&Arch{}).Apply(base)
+	if err != nil || got != base {
+		t.Errorf("empty Apply = %+v, %v; want identity", got, err)
+	}
+
+	nc, il := 2, 2
+	got, err = (&Arch{NumClusters: &nc, InterleaveBytes: &il}).Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters != 2 || got.InterleaveBytes != 2 {
+		t.Errorf("override Apply = %+v", got)
+	}
+	if got.CacheBytes != base.CacheBytes {
+		t.Errorf("unset fields must inherit: cache %d != %d", got.CacheBytes, base.CacheBytes)
+	}
+
+	// Enabling ABs without naming an associativity gets the 2-way
+	// default, exactly like arch.Config.WithAttractionBuffers.
+	ab := 16
+	got, err = (&Arch{ABEntries: &ab}).Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.WithAttractionBuffers(16); got != want {
+		t.Errorf("AB default Apply = %+v, want %+v", got, want)
+	}
+
+	bad := 64
+	if _, err = (&Arch{InterleaveBytes: &bad}).Apply(base); !errors.Is(err, ErrInvalidArch) {
+		t.Errorf("invalid geometry err = %v, want ErrInvalidArch", err)
+	}
+	layout := "hexagonal"
+	if _, err = (&Arch{Layout: &layout}).Apply(base); !errors.Is(err, ErrInvalidArch) {
+		t.Errorf("bad layout err = %v, want ErrInvalidArch", err)
+	}
+}
+
+// TestArchOfRoundTrip: ArchOf renders every field, so applying the
+// result to any base reproduces the original configuration.
+func TestArchOfRoundTrip(t *testing.T) {
+	for _, cfg := range []arch.Config{
+		arch.Default(),
+		arch.Default().WithLayout(arch.LayoutReplicated),
+		arch.Default().WithAttractionBuffers(16),
+		arch.NobalMem(),
+		arch.NobalReg(),
+	} {
+		a := ArchOf(cfg)
+		other := arch.NobalReg() // a deliberately different base
+		got, err := a.Apply(other)
+		if err != nil {
+			t.Fatalf("Apply(ArchOf(%+v)): %v", cfg, err)
+		}
+		if got != cfg {
+			t.Errorf("round trip = %+v, want %+v", got, cfg)
+		}
+	}
+}
+
+// TestArchKeyCanonical pins the canonical encoding: field order is
+// frozen, and distinct machines encode distinctly.
+func TestArchKeyCanonical(t *testing.T) {
+	key := ArchKey(arch.Default())
+	want := "layout=interleaved,nc=4,int=1,fp=1,mem=1,cache=8192,block=32,assoc=2,il=4,hit=1,rb=4,rbl=2,mb=4,mbl=2,nll=10,nlp=4,ab=0,aba=2"
+	if key != want {
+		t.Errorf("ArchKey(default) = %q, want %q", key, want)
+	}
+	if k2 := ArchKey(arch.Default().WithLayout(arch.LayoutReplicated)); !strings.HasPrefix(k2, "layout=replicated,") || k2[len("layout=replicated"):] != key[len("layout=interleaved"):] {
+		t.Errorf("replicated key = %q, want only the layout field to change from %q", k2, key)
+	}
+}
+
+// TestArchWireFieldOrder freezes the JSON encoding of a fully-populated
+// Arch: field names and order never change once shipped.
+func TestArchWireFieldOrder(t *testing.T) {
+	data, err := json.Marshal(ArchOf(arch.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"layout":"interleaved","numClusters":4,"intUnits":1,"fpUnits":1,"memUnits":1,"cacheBytes":8192,"blockBytes":32,"cacheAssoc":2,"interleaveBytes":4,"cacheHitLatency":1,"regBuses":4,"regBusLatency":2,"memBuses":4,"memBusLatency":2,"nextLevelLatency":10,"nextLevelPorts":4,"abEntries":0,"abAssoc":2}`
+	if string(data) != want {
+		t.Errorf("wire encoding drifted:\n got:  %s\n want: %s", data, want)
+	}
+}

@@ -34,6 +34,10 @@ const (
 	// CodeUnknownScheduler: the request named a scheduler (or portfolio
 	// member) absent from the registry.
 	CodeUnknownScheduler = "unknown_scheduler" // 422
+	// CodeInvalidArch: a structured arch override produced a geometry
+	// rejected by arch.Validate (interleaving not dividing the block,
+	// cluster count not dividing the block words, zero buses, ...).
+	CodeInvalidArch = "invalid_arch" // 422
 	// CodePipelineFailure: a pipeline stage failed for a reason other
 	// than infeasibility; Details locates the stage.
 	CodePipelineFailure = "pipeline_failure" // 422
@@ -57,7 +61,7 @@ func StatusOf(code string) int {
 		return http.StatusBadRequest
 	case CodeUnknownBenchmark:
 		return http.StatusNotFound
-	case CodeInfeasibleSchedule, CodeUnknownScheduler, CodePipelineFailure:
+	case CodeInfeasibleSchedule, CodeUnknownScheduler, CodeInvalidArch, CodePipelineFailure:
 		return http.StatusUnprocessableEntity
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
@@ -81,6 +85,8 @@ func ErrorFor(err error) (int, ErrorResponse) {
 		resp.Code = CodeUnknownBenchmark
 	case errors.Is(err, sched.ErrUnknownScheduler):
 		resp.Code = CodeUnknownScheduler
+	case errors.Is(err, ErrInvalidArch):
+		resp.Code = CodeInvalidArch
 	case errors.Is(err, sched.ErrInfeasible):
 		resp.Code = CodeInfeasibleSchedule
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,107 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// fuzzLoop is a small well-formed loop for driving arbitrary machine
+// configurations end to end.
+func fuzzLoop(tb testing.TB) *ir.Loop {
+	tb.Helper()
+	b := ir.NewBuilder("fuzzarch")
+	b.Symbol("x", 0x10000, 1<<16)
+	b.Symbol("y", 0x80000, 1<<16)
+	b.Trip(8, 1)
+	r0 := b.Load("ldx", ir.AddrExpr{Base: "x", Stride: 8, Size: 8})
+	r1 := b.Load("ldy", ir.AddrExpr{Base: "y", Stride: 8, Size: 8})
+	r2 := b.Arith("mul", ir.KindFMul, r0, r1)
+	b.Store("sty", ir.AddrExpr{Base: "y", Stride: 8, Size: 8}, r2)
+	return b.Loop()
+}
+
+// simulatableBounds keeps fuzzed machines inside a neighborhood where a
+// tiny end-to-end run is cheap: the contract under test is "valid
+// geometry simulates or fails typed", not "arbitrarily huge machines
+// are fast".
+func simulatableBounds(c arch.Config) bool {
+	return c.NumClusters <= 16 &&
+		c.IntUnits <= 16 && c.FPUnits <= 16 && c.MemUnits <= 16 &&
+		c.CacheBytes <= 1<<20 && c.BlockBytes <= 4096 && c.CacheAssoc <= 64 &&
+		c.CacheHitLatency <= 64 &&
+		c.RegBuses <= 32 && c.RegBusLatency <= 64 &&
+		c.MemBuses <= 32 && c.MemBusLatency <= 64 &&
+		c.NextLevelLatency <= 256 && c.NextLevelPorts <= 64 &&
+		c.ABEntries <= 4096 && c.ABAssoc <= 64
+}
+
+// FuzzArchConfig decodes arbitrary bytes as a wire arch object and
+// overlays it on the default machine. The contract: Apply either fails
+// wrapping ErrInvalidArch (the typed 422) or yields a config passing
+// arch.Validate whose ArchOf rendering round-trips; bounded valid
+// machines must then drive the schedule→simulate pipeline to completion
+// or to an error inside the typed taxonomy (never CodeInternal).
+func FuzzArchConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"numClusters":2}`))
+	f.Add([]byte(`{"numClusters":8,"interleaveBytes":2}`))
+	f.Add([]byte(`{"layout":"replicated"}`))
+	f.Add([]byte(`{"abEntries":16}`))
+	f.Add([]byte(`{"interleaveBytes":64}`))
+	f.Add([]byte(`{"memBuses":0}`))
+	f.Add([]byte(`{"blockBytes":48,"cacheBytes":3072}`))
+	loop := fuzzLoop(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a Arch
+		if err := json.Unmarshal(data, &a); err != nil {
+			t.Skip("not a wire arch object")
+		}
+		cfg, err := a.Apply(arch.Default())
+		if err != nil {
+			if !errors.Is(err, ErrInvalidArch) {
+				t.Fatalf("Apply error outside the typed taxonomy: %v", err)
+			}
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("Apply returned an invalid config %+v: %v", cfg, verr)
+		}
+		ao := ArchOf(cfg)
+		if rt, rerr := ao.Apply(arch.NobalReg()); rerr != nil || rt != cfg {
+			t.Fatalf("ArchOf round trip = %+v, %v; want %+v", rt, rerr, cfg)
+		}
+		if !simulatableBounds(cfg) {
+			return
+		}
+		plan, err := core.Prepare(loop, core.PolicyMDC, cfg.NumClusters)
+		if err != nil {
+			t.Fatalf("Prepare on valid config %+v: %v", cfg, err)
+		}
+		sc, err := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus,
+			Profile: profiler.Run(loop, cfg)})
+		if err != nil {
+			if _, resp := ErrorFor(err); resp.Code == CodeInternal {
+				t.Fatalf("schedule error outside the typed taxonomy on %+v: %v", cfg, err)
+			}
+			return
+		}
+		st, err := sim.Run(sc, sim.Options{MaxIterations: 8, CheckCoherence: true})
+		if err != nil {
+			if _, resp := ErrorFor(err); resp.Code == CodeInternal {
+				t.Fatalf("simulate error outside the typed taxonomy on %+v: %v", cfg, err)
+			}
+			return
+		}
+		if st.Cycles() <= 0 {
+			t.Fatalf("simulation of valid config %+v ran zero cycles", cfg)
+		}
+	})
+}

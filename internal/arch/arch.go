@@ -179,22 +179,32 @@ func (c Config) Validate() error {
 		return fmt.Errorf("arch: FPUnits must be >= 0, got %d", c.FPUnits)
 	case c.CacheBytes <= 0 || c.BlockBytes <= 0:
 		return fmt.Errorf("arch: cache and block sizes must be positive")
+	case c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("arch: BlockBytes must be a power of two (block addresses are derived by masking), got %d", c.BlockBytes)
 	case c.InterleaveBytes <= 0 || c.InterleaveBytes&(c.InterleaveBytes-1) != 0:
 		return fmt.Errorf("arch: InterleaveBytes must be a positive power of two, got %d", c.InterleaveBytes)
+	case c.BlockBytes%c.InterleaveBytes != 0:
+		return fmt.Errorf("arch: InterleaveBytes %d does not divide BlockBytes %d",
+			c.InterleaveBytes, c.BlockBytes)
+	case (c.BlockBytes/c.InterleaveBytes)%c.NumClusters != 0:
+		return fmt.Errorf("arch: NumClusters %d does not divide the %d interleave words of a %d-byte block",
+			c.NumClusters, c.BlockBytes/c.InterleaveBytes, c.BlockBytes)
 	case c.CacheBytes%(c.NumClusters*c.BlockBytes) != 0:
 		return fmt.Errorf("arch: cache size %d not divisible into %d modules of %d-byte blocks",
 			c.CacheBytes, c.NumClusters, c.BlockBytes)
-	case c.BlockBytes%(c.NumClusters*c.InterleaveBytes) != 0:
-		return fmt.Errorf("arch: block size %d must be a multiple of NumClusters*InterleaveBytes = %d",
-			c.BlockBytes, c.NumClusters*c.InterleaveBytes)
 	case c.CacheAssoc < 1:
 		return fmt.Errorf("arch: CacheAssoc must be >= 1, got %d", c.CacheAssoc)
+	case (c.ModuleBytes()/c.SubblockBytes())%c.CacheAssoc != 0:
+		return fmt.Errorf("arch: %d-byte module of %d-byte subblocks has %d lines, not divisible into %d-way sets",
+			c.ModuleBytes(), c.SubblockBytes(), c.ModuleBytes()/c.SubblockBytes(), c.CacheAssoc)
 	case c.CacheHitLatency < 1:
 		return fmt.Errorf("arch: CacheHitLatency must be >= 1, got %d", c.CacheHitLatency)
+	case c.RegBuses < 0:
+		return fmt.Errorf("arch: RegBuses must be >= 0, got %d", c.RegBuses)
 	case c.RegBuses < 1 && c.NumClusters > 1:
 		return fmt.Errorf("arch: a clustered machine needs at least one register bus")
-	case c.MemBuses < 1 && c.NumClusters > 1:
-		return fmt.Errorf("arch: a clustered machine needs at least one memory bus")
+	case c.MemBuses < 1:
+		return fmt.Errorf("arch: at least one memory bus is required (cache refills cross the memory interconnect)")
 	case c.RegBusLatency < 1 || c.MemBusLatency < 1:
 		return fmt.Errorf("arch: bus latencies must be >= 1")
 	case c.NextLevelLatency < 1 || c.NextLevelPorts < 1:
@@ -203,6 +213,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("arch: ABEntries must be >= 0, got %d", c.ABEntries)
 	case c.ABEntries > 0 && c.ABAssoc < 1:
 		return fmt.Errorf("arch: ABAssoc must be >= 1 when Attraction Buffers are enabled")
+	case c.ABEntries > 0 && c.ABEntries%c.ABAssoc != 0:
+		return fmt.Errorf("arch: %d AB entries do not divide into %d-way sets", c.ABEntries, c.ABAssoc)
 	case c.Replicated() && c.ABEntries > 0:
 		return fmt.Errorf("arch: Attraction Buffers are meaningless under a replicated cache (every access is already local)")
 	}

@@ -131,6 +131,60 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+func TestValidateEdgeCases(t *testing.T) {
+	// Shapes that used to pass Validate and only fail deep inside the
+	// simulator (cache.NewModule, bus.NewArbiter, BlockAddr masking) must
+	// now be rejected up front with a message naming the violated rule.
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		wantOK bool
+	}{
+		{"default ok", func(c *Config) {}, true},
+		{"2 clusters ok", func(c *Config) { c.NumClusters = 2 }, true},
+		{"8 clusters I=2 ok", func(c *Config) { c.NumClusters = 8; c.InterleaveBytes = 2 }, true},
+		{"block not power of two", func(c *Config) {
+			// 48 satisfies every divisibility rule (with CacheBytes
+			// adjusted to match), so only the power-of-two rule can fire.
+			c.BlockBytes = 48
+			c.CacheBytes = 4 * 48 * 16
+		}, false},
+		{"interleave wider than block", func(c *Config) { c.InterleaveBytes = 64 }, false},
+		{"interleave not dividing block", func(c *Config) { c.BlockBytes = 2; c.InterleaveBytes = 4 }, false},
+		{"clusters not dividing block words", func(c *Config) { c.NumClusters = 8; c.InterleaveBytes = 8 }, false},
+		{"module lines not divisible by assoc", func(c *Config) { c.CacheAssoc = 3 }, false},
+		{"zero mem buses single cluster", func(c *Config) {
+			c.NumClusters = 1
+			c.RegBuses = 0
+			c.MemBuses = 0
+		}, false},
+		{"single cluster zero reg buses ok", func(c *Config) {
+			c.NumClusters = 1
+			c.RegBuses = 0
+		}, true},
+		{"negative reg buses", func(c *Config) { c.NumClusters = 1; c.RegBuses = -1 }, false},
+		{"zero mem buses clustered", func(c *Config) { c.MemBuses = 0 }, false},
+		{"replicated with AB", func(c *Config) {
+			c.Layout = LayoutReplicated
+			c.ABEntries = 16
+		}, false},
+		{"replicated ok", func(c *Config) { c.Layout = LayoutReplicated }, true},
+		{"AB entries not divisible by assoc", func(c *Config) { c.ABEntries = 1; c.ABAssoc = 2 }, false},
+		{"AB single direct-mapped entry ok", func(c *Config) { c.ABEntries = 1; c.ABAssoc = 1 }, true},
+	}
+	for _, tc := range cases {
+		c := Default()
+		tc.mutate(&c)
+		err := c.Validate()
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: unexpected Validate error: %v", tc.name, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("%s: Validate must reject %+v", tc.name, c)
+		}
+	}
+}
+
 func TestWithAttractionBuffers(t *testing.T) {
 	c := Default().WithAttractionBuffers(16)
 	if c.ABEntries != 16 || c.ABAssoc != 2 {

@@ -1,0 +1,187 @@
+// Package archspace turns the single machine shape of Table 2 into a
+// sweepable design space. A Grid names dial values for the architectural
+// parameters the paper holds fixed (cluster count, interleaving factor,
+// cache geometry, bus provisioning, Attraction Buffer size, cache layout);
+// enumerating it yields every valid arch.Config in the cross product, each
+// with a deterministic human-readable name that doubles as a report key.
+//
+// Enumeration order is fixed (dials vary in field-declaration order with
+// the first field outermost), so a grid renders the same point list on
+// every machine — sweeps built on it are byte-stable. Points whose
+// combination violates arch.Validate are skipped and reported, never
+// silently dropped.
+package archspace
+
+import (
+	"fmt"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/sim"
+)
+
+// Grid is a cross product of architecture dials over a base configuration.
+// A nil/empty dial slice means "inherit the base value" for that
+// dimension; a populated slice replaces it with each listed value in turn.
+// The zero Grid over any base therefore enumerates exactly that base.
+type Grid struct {
+	// Base supplies every field not named by a dial. Typically
+	// arch.Default().
+	Base arch.Config
+
+	// Dials, outermost first in enumeration order.
+	NumClusters     []int
+	InterleaveBytes []int
+	CacheBytes      []int
+	CacheAssoc      []int
+	RegBuses        []int
+	RegBusLatency   []int
+	MemBuses        []int
+	MemBusLatency   []int
+	ABEntries       []int
+	Layouts         []arch.Layout
+}
+
+// Point is one valid configuration of a Grid. Name is deterministic,
+// derived only from the configuration, and unique within any grid (two
+// distinct configs that share a name would have to agree on every dialed
+// field).
+type Point struct {
+	Name   string
+	Config arch.Config
+}
+
+// Invalid records a grid combination rejected by arch.Validate, so sweeps
+// can report coverage honestly instead of silently shrinking.
+type Invalid struct {
+	Name string
+	Err  error
+}
+
+func dial(vals []int, base int) []int {
+	if len(vals) == 0 {
+		return []int{base}
+	}
+	return vals
+}
+
+func dialLayouts(vals []arch.Layout, base arch.Layout) []arch.Layout {
+	if len(vals) == 0 {
+		return []arch.Layout{base}
+	}
+	return vals
+}
+
+// Enumerate walks the cross product in declaration order and splits it
+// into valid points and rejected combinations. The point order is the
+// canonical sweep order: NumClusters varies slowest, Layout fastest.
+func (g Grid) Enumerate() (valid []Point, invalid []Invalid) {
+	for _, nc := range dial(g.NumClusters, g.Base.NumClusters) {
+		for _, il := range dial(g.InterleaveBytes, g.Base.InterleaveBytes) {
+			for _, cb := range dial(g.CacheBytes, g.Base.CacheBytes) {
+				for _, cw := range dial(g.CacheAssoc, g.Base.CacheAssoc) {
+					for _, rb := range dial(g.RegBuses, g.Base.RegBuses) {
+						for _, rl := range dial(g.RegBusLatency, g.Base.RegBusLatency) {
+							for _, mb := range dial(g.MemBuses, g.Base.MemBuses) {
+								for _, ml := range dial(g.MemBusLatency, g.Base.MemBusLatency) {
+									for _, ab := range dial(g.ABEntries, g.Base.ABEntries) {
+										for _, lay := range dialLayouts(g.Layouts, g.Base.Layout) {
+											cfg := g.Base
+											cfg.NumClusters = nc
+											cfg.InterleaveBytes = il
+											cfg.CacheBytes = cb
+											cfg.CacheAssoc = cw
+											cfg.RegBuses = rb
+											cfg.RegBusLatency = rl
+											cfg.MemBuses = mb
+											cfg.MemBusLatency = ml
+											cfg.Layout = lay
+											if ab > 0 {
+												cfg = cfg.WithAttractionBuffers(ab)
+											} else {
+												cfg.ABEntries = 0
+											}
+											name := Name(cfg)
+											if err := cfg.Validate(); err != nil {
+												invalid = append(invalid, Invalid{Name: name, Err: err})
+												continue
+											}
+											valid = append(valid, Point{Name: name, Config: cfg})
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return valid, invalid
+}
+
+// Points returns the valid points of the grid in canonical order.
+func (g Grid) Points() []Point {
+	valid, _ := g.Enumerate()
+	return valid
+}
+
+// Size returns the total number of combinations (valid or not) the grid
+// describes, without enumerating configurations.
+func (g Grid) Size() int {
+	n := 1
+	for _, d := range [][]int{
+		dial(g.NumClusters, g.Base.NumClusters),
+		dial(g.InterleaveBytes, g.Base.InterleaveBytes),
+		dial(g.CacheBytes, g.Base.CacheBytes),
+		dial(g.CacheAssoc, g.Base.CacheAssoc),
+		dial(g.RegBuses, g.Base.RegBuses),
+		dial(g.RegBusLatency, g.Base.RegBusLatency),
+		dial(g.MemBuses, g.Base.MemBuses),
+		dial(g.MemBusLatency, g.Base.MemBusLatency),
+		dial(g.ABEntries, g.Base.ABEntries),
+	} {
+		n *= len(d)
+	}
+	return n * len(dialLayouts(g.Layouts, g.Base.Layout))
+}
+
+// Name renders the deterministic point name of a configuration: every
+// dialed dimension in fixed order, e.g. "c4-i4-8KB-w2-rb4x2-mb4x2-ab0-wi".
+func Name(c arch.Config) string {
+	layout := "wi"
+	if c.Replicated() {
+		layout = "rep"
+	}
+	cache := fmt.Sprintf("%dB", c.CacheBytes)
+	if c.CacheBytes > 0 && c.CacheBytes%1024 == 0 {
+		cache = fmt.Sprintf("%dKB", c.CacheBytes/1024)
+	}
+	return fmt.Sprintf("c%d-i%d-%s-w%d-rb%dx%d-mb%dx%d-ab%d-%s",
+		c.NumClusters, c.InterleaveBytes, cache, c.CacheAssoc,
+		c.RegBuses, c.RegBusLatency, c.MemBuses, c.MemBusLatency,
+		c.ABEntries, layout)
+}
+
+// DistinctSubstrates counts how many distinct simulator substrates the
+// points require, using the same geometry equality the machine pool uses
+// to decide whether a rebind can keep its cache modules, buses and
+// tables. Points beyond the first per geometry are nearly free to sweep.
+func DistinctSubstrates(points []Point) int {
+	seen := make(map[sim.Geometry]struct{}, len(points))
+	for _, p := range points {
+		seen[sim.GeometryOf(p.Config)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Canonical returns the committed small grid swept by SWEEP_report.json:
+// three cluster counts × two interleavings × Attraction Buffers off/on
+// over the Table 2 base — 12 points, all valid.
+func Canonical() Grid {
+	return Grid{
+		Base:            arch.Default(),
+		NumClusters:     []int{2, 4, 8},
+		InterleaveBytes: []int{2, 4},
+		ABEntries:       []int{0, 16},
+	}
+}

@@ -1,0 +1,97 @@
+package archspace
+
+import (
+	"strings"
+	"testing"
+
+	"vliwcache/internal/arch"
+)
+
+func TestCanonicalGrid(t *testing.T) {
+	g := Canonical()
+	valid, invalid := g.Enumerate()
+	if len(invalid) != 0 {
+		t.Fatalf("canonical grid has %d invalid points, want 0: %+v", len(invalid), invalid)
+	}
+	if len(valid) != 12 {
+		t.Fatalf("canonical grid has %d points, want 12 (3 clusters x 2 interleavings x AB on/off)", len(valid))
+	}
+	if g.Size() != 12 {
+		t.Errorf("Size() = %d, want 12", g.Size())
+	}
+	// Deterministic order: NumClusters outermost, so the first four points
+	// are the 2-cluster ones.
+	if valid[0].Config.NumClusters != 2 || valid[3].Config.NumClusters != 2 ||
+		valid[4].Config.NumClusters != 4 {
+		t.Errorf("unexpected order: %v", names(valid))
+	}
+	// Names are unique.
+	seen := map[string]bool{}
+	for _, p := range valid {
+		if seen[p.Name] {
+			t.Errorf("duplicate point name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	g := Canonical()
+	a, b := g.Points(), g.Points()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic point count")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Config != b[i].Config {
+			t.Fatalf("point %d differs across enumerations", i)
+		}
+	}
+}
+
+func TestZeroGridIsBase(t *testing.T) {
+	g := Grid{Base: arch.Default()}
+	pts := g.Points()
+	if len(pts) != 1 || pts[0].Config != arch.Default() {
+		t.Fatalf("zero grid = %v, want exactly the base config", names(pts))
+	}
+	if pts[0].Name != "c4-i4-8KB-w2-rb4x2-mb4x2-ab0-wi" {
+		t.Errorf("base point name = %q", pts[0].Name)
+	}
+}
+
+func TestInvalidPointsReported(t *testing.T) {
+	// 8 clusters at 8-byte interleave cannot split a 32-byte block.
+	g := Grid{
+		Base:            arch.Default(),
+		NumClusters:     []int{4, 8},
+		InterleaveBytes: []int{8},
+	}
+	valid, invalid := g.Enumerate()
+	if len(valid) != 1 || valid[0].Config.NumClusters != 4 {
+		t.Errorf("valid = %v, want only the 4-cluster point", names(valid))
+	}
+	if len(invalid) != 1 || !strings.HasPrefix(invalid[0].Name, "c8-i8-") {
+		t.Errorf("invalid = %+v, want the named 8-cluster rejection", invalid)
+	}
+}
+
+func TestDistinctSubstrates(t *testing.T) {
+	pts := Canonical().Points()
+	// Geometry folds InterleaveBytes away (it shapes addressing, not
+	// storage), so the 12 canonical points share 3 clusters x 2 AB
+	// settings = 6 substrates.
+	if n := DistinctSubstrates(pts); n != 6 {
+		t.Errorf("DistinctSubstrates = %d, want 6", n)
+	}
+}
+
+func names(pts []Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -66,6 +66,16 @@ type Metrics struct {
 	// FastPathSkippedCycles is the total simulated cycles the fast path
 	// never executed: dead-cycle skips plus extrapolated iterations.
 	FastPathSkippedCycles int64
+	// SubstrateBuilds counts pooled binds that constructed a machine
+	// substrate (cache modules, Attraction Buffers, arbiter, ports) from
+	// scratch because no idle machine shared the cell's cache geometry.
+	// Wired in by the owner alongside the pool counters; zero without a
+	// machine pool. An arch sweep ordered arch-major keeps this near the
+	// number of distinct geometries (see archspace.DistinctSubstrates).
+	SubstrateBuilds int64
+	// SubstrateReuses counts pooled binds that kept the machine's
+	// substrate because the new schedule's cache geometry matched.
+	SubstrateReuses int64
 	// Busy is the summed wall time worker slots spent executing tasks.
 	Busy time.Duration
 	// Wall is the elapsed time since the engine was created.
@@ -128,6 +138,10 @@ func (m Metrics) String() string {
 	if m.PoolRuns > 0 {
 		fmt.Fprintf(&b, "engine: machine pool %d runs, %d reuses (%.0f%%)\n",
 			m.PoolRuns, m.PoolReuses, 100*float64(m.PoolReuses)/float64(m.PoolRuns))
+	}
+	if m.SubstrateBuilds > 0 || m.SubstrateReuses > 0 {
+		fmt.Fprintf(&b, "engine: substrate %d builds, %d reuses\n",
+			m.SubstrateBuilds, m.SubstrateReuses)
 	}
 	if m.FastPathRuns > 0 || m.FastPathFallbacks > 0 {
 		fmt.Fprintf(&b, "engine: fast path %d eligible, %d fallbacks, %d extrapolations, %d cycles skipped\n",

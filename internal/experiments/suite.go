@@ -312,6 +312,7 @@ func (s *Suite) Metrics() engine.Metrics {
 	m := s.engine().Metrics()
 	if s.pool != nil {
 		m.PoolRuns, m.PoolReuses = s.pool.Counters()
+		m.SubstrateBuilds, m.SubstrateReuses = s.pool.SubstrateCounters()
 		fp := s.pool.FastPath()
 		m.FastPathRuns = fp.EligibleRuns
 		m.FastPathFallbacks = fp.FallbackRuns

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"vliwcache/internal/archspace"
+	"vliwcache/internal/engine"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/report"
+	"vliwcache/internal/sim"
+)
+
+// The design-space sweep: every (architecture point, workload, variant)
+// cell of an archspace grid runs the full pipeline — schedule under the
+// point's configuration, simulate on a pooled machine — and lands in one
+// flat report.SweepRow. Cells are independent and fan out across the
+// engine; the row order is canonical (arch-major, then workload, then
+// variant, matching archspace enumeration order), so the same inputs
+// produce byte-identical reports regardless of parallelism. Points are
+// ordered arch-major precisely so consecutive cells share substrate
+// geometry: the machine pool rebinds without rebuilding, which the
+// SubstrateBuilds/SubstrateReuses metrics make visible.
+
+// SweepWorkload is one workload of a sweep: a mediabench benchmark or a
+// generated corpus loop, reduced to the loop set the pipeline runs.
+type SweepWorkload struct {
+	Name   string
+	Source string // report row source: "mediabench" or "corpus"
+	Loops  []*ir.Loop
+}
+
+// SweepOptions configure a sweep.
+type SweepOptions struct {
+	// Variants to run per (point, workload) pair (default: MDCPrefClus,
+	// the paper's primary sound configuration).
+	Variants []Variant
+
+	// Sim applies to every run (iteration caps for quick sweeps).
+	Sim sim.Options
+
+	// FastPath turns on the simulator's steady-state fast path.
+	FastPath bool
+
+	// Parallelism bounds concurrent cells (<= 0: GOMAXPROCS).
+	Parallelism int
+
+	// Pool supplies the shared machine pool (default: a fresh pool sized
+	// to the worker count). Sharing a pool across sweeps aggregates its
+	// substrate-reuse counters.
+	Pool *sim.Pool
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if len(o.Variants) == 0 {
+		o.Variants = []Variant{MDCPrefClus}
+	}
+	if o.Pool == nil {
+		o.Pool = sim.NewPool(o.Parallelism)
+	}
+	return o
+}
+
+// Sweep runs every point × workload × variant cell and returns the rows
+// in canonical order. The architecture point's interleaving factor is
+// authoritative: per-benchmark interleave overrides (a property of the
+// paper's fixed 4-cluster machine) do not apply inside a sweep, where the
+// interleaving is itself a swept dimension.
+func Sweep(ctx context.Context, points []archspace.Point, workloads []SweepWorkload, opts SweepOptions) ([]report.SweepRow, error) {
+	opts = opts.withDefaults()
+	nv, nw := len(opts.Variants), len(workloads)
+	rows := make([]report.SweepRow, len(points)*nw*nv)
+	eng := engine.New(opts.Parallelism)
+	err := eng.Map(ctx, len(rows), func(ctx context.Context, i int) error {
+		p := points[i/(nw*nv)]
+		w := workloads[(i/nv)%nw]
+		v := opts.Variants[i%nv]
+		row, err := sweepCell(ctx, p, w, v, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: sweep cell %s/%s/%s: %w", p.Name, w.Name, v, err)
+		}
+		rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// sweepCell runs one workload under one variant on one architecture
+// point, summing the per-loop results into a single row.
+func sweepCell(ctx context.Context, p archspace.Point, w SweepWorkload, v Variant, opts SweepOptions) (*report.SweepRow, error) {
+	cfg := p.Config
+	s := &Suite{Base: cfg, SimOptions: opts.Sim}
+	s.pool = opts.Pool
+	if opts.FastPath {
+		s.fastPath = true
+	}
+	row := &report.SweepRow{
+		Arch:            p.Name,
+		NumClusters:     cfg.NumClusters,
+		InterleaveBytes: cfg.InterleaveBytes,
+		CacheBytes:      cfg.CacheBytes,
+		CacheAssoc:      cfg.CacheAssoc,
+		ABEntries:       cfg.ABEntries,
+		Layout:          cfg.Layout.String(),
+		Workload:        w.Name,
+		Source:          w.Source,
+		Policy:          v.Policy.String(),
+		Heuristic:       v.Heuristic.String(),
+	}
+	if v.Scheduler != "" {
+		row.Heuristic = v.Scheduler
+	}
+	var total sim.Stats
+	for _, loop := range w.Loops {
+		run, err := s.runLoop(ctx, loop, cfg, v, s.simOpts(), w.Name)
+		if err != nil {
+			return nil, err
+		}
+		row.Loops++
+		row.II += run.II
+		row.Comms += run.Comms
+		total.Add(run.Stats)
+	}
+	row.Cycles = total.Cycles()
+	row.ComputeCycles = total.ComputeCycles
+	row.StallCycles = total.StallCycles
+	row.LocalHits = total.Accesses[sim.LocalHit]
+	row.RemoteHits = total.Accesses[sim.RemoteHit]
+	row.LocalMisses = total.Accesses[sim.LocalMiss]
+	row.RemoteMisses = total.Accesses[sim.RemoteMiss]
+	row.ABHits = total.ABHits
+	row.CommOps = total.CommOps
+	row.BusTransfers = total.BusTransfers
+	row.LocalHitPct = 100 * total.LocalHitRatio()
+	return row, nil
+}
+
+// CanonicalSweepWorkloads returns the committed sweep's workload list:
+// the 14 mediabench benchmarks followed by 8 corpus loops generated from
+// seed 1 with the default dials.
+func CanonicalSweepWorkloads() ([]SweepWorkload, error) {
+	return SweepWorkloadsWithCorpus(1, 8)
+}
+
+// SweepWorkloadsWithCorpus returns the mediabench suite followed by n
+// default-dial corpus loops generated from the given seed; n <= 0 yields
+// the benchmarks alone.
+func SweepWorkloadsWithCorpus(seed int64, n int) ([]SweepWorkload, error) {
+	var ws []SweepWorkload
+	for _, b := range mediabench.All() {
+		ws = append(ws, SweepWorkload{Name: b.Name, Source: "mediabench", Loops: b.Loops})
+	}
+	if n <= 0 {
+		return ws, nil
+	}
+	loops, err := loopgen.Corpus(seed, n, loopgen.DefaultCorpusParams())
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range loops {
+		ws = append(ws, SweepWorkload{Name: l.Name, Source: "corpus", Loops: []*ir.Loop{l}})
+	}
+	return ws, nil
+}
+
+// CanonicalSweepOptions returns the committed sweep's options: the MDC +
+// PrefClus variant, a 256-iteration cap, and the fast path.
+func CanonicalSweepOptions() SweepOptions {
+	return SweepOptions{
+		Variants: []Variant{MDCPrefClus},
+		Sim:      sim.Options{MaxIterations: 256},
+		FastPath: true,
+	}
+}

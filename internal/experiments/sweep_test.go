@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vliwcache/internal/archspace"
+	"vliwcache/internal/report"
+	"vliwcache/internal/sim"
+)
+
+var updateSweep = flag.Bool("update", false, "rewrite the committed SWEEP_report artifacts")
+
+// canonicalSweep regenerates the committed sweep: the canonical archspace
+// grid over every mediabench benchmark plus the seed-1 corpus.
+func canonicalSweep(t *testing.T) []report.SweepRow {
+	t.Helper()
+	points := archspace.Canonical().Points()
+	workloads, err := CanonicalSweepWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Sweep(context.Background(), points, workloads, CanonicalSweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestSweepSmoke regenerates the canonical sweep and byte-diffs it
+// against the committed SWEEP_report.json and SWEEP_report.csv. Refresh
+// with:
+//
+//	go test -run TestSweepSmoke ./internal/experiments/ -update
+func TestSweepSmoke(t *testing.T) {
+	if raceEnabled {
+		// The full 264-cell regeneration is minutes of work under the
+		// race detector; `make sweep-smoke` byte-diffs it natively, and
+		// the small sweeps below keep the concurrency race-covered.
+		t.Skip("canonical sweep regeneration is covered by `make sweep-smoke` without -race")
+	}
+	rows := canonicalSweep(t)
+	points := archspace.Canonical().Points()
+	workloads, err := CanonicalSweepWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(points) * len(workloads); len(rows) != want {
+		t.Fatalf("sweep produced %d rows, want %d", len(rows), want)
+	}
+
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := report.WriteSweepJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteSweepCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	jsonPath := filepath.Join("..", "..", "SWEEP_report.json")
+	csvPath := filepath.Join("..", "..", "SWEEP_report.csv")
+	if *updateSweep {
+		if err := os.WriteFile(jsonPath, jsonBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvPath, csvBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s (%d rows)", jsonPath, csvPath, len(rows))
+		return
+	}
+	for path, got := range map[string][]byte{
+		jsonPath: jsonBuf.Bytes(),
+		csvPath:  csvBuf.Bytes(),
+	} {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (refresh with: go test -run TestSweepSmoke ./internal/experiments/ -update)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from the committed artifact (refresh with -update if intended)", path)
+		}
+	}
+}
+
+// TestSweepRowsDeterministic runs a small sweep twice at different
+// parallelism and requires byte-identical rows: cells are independent and
+// the row order is canonical, so worker scheduling must not show through.
+func TestSweepRowsDeterministic(t *testing.T) {
+	grid := archspace.Grid{
+		Base:        archspace.Canonical().Base,
+		NumClusters: []int{2, 4},
+		ABEntries:   []int{0, 16},
+	}
+	workloads, err := CanonicalSweepWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = workloads[:3]
+	run := func(parallel int) []report.SweepRow {
+		opts := CanonicalSweepOptions()
+		if raceEnabled {
+			opts.Sim.MaxIterations = 32
+		}
+		opts.Parallelism = parallel
+		rows, err := Sweep(context.Background(), grid.Points(), workloads, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(0)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs:\n serial:   %+v\n parallel: %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestSweepSubstrateReuseOrderIdentity reaches the same geometry via two
+// different grid orders and requires byte-identical Stats: substrate
+// reuse across binds must be invisible in the results.
+func TestSweepSubstrateReuseOrderIdentity(t *testing.T) {
+	forward := archspace.Grid{Base: archspace.Canonical().Base,
+		NumClusters: []int{2, 4, 8}}.Points()
+	// Reverse order reaches each geometry from a differently-shaped
+	// predecessor, so pooled machines rebuild in a different sequence.
+	backward := make([]archspace.Point, len(forward))
+	for i, p := range forward {
+		backward[len(forward)-1-i] = p
+	}
+	workloads, err := CanonicalSweepWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = workloads[14:16] // two corpus loops keep this quick
+	opts := CanonicalSweepOptions()
+	if raceEnabled {
+		opts.Sim.MaxIterations = 32
+	}
+	opts.Parallelism = 1
+	a, err := Sweep(context.Background(), forward, workloads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(context.Background(), backward, workloads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := func(rows []report.SweepRow) map[string]report.SweepRow {
+		m := make(map[string]report.SweepRow, len(rows))
+		for _, r := range rows {
+			m[r.Arch+"/"+r.Workload] = r
+		}
+		return m
+	}
+	am, bm := byKey(a), byKey(b)
+	if len(am) != len(bm) {
+		t.Fatalf("cell sets differ: %d vs %d", len(am), len(bm))
+	}
+	for k, ra := range am {
+		if rb, ok := bm[k]; !ok || ra != rb {
+			t.Errorf("cell %s differs between grid orders:\n forward:  %+v\n backward: %+v", k, ra, rb)
+		}
+	}
+}
+
+// TestSweepSubstrateCountersSurface checks that a sweep's shared pool
+// reports substrate builds bounded below by the distinct geometries and
+// that reuses occur at all when cells share geometry.
+func TestSweepSubstrateCountersSurface(t *testing.T) {
+	points := archspace.Grid{Base: archspace.Canonical().Base,
+		InterleaveBytes: []int{2, 4}}.Points() // same geometry twice
+	workloads, err := CanonicalSweepWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = workloads[14:16]
+	pool := sim.NewPool(1)
+	opts := CanonicalSweepOptions()
+	if raceEnabled {
+		opts.Sim.MaxIterations = 32
+	}
+	opts.Parallelism = 1
+	opts.Pool = pool
+	if _, err := Sweep(context.Background(), points, workloads, opts); err != nil {
+		t.Fatal(err)
+	}
+	builds, reuses := pool.SubstrateCounters()
+	if builds < 1 {
+		t.Errorf("substrate builds = %d, want >= 1", builds)
+	}
+	if got := archspace.DistinctSubstrates(points); got != 1 {
+		t.Fatalf("test premise broken: %d distinct substrates, want 1", got)
+	}
+	if reuses < 1 {
+		t.Errorf("substrate reuses = %d, want >= 1 (both points share one geometry)", reuses)
+	}
+}

@@ -1,0 +1,374 @@
+package loopgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+	"vliwcache/internal/ir"
+)
+
+// This file grows Random into a parameterized corpus generator: affine
+// loop families built from the same ingredients as the mediabench
+// generators (real chains as fixed-home walks with exact loop-carried
+// dependences, ambiguous chains through may-aliased symbols, table /
+// fixed-home / streaming access patterns, scalar recurrences), with dials
+// for the characteristics the paper tabulates. Every generated loop is
+// checked against an envelope derived from Tables 1/3/4 so the 14 tuned
+// benchmarks become points in a continuum rather than outliers.
+
+// StrideMix weights the access patterns of the non-chained memory ops:
+// table lookups (stride 0), fixed-home walks (stride = one full
+// interleave round, so every access of the op hits one cluster), and
+// streaming walks (stride = element size, so homes rotate).
+type StrideMix struct {
+	Table  int
+	Fixed  int
+	Stream int
+}
+
+// CorpusParams are the dials of a generated loop family.
+type CorpusParams struct {
+	// MemOps is the nominal number of memory operations per loop; each
+	// loop jitters it by up to ±25% deterministically.
+	MemOps int
+
+	// ChainRatio is the fraction of memory ops tied into the real
+	// memory-dependent chain (cf. Table 3's CMR). 0 disables the chain.
+	ChainRatio float64
+
+	// AliasDensity is the fraction of the remaining memory ops that go
+	// through a may-aliased symbol pair, forming an ambiguous chain.
+	AliasDensity float64
+
+	// RecurDepth is the length of the loop-carried scalar recurrence
+	// threaded through the chain (0 disables it).
+	RecurDepth int
+
+	// Mix weights the stride families of the unchained ops. The zero
+	// value means an equal mix.
+	Mix StrideMix
+
+	// ElemSize is the access width in bytes (1, 2, 4 or 8) — the "data
+	// size" dial; streaming strides equal it.
+	ElemSize int
+
+	// ArithPerMem is the ratio of arithmetic ops to memory ops (Table 1's
+	// instruction mix dial).
+	ArithPerMem float64
+
+	// Trip and Entries describe the profiled trip count.
+	Trip    int64
+	Entries int64
+}
+
+// DefaultCorpusParams sits near the middle of the mediabench
+// characteristics: a dozen memory ops, a third of them chained, moderate
+// aliasing, a shallow recurrence, an even stride mix and word accesses.
+func DefaultCorpusParams() CorpusParams {
+	return CorpusParams{
+		MemOps:       12,
+		ChainRatio:   0.35,
+		AliasDensity: 0.3,
+		RecurDepth:   2,
+		Mix:          StrideMix{Table: 1, Fixed: 1, Stream: 1},
+		ElemSize:     4,
+		ArithPerMem:  1.0,
+		Trip:         200,
+		Entries:      2,
+	}
+}
+
+func (p CorpusParams) withDefaults() CorpusParams {
+	d := DefaultCorpusParams()
+	if p.MemOps <= 0 {
+		p.MemOps = d.MemOps
+	}
+	if p.ElemSize != 1 && p.ElemSize != 2 && p.ElemSize != 4 && p.ElemSize != 8 {
+		p.ElemSize = d.ElemSize
+	}
+	if p.Mix == (StrideMix{}) {
+		p.Mix = d.Mix
+	}
+	if p.Mix.Table < 0 || p.Mix.Fixed < 0 || p.Mix.Stream < 0 {
+		p.Mix = d.Mix
+	}
+	if p.ChainRatio < 0 || p.ChainRatio > 1 || math.IsNaN(p.ChainRatio) {
+		p.ChainRatio = d.ChainRatio
+	}
+	if p.AliasDensity < 0 || p.AliasDensity > 1 || math.IsNaN(p.AliasDensity) {
+		p.AliasDensity = d.AliasDensity
+	}
+	if p.RecurDepth < 0 {
+		p.RecurDepth = d.RecurDepth
+	}
+	if p.ArithPerMem <= 0 || p.ArithPerMem > 8 || math.IsNaN(p.ArithPerMem) {
+		p.ArithPerMem = d.ArithPerMem
+	}
+	if p.Trip < 1 {
+		p.Trip = d.Trip
+	}
+	if p.Entries < 1 {
+		p.Entries = d.Entries
+	}
+	return p
+}
+
+// Envelope bounds the static characteristics a generated loop must land
+// in to count as benchmark-like. The defaults bracket the paper's loops:
+// Table 1 bounds the op counts and memory-instruction share, Table 3
+// bounds the biggest-chain ratios (the largest reported CMR is 0.97, and
+// CAR never exceeds CMR by construction).
+type Envelope struct {
+	MinOps      int
+	MaxOps      int
+	MinMemOps   int
+	MaxMemOps   int
+	MaxMemRatio float64
+	MaxCMR      float64
+}
+
+// DefaultEnvelope returns the Table 1/3/4 characteristic envelope.
+func DefaultEnvelope() Envelope {
+	return Envelope{
+		MinOps:      4,
+		MaxOps:      512,
+		MinMemOps:   2,
+		MaxMemOps:   128,
+		MaxMemRatio: 0.65,
+		MaxCMR:      0.98,
+	}
+}
+
+// CheckEnvelope verifies that the loop's static characteristics fall
+// inside the envelope. It builds the loop's DDG, so a loop that passes is
+// also known to have a well-formed dependence graph.
+func CheckEnvelope(l *ir.Loop, env Envelope) error {
+	g, err := ddg.Build(l)
+	if err != nil {
+		return fmt.Errorf("loopgen: %s: %w", l.Name, err)
+	}
+	st := core.AnalyzeChains(g)
+	switch {
+	case st.Ops < env.MinOps || st.Ops > env.MaxOps:
+		return fmt.Errorf("loopgen: %s: %d ops outside [%d, %d]", l.Name, st.Ops, env.MinOps, env.MaxOps)
+	case st.MemOps < env.MinMemOps || st.MemOps > env.MaxMemOps:
+		return fmt.Errorf("loopgen: %s: %d mem ops outside [%d, %d]", l.Name, st.MemOps, env.MinMemOps, env.MaxMemOps)
+	case float64(st.MemOps) > env.MaxMemRatio*float64(st.Ops):
+		return fmt.Errorf("loopgen: %s: mem ratio %.2f exceeds %.2f", l.Name,
+			float64(st.MemOps)/float64(st.Ops), env.MaxMemRatio)
+	case st.CMR() > env.MaxCMR:
+		return fmt.Errorf("loopgen: %s: CMR %.2f exceeds %.2f", l.Name, st.CMR(), env.MaxCMR)
+	case st.CAR() > st.CMR():
+		return fmt.Errorf("loopgen: %s: CAR %.2f exceeds CMR %.2f", l.Name, st.CAR(), st.CMR())
+	}
+	return nil
+}
+
+// Corpus generates n deterministic benchmark-like loops from the seed.
+// Each loop is independently checked against the default envelope; a loop
+// that falls outside it is regenerated from a derived sub-seed (bounded
+// retries), so the returned corpus always satisfies CheckEnvelope. The
+// same (seed, n, p) always yields byte-identical loops.
+func Corpus(seed int64, n int, p CorpusParams) ([]*ir.Loop, error) {
+	p = p.withDefaults()
+	env := DefaultEnvelope()
+	loops := make([]*ir.Loop, 0, n)
+	for i := 0; i < n; i++ {
+		var loop *ir.Loop
+		err := fmt.Errorf("loopgen: no attempt made")
+		for try := 0; try < 32 && err != nil; try++ {
+			loop = corpusLoop(seed, i, try, p)
+			err = CheckEnvelope(loop, env)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loopgen: corpus(%d)[%d] cannot satisfy envelope: %w", seed, i, err)
+		}
+		loops = append(loops, loop)
+	}
+	return loops, nil
+}
+
+// corpusLoop materializes one loop of the family. The loop index varies
+// the symbol bases (so corpus loops never collide in the address space)
+// and the retry index only perturbs the RNG stream.
+func corpusLoop(seed int64, idx, try int, p CorpusParams) *ir.Loop {
+	rng := rand.New(rand.NewSource(seed<<20 ^ int64(idx)<<8 ^ int64(try) ^ 0x5DEECE66D))
+	b := ir.NewBuilder(fmt.Sprintf("corpus%d.%02d", seed, idx))
+	b.Trip(p.Trip, p.Entries)
+
+	const lane = int64(0x40000)
+	base := uint64(0x8000000) * uint64(idx+1)
+	es := int64(p.ElemSize)
+	ni := int64(16) // one full interleave round of the Table 2 machine
+
+	// Partition the memory ops: chain, ambiguous, free.
+	nmem := p.MemOps
+	if nmem > 3 {
+		nmem += rng.Intn(nmem/2+1) - nmem/4
+	}
+	if nmem < 2 {
+		nmem = 2
+	}
+	nchain := int(math.Round(p.ChainRatio * float64(nmem)))
+	if nchain == 1 {
+		nchain = 2 // a chain needs at least two ops
+	}
+	if nchain > nmem {
+		nchain = nmem
+	}
+	nambig := int(math.Round(p.AliasDensity * float64(nmem-nchain)))
+	if nambig == 1 {
+		nambig = 2
+	}
+	if nambig > nmem-nchain {
+		nambig = 0
+	}
+	nfree := nmem - nchain - nambig
+
+	// Tie the real and ambiguous chains together (C may-alias P) only
+	// when enough free ops remain to keep the merged chain inside the
+	// envelope's CMR bound.
+	linkChains := nchain > 0 && nambig > 0 && nfree >= 1+nmem/10 && rng.Intn(2) == 0
+
+	var vals []ir.Reg
+	live := b.Reg() // live-in fallback value for early stores
+	pick := func() ir.Reg {
+		if len(vals) == 0 {
+			return live
+		}
+		return vals[rng.Intn(len(vals))]
+	}
+
+	// Real chain over C: a fixed-home walk with stores at offsets 0,
+	// -ni, ... and loads trailing them — exact loop-carried dependences
+	// serialize every op into one memory-dependent chain.
+	chainStores, chainLoads := 0, 0
+	var chainLoadVal ir.Reg = ir.NoReg
+	if nchain >= 2 {
+		chainStores = 1 + nchain/2
+		if chainStores > nchain {
+			chainStores = nchain
+		}
+		chainLoads = nchain - chainStores
+		var mayAlias []string
+		if linkChains {
+			mayAlias = []string{"P"}
+		}
+		b.Symbol("C", base, lane, mayAlias...)
+		for j := 0; j < chainLoads; j++ {
+			v := b.Load(fmt.Sprintf("cld%d", j),
+				ir.AddrExpr{Base: "C", Offset: -ni * int64(chainStores+j), Stride: ni, Size: p.ElemSize})
+			vals = append(vals, v)
+			if j == 0 {
+				chainLoadVal = v
+			}
+		}
+	}
+
+	// Loop-carried scalar recurrence, fed by the chain when one exists.
+	var recurTail ir.Reg = ir.NoReg
+	if p.RecurDepth > 0 {
+		prev := ir.NoReg
+		for j := 0; j < p.RecurDepth; j++ {
+			var srcs []ir.Reg
+			if prev != ir.NoReg {
+				srcs = append(srcs, prev)
+			}
+			if j == 0 && chainLoadVal != ir.NoReg {
+				srcs = append(srcs, chainLoadVal)
+			} else if j%3 == 1 {
+				srcs = append(srcs, pick())
+			}
+			prev = b.Arith(fmt.Sprintf("r%d", j), ir.KindAdd, srcs...)
+		}
+		recurTail = prev
+	}
+
+	for j := 0; j < chainStores; j++ {
+		v := pick()
+		if j == chainStores-1 && recurTail != ir.NoReg {
+			v = recurTail
+		}
+		b.Store(fmt.Sprintf("cst%d", j),
+			ir.AddrExpr{Base: "C", Offset: -ni * int64(j), Stride: ni, Size: p.ElemSize}, v)
+	}
+
+	// Ambiguous chain: loads through P and stores through Q, declared
+	// may-aliased but walking lanes that never overlap.
+	if nambig >= 2 {
+		aLoads := nambig / 2
+		aStores := nambig - aLoads
+		b.Symbol("P", base+8*uint64(lane), lane*int64(aLoads+1), "Q")
+		b.Symbol("Q", base+1024*uint64(lane), lane*int64(aStores+1))
+		for j := 0; j < aLoads; j++ {
+			off := int64(j)*lane + int64(j)*1056
+			vals = append(vals, b.Load(fmt.Sprintf("ald%d", j),
+				ir.AddrExpr{Base: "P", Offset: off, Stride: ni, Size: p.ElemSize}))
+		}
+		for j := 0; j < aStores; j++ {
+			off := int64(j)*lane + int64(j)*1056
+			b.Store(fmt.Sprintf("ast%d", j),
+				ir.AddrExpr{Base: "Q", Offset: off, Stride: es, Size: p.ElemSize}, pick())
+		}
+	}
+
+	// Free ops, weighted over the stride families. Stores are rarer than
+	// loads, as in Table 1.
+	if nfree > 0 {
+		b.Symbol("T", base+2048*uint64(lane), lane)
+		b.Symbol("A", base+3072*uint64(lane), lane)
+		b.Symbol("S", base+4096*uint64(lane), lane*int64(nfree+1))
+		wTab, wFix, wStr := p.Mix.Table, p.Mix.Fixed, p.Mix.Stream
+		total := wTab + wFix + wStr
+		if total <= 0 {
+			wTab, wFix, wStr, total = 1, 1, 1, 3
+		}
+		for j := 0; j < nfree; j++ {
+			w := rng.Intn(total)
+			isStore := rng.Intn(4) == 0
+			switch {
+			case w < wTab:
+				// Table lookup: stride 0, homes spread by offset.
+				off := int64(j)*4 + int64(j/7)*64
+				vals = append(vals, b.Load(fmt.Sprintf("tld%d", j),
+					ir.AddrExpr{Base: "T", Offset: off, Stride: 0, Size: p.ElemSize}))
+			case w < wTab+wFix:
+				// Fixed-home walk.
+				off := int64(j/2)*4 + int64(j%2)*16
+				if isStore {
+					b.Store(fmt.Sprintf("fst%d", j),
+						ir.AddrExpr{Base: "A", Offset: off + lane/2, Stride: ni, Size: p.ElemSize}, pick())
+				} else {
+					vals = append(vals, b.Load(fmt.Sprintf("fld%d", j),
+						ir.AddrExpr{Base: "A", Offset: off, Stride: ni, Size: p.ElemSize}))
+				}
+			default:
+				// Streaming walk: homes rotate every iteration.
+				off := int64(j) * lane / int64(nfree+1)
+				if isStore {
+					b.Store(fmt.Sprintf("sst%d", j),
+						ir.AddrExpr{Base: "S", Offset: off, Stride: es, Size: p.ElemSize}, pick())
+				} else {
+					vals = append(vals, b.Load(fmt.Sprintf("sld%d", j),
+						ir.AddrExpr{Base: "S", Offset: off, Stride: es, Size: p.ElemSize}))
+				}
+			}
+		}
+	}
+
+	// Arithmetic dataflow over the loaded values.
+	kinds := []ir.Kind{ir.KindAdd, ir.KindSub, ir.KindMul, ir.KindShift, ir.KindFAdd, ir.KindFMul}
+	narith := int(math.Round(p.ArithPerMem * float64(nmem)))
+	for j := 0; j < narith; j++ {
+		var srcs []ir.Reg
+		for s := 0; s <= rng.Intn(2); s++ {
+			srcs = append(srcs, pick())
+		}
+		vals = append(vals, b.Arith(fmt.Sprintf("a%d", j), kinds[rng.Intn(len(kinds))], srcs...))
+	}
+
+	return b.Loop()
+}

@@ -1,0 +1,104 @@
+package loopgen
+
+import (
+	"testing"
+
+	"vliwcache/internal/core"
+	"vliwcache/internal/ddg"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := Corpus(1, 8, DefaultCorpusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpus(1, 8, DefaultCorpusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("corpus sizes %d/%d, want 8", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Ops) != len(b[i].Ops) {
+			t.Fatalf("loop %d differs across generations", i)
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j].String() != b[i].Ops[j].String() {
+				t.Fatalf("loop %d op %d differs: %s vs %s",
+					i, j, a[i].Ops[j], b[i].Ops[j])
+			}
+		}
+	}
+}
+
+func TestCorpusSatisfiesEnvelope(t *testing.T) {
+	env := DefaultEnvelope()
+	for _, seed := range []int64{1, 2, 3, 42, 12345} {
+		loops, err := Corpus(seed, 6, DefaultCorpusParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range loops {
+			if err := l.Validate(); err != nil {
+				t.Errorf("seed %d %s: %v", seed, l.Name, err)
+			}
+			if err := CheckEnvelope(l, env); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestCorpusDialsMoveCharacteristics(t *testing.T) {
+	// Raising ChainRatio must raise the mean CMR; raising AliasDensity
+	// must produce may-aliased ops.
+	low := DefaultCorpusParams()
+	low.ChainRatio = 0
+	low.AliasDensity = 0
+	high := DefaultCorpusParams()
+	high.ChainRatio = 0.6
+	meanCMR := func(p CorpusParams) float64 {
+		loops, err := Corpus(7, 8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, l := range loops {
+			g, err := ddg.Build(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += core.AnalyzeChains(g).CMR()
+		}
+		return sum / float64(len(loops))
+	}
+	lo, hi := meanCMR(low), meanCMR(high)
+	if hi <= lo {
+		t.Errorf("mean CMR did not rise with ChainRatio: low %.3f, high %.3f", lo, hi)
+	}
+}
+
+func TestCorpusZeroParamsAreDefaults(t *testing.T) {
+	// Zero ChainRatio/AliasDensity/RecurDepth mean "disabled", but every
+	// other zero field must inherit its default.
+	got := CorpusParams{}.withDefaults()
+	want := DefaultCorpusParams()
+	want.ChainRatio, want.AliasDensity, want.RecurDepth = 0, 0, 0
+	if got != want {
+		t.Errorf("withDefaults() = %+v, want %+v", got, want)
+	}
+	// And a zero-dial corpus must still generate (the envelope does not
+	// require a chain).
+	if _, err := Corpus(3, 2, CorpusParams{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorpusRejectsUnsatisfiableEnvelope(t *testing.T) {
+	p := DefaultCorpusParams()
+	p.MemOps = 1000 // beyond the envelope's MaxMemOps for every retry
+	if _, err := Corpus(1, 1, p); err == nil {
+		t.Error("corpus with 1000 mem ops must fail the envelope check")
+	}
+}

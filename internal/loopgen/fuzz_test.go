@@ -1,0 +1,68 @@
+package loopgen_test
+
+import (
+	"testing"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/core"
+	"vliwcache/internal/loopgen"
+	"vliwcache/internal/profiler"
+	"vliwcache/internal/sched"
+)
+
+// FuzzLoopgenCorpus drives the corpus generator over fuzzed dials. The
+// contract: whenever Corpus returns loops, every loop satisfies the
+// characteristic envelope (Corpus's own postcondition, re-checked here),
+// prepares under MDC, and closes a schedule that passes sched.Validate.
+// Unsatisfiable dials must fail with an error, never a panic.
+func FuzzLoopgenCorpus(f *testing.F) {
+	f.Add(int64(1), 12, 35, 30, 2, 1, 1, 1)
+	f.Add(int64(7), 4, 0, 0, 0, 1, 0, 0)
+	f.Add(int64(42), 24, 60, 50, 4, 0, 1, 2)
+	f.Add(int64(-3), 8, 98, 100, 8, 3, 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, memOps, chainPct, aliasPct, recur, mixTable, mixFixed, mixStream int) {
+		abs := func(v, m int) int {
+			if v < 0 {
+				v = -v
+			}
+			return v % m
+		}
+		p := loopgen.CorpusParams{
+			MemOps:       2 + abs(memOps, 40),
+			ChainRatio:   float64(abs(chainPct, 99)) / 100,
+			AliasDensity: float64(abs(aliasPct, 101)) / 100,
+			RecurDepth:   abs(recur, 9),
+			Mix: loopgen.StrideMix{
+				Table:  abs(mixTable, 4),
+				Fixed:  abs(mixFixed, 4),
+				Stream: abs(mixStream, 4),
+			},
+		}
+		loops, err := loopgen.Corpus(seed, 2, p)
+		if err != nil {
+			return // unsatisfiable dials fail typed, and that is fine
+		}
+		cfg := arch.Default()
+		env := loopgen.DefaultEnvelope()
+		for _, l := range loops {
+			if verr := l.Validate(); verr != nil {
+				t.Fatalf("%s: invalid IR: %v", l.Name, verr)
+			}
+			if eerr := loopgen.CheckEnvelope(l, env); eerr != nil {
+				t.Fatalf("%s escaped the envelope: %v", l.Name, eerr)
+			}
+			plan, perr := core.Prepare(l, core.PolicyMDC, cfg.NumClusters)
+			if perr != nil {
+				t.Fatalf("%s: Prepare: %v", l.Name, perr)
+			}
+			sc, serr := sched.Run(plan, sched.Options{Arch: cfg, Heuristic: sched.PrefClus,
+				Profile: profiler.Run(l, cfg)})
+			if serr != nil {
+				t.Fatalf("%s: schedule: %v", l.Name, serr)
+			}
+			if verr := sched.Validate(sc); verr != nil {
+				t.Fatalf("%s: schedule fails validation: %v", l.Name, verr)
+			}
+		}
+	})
+}

@@ -10,7 +10,9 @@ package perfbench
 //   - ColdRun: sim.Run building a machine from scratch each time — the
 //     construction cost pooling avoids;
 //   - PooledGrid: a small paper grid through an experiments.Suite with a
-//     machine pool, reported as cells/sec.
+//     machine pool, reported as cells/sec;
+//   - SweepGrid: a small archspace design-space sweep through
+//     experiments.Sweep, reported as cells/sec.
 //
 // `go test -bench . ./internal/perfbench` just measures. REFRESH_BENCH=1
 // rewrites the committed baseline (BENCH_sim.json at the repository
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"vliwcache/internal/arch"
+	"vliwcache/internal/archspace"
 	"vliwcache/internal/core"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/mediabench"
@@ -184,6 +187,45 @@ func BenchmarkPooledGrid(b *testing.B) {
 	}
 }
 
+// sweepCells is how many cells one SweepGrid iteration computes: the
+// points × workloads × variants product of the benchmark grid below.
+const sweepCells = 4
+
+// sweepGridBench measures design-space-sweep throughput: a two-point
+// archspace grid over two benchmarks through experiments.Sweep, sharing
+// one machine pool so substrate reuse behaves as in the committed sweep.
+func sweepGridBench(tb testing.TB) func(b *testing.B) {
+	tb.Helper()
+	grid := archspace.Grid{Base: arch.Default(), NumClusters: []int{2, 4}}
+	points := grid.Points()
+	var workloads []experiments.SweepWorkload
+	for _, name := range []string{"epicdec", "gsmenc"} {
+		bench, err := mediabench.Get(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		workloads = append(workloads, experiments.SweepWorkload{Name: bench.Name, Source: "mediabench", Loops: bench.Loops})
+	}
+	opts := experiments.SweepOptions{
+		Sim:         sim.Options{MaxIterations: 120, MaxEntries: 1},
+		FastPath:    true,
+		Parallelism: 1,
+		Pool:        sim.NewPool(1),
+	}
+	ctx := context.Background()
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Sweep(ctx, points, workloads, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepGrid(b *testing.B) { sweepGridBench(b)(b) }
+
 // TestSteadyStateAllocs pins the headline property outside benchmark
 // runs: a warm pooled machine must not allocate, with and without the
 // coherence checker. Always on — no env gate.
@@ -233,6 +275,7 @@ func measure(tb testing.TB) map[string]Metric {
 	record("RunnerCoherence", runnerBench(tb, coh), 0)
 	record("ColdRun", BenchmarkColdRun, 0)
 	record("PooledGrid", BenchmarkPooledGrid, gridCells)
+	record("SweepGrid", sweepGridBench(tb), sweepCells)
 	record("SimGrid", simGridBench(tb, false), batchCells)
 	record("FastSimGrid", simGridBench(tb, true), batchCells)
 	return out
@@ -386,7 +429,7 @@ func TestBaselineFileValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"RunnerSteadyState", "RunnerCoherence", "ColdRun", "PooledGrid", "SimGrid", "FastSimGrid"} {
+	for _, name := range []string{"RunnerSteadyState", "RunnerCoherence", "ColdRun", "PooledGrid", "SweepGrid", "SimGrid", "FastSimGrid"} {
 		m, ok := b.Benchmarks[name]
 		if !ok {
 			t.Errorf("baseline is missing benchmark %q", name)
@@ -403,7 +446,7 @@ func TestBaselineFileValid(t *testing.T) {
 	}
 	// Every grid-shaped benchmark must record its throughput (schema 1
 	// recorded cells_per_sec only for PooledGrid).
-	for _, name := range []string{"PooledGrid", "SimGrid", "FastSimGrid"} {
+	for _, name := range []string{"PooledGrid", "SweepGrid", "SimGrid", "FastSimGrid"} {
 		if m := b.Benchmarks[name]; m.CellsPerSec <= 0 {
 			t.Errorf("%s: cells_per_sec %v, want > 0", name, m.CellsPerSec)
 		}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Design-space sweep export: one row per (architecture point, workload,
+// variant) cell, flattened so the committed artifact diffs cleanly. As
+// with the gap report, field sets and column orders are fixed and equal
+// inputs produce byte-identical output.
+
+// SweepRow is one cell of an architecture sweep.
+type SweepRow struct {
+	// Architecture point identity (the archspace point name) plus the
+	// dialed dimensions broken out for filtering.
+	Arch            string `json:"arch"`
+	NumClusters     int    `json:"num_clusters"`
+	InterleaveBytes int    `json:"interleave_bytes"`
+	CacheBytes      int    `json:"cache_bytes"`
+	CacheAssoc      int    `json:"cache_assoc"`
+	ABEntries       int    `json:"ab_entries"`
+	Layout          string `json:"layout"`
+
+	// Workload identity: a mediabench benchmark or a corpus loop family.
+	Workload string `json:"workload"`
+	Source   string `json:"source"` // "mediabench" or "corpus"
+
+	// Variant identity.
+	Policy    string `json:"policy"`
+	Heuristic string `json:"heuristic"`
+
+	// Schedule-level results summed over the workload's loops.
+	Loops int `json:"loops"`
+	II    int `json:"ii"`
+	Comms int `json:"comms"`
+
+	// Simulation results summed over the workload's loops.
+	Cycles        int64   `json:"cycles"`
+	ComputeCycles int64   `json:"compute_cycles"`
+	StallCycles   int64   `json:"stall_cycles"`
+	LocalHits     int64   `json:"local_hits"`
+	RemoteHits    int64   `json:"remote_hits"`
+	LocalMisses   int64   `json:"local_misses"`
+	RemoteMisses  int64   `json:"remote_misses"`
+	ABHits        int64   `json:"ab_hits"`
+	CommOps       int64   `json:"comm_ops"`
+	BusTransfers  int64   `json:"bus_transfers"`
+	LocalHitPct   float64 `json:"local_hit_pct"`
+}
+
+// WriteSweepJSON serializes sweep rows as an indented JSON array.
+func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
+	if rows == nil {
+		rows = []SweepRow{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+var sweepHeader = []string{
+	"arch", "num_clusters", "interleave_bytes", "cache_bytes", "cache_assoc",
+	"ab_entries", "layout", "workload", "source", "policy", "heuristic",
+	"loops", "ii", "comms", "cycles", "compute_cycles", "stall_cycles",
+	"local_hits", "remote_hits", "local_misses", "remote_misses", "ab_hits",
+	"comm_ops", "bus_transfers", "local_hit_pct",
+}
+
+// WriteSweepCSV serializes sweep rows as CSV with a fixed column order.
+func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sweepHeader); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		rec := []string{
+			r.Arch,
+			strconv.Itoa(r.NumClusters), strconv.Itoa(r.InterleaveBytes),
+			strconv.Itoa(r.CacheBytes), strconv.Itoa(r.CacheAssoc),
+			strconv.Itoa(r.ABEntries), r.Layout,
+			r.Workload, r.Source, r.Policy, r.Heuristic,
+			strconv.Itoa(r.Loops), strconv.Itoa(r.II), strconv.Itoa(r.Comms),
+			strconv.FormatInt(r.Cycles, 10),
+			strconv.FormatInt(r.ComputeCycles, 10),
+			strconv.FormatInt(r.StallCycles, 10),
+			strconv.FormatInt(r.LocalHits, 10),
+			strconv.FormatInt(r.RemoteHits, 10),
+			strconv.FormatInt(r.LocalMisses, 10),
+			strconv.FormatInt(r.RemoteMisses, 10),
+			strconv.FormatInt(r.ABHits, 10),
+			strconv.FormatInt(r.CommOps, 10),
+			strconv.FormatInt(r.BusTransfers, 10),
+			strconv.FormatFloat(r.LocalHitPct, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

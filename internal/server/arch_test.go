@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vliwcache/internal/apiv1"
+	"vliwcache/internal/archspace"
+	"vliwcache/internal/resultcache"
+)
+
+func archBody(t *testing.T, arch string) []byte {
+	t.Helper()
+	return scheduleBody(t, func(r *apiv1.ScheduleRequest) {
+		if arch != "" {
+			var a apiv1.Arch
+			if err := json.Unmarshal([]byte(arch), &a); err != nil {
+				t.Fatal(err)
+			}
+			r.Arch = &a
+		}
+	})
+}
+
+// TestScheduleStructuredArch drives /v1/schedule through the structured
+// arch object: an override computes, the empty object reproduces the
+// legacy bytes, and two spellings of one machine share a cache entry.
+func TestScheduleStructuredArch(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Override: a 2-cluster machine computes and reports stats.
+	resp, data := post(t, ts, "/v1/schedule", archBody(t, `{"numClusters":2}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("override status = %d (%s)", resp.StatusCode, data)
+	}
+	var sr apiv1.ScheduleResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Stats.Cycles <= 0 {
+		t.Errorf("override produced no cycles: %+v", sr.Stats)
+	}
+
+	// Equivalence: the empty arch object inherits everything, so its
+	// body is byte-identical to the legacy request's.
+	legacyResp, legacy := post(t, ts, "/v1/schedule", scheduleBody(t, nil))
+	if legacyResp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy status = %d (%s)", legacyResp.StatusCode, legacy)
+	}
+	emptyResp, empty := post(t, ts, "/v1/schedule", archBody(t, `{}`))
+	if emptyResp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-arch status = %d (%s)", emptyResp.StatusCode, empty)
+	}
+	if !bytes.Equal(legacy, empty) {
+		t.Errorf("empty arch object drifted from legacy bytes:\n legacy: %s\n arch{}: %s", legacy, empty)
+	}
+
+	// Canonicalization: explicitly spelling the default cluster count
+	// resolves to the same machine as the empty object, so the second
+	// request is a cache hit on the first's entry.
+	hitResp, hit := post(t, ts, "/v1/schedule", archBody(t, `{"numClusters":4}`))
+	if hitResp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit-default status = %d (%s)", hitResp.StatusCode, hit)
+	}
+	if got := hitResp.Header.Get("X-Cache"); got != resultcache.Hit.String() {
+		t.Errorf("explicit-default spelling X-Cache = %q, want %q (same machine must share a cache entry)", got, resultcache.Hit)
+	}
+	if !bytes.Equal(hit, empty) {
+		t.Errorf("cache hit bytes differ from the populating miss")
+	}
+}
+
+// TestScheduleInvalidArch is the typed 422 surface: geometries rejected
+// by arch.Validate, both directly and after the legacy AB fold.
+func TestScheduleInvalidArch(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"interleave wider than block", archBody(t, `{"interleaveBytes":64}`)},
+		{"clusters exceed block words", archBody(t, `{"numClusters":8,"interleaveBytes":8}`)},
+		{"zero memory buses", archBody(t, `{"memBuses":0}`)},
+		{"bad layout name", archBody(t, `{"layout":"toroidal"}`)},
+		{"legacy AB fold onto replicated", scheduleBody(t, func(r *apiv1.ScheduleRequest) {
+			layout := "replicated"
+			r.Arch = &apiv1.Arch{Layout: &layout}
+			r.ABEntries = 16
+		})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := post(t, ts, "/v1/schedule", c.body)
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("status = %d (%s), want 422", resp.StatusCode, data)
+			}
+			if e := decodeError(t, data); e.Code != apiv1.CodeInvalidArch {
+				t.Errorf("code = %q, want %q", e.Code, apiv1.CodeInvalidArch)
+			}
+		})
+	}
+}
+
+// TestSuiteStructuredArch overlays an arch override on the suite route
+// and checks the invalid geometry is the same typed 422.
+func TestSuiteStructuredArch(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := []byte(`{"benches":["pgpdec"],"variants":[{"policy":"mdc","heuristic":"prefclus"}],"maxIterations":25,"arch":{"numClusters":2,"abEntries":16}}`)
+	resp, data := post(t, ts, "/v1/suite", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite status = %d (%s)", resp.StatusCode, data)
+	}
+	var suite apiv1.SuiteResponse
+	if err := json.Unmarshal(data, &suite); err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Cells) != 1 || suite.Cells[0].Total.Cycles <= 0 {
+		t.Errorf("suite cells = %+v, want one computed cell", suite.Cells)
+	}
+
+	// The override joins the cache key: the same request without the
+	// arch object must not collide with the overridden entry.
+	legacyBody := []byte(`{"benches":["pgpdec"],"variants":[{"policy":"mdc","heuristic":"prefclus"}],"maxIterations":25}`)
+	legacyResp, legacyData := post(t, ts, "/v1/suite", legacyBody)
+	if legacyResp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy suite status = %d (%s)", legacyResp.StatusCode, legacyData)
+	}
+	if got := legacyResp.Header.Get("X-Cache"); got == resultcache.Hit.String() {
+		t.Errorf("legacy suite request hit the overridden entry; keys must differ")
+	}
+	if bytes.Equal(data, legacyData) {
+		t.Errorf("2-cluster override and 4-cluster legacy suite produced identical bytes")
+	}
+
+	badResp, badData := post(t, ts, "/v1/suite",
+		[]byte(`{"benches":["pgpdec"],"variants":[{"policy":"mdc","heuristic":"prefclus"}],"arch":{"interleaveBytes":3}}`))
+	if badResp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid arch status = %d (%s), want 422", badResp.StatusCode, badData)
+	}
+	if e := decodeError(t, badData); e.Code != apiv1.CodeInvalidArch {
+		t.Errorf("code = %q, want %q", e.Code, apiv1.CodeInvalidArch)
+	}
+}
+
+// TestArchSpaceEndpoint lists the canonical grid and echoes one of its
+// points back through /v1/schedule.
+func TestArchSpaceEndpoint(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := get(t, ts, "/v1/archspace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+	}
+	var space apiv1.ArchSpaceResponse
+	if err := json.Unmarshal(data, &space); err != nil {
+		t.Fatal(err)
+	}
+	canonical := archspace.Canonical().Points()
+	if len(space.Points) != len(canonical) {
+		t.Fatalf("listing has %d points, want %d", len(space.Points), len(canonical))
+	}
+	for i, p := range space.Points {
+		if p.Name != canonical[i].Name {
+			t.Errorf("point %d name = %q, want %q", i, p.Name, canonical[i].Name)
+		}
+		if want := apiv1.ArchKey(canonical[i].Config); p.Key != want {
+			t.Errorf("point %d key = %q, want %q", i, p.Key, want)
+		}
+	}
+
+	// Echo the first point's arch object back on the compute route.
+	echo := space.Points[0].Arch
+	body := scheduleBody(t, func(r *apiv1.ScheduleRequest) { r.Arch = &echo })
+	eresp, edata := post(t, ts, "/v1/schedule", body)
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("echoed point status = %d (%s)", eresp.StatusCode, edata)
+	}
+}
+
+// TestArchSpaceCustomGrid checks WithArchGrid replaces the advertised
+// listing.
+func TestArchSpaceCustomGrid(t *testing.T) {
+	grid := archspace.Grid{Base: archspace.Canonical().Base, NumClusters: []int{2}}
+	srv := New(WithParallelism(1), WithArchGrid(grid.Points()))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := get(t, ts, "/v1/archspace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+	}
+	var space apiv1.ArchSpaceResponse
+	if err := json.Unmarshal(data, &space); err != nil {
+		t.Fatal(err)
+	}
+	if len(space.Points) != 1 || space.Points[0].Name != grid.Points()[0].Name {
+		t.Errorf("custom grid listing = %+v, want the single 2-cluster point", space.Points)
+	}
+}

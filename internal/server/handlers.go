@@ -162,7 +162,7 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 	}
 	cfg := s.base
 	if req.Config != "" {
-		cfg, err = apiv1.ParseConfig(req.Config)
+		cfg, err = apiv1.NamedConfig(req.Config)
 		if err != nil {
 			return fail("%v", err)
 		}
@@ -171,12 +171,32 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 	if err != nil {
 		return fail("%v", err)
 	}
-	cfg = cfg.WithLayout(layout)
+	// Legacy requests always get the layout fold-in (empty = interleaved,
+	// byte-for-byte the frozen behavior). With a structured arch present
+	// the legacy field applies only when explicitly set, so an omitted
+	// layout inherits from the base and the arch object.
+	if req.Layout != "" || req.Arch == nil {
+		cfg = cfg.WithLayout(layout)
+	}
+	if req.Arch != nil {
+		cfg, err = req.Arch.Apply(cfg)
+		if err != nil {
+			return nil, &apiv1.ErrorResponse{Code: apiv1.CodeInvalidArch, Message: err.Error()}
+		}
+	}
 	if req.ABEntries < 0 {
 		return fail("abEntries must be >= 0")
 	}
 	if req.ABEntries > 0 {
 		cfg = cfg.WithAttractionBuffers(req.ABEntries)
+	}
+	if req.Arch != nil {
+		// The legacy layout/AB folds can break a validated arch override
+		// (e.g. Attraction Buffers on a replicated layout); re-validate so
+		// structured requests never reach the simulator invalid.
+		if verr := cfg.Validate(); verr != nil {
+			return nil, &apiv1.ErrorResponse{Code: apiv1.CodeInvalidArch, Message: verr.Error()}
+		}
 	}
 	if req.MaxIterations < 0 || req.MaxEntries < 0 {
 		return fail("iteration caps must be >= 0")
@@ -213,6 +233,12 @@ func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolv
 	}
 	if len(req.Portfolio) > 0 {
 		parts = append(parts, "portfolio="+strings.Join(req.Portfolio, "+"))
+	}
+	// Structured arch requests key on the canonical field-order encoding
+	// of the resolved machine: two spellings of one machine share a cache
+	// entry, and legacy requests (no arch object) keep their addresses.
+	if req.Arch != nil {
+		parts = append(parts, "arch="+apiv1.ArchKey(cfg))
 	}
 	res.key = resultcache.Key(parts...)
 	res.cfgValue = cfg
@@ -343,6 +369,17 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	if req.FaultSeed != 0 {
 		opts.NewFaults = fault.Seeded(req.FaultSeed, fault.DefaultConfig())
 	}
+	// Structured arch overrides overlay the server's base machine; the
+	// overlay validates, so an impossible geometry is the typed 422.
+	base := s.base
+	if req.Arch != nil {
+		var aerr error
+		base, aerr = req.Arch.Apply(s.base)
+		if aerr != nil {
+			writeErrorFor(w, aerr)
+			return
+		}
+	}
 
 	var variantNames []string
 	for _, v := range variants {
@@ -361,6 +398,11 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	if len(req.Portfolio) > 0 {
 		parts = append(parts, "portfolio="+strings.Join(req.Portfolio, "+"))
 	}
+	// The canonical arch encoding joins the key only for structured
+	// requests, preserving every legacy cache address.
+	if req.Arch != nil {
+		parts = append(parts, "arch="+apiv1.ArchKey(base))
+	}
 	key := resultcache.Key(parts...)
 
 	s.serveCached(w, r, route, key, s.deadlineFor(req.DeadlineMillis), func(ctx context.Context) ([]byte, error) {
@@ -378,7 +420,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		if len(req.Portfolio) > 0 {
 			suiteOpts = append(suiteOpts, experiments.WithPortfolio(req.Portfolio...))
 		}
-		suite := experiments.NewSuite(s.base, suiteOpts...)
+		suite := experiments.NewSuite(base, suiteOpts...)
 		suite.Benches = mediabench.All()
 		if err := suite.WarmBenches(ctx, benches, variants...); err != nil {
 			return nil, err
@@ -515,6 +557,28 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeBody(w, s.benchBody, "")
+}
+
+// handleArchSpace serves GET /v1/archspace: the server's design-space
+// grid as named points with fully-specified arch objects a client can
+// echo back on the compute routes. The body is computed once.
+func (s *Server) handleArchSpace(w http.ResponseWriter, r *http.Request) {
+	s.gridOnce.Do(func() {
+		resp := apiv1.ArchSpaceResponse{Points: []apiv1.ArchPoint{}}
+		for _, p := range s.archGrid {
+			resp.Points = append(resp.Points, apiv1.ArchPoint{
+				Name: p.Name,
+				Key:  apiv1.ArchKey(p.Config),
+				Arch: apiv1.ArchOf(p.Config),
+			})
+		}
+		s.gridBody, s.gridErr = json.Marshal(resp)
+	})
+	if s.gridErr != nil {
+		writeErrorFor(w, s.gridErr)
+		return
+	}
+	writeBody(w, s.gridBody, "")
 }
 
 // healthState is the GET /healthz body. The endpoint bypasses

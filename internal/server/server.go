@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vliwcache/internal/arch"
+	"vliwcache/internal/archspace"
 	"vliwcache/internal/engine"
 	"vliwcache/internal/obs"
 	"vliwcache/internal/resultcache"
@@ -74,6 +75,11 @@ type Server struct {
 	benchBody []byte
 	benchErr  error
 
+	archGrid []archspace.Point
+	gridOnce sync.Once
+	gridBody []byte
+	gridErr  error
+
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 
@@ -92,6 +98,14 @@ type Option func(*Server)
 // request override it.
 func WithArch(cfg arch.Config) Option {
 	return func(s *Server) { s.base = cfg }
+}
+
+// WithArchGrid sets the design-space grid GET /v1/archspace advertises
+// (default: the canonical archspace grid). The listing is descriptive —
+// clients sweep by echoing a point's arch object back on the compute
+// routes — so the grid never changes what a request may ask for.
+func WithArchGrid(points []archspace.Point) Option {
+	return func(s *Server) { s.archGrid = points }
 }
 
 // WithParallelism bounds the worker pool computing responses.
@@ -164,6 +178,9 @@ func New(opts ...Option) *Server {
 	if s.sink == nil {
 		s.sink = obs.NewRequestLog(defaultRequestLogDepth)
 	}
+	if s.archGrid == nil {
+		s.archGrid = archspace.Canonical().Points()
+	}
 	s.eng = engine.New(s.parallelism)
 	s.cache = resultcache.New(s.cacheBytes)
 	s.admit = make(chan struct{}, s.eng.Workers()+s.queueDepth)
@@ -183,6 +200,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/suite", s.handleSuite)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/archspace", s.handleArchSpace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux

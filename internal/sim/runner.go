@@ -100,9 +100,11 @@ type Pool struct {
 	free []*Runner
 	max  int
 
-	runs   int64
-	reuses int64
-	fast   FastPathStats
+	runs      int64
+	reuses    int64
+	subBuilds int64
+	subReuses int64
+	fast      FastPathStats
 }
 
 // NewPool builds a pool keeping at most max idle Runners (<= 0 defaults to
@@ -120,14 +122,20 @@ func NewPool(max int) *Pool {
 func (p *Pool) RunSchedule(ctx context.Context, sc *sched.Schedule, opts Options) (*Stats, error) {
 	r := p.get()
 	var err error
+	var b0, r0 int64
 	if r == nil {
 		r, err = NewRunner(sc, opts)
 	} else {
+		b0, r0 = r.m.substrateBuilds, r.m.substrateReuses
 		err = r.Bind(sc, opts)
 	}
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	p.subBuilds += r.m.substrateBuilds - b0
+	p.subReuses += r.m.substrateReuses - r0
+	p.mu.Unlock()
 	st, err := r.Run(ctx)
 	if err != nil {
 		// The machine is left in a defined state by the failed run's reset
@@ -161,6 +169,18 @@ func (p *Pool) Counters() (runs, reuses int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.runs, p.reuses
+}
+
+// SubstrateCounters reports, across every bind the pool dispatched, how
+// many times a machine substrate (cache modules, Attraction Buffers,
+// arbiter, ports, pending tables) was constructed from scratch versus kept
+// because the new schedule's cache geometry matched the machine's. An
+// arch sweep ordered arch-major maximizes reuses; the counters make that
+// observable (see engine.Metrics.SubstrateBuilds/SubstrateReuses).
+func (p *Pool) SubstrateCounters() (builds, reuses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.subBuilds, p.subReuses
 }
 
 func (p *Pool) get() *Runner {
@@ -402,6 +422,17 @@ type geometry struct {
 	nextLevelPorts int
 }
 
+// Geometry is the exported name of the substrate-equality key: two
+// configurations with equal Geometry values can share one machine's
+// substrate across binds. It is a comparable value type; use == (or a map
+// key) to dedup configurations that cost nothing extra to sweep together.
+type Geometry = geometry
+
+// GeometryOf returns the substrate geometry of cfg. archspace uses it to
+// count distinct substrates in a grid and to order sweep cells so pooled
+// machines rebind without rebuilding.
+func GeometryOf(cfg arch.Config) Geometry { return geometryOf(cfg) }
+
 func geometryOf(cfg arch.Config) geometry {
 	return geometry{
 		numClusters:    cfg.NumClusters,
@@ -421,6 +452,7 @@ func geometryOf(cfg arch.Config) geometry {
 func (m *machine) ensureSubstrate(cfg arch.Config) error {
 	geo := geometryOf(cfg)
 	if m.geo == geo && m.modules != nil {
+		m.substrateReuses++
 		return nil // same shape: Run's reset will cold-start it
 	}
 	modules := make([]*cache.Module, cfg.NumClusters)
@@ -444,6 +476,7 @@ func (m *machine) ensureSubstrate(cfg arch.Config) error {
 	m.busFloor = make([]int64, cfg.NumClusters)
 	m.pending = make([]pendTab, cfg.NumClusters)
 	m.geo = geo
+	m.substrateBuilds++
 	return nil
 }
 

@@ -186,6 +186,11 @@ type machine struct {
 	arb     *bus.Arbiter
 	ports   *bus.Ports
 
+	// Lifetime substrate accounting: binds that constructed the substrate
+	// versus binds that kept it because the geometry matched.
+	substrateBuilds int64
+	substrateReuses int64
+
 	faults   faultHooks // nil-safe fault injection adapter (chaos mode)
 	busFloor []int64    // per cluster: earliest time the next bus request may enter arbitration
 

@@ -1,0 +1,88 @@
+package vliwcache
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestSweepFacade drives the design-space exports end to end: a corpus
+// workload swept over a small grid through both spellings (RunSweep with
+// options, Sweep with explicit points), with identical rows and a valid
+// export.
+func TestSweepFacade(t *testing.T) {
+	loops, err := LoopCorpus(3, 2, DefaultCorpusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := DefaultCorpusEnvelope()
+	for _, l := range loops {
+		if err := CheckCorpusEnvelope(l, env); err != nil {
+			t.Fatalf("%s escaped the envelope: %v", l.Name, err)
+		}
+	}
+	workloads := []SweepWorkload{{Name: "corpus3", Source: "corpus", Loops: loops}}
+
+	grid := ArchSpace{Base: DefaultConfig(), NumClusters: []int{2, 4}}
+	if n := DistinctSubstrates(grid.Points()); n != 2 {
+		t.Fatalf("DistinctSubstrates = %d, want 2", n)
+	}
+	opts := SweepOptions{Sim: SimOptions{MaxIterations: 64}, FastPath: true, Parallelism: 1}
+	direct, err := Sweep(context.Background(), grid.Points(), workloads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOptions, err := RunSweep(context.Background(), workloads,
+		WithArchGrid(grid),
+		WithSimOptions(SimOptions{MaxIterations: 64}),
+		WithFastPath(),
+		WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 2 || len(viaOptions) != 2 {
+		t.Fatalf("row counts = %d direct, %d via options; want 2", len(direct), len(viaOptions))
+	}
+	for i := range direct {
+		if direct[i] != viaOptions[i] {
+			t.Errorf("row %d differs between spellings:\n direct: %+v\n option: %+v", i, direct[i], viaOptions[i])
+		}
+		if direct[i].Arch != ArchPointName(grid.Points()[i].Config) {
+			t.Errorf("row %d arch = %q, want %q", i, direct[i].Arch, ArchPointName(grid.Points()[i].Config))
+		}
+		if direct[i].Cycles <= 0 {
+			t.Errorf("row %d ran zero cycles: %+v", i, direct[i])
+		}
+	}
+
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := WriteSweepJSON(&jsonBuf, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepCSV(&csvBuf, direct); err != nil {
+		t.Fatal(err)
+	}
+	if jsonBuf.Len() == 0 || csvBuf.Len() == 0 {
+		t.Error("empty sweep exports")
+	}
+}
+
+// TestCanonicalSweepSurface checks the canonical grid and workloads meet
+// the committed sweep's contract without running it.
+func TestCanonicalSweepSurface(t *testing.T) {
+	grid := CanonicalArchSpace()
+	points := grid.Points()
+	if len(points) != 12 {
+		t.Fatalf("canonical grid has %d points, want 12", len(points))
+	}
+	workloads, err := CanonicalSweepWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) != 22 {
+		t.Fatalf("canonical workloads = %d, want 22 (14 benchmarks + 8 corpus loops)", len(workloads))
+	}
+	if opts := CanonicalSweepOptions(); !opts.FastPath {
+		t.Error("canonical sweep must use the fast path")
+	}
+}
