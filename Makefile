@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs fast-smoke check-deprecated oracle-smoke serve-smoke mc-smoke sweep-smoke
+.PHONY: all build check vet lint test race bench bench-baseline bench-check paperbench chaos fuzz-smoke obs fast-smoke check-deprecated oracle-smoke serve-smoke mc-smoke sweep-smoke cluster-smoke bench-serve-check bench-serve-baseline
 
 all: build
 
@@ -12,7 +12,7 @@ all: build
 # deprecated-symbol gate, the serving-layer smoke test, and the
 # model-checker smoke (exhaustive coherence verification of the canonical
 # bounded configurations).
-check: vet race chaos fuzz-smoke obs fast-smoke bench-check check-deprecated oracle-smoke serve-smoke mc-smoke sweep-smoke
+check: vet race chaos fuzz-smoke obs fast-smoke bench-check check-deprecated oracle-smoke serve-smoke cluster-smoke bench-serve-check mc-smoke sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -102,12 +102,13 @@ bench-check:
 # else must use the functional options, the *Context spellings and
 # registry names.
 check-deprecated:
-	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(|\bOrderHeight\b|\bOrderSlack\b|\bParseConfig\(' \
+	@matches=$$(grep -rnE 'ExecOptions\{|\.CellCtx\(|\bRunCtx\(|\bOrderHeight\b|\bOrderSlack\b|\bParseConfig\(|\bValidateSchedulers\(' \
 		--include='*.go' . \
 		| grep -v -e '^\./deprecated\.go:' -e '^\./deprecated_test\.go:' \
 		          -e '/sim/sim\.go:' -e '/experiments/suite\.go:' \
 		          -e '^\./internal/sched/' \
 		          -e '^\./internal/apiv1/apiv1\.go:' -e '^\./internal/apiv1/arch_test\.go:' \
+		          -e '^\./internal/apiv1/deprecated\.go:' -e '^\./internal/apiv1/deprecated_test\.go:' \
 		|| true); \
 	if [ -n "$$matches" ]; then \
 		echo "check-deprecated: migrate these call sites off the deprecated spellings:"; \
@@ -140,6 +141,40 @@ sweep-smoke:
 #   go test -run TestServeSmoke ./cmd/paperserved/ -update
 serve-smoke:
 	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/paperserved/
+
+# cluster-smoke is the distributed end-to-end smoke: build the binary,
+# start a router and two peer-aware workers on ephemeral ports, run the
+# full suite through the async job API (POST /v1/jobs), and byte-diff
+# the artifact against the committed single-node golden — sharding must
+# be invisible in the bytes. All three nodes must drain cleanly on
+# SIGTERM. Refresh the golden with:
+#   go test -run TestClusterSmoke ./cmd/paperserved/ -update
+cluster-smoke:
+	$(GO) test -count=1 -run TestClusterSmoke -v ./cmd/paperserved/
+
+# bench-serve-check validates the committed serving baseline
+# (BENCH_serve.json): schema, internal consistency, ordered percentiles,
+# and the presence of both canonical scenarios. Live re-measurement is
+# cmd/paperload against a running server; refresh with
+# `make bench-serve-baseline`.
+bench-serve-check:
+	$(GO) test -count=1 -run 'TestCommittedServeBaseline|TestBaselineRoundTripAndCompare|TestLoadRejectsBadBaselines' ./internal/loadgen/
+
+# bench-serve-baseline rewrites BENCH_serve.json from a fresh paperload
+# run against a locally started paperserved. Run on a quiet host and
+# commit the result.
+bench-serve-baseline:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/paperserved ./cmd/paperserved; \
+	$(GO) build -o $$tmp/paperload ./cmd/paperload; \
+	$$tmp/paperserved -addr 127.0.0.1:0 -portfile $$tmp/port -parallel 2 & \
+	srv=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/port ] && break; sleep 0.1; done; \
+	$$tmp/paperload -base http://$$(cat $$tmp/port) -rate 150 -duration 6s -workers 4 -out BENCH_serve.json; \
+	kill $$srv; wait $$srv 2>/dev/null || true; \
+	rm -rf $$tmp; \
+	echo "bench-serve-baseline: wrote BENCH_serve.json"
 
 # mc-smoke is the model-checker gate: every canonical bounded
 # configuration must verify clean with exactly the golden-pinned state and

@@ -3,15 +3,19 @@ package vliwcache
 import (
 	"context"
 	"io"
+	"net/http"
 	"time"
 
+	"vliwcache/internal/apiv1"
 	"vliwcache/internal/arch"
 	"vliwcache/internal/archspace"
+	"vliwcache/internal/cluster"
 	"vliwcache/internal/core"
 	"vliwcache/internal/ddg"
 	"vliwcache/internal/engine"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/ir"
+	"vliwcache/internal/loadgen"
 	"vliwcache/internal/loopgen"
 	"vliwcache/internal/mc"
 	"vliwcache/internal/mediabench"
@@ -940,6 +944,114 @@ func WithRequestSink(sink RequestSink) ServerOption { return server.WithRequestS
 // NewRequestLog returns a bounded request-event log keeping the last n
 // events.
 func NewRequestLog(n int) *RequestLog { return obs.NewRequestLog(n) }
+
+// WithRole labels the node in GET /healthz responses ("worker" in a
+// cluster; empty for a standalone node, preserving the single-node wire
+// bytes).
+func WithRole(role string) ServerOption { return server.WithRole(role) }
+
+// WithPeerView installs a callback supplying the node's view of its
+// peers, reported in GET /healthz.
+func WithPeerView(view func() []PeerStatus) ServerOption { return server.WithPeerView(view) }
+
+// WithRetryJitterSeed seeds the deterministic jitter applied to 429
+// Retry-After values.
+func WithRetryJitterSeed(seed int64) ServerOption { return server.WithRetryJitterSeed(seed) }
+
+// Distributed serving (see internal/cluster): a router that shards the
+// v1 surface across worker nodes by consistent-hashing each cell's
+// content address, plus the async job API (POST /v1/jobs) for suites
+// and sweeps.
+type (
+	// Router decomposes suite/sweep requests into cells and routes each
+	// to the worker owning its content address on a consistent-hash ring.
+	Router = cluster.Router
+	// RouterOption configures NewRouter.
+	RouterOption = cluster.RouterOption
+	// Ring is the consistent-hash ring mapping content addresses to
+	// worker nodes with bounded key movement under membership change.
+	Ring = cluster.Ring
+	// PeerSet polls peer /healthz endpoints and caches the last view.
+	PeerSet = cluster.PeerSet
+	// JobStatus is the wire status of one async job.
+	JobStatus = apiv1.JobStatus
+	// PeerStatus is one peer's health as seen by a node.
+	PeerStatus = apiv1.PeerStatus
+	// HealthResponse is the GET /healthz wire schema.
+	HealthResponse = apiv1.HealthResponse
+)
+
+// NewRouter builds a cluster router over the given workers.
+func NewRouter(opts ...RouterOption) *Router { return cluster.NewRouter(opts...) }
+
+// WithWorkers sets the router's worker base URLs.
+func WithWorkers(urls ...string) RouterOption { return cluster.WithWorkers(urls...) }
+
+// WithRouterArch sets the base machine description the router resolves
+// requests against; it must match the workers' base configuration or
+// content addresses will not align.
+func WithRouterArch(cfg Config) RouterOption { return cluster.WithRouterArch(cfg) }
+
+// WithVirtualNodes sets the ring's virtual nodes per worker.
+func WithVirtualNodes(n int) RouterOption { return cluster.WithVirtualNodes(n) }
+
+// WithJobParallelism bounds how many cells an async job computes
+// concurrently.
+func WithJobParallelism(n int) RouterOption { return cluster.WithJobParallelism(n) }
+
+// WithRouterDrainTimeout bounds how long Shutdown waits for running
+// jobs.
+func WithRouterDrainTimeout(d time.Duration) RouterOption {
+	return cluster.WithRouterDrainTimeout(d)
+}
+
+// NewRing builds a consistent-hash ring with the given virtual-node
+// count (<= 0 uses the default 128) over the named nodes.
+func NewRing(replicas int, nodes ...string) *Ring { return cluster.NewRing(replicas, nodes...) }
+
+// NewPeerSet builds a poller over peer /healthz URLs (nil client uses a
+// dedicated one with a short timeout).
+func NewPeerSet(urls []string, client *http.Client) *PeerSet {
+	return cluster.NewPeerSet(urls, client)
+}
+
+// Serving load + baseline (see internal/loadgen): cmd/paperload's
+// open-loop Poisson generator and the committed BENCH_serve.json
+// baseline `make bench-serve-check` validates.
+type (
+	// LoadTarget is one request in a generated mix.
+	LoadTarget = loadgen.Target
+	// LoadConfig parameterizes one load run.
+	LoadConfig = loadgen.Config
+	// LoadResult is one run's measured outcome.
+	LoadResult = loadgen.Result
+	// ServeBaseline is the committed serving-performance baseline.
+	ServeBaseline = loadgen.Baseline
+	// ServeRegression is one violation found by CompareServeBaselines.
+	ServeRegression = loadgen.Regression
+)
+
+// RunOpenLoad drives an open-loop Poisson load run: arrivals at the
+// configured mean rate regardless of outstanding responses, so queueing
+// delay is measured instead of silently throttling the generator.
+func RunOpenLoad(ctx context.Context, name string, cfg LoadConfig) (*LoadResult, error) {
+	return loadgen.RunOpen(ctx, name, cfg)
+}
+
+// RunClosedLoad drives a closed-loop saturation run: N workers issuing
+// back-to-back requests.
+func RunClosedLoad(ctx context.Context, name string, cfg LoadConfig) (*LoadResult, error) {
+	return loadgen.RunClosed(ctx, name, cfg)
+}
+
+// LoadServeBaseline reads and validates a committed serving baseline.
+func LoadServeBaseline(path string) (*ServeBaseline, error) { return loadgen.Load(path) }
+
+// CompareServeBaselines checks a fresh measurement against the recorded
+// serving baseline (p99 growth, throughput shrink, cache-hit collapse).
+func CompareServeBaselines(base, got *ServeBaseline, tolerance float64) []ServeRegression {
+	return loadgen.Compare(base, got, tolerance)
+}
 
 // Performance baselines (see internal/perfbench). BENCH_sim.json at the
 // repository root records the simulator hot path's measured performance;

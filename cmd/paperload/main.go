@@ -1,0 +1,139 @@
+// Command paperload measures the serving tier and writes the committed
+// serving baseline (BENCH_serve.json).
+//
+// Two scenarios run against a live paperserved node (or router):
+//
+//   - cell-open-warm: an open-loop Poisson stream of /v1/cell requests
+//     over a pre-warmed working set. Open loop means arrivals do not
+//     wait for responses, so queueing delay lands in the measured
+//     latency instead of silently throttling the generator (the
+//     coordinated-omission trap). Reported: p50/p95/p99 latency and
+//     cache-hit ratio.
+//   - cell-closed-saturation: N workers issuing back-to-back requests;
+//     the reported throughput is the server's sustained capacity.
+//
+// Usage:
+//
+//	paperload -base http://127.0.0.1:8080 -out BENCH_serve.json
+//	paperload -base http://127.0.0.1:8080 -rate 200 -duration 10s -workers 8
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"vliwcache"
+)
+
+func main() {
+	var (
+		base     = flag.String("base", "http://127.0.0.1:8080", "server under test (base URL)")
+		rate     = flag.Float64("rate", 100, "open-loop mean arrival rate (req/s)")
+		duration = flag.Duration("duration", 5*time.Second, "per-scenario run length")
+		seed     = flag.Int64("seed", 1, "arrival-process seed (equal seeds replay identical schedules)")
+		workers  = flag.Int("workers", 4, "closed-loop concurrency")
+		out      = flag.String("out", "", "write the baseline JSON here (default: stdout)")
+	)
+	flag.Parse()
+
+	targets := cellTargets()
+	ctx := context.Background()
+
+	// Warm the working set so the open-loop run measures the steady
+	// state (cache-hit path), not first-touch compute.
+	fmt.Fprintf(os.Stderr, "paperload: warming %d cell bodies\n", len(targets))
+	warm := vliwcache.LoadConfig{
+		BaseURL: *base, Targets: targets, Duration: 30 * time.Second, Workers: 2,
+	}
+	if _, err := warmUp(ctx, warm, len(targets)); err != nil {
+		fatalf("warmup: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "paperload: open loop, %.0f req/s for %s\n", *rate, *duration)
+	open, err := vliwcache.RunOpenLoad(ctx, "cell-open-warm", vliwcache.LoadConfig{
+		BaseURL: *base, Targets: targets, Rate: *rate, Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		fatalf("open loop: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "paperload: closed loop, %d workers for %s\n", *workers, *duration)
+	closed, err := vliwcache.RunClosedLoad(ctx, "cell-closed-saturation", vliwcache.LoadConfig{
+		BaseURL: *base, Targets: targets, Duration: *duration, Workers: *workers,
+	})
+	if err != nil {
+		fatalf("closed loop: %v", err)
+	}
+
+	b := &vliwcache.ServeBaseline{
+		GitSHA:    gitSHA(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scenarios: []vliwcache.LoadResult{*open, *closed},
+	}
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b); err != nil {
+			fatalf("encode: %v", err)
+		}
+		return
+	}
+	if err := b.Write(*out); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "paperload: wrote %s\n", *out)
+}
+
+// cellTargets is the measured working set: every Mediabench figure
+// benchmark under both scheduling variants, as /v1/cell requests with
+// the fast simulator path (the serving tier's common case).
+func cellTargets() []vliwcache.LoadTarget {
+	var targets []vliwcache.LoadTarget
+	for _, bench := range []string{
+		"epicdec", "g721dec", "g721enc", "gsmdec", "gsmenc", "jpegdec",
+		"jpegenc", "mpeg2dec", "pegwitdec", "pegwitenc", "pgpdec",
+		"pgpenc", "rasta",
+	} {
+		for _, v := range [][2]string{{"mdc", "mincoms"}, {"ddgt", "prefclus"}} {
+			body := fmt.Sprintf(
+				`{"bench":%q,"policy":%q,"heuristic":%q,"maxIterations":50,"fastPath":true}`,
+				bench, v[0], v[1])
+			targets = append(targets, vliwcache.LoadTarget{Path: "/v1/cell", Body: []byte(body)})
+		}
+	}
+	return targets
+}
+
+// warmUp issues one closed-loop pass until every target has been
+// computed at least once (bounded by the config duration).
+func warmUp(ctx context.Context, cfg vliwcache.LoadConfig, want int) (*vliwcache.LoadResult, error) {
+	res, err := vliwcache.RunClosedLoad(ctx, "warmup", cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Completed < int64(want) {
+		return nil, fmt.Errorf("only %d/%d targets completed in warmup window", res.Completed, want)
+	}
+	return res, nil
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// clusterSuiteBody is the smoke job: the full benchmark suite (benches
+// omitted = every figure benchmark) under both scheduling variants,
+// capped small enough to stay cheap on one core.
+const clusterSuiteBody = `{"variants":[{"policy":"mdc","heuristic":"mincoms"},{"policy":"ddgt","heuristic":"prefclus"}],"maxIterations":50,"fastPath":true}`
+
+// node is one running paperserved process.
+type node struct {
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+	base   string
+}
+
+func startNode(t *testing.T, bin, dir, name string, extra ...string) *node {
+	t.Helper()
+	portfile := filepath.Join(dir, name+".port")
+	args := append([]string{"-addr", "127.0.0.1:0", "-portfile", portfile}, extra...)
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	addr, err := waitForPortfile(portfile, 15*time.Second)
+	if err != nil {
+		t.Fatalf("%s: %v\nstderr: %s", name, err, stderr.Bytes())
+	}
+	return &node{cmd: cmd, stderr: &stderr, base: "http://" + addr}
+}
+
+// drain SIGTERMs the node and requires a clean exit with the drain
+// message on stderr.
+func (n *node) drain(t *testing.T, name string) {
+	t.Helper()
+	if err := n.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("%s: signal: %v", name, err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- n.cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Errorf("%s: exit after SIGTERM: %v\nstderr: %s", name, err, n.stderr.Bytes())
+		}
+	case <-time.After(15 * time.Second):
+		t.Errorf("%s did not exit within 15s of SIGTERM", name)
+		return
+	}
+	if !strings.Contains(n.stderr.String(), "drained") {
+		t.Errorf("%s: drain message missing from stderr: %s", name, n.stderr.Bytes())
+	}
+}
+
+// TestClusterSmoke is the distributed end-to-end smoke `make
+// cluster-smoke` runs: build the real binary, start a router and two
+// peer-aware workers on ephemeral ports, run the full suite through the
+// async job API, and byte-diff the artifact against the committed
+// single-node golden — the sharded tier must be invisible in the bytes.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-smoke builds and runs three processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "paperserved")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	w1 := startNode(t, bin, dir, "w1", "-parallel", "1")
+	w2 := startNode(t, bin, dir, "w2", "-parallel", "1", "-peers", w1.base)
+	rt := startNode(t, bin, dir, "router", "-workers", w1.base+","+w2.base, "-job-parallel", "2")
+
+	// The committed golden is the single-node sync /v1/suite response;
+	// -update regenerates it from worker 1 alone.
+	golden := filepath.Join("testdata", "suite_response.golden.json")
+	single := postOK(t, w1.base+"/v1/suite", []byte(clusterSuiteBody))
+	if *update {
+		if err := os.WriteFile(golden, single, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(single, want) {
+		t.Errorf("single-node suite drifted from golden (%d vs %d bytes); rerun with -update if intended",
+			len(single), len(want))
+	}
+
+	// Async job through the router: submit, poll to done, fetch artifact.
+	id, status := submitJob(t, rt.base, `{"suite":`+clusterSuiteBody+`}`)
+	if status.State != "queued" && status.State != "running" && status.State != "done" {
+		t.Fatalf("submit state = %q", status.State)
+	}
+	final := pollJob(t, rt.base, id, 120*time.Second)
+	if final.State != "done" {
+		t.Fatalf("job %s = %q (error %q)", id, final.State, final.Error)
+	}
+	if final.CellsDegraded != 0 {
+		t.Errorf("healthy cluster degraded %d cells", final.CellsDegraded)
+	}
+
+	artifact := getOK(t, rt.base+"/v1/jobs/"+id+"/artifacts")
+	if !bytes.Equal(artifact, want) {
+		t.Errorf("cluster artifact differs from single-node golden (%d vs %d bytes)",
+			len(artifact), len(want))
+	}
+
+	// The cluster surfaces are live: router healthz names its role and
+	// both peers; the peer-aware worker reports its role.
+	h := getOK(t, rt.base+"/healthz")
+	if !strings.Contains(string(h), `"role":"router"`) {
+		t.Errorf("router healthz = %s", h)
+	}
+	h = getOK(t, w2.base+"/healthz")
+	if !strings.Contains(string(h), `"role":"worker"`) {
+		t.Errorf("worker healthz = %s", h)
+	}
+
+	// Clean drain, router first (it stops routing before workers go).
+	rt.drain(t, "router")
+	w2.drain(t, "w2")
+	w1.drain(t, "w1")
+}
+
+type jobStatus struct {
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	CellsTotal    int    `json:"cellsTotal"`
+	CellsDone     int    `json:"cellsDone"`
+	CellsDegraded int    `json:"cellsDegraded"`
+	Error         string `json:"error"`
+}
+
+func submitJob(t *testing.T, base, body string) (string, jobStatus) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", resp.StatusCode, data)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		t.Fatalf("submit response %q: %v", data, err)
+	}
+	return st.ID, st
+}
+
+func pollJob(t *testing.T, base, id string, timeout time.Duration) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		data := getOK(t, base+"/v1/jobs/"+id)
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("status %q: %v", data, err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return jobStatus{}
+}
+
+func getOK(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d (%s)", url, resp.StatusCode, data)
+	}
+	return data
+}

@@ -6,14 +6,27 @@
 // and computed once), concurrent identical requests coalesce onto one
 // computation, and a bounded admission queue sheds overload with 429.
 //
+// The same binary runs every node of a distributed serving tier:
+//
+//   - default: a standalone worker (the original single-node service)
+//   - -peers: a cluster worker that also polls its peers' /healthz and
+//     reports the view in its own /healthz
+//   - -workers: a router that decomposes suite/sweep requests into
+//     cells, routes each cell to the worker owning its content address
+//     on a consistent-hash ring, and runs the async job API
+//     (POST /v1/jobs, GET /v1/jobs/{id}, .../artifacts, .../events)
+//
 // Usage:
 //
 //	paperserved -addr 127.0.0.1:8080
 //	paperserved -addr :0 -portfile /tmp/paperserved.port
 //	paperserved -cache-bytes 134217728 -queue 128 -parallel 8
+//	paperserved -addr :0 -peers http://127.0.0.1:8081
+//	paperserved -addr :8080 -workers http://127.0.0.1:8081,http://127.0.0.1:8082
 //
 // SIGINT/SIGTERM begin a graceful drain: new compute requests get a
-// typed 503, in-flight requests finish within the -drain timeout.
+// typed 503, in-flight requests (and running jobs, on a router) finish
+// within the -drain timeout.
 package main
 
 import (
@@ -25,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"vliwcache"
+	"vliwcache/internal/fsx"
 )
 
 func main() {
@@ -40,40 +55,122 @@ func main() {
 		deadline   = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		portfile   = flag.String("portfile", "", "write the bound address to this file once listening")
+		workers    = flag.String("workers", "", "run as a router over these worker base URLs (comma-separated)")
+		peers      = flag.String("peers", "", "peer worker base URLs to poll (comma-separated; marks this node a cluster worker)")
+		jobPar     = flag.Int("job-parallel", 0, "router: cells computed concurrently per job (0 = default)")
 	)
 	flag.Parse()
 
-	srv := vliwcache.NewServer(
-		vliwcache.WithCacheBytes(*cacheBytes),
-		vliwcache.WithQueueDepth(*queue),
-		vliwcache.WithServerParallelism(*parallel),
-		vliwcache.WithServerDeadline(*deadline),
-		vliwcache.WithDrainTimeout(*drain),
-	)
+	if *workers != "" && *peers != "" {
+		fatalf("-workers and -peers are mutually exclusive (a node is a router or a worker)")
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("listen %s: %v", *addr, err)
 	}
 	if *portfile != "" {
-		if err := os.WriteFile(*portfile, []byte(l.Addr().String()), 0o644); err != nil {
+		// Atomic so a smoke test polling the portfile never reads a
+		// partially written address.
+		if err := fsx.WriteFileAtomic(*portfile, []byte(l.Addr().String()), 0o644); err != nil {
 			fatalf("writing portfile: %v", err)
 		}
 	}
+
+	if *workers != "" {
+		runRouter(l, splitURLs(*workers), *drain, *jobPar)
+		return
+	}
+	runWorker(l, workerConfig{
+		cacheBytes: *cacheBytes,
+		queue:      *queue,
+		parallel:   *parallel,
+		deadline:   *deadline,
+		drain:      *drain,
+		peers:      splitURLs(*peers),
+	})
+}
+
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	return urls
+}
+
+type workerConfig struct {
+	cacheBytes int64
+	queue      int
+	parallel   int
+	deadline   time.Duration
+	drain      time.Duration
+	peers      []string
+}
+
+func runWorker(l net.Listener, cfg workerConfig) {
+	opts := []vliwcache.ServerOption{
+		vliwcache.WithCacheBytes(cfg.cacheBytes),
+		vliwcache.WithQueueDepth(cfg.queue),
+		vliwcache.WithServerParallelism(cfg.parallel),
+		vliwcache.WithServerDeadline(cfg.deadline),
+		vliwcache.WithDrainTimeout(cfg.drain),
+	}
+	pollCtx, stopPoll := context.WithCancel(context.Background())
+	defer stopPoll()
+	if len(cfg.peers) > 0 {
+		ps := vliwcache.NewPeerSet(cfg.peers, nil)
+		go ps.Run(pollCtx, 0)
+		opts = append(opts,
+			vliwcache.WithRole("worker"),
+			vliwcache.WithPeerView(ps.Snapshot),
+		)
+	}
+	srv := vliwcache.NewServer(opts...)
 	fmt.Fprintf(os.Stderr, "paperserved listening on %s\n", l.Addr())
 
+	drained := onShutdown(func() error { return srv.Shutdown(context.Background()) })
+	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		fatalf("serve: %v", err)
+	}
+	waitDrained(drained)
+}
+
+func runRouter(l net.Listener, workerURLs []string, drain time.Duration, jobPar int) {
+	opts := []vliwcache.RouterOption{
+		vliwcache.WithWorkers(workerURLs...),
+		vliwcache.WithRouterDrainTimeout(drain),
+	}
+	if jobPar > 0 {
+		opts = append(opts, vliwcache.WithJobParallelism(jobPar))
+	}
+	rt := vliwcache.NewRouter(opts...)
+	fmt.Fprintf(os.Stderr, "paperserved router listening on %s (%d workers)\n",
+		l.Addr(), len(workerURLs))
+
+	drained := onShutdown(func() error { return rt.Shutdown(context.Background()) })
+	if err := rt.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		fatalf("serve: %v", err)
+	}
+	waitDrained(drained)
+}
+
+// onShutdown arranges a graceful drain on SIGINT/SIGTERM.
+func onShutdown(shutdown func() error) <-chan error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan error, 1)
 	go func() {
 		s := <-sig
 		fmt.Fprintf(os.Stderr, "paperserved: %v, draining\n", s)
-		drained <- srv.Shutdown(context.Background())
+		drained <- shutdown()
 	}()
+	return drained
+}
 
-	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
-		fatalf("serve: %v", err)
-	}
+func waitDrained(drained <-chan error) {
 	if err := <-drained; err != nil {
 		fatalf("drain: %v", err)
 	}

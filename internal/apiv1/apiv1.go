@@ -48,44 +48,13 @@ type ScheduleRequest struct {
 	Layout string `json:"layout,omitempty"`
 	// ABEntries enables per-cluster Attraction Buffers (0 = off).
 	ABEntries int `json:"abEntries,omitempty"`
-	// MaxIterations caps simulated iterations per loop entry (0 = the
-	// loop's trip count).
-	MaxIterations int64 `json:"maxIterations,omitempty"`
-	// MaxEntries caps simulated loop entries (0 = the loop's entries).
-	MaxEntries int64 `json:"maxEntries,omitempty"`
-	// CheckCoherence runs the memory ordering checker.
-	CheckCoherence bool `json:"checkCoherence,omitempty"`
-	// FaultSeed, when non-zero, enables deterministic fault injection
-	// (chaos mode) with the default fault mix under this seed.
-	FaultSeed int64 `json:"faultSeed,omitempty"`
-	// FastPath turns on the simulator's steady-state fast path
-	// (dead-cycle skipping plus validated loop extrapolation). Results
-	// are bit-identical to the default path; requests the fast path
-	// cannot prove periodic fall back to plain simulation.
-	FastPath bool `json:"fastPath,omitempty"`
+	// Options is the unified execution-option block (embedded; its
+	// fields appear inline on the wire). When Options.Arch is present,
+	// the legacy Layout field applies only if non-empty (the structured
+	// layout wins otherwise); ABEntries > 0 still applies on top.
+	Options
 	// IncludeSchedule adds the rendered modulo schedule to the response.
 	IncludeSchedule bool `json:"includeSchedule,omitempty"`
-	// DeadlineMillis bounds the request's wall time. Zero uses the
-	// server default; values above the server maximum are clamped.
-	// The deadline does not participate in the result-cache key.
-	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
-	// Scheduler, when set, schedules with the named registered scheduler
-	// ("oracle", "locality", "prefclus-slack", ...) instead of the
-	// Heuristic enum. Unknown names fail with a 422 unknown_scheduler
-	// error. Absent, the frozen v1 heuristic behavior applies.
-	Scheduler string `json:"scheduler,omitempty"`
-	// Portfolio, when set, races the named registered schedulers and
-	// keeps the best valid schedule (tie-break: II, then schedule length,
-	// then name order). Mutually exclusive with Scheduler. A portfolio of
-	// one behaves exactly like Scheduler with that name.
-	Portfolio []string `json:"portfolio,omitempty"`
-	// Arch, when set, overrides individual machine-description fields on
-	// top of the named Config (or the Table 2 default). Omitted fields
-	// inherit; a resulting geometry that fails validation is the typed
-	// 422 invalid_arch error. When Arch is present, the legacy Layout
-	// field applies only if non-empty (the structured layout wins
-	// otherwise); ABEntries > 0 still applies on top.
-	Arch *Arch `json:"arch,omitempty"`
 }
 
 // ScheduleResponse is the outcome of POST /v1/schedule.
@@ -170,27 +139,11 @@ type SuiteRequest struct {
 	// Variants lists the (policy, heuristic) combinations to run; it
 	// must not be empty.
 	Variants []Variant `json:"variants"`
-	// MaxIterations caps simulated iterations per loop entry.
-	MaxIterations int64 `json:"maxIterations,omitempty"`
-	// CheckCoherence runs the memory ordering checker on every cell.
-	CheckCoherence bool `json:"checkCoherence,omitempty"`
-	// FaultSeed, when non-zero, enables deterministic fault injection.
-	FaultSeed int64 `json:"faultSeed,omitempty"`
-	// FastPath turns on the simulator's steady-state fast path for
-	// every cell (see ScheduleRequest.FastPath). Bit-identical results.
-	FastPath bool `json:"fastPath,omitempty"`
-	// DeadlineMillis bounds the request's wall time (see ScheduleRequest).
-	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
-	// Scheduler, when set, schedules every cell with the named registered
-	// scheduler instead of each variant's heuristic (see ScheduleRequest).
-	Scheduler string `json:"scheduler,omitempty"`
-	// Portfolio, when set, races the named schedulers on every cell.
-	// Mutually exclusive with Scheduler.
-	Portfolio []string `json:"portfolio,omitempty"`
-	// Arch, when set, overrides machine-description fields on top of the
-	// server's base configuration for every cell (see
-	// ScheduleRequest.Arch).
-	Arch *Arch `json:"arch,omitempty"`
+	// Options is the unified execution-option block (embedded; its
+	// fields appear inline on the wire) applied to every cell. The
+	// scheduler selection replaces each variant's heuristic; Arch
+	// overlays the server's base configuration.
+	Options
 }
 
 // SuiteResponse carries the computed grid in canonical cell order
@@ -209,6 +162,12 @@ type SuiteCell struct {
 	// Scheduler echoes the request-level scheduler selection (see
 	// ScheduleResponse.Scheduler). Absent for frozen-path requests.
 	Scheduler string `json:"scheduler,omitempty"`
+	// NA, when non-empty, marks a degraded cell: the cluster router
+	// could not compute it on any worker and carries the reason here
+	// (rendered as "n/a(reason)", the suite tables' degraded idiom).
+	// Loops is empty and Total is zero for degraded cells. Absent on
+	// every computed cell, so single-node bytes are unchanged.
+	NA string `json:"na,omitempty"`
 }
 
 // LoopRun is one loop's outcome inside a suite cell.
@@ -236,32 +195,6 @@ type Benchmark struct {
 	InFigures    bool    `json:"inFigures"`
 }
 
-// ValidateSchedulers checks a request's scheduler selection: scheduler
-// and portfolio are mutually exclusive, and every name must be in the
-// sched registry (unknown names wrap sched.ErrUnknownScheduler, the
-// CodeUnknownScheduler case). It returns the selection's response label
-// — the scheduler name, "portfolio(a+b)", or "" when nothing was
-// selected and the frozen v1 behavior applies.
-func ValidateSchedulers(scheduler string, portfolio []string) (string, error) {
-	if scheduler != "" && len(portfolio) > 0 {
-		return "", fmt.Errorf("scheduler and portfolio are mutually exclusive")
-	}
-	if scheduler != "" {
-		if _, err := sched.Get(scheduler); err != nil {
-			return "", err
-		}
-		return scheduler, nil
-	}
-	if len(portfolio) > 0 {
-		p, err := sched.NewPortfolio(portfolio...)
-		if err != nil {
-			return "", err
-		}
-		return p.Name(), nil
-	}
-	return "", nil
-}
-
 // ParsePolicy maps a wire policy name onto core.Policy. Names are
 // case-insensitive.
 func ParsePolicy(name string) (core.Policy, error) {
@@ -286,16 +219,6 @@ func ParseHeuristic(name string) (sched.Heuristic, error) {
 		return sched.MinComs, nil
 	}
 	return 0, fmt.Errorf("unknown heuristic %q (want prefclus or mincoms)", name)
-}
-
-// ParseConfig maps a wire config name onto a machine description. The
-// empty string defaults to the paper's Table 2 configuration.
-//
-// Deprecated: ParseConfig is the name-only spelling of machine selection;
-// use NamedConfig for the three frozen names and Arch.Apply for
-// structured overrides.
-func ParseConfig(name string) (arch.Config, error) {
-	return NamedConfig(name)
 }
 
 // ParseLayout maps a wire layout name onto arch.Layout. The empty string

@@ -21,18 +21,20 @@ import (
 // encode → decode → encode byte-identically (stable field order).
 func TestScheduleRequestRoundTrip(t *testing.T) {
 	req := ScheduleRequest{
-		Loop:            json.RawMessage(`{"name":"daxpy","trip":10,"symbols":[],"ops":[]}`),
-		Policy:          "mdc",
-		Heuristic:       "mincoms",
-		Config:          "nobal+mem",
-		Layout:          "replicated",
-		ABEntries:       16,
-		MaxIterations:   500,
-		MaxEntries:      2,
-		CheckCoherence:  true,
-		FaultSeed:       7,
+		Loop:      json.RawMessage(`{"name":"daxpy","trip":10,"symbols":[],"ops":[]}`),
+		Policy:    "mdc",
+		Heuristic: "mincoms",
+		Config:    "nobal+mem",
+		Layout:    "replicated",
+		ABEntries: 16,
+		Options: Options{
+			MaxIterations:  500,
+			MaxEntries:     2,
+			CheckCoherence: true,
+			FaultSeed:      7,
+			DeadlineMillis: 1500,
+		},
 		IncludeSchedule: true,
-		DeadlineMillis:  1500,
 	}
 	first, err := json.Marshal(req)
 	if err != nil {
@@ -56,11 +58,13 @@ func TestScheduleRequestRoundTrip(t *testing.T) {
 
 func TestSuiteRequestRoundTrip(t *testing.T) {
 	req := SuiteRequest{
-		Benches:        []string{"pgpdec", "rasta"},
-		Variants:       []Variant{{"mdc", "prefclus"}, {"ddgt", "mincoms"}},
-		MaxIterations:  100,
-		CheckCoherence: true,
-		FaultSeed:      3,
+		Benches:  []string{"pgpdec", "rasta"},
+		Variants: []Variant{{"mdc", "prefclus"}, {"ddgt", "mincoms"}},
+		Options: Options{
+			MaxIterations:  100,
+			CheckCoherence: true,
+			FaultSeed:      3,
+		},
 	}
 	first, _ := json.Marshal(req)
 	var back SuiteRequest

@@ -1,0 +1,31 @@
+// Deprecated v1 spellings, collected in one place like the facade's
+// deprecated.go. The symbols keep working forever (v1 never breaks),
+// but new code must use the replacements; `make check-deprecated`
+// rejects fresh call sites outside this file and its tests.
+package apiv1
+
+import (
+	"vliwcache/internal/arch"
+)
+
+// ParseConfig maps a wire config name onto a machine description. The
+// empty string defaults to the paper's Table 2 configuration.
+//
+// Deprecated: ParseConfig is the name-only spelling of machine selection;
+// use NamedConfig for the three frozen names and Arch.Apply for
+// structured overrides.
+func ParseConfig(name string) (arch.Config, error) {
+	return NamedConfig(name)
+}
+
+// ValidateSchedulers checks a scheduler/portfolio selection and returns
+// its response label (see Options.SchedulerLabel).
+//
+// Deprecated: ValidateSchedulers is the loose-argument spelling from the
+// per-request option era; requests now embed the unified Options block —
+// use Options.SchedulerLabel, which validates the same selection from
+// the request itself.
+func ValidateSchedulers(scheduler string, portfolio []string) (string, error) {
+	o := Options{Scheduler: scheduler, Portfolio: portfolio}
+	return o.SchedulerLabel()
+}

@@ -50,6 +50,14 @@ const (
 	// CodeDraining: the server is shutting down and no longer admits
 	// compute requests.
 	CodeDraining = "draining" // 503
+	// CodeUnknownJob: the job id does not exist on this router.
+	CodeUnknownJob = "unknown_job" // 404
+	// CodeJobNotReady: artifacts were requested before the job reached
+	// a terminal state (or the job failed and has none).
+	CodeJobNotReady = "job_not_ready" // 409
+	// CodeNoWorkers: the cluster router has no live worker to route a
+	// synchronous request to.
+	CodeNoWorkers = "no_workers" // 503
 	// CodeInternal: an unexpected failure (recovered panic, ...).
 	CodeInternal = "internal" // 500
 )
@@ -59,15 +67,17 @@ func StatusOf(code string) int {
 	switch code {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeUnknownBenchmark:
+	case CodeUnknownBenchmark, CodeUnknownJob:
 		return http.StatusNotFound
 	case CodeInfeasibleSchedule, CodeUnknownScheduler, CodeInvalidArch, CodePipelineFailure:
 		return http.StatusUnprocessableEntity
+	case CodeJobNotReady:
+		return http.StatusConflict
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
-	case CodeDraining:
+	case CodeDraining, CodeNoWorkers:
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError

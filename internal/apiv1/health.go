@@ -1,0 +1,37 @@
+package apiv1
+
+// HealthResponse is the body of GET /healthz on every node of the
+// serving tier. The first three fields are the frozen single-node
+// shape from PR 5; Role and Peers joined with the cluster tier and are
+// omitted when empty, so single-node bytes are unchanged.
+type HealthResponse struct {
+	// Status is "ok" (serving) or "draining".
+	Status string `json:"status"`
+	// Draining reports whether shutdown has begun.
+	Draining bool `json:"draining"`
+	// UptimeMillis is the node's uptime.
+	UptimeMillis int64 `json:"uptimeMillis"`
+	// Role is "worker" or "router" in a cluster deployment.
+	Role string `json:"role,omitempty"`
+	// Peers is this node's last-polled view of its peers (a worker's
+	// fellow workers, a router's workers), so a rolling restart can
+	// watch the whole tier from any node.
+	Peers []PeerStatus `json:"peers,omitempty"`
+}
+
+// Peer states as seen by a poller.
+const (
+	PeerServing     = "serving"
+	PeerDraining    = "draining"
+	PeerUnreachable = "unreachable"
+)
+
+// PeerStatus is one peer's last-polled health.
+type PeerStatus struct {
+	// URL is the peer's base URL.
+	URL string `json:"url"`
+	// Status is "serving", "draining" or "unreachable".
+	Status string `json:"status"`
+	// Error is the poll failure (unreachable only).
+	Error string `json:"error,omitempty"`
+}

@@ -1,0 +1,129 @@
+package apiv1
+
+import "encoding/json"
+
+// The async job lifecycle. A suite or sweep is a grid of independent
+// cells; submitting it as a job turns the one long synchronous request
+// into a fanned-out batch:
+//
+//	POST /v1/jobs {"suite": {...}}      → 202 JobStatus (id, queued)
+//	GET  /v1/jobs/{id}                  → JobStatus (poll)
+//	GET  /v1/jobs/{id}/events           → SSE progress stream
+//	GET  /v1/jobs/{id}/artifacts        → the response bytes
+//
+// Artifacts are byte-identical to the synchronous endpoint's response
+// for the same body: a suite job's artifact is exactly the
+// SuiteResponse bytes POST /v1/suite would have returned. Like every
+// v1 type, field order is frozen.
+
+// CellRequest asks for one suite cell: one benchmark under one
+// (policy, heuristic) variant. It is the unit the cluster router
+// fans out — POST /v1/cell on a worker — and the unit of result
+// caching in the distributed tier.
+type CellRequest struct {
+	// Bench names the benchmark.
+	Bench string `json:"bench"`
+	// Policy selects the coherence policy: "free", "mdc" or "ddgt".
+	Policy string `json:"policy"`
+	// Heuristic selects the cluster-assignment heuristic: "prefclus"
+	// (default) or "mincoms".
+	Heuristic string `json:"heuristic,omitempty"`
+	// Options is the unified execution-option block (embedded).
+	Options
+}
+
+// SweepRequest asks for an architecture design-space sweep: every point
+// × benchmark × variant cell. Points are structured arch overlays —
+// typically echoed from GET /v1/archspace — applied to the serving
+// tier's base configuration.
+type SweepRequest struct {
+	// Points lists the architecture overlays to sweep; it must not be
+	// empty.
+	Points []Arch `json:"points"`
+	// Benches selects benchmarks by name; empty means every benchmark
+	// of the paper's result figures.
+	Benches []string `json:"benches,omitempty"`
+	// Variants lists the (policy, heuristic) combinations; it must not
+	// be empty.
+	Variants []Variant `json:"variants"`
+	// Options is the unified execution-option block (embedded). Its
+	// Arch field must be absent — each point is the arch overlay.
+	Options
+}
+
+// SweepCell is one point × benchmark × variant outcome.
+type SweepCell struct {
+	// Point is the canonical cache-key encoding (ArchKey) of the
+	// point's resolved configuration, doubling as the row key.
+	Point string `json:"point"`
+	SuiteCell
+}
+
+// SweepResponse is a sweep job's artifact, cells in canonical order
+// (points in request order, then benches, then variants).
+type SweepResponse struct {
+	Cells []SweepCell `json:"cells"`
+}
+
+// Job lifecycle states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobRequest is the body of POST /v1/jobs: exactly one of Suite or
+// Sweep must be set.
+type JobRequest struct {
+	// Suite submits a suite grid (the async form of POST /v1/suite).
+	Suite *SuiteRequest `json:"suite,omitempty"`
+	// Sweep submits a design-space sweep.
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+}
+
+// JobStatus is the poll body of GET /v1/jobs/{id}, the creation body of
+// POST /v1/jobs, and the data payload of every SSE progress event.
+type JobStatus struct {
+	// ID addresses the job on the poll/events/artifacts routes.
+	ID string `json:"id"`
+	// Kind is "suite" or "sweep".
+	Kind string `json:"kind"`
+	// State is the lifecycle state: queued → running → done | failed.
+	State string `json:"state"`
+	// CellsTotal is the job's cell count (fixed at submission).
+	CellsTotal int `json:"cellsTotal"`
+	// CellsDone counts finished cells (computed, served from cache, or
+	// degraded).
+	CellsDone int `json:"cellsDone"`
+	// CellsFromCache counts cells a worker served from its result cache
+	// (X-Cache hit or coalesced).
+	CellsFromCache int `json:"cellsFromCache"`
+	// CellsDegraded counts cells no worker could compute, rendered as
+	// n/a(reason) in the artifact instead of failing the job.
+	CellsDegraded int `json:"cellsDegraded"`
+	// Error is the failure reason (failed state only).
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s *JobStatus) Terminal() bool {
+	return s.State == JobDone || s.State == JobFailed
+}
+
+// JobListResponse is the body of GET /v1/jobs: statuses in submission
+// order.
+type JobListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// MarshalStatus renders a JobStatus deterministically (frozen field
+// order, like every v1 body).
+func MarshalStatus(s JobStatus) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// JobStatus contains only marshal-safe field types.
+		panic(err)
+	}
+	return b
+}

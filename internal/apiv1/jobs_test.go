@@ -1,0 +1,90 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestJobStatusFieldOrder freezes the JobStatus wire order; the SSE
+// stream and the poll route must emit identical bytes for the same
+// snapshot.
+func TestJobStatusFieldOrder(t *testing.T) {
+	s := JobStatus{
+		ID: "job-1", Kind: "suite", State: JobRunning,
+		CellsTotal: 28, CellsDone: 7, CellsFromCache: 2, CellsDegraded: 1,
+	}
+	want := `{"id":"job-1","kind":"suite","state":"running",` +
+		`"cellsTotal":28,"cellsDone":7,"cellsFromCache":2,"cellsDegraded":1}`
+	if got := string(MarshalStatus(s)); got != want {
+		t.Errorf("status order drifted:\n got %s\nwant %s", got, want)
+	}
+	s.State = JobFailed
+	s.Error = "boom"
+	if got := string(MarshalStatus(s)); got == want {
+		t.Error("error field must render on failed jobs")
+	}
+}
+
+func TestJobStatusTerminal(t *testing.T) {
+	for state, terminal := range map[string]bool{
+		JobQueued: false, JobRunning: false, JobDone: true, JobFailed: true,
+	} {
+		s := JobStatus{State: state}
+		if s.Terminal() != terminal {
+			t.Errorf("Terminal(%s) = %v", state, s.Terminal())
+		}
+	}
+}
+
+// TestSweepCellFieldOrder proves a SweepCell marshals as the point key
+// followed by the embedded SuiteCell's fields in place — the property
+// the router exploits to assemble sweep artifacts from worker cell
+// bytes by concatenation.
+func TestSweepCellFieldOrder(t *testing.T) {
+	inner := SuiteCell{
+		Bench: "rasta", Policy: "mdc", Heuristic: "prefclus",
+		Loops: []LoopRun{},
+	}
+	innerB, err := json.Marshal(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := SweepCell{Point: "p1", SuiteCell: inner}
+	outerB, err := json.Marshal(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"point":"p1",` + string(innerB[1:])
+	if string(outerB) != want {
+		t.Errorf("sweep cell bytes:\n got %s\nwant %s", outerB, want)
+	}
+}
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	req := JobRequest{
+		Sweep: &SweepRequest{
+			Points:   []Arch{{}},
+			Benches:  []string{"rasta"},
+			Variants: []Variant{{Policy: "mdc", Heuristic: "prefclus"}},
+			Options:  Options{MaxIterations: 5, FastPath: true},
+		},
+	}
+	first, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobRequest
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", first, second)
+	}
+	if back.Suite != nil || back.Sweep == nil || back.Sweep.MaxIterations != 5 {
+		t.Errorf("round trip changed value: %+v", back)
+	}
+}

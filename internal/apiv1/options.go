@@ -1,0 +1,113 @@
+package apiv1
+
+import (
+	"fmt"
+
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// Options is the unified execution-option block shared by every compute
+// request in the v1 schema. PRs 6–9 accreted these knobs one request
+// type at a time (fault seed in PR 2's wire debut, fastPath in PR 8,
+// scheduler/portfolio in PR 6, arch in PR 9), each re-declared per
+// request; the jobs API would have made a fourth copy. Instead every
+// request — ScheduleRequest (also /v1/simulate), SuiteRequest,
+// CellRequest, SweepRequest — embeds this one struct, so a knob added
+// here reaches the whole surface at once and cannot drift.
+//
+// Embedding preserves the wire contract: encoding/json promotes the
+// embedded fields in place, legacy bodies decode unchanged (JSON decode
+// is order-independent), and cache addresses are derived from resolved
+// values, not raw bodies. The canonical marshal order of requests is
+// pinned by TestRequestFieldOrder.
+type Options struct {
+	// MaxIterations caps simulated iterations per loop entry (0 = the
+	// loop's trip count).
+	MaxIterations int64 `json:"maxIterations,omitempty"`
+	// MaxEntries caps simulated loop entries (0 = the loop's entries).
+	MaxEntries int64 `json:"maxEntries,omitempty"`
+	// CheckCoherence runs the memory ordering checker.
+	CheckCoherence bool `json:"checkCoherence,omitempty"`
+	// FaultSeed, when non-zero, enables deterministic fault injection
+	// (chaos mode) with the default fault mix under this seed.
+	FaultSeed int64 `json:"faultSeed,omitempty"`
+	// FastPath turns on the simulator's steady-state fast path
+	// (dead-cycle skipping plus validated loop extrapolation). Results
+	// are bit-identical to the default path; runs the fast path cannot
+	// prove periodic fall back to plain simulation.
+	FastPath bool `json:"fastPath,omitempty"`
+	// DeadlineMillis bounds the request's wall time. Zero uses the
+	// server default; values above the server maximum are clamped.
+	// The deadline does not participate in the result-cache key.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+	// Scheduler, when set, schedules with the named registered scheduler
+	// ("oracle", "locality", "prefclus-slack", ...) instead of the
+	// Heuristic enum. Unknown names fail with a 422 unknown_scheduler
+	// error. Absent, the frozen v1 heuristic behavior applies.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Portfolio, when set, races the named registered schedulers and
+	// keeps the best valid schedule (tie-break: II, then schedule length,
+	// then name order). Mutually exclusive with Scheduler. A portfolio of
+	// one behaves exactly like Scheduler with that name.
+	Portfolio []string `json:"portfolio,omitempty"`
+	// Arch, when set, overrides individual machine-description fields on
+	// top of the request's base configuration. Omitted fields inherit; a
+	// resulting geometry that fails validation is the typed 422
+	// invalid_arch error.
+	Arch *Arch `json:"arch,omitempty"`
+}
+
+// SchedulerLabel validates the scheduler selection: scheduler and
+// portfolio are mutually exclusive, and every name must be in the sched
+// registry (unknown names wrap sched.ErrUnknownScheduler, the
+// CodeUnknownScheduler case). It returns the selection's response label
+// — the scheduler name, "portfolio(a+b)", or "" when nothing was
+// selected and the frozen v1 behavior applies.
+func (o *Options) SchedulerLabel() (string, error) {
+	if o.Scheduler != "" && len(o.Portfolio) > 0 {
+		return "", fmt.Errorf("scheduler and portfolio are mutually exclusive")
+	}
+	if o.Scheduler != "" {
+		if _, err := sched.Get(o.Scheduler); err != nil {
+			return "", err
+		}
+		return o.Scheduler, nil
+	}
+	if len(o.Portfolio) > 0 {
+		p, err := sched.NewPortfolio(o.Portfolio...)
+		if err != nil {
+			return "", err
+		}
+		return p.Name(), nil
+	}
+	return "", nil
+}
+
+// SimOptions projects the option block onto the simulator's knobs.
+// Fault injection is keyed by seed and bound by the serving layer (the
+// injector constructor lives outside the wire schema).
+func (o *Options) SimOptions() sim.Options {
+	return sim.Options{
+		MaxIterations:  o.MaxIterations,
+		MaxEntries:     o.MaxEntries,
+		CheckCoherence: o.CheckCoherence,
+		FastPath:       o.FastPath,
+	}
+}
+
+// SimOptionsKey renders the cache-relevant simulation knobs. The
+// per-request deadline is deliberately absent: it bounds the wall time
+// of a computation, never its result.
+func SimOptionsKey(opts sim.Options, seed int64) string {
+	k := fmt.Sprintf("maxIters=%d maxEntries=%d coherence=%t seed=%d",
+		opts.MaxIterations, opts.MaxEntries, opts.CheckCoherence, seed)
+	// The fast path produces bit-identical statistics, but it joins the
+	// key anyway so a fallback investigation (re-request without the
+	// flag) never gets served the other mode's cached bytes. Appended
+	// only when set, so legacy requests keep their cache addresses.
+	if opts.FastPath {
+		k += " fast=true"
+	}
+	return k
+}

@@ -1,0 +1,140 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// TestLegacyBodiesDecodeUnchanged proves the Options unification is
+// invisible to existing clients: request bodies written against the
+// pre-unification flat schema (every knob a top-level field) decode
+// into the embedded Options exactly as they decoded into the old
+// per-request copies.
+func TestLegacyBodiesDecodeUnchanged(t *testing.T) {
+	scheduleBody := `{
+		"loop": {"name":"daxpy"},
+		"policy": "mdc",
+		"heuristic": "mincoms",
+		"config": "nobal+mem",
+		"maxIterations": 500,
+		"maxEntries": 2,
+		"checkCoherence": true,
+		"faultSeed": 7,
+		"fastPath": true,
+		"includeSchedule": true,
+		"deadlineMillis": 1500,
+		"scheduler": "oracle"
+	}`
+	var sr ScheduleRequest
+	if err := json.Unmarshal([]byte(scheduleBody), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.MaxIterations != 500 || sr.MaxEntries != 2 || !sr.CheckCoherence ||
+		sr.FaultSeed != 7 || !sr.FastPath || sr.DeadlineMillis != 1500 ||
+		sr.Scheduler != "oracle" || !sr.IncludeSchedule || sr.Policy != "mdc" {
+		t.Errorf("legacy schedule body decoded wrong: %+v", sr)
+	}
+
+	suiteBody := `{
+		"benches": ["rasta"],
+		"variants": [{"policy":"mdc","heuristic":"prefclus"}],
+		"maxIterations": 100,
+		"fastPath": true,
+		"portfolio": ["prefclus-height","mincoms-slack"],
+		"arch": {"numClusters": 2}
+	}`
+	var su SuiteRequest
+	if err := json.Unmarshal([]byte(suiteBody), &su); err != nil {
+		t.Fatal(err)
+	}
+	if su.MaxIterations != 100 || !su.FastPath ||
+		len(su.Portfolio) != 2 || su.Portfolio[1] != "mincoms-slack" ||
+		su.Arch == nil || su.Arch.NumClusters == nil || *su.Arch.NumClusters != 2 {
+		t.Errorf("legacy suite body decoded wrong: %+v", su)
+	}
+}
+
+// TestRequestFieldOrder freezes the canonical marshal order of the
+// unified request schema. Decode never depends on order, but tooling
+// that round-trips requests (the router's job store, paperload's
+// request log) should emit one stable spelling.
+func TestRequestFieldOrder(t *testing.T) {
+	two := 2
+	sched := ScheduleRequest{
+		Loop:      json.RawMessage(`{"name":"l"}`),
+		Policy:    "mdc",
+		Heuristic: "mincoms",
+		Options: Options{
+			MaxIterations: 5,
+			FastPath:      true,
+			Scheduler:     "oracle",
+			Arch:          &Arch{NumClusters: &two},
+		},
+		IncludeSchedule: true,
+	}
+	b, err := json.Marshal(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"loop":{"name":"l"},"policy":"mdc","heuristic":"mincoms",` +
+		`"maxIterations":5,"fastPath":true,"scheduler":"oracle",` +
+		`"arch":{"numClusters":2},"includeSchedule":true}`
+	if string(b) != want {
+		t.Errorf("schedule request order drifted:\n got %s\nwant %s", b, want)
+	}
+
+	cell := CellRequest{
+		Bench:   "rasta",
+		Policy:  "mdc",
+		Options: Options{MaxIterations: 5, FaultSeed: 3},
+	}
+	b, err = json.Marshal(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"bench":"rasta","policy":"mdc","maxIterations":5,"faultSeed":3}`
+	if string(b) != want {
+		t.Errorf("cell request order drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestOptionsSchedulerLabel(t *testing.T) {
+	if label, err := (&Options{}).SchedulerLabel(); err != nil || label != "" {
+		t.Errorf("empty options = %q, %v; want frozen path", label, err)
+	}
+	if label, err := (&Options{Scheduler: "oracle"}).SchedulerLabel(); err != nil || label != "oracle" {
+		t.Errorf("named = %q, %v", label, err)
+	}
+	if _, err := (&Options{Scheduler: "bogus"}).SchedulerLabel(); err == nil {
+		t.Error("unknown scheduler must fail")
+	}
+	if _, err := (&Options{Scheduler: "oracle", Portfolio: []string{"oracle"}}).SchedulerLabel(); err == nil {
+		t.Error("scheduler+portfolio must be mutually exclusive")
+	}
+	names := sched.Names()
+	if len(names) >= 2 {
+		label, err := (&Options{Portfolio: names[:2]}).SchedulerLabel()
+		if err != nil || !strings.HasPrefix(label, "portfolio(") {
+			t.Errorf("portfolio = %q, %v", label, err)
+		}
+	}
+}
+
+// TestSimOptionsKey pins the cache-key fragment format: changing it
+// silently invalidates (or worse, aliases) every cached result.
+func TestSimOptionsKey(t *testing.T) {
+	got := SimOptionsKey(sim.Options{MaxIterations: 25, MaxEntries: 2, CheckCoherence: true}, 7)
+	want := "maxIters=25 maxEntries=2 coherence=true seed=7"
+	if got != want {
+		t.Errorf("key = %q, want %q", got, want)
+	}
+	got = SimOptionsKey(sim.Options{FastPath: true}, 0)
+	want = "maxIters=0 maxEntries=0 coherence=false seed=0 fast=true"
+	if got != want {
+		t.Errorf("fast key = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,246 @@
+package apiv1
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/arch"
+	"vliwcache/internal/experiments"
+	"vliwcache/internal/ir"
+	"vliwcache/internal/mediabench"
+	"vliwcache/internal/resultcache"
+	"vliwcache/internal/sched"
+	"vliwcache/internal/sim"
+)
+
+// Request resolution: validating a wire request against the internal
+// types and deriving its canonical content address. This used to be
+// private to internal/server; the cluster router needs the exact same
+// derivation — the content address doubles as the consistent-hash shard
+// key, so router and worker MUST agree byte-for-byte on it, which is
+// why both call this one implementation.
+
+// ResolvedSchedule is a validated ScheduleRequest bound to internal
+// types, plus the request's content address.
+type ResolvedSchedule struct {
+	Loop            *ir.Loop
+	Variant         experiments.Variant
+	Config          arch.Config
+	Sim             sim.Options
+	Seed            int64
+	IncludeSchedule bool
+	DeadlineMillis  int64
+	Portfolio       []string
+	// SchedulerLabel is the response Scheduler field ("" = frozen path).
+	SchedulerLabel string
+	// Key is the content address: the SHA-256 of every input that
+	// determines the response bytes.
+	Key string
+}
+
+// ResolvedCell is a validated CellRequest bound to internal types, plus
+// the cell's content address (the cluster tier's shard key).
+type ResolvedCell struct {
+	Bench          string
+	Variant        experiments.Variant
+	Config         arch.Config
+	Sim            sim.Options
+	Seed           int64
+	DeadlineMillis int64
+	Portfolio      []string
+	SchedulerLabel string
+	Key            string
+}
+
+func badResolve(format string, args ...any) *ErrorResponse {
+	return &ErrorResponse{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// SchedulerErrorResponse maps a scheduler-selection validation failure
+// onto the wire taxonomy: unknown registry names are the typed 422,
+// anything else (mutually exclusive fields) is a plain bad request.
+func SchedulerErrorResponse(err error) *ErrorResponse {
+	code := CodeBadRequest
+	if errors.Is(err, sched.ErrUnknownScheduler) {
+		code = CodeUnknownScheduler
+	}
+	return &ErrorResponse{Code: code, Message: err.Error()}
+}
+
+// ResolveSchedule validates a ScheduleRequest against base (the serving
+// tier's machine description) and derives its cache key under the route
+// namespace ns. The loop is canonicalized — decoded and
+// deterministically re-encoded — so formatting differences between
+// equivalent request bodies address the same cache entry.
+func ResolveSchedule(ns string, base arch.Config, req *ScheduleRequest) (*ResolvedSchedule, *ErrorResponse) {
+	if len(req.Loop) == 0 || string(bytes.TrimSpace(req.Loop)) == "null" {
+		return nil, badResolve("missing loop")
+	}
+	loop, err := ir.DecodeJSON(req.Loop)
+	if err != nil {
+		return nil, badResolve("invalid loop: %v", err)
+	}
+	if loop.Name == "" || len(loop.Ops) == 0 {
+		return nil, badResolve("loop must have a name and at least one op")
+	}
+	canonical, err := ir.EncodeJSON(loop)
+	if err != nil {
+		return nil, badResolve("canonicalizing loop: %v", err)
+	}
+	policy, err := ParsePolicy(req.Policy)
+	if err != nil {
+		return nil, badResolve("%v", err)
+	}
+	heuristic, err := ParseHeuristic(req.Heuristic)
+	if err != nil {
+		return nil, badResolve("%v", err)
+	}
+	schedLabel, err := req.SchedulerLabel()
+	if err != nil {
+		return nil, SchedulerErrorResponse(err)
+	}
+	cfg := base
+	if req.Config != "" {
+		cfg, err = NamedConfig(req.Config)
+		if err != nil {
+			return nil, badResolve("%v", err)
+		}
+	}
+	layout, err := ParseLayout(req.Layout)
+	if err != nil {
+		return nil, badResolve("%v", err)
+	}
+	// Legacy requests always get the layout fold-in (empty = interleaved,
+	// byte-for-byte the frozen behavior). With a structured arch present
+	// the legacy field applies only when explicitly set, so an omitted
+	// layout inherits from the base and the arch object.
+	if req.Layout != "" || req.Arch == nil {
+		cfg = cfg.WithLayout(layout)
+	}
+	if req.Arch != nil {
+		cfg, err = req.Arch.Apply(cfg)
+		if err != nil {
+			return nil, &ErrorResponse{Code: CodeInvalidArch, Message: err.Error()}
+		}
+	}
+	if req.ABEntries < 0 {
+		return nil, badResolve("abEntries must be >= 0")
+	}
+	if req.ABEntries > 0 {
+		cfg = cfg.WithAttractionBuffers(req.ABEntries)
+	}
+	if req.Arch != nil {
+		// The legacy layout/AB folds can break a validated arch override
+		// (e.g. Attraction Buffers on a replicated layout); re-validate so
+		// structured requests never reach the simulator invalid.
+		if verr := cfg.Validate(); verr != nil {
+			return nil, &ErrorResponse{Code: CodeInvalidArch, Message: verr.Error()}
+		}
+	}
+	if req.MaxIterations < 0 || req.MaxEntries < 0 {
+		return nil, badResolve("iteration caps must be >= 0")
+	}
+	opts := req.SimOptions()
+	res := &ResolvedSchedule{
+		Loop:            loop,
+		Variant:         experiments.Variant{Policy: policy, Heuristic: heuristic, Scheduler: req.Scheduler},
+		Config:          cfg,
+		Sim:             opts,
+		Seed:            req.FaultSeed,
+		IncludeSchedule: req.IncludeSchedule,
+		DeadlineMillis:  req.DeadlineMillis,
+		Portfolio:       req.Portfolio,
+		SchedulerLabel:  schedLabel,
+	}
+	parts := []string{
+		ns,
+		string(canonical),
+		policy.String(),
+		heuristic.String(),
+		fmt.Sprintf("%+v", cfg),
+		SimOptionsKey(opts, req.FaultSeed),
+		fmt.Sprintf("schedule=%t", req.IncludeSchedule),
+	}
+	res.Key = resultcache.Key(append(parts, optionKeyParts(&req.Options, cfg)...)...)
+	return res, nil
+}
+
+// ResolveCell validates a CellRequest against base and derives the
+// cell's content address. A suite or sweep decomposes into exactly
+// these cells; the address is both the worker's cache key and the
+// router's shard key, so an identical cell always lands on the node
+// that owns its cache entry.
+func ResolveCell(base arch.Config, req *CellRequest) (*ResolvedCell, *ErrorResponse) {
+	if req.Bench == "" {
+		return nil, badResolve("missing bench")
+	}
+	if _, err := mediabench.Get(req.Bench); err != nil {
+		_, eresp := ErrorFor(err)
+		return nil, &eresp
+	}
+	policy, err := ParsePolicy(req.Policy)
+	if err != nil {
+		return nil, badResolve("%v", err)
+	}
+	heuristic, err := ParseHeuristic(req.Heuristic)
+	if err != nil {
+		return nil, badResolve("%v", err)
+	}
+	schedLabel, err := req.SchedulerLabel()
+	if err != nil {
+		return nil, SchedulerErrorResponse(err)
+	}
+	cfg := base
+	if req.Arch != nil {
+		cfg, err = req.Arch.Apply(base)
+		if err != nil {
+			return nil, &ErrorResponse{Code: CodeInvalidArch, Message: err.Error()}
+		}
+	}
+	if req.MaxIterations < 0 || req.MaxEntries < 0 {
+		return nil, badResolve("iteration caps must be >= 0")
+	}
+	opts := req.SimOptions()
+	res := &ResolvedCell{
+		Bench:          req.Bench,
+		Variant:        experiments.Variant{Policy: policy, Heuristic: heuristic},
+		Config:         cfg,
+		Sim:            opts,
+		Seed:           req.FaultSeed,
+		DeadlineMillis: req.DeadlineMillis,
+		Portfolio:      req.Portfolio,
+		SchedulerLabel: schedLabel,
+	}
+	parts := []string{
+		"/v1/cell",
+		req.Bench,
+		policy.String(),
+		heuristic.String(),
+		fmt.Sprintf("%+v", cfg),
+		SimOptionsKey(opts, req.FaultSeed),
+	}
+	res.Key = resultcache.Key(append(parts, optionKeyParts(&req.Options, cfg)...)...)
+	return res, nil
+}
+
+// optionKeyParts renders the key components of the unified option block
+// that join a cache address only when present, so legacy requests keep
+// their pre-existing addresses.
+func optionKeyParts(o *Options, resolved arch.Config) []string {
+	var parts []string
+	if o.Scheduler != "" {
+		parts = append(parts, "scheduler="+o.Scheduler)
+	}
+	if len(o.Portfolio) > 0 {
+		parts = append(parts, "portfolio="+strings.Join(o.Portfolio, "+"))
+	}
+	// Structured arch requests key on the canonical field-order encoding
+	// of the resolved machine: two spellings of one machine share a cache
+	// entry, and legacy requests (no arch object) keep their addresses.
+	if o.Arch != nil {
+		parts = append(parts, "arch="+ArchKey(resolved))
+	}
+	return parts
+}

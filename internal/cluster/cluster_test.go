@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwcache/internal/apiv1"
+	"vliwcache/internal/arch"
+	"vliwcache/internal/server"
+)
+
+// testSuiteReq is the grid the two-worker tests route: small enough to
+// stay fast on one core, wide enough to spread across both workers.
+func testSuiteReq() apiv1.SuiteRequest {
+	return apiv1.SuiteRequest{
+		Benches: []string{"rasta", "pgpdec"},
+		Variants: []apiv1.Variant{
+			{Policy: "mdc", Heuristic: "prefclus"},
+			{Policy: "ddgt", Heuristic: "mincoms"},
+		},
+		Options: apiv1.Options{MaxIterations: 5, FastPath: true},
+	}
+}
+
+type testCluster struct {
+	workers []*server.Server
+	wts     []*httptest.Server
+	router  *Router
+	rts     *httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	var urls []string
+	for i := 0; i < n; i++ {
+		srv := server.New(server.WithParallelism(1), server.WithRole("worker"))
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		tc.workers = append(tc.workers, srv)
+		tc.wts = append(tc.wts, ts)
+		urls = append(urls, ts.URL)
+	}
+	tc.router = NewRouter(WithWorkers(urls...), WithJobParallelism(2))
+	tc.rts = httptest.NewServer(tc.router.Handler())
+	t.Cleanup(tc.rts.Close)
+	return tc
+}
+
+func postJSON(t *testing.T, base, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, base, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// runJob submits a job and polls it to a terminal state.
+func runJob(t *testing.T, base string, jreq apiv1.JobRequest) apiv1.JobStatus {
+	t.Helper()
+	body, err := json.Marshal(jreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, base, "/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%s)", resp.StatusCode, data)
+	}
+	var st apiv1.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for !st.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", st.ID, st)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, data = getJSON(t, base, "/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status = %d (%s)", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestSuiteJobMatchesSingleNode is the tier's headline invariant: a
+// suite job fanned across two workers produces an artifact
+// byte-identical to the synchronous single-node /v1/suite response,
+// and every cell lands on (and only on) its ring owner's cache.
+func TestSuiteJobMatchesSingleNode(t *testing.T) {
+	single := server.New(server.WithParallelism(1))
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+
+	req := testSuiteReq()
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, want := postJSON(t, sts.URL, "/v1/suite", reqBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node suite status = %d (%s)", resp.StatusCode, want)
+	}
+
+	tc := newTestCluster(t, 2)
+	st := runJob(t, tc.rts.URL, apiv1.JobRequest{Suite: &req})
+	if st.State != apiv1.JobDone || st.CellsTotal != 4 || st.CellsDone != 4 || st.CellsDegraded != 0 {
+		t.Fatalf("job status = %+v", st)
+	}
+	resp, got := getJSON(t, tc.rts.URL, "/v1/jobs/"+st.ID+"/artifacts")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifacts status = %d (%s)", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("artifact differs from single-node suite:\n  job: %s\nsuite: %s", got, want)
+	}
+
+	// Placement: each cell's content address must be cached on exactly
+	// the worker the ring names as its owner.
+	for _, bench := range req.Benches {
+		for _, v := range req.Variants {
+			cr := apiv1.CellRequest{Bench: bench, Policy: v.Policy, Heuristic: v.Heuristic, Options: req.Options}
+			res, eresp := apiv1.ResolveCell(arch.Default(), &cr)
+			if eresp != nil {
+				t.Fatalf("resolve: %+v", eresp)
+			}
+			owner := tc.router.OwnerOf(res.Key)
+			for i, ts := range tc.wts {
+				has := tc.workers[i].CacheContains(res.Key)
+				if ts.URL == owner && !has {
+					t.Errorf("cell %s/%s: owner %s does not hold key", bench, v.Policy, owner)
+				}
+				if ts.URL != owner && has {
+					t.Errorf("cell %s/%s: non-owner %s holds key", bench, v.Policy, ts.URL)
+				}
+			}
+		}
+	}
+
+	// The same job resubmitted is served from worker caches.
+	st2 := runJob(t, tc.rts.URL, apiv1.JobRequest{Suite: &req})
+	if st2.State != apiv1.JobDone || st2.CellsFromCache != 4 {
+		t.Errorf("resubmitted job not cache-served: %+v", st2)
+	}
+}
+
+// TestSyncSuiteOnRouter: the router's synchronous /v1/suite matches the
+// single-node bytes too (it is the same decompose/assemble path as
+// jobs, minus the lifecycle).
+func TestSyncSuiteOnRouter(t *testing.T) {
+	single := server.New(server.WithParallelism(1))
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+
+	req := testSuiteReq()
+	req.Benches = []string{"rasta"}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := postJSON(t, sts.URL, "/v1/suite", body)
+
+	tc := newTestCluster(t, 2)
+	resp, got := postJSON(t, tc.rts.URL, "/v1/suite", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router suite status = %d (%s)", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("router suite differs from single node:\nrouter: %s\nsingle: %s", got, want)
+	}
+}
+
+// TestWorkerLossFailover: killing a worker re-routes its cells to the
+// survivor (artifact still byte-identical); killing every worker
+// degrades cells to n/a instead of failing the job.
+func TestWorkerLossFailover(t *testing.T) {
+	single := server.New(server.WithParallelism(1))
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+
+	req := testSuiteReq()
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := postJSON(t, sts.URL, "/v1/suite", reqBody)
+
+	tc := newTestCluster(t, 2)
+	st := runJob(t, tc.rts.URL, apiv1.JobRequest{Suite: &req})
+	if st.State != apiv1.JobDone {
+		t.Fatalf("warm job: %+v", st)
+	}
+
+	// Kill worker 0: its cells fail over to worker 1 and recompute
+	// there; the artifact must not change.
+	tc.wts[0].Close()
+	st = runJob(t, tc.rts.URL, apiv1.JobRequest{Suite: &req})
+	if st.State != apiv1.JobDone || st.CellsDegraded != 0 {
+		t.Fatalf("failover job: %+v", st)
+	}
+	if len(tc.router.LiveWorkers()) != 1 {
+		t.Errorf("live workers = %v, want just the survivor", tc.router.LiveWorkers())
+	}
+	resp, got := getJSON(t, tc.rts.URL, "/v1/jobs/"+st.ID+"/artifacts")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifacts status = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("failover artifact differs from single-node suite:\n  job: %s\nsuite: %s", got, want)
+	}
+
+	// Kill the survivor: the job still completes, every cell degraded.
+	tc.wts[1].Close()
+	st = runJob(t, tc.rts.URL, apiv1.JobRequest{Suite: &req})
+	if st.State != apiv1.JobDone || st.CellsDegraded != st.CellsTotal {
+		t.Fatalf("degraded job: %+v", st)
+	}
+	_, got = getJSON(t, tc.rts.URL, "/v1/jobs/"+st.ID+"/artifacts")
+	var sr apiv1.SuiteResponse
+	if err := json.Unmarshal(got, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Cells) != 4 {
+		t.Fatalf("degraded cells = %d", len(sr.Cells))
+	}
+	for _, c := range sr.Cells {
+		if !strings.HasPrefix(c.NA, "n/a(") || len(c.Loops) != 0 {
+			t.Errorf("degraded cell = %+v", c)
+		}
+	}
+
+	// Sync routes now have no backend: typed 503.
+	resp, data := postJSON(t, tc.rts.URL, "/v1/cell", []byte(`{"bench":"rasta","policy":"mdc"}`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cell with no workers = %d (%s)", resp.StatusCode, data)
+	}
+	var er apiv1.ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Code != apiv1.CodeNoWorkers {
+		t.Errorf("error = %s", data)
+	}
+}
+
+// TestSweepJob: a two-point sweep artifact wraps each cell with its
+// point key; the inner cell bytes equal a direct worker cell response
+// with the point's arch overlay.
+func TestSweepJob(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	two := 16 * 1024
+	points := []apiv1.Arch{{}, {CacheBytes: &two}}
+	sweep := apiv1.SweepRequest{
+		Points:   points,
+		Benches:  []string{"rasta"},
+		Variants: []apiv1.Variant{{Policy: "mdc", Heuristic: "prefclus"}},
+		Options:  apiv1.Options{MaxIterations: 5, FastPath: true},
+	}
+	st := runJob(t, tc.rts.URL, apiv1.JobRequest{Sweep: &sweep})
+	if st.State != apiv1.JobDone || st.Kind != "sweep" || st.CellsTotal != 2 {
+		t.Fatalf("sweep job: %+v", st)
+	}
+	resp, got := getJSON(t, tc.rts.URL, "/v1/jobs/"+st.ID+"/artifacts")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifacts status = %d", resp.StatusCode)
+	}
+
+	// Rebuild the expected artifact from direct cell requests against
+	// the router (same bytes as the owning worker's response).
+	var cells []string
+	for i := range points {
+		cr := apiv1.CellRequest{
+			Bench:  "rasta",
+			Policy: "mdc",
+			Options: apiv1.Options{
+				MaxIterations: 5, FastPath: true, Arch: &points[i],
+			},
+		}
+		cb, err := json.Marshal(cr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cresp, cdata := postJSON(t, tc.rts.URL, "/v1/cell", cb)
+		if cresp.StatusCode != http.StatusOK {
+			t.Fatalf("cell status = %d (%s)", cresp.StatusCode, cdata)
+		}
+		var sw apiv1.SweepResponse
+		if err := json.Unmarshal(got, &sw); err != nil {
+			t.Fatal(err)
+		}
+		pk, err := json.Marshal(sw.Cells[i].Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, `{"point":`+string(pk)+`,`+string(cdata[1:]))
+	}
+	want := `{"cells":[` + strings.Join(cells, ",") + `]}`
+	if string(got) != want {
+		t.Errorf("sweep artifact:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestJobEventsSSE: the progress stream emits full JobStatus snapshots
+// and terminates with the terminal state.
+func TestJobEventsSSE(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	req := testSuiteReq()
+	req.Benches = []string{"rasta"}
+	body, err := json.Marshal(apiv1.JobRequest{Suite: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, tc.rts.URL, "/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s)", resp.StatusCode, data)
+	}
+	var st apiv1.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	sresp, err := http.Get(tc.rts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	scanner := bufio.NewScanner(sresp.Body)
+	var events []apiv1.JobStatus
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev apiv1.JobStatus
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		events = append(events, ev)
+		if ev.Terminal() {
+			break
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if last.State != apiv1.JobDone || last.CellsDone != last.CellsTotal {
+		t.Errorf("terminal event = %+v", last)
+	}
+}
+
+// TestJobAPIErrors covers the typed failure paths of the job routes.
+func TestJobAPIErrors(t *testing.T) {
+	tc := newTestCluster(t, 1)
+
+	resp, data := getJSON(t, tc.rts.URL, "/v1/jobs/job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d (%s)", resp.StatusCode, data)
+	}
+
+	// Exactly one of suite/sweep.
+	resp, _ = postJSON(t, tc.rts.URL, "/v1/jobs", []byte(`{}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty job = %d", resp.StatusCode)
+	}
+	both := `{"suite":{"variants":[{"policy":"mdc","heuristic":"prefclus"}]},"sweep":{"points":[{}],"variants":[{"policy":"mdc","heuristic":"prefclus"}]}}`
+	resp, _ = postJSON(t, tc.rts.URL, "/v1/jobs", []byte(both))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("both kinds = %d", resp.StatusCode)
+	}
+
+	// Validation is synchronous: bad input never becomes a job.
+	bad := `{"suite":{"benches":["nope"],"variants":[{"policy":"mdc","heuristic":"prefclus"}]}}`
+	resp, data = postJSON(t, tc.rts.URL, "/v1/jobs", []byte(bad))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown bench job = %d (%s)", resp.StatusCode, data)
+	}
+
+	// Artifacts of a non-terminal job: typed 409 (store-level; jobs at
+	// the HTTP layer finish too fast to pin the window reliably).
+	j := tc.router.jobs.create("suite", 3)
+	if _, eresp := j.artifactBytes(); eresp == nil || eresp.Code != apiv1.CodeJobNotReady {
+		t.Errorf("queued artifacts = %+v", eresp)
+	}
+	j.fail("boom")
+	if _, eresp := j.artifactBytes(); eresp == nil || eresp.Code != apiv1.CodeJobNotReady {
+		t.Errorf("failed artifacts = %+v", eresp)
+	}
+	resp, data = getJSON(t, tc.rts.URL, "/v1/jobs/"+j.snapshot().ID+"/artifacts")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("failed job artifacts = %d (%s)", resp.StatusCode, data)
+	}
+
+	// Job listing covers the store in submission order.
+	resp, data = getJSON(t, tc.rts.URL, "/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list = %d", resp.StatusCode)
+	}
+	var list apiv1.JobListResponse
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.snapshot().ID {
+		t.Errorf("list = %+v", list.Jobs)
+	}
+}
+
+// TestRouterProxyAndHealth: single-key proxy routes pass worker bytes
+// through; healthz reports the router role and polled peers.
+func TestRouterProxyAndHealth(t *testing.T) {
+	tc := newTestCluster(t, 2)
+
+	// /v1/benchmarks proxies a catalog listing from a worker.
+	resp, data := getJSON(t, tc.rts.URL, "/v1/benchmarks")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "rasta") {
+		t.Errorf("benchmarks = %d (%.80s)", resp.StatusCode, data)
+	}
+
+	// /v1/schedule proxies by content address: the response equals a
+	// direct worker call byte-for-byte (both ultimately cache bytes).
+	schedBody := []byte(fmt.Sprintf(`{"loop":%s,"policy":"mdc","maxIterations":5}`, daxpyJSON))
+	resp, viaRouter := postJSON(t, tc.rts.URL, "/v1/schedule", schedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule via router = %d (%s)", resp.StatusCode, viaRouter)
+	}
+	var res apiv1.ScheduleResponse
+	if err := json.Unmarshal(viaRouter, &res); err != nil {
+		t.Fatal(err)
+	}
+	// Repeat: same worker, now a cache hit with identical bytes.
+	_, second := postJSON(t, tc.rts.URL, "/v1/schedule", schedBody)
+	if !bytes.Equal(viaRouter, second) {
+		t.Error("repeated proxied schedule bytes differ")
+	}
+
+	tc.router.PollPeers(context.Background())
+	resp, data = getJSON(t, tc.rts.URL, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h apiv1.HealthResponse
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "router" || h.Status != "ok" || len(h.Peers) != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+	for _, p := range h.Peers {
+		if p.Status != apiv1.PeerServing {
+			t.Errorf("peer %s = %s", p.URL, p.Status)
+		}
+	}
+
+	// A worker's own healthz names its role and (unpolled) peer slots.
+	resp, data = getJSON(t, tc.wts[0].URL, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"role":"worker"`) {
+		t.Errorf("worker healthz = %d (%s)", resp.StatusCode, data)
+	}
+
+	// Router metrics include the live-worker gauge.
+	resp, data = getJSON(t, tc.rts.URL, "/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "router_workers_live 2") {
+		t.Errorf("metrics = %d (%.200s)", resp.StatusCode, data)
+	}
+}
+
+// daxpyJSON is a small well-formed loop in the interchange format (the
+// same fixture the server tests use for proxy assertions).
+const daxpyJSON = `{
+  "name": "daxpy",
+  "trip": 50,
+  "symbols": [
+    {"name": "x", "base": 65536, "size": 1048576},
+    {"name": "y", "base": 524288, "size": 1048576}
+  ],
+  "ops": [
+    {"name": "ldx", "kind": "load", "dst": 0, "addr": {"base": "x", "stride": 8, "size": 8}},
+    {"name": "ldy", "kind": "load", "dst": 1, "addr": {"base": "y", "stride": 8, "size": 8}},
+    {"name": "mul", "kind": "fmul", "dst": 2, "srcs": [0, 1]},
+    {"name": "sty", "kind": "store", "srcs": [2], "addr": {"base": "y", "stride": 8, "size": 8}}
+  ]
+}`

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"vliwcache/internal/apiv1"
+	"vliwcache/internal/mediabench"
+)
+
+// cell is one routed unit of work: a benchmark × variant (× sweep
+// point) with its wire body and content address. The address doubles as
+// the ring shard key, so identical cells always land on the worker
+// whose cache owns them.
+type cell struct {
+	// key is the cell's content address (apiv1.ResolveCell.Key).
+	key string
+	// body is the CellRequest JSON posted to the owning worker.
+	body []byte
+	// point is the sweep point's canonical ArchKey ("" for suite cells).
+	point string
+	// bench/policy/heuristic/schedLabel are the response spellings,
+	// kept so a degraded cell can be rendered without a worker.
+	bench      string
+	policy     string
+	heuristic  string
+	schedLabel string
+}
+
+// jobPlan is a decomposed suite or sweep: cells in canonical artifact
+// order.
+type jobPlan struct {
+	kind  string // "suite" or "sweep"
+	cells []cell
+}
+
+func badPlan(format string, args ...any) *apiv1.ErrorResponse {
+	return &apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// decomposeSuite validates a SuiteRequest exactly like the single-node
+// handler and splits it into per-cell requests. Validation happens here,
+// synchronously at submission — a job that enters the queue can only
+// fail on compute errors, never on malformed input.
+func (rt *Router) decomposeSuite(req *apiv1.SuiteRequest) (*jobPlan, *apiv1.ErrorResponse) {
+	if len(req.Variants) == 0 {
+		return nil, badPlan("missing variants")
+	}
+	for i, v := range req.Variants {
+		if _, err := apiv1.ParsePolicy(v.Policy); err != nil {
+			return nil, badPlan("variant %d: %v", i, err)
+		}
+		if _, err := apiv1.ParseHeuristic(v.Heuristic); err != nil {
+			return nil, badPlan("variant %d: %v", i, err)
+		}
+	}
+	benches := req.Benches
+	if len(benches) == 0 {
+		for _, b := range mediabench.Figures() {
+			benches = append(benches, b.Name)
+		}
+	}
+	plan := &jobPlan{kind: "suite"}
+	for _, bench := range benches {
+		for _, v := range req.Variants {
+			c, eresp := rt.makeCell(bench, v, req.Options, "")
+			if eresp != nil {
+				return nil, eresp
+			}
+			plan.cells = append(plan.cells, c)
+		}
+	}
+	return plan, nil
+}
+
+// decomposeSweep splits a design-space sweep into point × bench ×
+// variant cells. Each point is an arch overlay; the shared option
+// block must not carry its own.
+func (rt *Router) decomposeSweep(req *apiv1.SweepRequest) (*jobPlan, *apiv1.ErrorResponse) {
+	if len(req.Points) == 0 {
+		return nil, badPlan("missing points")
+	}
+	if req.Options.Arch != nil {
+		return nil, badPlan("sweep options must not set arch; points carry the overlays")
+	}
+	if len(req.Variants) == 0 {
+		return nil, badPlan("missing variants")
+	}
+	benches := req.Benches
+	if len(benches) == 0 {
+		for _, b := range mediabench.Figures() {
+			benches = append(benches, b.Name)
+		}
+	}
+	plan := &jobPlan{kind: "sweep"}
+	for i := range req.Points {
+		point := req.Points[i]
+		resolved, err := point.Apply(rt.base)
+		if err != nil {
+			return nil, &apiv1.ErrorResponse{Code: apiv1.CodeInvalidArch, Message: fmt.Sprintf("point %d: %v", i, err)}
+		}
+		pointKey := apiv1.ArchKey(resolved)
+		opts := req.Options
+		opts.Arch = &point
+		for _, bench := range benches {
+			for _, v := range req.Variants {
+				c, eresp := rt.makeCell(bench, v, opts, pointKey)
+				if eresp != nil {
+					return nil, eresp
+				}
+				plan.cells = append(plan.cells, c)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// makeCell builds one cell: the wire request, its content address, and
+// the spellings a degraded rendering needs.
+func (rt *Router) makeCell(bench string, v apiv1.Variant, opts apiv1.Options, point string) (cell, *apiv1.ErrorResponse) {
+	cr := apiv1.CellRequest{Bench: bench, Policy: v.Policy, Heuristic: v.Heuristic, Options: opts}
+	res, eresp := apiv1.ResolveCell(rt.base, &cr)
+	if eresp != nil {
+		return cell{}, eresp
+	}
+	body, err := json.Marshal(cr)
+	if err != nil {
+		return cell{}, &apiv1.ErrorResponse{Code: apiv1.CodeInternal, Message: err.Error()}
+	}
+	return cell{
+		key:        res.Key,
+		body:       body,
+		point:      point,
+		bench:      bench,
+		policy:     strings.ToLower(res.Variant.Policy.String()),
+		heuristic:  strings.ToLower(res.Variant.Heuristic.String()),
+		schedLabel: res.SchedulerLabel,
+	}, nil
+}
+
+// degradedBody renders the cell no worker could compute: the suite
+// tables' "n/a(reason)" idiom carried on the NA field, zero stats,
+// empty loops. Single-node responses never contain NA, so its presence
+// unambiguously marks router degradation.
+func degradedBody(c cell, reason string) []byte {
+	sc := apiv1.SuiteCell{
+		Bench:     c.bench,
+		Policy:    c.policy,
+		Heuristic: c.heuristic,
+		Loops:     []apiv1.LoopRun{},
+		Scheduler: c.schedLabel,
+		NA:        "n/a(" + reason + ")",
+	}
+	b, err := json.Marshal(sc)
+	if err != nil {
+		// SuiteCell contains only marshal-safe field types.
+		panic(err)
+	}
+	return b
+}
+
+// assemble builds the artifact from per-cell bodies by concatenation.
+// encoding/json's deterministic struct encoding makes this exact: an
+// array element's bytes equal the standalone value's bytes, so the
+// assembled artifact is byte-identical to the synchronous single-node
+// response for the same request.
+func assemble(plan *jobPlan, bodies [][]byte) []byte {
+	var sb strings.Builder
+	sb.WriteString(`{"cells":[`)
+	for i, b := range bodies {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if plan.kind == "sweep" {
+			// {"point":"<key>", + the cell body minus its opening brace.
+			sb.WriteString(`{"point":`)
+			pk, err := json.Marshal(plan.cells[i].point)
+			if err != nil {
+				panic(err)
+			}
+			sb.Write(pk)
+			sb.WriteByte(',')
+			sb.Write(b[1:])
+		} else {
+			sb.Write(b)
+		}
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}

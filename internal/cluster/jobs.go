@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"strconv"
+	"sync"
+
+	"vliwcache/internal/apiv1"
+)
+
+// jobStore is the router's in-memory job registry. Jobs are router
+// state, not worker state: a worker only ever sees stateless cell
+// requests, so the store needs no replication — losing the router
+// loses job handles but no results (cells persist in worker caches,
+// and a resubmitted job re-collects them as hits).
+type jobStore struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*job
+	order []string
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+// job is one async suite or sweep run.
+type job struct {
+	mu       sync.Mutex
+	status   apiv1.JobStatus
+	artifact []byte
+	subs     map[chan apiv1.JobStatus]bool
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// create registers a queued job. IDs are sequential ("job-1", ...):
+// deterministic, unguessable ids are not a goal for a trusted-network
+// research service.
+func (s *jobStore) create(kind string, total int) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := "job-" + strconv.Itoa(s.seq)
+	j := &job{
+		status: apiv1.JobStatus{ID: id, Kind: kind, State: apiv1.JobQueued, CellsTotal: total},
+		subs:   make(map[chan apiv1.JobStatus]bool),
+		done:   make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+func (s *jobStore) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// list snapshots every job's status in submission order.
+func (s *jobStore) list() []apiv1.JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]apiv1.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+func (j *job) snapshot() apiv1.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// update applies mutate to the status and fans the new snapshot out to
+// subscribers. Subscriber channels are buffered; a slow subscriber
+// drops intermediate snapshots (each event is a full status, so the
+// latest one supersedes everything missed) but never blocks the job.
+func (j *job) update(mutate func(*apiv1.JobStatus)) {
+	j.mu.Lock()
+	mutate(&j.status)
+	snap := j.status
+	terminal := j.status.Terminal()
+	for ch := range j.subs {
+		select {
+		case ch <- snap:
+		default:
+			// Drop the oldest buffered snapshot to make room for the
+			// newest; the subscriber always converges on current state.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- snap:
+			default:
+			}
+		}
+	}
+	j.mu.Unlock()
+	if terminal {
+		close(j.done)
+	}
+}
+
+// finish marks the job done and stores its artifact.
+func (j *job) finish(artifact []byte) {
+	j.mu.Lock()
+	j.artifact = artifact
+	j.mu.Unlock()
+	j.update(func(s *apiv1.JobStatus) { s.State = apiv1.JobDone })
+}
+
+// fail marks the job failed with a reason.
+func (j *job) fail(reason string) {
+	j.update(func(s *apiv1.JobStatus) {
+		s.State = apiv1.JobFailed
+		s.Error = reason
+	})
+}
+
+// artifactBytes returns the artifact, or a typed error: unfinished and
+// failed jobs have none.
+func (j *job) artifactBytes() ([]byte, *apiv1.ErrorResponse) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status.State {
+	case apiv1.JobDone:
+		return j.artifact, nil
+	case apiv1.JobFailed:
+		return nil, &apiv1.ErrorResponse{
+			Code:    apiv1.CodeJobNotReady,
+			Message: "job " + j.status.ID + " failed: " + j.status.Error,
+		}
+	default:
+		return nil, &apiv1.ErrorResponse{
+			Code:    apiv1.CodeJobNotReady,
+			Message: "job " + j.status.ID + " is " + j.status.State,
+		}
+	}
+}
+
+// subscribe registers a progress listener, returning the subscription
+// channel, the status as of subscription (emit it first — no update can
+// be missed between snapshot and registration because both happen under
+// the job lock), and a cancel function.
+func (j *job) subscribe() (<-chan apiv1.JobStatus, apiv1.JobStatus, func()) {
+	ch := make(chan apiv1.JobStatus, 16)
+	j.mu.Lock()
+	j.subs[ch] = true
+	snap := j.status
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+	return ch, snap, cancel
+}

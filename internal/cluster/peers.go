@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"vliwcache/internal/apiv1"
+)
+
+// DefaultPollInterval is how often a PeerSet re-polls its peers.
+const DefaultPollInterval = 2 * time.Second
+
+// PeerSet polls a fixed set of peer base URLs for /healthz and caches
+// the last view. Both roles use it: a worker watches its fellow workers
+// (surfaced in its own /healthz so a rolling restart can be observed
+// from any node), and the router watches its workers. Snapshot is
+// cheap and non-blocking, so health answers never wait on a poll.
+type PeerSet struct {
+	urls   []string
+	client *http.Client
+
+	mu   sync.Mutex
+	view map[string]apiv1.PeerStatus
+}
+
+// NewPeerSet builds a poller over peer base URLs ("http://host:port").
+// A nil client uses a dedicated one with a short timeout.
+func NewPeerSet(urls []string, client *http.Client) *PeerSet {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	p := &PeerSet{urls: append([]string(nil), urls...), client: client, view: make(map[string]apiv1.PeerStatus)}
+	for _, u := range p.urls {
+		// Until the first poll completes a peer is unknown, reported as
+		// unreachable rather than invented as serving.
+		p.view[u] = apiv1.PeerStatus{URL: u, Status: apiv1.PeerUnreachable, Error: "not yet polled"}
+	}
+	return p
+}
+
+// Poll refreshes every peer's status once, concurrently.
+func (p *PeerSet) Poll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, u := range p.urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			st := p.pollOne(ctx, u)
+			p.mu.Lock()
+			p.view[u] = st
+			p.mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+}
+
+func (p *PeerSet) pollOne(ctx context.Context, u string) apiv1.PeerStatus {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/healthz", nil)
+	if err != nil {
+		return apiv1.PeerStatus{URL: u, Status: apiv1.PeerUnreachable, Error: err.Error()}
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return apiv1.PeerStatus{URL: u, Status: apiv1.PeerUnreachable, Error: err.Error()}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return apiv1.PeerStatus{URL: u, Status: apiv1.PeerUnreachable, Error: err.Error()}
+	}
+	var h apiv1.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		return apiv1.PeerStatus{URL: u, Status: apiv1.PeerUnreachable, Error: "bad health body: " + err.Error()}
+	}
+	if h.Draining {
+		return apiv1.PeerStatus{URL: u, Status: apiv1.PeerDraining}
+	}
+	return apiv1.PeerStatus{URL: u, Status: apiv1.PeerServing}
+}
+
+// Run polls until ctx is done (interval <= 0 means
+// DefaultPollInterval). The first poll happens immediately.
+func (p *PeerSet) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		p.Poll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Snapshot returns the last-polled view in URL order.
+func (p *PeerSet) Snapshot() []apiv1.PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]apiv1.PeerStatus, 0, len(p.view))
+	for _, st := range p.view {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

@@ -1,0 +1,167 @@
+// Package cluster is the multi-node serving tier: a router that shards
+// compute requests across paperserved workers by content address, plus
+// the async job API that fans suites and design-space sweeps out as
+// independent cells.
+//
+// The sharding insight is that the serving layer is already content
+// addressed: every request resolves to a canonical SHA-256 cache key
+// (internal/resultcache, derived in apiv1.ResolveCell /
+// ResolveSchedule), and determinism makes the cached bytes exact. The
+// router hashes that same address onto a consistent-hash ring, so an
+// identical cell always lands on the worker whose cache owns it — the
+// distributed tier's aggregate cache is the union of per-worker caches
+// with no invalidation protocol, because entries are immutable facts.
+//
+// Topology (DESIGN.md §16):
+//
+//	client ──▶ router ──▶ ring.Owner(cellKey) ──▶ worker /v1/cell
+//	              │                                  (paperserved core)
+//	              └─ /v1/jobs: decompose → fan out → assemble artifact
+//
+// Losing a worker moves only ~1/N of the address space (virtual nodes
+// bound the movement); cells that no live worker can compute degrade to
+// "n/a(reason)" in the artifact instead of failing the job, mirroring
+// the suite tables' long-standing degraded-cell idiom.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the ring's default virtual-node count per
+// worker. 128 points per node keeps the expected per-node share within
+// a few percent of 1/N for small clusters while the ring stays tiny
+// (N×128 16-byte points).
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over worker names (base URLs). The
+// hash is SHA-256-derived, so placement is identical across processes
+// and platforms — router restarts and test assertions see the same
+// ownership map. The zero value is unusable; call NewRing.
+//
+// Ring is not safe for concurrent mutation; the Router serializes
+// membership changes under its own lock.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by position
+	nodes    map[string]bool
+}
+
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// NewRing builds a ring with the given virtual-node count per node
+// (non-positive means DefaultVirtualNodes).
+func NewRing(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultVirtualNodes
+	}
+	r := &Ring{replicas: replicas, nodes: make(map[string]bool)}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// ringHash maps a string onto a ring position: the first 8 bytes of its
+// SHA-256, big-endian. resultcache keys are themselves hex SHA-256
+// digests, so cell positions inherit their uniformity; node positions
+// ("url#i") get the same treatment.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node (no-op if present).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{ringHash(node + "#" + strconv.Itoa(i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Position collisions resolve by name so placement never depends
+		// on insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes a node (no-op if absent). Only keys the node owned
+// move: they fall to each vanished point's clockwise successor.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes lists the members in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning key: the first ring point at or
+// clockwise after the key's position. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct nodes in ring order starting at the
+// key's owner — the failover sequence: if the owner is down, the next
+// entry is exactly the node the key would belong to after removing the
+// owner from the ring.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	pos := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		if node := r.points[i].node; !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+	}
+	return out
+}

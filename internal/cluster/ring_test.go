@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: placement is a pure function of (nodes, key) —
+// no process-local state — so a restarted router reconstructs the
+// identical ownership map.
+func TestRingDeterminism(t *testing.T) {
+	r1 := NewRing(0, "http://a", "http://b", "http://c")
+	// Same members, different insertion order.
+	r2 := NewRing(0, "http://c", "http://a", "http://b")
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("insertion order changed placement of %q: %s vs %s", key, r1.Owner(key), r2.Owner(key))
+		}
+	}
+	// A third independent build agrees too (what a second process sees).
+	r3 := NewRing(0, "http://a", "http://b", "http://c")
+	if r1.Owner("probe") != r3.Owner("probe") {
+		t.Error("rebuilt ring disagrees on placement")
+	}
+}
+
+// TestRingBalance: with DefaultVirtualNodes, every node's share of a
+// uniform key population stays near 1/N.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(0, nodes...)
+	counts := make(map[string]int)
+	const keys = 9000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		// Ideal is 1/3; 128 virtual nodes keeps the spread well within
+		// [0.2, 0.5] in practice.
+		if share < 0.20 || share > 0.50 {
+			t.Errorf("node %s owns %.1f%% of keys; want ~33%%", n, share*100)
+		}
+	}
+}
+
+// TestRingBoundedMovement: removing one of N nodes moves only the keys
+// it owned — roughly 1/N of the space — and every surviving key keeps
+// its owner.
+func TestRingBoundedMovement(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(0, nodes...)
+	const keys = 4000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	const victim = "http://b"
+	r.Remove(victim)
+	moved := 0
+	for k, owner := range before {
+		now := r.Owner(k)
+		if owner == victim {
+			if now == victim {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			moved++
+		} else if now != owner {
+			t.Fatalf("key %q moved from surviving node %s to %s", k, owner, now)
+		}
+	}
+	share := float64(moved) / keys
+	// The victim owned ~1/4 of the space; allow generous jitter but
+	// catch a rehash-everything bug (share would be ~3/4).
+	if share > 0.40 {
+		t.Errorf("removal moved %.1f%% of keys; want ~25%%", share*100)
+	}
+}
+
+// TestRingOwnersFailover: Owners(key, 2)[1] is exactly the owner after
+// removing Owners(key, 2)[0] — the failover target equals the
+// post-membership-change owner, so a retried cell lands where the
+// shrunk ring would put it anyway.
+func TestRingOwnersFailover(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		r := NewRing(0, nodes...)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) = %v", key, owners)
+		}
+		r.Remove(owners[0])
+		if got := r.Owner(key); got != owners[1] {
+			t.Fatalf("after removing %s, owner of %q = %s, want failover target %s",
+				owners[0], key, got, owners[1])
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	if owners := r.Owners("k", 3); owners != nil {
+		t.Errorf("empty ring owners = %v", owners)
+	}
+	r.Add("http://a")
+	r.Add("http://a") // duplicate add is a no-op
+	if r.Len() != 1 {
+		t.Errorf("len = %d after duplicate add", r.Len())
+	}
+	if got := r.Owner("k"); got != "http://a" {
+		t.Errorf("single-node ring owner = %q", got)
+	}
+	if owners := r.Owners("k", 5); len(owners) != 1 {
+		t.Errorf("owners capped at node count; got %v", owners)
+	}
+	r.Remove("http://nope") // absent remove is a no-op
+	r.Remove("http://a")
+	if r.Len() != 0 || r.Owner("k") != "" {
+		t.Error("ring not empty after removing sole node")
+	}
+}

@@ -1,0 +1,760 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vliwcache/internal/apiv1"
+	"vliwcache/internal/arch"
+)
+
+// Defaults for router construction.
+const (
+	// DefaultJobParallelism bounds concurrently in-flight cells per
+	// router (across all jobs and synchronous suites).
+	DefaultJobParallelism = 4
+	// DefaultDrainTimeout bounds how long Shutdown waits for running
+	// jobs.
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Router is the serving tier's front node: it owns the v1 surface,
+// shards compute onto workers by content address, and runs the async
+// job lifecycle. Build one with NewRouter, mount Handler (or call
+// Serve/ListenAndServe), stop with Shutdown.
+type Router struct {
+	base        arch.Config
+	workers     []string
+	vnodes      int
+	client      *http.Client
+	parallelism int
+	drainTO     time.Duration
+	pollEvery   time.Duration
+
+	mu   sync.Mutex
+	ring *Ring
+	down map[string]string // worker URL → reason it was marked down
+
+	jobs    *jobStore
+	peers   *PeerSet
+	sem     chan struct{}
+	started time.Time
+
+	cellsRouted   atomic.Int64
+	cellsFromNear atomic.Int64 // served from a worker cache (hit/coalesced)
+	cellsDegraded atomic.Int64
+
+	draining atomic.Bool
+	closing  chan struct{}
+	jobWG    sync.WaitGroup
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+	stopBG  context.CancelFunc
+}
+
+// RouterOption configures a Router at construction time.
+type RouterOption func(*Router)
+
+// WithWorkers sets the worker base URLs ("http://host:port"). At least
+// one worker is required to route anything; a worker-less router
+// degrades every cell.
+func WithWorkers(urls ...string) RouterOption {
+	return func(rt *Router) { rt.workers = append([]string(nil), urls...) }
+}
+
+// WithRouterArch sets the base machine description the router resolves
+// requests against. It MUST equal the workers' base config: router and
+// worker derive the cell's content address independently and must agree
+// byte-for-byte (default: the paper's Table 2 configuration, matching
+// the worker default).
+func WithRouterArch(cfg arch.Config) RouterOption {
+	return func(rt *Router) { rt.base = cfg }
+}
+
+// WithVirtualNodes sets the ring's virtual-node count per worker
+// (default DefaultVirtualNodes).
+func WithVirtualNodes(n int) RouterOption {
+	return func(rt *Router) { rt.vnodes = n }
+}
+
+// WithRouterClient sets the HTTP client used for worker requests
+// (default: a dedicated client with no global timeout — per-request
+// deadlines come from job cells' contexts).
+func WithRouterClient(c *http.Client) RouterOption {
+	return func(rt *Router) { rt.client = c }
+}
+
+// WithJobParallelism bounds concurrently in-flight cells
+// (default DefaultJobParallelism; non-positive resets to it).
+func WithJobParallelism(n int) RouterOption {
+	return func(rt *Router) { rt.parallelism = n }
+}
+
+// WithRouterDrainTimeout bounds how long Shutdown waits for running
+// jobs and in-flight requests (default DefaultDrainTimeout).
+func WithRouterDrainTimeout(d time.Duration) RouterOption {
+	return func(rt *Router) { rt.drainTO = d }
+}
+
+// WithRouterPollInterval sets the worker health poll interval used by
+// the background reconciler (default DefaultPollInterval).
+func WithRouterPollInterval(d time.Duration) RouterOption {
+	return func(rt *Router) { rt.pollEvery = d }
+}
+
+// NewRouter builds a router over its worker set.
+func NewRouter(opts ...RouterOption) *Router {
+	rt := &Router{
+		base:        arch.Default(),
+		parallelism: DefaultJobParallelism,
+		drainTO:     DefaultDrainTimeout,
+		jobs:        newJobStore(),
+		down:        make(map[string]string),
+		closing:     make(chan struct{}),
+		started:     time.Now(),
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.parallelism <= 0 {
+		rt.parallelism = DefaultJobParallelism
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	rt.ring = NewRing(rt.vnodes, rt.workers...)
+	rt.peers = NewPeerSet(rt.workers, nil)
+	rt.sem = make(chan struct{}, rt.parallelism)
+	return rt
+}
+
+// Workers lists the configured worker URLs.
+func (rt *Router) Workers() []string { return append([]string(nil), rt.workers...) }
+
+// LiveWorkers lists workers currently on the ring, sorted.
+func (rt *Router) LiveWorkers() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Nodes()
+}
+
+// OwnerOf returns the live worker owning a content address ("" when
+// none are live). Tests use it to assert cell placement.
+func (rt *Router) OwnerOf(key string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Owner(key)
+}
+
+// markDown removes a worker from the ring, recording why. Keys it
+// owned fall to their ring successors (bounded movement), so retrying
+// a failed cell against the new owner is exactly re-running consistent
+// hashing after the membership change.
+func (rt *Router) markDown(url, reason string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, already := rt.down[url]; already {
+		return
+	}
+	rt.down[url] = reason
+	rt.ring.Remove(url)
+}
+
+// revive returns a marked-down worker to the ring (the reconciler calls
+// it when the worker's /healthz reports serving again).
+func (rt *Router) revive(url string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, isDown := rt.down[url]; !isDown {
+		return
+	}
+	delete(rt.down, url)
+	rt.ring.Add(url)
+}
+
+// PollPeers refreshes worker health once and reconciles the ring:
+// marked-down workers that report serving again rejoin. The background
+// poller (started by Serve) calls this on an interval; tests call it
+// directly.
+func (rt *Router) PollPeers(ctx context.Context) {
+	rt.peers.Poll(ctx)
+	for _, st := range rt.peers.Snapshot() {
+		switch st.Status {
+		case apiv1.PeerServing:
+			rt.revive(st.URL)
+		case apiv1.PeerDraining, apiv1.PeerUnreachable:
+			rt.markDown(st.URL, st.Status)
+		}
+	}
+}
+
+// routed is the outcome of routing one request body to the owner of a
+// content address.
+type routed struct {
+	// status and body are the worker's response (status 0 means no
+	// worker could be reached: the caller degrades or 503s).
+	status int
+	body   []byte
+	// fromCache reports a worker cache hit (X-Cache: hit|coalesced).
+	fromCache bool
+	// naReason is set when no live worker remains.
+	naReason string
+}
+
+// route posts body to the live owner of key at path, failing over along
+// the ring: a transport error or 5xx marks the worker down and retries
+// the next owner (which is exactly the key's owner on the shrunk ring);
+// a 2xx/4xx answer is returned as-is — deterministic rejections must
+// not burn through the worker set.
+func (rt *Router) route(ctx context.Context, key, path string, body []byte) routed {
+	for {
+		rt.mu.Lock()
+		owner := rt.ring.Owner(key)
+		rt.mu.Unlock()
+		if owner == "" {
+			return routed{naReason: "no live workers"}
+		}
+		status, data, hdr, err := rt.post(ctx, owner+path, body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return routed{naReason: "canceled: " + ctx.Err().Error()}
+			}
+			rt.markDown(owner, err.Error())
+			continue
+		}
+		if status >= 500 {
+			rt.markDown(owner, fmt.Sprintf("http %d", status))
+			continue
+		}
+		xc := hdr.Get("X-Cache")
+		return routed{status: status, body: data, fromCache: xc == "hit" || xc == "coalesced"}
+	}
+}
+
+func (rt *Router) post(ctx context.Context, url string, body []byte) (int, []byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, data, resp.Header, nil
+}
+
+// cellOutcome is one cell's terminal disposition inside a job or
+// synchronous suite.
+type cellOutcome struct {
+	body      []byte
+	fromCache bool
+	degraded  bool
+	// errStatus/errBody are a worker's deterministic rejection (4xx),
+	// which fails the whole request — matching single-node suite
+	// semantics, where the first failing cell fails the response.
+	errStatus int
+	errBody   []byte
+}
+
+// runCells routes every cell of a plan with bounded parallelism,
+// reporting per-cell completion through report (may be nil). Outcomes
+// are positional: outcome i belongs to plan.cells[i].
+func (rt *Router) runCells(ctx context.Context, plan *jobPlan, report func(cellOutcome)) []cellOutcome {
+	out := make([]cellOutcome, len(plan.cells))
+	var wg sync.WaitGroup
+	for i := range plan.cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt.sem <- struct{}{}
+			defer func() { <-rt.sem }()
+			c := plan.cells[i]
+			res := rt.route(ctx, c.key, "/v1/cell", c.body)
+			rt.cellsRouted.Add(1)
+			var oc cellOutcome
+			switch {
+			case res.naReason != "":
+				oc = cellOutcome{body: degradedBody(c, res.naReason), degraded: true}
+				rt.cellsDegraded.Add(1)
+			case res.status == http.StatusOK:
+				oc = cellOutcome{body: res.body, fromCache: res.fromCache}
+				if res.fromCache {
+					rt.cellsFromNear.Add(1)
+				}
+			default:
+				oc = cellOutcome{errStatus: res.status, errBody: res.body}
+			}
+			out[i] = oc
+			if report != nil {
+				report(oc)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// firstError scans outcomes in canonical cell order for a deterministic
+// rejection.
+func firstError(outcomes []cellOutcome) (int, []byte, bool) {
+	for _, oc := range outcomes {
+		if oc.errStatus != 0 {
+			return oc.errStatus, oc.errBody, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Handler returns the router's HTTP handler: the full v1 surface.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxySchedule(w, r, "/v1/schedule")
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxySchedule(w, r, "/v1/simulate")
+	})
+	mux.HandleFunc("POST /v1/cell", rt.handleCell)
+	mux.HandleFunc("POST /v1/suite", rt.handleSuite)
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", rt.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts", rt.handleJobArtifacts)
+	mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyAny(w, r, "/v1/benchmarks")
+	})
+	mux.HandleFunc("GET /v1/archspace", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyAny(w, r, "/v1/archspace")
+	})
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+// proxySchedule forwards a single-loop compute request to the worker
+// owning its content address — the request-level analogue of cell
+// routing, so repeated loops hit the same worker's cache.
+func (rt *Router) proxySchedule(w http.ResponseWriter, r *http.Request, path string) {
+	body, req, ok := decodeBody[apiv1.ScheduleRequest](w, r)
+	if !ok {
+		return
+	}
+	res, eresp := apiv1.ResolveSchedule(path, rt.base, req)
+	if eresp != nil {
+		writeTypedError(w, eresp)
+		return
+	}
+	rt.proxyKey(w, r, res.Key, path, body)
+}
+
+// handleCell forwards one cell to its owning worker.
+func (rt *Router) handleCell(w http.ResponseWriter, r *http.Request) {
+	body, req, ok := decodeBody[apiv1.CellRequest](w, r)
+	if !ok {
+		return
+	}
+	res, eresp := apiv1.ResolveCell(rt.base, req)
+	if eresp != nil {
+		writeTypedError(w, eresp)
+		return
+	}
+	rt.proxyKey(w, r, res.Key, "/v1/cell", body)
+}
+
+func (rt *Router) proxyKey(w http.ResponseWriter, r *http.Request, key, path string, body []byte) {
+	res := rt.route(r.Context(), key, path, body)
+	if res.naReason != "" {
+		writeTypedError(w, &apiv1.ErrorResponse{Code: apiv1.CodeNoWorkers, Message: res.naReason})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// handleSuite serves the synchronous suite on the router: decompose,
+// fan out, assemble. The response bytes equal the single-node
+// /v1/suite response when every cell computes; lost-worker cells
+// degrade to n/a instead of failing the request.
+func (rt *Router) handleSuite(w http.ResponseWriter, r *http.Request) {
+	_, req, ok := decodeBody[apiv1.SuiteRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.MaxIterations < 0 {
+		writeTypedError(w, badPlan("iteration caps must be >= 0"))
+		return
+	}
+	if _, err := req.SchedulerLabel(); err != nil {
+		writeTypedError(w, apiv1.SchedulerErrorResponse(err))
+		return
+	}
+	plan, eresp := rt.decomposeSuite(req)
+	if eresp != nil {
+		writeTypedError(w, eresp)
+		return
+	}
+	outcomes := rt.runCells(r.Context(), plan, nil)
+	if status, body, failed := firstError(outcomes); failed {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(body)
+		return
+	}
+	bodies := make([][]byte, len(outcomes))
+	for i, oc := range outcomes {
+		bodies[i] = oc.body
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(assemble(plan, bodies))
+}
+
+// handleSubmitJob accepts POST /v1/jobs: validate + decompose
+// synchronously, then run asynchronously. 202 with the queued status.
+func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		writeTypedError(w, &apiv1.ErrorResponse{Code: apiv1.CodeDraining, Message: "router is draining"})
+		return
+	}
+	_, req, ok := decodeBody[apiv1.JobRequest](w, r)
+	if !ok {
+		return
+	}
+	if (req.Suite == nil) == (req.Sweep == nil) {
+		writeTypedError(w, badPlan("exactly one of suite or sweep must be set"))
+		return
+	}
+	var plan *jobPlan
+	var eresp *apiv1.ErrorResponse
+	if req.Suite != nil {
+		if req.Suite.MaxIterations < 0 {
+			writeTypedError(w, badPlan("iteration caps must be >= 0"))
+			return
+		}
+		if _, err := req.Suite.SchedulerLabel(); err != nil {
+			writeTypedError(w, apiv1.SchedulerErrorResponse(err))
+			return
+		}
+		plan, eresp = rt.decomposeSuite(req.Suite)
+	} else {
+		if req.Sweep.MaxIterations < 0 {
+			writeTypedError(w, badPlan("iteration caps must be >= 0"))
+			return
+		}
+		if _, err := req.Sweep.SchedulerLabel(); err != nil {
+			writeTypedError(w, apiv1.SchedulerErrorResponse(err))
+			return
+		}
+		plan, eresp = rt.decomposeSweep(req.Sweep)
+	}
+	if eresp != nil {
+		writeTypedError(w, eresp)
+		return
+	}
+	j := rt.jobs.create(plan.kind, len(plan.cells))
+	rt.jobWG.Add(1)
+	go func() {
+		defer rt.jobWG.Done()
+		rt.runJob(j, plan)
+	}()
+	writeStatusJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runJob drives one job to a terminal state.
+func (rt *Router) runJob(j *job, plan *jobPlan) {
+	j.update(func(s *apiv1.JobStatus) { s.State = apiv1.JobRunning })
+	outcomes := rt.runCells(context.Background(), plan, func(oc cellOutcome) {
+		j.update(func(s *apiv1.JobStatus) {
+			s.CellsDone++
+			if oc.fromCache {
+				s.CellsFromCache++
+			}
+			if oc.degraded {
+				s.CellsDegraded++
+			}
+		})
+	})
+	if _, body, failed := firstError(outcomes); failed {
+		var er apiv1.ErrorResponse
+		reason := string(body)
+		if err := json.Unmarshal(body, &er); err == nil && er.Code != "" {
+			reason = er.Code + ": " + er.Message
+		}
+		j.fail(reason)
+		return
+	}
+	bodies := make([][]byte, len(outcomes))
+	for i, oc := range outcomes {
+		bodies[i] = oc.body
+	}
+	j.finish(assemble(plan, bodies))
+}
+
+func (rt *Router) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeStatusJSON(w, http.StatusOK, apiv1.JobListResponse{Jobs: rt.jobs.list()})
+}
+
+func (rt *Router) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	j := rt.jobs.get(id)
+	if j == nil {
+		writeTypedError(w, &apiv1.ErrorResponse{Code: apiv1.CodeUnknownJob, Message: "unknown job " + id})
+		return nil
+	}
+	return j
+}
+
+func (rt *Router) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j := rt.jobFor(w, r); j != nil {
+		writeStatusJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (rt *Router) handleJobArtifacts(w http.ResponseWriter, r *http.Request) {
+	j := rt.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	body, eresp := j.artifactBytes()
+	if eresp != nil {
+		writeTypedError(w, eresp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleJobEvents streams job progress as Server-Sent Events: one
+// "progress" event per status change, each with the full JobStatus as
+// data (MarshalStatus bytes — identical to the poll body). The stream
+// ends after the terminal event, on client disconnect, or on router
+// shutdown.
+func (rt *Router) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := rt.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeTypedError(w, &apiv1.ErrorResponse{Code: apiv1.CodeInternal, Message: "streaming unsupported"})
+		return
+	}
+	ch, snap, cancel := j.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func(s apiv1.JobStatus) bool {
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", apiv1.MarshalStatus(s))
+		fl.Flush()
+		return s.Terminal()
+	}
+	if emit(snap) {
+		return
+	}
+	for {
+		select {
+		case s := <-ch:
+			if emit(s) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-rt.closing:
+			return
+		}
+	}
+}
+
+// proxyAny forwards a GET to any live worker (sorted order, failing
+// over): these routes are node-independent catalog listings.
+func (rt *Router) proxyAny(w http.ResponseWriter, r *http.Request, path string) {
+	rt.mu.Lock()
+	nodes := rt.ring.Nodes()
+	rt.mu.Unlock()
+	for _, u := range nodes {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u+path, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rt.markDown(u, err.Error())
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode >= 500 {
+			rt.markDown(u, "bad catalog response")
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data)
+		return
+	}
+	writeTypedError(w, &apiv1.ErrorResponse{Code: apiv1.CodeNoWorkers, Message: "no live workers"})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if rt.draining.Load() {
+		status = "draining"
+	}
+	writeStatusJSON(w, http.StatusOK, apiv1.HealthResponse{
+		Status:       status,
+		Draining:     rt.draining.Load(),
+		UptimeMillis: time.Since(rt.started).Milliseconds(),
+		Role:         "router",
+		Peers:        rt.peers.Snapshot(),
+	})
+}
+
+// handleMetrics renders router counters in the same line-oriented text
+// format as the worker /metrics.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	live := len(rt.ring.nodes)
+	downs := make([]string, 0, len(rt.down))
+	for u := range rt.down {
+		downs = append(downs, u)
+	}
+	rt.mu.Unlock()
+	sort.Strings(downs)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "router_workers_configured %d\n", len(rt.workers))
+	fmt.Fprintf(w, "router_workers_live %d\n", live)
+	fmt.Fprintf(w, "router_cells_routed %d\n", rt.cellsRouted.Load())
+	fmt.Fprintf(w, "router_cells_from_cache %d\n", rt.cellsFromNear.Load())
+	fmt.Fprintf(w, "router_cells_degraded %d\n", rt.cellsDegraded.Load())
+	fmt.Fprintf(w, "router_jobs %d\n", len(rt.jobs.list()))
+	for _, u := range downs {
+		fmt.Fprintf(w, "router_worker_down %s\n", u)
+	}
+}
+
+// Serve accepts connections on l until Shutdown, with the background
+// health poller running alongside.
+func (rt *Router) Serve(l net.Listener) error {
+	rt.httpMu.Lock()
+	if rt.httpSrv == nil {
+		rt.httpSrv = &http.Server{Handler: rt.Handler()}
+		ctx, cancel := context.WithCancel(context.Background())
+		rt.stopBG = cancel
+		go func() {
+			interval := rt.pollEvery
+			if interval <= 0 {
+				interval = DefaultPollInterval
+			}
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				rt.PollPeers(ctx)
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+			}
+		}()
+	}
+	srv := rt.httpSrv
+	rt.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (rt *Router) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(l)
+}
+
+// Shutdown drains the router: new jobs are refused, SSE streams close,
+// running jobs get up to the drain timeout to finish, then the HTTP
+// server shuts down gracefully.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.draining.Store(true)
+	close(rt.closing)
+	if rt.drainTO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.drainTO)
+		defer cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	rt.httpMu.Lock()
+	srv := rt.httpSrv
+	stop := rt.stopBG
+	rt.httpMu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// decodeBody reads and decodes a JSON request body, returning the raw
+// bytes too (proxy routes forward them verbatim).
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) ([]byte, *T, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		writeTypedError(w, badPlan("reading body: %v", err))
+		return nil, nil, false
+	}
+	v := new(T)
+	if err := json.Unmarshal(body, v); err != nil {
+		writeTypedError(w, badPlan("decoding request: %v", err))
+		return nil, nil, false
+	}
+	return body, v, true
+}
+
+// writeTypedError writes a v1 error at its canonical status.
+func writeTypedError(w http.ResponseWriter, eresp *apiv1.ErrorResponse) {
+	writeStatusJSON(w, apiv1.StatusOf(eresp.Code), *eresp)
+}
+
+func writeStatusJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -1,0 +1,37 @@
+// Package fsx holds small filesystem helpers shared by the binaries.
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path through a temp file + rename in
+// the same directory. Rename is atomic on POSIX filesystems, so a
+// concurrent reader sees either the old complete file or the new
+// complete file — never a partial write. paperserved's portfile and the
+// router's job-artifact dumps use this: both are polled by other
+// processes (smoke tests, load generators) exactly while being written.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Any failure leaves no trace: remove the temp file on every
+	// non-rename exit.
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}

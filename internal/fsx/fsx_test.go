@@ -1,0 +1,49 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	// Overwrite replaces content wholesale.
+	if err := WriteFileAtomic(path, []byte("second, longer content"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second, longer content" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+
+	// No temp litter remains.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".out.txt.tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want 1", len(entries))
+	}
+
+	// Writing into a missing directory fails cleanly.
+	if err := WriteFileAtomic(filepath.Join(dir, "nope", "x"), nil, 0o644); err == nil {
+		t.Error("write into missing dir must fail")
+	}
+}

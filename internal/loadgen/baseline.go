@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"vliwcache/internal/fsx"
+)
+
+// Schema is the serving-baseline file schema version.
+const Schema = 1
+
+// DefaultLatencyTolerance is the relative p99 regression the serve gate
+// accepts before failing. Serving latency on a shared box is far
+// noisier than the simulator's CPU-bound ns/op, so the window is wide:
+// the gate catches structural regressions (an accidental O(n) in the
+// hot path, a lost cache), not percent-level drift.
+const DefaultLatencyTolerance = 1.0
+
+// Baseline is the committed serving-performance baseline
+// (BENCH_serve.json at the repository root): paperload's measured
+// latency percentiles, saturation throughput and cache-hit ratio.
+type Baseline struct {
+	Schema    int      `json:"schema"`
+	GitSHA    string   `json:"git_sha"`
+	Date      string   `json:"date"` // RFC 3339, UTC
+	GoVersion string   `json:"go_version"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// Load reads and validates a committed serving baseline.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("loadgen: %s: schema %d, want %d", path, b.Schema, Schema)
+	}
+	if len(b.Scenarios) == 0 {
+		return nil, fmt.Errorf("loadgen: %s: no scenarios recorded", path)
+	}
+	for _, s := range b.Scenarios {
+		if err := checkResult(s); err != nil {
+			return nil, fmt.Errorf("loadgen: %s: scenario %q: %w", path, s.Name, err)
+		}
+	}
+	return &b, nil
+}
+
+// checkResult is the always-on sanity gate over one recorded scenario:
+// internally consistent counts, ordered percentiles, ratios in range.
+func checkResult(s Result) error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("missing name")
+	case s.Mode != "open" && s.Mode != "closed":
+		return fmt.Errorf("mode %q", s.Mode)
+	case s.Completed <= 0:
+		return fmt.Errorf("no completed requests")
+	case s.Completed+s.Errors+s.Shed > s.Sent:
+		return fmt.Errorf("outcomes (%d) exceed sent (%d)", s.Completed+s.Errors+s.Shed, s.Sent)
+	case s.CacheHitRatio < 0 || s.CacheHitRatio > 1:
+		return fmt.Errorf("cache hit ratio %v out of [0,1]", s.CacheHitRatio)
+	case s.P50Millis <= 0 || s.P50Millis > s.P95Millis || s.P95Millis > s.P99Millis || s.P99Millis > s.MaxMillis:
+		return fmt.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v max=%v",
+			s.P50Millis, s.P95Millis, s.P99Millis, s.MaxMillis)
+	case s.ThroughputPerSec <= 0:
+		return fmt.Errorf("throughput %v", s.ThroughputPerSec)
+	}
+	return nil
+}
+
+// Write serializes the baseline deterministically (scenarios sorted by
+// name, indented, atomic replace) so refreshes produce minimal diffs.
+func (b *Baseline) Write(path string) error {
+	b.Schema = Schema
+	sort.Slice(b.Scenarios, func(i, j int) bool { return b.Scenarios[i].Name < b.Scenarios[j].Name })
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	return fsx.WriteFileAtomic(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one violation found by Compare.
+type Regression struct {
+	Scenario string
+	Detail   string
+}
+
+func (r Regression) String() string { return r.Scenario + ": " + r.Detail }
+
+// Compare checks a fresh measurement against the recorded baseline:
+// per matching scenario name, p99 may grow to base × (1 + tolerance)
+// and throughput may shrink to base / (1 + tolerance); the cache-hit
+// ratio must not collapse (≥ half the recorded ratio). Scenarios
+// present on only one side are ignored — the gate compares behavior,
+// not coverage.
+func Compare(base, got *Baseline, tolerance float64) []Regression {
+	if tolerance <= 0 {
+		tolerance = DefaultLatencyTolerance
+	}
+	recorded := make(map[string]Result, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		recorded[s.Name] = s
+	}
+	var regs []Regression
+	for _, g := range got.Scenarios {
+		b, ok := recorded[g.Name]
+		if !ok {
+			continue
+		}
+		if limit := b.P99Millis * (1 + tolerance); g.P99Millis > limit {
+			regs = append(regs, Regression{g.Name,
+				fmt.Sprintf("p99 %.2fms exceeds %.2fms (base %.2fms +%d%%)",
+					g.P99Millis, limit, b.P99Millis, int(tolerance*100))})
+		}
+		if floor := b.ThroughputPerSec / (1 + tolerance); g.ThroughputPerSec < floor {
+			regs = append(regs, Regression{g.Name,
+				fmt.Sprintf("throughput %.1f/s below %.1f/s (base %.1f/s)",
+					g.ThroughputPerSec, floor, b.ThroughputPerSec)})
+		}
+		if b.CacheHitRatio > 0 && g.CacheHitRatio < b.CacheHitRatio/2 {
+			regs = append(regs, Regression{g.Name,
+				fmt.Sprintf("cache hit ratio %.2f collapsed from %.2f", g.CacheHitRatio, b.CacheHitRatio)})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Scenario < regs[j].Scenario })
+	return regs
+}

@@ -1,0 +1,270 @@
+// Package loadgen is an open-loop HTTP load generator for the serving
+// tier, plus the committed serving-performance baseline it feeds
+// (BENCH_serve.json, the serving analogue of perfbench's
+// BENCH_sim.json).
+//
+// Open loop means arrivals are scheduled by a Poisson process that does
+// NOT wait for responses: a saturated server keeps receiving work at
+// the offered rate, so queueing delay shows up in the measured latency
+// instead of silently throttling the generator (the coordinated-
+// omission trap of closed-loop benchmarking). A separate closed-loop
+// mode measures saturation throughput: N workers issuing back-to-back
+// requests as fast as the server answers.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"vliwcache/internal/obs"
+)
+
+// Target is one request in the generated mix.
+type Target struct {
+	// Path is the route ("/v1/cell", "/v1/schedule", ...).
+	Path string
+	// Body is the JSON request body.
+	Body []byte
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server under test ("http://host:port").
+	BaseURL string
+	// Targets is the request mix, issued round-robin.
+	Targets []Target
+	// Rate is the open-loop mean arrival rate (requests/second).
+	Rate float64
+	// Duration bounds the arrival window (responses are awaited after).
+	Duration time.Duration
+	// Seed drives the arrival process; equal seeds replay identical
+	// arrival schedules.
+	Seed int64
+	// Workers is the closed-loop concurrency (RunClosed only).
+	Workers int
+	// Client is the HTTP client (nil = a dedicated one).
+	Client *http.Client
+}
+
+// Result is one run's measured outcome; field order is the committed
+// baseline's wire order.
+type Result struct {
+	Name             string  `json:"name"`
+	Mode             string  `json:"mode"` // "open" or "closed"
+	RatePerSec       float64 `json:"ratePerSec,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+	DurationMillis   int64   `json:"durationMillis"`
+	Sent             int64   `json:"sent"`
+	Completed        int64   `json:"completed"`
+	Errors           int64   `json:"errors"`
+	Shed             int64   `json:"shed"`
+	CacheHits        int64   `json:"cacheHits"`
+	CacheHitRatio    float64 `json:"cacheHitRatio"`
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+	P50Millis        float64 `json:"p50Millis"`
+	P95Millis        float64 `json:"p95Millis"`
+	P99Millis        float64 `json:"p99Millis"`
+	MaxMillis        float64 `json:"maxMillis"`
+}
+
+// collector accumulates per-request outcomes behind one lock
+// (obs.Histogram is not concurrency-safe).
+type collector struct {
+	mu     sync.Mutex
+	hist   obs.Histogram
+	done   int64
+	errs   int64
+	shed   int64
+	hits   int64
+	status map[int]int64
+}
+
+func newCollector() *collector { return &collector{status: make(map[int]int64)} }
+
+func (c *collector) record(status int, hdr http.Header, elapsed time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errs++
+		return
+	}
+	c.status[status]++
+	switch {
+	case status == http.StatusTooManyRequests:
+		c.shed++
+	case status >= 400:
+		c.errs++
+	default:
+		c.done++
+		c.hist.Observe(elapsed)
+		if xc := hdr.Get("X-Cache"); xc == "hit" || xc == "coalesced" {
+			c.hits++
+		}
+	}
+}
+
+func (c *collector) result(name, mode string, sent int64, wall time.Duration) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	r := &Result{
+		Name:           name,
+		Mode:           mode,
+		DurationMillis: wall.Milliseconds(),
+		Sent:           sent,
+		Completed:      c.done,
+		Errors:         c.errs,
+		Shed:           c.shed,
+		CacheHits:      c.hits,
+		P50Millis:      ms(c.hist.Quantile(0.50)),
+		P95Millis:      ms(c.hist.Quantile(0.95)),
+		P99Millis:      ms(c.hist.Quantile(0.99)),
+		MaxMillis:      ms(c.hist.Max()),
+	}
+	if c.done > 0 {
+		r.CacheHitRatio = round4(float64(c.hits) / float64(c.done))
+	}
+	if wall > 0 {
+		r.ThroughputPerSec = round4(float64(c.done) / wall.Seconds())
+	}
+	r.P50Millis = round4(r.P50Millis)
+	r.P95Millis = round4(r.P95Millis)
+	r.P99Millis = round4(r.P99Millis)
+	r.MaxMillis = round4(r.MaxMillis)
+	return r
+}
+
+// round4 keeps the committed baseline diff-friendly.
+func round4(f float64) float64 { return math.Round(f*1e4) / 1e4 }
+
+func (cfg *Config) client() *http.Client {
+	if cfg.Client != nil {
+		return cfg.Client
+	}
+	return &http.Client{}
+}
+
+func (cfg *Config) validate() error {
+	if cfg.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if len(cfg.Targets) == 0 {
+		return fmt.Errorf("loadgen: at least one target is required")
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("loadgen: Duration must be > 0")
+	}
+	return nil
+}
+
+func issue(ctx context.Context, client *http.Client, base string, t Target, col *collector) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+t.Path, bytes.NewReader(t.Body))
+	if err != nil {
+		col.record(0, nil, 0, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		col.record(0, nil, elapsed, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	col.record(resp.StatusCode, resp.Header, elapsed, nil)
+}
+
+// RunOpen drives the open-loop Poisson run: exponential inter-arrival
+// gaps at cfg.Rate for cfg.Duration, every arrival issued immediately
+// in its own goroutine regardless of outstanding responses.
+func RunOpen(ctx context.Context, name string, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop Rate must be > 0")
+	}
+	client := cfg.client()
+	col := newCollector()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	var sent int64
+	next := start
+	for i := 0; ; i++ {
+		// Exponential inter-arrival gap: a Poisson process in the mean.
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		t := cfg.Targets[i%len(cfg.Targets)]
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			issue(ctx, client, cfg.BaseURL, t, col)
+		}()
+	}
+	wg.Wait()
+	res := col.result(name, "open", sent, time.Since(start))
+	res.RatePerSec = cfg.Rate
+	return res, nil
+}
+
+// RunClosed drives the closed-loop saturation run: cfg.Workers
+// goroutines issuing back-to-back requests for cfg.Duration. The
+// measured throughput is the server's sustained capacity at that
+// concurrency.
+func RunClosed(ctx context.Context, name string, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	client := cfg.client()
+	col := newCollector()
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var sent int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline) && ctx.Err() == nil; i += workers {
+				t := cfg.Targets[i%len(cfg.Targets)]
+				mu.Lock()
+				sent++
+				mu.Unlock()
+				issue(ctx, client, cfg.BaseURL, t, col)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := col.result(name, "closed", sent, time.Since(start))
+	res.Workers = workers
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func writeRaw(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}
+
+// fakeServe is a stand-in serving tier: first request per body computes
+// (tiny delay), the rest are "cache hits".
+func fakeServe(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			w.Header().Set("X-Cache", "miss")
+			time.Sleep(2 * time.Millisecond)
+		} else {
+			w.Header().Set("X-Cache", "hit")
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestRunOpen(t *testing.T) {
+	ts, calls := fakeServe(t)
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Targets:  []Target{{Path: "/v1/cell", Body: []byte(`{}`)}},
+		Rate:     200,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+	}
+	res, err := RunOpen(context.Background(), "open-test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.RatePerSec != 200 {
+		t.Errorf("result header = %+v", res)
+	}
+	if res.Sent == 0 || res.Completed != res.Sent || res.Errors != 0 {
+		t.Errorf("counts = %+v", res)
+	}
+	if res.Completed != calls.Load() {
+		t.Errorf("completed %d != server calls %d", res.Completed, calls.Load())
+	}
+	// All but the first request hit the fake cache.
+	if res.CacheHits != res.Completed-1 {
+		t.Errorf("cacheHits = %d of %d", res.CacheHits, res.Completed)
+	}
+	if res.P50Millis <= 0 || res.P99Millis < res.P50Millis {
+		t.Errorf("percentiles = %+v", res)
+	}
+}
+
+// TestRunOpenDeterministicArrivals: equal seeds produce equal arrival
+// schedules (same sent count under the same wall window is the
+// observable slice of that).
+func TestRunOpenDeterministicArrivals(t *testing.T) {
+	ts, _ := fakeServe(t)
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Targets:  []Target{{Path: "/", Body: []byte(`{}`)}},
+		Rate:     500,
+		Duration: 200 * time.Millisecond,
+		Seed:     7,
+	}
+	a, err := RunOpen(context.Background(), "a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOpen(context.Background(), "b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sent != b.Sent {
+		t.Errorf("same seed, different arrivals: %d vs %d", a.Sent, b.Sent)
+	}
+}
+
+func TestRunClosed(t *testing.T) {
+	ts, _ := fakeServe(t)
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Targets:  []Target{{Path: "/v1/cell", Body: []byte(`{}`)}},
+		Duration: 200 * time.Millisecond,
+		Workers:  3,
+	}
+	res, err := RunClosed(context.Background(), "closed-test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Workers != 3 {
+		t.Errorf("result header = %+v", res)
+	}
+	if res.Completed == 0 || res.ThroughputPerSec <= 0 {
+		t.Errorf("counts = %+v", res)
+	}
+}
+
+func TestBaselineRoundTripAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	base := &Baseline{
+		GitSHA: "abc", Date: "2026-08-09T00:00:00Z", GoVersion: "go",
+		Scenarios: []Result{{
+			Name: "s", Mode: "open", RatePerSec: 10, DurationMillis: 1000,
+			Sent: 10, Completed: 10, CacheHits: 9, CacheHitRatio: 0.9,
+			ThroughputPerSec: 10, P50Millis: 1, P95Millis: 2, P99Millis: 3, MaxMillis: 4,
+		}},
+	}
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 1 || back.Scenarios[0] != base.Scenarios[0] {
+		t.Errorf("round trip changed baseline: %+v", back)
+	}
+
+	// Within tolerance: no regressions.
+	got := *back
+	got.Scenarios = []Result{base.Scenarios[0]}
+	if regs := Compare(back, &got, 1.0); len(regs) != 0 {
+		t.Errorf("identical run regressed: %v", regs)
+	}
+
+	// p99 blowout, throughput collapse, cache loss: three regressions.
+	bad := base.Scenarios[0]
+	bad.P99Millis = 100
+	bad.ThroughputPerSec = 1
+	bad.CacheHitRatio = 0.1
+	got.Scenarios = []Result{bad}
+	if regs := Compare(back, &got, 1.0); len(regs) != 3 {
+		t.Errorf("regressions = %v", regs)
+	}
+
+	// Unmatched scenario names are ignored.
+	bad.Name = "other"
+	got.Scenarios = []Result{bad}
+	if regs := Compare(back, &got, 1.0); len(regs) != 0 {
+		t.Errorf("unmatched scenario compared: %v", regs)
+	}
+}
+
+func TestLoadRejectsBadBaselines(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad schema":    `{"schema":99,"scenarios":[{"name":"s","mode":"open","sent":1,"completed":1,"throughputPerSec":1,"p50Millis":1,"p95Millis":1,"p99Millis":1,"maxMillis":1}]}`,
+		"no scenarios":  `{"schema":1,"scenarios":[]}`,
+		"bad ratio":     `{"schema":1,"scenarios":[{"name":"s","mode":"open","sent":1,"completed":1,"cacheHitRatio":2,"throughputPerSec":1,"p50Millis":1,"p95Millis":1,"p99Millis":1,"maxMillis":1}]}`,
+		"unordered pct": `{"schema":1,"scenarios":[{"name":"s","mode":"open","sent":1,"completed":1,"throughputPerSec":1,"p50Millis":5,"p95Millis":2,"p99Millis":3,"maxMillis":4}]}`,
+	}
+	i := 0
+	for name, body := range cases {
+		p := filepath.Join(dir, "b"+string(rune('a'+i))+".json")
+		i++
+		if err := writeRaw(p, body); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: Load accepted invalid baseline", name)
+		}
+	}
+}
+
+// TestCommittedServeBaseline validates the repository's committed
+// serving baseline (make bench-serve-check's always-on half).
+func TestCommittedServeBaseline(t *testing.T) {
+	b, err := Load(filepath.Join("..", "..", "BENCH_serve.json"))
+	if err != nil {
+		t.Fatalf("committed BENCH_serve.json invalid: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, s := range b.Scenarios {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"cell-open-warm", "cell-closed-saturation"} {
+		if !names[want] {
+			t.Errorf("committed baseline missing scenario %q (has %v)", want, names)
+		}
+	}
+}

@@ -167,6 +167,16 @@ func (c *Cache) Peek(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// Contains reports whether key is resident, without counting a hit or
+// touching LRU order — a pure inspection for tests and diagnostics
+// (e.g. asserting a cell landed on its ring owner).
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Put stores val under key (no-op if the key is already present),
 // evicting least-recently-used entries until the budget holds. The
 // cache takes ownership of val.

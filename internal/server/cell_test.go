@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vliwcache/internal/apiv1"
+)
+
+// TestCellMatchesSuiteCell proves the distributed tier's core byte
+// invariant at its root: POST /v1/cell returns exactly the bytes of the
+// corresponding element of the synchronous /v1/suite response. The
+// router assembles suite artifacts by concatenating worker cell bodies,
+// so any drift here would break artifact byte-identity cluster-wide.
+func TestCellMatchesSuiteCell(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	suiteReq := apiv1.SuiteRequest{
+		Benches: []string{"rasta", "pgpdec"},
+		Variants: []apiv1.Variant{
+			{Policy: "mdc", Heuristic: "prefclus"},
+			{Policy: "ddgt", Heuristic: "mincoms"},
+		},
+		Options: apiv1.Options{MaxIterations: 5, FastPath: true},
+	}
+	body, err := json.Marshal(suiteReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := post(t, ts, "/v1/suite", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite status = %d (%s)", resp.StatusCode, data)
+	}
+	// Keep the suite response's raw bytes per cell: the invariant is
+	// byte equality, not value equality after a decode round trip.
+	var raw struct {
+		Cells []json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(raw.Cells))
+	}
+
+	i := 0
+	for _, bench := range suiteReq.Benches {
+		for _, v := range suiteReq.Variants {
+			cellReq := apiv1.CellRequest{
+				Bench:     bench,
+				Policy:    v.Policy,
+				Heuristic: v.Heuristic,
+				Options:   apiv1.Options{MaxIterations: 5, FastPath: true},
+			}
+			cb, err := json.Marshal(cellReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cresp, cdata := post(t, ts, "/v1/cell", cb)
+			if cresp.StatusCode != http.StatusOK {
+				t.Fatalf("cell %s/%s status = %d (%s)", bench, v.Policy, cresp.StatusCode, cdata)
+			}
+			if string(cdata) != string(raw.Cells[i]) {
+				t.Errorf("cell %s/%s bytes differ from suite cell %d:\n cell: %s\nsuite: %s",
+					bench, v.Policy, i, cdata, raw.Cells[i])
+			}
+			i++
+		}
+	}
+}
+
+// TestCellCaching: a repeated cell is a cache hit replaying identical
+// bytes, and the cell's content address (ResolveCell.Key) is the key
+// the cache stores it under — the address the router shards on.
+func TestCellCaching(t *testing.T) {
+	srv := New(WithParallelism(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := apiv1.CellRequest{
+		Bench:   "rasta",
+		Policy:  "mdc",
+		Options: apiv1.Options{MaxIterations: 5},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp1, data1 := post(t, ts, "/v1/cell", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp1.StatusCode, data1)
+	}
+	if xc := resp1.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", xc)
+	}
+	resp2, data2 := post(t, ts, "/v1/cell", body)
+	if xc := resp2.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", xc)
+	}
+	if string(data1) != string(data2) {
+		t.Error("hit bytes differ from miss bytes")
+	}
+
+	res, eresp := apiv1.ResolveCell(srv.base, &req)
+	if eresp != nil {
+		t.Fatalf("resolve: %+v", eresp)
+	}
+	if !srv.CacheContains(res.Key) {
+		t.Error("cache does not hold the cell's content address")
+	}
+}
+
+func TestCellErrors(t *testing.T) {
+	srv := New(WithParallelism(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"unknown bench", `{"bench":"nope","policy":"mdc"}`, http.StatusNotFound, apiv1.CodeUnknownBenchmark},
+		{"missing bench", `{"policy":"mdc"}`, http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"bad policy", `{"bench":"rasta","policy":"zzz"}`, http.StatusBadRequest, apiv1.CodeBadRequest},
+		{"unknown scheduler", `{"bench":"rasta","policy":"mdc","scheduler":"zzz"}`, http.StatusUnprocessableEntity, apiv1.CodeUnknownScheduler},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := post(t, ts, "/v1/cell", []byte(c.body))
+			if resp.StatusCode != c.status {
+				t.Fatalf("status = %d (%s), want %d", resp.StatusCode, data, c.status)
+			}
+			if e := decodeError(t, data); e.Code != c.code {
+				t.Errorf("code = %q, want %q", e.Code, c.code)
+			}
+		})
+	}
+}

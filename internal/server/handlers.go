@@ -4,23 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"vliwcache/internal/apiv1"
-	"vliwcache/internal/arch"
 	"vliwcache/internal/experiments"
 	"vliwcache/internal/fault"
-	"vliwcache/internal/ir"
 	"vliwcache/internal/mediabench"
 	"vliwcache/internal/report"
 	"vliwcache/internal/resultcache"
-	"vliwcache/internal/sched"
-	"vliwcache/internal/sim"
 )
 
 // maxBodyBytes bounds request bodies; loops are small, so 4 MiB is
@@ -95,167 +91,6 @@ func (s *Server) deadlineFor(millis int64) time.Duration {
 	return d
 }
 
-// simOptionsKey renders the cache-relevant simulation knobs. The
-// per-request deadline is deliberately absent: it bounds the wall time
-// of a computation, never its result.
-func simOptionsKey(opts sim.Options, seed int64) string {
-	k := fmt.Sprintf("maxIters=%d maxEntries=%d coherence=%t seed=%d",
-		opts.MaxIterations, opts.MaxEntries, opts.CheckCoherence, seed)
-	// The fast path produces bit-identical statistics, but it joins the
-	// key anyway so a fallback investigation (re-request without the
-	// flag) never gets served the other mode's cached bytes. Appended
-	// only when set, so legacy requests keep their cache addresses.
-	if opts.FastPath {
-		k += " fast=true"
-	}
-	return k
-}
-
-// resolvedSchedule is a validated ScheduleRequest bound to internal
-// types, plus the request's content address.
-type resolvedSchedule struct {
-	loop       *ir.Loop
-	variant    experiments.Variant
-	cfgValue   arch.Config
-	sim        sim.Options
-	seed       int64
-	schedule   bool // include the rendered schedule
-	deadline   time.Duration
-	portfolio  []string
-	schedLabel string // response Scheduler field ("" = frozen path)
-	key        string
-}
-
-// resolveSchedule validates a ScheduleRequest and derives its cache
-// key. The loop is canonicalized — decoded and deterministically
-// re-encoded — so formatting differences between equivalent request
-// bodies address the same cache entry.
-func (s *Server) resolveSchedule(ns string, req *apiv1.ScheduleRequest) (*resolvedSchedule, *apiv1.ErrorResponse) {
-	fail := func(format string, args ...any) (*resolvedSchedule, *apiv1.ErrorResponse) {
-		return nil, &apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Message: fmt.Sprintf(format, args...)}
-	}
-	if len(req.Loop) == 0 || string(bytes.TrimSpace(req.Loop)) == "null" {
-		return fail("missing loop")
-	}
-	loop, err := ir.DecodeJSON(req.Loop)
-	if err != nil {
-		return fail("invalid loop: %v", err)
-	}
-	if loop.Name == "" || len(loop.Ops) == 0 {
-		return fail("loop must have a name and at least one op")
-	}
-	canonical, err := ir.EncodeJSON(loop)
-	if err != nil {
-		return fail("canonicalizing loop: %v", err)
-	}
-	policy, err := apiv1.ParsePolicy(req.Policy)
-	if err != nil {
-		return fail("%v", err)
-	}
-	heuristic, err := apiv1.ParseHeuristic(req.Heuristic)
-	if err != nil {
-		return fail("%v", err)
-	}
-	schedLabel, err := apiv1.ValidateSchedulers(req.Scheduler, req.Portfolio)
-	if err != nil {
-		return nil, schedulerError(err)
-	}
-	cfg := s.base
-	if req.Config != "" {
-		cfg, err = apiv1.NamedConfig(req.Config)
-		if err != nil {
-			return fail("%v", err)
-		}
-	}
-	layout, err := apiv1.ParseLayout(req.Layout)
-	if err != nil {
-		return fail("%v", err)
-	}
-	// Legacy requests always get the layout fold-in (empty = interleaved,
-	// byte-for-byte the frozen behavior). With a structured arch present
-	// the legacy field applies only when explicitly set, so an omitted
-	// layout inherits from the base and the arch object.
-	if req.Layout != "" || req.Arch == nil {
-		cfg = cfg.WithLayout(layout)
-	}
-	if req.Arch != nil {
-		cfg, err = req.Arch.Apply(cfg)
-		if err != nil {
-			return nil, &apiv1.ErrorResponse{Code: apiv1.CodeInvalidArch, Message: err.Error()}
-		}
-	}
-	if req.ABEntries < 0 {
-		return fail("abEntries must be >= 0")
-	}
-	if req.ABEntries > 0 {
-		cfg = cfg.WithAttractionBuffers(req.ABEntries)
-	}
-	if req.Arch != nil {
-		// The legacy layout/AB folds can break a validated arch override
-		// (e.g. Attraction Buffers on a replicated layout); re-validate so
-		// structured requests never reach the simulator invalid.
-		if verr := cfg.Validate(); verr != nil {
-			return nil, &apiv1.ErrorResponse{Code: apiv1.CodeInvalidArch, Message: verr.Error()}
-		}
-	}
-	if req.MaxIterations < 0 || req.MaxEntries < 0 {
-		return fail("iteration caps must be >= 0")
-	}
-	opts := sim.Options{
-		MaxIterations:  req.MaxIterations,
-		MaxEntries:     req.MaxEntries,
-		CheckCoherence: req.CheckCoherence,
-		FastPath:       req.FastPath,
-	}
-	res := &resolvedSchedule{
-		loop:       loop,
-		variant:    experiments.Variant{Policy: policy, Heuristic: heuristic, Scheduler: req.Scheduler},
-		sim:        opts,
-		seed:       req.FaultSeed,
-		schedule:   req.IncludeSchedule,
-		deadline:   s.deadlineFor(req.DeadlineMillis),
-		portfolio:  req.Portfolio,
-		schedLabel: schedLabel,
-	}
-	parts := []string{
-		ns,
-		string(canonical),
-		policy.String(),
-		heuristic.String(),
-		fmt.Sprintf("%+v", cfg),
-		simOptionsKey(opts, req.FaultSeed),
-		fmt.Sprintf("schedule=%t", req.IncludeSchedule),
-	}
-	// Scheduler selection joins the key only when present, so legacy
-	// requests keep addressing their pre-existing cache entries.
-	if req.Scheduler != "" {
-		parts = append(parts, "scheduler="+req.Scheduler)
-	}
-	if len(req.Portfolio) > 0 {
-		parts = append(parts, "portfolio="+strings.Join(req.Portfolio, "+"))
-	}
-	// Structured arch requests key on the canonical field-order encoding
-	// of the resolved machine: two spellings of one machine share a cache
-	// entry, and legacy requests (no arch object) keep their addresses.
-	if req.Arch != nil {
-		parts = append(parts, "arch="+apiv1.ArchKey(cfg))
-	}
-	res.key = resultcache.Key(parts...)
-	res.cfgValue = cfg
-	return res, nil
-}
-
-// schedulerError maps a scheduler-selection validation failure onto the
-// wire taxonomy: unknown registry names are the typed 422, anything else
-// (mutually exclusive fields) is a plain bad request.
-func schedulerError(err error) *apiv1.ErrorResponse {
-	code := apiv1.CodeBadRequest
-	if errors.Is(err, sched.ErrUnknownScheduler) {
-		code = apiv1.CodeUnknownScheduler
-	}
-	return &apiv1.ErrorResponse{Code: code, Message: err.Error()}
-}
-
 // handleSchedule serves POST /v1/schedule: the full pipeline on one
 // loop, returning plan/schedule summary plus simulation statistics.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -273,43 +108,104 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, route str
 	if !decodeRequest(w, r, &req) {
 		return
 	}
-	res, eresp := s.resolveSchedule(route, &req)
+	res, eresp := apiv1.ResolveSchedule(route, s.base, &req)
 	if eresp != nil {
 		writeError(w, apiv1.StatusOf(eresp.Code), *eresp)
 		return
 	}
-	s.serveCached(w, r, route, res.key, res.deadline, func(ctx context.Context) ([]byte, error) {
-		opts := res.sim
-		if res.seed != 0 {
-			opts.NewFaults = fault.Seeded(res.seed, fault.DefaultConfig())
+	s.serveCached(w, r, route, res.Key, s.deadlineFor(res.DeadlineMillis), func(ctx context.Context) ([]byte, error) {
+		opts := res.Sim
+		if res.Seed != 0 {
+			opts.NewFaults = fault.Seeded(res.Seed, fault.DefaultConfig())
 		}
 		suiteOpts := []experiments.Option{experiments.WithEngine(s.eng)}
-		if len(res.portfolio) > 0 {
-			suiteOpts = append(suiteOpts, experiments.WithPortfolio(res.portfolio...))
+		if len(res.Portfolio) > 0 {
+			suiteOpts = append(suiteOpts, experiments.WithPortfolio(res.Portfolio...))
 		}
-		pr, err := experiments.RunPipelineContext(ctx, res.loop, res.cfgValue, res.variant, opts, suiteOpts...)
+		pr, err := experiments.RunPipelineContext(ctx, res.Loop, res.Config, res.Variant, opts, suiteOpts...)
 		if err != nil {
 			return nil, err
 		}
 		if simulateOnly {
 			return json.Marshal(apiv1.SimulateResponse{
-				Loop:  res.loop.Name,
+				Loop:  res.Loop.Name,
 				Stats: apiv1.StatsOf(pr.Stats),
 			})
 		}
 		resp := apiv1.ScheduleResponse{
-			Loop:      res.loop.Name,
-			Policy:    strings.ToLower(res.variant.Policy.String()),
-			Heuristic: strings.ToLower(res.variant.Heuristic.String()),
+			Loop:      res.Loop.Name,
+			Policy:    strings.ToLower(res.Variant.Policy.String()),
+			Heuristic: strings.ToLower(res.Variant.Heuristic.String()),
 			II:        pr.Schedule.II,
 			Comms:     pr.Schedule.CommOps(),
 			Stats:     apiv1.StatsOf(pr.Stats),
 		}
-		if res.schedule {
+		if res.IncludeSchedule {
 			resp.Schedule = fmt.Sprint(pr.Schedule)
 		}
-		resp.Scheduler = res.schedLabel
+		resp.Scheduler = res.SchedulerLabel
 		return json.Marshal(resp)
+	})
+}
+
+// handleCell serves POST /v1/cell: one suite cell (benchmark ×
+// variant), the unit the cluster router fans suite and sweep jobs out
+// to. The cell's cache address doubles as the router's consistent-hash
+// shard key, so an identical cell always lands on the worker whose
+// cache owns it. The body is one apiv1.SuiteCell — byte-identical to
+// the corresponding element of the synchronous /v1/suite response.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/cell"
+	var req apiv1.CellRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	res, eresp := apiv1.ResolveCell(s.base, &req)
+	if eresp != nil {
+		writeError(w, apiv1.StatusOf(eresp.Code), *eresp)
+		return
+	}
+	s.serveCached(w, r, route, res.Key, s.deadlineFor(res.DeadlineMillis), func(ctx context.Context) ([]byte, error) {
+		opts := res.Sim
+		if res.Seed != 0 {
+			opts.NewFaults = fault.Seeded(res.Seed, fault.DefaultConfig())
+		}
+		// The suite construction mirrors handleSuite cell-for-cell: the
+		// per-cell artifacts are deterministic functions of (bench,
+		// variant, config, options), so a lone cell is byte-identical to
+		// the same cell inside a whole-grid request.
+		suiteOpts := []experiments.Option{
+			experiments.WithSimOptions(opts),
+			experiments.WithParallelism(s.parallelism),
+			experiments.WithMachinePool(0),
+		}
+		if req.Scheduler != "" {
+			suiteOpts = append(suiteOpts, experiments.WithScheduler(req.Scheduler))
+		}
+		if len(req.Portfolio) > 0 {
+			suiteOpts = append(suiteOpts, experiments.WithPortfolio(req.Portfolio...))
+		}
+		suite := experiments.NewSuite(res.Config, suiteOpts...)
+		suite.Benches = mediabench.All()
+		cell, err := suite.CellContext(ctx, res.Bench, res.Variant)
+		if err != nil {
+			return nil, err
+		}
+		sc := apiv1.SuiteCell{
+			Bench:     res.Bench,
+			Policy:    strings.ToLower(res.Variant.Policy.String()),
+			Heuristic: strings.ToLower(res.Variant.Heuristic.String()),
+			Loops:     []apiv1.LoopRun{},
+			Total:     apiv1.StatsOf(&cell.Total),
+			Scheduler: res.SchedulerLabel,
+		}
+		for _, lr := range cell.Loops {
+			sc.Loops = append(sc.Loops, apiv1.LoopRun{
+				Loop: lr.Loop, II: lr.II, Comms: lr.Comms,
+				Stats: apiv1.StatsOf(lr.Stats),
+			})
+		}
+		return json.Marshal(sc)
 	})
 }
 
@@ -355,17 +251,13 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "iteration caps must be >= 0")
 		return
 	}
-	schedLabel, err := apiv1.ValidateSchedulers(req.Scheduler, req.Portfolio)
+	schedLabel, err := req.SchedulerLabel()
 	if err != nil {
-		eresp := schedulerError(err)
+		eresp := apiv1.SchedulerErrorResponse(err)
 		writeError(w, apiv1.StatusOf(eresp.Code), *eresp)
 		return
 	}
-	opts := sim.Options{
-		MaxIterations:  req.MaxIterations,
-		CheckCoherence: req.CheckCoherence,
-		FastPath:       req.FastPath,
-	}
+	opts := req.SimOptions()
 	if req.FaultSeed != 0 {
 		opts.NewFaults = fault.Seeded(req.FaultSeed, fault.DefaultConfig())
 	}
@@ -390,7 +282,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		strings.Join(benches, ","),
 		strings.Join(variantNames, ","),
 		fmt.Sprintf("%+v", s.base),
-		simOptionsKey(opts, req.FaultSeed),
+		apiv1.SimOptionsKey(opts, req.FaultSeed),
 	}
 	if req.Scheduler != "" {
 		parts = append(parts, "scheduler="+req.Scheduler)
@@ -481,10 +373,14 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, route, key 
 	select {
 	case s.admit <- struct{}{}:
 	default:
-		s.shed.Add(1)
+		shedN := s.shed.Add(1)
 		s.eng.RecordStage("shed", time.Since(t0))
 		s.emit(seq, route, "shed", key, http.StatusTooManyRequests, time.Since(t0))
-		w.Header().Set("Retry-After", "1")
+		// Deterministic seeded jitter: a burst of synchronized clients
+		// shed together must not re-arrive in lockstep, so each 429
+		// spreads its retry over a small window. Seeded (not random) so
+		// a replayed overload episode backs off identically.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retrySeed, shedN)))
 		writeError(w, http.StatusTooManyRequests, apiv1.ErrorResponse{
 			Code:    apiv1.CodeOverloaded,
 			Message: fmt.Sprintf("admission queue full (%d in system)", cap(s.admit)),
@@ -581,19 +477,19 @@ func (s *Server) handleArchSpace(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, s.gridBody, "")
 }
 
-// healthState is the GET /healthz body. The endpoint bypasses
-// admission entirely, so it answers even when the queue is saturated.
-type healthState struct {
-	Status       string `json:"status"`
-	Draining     bool   `json:"draining"`
-	UptimeMillis int64  `json:"uptimeMillis"`
-}
-
+// handleHealthz serves GET /healthz: the node's serving/draining state
+// plus — on cluster nodes — its role and last-polled peer view, so a
+// rolling restart can watch the whole tier from any node. The endpoint
+// bypasses admission entirely, so it answers even when the queue is
+// saturated.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := healthState{Status: "ok", Draining: s.draining.Load(),
-		UptimeMillis: time.Since(s.started).Milliseconds()}
+	st := apiv1.HealthResponse{Status: "ok", Draining: s.draining.Load(),
+		UptimeMillis: time.Since(s.started).Milliseconds(), Role: s.role}
 	if st.Draining {
 		st.Status = "draining"
+	}
+	if s.peerView != nil {
+		st.Peers = s.peerView()
 	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,28 @@
+package server
+
+import "testing"
+
+// TestRetryAfterJitter pins the seeded Retry-After sequence. The shed
+// path used to answer a constant "1", synchronizing every rejected
+// client into a retry thundering herd exactly one second later; the
+// jitter spreads them over 1..3s while staying deterministic per
+// (seed, shed-counter) so replays reproduce byte-identical responses.
+func TestRetryAfterJitter(t *testing.T) {
+	want1 := []int{2, 1, 1, 3, 2, 1, 1, 1}
+	want42 := []int{2, 2, 3, 3, 3, 1, 1, 3}
+	for i, w := range want1 {
+		if got := retryAfterSeconds(1, int64(i+1)); got != w {
+			t.Errorf("retryAfterSeconds(1, %d) = %d, want %d", i+1, got, w)
+		}
+	}
+	for i, w := range want42 {
+		if got := retryAfterSeconds(42, int64(i+1)); got != w {
+			t.Errorf("retryAfterSeconds(42, %d) = %d, want %d", i+1, got, w)
+		}
+	}
+	for n := int64(1); n < 1000; n++ {
+		if s := retryAfterSeconds(7, n); s < 1 || s > retryJitterWindow {
+			t.Fatalf("retryAfterSeconds(7, %d) = %d out of [1, %d]", n, s, retryJitterWindow)
+		}
+	}
+}

@@ -118,9 +118,9 @@ func TestSuiteSchedulerSelection(t *testing.T) {
 
 	suiteBody := func(mutate func(*apiv1.SuiteRequest)) []byte {
 		req := apiv1.SuiteRequest{
-			Benches:       []string{"rasta"},
-			Variants:      []apiv1.Variant{{Policy: "mdc", Heuristic: "prefclus"}},
-			MaxIterations: 5,
+			Benches:  []string{"rasta"},
+			Variants: []apiv1.Variant{{Policy: "mdc", Heuristic: "prefclus"}},
+			Options:  apiv1.Options{MaxIterations: 5},
 		}
 		if mutate != nil {
 			mutate(&req)

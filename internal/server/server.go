@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vliwcache/internal/apiv1"
 	"vliwcache/internal/arch"
 	"vliwcache/internal/archspace"
 	"vliwcache/internal/engine"
@@ -63,6 +64,10 @@ type Server struct {
 	cache *resultcache.Cache
 	admit chan struct{} // admission tokens: workers + queue depth
 	sink  obs.RequestSink
+
+	role      string
+	peerView  func() []apiv1.PeerStatus
+	retrySeed int64
 
 	seq      atomic.Int64
 	admitted atomic.Int64
@@ -153,6 +158,48 @@ func WithRequestSink(sink obs.RequestSink) Option {
 	return func(s *Server) { s.sink = sink }
 }
 
+// WithRole labels the node in its /healthz body ("worker", "router").
+// Empty (the default) keeps the frozen single-node healthz bytes.
+func WithRole(role string) Option {
+	return func(s *Server) { s.role = role }
+}
+
+// WithPeerView installs the function /healthz calls for the node's
+// last-polled view of its peers (typically cluster.PeerSet.Snapshot).
+// The view must be cheap and non-blocking: healthz answers even when
+// the compute queue is saturated.
+func WithPeerView(view func() []apiv1.PeerStatus) Option {
+	return func(s *Server) { s.peerView = view }
+}
+
+// WithRetryJitterSeed seeds the deterministic Retry-After jitter on 429
+// responses (default seed 1). Two servers with the same seed shed the
+// same burst with the same backoff sequence.
+func WithRetryJitterSeed(seed int64) Option {
+	return func(s *Server) { s.retrySeed = seed }
+}
+
+// retryJitterWindow is the Retry-After spread on 429: 1..3 seconds.
+const retryJitterWindow = 3
+
+// splitmix64 is the SplitMix64 mixing function — a bijective avalanche
+// over uint64, the same idiom the fault injector and the mc seen-table
+// use for cheap deterministic hashing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryAfterSeconds derives the n-th shed response's Retry-After from
+// the seed: uniform over [1, retryJitterWindow], deterministic per
+// (seed, n) so tests can pin the exact sequence while synchronized
+// clients still spread their retries.
+func retryAfterSeconds(seed, n int64) int {
+	return 1 + int(splitmix64(uint64(seed)^splitmix64(uint64(n)))%retryJitterWindow)
+}
+
 // New builds a server. No listener is opened until Serve.
 func New(opts ...Option) *Server {
 	s := &Server{
@@ -193,12 +240,18 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 // CacheStats snapshots the result cache's counters.
 func (s *Server) CacheStats() resultcache.Stats { return s.cache.Stats() }
 
+// CacheContains reports whether the result cache holds key, without
+// touching hit accounting or LRU order. Cluster tests use it to assert
+// every cell landed on its ring owner.
+func (s *Server) CacheContains(key string) bool { return s.cache.Contains(key) }
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	mux.HandleFunc("POST /v1/cell", s.handleCell)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/archspace", s.handleArchSpace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -57,9 +57,9 @@ func infeasibleLoopJSON(t *testing.T) []byte {
 func scheduleBody(t *testing.T, mutate func(*apiv1.ScheduleRequest)) []byte {
 	t.Helper()
 	req := apiv1.ScheduleRequest{
-		Loop:          json.RawMessage(daxpyJSON),
-		Policy:        "mdc",
-		MaxIterations: 25,
+		Loop:    json.RawMessage(daxpyJSON),
+		Policy:  "mdc",
+		Options: apiv1.Options{MaxIterations: 25},
 	}
 	if mutate != nil {
 		mutate(&req)
